@@ -1,0 +1,48 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper and prints
+// the corresponding rows/series to stdout. Budgets are configurable through
+// environment variables so the default `for b in build/bench/*; do $b; done`
+// finishes in minutes while a patient run can mirror the paper's one-hour
+// timeout:
+//
+//   VERDICT_BENCH_TIMEOUT   per-check timeout in seconds (default 10)
+//   VERDICT_BENCH_FULL      set to 1 to run the full-size sweeps (fattree12)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "expr/expr.h"
+#include "ts/transition_system.h"
+
+namespace verdict::bench {
+
+inline double timeout_seconds() {
+  if (const char* env = std::getenv("VERDICT_BENCH_TIMEOUT")) return std::atof(env);
+  return 10.0;
+}
+
+inline bool full_sweep() {
+  if (const char* env = std::getenv("VERDICT_BENCH_FULL")) return std::atoi(env) != 0;
+  return false;
+}
+
+/// Copy of `base` with parameters pinned to concrete values.
+inline ts::TransitionSystem pinned(
+    const ts::TransitionSystem& base,
+    std::initializer_list<std::pair<expr::Expr, std::int64_t>> pins) {
+  ts::TransitionSystem out = base;
+  for (const auto& [param, value] : pins)
+    out.add_param_constraint(expr::mk_eq(param, expr::int_const(value)));
+  return out;
+}
+
+inline void header(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace verdict::bench

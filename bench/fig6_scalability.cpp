@@ -1,0 +1,110 @@
+// Reproduces Fig. 6: "Performance results" — runtime of the case-study-1
+// check across topologies (test, fattree4..12), separating the
+// property-failure line (k set to the front-end's minimal cut: 2, 2, 3, 4,
+// 5, 6) from the verification lines (k = 0, 1, 2 where the property holds).
+//
+// Expected shape (the paper's findings, not its absolute numbers):
+//   - finding a violation is orders of magnitude faster than verification;
+//   - violation time grows exponentially with topology size;
+//   - verification exceeds the budget well before fattree12, and at
+//     fattree12 even the violation search times out ("the model checker
+//     times out for any k on fattree12").
+//
+// Defaults keep the sweep minutes-long: 10s per-check budget, fattree10 max.
+// VERDICT_BENCH_TIMEOUT / VERDICT_BENCH_FULL=1 scale toward the paper's
+// 1-hour budget and full fattree12 sweep.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/bmc.h"
+#include "core/checker.h"
+#include "core/kinduction.h"
+#include "scenarios/rollout_partition.h"
+
+namespace {
+
+struct TopologyCase {
+  std::string name;
+  int fat_tree_k;  // 0 = the 5-node test topology
+  std::int64_t failing_k;
+};
+
+verdict::scenarios::RolloutPartitionScenario build(const TopologyCase& tc) {
+  using namespace verdict;
+  scenarios::RolloutPartitionOptions options;
+  options.prefix = "fig6_" + tc.name;
+  options.max_k = 8;
+  if (tc.fat_tree_k == 0) return scenarios::make_test_scenario(options);
+  return scenarios::make_fat_tree_scenario(tc.fat_tree_k, options);
+}
+
+}  // namespace
+
+int main() {
+  using namespace verdict;
+  bench::header("Fig. 6 — scalability of case study 1 (runtime in seconds)");
+  const double budget = bench::timeout_seconds();
+  std::printf("per-check budget: %.0fs (VERDICT_BENCH_TIMEOUT to change; paper used 3600s)\n\n",
+              budget);
+
+  std::vector<TopologyCase> cases = {
+      {"test", 0, 2},      {"fattree4", 4, 2},   {"fattree6", 6, 3},
+      {"fattree8", 8, 4},  {"fattree10", 10, 5},
+  };
+  if (bench::full_sweep()) cases.push_back({"fattree12", 12, 6});
+
+  std::printf("%-10s %8s | %-26s | %s\n", "topology", "n/links", "violation (k=cut)",
+              "verification k=0 / k=1 / k=2");
+  for (const TopologyCase& tc : cases) {
+    const auto scenario = build(tc);
+    std::printf("%-10s %3zu/%-4zu | ", tc.name.c_str(),
+                scenario.link_up.size() ? scenario.system.vars().size() : 0,
+                scenario.link_up.size());
+
+    // --- Property-failure line: k = minimal front-end cut.
+    {
+      const auto system = bench::pinned(
+          scenario.system, {{scenario.p, 1}, {scenario.k, tc.failing_k}, {scenario.m, 1}});
+      core::BmcOptions options;
+      options.max_depth = 30;
+      options.deadline = util::Deadline::after_seconds(budget);
+      const auto outcome =
+          core::check_invariant_bmc(system, ltl::invariant_atom(scenario.property), options);
+      if (outcome.verdict == core::Verdict::kViolated) {
+        std::printf("k=%ld %8.2fs (depth %2d)", static_cast<long>(tc.failing_k),
+                    outcome.stats.seconds, outcome.stats.depth_reached);
+      } else {
+        std::printf("k=%ld  TIMEOUT >%5.0fs   ", static_cast<long>(tc.failing_k), budget);
+      }
+    }
+    std::printf(" | ");
+
+    // --- Verification lines: k in {0, 1, 2} (property holds; k-induction).
+    for (const std::int64_t k : {std::int64_t{0}, std::int64_t{1}, std::int64_t{2}}) {
+      if (k >= tc.failing_k) {
+        std::printf("   fails ");
+        continue;
+      }
+      const auto system = bench::pinned(scenario.system,
+                                        {{scenario.p, 1}, {scenario.k, k}, {scenario.m, 1}});
+      core::KInductionOptions options;
+      options.max_k = 60;
+      options.deadline = util::Deadline::after_seconds(budget);
+      const auto outcome = core::check_invariant_kinduction(
+          system, ltl::invariant_atom(scenario.property), options);
+      if (outcome.verdict == core::Verdict::kHolds) {
+        std::printf("%7.2fs ", outcome.stats.seconds);
+      } else {
+        std::printf(" >%5.0fs ", budget);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n'>Ns' marks a timeout, matching the paper's bars above the budget line.\n");
+  if (!bench::full_sweep())
+    std::printf("fattree12 (where the paper times out for every k) is enabled with "
+                "VERDICT_BENCH_FULL=1.\n");
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Engine microbenchmarks and design-choice ablations (google-benchmark).
+//
+// Quantifies the ablations called out in DESIGN.md §5:
+//   - incremental vs monolithic BMC solving,
+//   - PDR vs k-induction on the same safe instance,
+//   - interleaved vs sequential BDD variable ordering,
+//   - expression interning / simplification throughput,
+//   - BDD operation and symbolic-image costs.
+#include <benchmark/benchmark.h>
+
+#include "bdd/checker.h"
+#include "core/bmc.h"
+#include "core/kinduction.h"
+#include "core/pdr.h"
+#include "expr/expr.h"
+#include "net/reachability.h"
+#include "net/topology.h"
+#include "scenarios/rollout_partition.h"
+#include "smt/solver.h"
+
+namespace {
+
+using namespace verdict;
+using expr::Expr;
+
+ts::TransitionSystem counter_system(const std::string& prefix, std::int64_t limit,
+                                    std::int64_t range) {
+  ts::TransitionSystem ts;
+  const Expr x = expr::int_var(prefix + "_x", 0, range);
+  ts.add_var(x);
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_trans(expr::mk_eq(expr::next(x),
+                           expr::ite(expr::mk_lt(x, expr::int_const(limit)), x + 1, x)));
+  return ts;
+}
+
+void BM_ExprInterning(benchmark::State& state) {
+  const Expr x = expr::int_var("micro_x", 0, 100);
+  const Expr y = expr::int_var("micro_y", 0, 100);
+  for (auto _ : state) {
+    Expr acc = expr::int_const(0);
+    for (int i = 0; i < 64; ++i) acc = acc + expr::ite(expr::mk_lt(x, y + i), x, y);
+    benchmark::DoNotOptimize(acc.id());
+  }
+}
+BENCHMARK(BM_ExprInterning);
+
+void BM_ExprEvaluation(benchmark::State& state) {
+  const Expr x = expr::int_var("micro_ev_x", 0, 100);
+  std::vector<Expr> bools;
+  for (int i = 0; i < 64; ++i) bools.push_back(expr::mk_lt(x, expr::int_const(i)));
+  const Expr formula = expr::count_true(bools) >= 32;
+  expr::Env env;
+  env.set(x, std::int64_t{50});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::eval_bool(formula, env));
+  }
+}
+BENCHMARK(BM_ExprEvaluation);
+
+void BM_SolverRoundTrip(benchmark::State& state) {
+  const Expr x = expr::int_var("micro_smt_x", 0, 1000);
+  for (auto _ : state) {
+    smt::Solver solver;
+    solver.add(expr::mk_lt(expr::int_const(10), x), 0);
+    solver.add(expr::mk_lt(x, expr::int_const(20)), 0);
+    benchmark::DoNotOptimize(solver.check() == smt::CheckResult::kSat);
+  }
+}
+BENCHMARK(BM_SolverRoundTrip);
+
+void BM_BmcIncremental(benchmark::State& state) {
+  const auto ts = counter_system("micro_bmc_inc", state.range(0), 64);
+  const Expr x = expr::var_by_name("micro_bmc_inc_x");
+  const Expr invariant = expr::mk_lt(x, expr::int_const(state.range(0)));
+  for (auto _ : state) {
+    core::BmcOptions options;
+    options.incremental = true;
+    options.max_depth = static_cast<int>(state.range(0)) + 2;
+    benchmark::DoNotOptimize(core::check_invariant_bmc(ts, invariant, options).verdict);
+  }
+}
+BENCHMARK(BM_BmcIncremental)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BmcMonolithic(benchmark::State& state) {
+  const auto ts = counter_system("micro_bmc_mono", state.range(0), 64);
+  const Expr x = expr::var_by_name("micro_bmc_mono_x");
+  const Expr invariant = expr::mk_lt(x, expr::int_const(state.range(0)));
+  for (auto _ : state) {
+    core::BmcOptions options;
+    options.incremental = false;
+    options.max_depth = static_cast<int>(state.range(0)) + 2;
+    benchmark::DoNotOptimize(core::check_invariant_bmc(ts, invariant, options).verdict);
+  }
+}
+BENCHMARK(BM_BmcMonolithic)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ProofKInduction(benchmark::State& state) {
+  const auto ts = counter_system("micro_kind", 10, 64);
+  const Expr x = expr::var_by_name("micro_kind_x");
+  const Expr invariant = expr::mk_le(x, expr::int_const(10));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::check_invariant_kinduction(ts, invariant).verdict);
+  }
+}
+BENCHMARK(BM_ProofKInduction);
+
+void BM_ProofPdr(benchmark::State& state) {
+  const auto ts = counter_system("micro_pdr", 10, 64);
+  const Expr x = expr::var_by_name("micro_pdr_x");
+  const Expr invariant = expr::mk_le(x, expr::int_const(10));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::check_invariant_pdr(ts, invariant).verdict);
+  }
+}
+BENCHMARK(BM_ProofPdr);
+
+void BM_ProofPdrNoGeneralize(benchmark::State& state) {
+  const auto ts = counter_system("micro_pdr_ng", 10, 64);
+  const Expr x = expr::var_by_name("micro_pdr_ng_x");
+  const Expr invariant = expr::mk_le(x, expr::int_const(10));
+  for (auto _ : state) {
+    core::PdrOptions options;
+    options.generalize = false;
+    benchmark::DoNotOptimize(core::check_invariant_pdr(ts, invariant, options).verdict);
+  }
+}
+BENCHMARK(BM_ProofPdrNoGeneralize);
+
+// Multi-variable system where current/next variable ordering matters: four
+// 0..15 counters stepping in lockstep pairs (the transition relation couples
+// every variable with its next-state copy).
+ts::TransitionSystem lockstep_counters(const std::string& prefix) {
+  ts::TransitionSystem ts;
+  std::vector<Expr> xs;
+  for (int i = 0; i < 4; ++i) {
+    const Expr x = expr::int_var(prefix + "_x" + std::to_string(i), 0, 15);
+    xs.push_back(x);
+    ts.add_var(x);
+    ts.add_init(expr::mk_eq(x, expr::int_const(i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    ts.add_trans(expr::mk_eq(
+        expr::next(xs[i]),
+        expr::ite(expr::mk_lt(xs[i], expr::int_const(15)), xs[i] + 1,
+                  expr::int_const(0))));
+  }
+  return ts;
+}
+
+void BM_BddReachabilityInterleaved(benchmark::State& state) {
+  const auto ts = lockstep_counters("micro_bdd_i");
+  const Expr x = expr::var_by_name("micro_bdd_i_x0");
+  const Expr invariant = expr::mk_le(x, expr::int_const(15));
+  for (auto _ : state) {
+    bdd::BddOptions options;
+    options.order = bdd::VarOrder::kInterleaved;
+    benchmark::DoNotOptimize(bdd::check_invariant_bdd(ts, invariant, options).verdict);
+  }
+}
+BENCHMARK(BM_BddReachabilityInterleaved);
+
+void BM_BddReachabilitySequential(benchmark::State& state) {
+  const auto ts = lockstep_counters("micro_bdd_s");
+  const Expr x = expr::var_by_name("micro_bdd_s_x0");
+  const Expr invariant = expr::mk_le(x, expr::int_const(15));
+  for (auto _ : state) {
+    bdd::BddOptions options;
+    options.order = bdd::VarOrder::kSequential;
+    benchmark::DoNotOptimize(bdd::check_invariant_bdd(ts, invariant, options).verdict);
+  }
+}
+BENCHMARK(BM_BddReachabilitySequential);
+
+void BM_SymbolicReachabilityFormula(benchmark::State& state) {
+  const net::FatTree ft = net::make_fat_tree(static_cast<int>(state.range(0)));
+  std::vector<Expr> link_up;
+  for (net::LinkId l = 0; l < ft.topo.num_links(); ++l)
+    link_up.push_back(
+        expr::bool_var("micro_reach" + std::to_string(state.range(0)) + "_" +
+                       std::to_string(l)));
+  for (auto _ : state) {
+    const auto reach = net::symbolic_reachability(ft.topo, ft.edge[0], link_up, 4);
+    benchmark::DoNotOptimize(reach.back().id());
+  }
+}
+BENCHMARK(BM_SymbolicReachabilityFormula)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Reproduces the parameter-synthesis result of §4.2: "Say we are interested
+// in finding safe non-zero values for p, given the property and k = 1,
+// m = 1. The system in this case suggests the values p in {1, 2}."
+//
+// We run the classification twice: over the paper's p domain {1, 2} (where
+// the suggestion is exactly {1, 2}) and over a wider domain {1..4} to show
+// where the boundary actually falls in this model (p = 4 drains all four
+// service nodes; p <= 3 keeps `available >= 1`).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/synth.h"
+#include "ltl/ltl.h"
+#include "scenarios/rollout_partition.h"
+
+namespace {
+
+void synthesize(std::int64_t max_p, const std::string& prefix) {
+  using namespace verdict;
+  scenarios::RolloutPartitionOptions options;
+  options.prefix = prefix;
+  options.max_p = max_p;
+  const auto scenario = scenarios::make_test_scenario(options);
+
+  ts::TransitionSystem system = scenario.system;
+  system.add_param_constraint(expr::mk_eq(scenario.k, expr::int_const(1)));
+  system.add_param_constraint(expr::mk_eq(scenario.m, expr::int_const(1)));
+  system.add_param_constraint(expr::mk_le(expr::int_const(1), scenario.p));
+
+  core::SynthOptions synth;
+  synth.prover = core::SynthProver::kKInduction;
+  synth.per_candidate_seconds = bench::timeout_seconds() * 6;
+  synth.max_depth = 40;
+  const auto result =
+      core::synthesize_params(system, ltl::invariant_atom(scenario.property), synth);
+
+  std::printf("p domain {1..%ld}, k = 1, m = 1:\n", static_cast<long>(max_p));
+  std::printf("  safe p:   ");
+  for (const ts::State& s : result.safe)
+    std::printf("%ld ", static_cast<long>(std::get<std::int64_t>(*s.get(scenario.p))));
+  std::printf("\n  unsafe p: ");
+  for (const ts::State& s : result.unsafe)
+    std::printf("%ld ", static_cast<long>(std::get<std::int64_t>(*s.get(scenario.p))));
+  if (!result.undecided.empty()) std::printf("\n  undecided: %zu", result.undecided.size());
+  std::printf("\n  (%zu candidates condemned by counterexample replay without a solver "
+              "call)\n\n",
+              result.pruned_by_replay);
+}
+
+}  // namespace
+
+int main() {
+  using namespace verdict;
+  bench::header("Parameter synthesis — safe rollout concurrency p (test topology)");
+  synthesize(2, "syn_a");  // the paper's reported domain/result: p in {1, 2}
+  synthesize(4, "syn_b");  // wider domain: the boundary sits at p = 4
+  std::printf("(paper: suggests p in {1, 2}; our wider domain also proves p = 3 safe —\n"
+              " with link-level reachability one serving node keeps available >= 1.)\n");
+  return 0;
+}

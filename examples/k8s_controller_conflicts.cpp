@@ -1,0 +1,64 @@
+// k8s_controller_conflicts — model-check Kubernetes controller interactions.
+//
+// Reproduces the three §3.2/§3.3 failure classes against the ctrl:: component
+// library, and runs the Fig. 2 discrete-event simulation alongside the
+// symbolic verdicts — showing the "verify before deploying" workflow the
+// paper advocates for orchestration control loops.
+#include <cstdio>
+
+#include "core/bmc.h"
+#include "core/checker.h"
+#include "core/liveness.h"
+#include "core/pdr.h"
+#include "scenarios/k8s_loops.h"
+#include "sim/fig2.h"
+
+int main() {
+  using namespace verdict;
+
+  // --- 1. Scheduler vs descheduler threshold conflict (§3.3, Fig. 2).
+  std::printf("[1] LowNodeUtilization descheduler vs scheduler\n");
+  for (const std::int64_t threshold : {std::int64_t{45}, std::int64_t{55}}) {
+    const auto scenario = scenarios::make_descheduler_oscillation(
+        threshold, "exk_dsc" + std::to_string(threshold));
+    const auto outcome = core::check_ltl_lasso(
+        scenario.system, scenario.eventually_settles,
+        {.max_depth = 8, .deadline = util::Deadline::after_seconds(120)});
+    std::printf("    threshold %ld%% vs 50%% pod: F(G settled) %s\n",
+                static_cast<long>(threshold), core::describe(outcome).c_str());
+  }
+  std::printf("    cross-check on the simulated cluster (30 min, 2-min cron):\n");
+  const auto sim_result = sim::run_fig2_experiment();
+  std::printf("    -> %d evictions, pod ping-pongs across workers", sim_result.evictions);
+  for (const int w : sim_result.workers_used) std::printf(" %d", w);
+  std::printf("\n\n");
+
+  // --- 2. Taint manager vs deployment controller (issue #75913).
+  std::printf("[2] taint manager vs deployment controller (issue 75913)\n");
+  const auto taint = scenarios::make_taint_loop("exk_taint");
+  const auto taint_outcome = core::check_ltl_lasso(
+      taint.system, taint.eventually_converges,
+      {.max_depth = 8, .deadline = util::Deadline::after_seconds(120)});
+  std::printf("    F(G(running == desired)): %s\n",
+              core::describe(taint_outcome).c_str());
+  if (taint_outcome.counterexample)
+    std::printf("    (create -> place-on-tainted -> terminate loop, exactly the issue)\n");
+  std::printf("\n");
+
+  // --- 3. Defective HPA vs rolling update (issue #90461).
+  std::printf("[3] HPA vs rolling-update controller (issue 90461)\n");
+  for (const bool defective : {true, false}) {
+    const auto hpa =
+        scenarios::make_hpa_surge(defective, defective ? "exk_hpa_bad" : "exk_hpa_ok");
+    core::CheckOptions options;
+    options.engine = defective ? core::Engine::kBmc : core::Engine::kPdr;
+    options.max_depth = 30;
+    options.deadline = util::Deadline::after_seconds(120);
+    const auto outcome = core::check(hpa.system, hpa.bounded_replicas, options);
+    std::printf("    %s HPA: G(current <= spec0 + surge) %s\n",
+                defective ? "defective" : "correct  ", core::describe(outcome).c_str());
+  }
+  std::printf("    (the defect only manifests through the RUC interaction — the\n"
+              "     combination is what the checker searches over)\n");
+  return 0;
+}

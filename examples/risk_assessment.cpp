@@ -1,0 +1,87 @@
+// risk_assessment — the paper's §5 "beyond traditional verification" ideas.
+//
+// Two analyses the paper sketches as future work, runnable here:
+//
+//   1. Blast radius of an operational event: exactly which monitored
+//      conditions become reachable only because link failures may occur, and
+//      how much of the state space a failure budget unlocks (BDD-exact).
+//
+//   2. Configuration risk for a metric-driven autoscaler: sweep the
+//      scale-down threshold and prove, per configuration, whether the
+//      controller stabilizes under steady load (liveness-to-safety proofs,
+//      not bounded search).
+#include <cstdio>
+
+#include "bdd/checker.h"
+#include "core/checker.h"
+#include "core/l2s.h"
+#include "ctrl/autoscaler.h"
+#include "mdl/compose.h"
+#include "net/failures.h"
+#include "net/reachability.h"
+#include "net/topology.h"
+
+int main() {
+  using namespace verdict;
+  using expr::Expr;
+
+  // --- 1. Blast radius of "up to k links may fail" on the Fig. 5 topology.
+  std::printf("[1] blast radius of link failures (test topology)\n");
+  const net::TestTopology tt = net::make_test_topology();
+  for (const std::int64_t budget : {std::int64_t{1}, std::int64_t{2}}) {
+    net::LinkFailureModel failures = net::make_link_failure_model(
+        tt.topo, "risk_net" + std::to_string(budget), budget);
+    const std::vector<mdl::Module> modules{failures.module};
+    ts::TransitionSystem sys = mdl::compose(modules);
+    sys.add_param_constraint(expr::mk_eq(failures.budget, expr::int_const(budget)));
+
+    const auto reach =
+        net::symbolic_reachability(tt.topo, tt.front_end, failures.link_up, 4);
+    std::vector<Expr> down;
+    for (const Expr up : failures.link_up) down.push_back(expr::mk_not(up));
+
+    std::vector<bdd::MonitoredPredicate> monitored;
+    for (std::size_t i = 0; i < tt.service_nodes.size(); ++i)
+      monitored.push_back({"s" + std::to_string(i + 1) + " unreachable",
+                           expr::mk_not(reach[tt.service_nodes[i]])});
+
+    const auto radius = bdd::blast_radius(sys, expr::any_of(down), monitored);
+    std::printf("    budget k=%ld: %.0f states without failures -> %.0f with "
+                "(%.0f unlocked)\n",
+                static_cast<long>(budget), radius.states_without_event,
+                radius.states_total, radius.newly_reachable_states());
+    std::printf("      newly reachable conditions:");
+    if (radius.newly_reachable.empty()) std::printf(" none");
+    for (const std::string& name : radius.newly_reachable)
+      std::printf(" [%s]", name.c_str());
+    std::printf("\n");
+  }
+  std::printf("    (k=1 cannot strand any service node; k=2 can cut the front-end\n"
+              "     off entirely — the Fig. 5 failure mode, found by set arithmetic\n"
+              "     instead of trace search)\n\n");
+
+  // --- 2. Autoscaler threshold risk: which scale-down thresholds stabilize?
+  std::printf("[2] autoscaler stabilization proofs under steady load\n");
+  for (const std::int64_t down_threshold :
+       {std::int64_t{50}, std::int64_t{80}, std::int64_t{120}}) {
+    ctrl::MetricAutoscalerConfig config;
+    config.max_replicas = 5;
+    config.max_load = 6;
+    config.scale_up_above_percent = 90;
+    config.scale_down_below_percent = down_threshold;
+    auto as = ctrl::make_metric_autoscaler(
+        "risk_as" + std::to_string(down_threshold), config);
+    const Expr at_rest = as.at_rest();
+    const std::vector<mdl::Module> modules{as.module};
+    const ts::TransitionSystem sys = mdl::compose(modules);
+
+    core::L2sOptions options;
+    options.deadline = util::Deadline::after_seconds(300);
+    const auto outcome = core::check_fg_via_safety(sys, at_rest, options);
+    std::printf("    scale up >90%%, down <%ld%%: F(G at_rest) %s\n",
+                static_cast<long>(down_threshold), core::describe(outcome).c_str());
+  }
+  std::printf("    (thresholds that overlap the scale-up band flap forever; the\n"
+              "     proof engine certifies the calm configurations outright)\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// vml_modeling — author infrastructure models as text.
+//
+// The paper envisions "a high-level modeling language that facilitates
+// modeling of control components and environment" compiled down to the model
+// checker's input. This example writes such a model in vml: a deployment
+// controller and a chaos-monkey-style environment acting on the same
+// replica count (the shared-state pattern: one module owns the state, each
+// controller contributes rules), with both LTL (checked via the SMT engines)
+// and CTL (checked via the BDD engine) properties declared next to the model.
+#include <cstdio>
+
+#include "bdd/checker.h"
+#include "core/checker.h"
+#include "ltl/parser.h"
+#include "mdl/vml.h"
+
+int main() {
+  using namespace verdict;
+
+  const char* model_text = R"vml(
+    // How many pods may die in total? A symbolic budget the checker picks.
+    param blast : 0..2;
+
+    // Shared cluster state: the deployment controller and the chaos monkey
+    // both manipulate the replica count, one action per step (interleaving).
+    module cluster {
+      var replicas : 0..5;
+      var kills    : 0..2;
+      init replicas = 3;
+      init kills = 0;
+
+      // Deployment controller: restore toward the spec'd 3 replicas.
+      rule deploy_scale_up when replicas < 3 { replicas' = replicas + 1; }
+
+      // Chaos environment: kill a pod while the blast budget lasts.
+      rule chaos_kill when kills < blast & replicas > 0 {
+        replicas' = replicas - 1;
+        kills'    = kills + 1;
+      }
+
+      stutter always;
+    }
+
+    system {
+      schedule interleaving;
+      ltl spec_bounded "G (cluster.replicas <= 3)";
+      ltl never_empty  "G (cluster.replicas > 0)";
+      ctl recoverable  "AG (EF (cluster.replicas = 3))";
+    }
+  )vml";
+
+  const mdl::VmlModel model = mdl::parse_vml(model_text);
+  std::printf("parsed %zu module(s); %zu LTL + %zu CTL properties\n\n",
+              model.modules.size(), model.ltl_properties.size(),
+              model.ctl_properties.size());
+
+  for (const auto& [name, property] : model.ltl_properties) {
+    core::CheckOptions options;
+    options.engine = core::Engine::kPdr;
+    options.deadline = util::Deadline::after_seconds(120);
+    const auto outcome = core::check(model.system, property, options);
+    std::printf("  ltl %-13s %s\n", name.c_str(), core::describe(outcome).c_str());
+    if (outcome.counterexample)
+      std::printf("      with %s\n", outcome.counterexample->params.str().c_str());
+  }
+  for (const auto& [name, property] : model.ctl_properties) {
+    const auto outcome = bdd::check_ctl_bdd(model.system, property);
+    std::printf("  ctl %-13s %s\n", name.c_str(), core::describe(outcome).c_str());
+  }
+
+  // Compiled vml is an ordinary ts::TransitionSystem: ad-hoc queries written
+  // as text compose with it directly.
+  const auto adhoc = core::check(
+      model.system, ltl::parse_ltl("G (cluster.kills <= blast)"),
+      {.engine = core::Engine::kPdr});
+  std::printf("  ltl %-13s %s\n", "kills_in_budget", core::describe(adhoc).c_str());
+
+  std::printf("\n(spec_bounded and kills_in_budget hold; never_empty holds because the\n"
+              " blast budget (<= 2) cannot drain 3 replicas faster than one at a time\n"
+              " while the deployment may restore between kills — but the checker, not\n"
+              " intuition, is what certifies it; recoverable holds via the BDD engine.)\n");
+  return 0;
+}

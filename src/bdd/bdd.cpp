@@ -1,0 +1,213 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace verdict::bdd {
+
+Manager::Manager() {
+  nodes_.push_back(Node{kTerminalLevel, 0, 0});  // zero
+  nodes_.push_back(Node{kTerminalLevel, 1, 1});  // one
+}
+
+std::uint32_t Manager::new_var() { return num_vars_++; }
+
+Bdd Manager::make(std::uint32_t level, Bdd low, Bdd high) {
+  if (low == high) return low;
+  const std::array<std::uint32_t, 3> key{level, low.id(), high.id()};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return Bdd(it->second);
+  const std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{level, low.id(), high.id()});
+  unique_.emplace(key, id);
+  return Bdd(id);
+}
+
+Bdd Manager::var(std::uint32_t level) {
+  if (level >= num_vars_) throw std::invalid_argument("Bdd var: unknown level");
+  return make(level, Bdd::zero(), Bdd::one());
+}
+
+Bdd Manager::nvar(std::uint32_t level) {
+  if (level >= num_vars_) throw std::invalid_argument("Bdd nvar: unknown level");
+  return make(level, Bdd::one(), Bdd::zero());
+}
+
+Bdd Manager::ite(Bdd f, Bdd g, Bdd h) {
+  // Terminal cases.
+  if (f.is_one()) return g;
+  if (f.is_zero()) return h;
+  if (g == h) return g;
+  if (g.is_one() && h.is_zero()) return f;
+
+  const std::array<std::uint32_t, 3> key{f.id(), g.id(), h.id()};
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return Bdd(it->second);
+
+  const std::uint32_t lf = nodes_[f.id()].level;
+  const std::uint32_t lg = g.is_terminal() ? kTerminalLevel : nodes_[g.id()].level;
+  const std::uint32_t lh = h.is_terminal() ? kTerminalLevel : nodes_[h.id()].level;
+  const std::uint32_t top = std::min({lf, lg, lh});
+
+  const auto cofactor = [&](Bdd x, bool positive) -> Bdd {
+    if (x.is_terminal() || nodes_[x.id()].level != top) return x;
+    return Bdd(positive ? nodes_[x.id()].high : nodes_[x.id()].low);
+  };
+
+  const Bdd low = ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const Bdd high = ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const Bdd result = make(top, low, high);
+  ite_cache_.emplace(key, result.id());
+  return result;
+}
+
+Bdd Manager::apply_xor(Bdd a, Bdd b) { return ite(a, apply_not(b), b); }
+
+namespace {
+// Sorted level set helper: true when `level` is in `levels`.
+bool contains_level(std::span<const std::uint32_t> levels, std::uint32_t level) {
+  return std::binary_search(levels.begin(), levels.end(), level);
+}
+}  // namespace
+
+Bdd Manager::exists(Bdd f, std::span<const std::uint32_t> levels) {
+  std::vector<std::uint32_t> sorted(levels.begin(), levels.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::unordered_map<std::uint32_t, Bdd> memo;
+  const std::function<Bdd(Bdd)> go = [&](Bdd x) -> Bdd {
+    if (x.is_terminal()) return x;
+    const auto it = memo.find(x.id());
+    if (it != memo.end()) return it->second;
+    const Node& n = nodes_[x.id()];
+    const Bdd low = go(Bdd(n.low));
+    const Bdd high = go(Bdd(n.high));
+    const Bdd result =
+        contains_level(sorted, n.level) ? apply_or(low, high) : make(n.level, low, high);
+    memo.emplace(x.id(), result);
+    return result;
+  };
+  return go(f);
+}
+
+Bdd Manager::forall(Bdd f, std::span<const std::uint32_t> levels) {
+  return apply_not(exists(apply_not(f), levels));
+}
+
+Bdd Manager::and_exists(Bdd f, Bdd g, std::span<const std::uint32_t> levels) {
+  std::vector<std::uint32_t> sorted(levels.begin(), levels.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::unordered_map<std::uint64_t, Bdd> memo;
+  const std::function<Bdd(Bdd, Bdd)> go = [&](Bdd a, Bdd b) -> Bdd {
+    if (a.is_zero() || b.is_zero()) return Bdd::zero();
+    if (a.is_one() && b.is_one()) return Bdd::one();
+    if (a.is_one()) return exists(b, sorted);
+    if (b.is_one()) return exists(a, sorted);
+    const std::uint64_t key = (static_cast<std::uint64_t>(a.id()) << 32) | b.id();
+    const auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+
+    const std::uint32_t la = nodes_[a.id()].level;
+    const std::uint32_t lb = nodes_[b.id()].level;
+    const std::uint32_t top = std::min(la, lb);
+    const Bdd a_low = la == top ? Bdd(nodes_[a.id()].low) : a;
+    const Bdd a_high = la == top ? Bdd(nodes_[a.id()].high) : a;
+    const Bdd b_low = lb == top ? Bdd(nodes_[b.id()].low) : b;
+    const Bdd b_high = lb == top ? Bdd(nodes_[b.id()].high) : b;
+
+    Bdd result;
+    if (contains_level(sorted, top)) {
+      const Bdd low = go(a_low, b_low);
+      if (low.is_one()) {
+        result = Bdd::one();  // short-circuit: exists already true
+      } else {
+        result = apply_or(low, go(a_high, b_high));
+      }
+    } else {
+      result = make(top, go(a_low, b_low), go(a_high, b_high));
+    }
+    memo.emplace(key, result);
+    return result;
+  };
+  return go(f, g);
+}
+
+Bdd Manager::rename(Bdd f, std::span<const std::uint32_t> perm) {
+  std::unordered_map<std::uint32_t, Bdd> memo;
+  const std::function<Bdd(Bdd)> go = [&](Bdd x) -> Bdd {
+    if (x.is_terminal()) return x;
+    const auto it = memo.find(x.id());
+    if (it != memo.end()) return it->second;
+    const Node& n = nodes_[x.id()];
+    const std::uint32_t target = n.level < perm.size() ? perm[n.level] : n.level;
+    const Bdd result = make(target, go(Bdd(n.low)), go(Bdd(n.high)));
+    memo.emplace(x.id(), result);
+    return result;
+  };
+  return go(f);
+}
+
+std::vector<bool> Manager::any_sat(Bdd f) {
+  if (f.is_zero()) throw std::invalid_argument("any_sat on the zero BDD");
+  std::vector<bool> assignment(num_vars_, false);
+  Bdd cur = f;
+  while (!cur.is_terminal()) {
+    const Node& n = nodes_[cur.id()];
+    if (!Bdd(n.high).is_zero()) {
+      assignment[n.level] = true;
+      cur = Bdd(n.high);
+    } else {
+      cur = Bdd(n.low);
+    }
+  }
+  return assignment;
+}
+
+double Manager::sat_count(Bdd f) {
+  std::unordered_map<std::uint32_t, double> memo;
+  const std::function<double(Bdd)> frac = [&](Bdd x) -> double {
+    if (x.is_zero()) return 0.0;
+    if (x.is_one()) return 1.0;
+    const auto it = memo.find(x.id());
+    if (it != memo.end()) return it->second;
+    const Node& n = nodes_[x.id()];
+    const double result = 0.5 * frac(Bdd(n.low)) + 0.5 * frac(Bdd(n.high));
+    memo.emplace(x.id(), result);
+    return result;
+  };
+  return frac(f) * std::pow(2.0, static_cast<double>(num_vars_));
+}
+
+std::size_t Manager::size(Bdd f) {
+  std::vector<std::uint32_t> stack{f.id()};
+  std::unordered_map<std::uint32_t, bool> seen;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (seen.contains(id)) continue;
+    seen.emplace(id, true);
+    ++count;
+    const Node& n = nodes_[id];
+    if (n.level != kTerminalLevel) {
+      stack.push_back(n.low);
+      stack.push_back(n.high);
+    }
+  }
+  return count;
+}
+
+bool Manager::eval(Bdd f, const std::vector<bool>& assignment) const {
+  Bdd cur = f;
+  while (!cur.is_terminal()) {
+    const Node& n = nodes_[cur.id()];
+    if (n.level >= assignment.size())
+      throw std::invalid_argument("Bdd eval: assignment too short");
+    cur = assignment[n.level] ? Bdd(n.high) : Bdd(n.low);
+  }
+  return cur.is_one();
+}
+
+}  // namespace verdict::bdd

@@ -1,0 +1,128 @@
+// A from-scratch reduced ordered binary decision diagram (ROBDD) package.
+//
+// This is the finite-domain symbolic backend (the BDD half of "BDD/SAT/SMT-
+// based symbolic model checking" that NuXMV provides): bit-blasted transition
+// systems become BDDs here, reachability is computed by image iteration, and
+// CTL properties by preimage fixpoints (bdd/ctl_checker.h).
+//
+// Nodes are hash-consed into an arena owned by a Manager; a Bdd handle is a
+// 4-byte index. Variables are identified by their level (the order is the
+// creation order — the encoder chooses interleaved current/next levels so
+// relational products stay small). Complement edges are not used; the unique
+// table plus an ite computed-cache give canonical forms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace verdict::bdd {
+
+class Manager;
+
+/// Handle to a node in a specific Manager. The terminal constants are
+/// Bdd::zero / Bdd::one in every manager.
+class Bdd {
+ public:
+  constexpr Bdd() noexcept : id_(0) {}
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] bool is_zero() const noexcept { return id_ == 0; }
+  [[nodiscard]] bool is_one() const noexcept { return id_ == 1; }
+  [[nodiscard]] bool is_terminal() const noexcept { return id_ <= 1; }
+
+  friend bool operator==(Bdd a, Bdd b) noexcept { return a.id_ == b.id_; }
+
+  static constexpr Bdd zero() noexcept { return Bdd(0); }
+  static constexpr Bdd one() noexcept { return Bdd(1); }
+
+ private:
+  friend class Manager;
+  explicit constexpr Bdd(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_;
+};
+
+class Manager {
+ public:
+  Manager();
+
+  /// Creates a fresh variable at the next level; returns its level index.
+  std::uint32_t new_var();
+  [[nodiscard]] std::uint32_t num_vars() const { return num_vars_; }
+
+  /// The BDD "level == value" for a single variable.
+  [[nodiscard]] Bdd var(std::uint32_t level);
+  [[nodiscard]] Bdd nvar(std::uint32_t level);
+
+  [[nodiscard]] Bdd ite(Bdd f, Bdd g, Bdd h);
+  [[nodiscard]] Bdd apply_and(Bdd a, Bdd b) { return ite(a, b, Bdd::zero()); }
+  [[nodiscard]] Bdd apply_or(Bdd a, Bdd b) { return ite(a, Bdd::one(), b); }
+  [[nodiscard]] Bdd apply_xor(Bdd a, Bdd b);
+  [[nodiscard]] Bdd apply_not(Bdd a) { return ite(a, Bdd::zero(), Bdd::one()); }
+  [[nodiscard]] Bdd implies(Bdd a, Bdd b) { return ite(a, b, Bdd::one()); }
+  [[nodiscard]] Bdd iff(Bdd a, Bdd b) { return ite(a, b, apply_not(b)); }
+
+  /// Existential / universal quantification over a set of levels.
+  [[nodiscard]] Bdd exists(Bdd f, std::span<const std::uint32_t> levels);
+  [[nodiscard]] Bdd forall(Bdd f, std::span<const std::uint32_t> levels);
+
+  /// Relational product: exists(levels, f & g) computed in one pass — the
+  /// workhorse of image computation.
+  [[nodiscard]] Bdd and_exists(Bdd f, Bdd g, std::span<const std::uint32_t> levels);
+
+  /// Renames variables: level l -> perm[l] (perm must be a permutation and
+  /// monotone on the support for correctness of this simple implementation;
+  /// the encoder's cur<->next shift by one level satisfies that).
+  [[nodiscard]] Bdd rename(Bdd f, std::span<const std::uint32_t> perm);
+
+  /// One satisfying assignment (level -> bool) of a non-zero BDD; levels not
+  /// in the support are set to false.
+  [[nodiscard]] std::vector<bool> any_sat(Bdd f);
+
+  /// Number of satisfying assignments over all num_vars() variables.
+  [[nodiscard]] double sat_count(Bdd f);
+
+  /// Nodes reachable from f (diagnostics / size metric).
+  [[nodiscard]] std::size_t size(Bdd f);
+
+  /// Total allocated nodes (diagnostics).
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Evaluates under a full assignment.
+  [[nodiscard]] bool eval(Bdd f, const std::vector<bool>& assignment) const;
+
+  // Node structure access (for traversals by the checker).
+  [[nodiscard]] std::uint32_t level_of(Bdd f) const { return nodes_[f.id()].level; }
+  [[nodiscard]] Bdd low_of(Bdd f) const { return Bdd(nodes_[f.id()].low); }
+  [[nodiscard]] Bdd high_of(Bdd f) const { return Bdd(nodes_[f.id()].high); }
+
+ private:
+  struct Node {
+    std::uint32_t level;  // kTerminalLevel for terminals
+    std::uint32_t low;
+    std::uint32_t high;
+  };
+  static constexpr std::uint32_t kTerminalLevel = 0xffffffffu;
+
+  Bdd make(std::uint32_t level, Bdd low, Bdd high);
+
+  struct TripleHash {
+    std::size_t operator()(const std::array<std::uint32_t, 3>& k) const noexcept {
+      std::size_t h = k[0];
+      h = h * 0x9e3779b1u + k[1];
+      h = h * 0x9e3779b1u + k[2];
+      return h;
+    }
+  };
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::array<std::uint32_t, 3>, std::uint32_t, TripleHash> unique_;
+  // Global cache for the hot ite path; quantification/rename memoize per call.
+  std::unordered_map<std::array<std::uint32_t, 3>, std::uint32_t, TripleHash> ite_cache_;
+  std::uint32_t num_vars_ = 0;
+};
+
+}  // namespace verdict::bdd

@@ -1,0 +1,76 @@
+// BDD-based model checking: invariant verification via forward reachability
+// and full CTL via backward fixpoints.
+//
+// Unlike the bounded SMT engines, reachability here is exact: the fixpoint of
+// the image operation is the complete set of reachable states, so a kHolds
+// answer is a proof and a kViolated answer comes with a shortest
+// counterexample trace (reconstructed from the onion rings of the BFS).
+// Requires finite domains (see bdd/encoder.h).
+#pragma once
+
+#include "bdd/encoder.h"
+#include "core/result.h"
+#include "ltl/ctl.h"
+#include "util/stopwatch.h"
+
+namespace verdict::bdd {
+
+struct BddOptions {
+  VarOrder order = VarOrder::kInterleaved;
+  util::Deadline deadline = util::Deadline::never();
+};
+
+/// Checks G(invariant) by forward reachability.
+[[nodiscard]] core::CheckOutcome check_invariant_bdd(const ts::TransitionSystem& ts,
+                                                     expr::Expr invariant,
+                                                     const BddOptions& options = {});
+
+/// Checks a CTL formula at all initial states. On violation the outcome's
+/// counterexample holds the single offending initial state (CTL
+/// counterexamples are trees, not paths).
+[[nodiscard]] core::CheckOutcome check_ctl_bdd(const ts::TransitionSystem& ts,
+                                               const ltl::CtlFormula& formula,
+                                               const BddOptions& options = {});
+
+/// The satisfaction set of a CTL formula as a BDD (for clients composing
+/// richer analyses, e.g. "which configurations can ever reach oscillation").
+[[nodiscard]] Bdd ctl_sat_set(SymbolicSystem& system, const ltl::CtlFormula& formula);
+
+/// Number of reachable states (diagnostics; exact via BDD sat-counting).
+[[nodiscard]] double count_reachable_states(const ts::TransitionSystem& ts,
+                                            const BddOptions& options = {});
+
+// --- Blast-radius analysis (paper §5: "help with risk assessment by
+// examining the blast radius of an operational event") -----------------------
+//
+// Compares exact reachability with and without an event (a state predicate —
+// a link failure, an external burst, a taint): how much of the state space
+// does the event unlock, and which monitored conditions become reachable
+// *only* because of it?
+
+struct MonitoredPredicate {
+  std::string name;
+  expr::Expr predicate;
+};
+
+struct BlastRadius {
+  double states_without_event = 0;  // reachable while G(!event)
+  double states_total = 0;          // reachable with the event allowed
+  /// Monitored predicates reachable only when the event may occur.
+  std::vector<std::string> newly_reachable;
+  /// Monitored predicates reachable even without the event.
+  std::vector<std::string> reachable_anyway;
+  /// Monitored predicates unreachable either way.
+  std::vector<std::string> unreachable;
+
+  [[nodiscard]] double newly_reachable_states() const {
+    return states_total - states_without_event;
+  }
+};
+
+/// Exact (BDD) blast-radius computation; requires finite domains.
+[[nodiscard]] BlastRadius blast_radius(const ts::TransitionSystem& ts, expr::Expr event,
+                                       std::span<const MonitoredPredicate> monitored,
+                                       const BddOptions& options = {});
+
+}  // namespace verdict::bdd

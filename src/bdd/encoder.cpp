@@ -1,0 +1,424 @@
+#include "bdd/encoder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace verdict::bdd {
+
+using expr::Expr;
+using expr::Kind;
+using expr::Type;
+
+namespace {
+
+int bits_for_range(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t count = static_cast<std::uint64_t>(hi - lo) + 1;
+  int bits = 0;
+  while ((1ULL << bits) < count) ++bits;
+  return bits == 0 ? 1 : bits;
+}
+
+[[noreturn]] void unsupported(const std::string& what) {
+  throw std::invalid_argument("BDD engine: " + what);
+}
+
+}  // namespace
+
+SymbolicSystem::SymbolicSystem(const ts::TransitionSystem& ts, VarOrder order) : ts_(ts) {
+  ts.validate();
+  if (!ts.is_finite_domain())
+    unsupported("system is not finite-domain (bool / bounded int variables only)");
+
+  // --- Layout: vars then params, each as a run of bits.
+  std::vector<Expr> all_vars(ts.vars().begin(), ts.vars().end());
+  for (Expr p : ts.params()) all_vars.push_back(p);
+
+  std::size_t total_bits = 0;
+  for (Expr v : all_vars) {
+    const Type t = v.type();
+    total_bits += t.is_bool() ? 1 : static_cast<std::size_t>(bits_for_range(t.lo, t.hi));
+  }
+
+  std::size_t bit_cursor = 0;
+  for (Expr v : all_vars) {
+    const Type t = v.type();
+    const int width = t.is_bool() ? 1 : bits_for_range(t.lo, t.hi);
+    VarBits vb;
+    vb.var = v;
+    vb.lo = t.is_bool() ? 0 : t.lo;
+    for (int b = 0; b < width; ++b) {
+      std::uint32_t cur_level;
+      std::uint32_t next_level;
+      if (order == VarOrder::kInterleaved) {
+        cur_level = static_cast<std::uint32_t>(2 * bit_cursor);
+        next_level = static_cast<std::uint32_t>(2 * bit_cursor + 1);
+      } else {
+        cur_level = static_cast<std::uint32_t>(bit_cursor);
+        next_level = static_cast<std::uint32_t>(total_bits + bit_cursor);
+      }
+      vb.cur.push_back(cur_level);
+      vb.next.push_back(next_level);
+      ++bit_cursor;
+    }
+    layout_index_.emplace(v.var(), layout_.size());
+    layout_.push_back(std::move(vb));
+  }
+
+  // Allocate manager variables (levels 0 .. 2*total_bits-1).
+  for (std::size_t i = 0; i < 2 * total_bits; ++i) manager_.new_var();
+
+  cur_to_next_.resize(2 * total_bits);
+  next_to_cur_.resize(2 * total_bits);
+  for (const VarBits& vb : layout_) {
+    for (std::size_t b = 0; b < vb.cur.size(); ++b) {
+      cur_levels_.push_back(vb.cur[b]);
+      next_levels_.push_back(vb.next[b]);
+      cur_to_next_[vb.cur[b]] = vb.next[b];
+      next_to_cur_[vb.next[b]] = vb.cur[b];
+      // Identity elsewhere so renames leave the other frame alone.
+      cur_to_next_[vb.next[b]] = vb.next[b];
+      next_to_cur_[vb.cur[b]] = vb.cur[b];
+    }
+  }
+
+  // --- State space: ranges + invariants + parameter constraints.
+  Bdd space = Bdd::one();
+  for (Expr v : all_vars) space = manager_.apply_and(space, encode_bool(ts::range_constraint(v), false));
+  space = manager_.apply_and(space, encode_bool(ts.invar_formula(), false));
+  space = manager_.apply_and(space, encode_bool(ts.param_formula(), false));
+  state_space_ = space;
+
+  // --- Init.
+  init_ = manager_.apply_and(state_space_, encode_bool(ts.init_formula(), false));
+
+  // --- Trans: declared relation, frozen params, legal on both frames.
+  Bdd t = encode_bool(ts.trans_formula(), false);
+  for (Expr p : ts_.params()) {
+    const VarBits& vb = layout_[layout_index_.at(p.var())];
+    for (std::size_t b = 0; b < vb.cur.size(); ++b) {
+      t = manager_.apply_and(
+          t, manager_.iff(manager_.var(vb.cur[b]), manager_.var(vb.next[b])));
+    }
+  }
+  t = manager_.apply_and(t, state_space_);
+  t = manager_.apply_and(t, manager_.rename(state_space_, cur_to_next_));
+  trans_ = t;
+}
+
+// --- Public operations --------------------------------------------------------
+
+Bdd SymbolicSystem::encode_predicate(Expr e) { return encode_bool(e, false); }
+
+Bdd SymbolicSystem::image(Bdd states) {
+  const Bdd next_form = manager_.and_exists(trans_, states, cur_levels_);
+  return manager_.rename(next_form, next_to_cur_);
+}
+
+Bdd SymbolicSystem::preimage(Bdd states) {
+  const Bdd as_next = manager_.rename(states, cur_to_next_);
+  return manager_.and_exists(trans_, as_next, next_levels_);
+}
+
+ts::State SymbolicSystem::decode(const std::vector<bool>& assignment) const {
+  ts::State out;
+  for (const VarBits& vb : layout_) {
+    std::int64_t unsigned_part = 0;
+    for (std::size_t b = 0; b < vb.cur.size(); ++b)
+      if (assignment[vb.cur[b]]) unsigned_part |= (std::int64_t{1} << b);
+    if (vb.var.type().is_bool()) {
+      out.set(vb.var, unsigned_part != 0);
+    } else {
+      out.set(vb.var, vb.lo + unsigned_part);
+    }
+  }
+  return out;
+}
+
+Bdd SymbolicSystem::encode_state(const ts::State& state) {
+  Bdd cube = Bdd::one();
+  for (const VarBits& vb : layout_) {
+    const auto value = state.get(vb.var);
+    if (!value) throw std::invalid_argument("encode_state: missing " + vb.var.var_name());
+    std::int64_t unsigned_part;
+    if (vb.var.type().is_bool()) {
+      unsigned_part = std::get<bool>(*value) ? 1 : 0;
+    } else {
+      unsigned_part = std::get<std::int64_t>(*value) - vb.lo;
+    }
+    for (std::size_t b = 0; b < vb.cur.size(); ++b) {
+      const bool bit = (unsigned_part >> b) & 1;
+      cube = manager_.apply_and(cube,
+                                bit ? manager_.var(vb.cur[b]) : manager_.nvar(vb.cur[b]));
+    }
+  }
+  return cube;
+}
+
+// --- Expression encoding -------------------------------------------------------
+
+SymbolicSystem::Encoded SymbolicSystem::encode(Expr e, bool next_frame) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(e.id()) << 1) | (next_frame ? 1 : 0);
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+
+  Encoded out;
+  switch (e.kind()) {
+    case Kind::kConstant: {
+      const expr::Value& v = e.constant_value();
+      if (std::holds_alternative<bool>(v)) {
+        out = std::get<bool>(v) ? Bdd::one() : Bdd::zero();
+      } else if (std::holds_alternative<std::int64_t>(v)) {
+        out = constant_bits(std::get<std::int64_t>(v));
+      } else {
+        unsupported("real-valued constants are not finite-domain");
+      }
+      break;
+    }
+    case Kind::kVariable: {
+      const auto idx = layout_index_.find(e.var());
+      if (idx == layout_index_.end())
+        unsupported("undeclared variable " + e.var_name());
+      const VarBits& vb = layout_[idx->second];
+      if (e.type().is_bool()) {
+        out = manager_.var(next_frame ? vb.next[0] : vb.cur[0]);
+      } else {
+        out = bits_of_var(vb, next_frame);
+      }
+      break;
+    }
+    case Kind::kNext: {
+      const Expr inner = e.kids()[0];
+      out = encode(inner, /*next_frame=*/true);
+      break;
+    }
+    case Kind::kNot:
+      out = manager_.apply_not(encode_bool(e.kids()[0], next_frame));
+      break;
+    case Kind::kAnd: {
+      Bdd acc = Bdd::one();
+      for (Expr k : e.kids()) acc = manager_.apply_and(acc, encode_bool(k, next_frame));
+      out = acc;
+      break;
+    }
+    case Kind::kOr: {
+      Bdd acc = Bdd::zero();
+      for (Expr k : e.kids()) acc = manager_.apply_or(acc, encode_bool(k, next_frame));
+      out = acc;
+      break;
+    }
+    case Kind::kIte: {
+      const Bdd c = encode_bool(e.kids()[0], next_frame);
+      if (e.type().is_bool()) {
+        out = manager_.ite(c, encode_bool(e.kids()[1], next_frame),
+                           encode_bool(e.kids()[2], next_frame));
+      } else {
+        out = ite_bits(c, encode_int(e.kids()[1], next_frame),
+                       encode_int(e.kids()[2], next_frame));
+      }
+      break;
+    }
+    case Kind::kEq: {
+      const Expr a = e.kids()[0];
+      if (a.type().is_bool()) {
+        out = manager_.iff(encode_bool(e.kids()[0], next_frame),
+                           encode_bool(e.kids()[1], next_frame));
+      } else {
+        out = compare_eq(encode_int(e.kids()[0], next_frame),
+                         encode_int(e.kids()[1], next_frame));
+      }
+      break;
+    }
+    case Kind::kLt:
+      out = compare_lt(encode_int(e.kids()[0], next_frame),
+                       encode_int(e.kids()[1], next_frame));
+      break;
+    case Kind::kLe:
+      out = compare_le(encode_int(e.kids()[0], next_frame),
+                       encode_int(e.kids()[1], next_frame));
+      break;
+    case Kind::kAdd: {
+      BitVec acc = constant_bits(0);
+      for (Expr k : e.kids()) acc = add(acc, encode_int(k, next_frame));
+      out = acc;
+      break;
+    }
+    case Kind::kMul: {
+      // Supported when at most one factor is non-constant (linear terms).
+      std::int64_t factor = 1;
+      std::optional<BitVec> symbolic;
+      for (Expr k : e.kids()) {
+        if (k.is_constant()) {
+          factor *= std::get<std::int64_t>(k.constant_value());
+        } else {
+          BitVec enc = encode_int(k, next_frame);
+          if (symbolic) unsupported("nonlinear integer multiplication");
+          symbolic = std::move(enc);
+        }
+      }
+      out = symbolic ? scale(*symbolic, factor) : constant_bits(factor);
+      break;
+    }
+    case Kind::kDiv:
+    case Kind::kToReal:
+      unsupported("real arithmetic is not finite-domain (use the SMT engines)");
+  }
+  memo_.emplace(key, out);
+  return out;
+}
+
+Bdd SymbolicSystem::encode_bool(Expr e, bool next_frame) {
+  if (!e.type().is_bool()) unsupported("expected boolean expression: " + e.str());
+  return std::get<Bdd>(encode(e, next_frame));
+}
+
+SymbolicSystem::BitVec SymbolicSystem::encode_int(Expr e, bool next_frame) {
+  if (!e.type().is_int()) unsupported("expected integer expression: " + e.str());
+  return std::get<BitVec>(encode(e, next_frame));
+}
+
+SymbolicSystem::BitVec SymbolicSystem::bits_of_var(const VarBits& vb, bool next_frame) {
+  BitVec out;
+  out.lo = vb.lo;
+  const auto& levels = next_frame ? vb.next : vb.cur;
+  out.bits.reserve(levels.size());
+  for (std::uint32_t level : levels) out.bits.push_back(manager_.var(level));
+  return out;
+}
+
+std::int64_t SymbolicSystem::max_value(const BitVec& v) {
+  return v.lo + ((std::int64_t{1} << v.bits.size()) - 1);
+}
+
+// a + constant c >= 0, as a pure bit operation (ripple carry with constant).
+SymbolicSystem::BitVec SymbolicSystem::add_constant(const BitVec& a, std::int64_t c) {
+  if (c == 0) return a;
+  if (c < 0) throw std::logic_error("add_constant: negative constant");
+  const std::int64_t max = max_value(a) - a.lo + c;
+  int width = 0;
+  while ((std::int64_t{1} << width) <= max) ++width;
+
+  BitVec out;
+  out.lo = a.lo;
+  Bdd carry = Bdd::zero();
+  for (int b = 0; b < width; ++b) {
+    const Bdd abit = b < static_cast<int>(a.bits.size()) ? a.bits[b] : Bdd::zero();
+    const Bdd cbit = ((c >> b) & 1) ? Bdd::one() : Bdd::zero();
+    const Bdd sum = manager_.apply_xor(manager_.apply_xor(abit, cbit), carry);
+    const Bdd new_carry = manager_.apply_or(
+        manager_.apply_and(abit, cbit),
+        manager_.apply_and(carry, manager_.apply_or(abit, cbit)));
+    out.bits.push_back(sum);
+    carry = new_carry;
+  }
+  return out;
+}
+
+SymbolicSystem::BitVec SymbolicSystem::add(const BitVec& a, const BitVec& b) {
+  if (a.bits.empty()) return BitVec{b.bits, b.lo + a.lo};
+  if (b.bits.empty()) return BitVec{a.bits, a.lo + b.lo};
+
+  const std::int64_t span = (max_value(a) - a.lo) + (max_value(b) - b.lo);
+  int width = 0;
+  while ((std::int64_t{1} << width) <= span) ++width;
+  if (width == 0) width = 1;
+
+  BitVec out;
+  out.lo = a.lo + b.lo;
+  Bdd carry = Bdd::zero();
+  for (int i = 0; i < width; ++i) {
+    const Bdd abit = i < static_cast<int>(a.bits.size()) ? a.bits[i] : Bdd::zero();
+    const Bdd bbit = i < static_cast<int>(b.bits.size()) ? b.bits[i] : Bdd::zero();
+    const Bdd sum = manager_.apply_xor(manager_.apply_xor(abit, bbit), carry);
+    const Bdd new_carry = manager_.apply_or(
+        manager_.apply_and(abit, bbit),
+        manager_.apply_and(carry, manager_.apply_or(abit, bbit)));
+    out.bits.push_back(sum);
+    carry = new_carry;
+  }
+  return out;
+}
+
+SymbolicSystem::BitVec SymbolicSystem::negate(const BitVec& a) {
+  // value = lo + u, u in [0, 2^w - 1]  =>  -value = -(lo + maxu) + (maxu - u)
+  // and (maxu - u) is the bitwise complement.
+  BitVec out;
+  out.lo = -max_value(a);
+  out.bits.reserve(a.bits.size());
+  for (const Bdd& bit : a.bits) out.bits.push_back(manager_.apply_not(bit));
+  return out;
+}
+
+SymbolicSystem::BitVec SymbolicSystem::scale(const BitVec& a, std::int64_t factor) {
+  if (factor == 0) return constant_bits(0);
+  if (factor < 0) return scale(negate(a), -factor);
+  if (factor == 1) return a;
+  // Shift-and-add on the unsigned part; the offset scales directly.
+  BitVec acc = constant_bits(0);
+  BitVec shifted = a;
+  shifted.lo = 0;  // scale the unsigned part only
+  std::int64_t f = factor;
+  while (f > 0) {
+    if (f & 1) acc = add(acc, shifted);
+    f >>= 1;
+    if (f > 0) {
+      shifted.bits.insert(shifted.bits.begin(), Bdd::zero());  // *2
+    }
+  }
+  acc.lo += a.lo * factor;
+  return acc;
+}
+
+SymbolicSystem::BitVec SymbolicSystem::ite_bits(Bdd cond, const BitVec& a, const BitVec& b) {
+  auto [x, y] = align(a, b);
+  BitVec out;
+  out.lo = x.lo;
+  out.bits.reserve(x.bits.size());
+  for (std::size_t i = 0; i < x.bits.size(); ++i)
+    out.bits.push_back(manager_.ite(cond, x.bits[i], y.bits[i]));
+  return out;
+}
+
+std::pair<SymbolicSystem::BitVec, SymbolicSystem::BitVec> SymbolicSystem::align(
+    const BitVec& a, const BitVec& b) {
+  BitVec x = a;
+  BitVec y = b;
+  const std::int64_t lo = std::min(x.lo, y.lo);
+  if (x.lo > lo) x = add_constant(BitVec{x.bits, lo}, x.lo - lo);
+  if (y.lo > lo) y = add_constant(BitVec{y.bits, lo}, y.lo - lo);
+  x.lo = lo;
+  y.lo = lo;
+  const std::size_t width = std::max(x.bits.size(), y.bits.size());
+  while (x.bits.size() < width) x.bits.push_back(Bdd::zero());
+  while (y.bits.size() < width) y.bits.push_back(Bdd::zero());
+  return {std::move(x), std::move(y)};
+}
+
+Bdd SymbolicSystem::compare_eq(const BitVec& a, const BitVec& b) {
+  auto [x, y] = align(a, b);
+  Bdd acc = Bdd::one();
+  for (std::size_t i = 0; i < x.bits.size(); ++i)
+    acc = manager_.apply_and(acc, manager_.iff(x.bits[i], y.bits[i]));
+  return acc;
+}
+
+Bdd SymbolicSystem::compare_lt(const BitVec& a, const BitVec& b) {
+  auto [x, y] = align(a, b);
+  // MSB-first unsigned comparison.
+  Bdd lt = Bdd::zero();
+  Bdd eq = Bdd::one();
+  for (std::size_t r = x.bits.size(); r-- > 0;) {
+    const Bdd xa = x.bits[r];
+    const Bdd yb = y.bits[r];
+    lt = manager_.apply_or(lt,
+                           manager_.apply_and(eq, manager_.apply_and(manager_.apply_not(xa), yb)));
+    eq = manager_.apply_and(eq, manager_.iff(xa, yb));
+  }
+  return lt;
+}
+
+Bdd SymbolicSystem::compare_le(const BitVec& a, const BitVec& b) {
+  return manager_.apply_or(compare_lt(a, b), compare_eq(a, b));
+}
+
+}  // namespace verdict::bdd

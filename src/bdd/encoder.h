@@ -1,0 +1,110 @@
+// Boolean encoding of finite-domain transition systems.
+//
+// Bit-blasts a ts::TransitionSystem whose variables are all booleans or
+// range-bounded integers into BDDs: each integer variable becomes
+// ceil(log2(range)) bits in offset-binary (value - lo), arithmetic becomes
+// ripple-carry adder circuits, and comparisons become MSB-first comparator
+// circuits. Parameters are folded in as frozen state variables (next(p) = p),
+// so reachability analysis explores all parameter values simultaneously —
+// the BDD analogue of the SMT engines' rigid constants.
+//
+// Variable ordering is chosen at construction: kInterleaved puts each bit's
+// next-state copy adjacent to its current-state copy (good for relational
+// products); kSequential puts all current bits before all next bits (the
+// classic bad ordering — kept as an ablation knob, see bench/micro_engines).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "expr/expr.h"
+#include "ts/transition_system.h"
+
+namespace verdict::bdd {
+
+enum class VarOrder : std::uint8_t { kInterleaved, kSequential };
+
+class SymbolicSystem {
+ public:
+  SymbolicSystem(const ts::TransitionSystem& ts, VarOrder order = VarOrder::kInterleaved);
+
+  [[nodiscard]] Manager& manager() { return manager_; }
+
+  /// Legal-state set: declared ranges + invariant constraints + parameter
+  /// constraints (current-state levels).
+  [[nodiscard]] Bdd state_space() const { return state_space_; }
+  /// Initial states (subset of state_space()).
+  [[nodiscard]] Bdd init() const { return init_; }
+  /// Transition relation restricted to legal current and next states, with
+  /// parameters frozen.
+  [[nodiscard]] Bdd trans() const { return trans_; }
+
+  /// Encodes a boolean predicate over current-state variables.
+  [[nodiscard]] Bdd encode_predicate(expr::Expr e);
+
+  /// Successors / predecessors of a current-state set.
+  [[nodiscard]] Bdd image(Bdd states);
+  [[nodiscard]] Bdd preimage(Bdd states);
+
+  /// Concrete state (vars + params) from a satisfying assignment.
+  [[nodiscard]] ts::State decode(const std::vector<bool>& assignment) const;
+  /// Cube (current-state levels) for a concrete state.
+  [[nodiscard]] Bdd encode_state(const ts::State& state);
+
+  [[nodiscard]] const std::vector<std::uint32_t>& cur_levels() const { return cur_levels_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& next_levels() const {
+    return next_levels_;
+  }
+  [[nodiscard]] const ts::TransitionSystem& system() const { return ts_; }
+
+ private:
+  // An integer-valued circuit: value = lo + unsigned(bits), LSB first.
+  struct BitVec {
+    std::vector<Bdd> bits;
+    std::int64_t lo = 0;
+  };
+  using Encoded = std::variant<Bdd, BitVec>;
+
+  struct VarBits {
+    expr::Expr var;
+    std::vector<std::uint32_t> cur;   // levels, LSB first
+    std::vector<std::uint32_t> next;  // parallel to cur
+    std::int64_t lo = 0;
+  };
+
+  Encoded encode(expr::Expr e, bool next_frame);
+  Bdd encode_bool(expr::Expr e, bool next_frame);
+  BitVec encode_int(expr::Expr e, bool next_frame);
+
+  BitVec bits_of_var(const VarBits& vb, bool next_frame);
+  static std::int64_t max_value(const BitVec& v);
+  BitVec add(const BitVec& a, const BitVec& b);
+  BitVec negate(const BitVec& a);
+  BitVec scale(const BitVec& a, std::int64_t factor);
+  BitVec ite_bits(Bdd cond, const BitVec& a, const BitVec& b);
+  Bdd compare_lt(const BitVec& a, const BitVec& b);
+  Bdd compare_le(const BitVec& a, const BitVec& b);
+  Bdd compare_eq(const BitVec& a, const BitVec& b);
+  // Aligns to a common offset and width (returns copies).
+  std::pair<BitVec, BitVec> align(const BitVec& a, const BitVec& b);
+  BitVec add_constant(const BitVec& a, std::int64_t c);
+  static BitVec constant_bits(std::int64_t c) { return BitVec{{}, c}; }
+
+  const ts::TransitionSystem& ts_;
+  Manager manager_;
+  std::vector<VarBits> layout_;  // vars then params
+  std::unordered_map<expr::VarId, std::size_t> layout_index_;
+  std::vector<std::uint32_t> cur_levels_;
+  std::vector<std::uint32_t> next_levels_;
+  std::vector<std::uint32_t> cur_to_next_;  // rename permutations
+  std::vector<std::uint32_t> next_to_cur_;
+  Bdd state_space_;
+  Bdd init_;
+  Bdd trans_;
+  std::unordered_map<std::uint64_t, Encoded> memo_;  // (expr id, frame)
+};
+
+}  // namespace verdict::bdd

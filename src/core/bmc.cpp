@@ -1,0 +1,156 @@
+#include "core/bmc.h"
+
+#include "smt/solver.h"
+#include "util/log.h"
+
+namespace verdict::core {
+
+using expr::Expr;
+
+namespace {
+
+// Asserts everything that holds in every state at `frame`: the declared
+// invariant constraints and the declared variable ranges.
+void assert_state_constraints(smt::Solver& solver, const ts::TransitionSystem& ts,
+                              int frame) {
+  solver.add(ts.invar_formula(), frame);
+  for (Expr v : ts.vars()) solver.add(ts::range_constraint(v), frame);
+}
+
+void assert_param_constraints(smt::Solver& solver, const ts::TransitionSystem& ts) {
+  solver.add(ts.param_formula(), 0);
+  for (Expr p : ts.params()) solver.add(ts::range_constraint(p), 0);
+}
+
+ts::Trace extract_trace(smt::Solver& solver, const ts::TransitionSystem& ts, int depth) {
+  ts::Trace trace;
+  trace.params = solver.state_at(ts.params(), 0);
+  for (int i = 0; i <= depth; ++i) trace.states.push_back(solver.state_at(ts.vars(), i));
+  return trace;
+}
+
+CheckOutcome run_incremental(const ts::TransitionSystem& ts, Expr invariant,
+                             const BmcOptions& options) {
+  util::Stopwatch watch;
+  CheckOutcome outcome;
+  outcome.stats.engine = "bmc";
+
+  smt::Solver solver;
+  std::set<expr::VarId> rigid;
+  for (Expr p : ts.params()) rigid.insert(p.var());
+  solver.set_rigid(rigid);
+  assert_param_constraints(solver, ts);
+  solver.add(ts.init_formula(), 0);
+  assert_state_constraints(solver, ts, 0);
+
+  for (int k = 0; k <= options.max_depth; ++k) {
+    if (options.deadline.expired()) {
+      outcome.verdict = Verdict::kTimeout;
+      outcome.message = "deadline expired before depth " + std::to_string(k);
+      break;
+    }
+    if (k > 0) {
+      solver.add(ts.trans_formula(), k - 1);
+      assert_state_constraints(solver, ts, k);
+    }
+    solver.push();
+    solver.add(expr::mk_not(invariant), k);
+    const smt::CheckResult r = solver.check(options.deadline);
+    if (r == smt::CheckResult::kSat) {
+      solver.refine_real_model(ts.params(), 0, options.deadline);
+      outcome.verdict = Verdict::kViolated;
+      outcome.counterexample = extract_trace(solver, ts, k);
+      outcome.stats.depth_reached = k;
+      solver.pop();
+      outcome.stats.solver_checks = solver.num_checks();
+      outcome.stats.seconds = watch.elapsed_seconds();
+      return outcome;
+    }
+    solver.pop();
+    if (r == smt::CheckResult::kUnknown) {
+      outcome.verdict =
+          options.deadline.expired() ? Verdict::kTimeout : Verdict::kUnknown;
+      outcome.message = "solver returned unknown at depth " + std::to_string(k);
+      outcome.stats.depth_reached = k;
+      outcome.stats.solver_checks = solver.num_checks();
+      outcome.stats.seconds = watch.elapsed_seconds();
+      return outcome;
+    }
+    outcome.stats.depth_reached = k;
+  }
+  if (outcome.verdict == Verdict::kUnknown && !options.deadline.expired())
+    outcome.verdict = Verdict::kBoundReached;
+  if (options.deadline.expired() && outcome.verdict != Verdict::kTimeout) {
+    // Loop completed exactly at the deadline; report the bound result.
+    outcome.verdict = Verdict::kBoundReached;
+  }
+  outcome.stats.solver_checks = solver.num_checks();
+  outcome.stats.seconds = watch.elapsed_seconds();
+  return outcome;
+}
+
+CheckOutcome run_monolithic(const ts::TransitionSystem& ts, Expr invariant,
+                            const BmcOptions& options) {
+  // Ablation variant: rebuilds the solver and re-asserts the whole unrolling
+  // at every depth. Same verdicts, strictly more work.
+  util::Stopwatch watch;
+  CheckOutcome outcome;
+  outcome.stats.engine = "bmc-monolithic";
+  std::size_t checks = 0;
+
+  for (int k = 0; k <= options.max_depth; ++k) {
+    if (options.deadline.expired()) {
+      outcome.verdict = Verdict::kTimeout;
+      outcome.message = "deadline expired before depth " + std::to_string(k);
+      break;
+    }
+    smt::Solver solver;
+    std::set<expr::VarId> rigid;
+    for (Expr p : ts.params()) rigid.insert(p.var());
+    solver.set_rigid(rigid);
+    assert_param_constraints(solver, ts);
+    solver.add(ts.init_formula(), 0);
+    for (int i = 0; i <= k; ++i) {
+      assert_state_constraints(solver, ts, i);
+      if (i > 0) solver.add(ts.trans_formula(), i - 1);
+    }
+    solver.add(expr::mk_not(invariant), k);
+    const smt::CheckResult r = solver.check(options.deadline);
+    checks += solver.num_checks();
+    if (r == smt::CheckResult::kSat) {
+      solver.refine_real_model(ts.params(), 0, options.deadline);
+      outcome.verdict = Verdict::kViolated;
+      outcome.counterexample = extract_trace(solver, ts, k);
+      outcome.stats.depth_reached = k;
+      outcome.stats.solver_checks = checks;
+      outcome.stats.seconds = watch.elapsed_seconds();
+      return outcome;
+    }
+    if (r == smt::CheckResult::kUnknown) {
+      outcome.verdict =
+          options.deadline.expired() ? Verdict::kTimeout : Verdict::kUnknown;
+      outcome.stats.depth_reached = k;
+      outcome.stats.solver_checks = checks;
+      outcome.stats.seconds = watch.elapsed_seconds();
+      return outcome;
+    }
+    outcome.stats.depth_reached = k;
+  }
+  if (outcome.verdict == Verdict::kUnknown) outcome.verdict = Verdict::kBoundReached;
+  outcome.stats.solver_checks = checks;
+  outcome.stats.seconds = watch.elapsed_seconds();
+  return outcome;
+}
+
+}  // namespace
+
+CheckOutcome check_invariant_bmc(const ts::TransitionSystem& ts, Expr invariant,
+                                 const BmcOptions& options) {
+  if (!invariant.valid() || !invariant.type().is_bool())
+    throw std::invalid_argument("check_invariant_bmc: invariant must be boolean");
+  ts.validate();
+  return options.incremental ? run_incremental(ts, invariant, options)
+                             : run_monolithic(ts, invariant, options);
+}
+
+}  // namespace verdict::core

@@ -1,0 +1,129 @@
+#include "core/checker.h"
+
+#include <sstream>
+
+#include "core/bmc.h"
+#include "core/explicit.h"
+#include "core/kinduction.h"
+#include "core/l2s.h"
+#include "core/liveness.h"
+#include "core/pdr.h"
+#include "ltl/parser.h"
+#include "ltl/trace_eval.h"
+#include "util/log.h"
+
+namespace verdict::core {
+
+namespace {
+
+CheckOutcome check_safety(const ts::TransitionSystem& ts, expr::Expr invariant,
+                          const CheckOptions& options) {
+  switch (options.engine) {
+    case Engine::kBmc: {
+      BmcOptions o;
+      o.max_depth = options.max_depth;
+      o.deadline = options.deadline;
+      return check_invariant_bmc(ts, invariant, o);
+    }
+    case Engine::kKInduction: {
+      KInductionOptions o;
+      o.max_k = options.max_depth;
+      o.deadline = options.deadline;
+      return check_invariant_kinduction(ts, invariant, o);
+    }
+    case Engine::kExplicit: {
+      ExplicitOptions o;
+      o.deadline = options.deadline;
+      return check_invariant_explicit(ts, invariant, o);
+    }
+    case Engine::kAuto:
+    case Engine::kPdr: {
+      PdrOptions o;
+      o.max_frames = options.max_depth;
+      o.deadline = options.deadline;
+      return check_invariant_pdr(ts, invariant, o);
+    }
+    case Engine::kLtlLasso:
+      break;  // fall through to the caller's lasso path
+  }
+  LivenessOptions o;
+  o.max_depth = options.max_depth;
+  o.deadline = options.deadline;
+  return check_ltl_lasso(ts, ltl::G(ltl::atom(invariant)), o);
+}
+
+}  // namespace
+
+CheckOutcome check(const ts::TransitionSystem& ts, const ltl::Formula& property,
+                   const CheckOptions& options) {
+  if (ltl::is_invariant_property(property) && options.engine != Engine::kLtlLasso)
+    return check_safety(ts, ltl::invariant_atom(property), options);
+
+  // Stabilization/recurrence shapes: decide outright (proof or lasso) via the
+  // liveness-to-safety reduction — complete only on finite domains, so
+  // infinite-domain (real-valued) systems stay on the bounded lasso engine.
+  if (options.engine == Engine::kAuto && ts.is_finite_domain() &&
+      (ltl::is_fg_property(property) || ltl::is_gf_property(property))) {
+    L2sOptions l2s;
+    l2s.max_depth = options.max_depth > 0 ? options.max_depth * 4 : 200;
+    l2s.deadline = options.deadline;
+    return ltl::is_fg_property(property)
+               ? check_fg_via_safety(ts, ltl::stabilization_atom(property), l2s)
+               : check_gf_via_safety(ts, ltl::stabilization_atom(property), l2s);
+  }
+
+  if (options.engine == Engine::kExplicit)
+    throw std::invalid_argument(
+        "explicit engine only supports G(atom) safety properties; use "
+        "check_ctl_explicit for branching-time properties");
+
+  LivenessOptions o;
+  o.max_depth = options.max_depth;
+  o.deadline = options.deadline;
+  return check_ltl_lasso(ts, property, o);
+}
+
+CheckOutcome check(const ts::TransitionSystem& ts, std::string_view property_text,
+                   const CheckOptions& options) {
+  return check(ts, ltl::parse_ltl(property_text), options);
+}
+
+bool confirm_counterexample(const ts::TransitionSystem& ts, const ltl::Formula& property,
+                            const CheckOutcome& outcome, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  if (outcome.verdict != Verdict::kViolated) return fail("outcome is not a violation");
+  if (!outcome.counterexample) return fail("violation without a trace");
+  const ts::Trace& trace = *outcome.counterexample;
+
+  std::string conform_error;
+  if (!ts.trace_conforms(trace, &conform_error))
+    return fail("trace is not an execution: " + conform_error);
+
+  if (trace.is_lasso()) {
+    if (ltl::holds_on_lasso(property, ts, trace))
+      return fail("lasso trace satisfies the property it should refute");
+    return true;
+  }
+
+  // Finite trace: only meaningful for invariant violations.
+  if (!ltl::is_invariant_property(property))
+    return fail("finite trace for a non-invariant property");
+  const expr::Expr atom = ltl::invariant_atom(property);
+  if (expr::eval_bool(atom, ts.env_of(trace.states.back(), trace.params)))
+    return fail("final trace state satisfies the invariant it should violate");
+  return true;
+}
+
+std::string describe(const CheckOutcome& outcome) {
+  std::ostringstream os;
+  os << verdict_name(outcome.verdict) << " in " << outcome.stats.seconds << "s";
+  if (outcome.stats.depth_reached >= 0) os << " at depth " << outcome.stats.depth_reached;
+  os << " [" << outcome.stats.engine << ", " << outcome.stats.solver_checks << " checks]";
+  if (!outcome.message.empty()) os << " — " << outcome.message;
+  return os.str();
+}
+
+}  // namespace verdict::core

@@ -1,0 +1,61 @@
+// Top-level model-checking façade — the library's main entry point.
+//
+// Mirrors the paper's Figure 4 workflow: a parametric transition system
+// (control-component models + environment models), a temporal property, and
+// parameter constraints go in; a verification verdict, a counterexample
+// trace with concrete parameter values, or suggested safe parameters
+// (core/synth.h) come out.
+//
+//   ts::TransitionSystem system = ...;            // or via mdl:: composition
+//   ltl::Formula p = ltl::parse_ltl("G (converged -> available >= m)");
+//   core::CheckOutcome r = core::check(system, p);
+//   if (r.violated()) std::cout << r.counterexample->str();
+#pragma once
+
+#include "core/result.h"
+#include "ltl/ltl.h"
+#include "ts/transition_system.h"
+#include "util/stopwatch.h"
+
+namespace verdict::core {
+
+enum class Engine : std::uint8_t {
+  kAuto,        // safety -> PDR with BMC fallback; liveness -> lasso BMC
+  kBmc,         // bounded search only (finds violations, never proves)
+  kKInduction,  // bounded search + inductive proof
+  kPdr,         // IC3-style unbounded proof
+  kExplicit,    // brute-force enumeration (finite domains)
+  kLtlLasso,    // bounded lasso search for arbitrary LTL
+};
+
+struct CheckOptions {
+  Engine engine = Engine::kAuto;
+  /// Unroll depth (BMC/lasso), induction bound, or PDR frame limit.
+  int max_depth = 50;
+  util::Deadline deadline = util::Deadline::never();
+};
+
+/// Checks an LTL property. G(atom) properties route to the safety engines;
+/// everything else to the lasso engine (which can only find violations).
+[[nodiscard]] CheckOutcome check(const ts::TransitionSystem& ts,
+                                 const ltl::Formula& property,
+                                 const CheckOptions& options = {});
+
+/// Parses `property_text` with ltl::parse_ltl and checks it.
+[[nodiscard]] CheckOutcome check(const ts::TransitionSystem& ts,
+                                 std::string_view property_text,
+                                 const CheckOptions& options = {});
+
+/// Independently validates a kViolated outcome: the trace must be a genuine
+/// execution of `ts` (ts::trace_conforms) and must falsify `property`
+/// (final-state evaluation for safety, ltl::holds_on_lasso for lassos).
+/// Returns true when the counterexample is confirmed.
+[[nodiscard]] bool confirm_counterexample(const ts::TransitionSystem& ts,
+                                          const ltl::Formula& property,
+                                          const CheckOutcome& outcome,
+                                          std::string* error = nullptr);
+
+/// One-line human-readable summary ("violated in 0.12s at depth 4 [bmc]").
+[[nodiscard]] std::string describe(const CheckOutcome& outcome);
+
+}  // namespace verdict::core

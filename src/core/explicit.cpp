@@ -1,0 +1,314 @@
+#include "core/explicit.h"
+
+#include <deque>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace verdict::core {
+
+using expr::Expr;
+using expr::Value;
+using expr::VarId;
+
+namespace {
+
+// All values a finite-domain variable can take.
+std::vector<Value> domain_of(Expr var) {
+  const expr::Type t = var.type();
+  if (t.is_bool()) return {Value{false}, Value{true}};
+  if (t.is_int() && t.bounded) {
+    std::vector<Value> out;
+    out.reserve(static_cast<std::size_t>(t.hi - t.lo + 1));
+    for (std::int64_t v = t.lo; v <= t.hi; ++v) out.push_back(v);
+    return out;
+  }
+  throw std::invalid_argument("explicit engine requires finite domains; variable " +
+                              var.var_name() + " is unbounded");
+}
+
+// Enumerates assignments over `vars`, invoking `yield` for each; `yield`
+// returns false to stop enumeration early.
+void enumerate_assignments(std::span<const Expr> vars,
+                           const std::function<bool(const ts::State&)>& yield) {
+  std::vector<std::vector<Value>> domains;
+  domains.reserve(vars.size());
+  for (Expr v : vars) domains.push_back(domain_of(v));
+
+  std::vector<std::size_t> cursor(vars.size(), 0);
+  while (true) {
+    ts::State s;
+    for (std::size_t i = 0; i < vars.size(); ++i) s.set(vars[i], domains[i][cursor[i]]);
+    if (!yield(s)) return;
+    std::size_t i = 0;
+    for (; i < vars.size(); ++i) {
+      if (++cursor[i] < domains[i].size()) break;
+      cursor[i] = 0;
+    }
+    if (i == vars.size()) return;  // wrapped around: done
+    if (vars.empty()) return;
+  }
+}
+
+std::string state_key(const ts::State& s) {
+  // States always carry the same variable set in the same (map) order, so a
+  // flat rendering is a sound hash key.
+  return s.str();
+}
+
+}  // namespace
+
+ExplicitStateSpace::ExplicitStateSpace(const ts::TransitionSystem& ts, ts::State params,
+                                       const ExplicitOptions& options)
+    : ts_(ts), params_(std::move(params)) {
+  if (!ts.is_finite_domain())
+    throw std::invalid_argument("ExplicitStateSpace: system is not finite-domain");
+
+  const Expr init = ts.init_formula();
+  const Expr invar = ts.invar_formula();
+  const Expr trans = ts.trans_formula();
+
+  std::unordered_map<std::string, std::size_t> index_of;
+  std::deque<std::size_t> frontier;
+
+  const auto add_state = [&](const ts::State& s,
+                             std::size_t parent) -> std::optional<std::size_t> {
+    const std::string key = state_key(s);
+    const auto it = index_of.find(key);
+    if (it != index_of.end()) return it->second;
+    if (states_.size() >= options.max_states) {
+      truncated_ = true;
+      return std::nullopt;
+    }
+    const std::size_t idx = states_.size();
+    states_.push_back(s);
+    successors_.emplace_back();
+    parent_.push_back(parent);
+    index_of.emplace(key, idx);
+    frontier.push_back(idx);
+    return idx;
+  };
+
+  // Initial states: all assignments satisfying init && invar.
+  enumerate_assignments(ts.vars(), [&](const ts::State& s) {
+    const expr::Env env = ts.env_of(s, params_);
+    if (expr::eval_bool(init, env) && expr::eval_bool(invar, env)) {
+      const auto idx = add_state(s, SIZE_MAX);
+      if (idx) initial_.push_back(*idx);
+    }
+    return !truncated_ && !options.deadline.expired();
+  });
+
+  // BFS: for each discovered state, enumerate candidate successors.
+  while (!frontier.empty() && !truncated_ && !options.deadline.expired()) {
+    const std::size_t cur = frontier.front();
+    frontier.pop_front();
+    const ts::State from = states_[cur];  // copy: states_ may reallocate
+    enumerate_assignments(ts.vars(), [&](const ts::State& to) {
+      const expr::Env pair_env = ts_.env_of_step(from, to, params_);
+      if (expr::eval_bool(trans, pair_env) &&
+          expr::eval_bool(invar, ts_.env_of(to, params_))) {
+        const auto idx = add_state(to, cur);
+        if (idx) successors_[cur].push_back(*idx);
+      }
+      return !truncated_ && !options.deadline.expired();
+    });
+  }
+}
+
+bool ExplicitStateSpace::holds_at(Expr predicate, std::size_t index) const {
+  return expr::eval_bool(predicate, ts_.env_of(states_.at(index), params_));
+}
+
+std::vector<std::size_t> ExplicitStateSpace::shortest_path_to(Expr predicate) const {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (!holds_at(predicate, i)) continue;
+    // Walk the BFS tree back to an initial state. BFS order guarantees the
+    // first matching index has a minimal-depth tree path.
+    std::vector<std::size_t> path;
+    for (std::size_t cur = i; cur != SIZE_MAX; cur = parent_[cur]) path.push_back(cur);
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+  return {};
+}
+
+std::vector<bool> ExplicitStateSpace::ctl_sat_set(const ltl::CtlFormula& formula) const {
+  using ltl::CtlOp;
+  const std::size_t n = states_.size();
+  const ltl::CtlFormula f = formula;  // evaluated as-is, recursively
+  switch (f.op()) {
+    case CtlOp::kAtom: {
+      std::vector<bool> out(n);
+      for (std::size_t i = 0; i < n; ++i) out[i] = holds_at(f.atom(), i);
+      return out;
+    }
+    case CtlOp::kNot: {
+      std::vector<bool> a = ctl_sat_set(f.kids()[0]);
+      for (std::size_t i = 0; i < n; ++i) a[i] = !a[i];
+      return a;
+    }
+    case CtlOp::kAnd: {
+      std::vector<bool> a = ctl_sat_set(f.kids()[0]);
+      const std::vector<bool> b = ctl_sat_set(f.kids()[1]);
+      for (std::size_t i = 0; i < n; ++i) a[i] = a[i] && b[i];
+      return a;
+    }
+    case CtlOp::kOr: {
+      std::vector<bool> a = ctl_sat_set(f.kids()[0]);
+      const std::vector<bool> b = ctl_sat_set(f.kids()[1]);
+      for (std::size_t i = 0; i < n; ++i) a[i] = a[i] || b[i];
+      return a;
+    }
+    case CtlOp::kEX: {
+      const std::vector<bool> a = ctl_sat_set(f.kids()[0]);
+      std::vector<bool> out(n, false);
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t s : successors_[i])
+          if (a[s]) {
+            out[i] = true;
+            break;
+          }
+      return out;
+    }
+    case CtlOp::kEU: {
+      const std::vector<bool> a = ctl_sat_set(f.kids()[0]);
+      const std::vector<bool> b = ctl_sat_set(f.kids()[1]);
+      std::vector<bool> out = b;
+      for (bool changed = true; changed;) {
+        changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (out[i] || !a[i]) continue;
+          for (std::size_t s : successors_[i]) {
+            if (out[s]) {
+              out[i] = true;
+              changed = true;
+              break;
+            }
+          }
+        }
+      }
+      return out;
+    }
+    case CtlOp::kEG: {
+      const std::vector<bool> a = ctl_sat_set(f.kids()[0]);
+      std::vector<bool> out = a;
+      for (bool changed = true; changed;) {
+        changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!out[i]) continue;
+          bool has_successor_in = false;
+          for (std::size_t s : successors_[i])
+            if (out[s]) {
+              has_successor_in = true;
+              break;
+            }
+          if (!has_successor_in) {
+            out[i] = false;
+            changed = true;
+          }
+        }
+      }
+      return out;
+    }
+    default: {
+      // Universal operators and EF: rewrite into the existential basis.
+      return ctl_sat_set(f.to_existential_basis());
+    }
+  }
+}
+
+std::vector<ts::State> enumerate_params(const ts::TransitionSystem& ts,
+                                        std::size_t max_assignments) {
+  std::vector<ts::State> out;
+  const Expr constraint = ts.param_formula();
+  enumerate_assignments(ts.params(), [&](const ts::State& p) {
+    expr::Env env;
+    for (const auto& [id, v] : p.values()) env.set(id, v);
+    if (expr::eval_bool(constraint, env)) out.push_back(p);
+    return out.size() < max_assignments;
+  });
+  return out;
+}
+
+CheckOutcome check_invariant_explicit(const ts::TransitionSystem& ts, Expr invariant,
+                                      const ExplicitOptions& options) {
+  ts.validate();
+  util::Stopwatch watch;
+  CheckOutcome outcome;
+  outcome.stats.engine = "explicit";
+
+  std::size_t total_states = 0;
+  for (const ts::State& params : enumerate_params(ts)) {
+    if (options.deadline.expired()) {
+      outcome.verdict = Verdict::kTimeout;
+      outcome.stats.seconds = watch.elapsed_seconds();
+      return outcome;
+    }
+    const ExplicitStateSpace space(ts, params, options);
+    total_states += space.num_states();
+    const std::vector<std::size_t> path = space.shortest_path_to(expr::mk_not(invariant));
+    if (!path.empty()) {
+      ts::Trace trace;
+      trace.params = params;
+      for (std::size_t idx : path) trace.states.push_back(space.state(idx));
+      outcome.verdict = Verdict::kViolated;
+      outcome.counterexample = std::move(trace);
+      outcome.stats.depth_reached = static_cast<int>(path.size()) - 1;
+      outcome.stats.seconds = watch.elapsed_seconds();
+      return outcome;
+    }
+    if (space.truncated()) {
+      outcome.verdict = Verdict::kUnknown;
+      outcome.message = "state space truncated at " + std::to_string(options.max_states);
+      outcome.stats.seconds = watch.elapsed_seconds();
+      return outcome;
+    }
+  }
+  outcome.verdict = Verdict::kHolds;
+  outcome.stats.depth_reached = static_cast<int>(total_states);
+  outcome.stats.seconds = watch.elapsed_seconds();
+  return outcome;
+}
+
+CheckOutcome check_ctl_explicit(const ts::TransitionSystem& ts,
+                                const ltl::CtlFormula& formula,
+                                const ExplicitOptions& options) {
+  ts.validate();
+  util::Stopwatch watch;
+  CheckOutcome outcome;
+  outcome.stats.engine = "explicit-ctl";
+
+  for (const ts::State& params : enumerate_params(ts)) {
+    if (options.deadline.expired()) {
+      outcome.verdict = Verdict::kTimeout;
+      outcome.stats.seconds = watch.elapsed_seconds();
+      return outcome;
+    }
+    const ExplicitStateSpace space(ts, params, options);
+    if (space.truncated()) {
+      outcome.verdict = Verdict::kUnknown;
+      outcome.message = "state space truncated";
+      outcome.stats.seconds = watch.elapsed_seconds();
+      return outcome;
+    }
+    const std::vector<bool> sat = space.ctl_sat_set(formula);
+    for (std::size_t init : space.initial()) {
+      if (!sat[init]) {
+        ts::Trace witness;
+        witness.params = params;
+        witness.states.push_back(space.state(init));
+        outcome.verdict = Verdict::kViolated;
+        outcome.counterexample = std::move(witness);
+        outcome.message = "initial state fails CTL property";
+        outcome.stats.seconds = watch.elapsed_seconds();
+        return outcome;
+      }
+    }
+  }
+  outcome.verdict = Verdict::kHolds;
+  outcome.stats.seconds = watch.elapsed_seconds();
+  return outcome;
+}
+
+}  // namespace verdict::core

@@ -1,0 +1,85 @@
+// Explicit-state enumeration engine.
+//
+// The brute-force baseline: enumerates concrete states and transitions of a
+// *finite-domain* system (every variable bool or range-bounded int). It is
+// exponentially slower than the symbolic engines — that contrast is the
+// reason the paper uses symbolic model checking at all — but its verdicts are
+// trivially trustworthy, so the test suite uses it as the oracle that BMC,
+// k-induction, PDR, and the BDD engine are property-tested against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/result.h"
+#include "ltl/ctl.h"
+#include "ts/transition_system.h"
+#include "util/stopwatch.h"
+
+namespace verdict::core {
+
+struct ExplicitOptions {
+  /// Abort (kUnknown) once more than this many states have been enumerated.
+  std::size_t max_states = 1u << 20;
+  util::Deadline deadline = util::Deadline::never();
+};
+
+/// The reachable fragment of a finite-domain system under fixed parameters.
+/// States are dense indices; index order is discovery (BFS) order.
+class ExplicitStateSpace {
+ public:
+  /// Builds the reachable graph. Throws std::invalid_argument when the system
+  /// is not finite-domain; sets `truncated()` when max_states was hit.
+  ExplicitStateSpace(const ts::TransitionSystem& ts, ts::State params,
+                     const ExplicitOptions& options = {});
+
+  [[nodiscard]] std::size_t num_states() const { return states_.size(); }
+  [[nodiscard]] const ts::State& state(std::size_t index) const { return states_[index]; }
+  [[nodiscard]] const std::vector<std::size_t>& initial() const { return initial_; }
+  [[nodiscard]] const std::vector<std::size_t>& successors(std::size_t index) const {
+    return successors_[index];
+  }
+  [[nodiscard]] const ts::State& params() const { return params_; }
+  [[nodiscard]] bool truncated() const { return truncated_; }
+
+  /// Evaluates a boolean state predicate at a state.
+  [[nodiscard]] bool holds_at(expr::Expr predicate, std::size_t index) const;
+
+  /// Shortest path (as state indices) from some initial state to a state
+  /// satisfying the predicate, or empty when unreachable.
+  [[nodiscard]] std::vector<std::size_t> shortest_path_to(expr::Expr predicate) const;
+
+  /// CTL satisfaction set over the reachable graph (deadlock states have no
+  /// successors; EX/EG are false there, matching the BDD engine).
+  [[nodiscard]] std::vector<bool> ctl_sat_set(const ltl::CtlFormula& formula) const;
+
+ private:
+  const ts::TransitionSystem& ts_;
+  ts::State params_;
+  std::vector<ts::State> states_;
+  std::vector<std::size_t> initial_;
+  std::vector<std::vector<std::size_t>> successors_;
+  std::vector<std::size_t> parent_;  // BFS tree, SIZE_MAX for initial states
+  bool truncated_ = false;
+};
+
+/// Enumerates every parameter assignment satisfying the parameter constraints
+/// (all parameters must be finite-domain).
+[[nodiscard]] std::vector<ts::State> enumerate_params(const ts::TransitionSystem& ts,
+                                                      std::size_t max_assignments = 1u << 20);
+
+/// Checks G(invariant) for every parameter assignment by explicit BFS.
+[[nodiscard]] CheckOutcome check_invariant_explicit(const ts::TransitionSystem& ts,
+                                                    expr::Expr invariant,
+                                                    const ExplicitOptions& options = {});
+
+/// Checks a CTL formula at all initial states for every parameter assignment.
+/// A violation reports the offending parameters (no path trace: CTL
+/// counterexamples are trees).
+[[nodiscard]] CheckOutcome check_ctl_explicit(const ts::TransitionSystem& ts,
+                                              const ltl::CtlFormula& formula,
+                                              const ExplicitOptions& options = {});
+
+}  // namespace verdict::core

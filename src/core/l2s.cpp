@@ -1,0 +1,172 @@
+#include "core/l2s.h"
+
+#include <atomic>
+
+#include "core/kinduction.h"
+#include "core/pdr.h"
+#include "expr/walk.h"
+#include "util/log.h"
+
+namespace verdict::core {
+
+using expr::Expr;
+
+namespace {
+
+enum class LoopMode : std::uint8_t {
+  kAnyBad,  // refute F(G q): loop containing some !q state
+  kAllBad,  // refute G(F q): loop consisting only of !q states
+};
+
+struct Augmented {
+  ts::TransitionSystem system;
+  Expr saved;
+  Expr seen;
+  std::vector<Expr> shadow;  // saved copy of each original var
+  Expr closed_bad;           // the safety-violation condition
+};
+
+Augmented augment(const ts::TransitionSystem& ts, Expr q, LoopMode mode) {
+  static std::atomic<int> counter{0};
+  const std::string prefix = "l2s" + std::to_string(counter.fetch_add(1)) + ".";
+
+  if (expr::has_next(q))
+    throw std::invalid_argument("l2s: q must be a state predicate (no next())");
+
+  Augmented aug;
+  aug.system = ts;
+
+  aug.saved = expr::bool_var(prefix + "saved");
+  aug.seen = expr::bool_var(prefix + "seen");
+  aug.system.add_var(aug.saved);
+  aug.system.add_var(aug.seen);
+  aug.system.add_init(expr::mk_not(aug.saved));
+  aug.system.add_init(expr::mk_not(aug.seen));
+
+  // Shadow copies (same declared ranges, so finite-domain engines stay happy).
+  for (Expr v : ts.vars()) {
+    const Expr shadow = expr::declare_var(prefix + "svd_" + v.var_name(), v.type());
+    aug.shadow.push_back(shadow);
+    aug.system.add_var(shadow);
+  }
+
+  // The save point is chosen non-deterministically, once.
+  aug.system.add_trans(expr::mk_implies(aug.saved, expr::next(aug.saved)));
+  const Expr saving_now =
+      expr::mk_and({expr::mk_not(aug.saved), expr::next(aug.saved)});
+  for (std::size_t i = 0; i < aug.shadow.size(); ++i) {
+    const Expr v = ts.vars()[i];
+    aug.system.add_trans(expr::mk_eq(expr::next(aug.shadow[i]),
+                                     expr::ite(saving_now, v, aug.shadow[i])));
+  }
+
+  // q evaluated at the successor state.
+  const Expr q_next = expr::prime(q, ts.var_ids());
+  const Expr not_q_next = expr::mk_not(q_next);
+  switch (mode) {
+    case LoopMode::kAnyBad:
+      // seen' = saved' && (seen || !q')
+      aug.system.add_trans(expr::mk_eq(
+          expr::next(aug.seen),
+          expr::mk_and({expr::next(aug.saved), expr::mk_or({aug.seen, not_q_next})})));
+      break;
+    case LoopMode::kAllBad:
+      // seen' = saved' && (seen || just-saved) && !q'
+      aug.system.add_trans(expr::mk_eq(
+          expr::next(aug.seen),
+          expr::mk_and({expr::next(aug.saved),
+                        expr::mk_or({aug.seen, expr::mk_not(aug.saved)}), not_q_next})));
+      break;
+  }
+
+  // Safety violation: back at the saved state with the loop condition met.
+  std::vector<Expr> closure{aug.saved, aug.seen};
+  for (std::size_t i = 0; i < aug.shadow.size(); ++i)
+    closure.push_back(expr::mk_eq(ts.vars()[i], aug.shadow[i]));
+  aug.closed_bad = expr::all_of(closure);
+  return aug;
+}
+
+// Converts a safety counterexample over the augmented system into a lasso
+// over the original variables.
+ts::Trace extract_lasso(const ts::TransitionSystem& original, const Augmented& aug,
+                        const ts::Trace& safety_trace) {
+  ts::Trace lasso;
+  lasso.params = safety_trace.params;
+
+  // Loop start: the last state where `saved` is still false.
+  std::size_t loop_start = 0;
+  for (std::size_t i = 0; i < safety_trace.states.size(); ++i) {
+    const auto saved = safety_trace.states[i].get(aug.saved);
+    if (saved && !std::get<bool>(*saved)) loop_start = i;
+  }
+  // The final state re-enters the saved state; drop it and loop back.
+  const std::size_t end = safety_trace.states.size() - 1;
+  for (std::size_t i = 0; i < end; ++i) {
+    ts::State s;
+    for (Expr v : original.vars()) {
+      const auto value = safety_trace.states[i].get(v);
+      if (value) s.set(v, *value);
+    }
+    lasso.states.push_back(std::move(s));
+  }
+  lasso.lasso_start = loop_start;
+  return lasso;
+}
+
+CheckOutcome check_loop_mode(const ts::TransitionSystem& ts, Expr q, LoopMode mode,
+                             const L2sOptions& options, const char* engine_tag) {
+  if (!q.valid() || !q.type().is_bool())
+    throw std::invalid_argument("l2s: q must be a boolean state predicate");
+  ts.validate();
+
+  util::Stopwatch watch;
+  const Augmented aug = augment(ts, q, mode);
+  const Expr invariant = expr::mk_not(aug.closed_bad);
+
+  CheckOutcome safety;
+  if (options.prover == L2sOptions::Prover::kPdr) {
+    PdrOptions po;
+    po.max_frames = options.max_depth;
+    po.deadline = options.deadline;
+    safety = check_invariant_pdr(aug.system, invariant, po);
+  } else {
+    KInductionOptions ko;
+    ko.max_k = options.max_depth;
+    ko.deadline = options.deadline;
+    safety = check_invariant_kinduction(aug.system, invariant, ko);
+  }
+
+  CheckOutcome outcome;
+  outcome.stats = safety.stats;
+  outcome.stats.engine = engine_tag + ("/" + safety.stats.engine);
+  outcome.stats.seconds = watch.elapsed_seconds();
+  outcome.message = safety.message;
+  switch (safety.verdict) {
+    case Verdict::kHolds:
+      outcome.verdict = Verdict::kHolds;  // no bad reachable cycle exists
+      break;
+    case Verdict::kViolated:
+      outcome.verdict = Verdict::kViolated;
+      outcome.counterexample = extract_lasso(ts, aug, *safety.counterexample);
+      break;
+    default:
+      outcome.verdict = safety.verdict;
+      break;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+CheckOutcome check_fg_via_safety(const ts::TransitionSystem& ts, Expr q,
+                                 const L2sOptions& options) {
+  return check_loop_mode(ts, q, LoopMode::kAnyBad, options, "l2s-fg");
+}
+
+CheckOutcome check_gf_via_safety(const ts::TransitionSystem& ts, Expr q,
+                                 const L2sOptions& options) {
+  return check_loop_mode(ts, q, LoopMode::kAllBad, options, "l2s-gf");
+}
+
+}  // namespace verdict::core

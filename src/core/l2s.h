@@ -1,0 +1,48 @@
+// Liveness-to-safety reduction for F(G q) and G(F q) properties.
+//
+// The bounded lasso engine (core/liveness.h) can only *find* oscillations;
+// absence of a lasso up to depth k is not a proof. This module provides the
+// proof side for the two stabilization shapes that dominate the paper's
+// properties ("eventually the system becomes always stable", "the pod is
+// eventually placed forever"):
+//
+// On finite-domain systems, F(G q) fails exactly when some reachable cycle
+// contains a !q state. The classic Biere/Schuppan reduction turns that cycle
+// search into a safety property over an augmented system: a non-deterministic
+// "save" of the current state, a flag tracking whether !q was observed since
+// the save, and the safety violation "state equals the saved state and !q was
+// seen" — which any safety engine (PDR, k-induction, BMC) can then prove or
+// refute without a depth bound. G(F q) is the same reduction with "every
+// state since the save satisfies !q".
+//
+// Parameters are supported as usual (rigid); a kViolated outcome carries a
+// genuine lasso trace over the ORIGINAL variables, validated by
+// ltl::holds_on_lasso like any other liveness counterexample.
+#pragma once
+
+#include "core/result.h"
+#include "expr/expr.h"
+#include "ts/transition_system.h"
+#include "util/stopwatch.h"
+
+namespace verdict::core {
+
+struct L2sOptions {
+  /// Safety engine run on the reduced system.
+  enum class Prover : std::uint8_t { kPdr, kKInduction } prover = Prover::kPdr;
+  int max_depth = 200;
+  util::Deadline deadline = util::Deadline::never();
+};
+
+/// Decides F(G q). kHolds is a genuine proof (finite domains); kViolated
+/// carries a lasso counterexample.
+[[nodiscard]] CheckOutcome check_fg_via_safety(const ts::TransitionSystem& ts,
+                                               expr::Expr q,
+                                               const L2sOptions& options = {});
+
+/// Decides G(F q) (q recurs forever on every path).
+[[nodiscard]] CheckOutcome check_gf_via_safety(const ts::TransitionSystem& ts,
+                                               expr::Expr q,
+                                               const L2sOptions& options = {});
+
+}  // namespace verdict::core

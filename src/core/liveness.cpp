@@ -1,0 +1,293 @@
+#include "core/liveness.h"
+
+#include <map>
+
+#include "expr/walk.h"
+
+#include "smt/solver.h"
+#include "util/log.h"
+
+namespace verdict::core {
+
+using expr::Expr;
+using ltl::Formula;
+using ltl::Op;
+
+namespace {
+
+// Indexes the distinct subformulas of an NNF formula so encoding variables
+// can be keyed by (subformula index, position).
+class SubformulaIndex {
+ public:
+  explicit SubformulaIndex(const Formula& root) { index_of(root); }
+
+  std::size_t index_of(const Formula& f) {
+    for (std::size_t i = 0; i < formulas_.size(); ++i)
+      if (formulas_[i] == f) return i;
+    formulas_.push_back(f);
+    const std::size_t id = formulas_.size() - 1;
+    for (const Formula& k : f.kids()) index_of(k);
+    return id;
+  }
+
+  [[nodiscard]] const std::vector<Formula>& all() const { return formulas_; }
+
+ private:
+  std::vector<Formula> formulas_;
+};
+
+class LassoEncoder {
+ public:
+  LassoEncoder(smt::Solver& solver, const ts::TransitionSystem& ts, const Formula& nnf,
+               int k)
+      : solver_(solver), ts_(ts), index_(nnf), k_(k), loop_sel_(solver.context()) {}
+
+  // Builds the whole encoding and asserts |[nnf]|_0 plus fairness.
+  void encode(std::span<const Expr> fairness) {
+    encode_path();
+    encode_loop_selectors();
+    encode_formula_tables();
+    solver_.add(enc(index_.index_of(root()), 0));
+    encode_fairness(fairness);
+  }
+
+  /// After kSat: the chosen loop-back position.
+  [[nodiscard]] std::size_t loop_target_from_model(z3::model model) const {
+    for (int j = 0; j <= k_; ++j) {
+      const z3::expr v = model.eval(loop_sel_[j], true);
+      if (v.is_true()) return static_cast<std::size_t>(j);
+    }
+    throw std::logic_error("lasso model without an active loop selector");
+  }
+
+  [[nodiscard]] const Formula& root() const { return index_.all().front(); }
+
+ private:
+  // Path constraints: init at 0, state constraints at 0..k+1, trans 0..k,
+  // and the successor of state k (frame k+1) equal to the loop target.
+  void encode_path() {
+    solver_.add(ts_.param_formula(), 0);
+    for (Expr p : ts_.params()) solver_.add(ts::range_constraint(p), 0);
+    solver_.add(ts_.init_formula(), 0);
+    for (int i = 0; i <= k_ + 1; ++i) {
+      solver_.add(ts_.invar_formula(), i);
+      for (Expr v : ts_.vars()) solver_.add(ts::range_constraint(v), i);
+    }
+    for (int i = 0; i <= k_; ++i) solver_.add(ts_.trans_formula(), i);
+  }
+
+  void encode_loop_selectors() {
+    z3::context& ctx = solver_.context();
+    for (int j = 0; j <= k_; ++j)
+      loop_sel_.push_back(ctx.bool_const(("loop!" + std::to_string(j)).c_str()));
+    // Exactly one loop target.
+    solver_.add(z3::mk_or(loop_sel_));
+    for (int a = 0; a <= k_; ++a)
+      for (int b = a + 1; b <= k_; ++b) solver_.add(!loop_sel_[a] || !loop_sel_[b]);
+    // l_j -> state at frame k+1 equals state j.
+    for (int j = 0; j <= k_; ++j) {
+      z3::expr_vector eqs(ctx);
+      for (Expr v : ts_.vars())
+        eqs.push_back(solver_.translate(v, k_ + 1) == solver_.translate(v, j));
+      solver_.add(z3::implies(loop_sel_[j], z3::mk_and(eqs)));
+    }
+  }
+
+  // Weak fairness: each predicate must hold at some position inside the
+  // loop. Position i is in the loop iff some l_j with j <= i is set.
+  void encode_fairness(std::span<const Expr> fairness) {
+    if (fairness.empty()) return;
+    z3::context& ctx = solver_.context();
+    std::vector<z3::expr> in_loop;
+    z3::expr prefix = ctx.bool_val(false);
+    for (int i = 0; i <= k_; ++i) {
+      prefix = prefix || loop_sel_[i];
+      in_loop.push_back(prefix);
+    }
+    for (Expr f : fairness) {
+      z3::expr_vector witnesses(ctx);
+      for (int i = 0; i <= k_; ++i)
+        witnesses.push_back(in_loop[static_cast<std::size_t>(i)] &&
+                            solver_.translate(f, i));
+      solver_.add(z3::mk_or(witnesses));
+    }
+  }
+
+  z3::expr enc(std::size_t formula, int position) {
+    return table_var("enc", formula, position, enc_);
+  }
+  z3::expr aux(std::size_t formula, int position) {
+    return table_var("aux", formula, position, aux_);
+  }
+
+  z3::expr table_var(const char* prefix, std::size_t formula, int position,
+                     std::map<std::pair<std::size_t, int>, z3::expr>& table) {
+    const auto key = std::make_pair(formula, position);
+    const auto it = table.find(key);
+    if (it != table.end()) return it->second;
+    const std::string name = std::string(prefix) + "!" + std::to_string(formula) + "!" +
+                             std::to_string(position);
+    z3::expr v = solver_.context().bool_const(name.c_str());
+    table.emplace(key, v);
+    return v;
+  }
+
+  // Disjunction over loop targets j of (l_j && table(f, j)).
+  z3::expr at_loop_target(std::size_t f, bool use_aux) {
+    z3::expr_vector cases(solver_.context());
+    for (int j = 0; j <= k_; ++j)
+      cases.push_back(loop_sel_[j] && (use_aux ? aux(f, j) : enc(f, j)));
+    return z3::mk_or(cases);
+  }
+
+  void encode_formula_tables() {
+    const std::vector<Formula>& formulas = index_.all();
+    for (std::size_t f = 0; f < formulas.size(); ++f) {
+      const Formula& formula = formulas[f];
+      switch (formula.op()) {
+        case Op::kAtom:
+          for (int i = 0; i <= k_; ++i)
+            solver_.add(enc(f, i) == solver_.translate(formula.atom(), i));
+          break;
+        case Op::kNot: {
+          // NNF: negation only wraps atoms.
+          const std::size_t a = index_.index_of(formula.kids()[0]);
+          for (int i = 0; i <= k_; ++i) solver_.add(enc(f, i) == !enc(a, i));
+          break;
+        }
+        case Op::kAnd: {
+          const std::size_t a = index_.index_of(formula.kids()[0]);
+          const std::size_t b = index_.index_of(formula.kids()[1]);
+          for (int i = 0; i <= k_; ++i)
+            solver_.add(enc(f, i) == (enc(a, i) && enc(b, i)));
+          break;
+        }
+        case Op::kOr: {
+          const std::size_t a = index_.index_of(formula.kids()[0]);
+          const std::size_t b = index_.index_of(formula.kids()[1]);
+          for (int i = 0; i <= k_; ++i)
+            solver_.add(enc(f, i) == (enc(a, i) || enc(b, i)));
+          break;
+        }
+        case Op::kNext: {
+          const std::size_t a = index_.index_of(formula.kids()[0]);
+          for (int i = 0; i < k_; ++i) solver_.add(enc(f, i) == enc(a, i + 1));
+          solver_.add(enc(f, k_) == at_loop_target(a, /*use_aux=*/false));
+          break;
+        }
+        case Op::kFinally:
+        case Op::kUntil: {
+          // a U b (F b == true U b). Least fixpoint: the auxiliary table's
+          // second unrolling bottoms out at |[b]|_k.
+          const bool is_f = formula.op() == Op::kFinally;
+          const std::size_t b = index_.index_of(formula.kids()[is_f ? 0 : 1]);
+          const std::size_t a = is_f ? SIZE_MAX : index_.index_of(formula.kids()[0]);
+          const auto left = [&](int i) {
+            return a == SIZE_MAX ? solver_.context().bool_val(true) : enc(a, i);
+          };
+          for (int i = 0; i < k_; ++i)
+            solver_.add(enc(f, i) == (enc(b, i) || (left(i) && enc(f, i + 1))));
+          solver_.add(enc(f, k_) ==
+                      (enc(b, k_) || (left(k_) && at_loop_target(f, /*use_aux=*/true))));
+          for (int i = 0; i < k_; ++i)
+            solver_.add(aux(f, i) == (enc(b, i) || (left(i) && aux(f, i + 1))));
+          solver_.add(aux(f, k_) == enc(b, k_));
+          break;
+        }
+        case Op::kGlobally:
+        case Op::kRelease: {
+          // a R b (G b == false R b). Greatest fixpoint: the auxiliary
+          // table's second unrolling tops out at |[b]|_k.
+          const bool is_g = formula.op() == Op::kGlobally;
+          const std::size_t b = index_.index_of(formula.kids()[is_g ? 0 : 1]);
+          const std::size_t a = is_g ? SIZE_MAX : index_.index_of(formula.kids()[0]);
+          const auto left = [&](int i) {
+            return a == SIZE_MAX ? solver_.context().bool_val(false) : enc(a, i);
+          };
+          for (int i = 0; i < k_; ++i)
+            solver_.add(enc(f, i) == (enc(b, i) && (left(i) || enc(f, i + 1))));
+          solver_.add(enc(f, k_) ==
+                      (enc(b, k_) && (left(k_) || at_loop_target(f, /*use_aux=*/true))));
+          for (int i = 0; i < k_; ++i)
+            solver_.add(aux(f, i) == (enc(b, i) && (left(i) || aux(f, i + 1))));
+          solver_.add(aux(f, k_) == enc(b, k_));
+          break;
+        }
+      }
+    }
+  }
+
+  smt::Solver& solver_;
+  const ts::TransitionSystem& ts_;
+  SubformulaIndex index_;
+  int k_;
+  z3::expr_vector loop_sel_;
+  std::map<std::pair<std::size_t, int>, z3::expr> enc_;
+  std::map<std::pair<std::size_t, int>, z3::expr> aux_;
+};
+
+}  // namespace
+
+CheckOutcome check_ltl_lasso(const ts::TransitionSystem& ts, const Formula& property,
+                             const LivenessOptions& options) {
+  if (!property.valid()) throw std::invalid_argument("check_ltl_lasso: invalid property");
+  for (Expr f : options.fairness)
+    if (!f.valid() || !f.type().is_bool() || expr::has_next(f))
+      throw std::invalid_argument(
+          "check_ltl_lasso: fairness constraints must be boolean state predicates");
+  ts.validate();
+
+  util::Stopwatch watch;
+  CheckOutcome outcome;
+  outcome.stats.engine = "ltl-lasso-bmc";
+  std::size_t checks = 0;
+
+  const Formula negated = ltl::negation(property).nnf();
+
+  for (int k = 0; k <= options.max_depth; ++k) {
+    if (options.deadline.expired()) {
+      outcome.verdict = Verdict::kTimeout;
+      outcome.message = "deadline expired at k=" + std::to_string(k);
+      outcome.stats.solver_checks = checks;
+      outcome.stats.seconds = watch.elapsed_seconds();
+      return outcome;
+    }
+    smt::Solver solver;
+    std::set<expr::VarId> rigid;
+    for (Expr p : ts.params()) rigid.insert(p.var());
+    solver.set_rigid(rigid);
+
+    LassoEncoder encoder(solver, ts, negated, k);
+    encoder.encode(options.fairness);
+    const smt::CheckResult r = solver.check(options.deadline);
+    checks += solver.num_checks();
+    outcome.stats.depth_reached = k;
+    if (r == smt::CheckResult::kSat) {
+      std::vector<Expr> to_pin(ts.params().begin(), ts.params().end());
+      solver.refine_real_model(to_pin, 0, options.deadline);
+      ts::Trace trace;
+      trace.params = solver.state_at(ts.params(), 0);
+      for (int i = 0; i <= k; ++i) trace.states.push_back(solver.state_at(ts.vars(), i));
+      trace.lasso_start = encoder.loop_target_from_model(solver.model());
+      outcome.verdict = Verdict::kViolated;
+      outcome.counterexample = std::move(trace);
+      outcome.stats.solver_checks = checks;
+      outcome.stats.seconds = watch.elapsed_seconds();
+      return outcome;
+    }
+    if (r == smt::CheckResult::kUnknown) {
+      outcome.verdict = options.deadline.expired() ? Verdict::kTimeout : Verdict::kUnknown;
+      outcome.message = "solver returned unknown at k=" + std::to_string(k);
+      outcome.stats.solver_checks = checks;
+      outcome.stats.seconds = watch.elapsed_seconds();
+      return outcome;
+    }
+  }
+  outcome.verdict = Verdict::kBoundReached;
+  outcome.message = "no lasso counterexample up to k=" + std::to_string(options.max_depth);
+  outcome.stats.solver_checks = checks;
+  outcome.stats.seconds = watch.elapsed_seconds();
+  return outcome;
+}
+
+}  // namespace verdict::core

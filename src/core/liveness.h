@@ -1,0 +1,42 @@
+// Bounded LTL model checking over lasso-shaped executions.
+//
+// Searches for an ultimately periodic execution (a finite stem plus a loop —
+// the "lasso-shaped execution path" of the paper's case study 2) satisfying
+// the NEGATION of the given LTL property. The encoding is the standard
+// incremental-style bounded LTL translation (Biere et al. / Latvala et al.):
+// for bound k the system is unrolled k+1 states, loop-selector booleans pick
+// the loop-back target, and each subformula of nnf(!property) gets one
+// encoding variable per position, with a second "loop approximation" table
+// giving least/greatest-fixpoint semantics to U/R across the loop.
+//
+// A kViolated outcome carries a lasso trace (states + lasso_start + chosen
+// parameter values); replaying it through ltl::holds_on_lasso satisfies
+// !property by construction. Absence of a lasso up to max_depth is reported
+// as kBoundReached (bounded LTL search cannot prove liveness).
+#pragma once
+
+#include "core/result.h"
+#include "ltl/ltl.h"
+#include "ts/transition_system.h"
+#include "util/stopwatch.h"
+
+namespace verdict::core {
+
+struct LivenessOptions {
+  int max_depth = 25;
+  util::Deadline deadline = util::Deadline::never();
+  /// Weak-fairness constraints: every reported lasso must satisfy each of
+  /// these boolean state predicates at least once INSIDE its loop (i.e. the
+  /// counterexample satisfies GF f for every f). Use to rule out spurious
+  /// "nothing ever runs" oscillation witnesses when modules may stutter —
+  /// e.g. fairness = {scheduler_acts} discards lassos where the scheduler is
+  /// starved forever.
+  std::vector<expr::Expr> fairness;
+};
+
+/// Searches for a lasso counterexample to `property`.
+[[nodiscard]] CheckOutcome check_ltl_lasso(const ts::TransitionSystem& ts,
+                                           const ltl::Formula& property,
+                                           const LivenessOptions& options = {});
+
+}  // namespace verdict::core

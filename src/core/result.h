@@ -1,0 +1,52 @@
+// Engine verdicts, statistics, and outcome records.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ts/transition_system.h"
+
+namespace verdict::core {
+
+enum class Verdict : std::uint8_t {
+  kHolds,         // property proven for all executions
+  kViolated,      // counterexample found (see trace)
+  kBoundReached,  // no violation up to the exploration bound; not a proof
+  kTimeout,       // deadline expired before a decision
+  kUnknown,       // solver gave up for another reason
+};
+
+[[nodiscard]] constexpr const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kHolds:
+      return "holds";
+    case Verdict::kViolated:
+      return "violated";
+    case Verdict::kBoundReached:
+      return "bound-reached";
+    case Verdict::kTimeout:
+      return "timeout";
+    case Verdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+struct Stats {
+  std::string engine;
+  double seconds = 0.0;
+  std::size_t solver_checks = 0;
+  int depth_reached = -1;  // engine-specific: unroll depth / frame count
+};
+
+struct CheckOutcome {
+  Verdict verdict = Verdict::kUnknown;
+  std::optional<ts::Trace> counterexample;
+  Stats stats;
+  std::string message;  // human-readable detail (e.g. timeout context)
+
+  [[nodiscard]] bool violated() const { return verdict == Verdict::kViolated; }
+  [[nodiscard]] bool holds() const { return verdict == Verdict::kHolds; }
+};
+
+}  // namespace verdict::core

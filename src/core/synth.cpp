@@ -1,0 +1,107 @@
+#include "core/synth.h"
+
+#include "core/explicit.h"
+#include "core/kinduction.h"
+#include "core/pdr.h"
+#include "util/log.h"
+
+namespace verdict::core {
+
+using expr::Expr;
+
+namespace {
+
+// A copy of `ts` whose parameters are pinned to the given assignment.
+ts::TransitionSystem pinned_system(const ts::TransitionSystem& ts,
+                                   const ts::State& params) {
+  ts::TransitionSystem pinned = ts;
+  for (Expr p : ts.params()) {
+    const auto v = params.get(p);
+    if (!v) throw std::invalid_argument("pinned_system: missing parameter value");
+    pinned.add_param_constraint(expr::mk_eq(p, expr::constant_of(*v, p.type())));
+  }
+  return pinned;
+}
+
+// Does a previously found counterexample stay feasible under `params`?
+bool trace_feasible_under(const ts::TransitionSystem& ts, const ts::Trace& witness,
+                          const ts::State& params, Expr invariant) {
+  ts::Trace replay = witness;
+  replay.params = params;
+  std::string ignored;
+  if (!ts.trace_conforms(replay, &ignored)) return false;
+  // The final state must still violate the invariant.
+  return !expr::eval_bool(invariant, ts.env_of(replay.states.back(), params));
+}
+
+}  // namespace
+
+SynthResult synthesize_params(const ts::TransitionSystem& ts, Expr invariant,
+                              const SynthOptions& options) {
+  ts.validate();
+  util::Stopwatch watch;
+  SynthResult result;
+  result.stats.engine =
+      options.prover == SynthProver::kPdr ? "synth/pdr" : "synth/k-induction";
+
+  const std::vector<ts::State> candidates = enumerate_params(ts);
+  for (const ts::State& candidate : candidates) {
+    if (options.deadline.expired()) {
+      result.undecided.push_back(candidate);
+      continue;
+    }
+
+    // Free classification: replay known counterexamples under this candidate.
+    bool condemned = false;
+    const std::size_t known_witnesses = result.witnesses.size();
+    for (std::size_t w = 0; w < known_witnesses; ++w) {
+      if (trace_feasible_under(ts, result.witnesses[w], candidate, invariant)) {
+        result.unsafe.push_back(candidate);
+        ts::Trace replay = result.witnesses[w];
+        replay.params = candidate;
+        result.witnesses.push_back(std::move(replay));
+        ++result.pruned_by_replay;
+        condemned = true;
+        break;
+      }
+    }
+    if (condemned) continue;
+
+    const ts::TransitionSystem pinned = pinned_system(ts, candidate);
+    const double budget =
+        std::min(options.per_candidate_seconds, options.deadline.remaining_seconds());
+    CheckOutcome outcome;
+    if (options.prover == SynthProver::kPdr) {
+      PdrOptions po;
+      po.max_frames = options.max_depth;
+      po.deadline = util::Deadline::after_seconds(budget);
+      outcome = check_invariant_pdr(pinned, invariant, po);
+    } else {
+      KInductionOptions ko;
+      ko.max_k = options.max_depth;
+      ko.deadline = util::Deadline::after_seconds(budget);
+      outcome = check_invariant_kinduction(pinned, invariant, ko);
+    }
+    result.stats.solver_checks += outcome.stats.solver_checks;
+
+    switch (outcome.verdict) {
+      case Verdict::kHolds:
+        result.safe.push_back(candidate);
+        break;
+      case Verdict::kViolated: {
+        result.unsafe.push_back(candidate);
+        ts::Trace witness = *outcome.counterexample;
+        witness.params = candidate;
+        result.witnesses.push_back(std::move(witness));
+        break;
+      }
+      default:
+        result.undecided.push_back(candidate);
+        break;
+    }
+  }
+  result.stats.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace verdict::core

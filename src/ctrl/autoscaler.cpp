@@ -1,0 +1,95 @@
+#include "ctrl/autoscaler.h"
+
+namespace verdict::ctrl {
+
+using expr::Expr;
+
+HpaRucModel make_hpa_ruc_model(const std::string& prefix, std::int64_t initial_spec,
+                               std::int64_t max_replicas, std::int64_t max_surge_bound,
+                               bool defective_hpa) {
+  HpaRucModel m{mdl::Module(prefix), {}, {}, {}};
+
+  m.spec = expr::int_var(prefix + ".spec", 0, max_replicas);
+  m.current = expr::int_var(prefix + ".current", 0, max_replicas);
+  m.module.add_var(m.spec);
+  m.module.add_var(m.current);
+  m.module.add_init(expr::mk_eq(m.spec, expr::int_const(initial_spec)));
+  m.module.add_init(expr::mk_eq(m.current, expr::int_const(initial_spec)));
+
+  m.max_surge = expr::int_var(prefix + ".max_surge", 0, max_surge_bound);
+  m.module.add_param(m.max_surge);
+
+  // RUC: during an update it may run up to spec + max_surge pods ("to
+  // compensate for the pods that are brought down during an update rollout").
+  m.module.add_rule("ruc.surge",
+                    expr::mk_and({expr::mk_lt(m.current, m.spec + m.max_surge),
+                                  expr::mk_lt(m.current, expr::int_const(max_replicas))}),
+                    {{m.current, m.current + 1}});
+  // RUC: retire the surge pod once the batch finishes.
+  m.module.add_rule("ruc.retire", expr::mk_lt(m.spec, m.current),
+                    {{m.current, m.current - 1}});
+
+  if (defective_hpa) {
+    // Issue 90461: the HPA reads `current` where it should read the spec'd
+    // expectation, and "falsely increases the number of expected pods".
+    m.module.add_rule("hpa.scale_defective", expr::mk_lt(m.spec, m.current),
+                      {{m.spec, m.current}});
+  }
+  // A correct HPA driven by real load is modeled as no-op here: absent
+  // metric pressure it would keep the spec at its initial value.
+  return m;
+}
+
+Expr MetricAutoscaler::utilization_exceeds(std::int64_t threshold_percent) const {
+  return expr::mk_lt(replicas * threshold_percent, load * 100);
+}
+
+Expr MetricAutoscaler::utilization_below(std::int64_t threshold_percent) const {
+  return expr::mk_lt(load * 100, replicas * threshold_percent);
+}
+
+Expr MetricAutoscaler::at_rest() const {
+  return expr::mk_and({expr::mk_not(expr::mk_and(
+                           {utilization_exceeds(config.scale_up_above_percent),
+                            expr::mk_lt(replicas, expr::int_const(config.max_replicas))})),
+                       expr::mk_not(expr::mk_and(
+                           {utilization_below(config.scale_down_below_percent),
+                            expr::mk_lt(expr::int_const(config.min_replicas), replicas)}))});
+}
+
+MetricAutoscaler make_metric_autoscaler(const std::string& prefix,
+                                        const MetricAutoscalerConfig& config) {
+  MetricAutoscaler m{mdl::Module(prefix), {}, {}, config};
+
+  m.replicas = expr::int_var(prefix + ".replicas", config.min_replicas,
+                             config.max_replicas);
+  m.load = expr::int_var(prefix + ".load", 0, config.max_load);
+  m.module.add_var(m.replicas);
+  m.module.add_var(m.load);
+  m.module.add_init(expr::mk_eq(m.replicas, expr::int_const(config.min_replicas)));
+
+  // Scale out while hot, in while cold (one replica per reconcile tick).
+  m.module.add_rule(
+      "scale_up",
+      expr::mk_and({m.utilization_exceeds(config.scale_up_above_percent),
+                    expr::mk_lt(m.replicas, expr::int_const(config.max_replicas))}),
+      {{m.replicas, m.replicas + 1}});
+  m.module.add_rule(
+      "scale_down",
+      expr::mk_and({m.utilization_below(config.scale_down_below_percent),
+                    expr::mk_lt(expr::int_const(config.min_replicas), m.replicas)}),
+      {{m.replicas, m.replicas - 1}});
+
+  if (config.variable_load) {
+    m.module.add_rule("load_up",
+                      expr::mk_lt(m.load, expr::int_const(config.max_load)),
+                      {{m.load, m.load + 1}});
+    m.module.add_rule("load_down", expr::mk_lt(expr::int_const(0), m.load),
+                      {{m.load, m.load - 1}});
+  }
+  // Progress semantics: the controller acts whenever a rule is enabled.
+  m.module.set_stutter(mdl::StutterMode::kWhenDisabled);
+  return m;
+}
+
+}  // namespace verdict::ctrl

@@ -1,0 +1,83 @@
+// Horizontal pod autoscaler + rolling-update controller interplay.
+//
+// Kubernetes issue #90461 (§3.2): a rolling-update controller (RUC) with
+// maxSurge = 1 may temporarily run one pod above the spec'd replica count;
+// a defective HPA "basically returning the 'expected' number of pods as the
+// 'current' number of pods" then raises the spec to match, letting the RUC
+// surge again — replicas ratchet upward until an external cap. "The defect in
+// HPA only manifests in unfortunate interactions with controllers like RUC",
+// which is exactly what the checker searches for.
+//
+// The module owns `spec` (expected replicas, HPA-writable) and `current`
+// (actual pods, RUC-writable); `max_surge` is a rigid parameter.
+#pragma once
+
+#include <string>
+
+#include "expr/expr.h"
+#include "mdl/module.h"
+
+namespace verdict::ctrl {
+
+struct HpaRucModel {
+  mdl::Module module;
+  expr::Expr spec;      // "expected" replicas in the deployment spec
+  expr::Expr current;   // pods actually running
+  expr::Expr max_surge; // parameter: extra pods allowed during an update
+};
+
+/// `defective_hpa` selects the issue-90461 behaviour (spec := current) versus
+/// a correct HPA that never raises the spec above its initial value.
+[[nodiscard]] HpaRucModel make_hpa_ruc_model(const std::string& prefix,
+                                             std::int64_t initial_spec,
+                                             std::int64_t max_replicas,
+                                             std::int64_t max_surge_bound,
+                                             bool defective_hpa);
+
+// --- Metric-driven autoscaler (§2 "Autoscaler", Fig. 1's load loop) ----------
+//
+// Replicas serve a total load; per-replica utilization is load/replicas. The
+// autoscaler adds a replica while utilization exceeds `scale_up_above` and
+// removes one while it drops below `scale_down_below` (both percent-of-
+// capacity parameters, so the checker can search the threshold space). The
+// environment may move the total load within its declared bounds.
+//
+// The classic quantitative misconfiguration: if scaling down at
+// `scale_down_below` lands utilization back above `scale_up_above` (the
+// thresholds are too close for the scaling step), the controller flaps
+// forever — a liveness failure the lasso engine or the L2S reduction exposes;
+// with a sane gap, stabilization under steady load is provable.
+//
+// Thresholds are concrete config values (percent): "util > T" is encoded
+// multiplicatively as load * 100 > T * replicas, which stays linear — and
+// therefore works in every engine including the BDD bit-blaster — only for
+// constant T. Sweep thresholds by building one instance per candidate.
+struct MetricAutoscalerConfig {
+  std::int64_t min_replicas = 1;
+  std::int64_t max_replicas = 8;
+  std::int64_t max_load = 16;  // load units; one replica serves 1 unit at 100%
+  std::int64_t scale_up_above_percent = 90;
+  std::int64_t scale_down_below_percent = 50;
+  /// When true the environment may move the load within bounds; when false
+  /// the load is frozen after init (steady-state analysis).
+  bool variable_load = false;
+};
+
+struct MetricAutoscaler {
+  mdl::Module module;
+  expr::Expr replicas;  // current replica count
+  expr::Expr load;      // total load
+  MetricAutoscalerConfig config;
+
+  /// load * 100 > threshold% * replicas  (per-replica utilization exceeds).
+  [[nodiscard]] expr::Expr utilization_exceeds(std::int64_t threshold_percent) const;
+  /// load * 100 < threshold% * replicas.
+  [[nodiscard]] expr::Expr utilization_below(std::int64_t threshold_percent) const;
+  /// Neither scaling rule is enabled (the controller is at rest).
+  [[nodiscard]] expr::Expr at_rest() const;
+};
+
+[[nodiscard]] MetricAutoscaler make_metric_autoscaler(
+    const std::string& prefix, const MetricAutoscalerConfig& config = {});
+
+}  // namespace verdict::ctrl

@@ -1,0 +1,62 @@
+#include "ctrl/cluster.h"
+
+#include <stdexcept>
+
+namespace verdict::ctrl {
+
+using expr::Expr;
+
+ClusterState::ClusterState(const std::string& prefix, ClusterConfig config)
+    : prefix_(prefix), config_(std::move(config)), module_(prefix) {
+  if (config_.pod_cpu_percent.size() != config_.num_apps)
+    throw std::invalid_argument("ClusterState: one pod_cpu_percent per app required");
+  if (!config_.baseline_percent.empty() &&
+      config_.baseline_percent.size() != config_.num_nodes)
+    throw std::invalid_argument("ClusterState: baseline size mismatch");
+
+  for (std::size_t a = 0; a < config_.num_apps; ++a) {
+    std::vector<Expr> row;
+    for (std::size_t n = 0; n < config_.num_nodes; ++n) {
+      const Expr cell = expr::int_var(
+          prefix + ".pods_a" + std::to_string(a) + "_n" + std::to_string(n), 0,
+          config_.max_pods_per_cell);
+      module_.add_var(cell);
+      module_.add_init(expr::mk_eq(cell, expr::int_const(0)));
+      row.push_back(cell);
+    }
+    pods_.push_back(std::move(row));
+    const Expr pend =
+        expr::int_var(prefix + ".pending_a" + std::to_string(a), 0, config_.max_pending);
+    module_.add_var(pend);
+    module_.add_init(expr::mk_eq(pend, expr::int_const(0)));
+    pending_.push_back(pend);
+  }
+}
+
+Expr ClusterState::pods(std::size_t app, std::size_t node) const {
+  return pods_.at(app).at(node);
+}
+
+Expr ClusterState::pending(std::size_t app) const { return pending_.at(app); }
+
+Expr ClusterState::running(std::size_t app) const {
+  std::vector<Expr> cells(pods_.at(app).begin(), pods_.at(app).end());
+  return expr::mk_add(cells);
+}
+
+Expr ClusterState::pods_on_node(std::size_t node) const {
+  std::vector<Expr> cells;
+  for (std::size_t a = 0; a < config_.num_apps; ++a) cells.push_back(pods_.at(a).at(node));
+  return expr::mk_add(cells);
+}
+
+Expr ClusterState::utilization(std::size_t node) const {
+  std::vector<Expr> terms;
+  for (std::size_t a = 0; a < config_.num_apps; ++a)
+    terms.push_back(pods_.at(a).at(node) * config_.pod_cpu_percent.at(a));
+  if (!config_.baseline_percent.empty())
+    terms.push_back(expr::int_const(config_.baseline_percent.at(node)));
+  return expr::mk_add(terms);
+}
+
+}  // namespace verdict::ctrl

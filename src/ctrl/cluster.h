@@ -1,0 +1,62 @@
+// Shared cluster state manipulated by virtualization-layer controllers.
+//
+// The paper's key observation is that independently designed controllers
+// (scheduler, descheduler, deployment controller, taint manager, …) all
+// mutate the *same* cluster state — pods on nodes — and their interaction
+// through that shared state is where failures hide. We model the shared
+// state as one module (per-app, per-node pod counts plus per-app pending
+// pools); each controller contributes its guarded rules to this module via
+// the add_* functions in scheduler.h / descheduler.h / deployment.h /
+// taint.h. Under interleaving composition exactly one controller action
+// fires per step, in any order — the non-deterministic interleavings whose
+// unfortunate schedules the model checker hunts for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "mdl/module.h"
+
+namespace verdict::ctrl {
+
+struct ClusterConfig {
+  std::size_t num_nodes = 3;
+  std::size_t num_apps = 1;
+  std::int64_t max_pods_per_cell = 3;  // per (app, node)
+  std::int64_t max_pending = 3;        // per app
+  /// CPU request of one pod of app a, percent of node capacity.
+  std::vector<std::int64_t> pod_cpu_percent = {50};
+  /// Baseline utilization per node from unmodeled workloads (percent).
+  std::vector<std::int64_t> baseline_percent = {};
+};
+
+class ClusterState {
+ public:
+  ClusterState(const std::string& prefix, ClusterConfig config);
+
+  [[nodiscard]] mdl::Module& module() { return module_; }
+  [[nodiscard]] const mdl::Module& module() const { return module_; }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] const std::string& prefix() const { return prefix_; }
+
+  /// Pods of app a on node n.
+  [[nodiscard]] expr::Expr pods(std::size_t app, std::size_t node) const;
+  /// Pending (unscheduled) pods of app a.
+  [[nodiscard]] expr::Expr pending(std::size_t app) const;
+  /// Total running pods of app a across nodes.
+  [[nodiscard]] expr::Expr running(std::size_t app) const;
+  /// Pods of all apps on node n.
+  [[nodiscard]] expr::Expr pods_on_node(std::size_t node) const;
+  /// CPU utilization of node n (percent).
+  [[nodiscard]] expr::Expr utilization(std::size_t node) const;
+
+ private:
+  std::string prefix_;
+  ClusterConfig config_;
+  mdl::Module module_;
+  std::vector<std::vector<expr::Expr>> pods_;  // [app][node]
+  std::vector<expr::Expr> pending_;            // [app]
+};
+
+}  // namespace verdict::ctrl

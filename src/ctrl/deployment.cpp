@@ -1,0 +1,18 @@
+#include "ctrl/deployment.h"
+
+namespace verdict::ctrl {
+
+using expr::Expr;
+
+void add_deployment_controller(ClusterState& cluster, std::size_t app, Expr desired) {
+  const ClusterConfig& config = cluster.config();
+  const Expr pending = cluster.pending(app);
+  const Expr total = cluster.running(app) + pending;
+  cluster.module().add_rule(
+      "deploy.create_a" + std::to_string(app),
+      expr::mk_and({expr::mk_lt(total, desired),
+                    expr::mk_lt(pending, expr::int_const(config.max_pending))}),
+      {{pending, pending + 1}});
+}
+
+}  // namespace verdict::ctrl

@@ -1,0 +1,19 @@
+// Deployment / ReplicaSet controller: maintains the desired replica count.
+//
+// "It defines and maintains a certain number of pod replicas in the cluster
+// for an application" (§2). When fewer pods of the app exist (running +
+// pending) than desired, it creates one (into the pending pool, where the
+// scheduler picks it up). The desired count may be a rigid parameter so that
+// synthesis can search over replica settings.
+#pragma once
+
+#include "ctrl/cluster.h"
+
+namespace verdict::ctrl {
+
+/// Contributes "deploy.create_a<A>" maintaining `desired` replicas of app A.
+/// `desired` may be a constant or a parameter expression.
+void add_deployment_controller(ClusterState& cluster, std::size_t app,
+                               expr::Expr desired);
+
+}  // namespace verdict::ctrl

@@ -1,0 +1,40 @@
+#include "ctrl/descheduler.h"
+
+namespace verdict::ctrl {
+
+using expr::Expr;
+
+void add_descheduler_remove_duplicates(ClusterState& cluster) {
+  const ClusterConfig& config = cluster.config();
+  for (std::size_t a = 0; a < config.num_apps; ++a) {
+    for (std::size_t n = 0; n < config.num_nodes; ++n) {
+      const Expr cell = cluster.pods(a, n);
+      const Expr pending = cluster.pending(a);
+      cluster.module().add_rule(
+          "deschedule.dup_a" + std::to_string(a) + "_n" + std::to_string(n),
+          expr::mk_and({expr::mk_lt(expr::int_const(1), cell),
+                        expr::mk_lt(pending, expr::int_const(config.max_pending))}),
+          {{cell, cell - 1}, {pending, pending + 1}});
+    }
+  }
+}
+
+void add_descheduler_low_utilization(ClusterState& cluster,
+                                     std::int64_t threshold_percent) {
+  const ClusterConfig& config = cluster.config();
+  for (std::size_t a = 0; a < config.num_apps; ++a) {
+    for (std::size_t n = 0; n < config.num_nodes; ++n) {
+      const Expr cell = cluster.pods(a, n);
+      const Expr pending = cluster.pending(a);
+      cluster.module().add_rule(
+          "deschedule.low_util_a" + std::to_string(a) + "_n" + std::to_string(n),
+          expr::mk_and({expr::mk_lt(expr::int_const(threshold_percent),
+                                    cluster.utilization(n)),
+                        expr::mk_lt(expr::int_const(0), cell),
+                        expr::mk_lt(pending, expr::int_const(config.max_pending))}),
+          {{cell, cell - 1}, {pending, pending + 1}});
+    }
+  }
+}
+
+}  // namespace verdict::ctrl

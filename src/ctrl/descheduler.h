@@ -1,0 +1,31 @@
+// Descheduler: evicts pods according to user-defined strategies (§2).
+//
+// Two strategies from the paper:
+//
+//   RemoveDuplicates — "evicts pods if there is more than one pod for an
+//   application on the same node", which conflicts with a deployment that
+//   wants multiple replicas co-located (§3.3).
+//
+//   LowNodeUtilization — "evicts pods on a node when its CPU utilization is
+//   above a threshold"; with a threshold below the scheduler's effective
+//   placement results this yields the permanent evict/re-schedule oscillation
+//   the paper demonstrates on a real cluster (Fig. 2).
+//
+// Evicted pods return to the pending pool (they are re-created elsewhere by
+// the scheduler), matching descheduler + replica-owner behaviour.
+#pragma once
+
+#include "ctrl/cluster.h"
+
+namespace verdict::ctrl {
+
+/// Contributes "deschedule.dup_a<A>_n<N>" rules: evict one pod of app A on
+/// node N while the node holds more than one pod of A.
+void add_descheduler_remove_duplicates(ClusterState& cluster);
+
+/// Contributes "deschedule.low_util_a<A>_n<N>" rules: evict one pod from a
+/// node whose utilization exceeds `threshold_percent`.
+void add_descheduler_low_utilization(ClusterState& cluster,
+                                     std::int64_t threshold_percent);
+
+}  // namespace verdict::ctrl

@@ -1,0 +1,48 @@
+#include "ctrl/loadbalancer.h"
+
+#include <stdexcept>
+
+#include "expr/walk.h"
+
+namespace verdict::ctrl {
+
+using expr::Expr;
+
+void add_latency_lb(mdl::Module& module, const BalancedApp& app, LbPolicy policy) {
+  const std::size_t replicas = app.weights.size();
+  if (replicas != app.response_times.size() || replicas < 2)
+    throw std::invalid_argument("add_latency_lb: need >= 2 replicas with RTs");
+  if (!app.prev_weights.empty() && app.prev_weights.size() != replicas)
+    throw std::invalid_argument("add_latency_lb: prev_weights size mismatch");
+
+  // Score of replica r: its observed RT (kReactive), or its RT under the
+  // hypothetical assignment "all of this app's traffic to r" (kSmart).
+  const auto score = [&](std::size_t r) -> Expr {
+    if (policy == LbPolicy::kReactive) return app.response_times[r];
+    expr::Substitution sub;
+    for (std::size_t i = 0; i < replicas; ++i)
+      sub.emplace(app.weights[i].var(), expr::int_const(i == r ? 1 : 0));
+    return expr::substitute(app.response_times[r], sub);
+  };
+
+  for (std::size_t r = 0; r < replicas; ++r) {
+    // Guard: r beats every alternative, ties break toward the lower index
+    // (strictly better than lower-indexed replicas, at least as good as
+    // higher-indexed ones) — exactly one rule enabled per valuation.
+    std::vector<Expr> better;
+    for (std::size_t s = 0; s < replicas; ++s) {
+      if (s == r) continue;
+      better.push_back(s < r ? expr::mk_lt(score(r), score(s))
+                             : expr::mk_le(score(r), score(s)));
+    }
+    std::vector<mdl::Module::Assignment> assigns;
+    for (std::size_t i = 0; i < replicas; ++i)
+      assigns.push_back({app.weights[i], expr::int_const(i == r ? 1 : 0)});
+    for (std::size_t i = 0; i < app.prev_weights.size(); ++i)
+      assigns.push_back({app.prev_weights[i], app.weights[i]});
+    module.add_rule(app.name + ".pick_" + std::to_string(r), expr::all_of(better),
+                    std::move(assigns));
+  }
+}
+
+}  // namespace verdict::ctrl

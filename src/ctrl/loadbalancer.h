@@ -1,0 +1,53 @@
+// Latency-based weighted load balancer (§3.3 / §4.2 case study 2).
+//
+// For each application with replicas, the LB owns 0/1 weight variables
+// (w_r = 1 routes the app's traffic to replica r) and flips them by comparing
+// replica response times. Two policies:
+//
+//   kReactive — compares response times observed under the CURRENT weights
+//     (how latency-based LBs like NGINX/HAProxy behave: the idle replica
+//     always looks attractive, which is the §3.3 oscillation narrative).
+//
+//   kSmart — "a 'smart' load balancer that considers the effect of weight
+//     changes on the response times in weight calculations" (§4.2): replica
+//     r is scored by its response time under the hypothetical assignment
+//     "all of this app's traffic to r", computed by substitution, so
+//     feedback through shared links and servers is anticipated one step
+//     ahead.
+//
+// Ties break deterministically toward the lower-indexed replica: exactly one
+// decision rule is enabled for any latency valuation, so oscillation
+// counterexamples cannot hide behind tie nondeterminism.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "mdl/module.h"
+
+namespace verdict::ctrl {
+
+enum class LbPolicy : std::uint8_t { kReactive, kSmart };
+
+struct BalancedApp {
+  std::string name;
+  /// 0/1 integer weight variables owned by the LB module, one per replica.
+  std::vector<expr::Expr> weights;
+  /// Response time of each replica as a (real-valued) expression over the
+  /// weight variables and environment parameters.
+  std::vector<expr::Expr> response_times;
+  /// Optional: variables (owned by the same module, parallel to `weights`)
+  /// that each rule sets to the pre-step weight values. With these,
+  /// "the weight selections do not change" (the paper's `stable`) is the
+  /// state predicate AND_r (weights[r] == prev_weights[r]).
+  std::vector<expr::Expr> prev_weights;
+};
+
+/// Adds, for each replica r of `app`, a rule "<app>.pick_<r>" routing the app
+/// to replica r when r's (observed or predicted) response time is minimal.
+/// `module` must own the weight variables.
+void add_latency_lb(mdl::Module& module, const BalancedApp& app,
+                    LbPolicy policy = LbPolicy::kSmart);
+
+}  // namespace verdict::ctrl

@@ -1,0 +1,41 @@
+#include "ctrl/ratelimiter.h"
+
+namespace verdict::ctrl {
+
+using expr::Expr;
+
+RateLimiter make_rate_limiter(const std::string& prefix, std::int64_t burst,
+                              std::int64_t max_queue, std::int64_t max_rate,
+                              std::int64_t arrival_burst) {
+  RateLimiter rl{mdl::Module(prefix), {}, {}, {}};
+
+  rl.tokens = expr::int_var(prefix + ".tokens", 0, burst);
+  rl.queue = expr::int_var(prefix + ".queue", 0, max_queue);
+  rl.module.add_var(rl.tokens);
+  rl.module.add_var(rl.queue);
+  rl.module.add_init(expr::mk_eq(rl.tokens, expr::int_const(burst)));
+  rl.module.add_init(expr::mk_eq(rl.queue, expr::int_const(0)));
+
+  rl.rate = expr::int_var(prefix + ".rate", 0, max_rate);
+  rl.module.add_param(rl.rate);
+
+  // Environment: up to arrival_burst requests arrive.
+  for (std::int64_t n = 1; n <= arrival_burst; ++n) {
+    rl.module.add_rule(
+        "arrive_" + std::to_string(n),
+        expr::mk_le(rl.queue + n, expr::int_const(max_queue)),
+        {{rl.queue, rl.queue + n}});
+  }
+  // Refill tick: tokens += rate, capped at the burst size.
+  rl.module.add_rule("refill", expr::tru(),
+                     {{rl.tokens, expr::mk_min(rl.tokens + rl.rate,
+                                               expr::int_const(burst))}});
+  // Admit one queued request per token.
+  rl.module.add_rule("admit",
+                     expr::mk_and({expr::mk_lt(expr::int_const(0), rl.queue),
+                                   expr::mk_lt(expr::int_const(0), rl.tokens)}),
+                     {{rl.queue, rl.queue - 1}, {rl.tokens, rl.tokens - 1}});
+  return rl;
+}
+
+}  // namespace verdict::ctrl

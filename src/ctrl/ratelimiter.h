@@ -1,0 +1,31 @@
+// Token-bucket rate limiter with a non-deterministic arrival environment.
+//
+// "Rate limiter limits the number of requests each server receives within a
+// time period. It can be used to mitigate DDoS attacks." (§2). The module
+// owns the bucket and a bounded request queue; arrivals are environment
+// non-determinism. The refill rate is a rigid parameter, so synthesis can
+// answer "which refill rates keep the queue from saturating under worst-case
+// arrivals".
+#pragma once
+
+#include <string>
+
+#include "expr/expr.h"
+#include "mdl/module.h"
+
+namespace verdict::ctrl {
+
+struct RateLimiter {
+  mdl::Module module;
+  expr::Expr tokens;  // bucket fill level
+  expr::Expr queue;   // requests waiting for admission
+  expr::Expr rate;    // parameter: tokens added per refill tick
+};
+
+/// Bucket capacity `burst`, queue bound `max_queue`, refill parameter in
+/// [0, max_rate]. Arrivals add up to `arrival_burst` requests per step.
+[[nodiscard]] RateLimiter make_rate_limiter(const std::string& prefix, std::int64_t burst,
+                                            std::int64_t max_queue, std::int64_t max_rate,
+                                            std::int64_t arrival_burst = 1);
+
+}  // namespace verdict::ctrl

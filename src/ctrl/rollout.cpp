@@ -1,0 +1,53 @@
+#include "ctrl/rollout.h"
+
+namespace verdict::ctrl {
+
+using expr::Expr;
+
+Expr RolloutController::is_serving(std::size_t i) const {
+  return expr::mk_not(expr::mk_eq(status.at(i), expr::int_const(1)));
+}
+
+Expr RolloutController::done() const {
+  std::vector<Expr> all;
+  all.reserve(status.size());
+  for (const Expr& s : status) all.push_back(expr::mk_eq(s, expr::int_const(2)));
+  return expr::all_of(all);
+}
+
+RolloutController make_rollout_controller(const std::string& prefix, std::size_t num_nodes,
+                                          std::int64_t max_p) {
+  RolloutController rc{mdl::Module(prefix), {}, {}};
+
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    const Expr s = expr::int_var(prefix + ".status_" + std::to_string(i), 0, 2);
+    rc.status.push_back(s);
+    rc.module.add_var(s);
+    rc.module.add_init(expr::mk_eq(s, expr::int_const(0)));
+  }
+
+  rc.max_down = expr::int_var(prefix + ".p", 0, max_p);
+  rc.module.add_param(rc.max_down);
+
+  std::vector<Expr> down_flags;
+  down_flags.reserve(num_nodes);
+  for (const Expr& s : rc.status)
+    down_flags.push_back(expr::mk_eq(s, expr::int_const(1)));
+  const Expr down_count = expr::count_true(down_flags);
+
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    const Expr s = rc.status[i];
+    // Take node i down for update while the budget allows it.
+    rc.module.add_rule("take_down_" + std::to_string(i),
+                       expr::mk_and({expr::mk_eq(s, expr::int_const(0)),
+                                     expr::mk_lt(down_count, rc.max_down)}),
+                       {{s, expr::int_const(1)}});
+    // Finish updating node i and bring it back.
+    rc.module.add_rule("bring_up_" + std::to_string(i),
+                       expr::mk_eq(s, expr::int_const(1)),
+                       {{s, expr::int_const(2)}});
+  }
+  return rc;
+}
+
+}  // namespace verdict::ctrl

@@ -1,0 +1,39 @@
+// Rolling-update controller model.
+//
+// "We model a rollout controller that takes service nodes down, updates them,
+// and then brings them back up again, in a non-deterministic order. The
+// rollout may bring up to p nodes down simultaneously." (paper §4.2, case
+// study 1; the maxSurge analogue of Kubernetes' rolling update.)
+//
+// Per-node status: 0 = running old version, 1 = down for update, 2 = running
+// new version. The concurrency cap p is a rigid parameter so that both
+// violation search ("which p breaks us?") and synthesis ("which p are safe?")
+// work out of the box.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "mdl/module.h"
+
+namespace verdict::ctrl {
+
+struct RolloutController {
+  mdl::Module module;
+  /// status[i] in {0 old, 1 down, 2 updated}, one per managed node.
+  std::vector<expr::Expr> status;
+  /// Concurrency cap parameter p (how many nodes may be down at once).
+  expr::Expr max_down;
+
+  /// node i is serving traffic (not down for update).
+  [[nodiscard]] expr::Expr is_serving(std::size_t i) const;
+  /// all nodes finished updating.
+  [[nodiscard]] expr::Expr done() const;
+};
+
+[[nodiscard]] RolloutController make_rollout_controller(const std::string& prefix,
+                                                        std::size_t num_nodes,
+                                                        std::int64_t max_p);
+
+}  // namespace verdict::ctrl

@@ -1,0 +1,33 @@
+#include "ctrl/scheduler.h"
+
+#include <algorithm>
+
+namespace verdict::ctrl {
+
+using expr::Expr;
+
+void add_scheduler(ClusterState& cluster, const SchedulerOptions& options) {
+  const ClusterConfig& config = cluster.config();
+  for (std::size_t a = 0; a < config.num_apps; ++a) {
+    for (std::size_t n = 0; n < config.num_nodes; ++n) {
+      const bool excluded =
+          !options.ignore_exclusions &&
+          std::find(options.excluded_nodes.begin(), options.excluded_nodes.end(), n) !=
+              options.excluded_nodes.end();
+      if (excluded) continue;
+      const Expr cell = cluster.pods(a, n);
+      const Expr pending = cluster.pending(a);
+      const Expr fits =
+          expr::mk_le(cluster.utilization(n) + config.pod_cpu_percent.at(a),
+                      expr::int_const(options.capacity_percent));
+      cluster.module().add_rule(
+          "schedule.place_a" + std::to_string(a) + "_n" + std::to_string(n),
+          expr::mk_and({expr::mk_lt(expr::int_const(0), pending),
+                        expr::mk_lt(cell, expr::int_const(config.max_pods_per_cell)),
+                        fits}),
+          {{cell, cell + 1}, {pending, pending - 1}});
+    }
+  }
+}
+
+}  // namespace verdict::ctrl

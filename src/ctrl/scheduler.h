@@ -1,0 +1,30 @@
+// Pod scheduler: places pending pods onto nodes that pass the resource filter.
+//
+// Kubernetes-style behaviour from §2: "filters out nodes with insufficient
+// resources and ranks those that remain with user-defined policies". The
+// filter is explicit (post-placement utilization must stay within
+// capacity_percent); ranking is left non-deterministic so the checker
+// explores every admissible placement — including the unfortunate ones that
+// fight the descheduler's eviction threshold (§3.3).
+#pragma once
+
+#include <optional>
+
+#include "ctrl/cluster.h"
+
+namespace verdict::ctrl {
+
+struct SchedulerOptions {
+  /// A node is schedulable while utilization + pod request <= this.
+  std::int64_t capacity_percent = 100;
+  /// Nodes the scheduler must not use (e.g. masters). Empty = all usable.
+  std::vector<std::size_t> excluded_nodes = {};
+  /// Kubernetes issue 75913 mode: ignore the exclusion/taint filter (the
+  /// buggy behaviour that lets pods land on tainted nodes).
+  bool ignore_exclusions = false;
+};
+
+/// Contributes "schedule.place_a<A>_n<N>" rules to the cluster module.
+void add_scheduler(ClusterState& cluster, const SchedulerOptions& options = {});
+
+}  // namespace verdict::ctrl

@@ -1,0 +1,20 @@
+#include "ctrl/taint.h"
+
+namespace verdict::ctrl {
+
+using expr::Expr;
+
+void add_taint_manager(ClusterState& cluster,
+                       const std::vector<std::size_t>& tainted_nodes) {
+  const ClusterConfig& config = cluster.config();
+  for (std::size_t n : tainted_nodes) {
+    for (std::size_t a = 0; a < config.num_apps; ++a) {
+      const Expr cell = cluster.pods(a, n);
+      cluster.module().add_rule(
+          "taint.evict_a" + std::to_string(a) + "_n" + std::to_string(n),
+          expr::mk_lt(expr::int_const(0), cell), {{cell, cell - 1}});
+    }
+  }
+}
+
+}  // namespace verdict::ctrl

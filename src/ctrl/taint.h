@@ -1,0 +1,18 @@
+// Taint manager: terminates pods running on tainted nodes.
+//
+// Kubernetes issue #75913 (§3.2): a deployment was configured to place pods
+// on a tainted node; the taint manager kept terminating them and the
+// deployment controller kept re-creating them, "creating a loop". Terminated
+// pods are gone (not re-queued) — re-creation is the deployment controller's
+// job, which is precisely what closes the loop.
+#pragma once
+
+#include "ctrl/cluster.h"
+
+namespace verdict::ctrl {
+
+/// Contributes "taint.evict_a<A>_n<N>" rules for each tainted node N: while
+/// pods of any app run on N, terminate one.
+void add_taint_manager(ClusterState& cluster, const std::vector<std::size_t>& tainted_nodes);
+
+}  // namespace verdict::ctrl

@@ -1,0 +1,36 @@
+#include "ctrl/traffic_eng.h"
+
+#include <stdexcept>
+
+namespace verdict::ctrl {
+
+using expr::Expr;
+
+namespace {
+// metric_target + hysteresis < metric_current
+Expr wants_to_move(Expr route, int target, Expr metric0, Expr metric1, Expr hysteresis) {
+  const Expr current_metric = target == 0 ? metric1 : metric0;
+  const Expr target_metric = target == 0 ? metric0 : metric1;
+  return expr::mk_and({expr::mk_eq(route, expr::int_const(target == 0 ? 1 : 0)),
+                       expr::mk_lt(target_metric + hysteresis, current_metric)});
+}
+}  // namespace
+
+void add_two_path_mover(mdl::Module& module, const std::string& name, Expr route,
+                        Expr metric0, Expr metric1, Expr hysteresis) {
+  if (!route.is_variable() || !route.type().is_int())
+    throw std::invalid_argument("add_two_path_mover: route must be a 0/1 int variable");
+  module.add_rule(name + ".to_path0",
+                  wants_to_move(route, 0, metric0, metric1, hysteresis),
+                  {{route, expr::int_const(0)}});
+  module.add_rule(name + ".to_path1",
+                  wants_to_move(route, 1, metric0, metric1, hysteresis),
+                  {{route, expr::int_const(1)}});
+}
+
+Expr mover_settled(Expr route, Expr metric0, Expr metric1, Expr hysteresis) {
+  return expr::mk_and({expr::mk_not(wants_to_move(route, 0, metric0, metric1, hysteresis)),
+                       expr::mk_not(wants_to_move(route, 1, metric0, metric1, hysteresis))});
+}
+
+}  // namespace verdict::ctrl

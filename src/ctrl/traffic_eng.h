@@ -1,0 +1,38 @@
+// Traffic-engineering style path movers.
+//
+// The paper's motivating example (§1): "a network traffic engineering
+// component may modify routes to optimize global bandwidth, unintentionally
+// increasing an application's traffic latency. This in turn might trigger a
+// load balancer to re-distribute an application's incoming traffic based on
+// the observed latency change that again affects bandwidth allocation."
+//
+// Both controllers in that loop are instances of one primitive: a *two-path
+// mover* that shifts its flow to the other path when the metric it watches
+// (utilization for TE, latency for the LB) is lower there by more than a
+// hysteresis margin. The margin is the interesting configuration knob: zero
+// hysteresis lets two movers chase each other forever; enough hysteresis
+// breaks the cycle — exactly the kind of quantitative cross-layer parameter
+// the checker can synthesize (see scenarios/te_lb.h).
+#pragma once
+
+#include <string>
+
+#include "expr/expr.h"
+#include "mdl/module.h"
+
+namespace verdict::ctrl {
+
+/// Adds rules "<name>.to_path0" / "<name>.to_path1" to `module` (which must
+/// own `route`, a 0/1 int var): switch to path p when p's metric plus the
+/// hysteresis margin is still below the current path's metric. `metric0/1`
+/// are expressions over the system state (they may — and in feedback loops
+/// do — depend on `route` itself; the guard compares the *observed* values,
+/// like a reactive controller). `hysteresis` may be a constant or parameter.
+void add_two_path_mover(mdl::Module& module, const std::string& name, expr::Expr route,
+                        expr::Expr metric0, expr::Expr metric1, expr::Expr hysteresis);
+
+/// "The mover is content": no rule guard holds.
+[[nodiscard]] expr::Expr mover_settled(expr::Expr route, expr::Expr metric0,
+                                       expr::Expr metric1, expr::Expr hysteresis);
+
+}  // namespace verdict::ctrl

@@ -1,0 +1,149 @@
+#include "expr/eval.h"
+
+#include <stdexcept>
+
+namespace verdict::expr {
+
+void Env::set(Expr var, Value v) {
+  if (!var.is_variable()) throw std::invalid_argument("Env::set: not a variable");
+  cur_[var.var()] = std::move(v);
+}
+
+void Env::set_next(Expr var, Value v) {
+  if (!var.is_variable()) throw std::invalid_argument("Env::set_next: not a variable");
+  next_[var.var()] = std::move(v);
+}
+
+std::optional<Value> Env::get(VarId var) const {
+  const auto it = cur_.find(var);
+  if (it == cur_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Value> Env::get_next(VarId var) const {
+  const auto it = next_.find(var);
+  if (it == next_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+util::Rational numeric_of(const Value& v, const char* where) {
+  if (std::holds_alternative<std::int64_t>(v))
+    return util::Rational(std::get<std::int64_t>(v));
+  if (std::holds_alternative<util::Rational>(v)) return std::get<util::Rational>(v);
+  throw std::invalid_argument(std::string(where) + ": expected numeric value");
+}
+
+class Evaluator {
+ public:
+  explicit Evaluator(const Env& env) : env_(env) {}
+
+  Value eval(Expr e) {
+    const auto it = memo_.find(e.id());
+    if (it != memo_.end()) return it->second;
+    Value v = compute(e);
+    memo_.emplace(e.id(), v);
+    return v;
+  }
+
+ private:
+  Value compute(Expr e) {
+    switch (e.kind()) {
+      case Kind::kConstant:
+        return e.constant_value();
+      case Kind::kVariable: {
+        const auto v = env_.get(e.var());
+        if (!v) throw std::invalid_argument("eval: unbound variable " + e.var_name());
+        return *v;
+      }
+      case Kind::kNext: {
+        const auto v = env_.get_next(e.var());
+        if (!v)
+          throw std::invalid_argument("eval: unbound next-state variable " + e.var_name());
+        return *v;
+      }
+      case Kind::kNot:
+        return !bool_of(e.kids()[0]);
+      case Kind::kAnd: {
+        for (Expr k : e.kids())
+          if (!bool_of(k)) return false;
+        return true;
+      }
+      case Kind::kOr: {
+        for (Expr k : e.kids())
+          if (bool_of(k)) return true;
+        return false;
+      }
+      case Kind::kIte:
+        return eval(bool_of(e.kids()[0]) ? e.kids()[1] : e.kids()[2]);
+      case Kind::kEq: {
+        const Expr a = e.kids()[0];
+        if (a.type().is_bool()) return bool_of(e.kids()[0]) == bool_of(e.kids()[1]);
+        return num_of(e.kids()[0]) == num_of(e.kids()[1]);
+      }
+      case Kind::kLt:
+        return num_of(e.kids()[0]) < num_of(e.kids()[1]);
+      case Kind::kLe:
+        return num_of(e.kids()[0]) <= num_of(e.kids()[1]);
+      case Kind::kAdd: {
+        util::Rational acc(0);
+        for (Expr k : e.kids()) acc += num_of(k);
+        return pack_numeric(acc, e.type());
+      }
+      case Kind::kMul: {
+        util::Rational acc(1);
+        for (Expr k : e.kids()) acc *= num_of(k);
+        return pack_numeric(acc, e.type());
+      }
+      case Kind::kDiv: {
+        const util::Rational d = num_of(e.kids()[1]);
+        if (d == util::Rational(0)) throw std::domain_error("eval: division by zero");
+        return num_of(e.kids()[0]) / d;
+      }
+      case Kind::kToReal:
+        return num_of(e.kids()[0]);
+    }
+    throw std::logic_error("eval: unhandled kind");
+  }
+
+  static Value pack_numeric(const util::Rational& r, const Type& type) {
+    if (type.is_int()) {
+      if (!r.is_integer()) throw std::logic_error("eval: integer term produced non-integer");
+      return r.num();
+    }
+    return r;
+  }
+
+  bool bool_of(Expr e) {
+    const Value v = eval(e);
+    if (!std::holds_alternative<bool>(v))
+      throw std::invalid_argument("eval: expected boolean operand");
+    return std::get<bool>(v);
+  }
+
+  util::Rational num_of(Expr e) { return numeric_of(eval(e), "eval"); }
+
+  const Env& env_;
+  std::unordered_map<std::uint32_t, Value> memo_;
+};
+
+}  // namespace
+
+Value eval(Expr e, const Env& env) {
+  if (!e.valid()) throw std::invalid_argument("eval: invalid expression");
+  return Evaluator(env).eval(e);
+}
+
+bool eval_bool(Expr e, const Env& env) {
+  const Value v = eval(e, env);
+  if (!std::holds_alternative<bool>(v))
+    throw std::invalid_argument("eval_bool: expression is not boolean");
+  return std::get<bool>(v);
+}
+
+util::Rational eval_numeric(Expr e, const Env& env) {
+  return numeric_of(eval(e, env), "eval_numeric");
+}
+
+}  // namespace verdict::expr

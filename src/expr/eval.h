@@ -1,0 +1,45 @@
+// Concrete evaluation of expressions over an environment.
+//
+// The evaluator is the semantic ground truth of verdict: counterexample
+// traces coming back from any engine are replayed through it (see
+// core/trace.cpp) and the simplifier / SMT / BDD layers are property-tested
+// against it.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "expr/expr.h"
+
+namespace verdict::expr {
+
+/// Variable assignment for one evaluation. `cur` values satisfy plain
+/// variable references; `next` values satisfy next(v) references (needed when
+/// evaluating a transition relation over a pair of adjacent trace states).
+class Env {
+ public:
+  void set(Expr var, Value v);
+  void set(VarId var, Value v) { cur_[var] = std::move(v); }
+  void set_next(Expr var, Value v);
+  void set_next(VarId var, Value v) { next_[var] = std::move(v); }
+
+  [[nodiscard]] std::optional<Value> get(VarId var) const;
+  [[nodiscard]] std::optional<Value> get_next(VarId var) const;
+  [[nodiscard]] bool empty() const { return cur_.empty() && next_.empty(); }
+
+ private:
+  std::unordered_map<VarId, Value> cur_;
+  std::unordered_map<VarId, Value> next_;
+};
+
+/// Evaluates `e` under `env`. Throws std::invalid_argument when a referenced
+/// variable has no binding. Memoizes across the expression DAG.
+[[nodiscard]] Value eval(Expr e, const Env& env);
+
+/// Evaluates a boolean expression; throws if `e` is not boolean.
+[[nodiscard]] bool eval_bool(Expr e, const Env& env);
+
+/// Evaluates a numeric expression into an exact rational.
+[[nodiscard]] util::Rational eval_numeric(Expr e, const Env& env);
+
+}  // namespace verdict::expr

@@ -1,0 +1,172 @@
+#include "expr/walk.h"
+
+#include <functional>
+#include <vector>
+
+namespace verdict::expr {
+
+namespace {
+
+// Generic memoized bottom-up rebuild. `leaf` decides how to rewrite
+// kVariable / kNext nodes; inner nodes are rebuilt through the canonicalizing
+// constructors so rewrites re-simplify.
+Expr rebuild(Expr root, const std::function<Expr(Expr)>& leaf) {
+  std::unordered_map<std::uint32_t, Expr> memo;
+  const std::function<Expr(Expr)> go = [&](Expr e) -> Expr {
+    const auto it = memo.find(e.id());
+    if (it != memo.end()) return it->second;
+    Expr out;
+    switch (e.kind()) {
+      case Kind::kConstant:
+        out = e;
+        break;
+      case Kind::kVariable:
+      case Kind::kNext:
+        out = leaf(e);
+        break;
+      default: {
+        std::vector<Expr> kids;
+        kids.reserve(e.kids().size());
+        bool changed = false;
+        for (Expr k : e.kids()) {
+          Expr nk = go(k);
+          changed = changed || !nk.is(k);
+          kids.push_back(nk);
+        }
+        if (!changed) {
+          out = e;
+          break;
+        }
+        switch (e.kind()) {
+          case Kind::kNot:
+            out = mk_not(kids[0]);
+            break;
+          case Kind::kAnd:
+            out = mk_and(kids);
+            break;
+          case Kind::kOr:
+            out = mk_or(kids);
+            break;
+          case Kind::kIte:
+            out = ite(kids[0], kids[1], kids[2]);
+            break;
+          case Kind::kEq:
+            out = mk_eq(kids[0], kids[1]);
+            break;
+          case Kind::kLt:
+            out = mk_lt(kids[0], kids[1]);
+            break;
+          case Kind::kLe:
+            out = mk_le(kids[0], kids[1]);
+            break;
+          case Kind::kAdd:
+            out = mk_add(kids);
+            break;
+          case Kind::kMul:
+            out = mk_mul(kids);
+            break;
+          case Kind::kDiv:
+            out = mk_div(kids[0], kids[1]);
+            break;
+          case Kind::kToReal:
+            out = to_real(kids[0]);
+            break;
+          default:
+            out = e;
+        }
+      }
+    }
+    memo.emplace(e.id(), out);
+    return out;
+  };
+  return go(root);
+}
+
+void visit_all(Expr root, const std::function<void(Expr)>& fn) {
+  std::set<std::uint32_t> seen;
+  std::vector<Expr> stack{root};
+  while (!stack.empty()) {
+    const Expr e = stack.back();
+    stack.pop_back();
+    if (!seen.insert(e.id()).second) continue;
+    fn(e);
+    for (Expr k : e.kids()) stack.push_back(k);
+  }
+}
+
+}  // namespace
+
+std::set<VarId> current_vars(Expr e) {
+  std::set<VarId> out;
+  visit_all(e, [&](Expr n) {
+    if (n.kind() == Kind::kVariable) out.insert(n.var());
+  });
+  // A variable inside kNext also appears as the kVariable child; remove the
+  // ones that *only* occur under kNext.
+  std::set<VarId> under_next_only;
+  // Re-walk tracking whether a variable occurs outside a Next wrapper.
+  std::set<VarId> current;
+  std::set<std::uint32_t> seen;
+  const std::function<void(Expr)> go = [&](Expr n) {
+    if (!seen.insert(n.id()).second) return;
+    if (n.kind() == Kind::kVariable) {
+      current.insert(n.var());
+      return;
+    }
+    if (n.kind() == Kind::kNext) return;  // don't descend into the wrapped var
+    for (Expr k : n.kids()) go(k);
+  };
+  go(e);
+  return current;
+}
+
+std::set<VarId> next_vars(Expr e) {
+  std::set<VarId> out;
+  visit_all(e, [&](Expr n) {
+    if (n.kind() == Kind::kNext) out.insert(n.var());
+  });
+  return out;
+}
+
+bool has_next(Expr e) {
+  bool found = false;
+  visit_all(e, [&](Expr n) {
+    if (n.kind() == Kind::kNext) found = true;
+  });
+  return found;
+}
+
+Expr substitute(Expr e, const Substitution& map) {
+  return rebuild(e, [&](Expr leaf) -> Expr {
+    if (leaf.kind() == Kind::kVariable) {
+      const auto it = map.find(leaf.var());
+      if (it != map.end()) return it->second;
+    }
+    return leaf;
+  });
+}
+
+Expr substitute_next(Expr e, const Substitution& map) {
+  return rebuild(e, [&](Expr leaf) -> Expr {
+    if (leaf.kind() == Kind::kNext) {
+      const auto it = map.find(leaf.var());
+      if (it != map.end()) return it->second;
+    }
+    return leaf;
+  });
+}
+
+Expr prime(Expr e, const std::set<VarId>& vars) {
+  return rebuild(e, [&](Expr leaf) -> Expr {
+    if (leaf.kind() == Kind::kVariable && vars.contains(leaf.var())) return next(leaf);
+    return leaf;
+  });
+}
+
+std::size_t dag_size(Expr e) {
+  std::size_t count = 0;
+  visit_all(e, [&](Expr) { ++count; });
+  return count;
+}
+
+}  // namespace verdict::expr

@@ -1,0 +1,35 @@
+// DAG traversals: variable collection, substitution, next-state analysis.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+
+#include "expr/expr.h"
+
+namespace verdict::expr {
+
+/// Collects ids of variables referenced in current-state position.
+[[nodiscard]] std::set<VarId> current_vars(Expr e);
+/// Collects ids of variables referenced in next-state position (under kNext).
+[[nodiscard]] std::set<VarId> next_vars(Expr e);
+/// True when the expression contains a next-state reference anywhere.
+[[nodiscard]] bool has_next(Expr e);
+
+/// Substitution map: variable id -> replacement expression.
+using Substitution = std::unordered_map<VarId, Expr>;
+
+/// Replaces current-state occurrences of mapped variables. Occurrences under
+/// kNext are left untouched (use substitute_next for those).
+[[nodiscard]] Expr substitute(Expr e, const Substitution& map);
+
+/// Replaces next(v) occurrences of mapped variables by the mapped expression.
+[[nodiscard]] Expr substitute_next(Expr e, const Substitution& map);
+
+/// Rewrites every current-state occurrence of the given variables into its
+/// next-state reference (used to build "primed" copies of formulas).
+[[nodiscard]] Expr prime(Expr e, const std::set<VarId>& vars);
+
+/// Number of distinct DAG nodes reachable from `e` (a size metric).
+[[nodiscard]] std::size_t dag_size(Expr e);
+
+}  // namespace verdict::expr

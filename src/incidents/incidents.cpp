@@ -1,0 +1,310 @@
+#include "incidents/incidents.h"
+
+#include <sstream>
+#include <vector>
+
+namespace verdict::incidents {
+
+namespace {
+
+// Label patterns are chosen so column sums reproduce the paper's Table 1
+// exactly: Google (of 42): dynamic 30, interactions 12, quantitative 20,
+// cross-layer 21; AWS (of 11): 8, 7, 7, 9. The first two Google entries are
+// the incidents the paper analyzes in prose; their labels are the paper's.
+const std::vector<IncidentRecord>& records() {
+  static const std::vector<IncidentRecord> kRecords = {
+      // --- Google Cloud (42) -------------------------------------------------
+      {"google-19007", Provider::kGoogleCloud, 2019, "Stackdriver / internal Pub/Sub",
+       "Routine key-value store rollout + network partition shifted load onto few "
+       "replicas; client retry storm overloaded them; Pub/Sub unavailability cascaded "
+       "into many user-facing services.",
+       true, true, true, true, true},
+      {"google-18037", Provider::kGoogleCloud, 2018, "BigQuery",
+       "Unusually large requests grew router-server memory; GC burned CPU; the load "
+       "balancer classified it as abuse and cut router capacity until BigQuery "
+       "rejected user requests.",
+       true, true, true, false, true},
+      // Reconstructed records (see header): patterns sum to the Table 1 row.
+      {"google-r03", Provider::kGoogleCloud, 2017, "Compute Engine",
+       "Autoscaler and migration manager repeatedly re-balanced the same instance "
+       "group while a quota service throttled both, starving new VM starts.",
+       true, true, true, true, false},
+      {"google-r04", Provider::kGoogleCloud, 2017, "Cloud Load Balancing",
+       "Health-check flapping interacted with connection-draining logic; backend "
+       "capacity oscillated below the traffic watermark.",
+       true, true, true, true, false},
+      {"google-r05", Provider::kGoogleCloud, 2018, "Cloud Pub/Sub",
+       "Subscriber rebalancing and flow control amplified a regional latency spike "
+       "into global backlog growth.",
+       true, true, true, true, false},
+      {"google-r06", Provider::kGoogleCloud, 2018, "Kubernetes Engine",
+       "Cluster autoscaler and node auto-repair each recreated nodes the other had "
+       "just acted on, churning workloads across zones.",
+       true, true, true, true, false},
+      {"google-r07", Provider::kGoogleCloud, 2019, "Cloud Networking",
+       "Traffic engineering demoted congested paths while BGP re-advertised them, "
+       "oscillating utilization across the backbone and the edge.",
+       true, true, true, true, false},
+      {"google-r08", Provider::kGoogleCloud, 2019, "App Engine",
+       "Rollout of a scheduler update raced instance autoscaling; request latency "
+       "breached SLO while both control loops disagreed on capacity.",
+       true, true, true, false, false},
+      {"google-r09", Provider::kGoogleCloud, 2017, "Cloud SQL",
+       "Failover controller and connection pooler disagreed about primary identity "
+       "after maintenance, bouncing client sessions.",
+       true, true, false, true, false},
+      {"google-r10", Provider::kGoogleCloud, 2018, "Cloud Spanner",
+       "Rebalancer moved tablets while a zone drain was in progress; both reacted to "
+       "each other's placements across storage and serving layers.",
+       true, true, false, true, false},
+      {"google-r11", Provider::kGoogleCloud, 2019, "Cloud DNS",
+       "Config propagation loop fought manual remediation during an incident, "
+       "re-applying stale records through two control planes.",
+       true, true, false, true, false},
+      {"google-r12", Provider::kGoogleCloud, 2018, "Cloud Console",
+       "Session service and its cache invalidator cycled each other's state after a "
+       "deploy, logging users out repeatedly.",
+       true, true, false, false, false},
+      {"google-r13", Provider::kGoogleCloud, 2017, "Cloud Storage",
+       "Repair jobs re-replicated objects while utilization-based placement kept "
+       "selecting the same hot shelves, extending elevated tail latency.",
+       true, false, true, true, false},
+      {"google-r14", Provider::kGoogleCloud, 2017, "Compute Engine",
+       "Live-migration rate controller overran a congested fabric; packet loss fed "
+       "back into migration retries.",
+       true, false, true, true, false},
+      {"google-r15", Provider::kGoogleCloud, 2018, "Cloud Interconnect",
+       "Capacity rebalancer drained attachments ahead of a link upgrade; reroutes "
+       "exceeded headroom on alternate paths.",
+       true, false, true, true, false},
+      {"google-r16", Provider::kGoogleCloud, 2019, "Cloud Run",
+       "Concurrency-based autoscaling chased a bimodal latency distribution caused "
+       "by cold starts on congested nodes.",
+       true, false, true, true, false},
+      {"google-r17", Provider::kGoogleCloud, 2019, "Cloud Memorystore",
+       "Eviction pressure triggered replica resyncs whose bandwidth use pushed "
+       "primaries over their memory watermarks.",
+       true, false, true, true, false},
+      {"google-r18", Provider::kGoogleCloud, 2017, "Cloud Functions",
+       "Scale-to-zero policy reacted to a metrics gap as zero load and tore down "
+       "warm instances during a traffic plateau.",
+       true, false, true, false, false},
+      {"google-r19", Provider::kGoogleCloud, 2018, "Cloud Monitoring",
+       "Ingestion autoscaler tracked a lagging queue-depth metric, repeatedly "
+       "under-provisioning during a backlog drain.",
+       true, false, true, false, false},
+      {"google-r20", Provider::kGoogleCloud, 2019, "Cloud Build",
+       "Worker-pool scaler treated quota rejections as finished work and converged "
+       "to a pool too small for the backlog.",
+       true, false, true, false, false},
+      {"google-r21", Provider::kGoogleCloud, 2017, "Cloud VPN",
+       "Tunnel re-keying automation rolled through gateways faster than route "
+       "convergence, briefly blackholing traffic per region.",
+       true, false, false, true, false},
+      {"google-r22", Provider::kGoogleCloud, 2018, "Compute Engine",
+       "Automated remediation rebooted hosts in a rack whose ToR was mid-upgrade, "
+       "extending a partial network partition.",
+       true, false, false, true, false},
+      {"google-r23", Provider::kGoogleCloud, 2019, "Kubernetes Engine",
+       "Master upgrade automation proceeded while node-pool resizing was stuck, "
+       "leaving clusters with unschedulable system pods.",
+       true, false, false, true, false},
+      {"google-r24", Provider::kGoogleCloud, 2017, "Identity and Access Management",
+       "Policy propagation loop re-pushed a bad ACL snapshot after each manual fix "
+       "until the generator was stopped.",
+       true, false, false, false, false},
+      {"google-r25", Provider::kGoogleCloud, 2017, "Cloud Dataflow",
+       "Job supervisor restarted pipelines on a poisoned input, cycling workers "
+       "through crash loops.",
+       true, false, false, false, false},
+      {"google-r26", Provider::kGoogleCloud, 2018, "Cloud Scheduler",
+       "Leader election churned after a clock-skew event; each new leader re-ran "
+       "recently fired jobs.",
+       true, false, false, false, false},
+      {"google-r27", Provider::kGoogleCloud, 2018, "App Engine",
+       "Rollout automation promoted a canary with a latent config error to all "
+       "regions before validation finished.",
+       true, false, false, false, false},
+      {"google-r28", Provider::kGoogleCloud, 2019, "Cloud Firestore",
+       "Index backfill controller kept restarting on a malformed document, pinning "
+       "background compaction.",
+       true, false, false, false, false},
+      {"google-r29", Provider::kGoogleCloud, 2019, "Cloud Tasks",
+       "Retry policy resubmitted failed dispatches without backoff after a config "
+       "push, saturating the dispatch fleet.",
+       true, false, false, false, false},
+      {"google-r30", Provider::kGoogleCloud, 2019, "Cloud Endpoints",
+       "Nightly config regeneration reverted an emergency mitigation for several "
+       "cycles in a row.",
+       true, false, false, false, false},
+      {"google-r31", Provider::kGoogleCloud, 2017, "Cloud Bigtable",
+       "A hot-spotted row range pushed per-node CPU beyond target on a cluster "
+       "whose network was concurrently degraded.",
+       false, false, true, true, false},
+      {"google-r32", Provider::kGoogleCloud, 2018, "Cloud CDN",
+       "Cache-fill bandwidth on a repaired backbone segment exceeded the modeled "
+       "budget, evicting hot objects at the edge.",
+       false, false, true, true, false},
+      {"google-r33", Provider::kGoogleCloud, 2018, "Cloud Logging",
+       "A misconfigured exclusion filter dropped billing-relevant log volume "
+       "metrics below alerting thresholds.",
+       false, false, true, false, false},
+      {"google-r34", Provider::kGoogleCloud, 2019, "BigQuery",
+       "A query-of-death pattern inflated slot consumption estimates, starving "
+       "on-demand workloads in one region.",
+       false, false, true, false, false},
+      {"google-r35", Provider::kGoogleCloud, 2017, "Cloud Networking",
+       "Fiber cut isolated a metro while a scheduled maintenance held the backup "
+       "path at reduced capacity.",
+       false, false, false, true, false},
+      {"google-r36", Provider::kGoogleCloud, 2018, "Compute Engine",
+       "Power event in one zone surfaced as API errors in dependent regional "
+       "services through shared control-plane backends.",
+       false, false, false, true, false},
+      {"google-r37", Provider::kGoogleCloud, 2017, "Cloud Support Portal",
+       "Expired internal certificate took down the case-management frontend.",
+       false, false, false, false, false},
+      {"google-r38", Provider::kGoogleCloud, 2017, "Cloud Source Repositories",
+       "Bad schema migration left the metadata database read-only until rollback.",
+       false, false, false, false, false},
+      {"google-r39", Provider::kGoogleCloud, 2018, "Cloud Marketplace",
+       "Deployment artifact referenced a deleted image tag; new installs failed.",
+       false, false, false, false, false},
+      {"google-r40", Provider::kGoogleCloud, 2018, "Cloud Shell",
+       "Capacity misconfiguration rejected session starts in two regions.",
+       false, false, false, false, false},
+      {"google-r41", Provider::kGoogleCloud, 2019, "Cloud KMS",
+       "Config push disabled an API surface used by a minority of callers.",
+       false, false, false, false, false},
+      {"google-r42", Provider::kGoogleCloud, 2019, "Cloud Billing",
+       "Report pipeline stalled on a malformed export, delaying invoices.",
+       false, false, false, false, false},
+
+      // --- Amazon AWS (11) ---------------------------------------------------
+      {"aws-r01", Provider::kAws, 2011, "EC2 / EBS",
+       "A network change re-mirrored a large EBS fleet at once; re-mirroring "
+       "storms and throttling interacted across storage and network layers for "
+       "days (us-east-1).",
+       true, true, true, true, false},
+      {"aws-r02", Provider::kAws, 2012, "ELB / EC2",
+       "Load balancer state cleanup removed live configs; scaling workflows and "
+       "health checks fought the repair across the API and data planes.",
+       true, true, true, true, false},
+      {"aws-r03", Provider::kAws, 2015, "DynamoDB",
+       "Metadata service overload made storage nodes retry membership requests; "
+       "retries held capacity below demand while dependent services failed over.",
+       true, true, true, true, false},
+      {"aws-r04", Provider::kAws, 2017, "S3",
+       "Mistyped capacity-removal command took out index subsystems; restart-time "
+       "backlog dynamics cascaded into dependent regional services.",
+       true, true, true, true, false},
+      {"aws-r05", Provider::kAws, 2013, "EBS",
+       "Failover automation and a stuck DNS update repeatedly redirected traffic "
+       "to a degraded replica set.",
+       true, true, false, true, false},
+      {"aws-r06", Provider::kAws, 2016, "Route 53",
+       "Health-check remediation and a config rollout each reverted the other's "
+       "changes across control and data planes.",
+       true, true, false, true, false},
+      {"aws-r07", Provider::kAws, 2018, "Lambda",
+       "Concurrency manager and a dependency's throttler reacted to each other's "
+       "backpressure, oscillating invocation error rates.",
+       true, true, true, false, false},
+      {"aws-r08", Provider::kAws, 2019, "Kinesis",
+       "Shard-map rebalancing chased a slowly leaking front-end fleet metric, "
+       "repeatedly overshooting target utilization.",
+       true, false, true, false, false},
+      {"aws-r09", Provider::kAws, 2014, "CloudFront",
+       "Regional cache fleet exceeded its modeled egress during a flash event "
+       "while a peering link was in maintenance.",
+       false, false, true, true, false},
+      {"aws-r10", Provider::kAws, 2012, "Elastic Beanstalk",
+       "Storm-related power loss in one AZ surfaced through shared control-plane "
+       "dependencies in another.",
+       false, false, false, true, false},
+      {"aws-r11", Provider::kAws, 2019, "EC2 networking",
+       "Top-of-rack switch failure mode blackholed a subset of cross-AZ flows "
+       "until manual isolation.",
+       false, false, false, true, false},
+  };
+  return kRecords;
+}
+
+}  // namespace
+
+std::span<const IncidentRecord> dataset() { return records(); }
+
+Table1 aggregate(std::span<const IncidentRecord> input) {
+  Table1 table;
+  for (const IncidentRecord& r : input) {
+    CharacteristicCounts& c =
+        r.provider == Provider::kGoogleCloud ? table.google : table.aws;
+    ++c.total;
+    if (r.dynamic_control) ++c.dynamic_control;
+    if (r.nontrivial_interactions) ++c.nontrivial_interactions;
+    if (r.quantitative_metrics) ++c.quantitative_metrics;
+    if (r.cross_layer) ++c.cross_layer;
+  }
+  const auto add = [](const CharacteristicCounts& a, const CharacteristicCounts& b) {
+    CharacteristicCounts out;
+    out.total = a.total + b.total;
+    out.dynamic_control = a.dynamic_control + b.dynamic_control;
+    out.nontrivial_interactions = a.nontrivial_interactions + b.nontrivial_interactions;
+    out.quantitative_metrics = a.quantitative_metrics + b.quantitative_metrics;
+    out.cross_layer = a.cross_layer + b.cross_layer;
+    return out;
+  };
+  table.combined = add(table.google, table.aws);
+  return table;
+}
+
+namespace {
+std::string cell(int count, int total) {
+  std::ostringstream os;
+  const int pct = total == 0 ? 0 : static_cast<int>(100.0 * count / total + 0.5);
+  os << count << " (" << pct << "%)";
+  return os.str();
+}
+}  // namespace
+
+std::string render_table1(const Table1& t) {
+  std::ostringstream os;
+  os << "Characteristic           | Google Cloud | Amazon AWS | Total\n";
+  os << "-------------------------+--------------+------------+---------\n";
+  const auto row = [&](const char* name, int g, int a, int c) {
+    os.width(24);
+    os.setf(std::ios::left);
+    os << name;
+    os << " | ";
+    os.width(12);
+    os << cell(g, t.google.total) << " | ";
+    os.width(10);
+    os << cell(a, t.aws.total) << " | " << cell(c, t.combined.total) << "\n";
+  };
+  row("Dynamic control", t.google.dynamic_control, t.aws.dynamic_control,
+      t.combined.dynamic_control);
+  row("Nontrivial interactions", t.google.nontrivial_interactions,
+      t.aws.nontrivial_interactions, t.combined.nontrivial_interactions);
+  row("Quantitative metrics", t.google.quantitative_metrics, t.aws.quantitative_metrics,
+      t.combined.quantitative_metrics);
+  row("Cross-layer", t.google.cross_layer, t.aws.cross_layer, t.combined.cross_layer);
+  os << "(" << t.google.total << " Google Cloud + " << t.aws.total << " AWS = "
+     << t.combined.total << " studied reports)\n";
+  return os.str();
+}
+
+std::span<const KubernetesIssue> kubernetes_issues() {
+  static const std::vector<KubernetesIssue> kIssues = {
+      {75913, "ReplicaSet controller continuously creates pods on tainted nodes",
+       "deployment controller + taint manager",
+       "create/terminate loop: the deployment restores replicas that the taint "
+       "manager keeps evicting"},
+      {90461, "HPA v2 scales up deployment during rolling updates",
+       "rolling update controller (maxSurge=1) + horizontal pod autoscaler",
+       "replica ratchet: the defective HPA adopts the surge pod count as the "
+       "expected count, letting the RUC surge again"},
+  };
+  return kIssues;
+}
+
+}  // namespace verdict::incidents

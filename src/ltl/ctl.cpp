@@ -1,0 +1,144 @@
+#include "ltl/ctl.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace verdict::ltl {
+
+CtlOp CtlFormula::op() const {
+  if (!node_) throw std::logic_error("CtlFormula: invalid handle");
+  return node_->op;
+}
+
+expr::Expr CtlFormula::atom() const {
+  if (op() != CtlOp::kAtom) throw std::logic_error("CtlFormula::atom on non-atom");
+  return node_->atom_expr;
+}
+
+const std::vector<CtlFormula>& CtlFormula::kids() const {
+  if (!node_) throw std::logic_error("CtlFormula: invalid handle");
+  return node_->kids;
+}
+
+CtlFormula CtlFormula::make(CtlOp op, expr::Expr atom, std::vector<CtlFormula> kids) {
+  auto node = std::make_shared<Node>();
+  node->op = op;
+  node->atom_expr = atom;
+  node->kids = std::move(kids);
+  for (const CtlFormula& k : node->kids)
+    if (!k.valid()) throw std::invalid_argument("CTL builder: invalid subformula");
+  return CtlFormula(std::move(node));
+}
+
+CtlFormula ctl_atom(expr::Expr e) {
+  if (!e.valid() || !e.type().is_bool())
+    throw std::invalid_argument("CTL atom must be a boolean expression");
+  return CtlFormula::make(CtlOp::kAtom, e, {});
+}
+CtlFormula ctl_not(CtlFormula f) { return CtlFormula::make(CtlOp::kNot, {}, {std::move(f)}); }
+CtlFormula ctl_and(CtlFormula a, CtlFormula b) {
+  return CtlFormula::make(CtlOp::kAnd, {}, {std::move(a), std::move(b)});
+}
+CtlFormula ctl_or(CtlFormula a, CtlFormula b) {
+  return CtlFormula::make(CtlOp::kOr, {}, {std::move(a), std::move(b)});
+}
+CtlFormula ctl_implies(CtlFormula a, CtlFormula b) {
+  return ctl_or(ctl_not(std::move(a)), std::move(b));
+}
+CtlFormula EX(CtlFormula f) { return CtlFormula::make(CtlOp::kEX, {}, {std::move(f)}); }
+CtlFormula EF(CtlFormula f) { return CtlFormula::make(CtlOp::kEF, {}, {std::move(f)}); }
+CtlFormula EG(CtlFormula f) { return CtlFormula::make(CtlOp::kEG, {}, {std::move(f)}); }
+CtlFormula EU(CtlFormula a, CtlFormula b) {
+  return CtlFormula::make(CtlOp::kEU, {}, {std::move(a), std::move(b)});
+}
+CtlFormula AX(CtlFormula f) { return CtlFormula::make(CtlOp::kAX, {}, {std::move(f)}); }
+CtlFormula AF(CtlFormula f) { return CtlFormula::make(CtlOp::kAF, {}, {std::move(f)}); }
+CtlFormula AG(CtlFormula f) { return CtlFormula::make(CtlOp::kAG, {}, {std::move(f)}); }
+CtlFormula AU(CtlFormula a, CtlFormula b) {
+  return CtlFormula::make(CtlOp::kAU, {}, {std::move(a), std::move(b)});
+}
+
+CtlFormula CtlFormula::to_existential_basis() const {
+  switch (op()) {
+    case CtlOp::kAtom:
+      return *this;
+    case CtlOp::kNot:
+      return ctl_not(kids()[0].to_existential_basis());
+    case CtlOp::kAnd:
+      return ctl_and(kids()[0].to_existential_basis(), kids()[1].to_existential_basis());
+    case CtlOp::kOr:
+      return ctl_or(kids()[0].to_existential_basis(), kids()[1].to_existential_basis());
+    case CtlOp::kEX:
+      return EX(kids()[0].to_existential_basis());
+    case CtlOp::kEG:
+      return EG(kids()[0].to_existential_basis());
+    case CtlOp::kEU:
+      return EU(kids()[0].to_existential_basis(), kids()[1].to_existential_basis());
+    case CtlOp::kEF:
+      return EU(ctl_atom(expr::tru()), kids()[0].to_existential_basis());
+    case CtlOp::kAX:
+      return ctl_not(EX(ctl_not(kids()[0].to_existential_basis())));
+    case CtlOp::kAG: {
+      // AG a = !EF !a = !E[true U !a]
+      CtlFormula na = ctl_not(kids()[0].to_existential_basis());
+      return ctl_not(EU(ctl_atom(expr::tru()), std::move(na)));
+    }
+    case CtlOp::kAF:
+      return ctl_not(EG(ctl_not(kids()[0].to_existential_basis())));
+    case CtlOp::kAU: {
+      // A[a U b] = !E[!b U (!a & !b)] & !EG !b
+      CtlFormula a = kids()[0].to_existential_basis();
+      CtlFormula b = kids()[1].to_existential_basis();
+      CtlFormula nb = ctl_not(b);
+      CtlFormula lhs = ctl_not(EU(nb, ctl_and(ctl_not(std::move(a)), nb)));
+      return ctl_and(std::move(lhs), ctl_not(EG(nb)));
+    }
+  }
+  throw std::logic_error("to_existential_basis: unhandled op");
+}
+
+std::string CtlFormula::str() const {
+  if (!node_) return "<invalid>";
+  std::ostringstream os;
+  switch (node_->op) {
+    case CtlOp::kAtom:
+      os << node_->atom_expr.str();
+      break;
+    case CtlOp::kNot:
+      os << "!" << node_->kids[0].str();
+      break;
+    case CtlOp::kAnd:
+      os << '(' << node_->kids[0].str() << " & " << node_->kids[1].str() << ')';
+      break;
+    case CtlOp::kOr:
+      os << '(' << node_->kids[0].str() << " | " << node_->kids[1].str() << ')';
+      break;
+    case CtlOp::kEX:
+      os << "EX " << node_->kids[0].str();
+      break;
+    case CtlOp::kEF:
+      os << "EF " << node_->kids[0].str();
+      break;
+    case CtlOp::kEG:
+      os << "EG " << node_->kids[0].str();
+      break;
+    case CtlOp::kEU:
+      os << "E[" << node_->kids[0].str() << " U " << node_->kids[1].str() << ']';
+      break;
+    case CtlOp::kAX:
+      os << "AX " << node_->kids[0].str();
+      break;
+    case CtlOp::kAF:
+      os << "AF " << node_->kids[0].str();
+      break;
+    case CtlOp::kAG:
+      os << "AG " << node_->kids[0].str();
+      break;
+    case CtlOp::kAU:
+      os << "A[" << node_->kids[0].str() << " U " << node_->kids[1].str() << ']';
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace verdict::ltl

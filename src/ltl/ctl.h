@@ -1,0 +1,86 @@
+// Computation tree logic formulas.
+//
+// CTL properties are checked by the BDD engine (bdd/ctl_checker) via the
+// classic EX/EU/EG fixpoint characterization, and by the explicit-state
+// engine as a cross-check oracle. Atoms are boolean expr::Expr predicates.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace verdict::ltl {
+
+enum class CtlOp : std::uint8_t {
+  kAtom,
+  kNot,
+  kAnd,
+  kOr,
+  kEX,
+  kEF,
+  kEG,
+  kEU,  // E[a U b]
+  kAX,
+  kAF,
+  kAG,
+  kAU,  // A[a U b]
+};
+
+class CtlFormula {
+ public:
+  CtlFormula() = default;
+
+  [[nodiscard]] bool valid() const { return node_ != nullptr; }
+  [[nodiscard]] CtlOp op() const;
+  [[nodiscard]] expr::Expr atom() const;
+  [[nodiscard]] const std::vector<CtlFormula>& kids() const;
+  [[nodiscard]] std::string str() const;
+
+  /// Rewrites into the adequate basis {atom, not, and, or, EX, EU, EG}:
+  ///   EF a = E[true U a];   AX a = !EX !a;   AG a = !EF !a;
+  ///   AF a = !EG !a;        A[a U b] = !(E[!b U (!a & !b)]) & !EG !b.
+  [[nodiscard]] CtlFormula to_existential_basis() const;
+
+ private:
+  struct Node {
+    CtlOp op;
+    expr::Expr atom_expr;
+    std::vector<CtlFormula> kids;
+  };
+  explicit CtlFormula(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  static CtlFormula make(CtlOp op, expr::Expr atom, std::vector<CtlFormula> kids);
+
+  friend CtlFormula ctl_atom(expr::Expr e);
+  friend CtlFormula ctl_not(CtlFormula f);
+  friend CtlFormula ctl_and(CtlFormula a, CtlFormula b);
+  friend CtlFormula ctl_or(CtlFormula a, CtlFormula b);
+  friend CtlFormula ctl_implies(CtlFormula a, CtlFormula b);
+  friend CtlFormula EX(CtlFormula f);
+  friend CtlFormula EF(CtlFormula f);
+  friend CtlFormula EG(CtlFormula f);
+  friend CtlFormula EU(CtlFormula a, CtlFormula b);
+  friend CtlFormula AX(CtlFormula f);
+  friend CtlFormula AF(CtlFormula f);
+  friend CtlFormula AG(CtlFormula f);
+  friend CtlFormula AU(CtlFormula a, CtlFormula b);
+
+  std::shared_ptr<const Node> node_;
+};
+
+CtlFormula ctl_atom(expr::Expr e);
+CtlFormula ctl_not(CtlFormula f);
+CtlFormula ctl_and(CtlFormula a, CtlFormula b);
+CtlFormula ctl_or(CtlFormula a, CtlFormula b);
+CtlFormula ctl_implies(CtlFormula a, CtlFormula b);
+CtlFormula EX(CtlFormula f);
+CtlFormula EF(CtlFormula f);
+CtlFormula EG(CtlFormula f);
+CtlFormula EU(CtlFormula a, CtlFormula b);
+CtlFormula AX(CtlFormula f);
+CtlFormula AF(CtlFormula f);
+CtlFormula AG(CtlFormula f);
+CtlFormula AU(CtlFormula a, CtlFormula b);
+
+}  // namespace verdict::ltl

@@ -1,0 +1,186 @@
+#include "ltl/ltl.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace verdict::ltl {
+
+Op Formula::op() const {
+  if (!node_) throw std::logic_error("Formula: invalid handle");
+  return node_->op;
+}
+
+expr::Expr Formula::atom() const {
+  if (op() != Op::kAtom) throw std::logic_error("Formula::atom on non-atom");
+  return node_->atom_expr;
+}
+
+const std::vector<Formula>& Formula::kids() const {
+  if (!node_) throw std::logic_error("Formula: invalid handle");
+  return node_->kids;
+}
+
+Formula Formula::make(Op op, expr::Expr atom, std::vector<Formula> kids) {
+  auto node = std::make_shared<Node>();
+  node->op = op;
+  node->atom_expr = atom;
+  node->kids = std::move(kids);
+  for (const Formula& k : node->kids)
+    if (!k.valid()) throw std::invalid_argument("LTL builder: invalid subformula");
+  return Formula(std::move(node));
+}
+
+Formula atom(expr::Expr e) {
+  if (!e.valid() || !e.type().is_bool())
+    throw std::invalid_argument("LTL atom must be a boolean expression");
+  return Formula::make(Op::kAtom, e, {});
+}
+
+Formula negation(Formula f) { return Formula::make(Op::kNot, {}, {std::move(f)}); }
+Formula conj(Formula a, Formula b) {
+  return Formula::make(Op::kAnd, {}, {std::move(a), std::move(b)});
+}
+Formula disj(Formula a, Formula b) {
+  return Formula::make(Op::kOr, {}, {std::move(a), std::move(b)});
+}
+Formula implies(Formula a, Formula b) { return disj(negation(std::move(a)), std::move(b)); }
+Formula X(Formula f) { return Formula::make(Op::kNext, {}, {std::move(f)}); }
+Formula F(Formula f) { return Formula::make(Op::kFinally, {}, {std::move(f)}); }
+Formula G(Formula f) { return Formula::make(Op::kGlobally, {}, {std::move(f)}); }
+Formula U(Formula a, Formula b) {
+  return Formula::make(Op::kUntil, {}, {std::move(a), std::move(b)});
+}
+Formula R(Formula a, Formula b) {
+  return Formula::make(Op::kRelease, {}, {std::move(a), std::move(b)});
+}
+
+bool operator==(const Formula& a, const Formula& b) {
+  if (a.node_ == b.node_) return true;
+  if (!a.node_ || !b.node_) return false;
+  if (a.node_->op != b.node_->op) return false;
+  if (a.node_->op == Op::kAtom) return a.node_->atom_expr.is(b.node_->atom_expr);
+  if (a.node_->kids.size() != b.node_->kids.size()) return false;
+  for (std::size_t i = 0; i < a.node_->kids.size(); ++i)
+    if (!(a.node_->kids[i] == b.node_->kids[i])) return false;
+  return true;
+}
+
+namespace {
+
+Formula nnf_of(const Formula& f, bool negated) {
+  switch (f.op()) {
+    case Op::kAtom:
+      return negated ? atom(expr::mk_not(f.atom())) : f;
+    case Op::kNot:
+      return nnf_of(f.kids()[0], !negated);
+    case Op::kAnd: {
+      Formula a = nnf_of(f.kids()[0], negated);
+      Formula b = nnf_of(f.kids()[1], negated);
+      return negated ? disj(std::move(a), std::move(b)) : conj(std::move(a), std::move(b));
+    }
+    case Op::kOr: {
+      Formula a = nnf_of(f.kids()[0], negated);
+      Formula b = nnf_of(f.kids()[1], negated);
+      return negated ? conj(std::move(a), std::move(b)) : disj(std::move(a), std::move(b));
+    }
+    case Op::kNext:
+      return X(nnf_of(f.kids()[0], negated));
+    case Op::kFinally:
+      // !F a == G !a
+      return negated ? G(nnf_of(f.kids()[0], true)) : F(nnf_of(f.kids()[0], false));
+    case Op::kGlobally:
+      return negated ? F(nnf_of(f.kids()[0], true)) : G(nnf_of(f.kids()[0], false));
+    case Op::kUntil: {
+      Formula a = nnf_of(f.kids()[0], negated);
+      Formula b = nnf_of(f.kids()[1], negated);
+      // !(a U b) == !a R !b
+      return negated ? R(std::move(a), std::move(b)) : U(std::move(a), std::move(b));
+    }
+    case Op::kRelease: {
+      Formula a = nnf_of(f.kids()[0], negated);
+      Formula b = nnf_of(f.kids()[1], negated);
+      return negated ? U(std::move(a), std::move(b)) : R(std::move(a), std::move(b));
+    }
+  }
+  throw std::logic_error("nnf: unhandled op");
+}
+
+void collect(const Formula& f, std::vector<Formula>& out) {
+  for (const Formula& existing : out)
+    if (existing == f) return;
+  out.push_back(f);
+  for (const Formula& k : f.kids()) collect(k, out);
+}
+
+}  // namespace
+
+Formula Formula::nnf() const { return nnf_of(*this, false); }
+
+std::vector<Formula> Formula::subformulas() const {
+  std::vector<Formula> out;
+  collect(*this, out);
+  return out;
+}
+
+std::string Formula::str() const {
+  if (!node_) return "<invalid>";
+  std::ostringstream os;
+  switch (node_->op) {
+    case Op::kAtom:
+      os << node_->atom_expr.str();
+      break;
+    case Op::kNot:
+      os << "!" << node_->kids[0].str();
+      break;
+    case Op::kAnd:
+      os << '(' << node_->kids[0].str() << " & " << node_->kids[1].str() << ')';
+      break;
+    case Op::kOr:
+      os << '(' << node_->kids[0].str() << " | " << node_->kids[1].str() << ')';
+      break;
+    case Op::kNext:
+      os << "X " << node_->kids[0].str();
+      break;
+    case Op::kFinally:
+      os << "F " << node_->kids[0].str();
+      break;
+    case Op::kGlobally:
+      os << "G " << node_->kids[0].str();
+      break;
+    case Op::kUntil:
+      os << '(' << node_->kids[0].str() << " U " << node_->kids[1].str() << ')';
+      break;
+    case Op::kRelease:
+      os << '(' << node_->kids[0].str() << " R " << node_->kids[1].str() << ')';
+      break;
+  }
+  return os.str();
+}
+
+bool is_invariant_property(const Formula& f) {
+  return f.valid() && f.op() == Op::kGlobally && f.kids()[0].op() == Op::kAtom;
+}
+
+expr::Expr invariant_atom(const Formula& f) {
+  if (!is_invariant_property(f))
+    throw std::invalid_argument("invariant_atom: formula is not G(atom)");
+  return f.kids()[0].atom();
+}
+
+bool is_fg_property(const Formula& f) {
+  return f.valid() && f.op() == Op::kFinally && f.kids()[0].op() == Op::kGlobally &&
+         f.kids()[0].kids()[0].op() == Op::kAtom;
+}
+
+bool is_gf_property(const Formula& f) {
+  return f.valid() && f.op() == Op::kGlobally && f.kids()[0].op() == Op::kFinally &&
+         f.kids()[0].kids()[0].op() == Op::kAtom;
+}
+
+expr::Expr stabilization_atom(const Formula& f) {
+  if (!is_fg_property(f) && !is_gf_property(f))
+    throw std::invalid_argument("stabilization_atom: formula is not F(G p) / G(F p)");
+  return f.kids()[0].kids()[0].atom();
+}
+
+}  // namespace verdict::ltl

@@ -1,0 +1,101 @@
+// Linear temporal logic formulas.
+//
+// Properties in verdict are written exactly as in the paper: safety like
+// G(converged -> available >= m) and liveness like F(G(stable)) or
+// stable -> F(G(stable)). Atoms are boolean `expr::Expr` predicates over the
+// transition system's variables and parameters.
+//
+// Formulas are immutable shared trees. `nnf()` pushes negations to the atoms
+// (introducing the Release dual of Until), which is the input form required
+// by the bounded LTL model-checking encoding in core/liveness.cpp.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace verdict::ltl {
+
+enum class Op : std::uint8_t {
+  kAtom,
+  kNot,
+  kAnd,
+  kOr,
+  kNext,     // X
+  kFinally,  // F
+  kGlobally, // G
+  kUntil,    // U
+  kRelease,  // R
+};
+
+class Formula {
+ public:
+  Formula() = default;
+
+  [[nodiscard]] bool valid() const { return node_ != nullptr; }
+  [[nodiscard]] Op op() const;
+  [[nodiscard]] expr::Expr atom() const;                 // kAtom only
+  [[nodiscard]] const std::vector<Formula>& kids() const;
+
+  /// Negation normal form: negations only on atoms, using the X/U/R duals.
+  [[nodiscard]] Formula nnf() const;
+
+  /// All distinct subformulas (of the formula as-is), outermost first.
+  [[nodiscard]] std::vector<Formula> subformulas() const;
+
+  [[nodiscard]] std::string str() const;
+
+  /// Structural equality.
+  friend bool operator==(const Formula& a, const Formula& b);
+
+ private:
+  struct Node {
+    Op op;
+    expr::Expr atom_expr;
+    std::vector<Formula> kids;
+  };
+  explicit Formula(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  static Formula make(Op op, expr::Expr atom, std::vector<Formula> kids);
+
+  friend Formula atom(expr::Expr e);
+  friend Formula negation(Formula f);
+  friend Formula conj(Formula a, Formula b);
+  friend Formula disj(Formula a, Formula b);
+  friend Formula implies(Formula a, Formula b);
+  friend Formula X(Formula f);
+  friend Formula F(Formula f);
+  friend Formula G(Formula f);
+  friend Formula U(Formula a, Formula b);
+  friend Formula R(Formula a, Formula b);
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// Builders (free functions mirroring the usual LTL syntax).
+Formula atom(expr::Expr e);
+Formula negation(Formula f);
+Formula conj(Formula a, Formula b);
+Formula disj(Formula a, Formula b);
+Formula implies(Formula a, Formula b);
+Formula X(Formula f);
+Formula F(Formula f);
+Formula G(Formula f);
+Formula U(Formula a, Formula b);
+Formula R(Formula a, Formula b);
+
+/// True when the formula is of the form G(atom) — the safety fragment that
+/// the BMC / k-induction / PDR engines accept directly.
+[[nodiscard]] bool is_invariant_property(const Formula& f);
+/// For a G(atom) formula, the atom.
+[[nodiscard]] expr::Expr invariant_atom(const Formula& f);
+
+/// F(G(atom)) / G(F(atom)) — the stabilization/recurrence shapes the
+/// liveness-to-safety reduction (core/l2s.h) can decide outright.
+[[nodiscard]] bool is_fg_property(const Formula& f);
+[[nodiscard]] bool is_gf_property(const Formula& f);
+/// The atom of an F(G(atom)) or G(F(atom)) formula.
+[[nodiscard]] expr::Expr stabilization_atom(const Formula& f);
+
+}  // namespace verdict::ltl

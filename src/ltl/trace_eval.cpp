@@ -1,0 +1,135 @@
+#include "ltl/trace_eval.h"
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace verdict::ltl {
+
+namespace {
+
+// Evaluates one subformula at every position, memoized per subformula tree
+// node. Temporal operators over an ultimately periodic word are solved by
+// iterating their expansion laws backwards until fixpoint; on a lasso of n
+// states each fixpoint converges within n+1 sweeps.
+class LassoEvaluator {
+ public:
+  LassoEvaluator(const ts::TransitionSystem& ts, const ts::Trace& trace)
+      : ts_(ts), trace_(trace), n_(trace.states.size()), loop_(*trace.lasso_start) {}
+
+  std::vector<bool> eval(const Formula& f) {
+    for (const auto& [key, value] : memo_)
+      if (key == f) return value;
+    std::vector<bool> result = compute(f);
+    memo_.emplace_back(f, result);
+    return result;
+  }
+
+ private:
+  std::size_t succ(std::size_t i) const { return i + 1 < n_ ? i + 1 : loop_; }
+
+  std::vector<bool> compute(const Formula& f) {
+    switch (f.op()) {
+      case Op::kAtom: {
+        std::vector<bool> out(n_);
+        for (std::size_t i = 0; i < n_; ++i)
+          out[i] = expr::eval_bool(f.atom(), ts_.env_of(trace_.states[i], trace_.params));
+        return out;
+      }
+      case Op::kNot: {
+        std::vector<bool> a = eval(f.kids()[0]);
+        for (std::size_t i = 0; i < n_; ++i) a[i] = !a[i];
+        return a;
+      }
+      case Op::kAnd: {
+        std::vector<bool> a = eval(f.kids()[0]);
+        const std::vector<bool> b = eval(f.kids()[1]);
+        for (std::size_t i = 0; i < n_; ++i) a[i] = a[i] && b[i];
+        return a;
+      }
+      case Op::kOr: {
+        std::vector<bool> a = eval(f.kids()[0]);
+        const std::vector<bool> b = eval(f.kids()[1]);
+        for (std::size_t i = 0; i < n_; ++i) a[i] = a[i] || b[i];
+        return a;
+      }
+      case Op::kNext: {
+        const std::vector<bool> a = eval(f.kids()[0]);
+        std::vector<bool> out(n_);
+        for (std::size_t i = 0; i < n_; ++i) out[i] = a[succ(i)];
+        return out;
+      }
+      case Op::kFinally: {
+        // F a  ==  true U a
+        const std::vector<bool> a = eval(f.kids()[0]);
+        return least_fixpoint(std::vector<bool>(n_, true), a);
+      }
+      case Op::kGlobally: {
+        // G a  ==  false R a
+        const std::vector<bool> a = eval(f.kids()[0]);
+        return greatest_fixpoint(std::vector<bool>(n_, false), a);
+      }
+      case Op::kUntil:
+        return least_fixpoint(eval(f.kids()[0]), eval(f.kids()[1]));
+      case Op::kRelease:
+        return greatest_fixpoint(eval(f.kids()[0]), eval(f.kids()[1]));
+    }
+    throw std::logic_error("holds_on_lasso: unhandled op");
+  }
+
+  // a U b: smallest solution of  s[i] = b[i] || (a[i] && s[succ(i)]).
+  std::vector<bool> least_fixpoint(const std::vector<bool>& a, const std::vector<bool>& b) {
+    std::vector<bool> s(n_, false);
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (std::size_t r = 0; r < n_; ++r) {
+        const std::size_t i = n_ - 1 - r;
+        const bool v = b[i] || (a[i] && s[succ(i)]);
+        if (v != s[i]) {
+          s[i] = v;
+          changed = true;
+        }
+      }
+    }
+    return s;
+  }
+
+  // a R b: largest solution of  s[i] = b[i] && (a[i] || s[succ(i)]).
+  std::vector<bool> greatest_fixpoint(const std::vector<bool>& a, const std::vector<bool>& b) {
+    std::vector<bool> s(n_, true);
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (std::size_t r = 0; r < n_; ++r) {
+        const std::size_t i = n_ - 1 - r;
+        const bool v = b[i] && (a[i] || s[succ(i)]);
+        if (v != s[i]) {
+          s[i] = v;
+          changed = true;
+        }
+      }
+    }
+    return s;
+  }
+
+  const ts::TransitionSystem& ts_;
+  const ts::Trace& trace_;
+  std::size_t n_;
+  std::size_t loop_;
+  std::vector<std::pair<Formula, std::vector<bool>>> memo_;
+};
+
+}  // namespace
+
+bool holds_on_lasso(const Formula& f, const ts::TransitionSystem& ts, const ts::Trace& trace,
+                    std::size_t position) {
+  if (!trace.is_lasso())
+    throw std::invalid_argument("holds_on_lasso: trace has no lasso_start");
+  if (trace.states.empty() || *trace.lasso_start >= trace.states.size())
+    throw std::invalid_argument("holds_on_lasso: malformed lasso trace");
+  if (position >= trace.states.size())
+    throw std::invalid_argument("holds_on_lasso: position out of range");
+  LassoEvaluator evaluator(ts, trace);
+  return evaluator.eval(f)[position];
+}
+
+}  // namespace verdict::ltl

@@ -1,0 +1,22 @@
+// LTL evaluation over concrete lasso traces.
+//
+// A lasso trace (finite prefix + loop) denotes an ultimately periodic infinite
+// word, over which full LTL has exact semantics. This evaluator computes that
+// semantics by fixpoint iteration and serves as the ground-truth oracle for
+// the symbolic liveness engine: every counterexample the bounded LTL checker
+// produces is replayed here and must satisfy the *negation* of the property.
+#pragma once
+
+#include "ltl/ltl.h"
+#include "ts/transition_system.h"
+
+namespace verdict::ltl {
+
+/// Evaluates `f` at position `position` of the infinite word denoted by the
+/// lasso `trace` (which must have lasso_start set). Atoms are evaluated under
+/// the transition system's variables plus the trace's parameter values.
+/// Throws std::invalid_argument when the trace is not a lasso.
+[[nodiscard]] bool holds_on_lasso(const Formula& f, const ts::TransitionSystem& ts,
+                                  const ts::Trace& trace, std::size_t position = 0);
+
+}  // namespace verdict::ltl

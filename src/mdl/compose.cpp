@@ -1,0 +1,82 @@
+#include "mdl/compose.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace verdict::mdl {
+
+using expr::Expr;
+
+ts::TransitionSystem compose(std::span<const Module> modules,
+                             const ComposeOptions& options) {
+  if (modules.empty()) throw std::invalid_argument("compose: no modules");
+
+  ts::TransitionSystem ts;
+  std::set<expr::VarId> owned;
+  std::set<expr::VarId> params_seen;
+
+  for (const Module& module : modules) {
+    for (Expr v : module.vars()) {
+      if (!owned.insert(v.var()).second)
+        throw std::invalid_argument("compose: variable owned by two modules: " +
+                                    v.var_name());
+      ts.add_var(v);
+    }
+  }
+  for (const Module& module : modules) {
+    for (Expr p : module.params()) {
+      if (owned.contains(p.var()))
+        throw std::invalid_argument("compose: parameter also owned as variable: " +
+                                    p.var_name());
+      if (params_seen.insert(p.var()).second) ts.add_param(p);
+    }
+    for (Expr e : module.init()) ts.add_init(e);
+    for (Expr e : module.invar()) ts.add_invar(e);
+    for (Expr e : module.param_constraints()) ts.add_param_constraint(e);
+  }
+
+  switch (options.scheduling) {
+    case Scheduling::kSynchronous: {
+      for (const Module& module : modules) ts.add_trans(module.step_relation());
+      break;
+    }
+    case Scheduling::kInterleaving: {
+      std::vector<Expr> choices;
+      for (std::size_t i = 0; i < modules.size(); ++i) {
+        std::vector<Expr> conjuncts{modules[i].step_relation()};
+        for (std::size_t j = 0; j < modules.size(); ++j)
+          if (j != i) conjuncts.push_back(modules[j].keep_relation());
+        choices.push_back(expr::all_of(conjuncts));
+      }
+      ts.add_trans(expr::any_of(choices));
+      break;
+    }
+    case Scheduling::kRoundRobin: {
+      const Expr turn = expr::int_var(options.turn_var_name, 0,
+                                      static_cast<std::int64_t>(modules.size()) - 1);
+      ts.add_var(turn);
+      ts.add_init(expr::mk_eq(turn, expr::int_const(0)));
+      const std::int64_t n = static_cast<std::int64_t>(modules.size());
+      ts.add_trans(expr::mk_eq(
+          expr::next(turn),
+          expr::ite(expr::mk_eq(turn, expr::int_const(n - 1)), expr::int_const(0),
+                    turn + 1)));
+      std::vector<Expr> choices;
+      for (std::size_t i = 0; i < modules.size(); ++i) {
+        std::vector<Expr> conjuncts{
+            expr::mk_eq(turn, expr::int_const(static_cast<std::int64_t>(i))),
+            modules[i].step_relation()};
+        for (std::size_t j = 0; j < modules.size(); ++j)
+          if (j != i) conjuncts.push_back(modules[j].keep_relation());
+        choices.push_back(expr::all_of(conjuncts));
+      }
+      ts.add_trans(expr::any_of(choices));
+      break;
+    }
+  }
+
+  ts.validate();
+  return ts;
+}
+
+}  // namespace verdict::mdl

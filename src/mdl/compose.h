@@ -1,0 +1,33 @@
+// Composition of component modules into one transition system.
+//
+// Three schedulers:
+//   kInterleaving — at each step exactly one module steps, the others keep
+//     their variables (asynchronous composition; the default for modeling
+//     independently deployed controllers).
+//   kSynchronous  — every module steps simultaneously.
+//   kRoundRobin   — a hidden turn counter cycles through the modules in
+//     declaration order ("the load balancer takes turns setting the weights
+//     for app_a and app_b", paper §4.2 case study 2).
+#pragma once
+
+#include <span>
+
+#include "mdl/module.h"
+#include "ts/transition_system.h"
+
+namespace verdict::mdl {
+
+enum class Scheduling : std::uint8_t { kInterleaving, kSynchronous, kRoundRobin };
+
+struct ComposeOptions {
+  Scheduling scheduling = Scheduling::kInterleaving;
+  /// Name of the hidden turn variable (round-robin only); must be fresh.
+  std::string turn_var_name = "__turn";
+};
+
+/// Compiles modules into a TransitionSystem. Throws std::invalid_argument on
+/// overlapping variable ownership.
+[[nodiscard]] ts::TransitionSystem compose(std::span<const Module> modules,
+                                           const ComposeOptions& options = {});
+
+}  // namespace verdict::mdl

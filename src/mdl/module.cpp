@@ -1,0 +1,95 @@
+#include "mdl/module.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace verdict::mdl {
+
+using expr::Expr;
+
+void Module::add_var(Expr var) {
+  if (!var.is_variable()) throw std::invalid_argument("Module::add_var: not a variable");
+  vars_.push_back(var);
+}
+
+void Module::add_param(Expr param) {
+  if (!param.is_variable())
+    throw std::invalid_argument("Module::add_param: not a variable");
+  params_.push_back(param);
+}
+
+void Module::add_init(Expr constraint) { init_.push_back(constraint); }
+void Module::add_invar(Expr constraint) { invar_.push_back(constraint); }
+void Module::add_param_constraint(Expr constraint) {
+  param_constraints_.push_back(constraint);
+}
+
+void Module::add_rule(std::string name, Expr guard, std::vector<Assignment> assigns) {
+  if (!guard.valid() || !guard.type().is_bool())
+    throw std::invalid_argument("Module::add_rule: guard must be boolean");
+  std::set<expr::VarId> owned;
+  for (Expr v : vars_) owned.insert(v.var());
+  std::set<expr::VarId> assigned;
+  for (const Assignment& a : assigns) {
+    if (!a.var.is_variable())
+      throw std::invalid_argument("rule " + name + ": assignment target not a variable");
+    if (!owned.contains(a.var.var()))
+      throw std::invalid_argument("rule " + name + ": assigns variable not owned by module " +
+                                  name_ + ": " + a.var.var_name());
+    if (!assigned.insert(a.var.var()).second)
+      throw std::invalid_argument("rule " + name + ": duplicate assignment to " +
+                                  a.var.var_name());
+    if (a.var.type().kind != a.value.type().kind &&
+        !(a.var.type().is_real() && a.value.type().is_int()))
+      throw std::invalid_argument("rule " + name + ": type mismatch assigning " +
+                                  a.var.var_name());
+  }
+  rules_.push_back(Rule{std::move(name), guard, std::move(assigns)});
+}
+
+expr::Expr Module::keep_relation() const {
+  std::vector<Expr> keeps;
+  keeps.reserve(vars_.size());
+  for (Expr v : vars_) keeps.push_back(expr::mk_eq(expr::next(v), v));
+  return expr::all_of(keeps);
+}
+
+expr::Expr Module::some_rule_enabled() const {
+  std::vector<Expr> guards;
+  guards.reserve(rules_.size());
+  for (const Rule& r : rules_) guards.push_back(r.guard);
+  return expr::any_of(guards);
+}
+
+expr::Expr Module::step_relation() const {
+  std::vector<Expr> disjuncts;
+  for (const Rule& rule : rules_) {
+    std::vector<Expr> conjuncts{rule.guard};
+    std::set<expr::VarId> assigned;
+    for (const Assignment& a : rule.assigns) {
+      Expr value = a.value;
+      if (a.var.type().is_real() && value.type().is_int()) value = expr::to_real(value);
+      conjuncts.push_back(expr::mk_eq(expr::next(a.var), value));
+      assigned.insert(a.var.var());
+    }
+    for (Expr v : vars_) {
+      if (!assigned.contains(v.var()))
+        conjuncts.push_back(expr::mk_eq(expr::next(v), v));
+    }
+    disjuncts.push_back(expr::all_of(conjuncts));
+  }
+
+  switch (stutter_) {
+    case StutterMode::kAlways:
+      disjuncts.push_back(keep_relation());
+      break;
+    case StutterMode::kWhenDisabled:
+      disjuncts.push_back(expr::mk_and({expr::mk_not(some_rule_enabled()), keep_relation()}));
+      break;
+    case StutterMode::kNever:
+      break;
+  }
+  return expr::any_of(disjuncts);
+}
+
+}  // namespace verdict::mdl

@@ -1,0 +1,97 @@
+// Component-level modeling: modules with guarded transition rules.
+//
+// This is the "high-level modeling language … accompanied by a library of
+// common control system and environment models" that the paper envisions
+// (§4.1): each control component (scheduler, rollout controller, load
+// balancer, …) is one Module owning a slice of the state and a set of guarded
+// rules; mdl::compose() then compiles a set of modules into the low-level
+// ts::TransitionSystem consumed by the engines — the analogue of compiling to
+// NuXMV's input language.
+//
+// Rule semantics: when a module takes a step, one nondeterministically chosen
+// enabled rule fires; variables the rule does not assign keep their value.
+// When no rule is enabled the module stutters. Whether a module may *also*
+// stutter while rules are enabled is the module's StutterMode (kAlways by
+// default — the usual asynchronous-composition convention, and the source of
+// the "unfortunate timing" interleavings the paper's failures depend on).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace verdict::mdl {
+
+enum class StutterMode : std::uint8_t {
+  kAlways,        // may skip a step even when rules are enabled
+  kWhenDisabled,  // stutters only when no rule is enabled
+  kNever,         // deadlocks the composition when no rule is enabled
+};
+
+class Module {
+ public:
+  Module() : name_("unnamed") {}
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Declares a state variable owned (written) by this module. A variable
+  /// may be owned by exactly one module in a composition.
+  void add_var(expr::Expr var);
+  /// Declares a parameter used by this module (shared freely).
+  void add_param(expr::Expr param);
+
+  void add_init(expr::Expr constraint);
+  void add_invar(expr::Expr constraint);
+  void add_param_constraint(expr::Expr constraint);
+
+  struct Assignment {
+    expr::Expr var;
+    expr::Expr value;
+  };
+  struct Rule {
+    std::string name;
+    expr::Expr guard;
+    std::vector<Assignment> assigns;
+  };
+
+  /// Adds a guarded rule. Assigned variables must be owned by this module.
+  void add_rule(std::string name, expr::Expr guard, std::vector<Assignment> assigns);
+
+  void set_stutter(StutterMode mode) { stutter_ = mode; }
+  [[nodiscard]] StutterMode stutter() const { return stutter_; }
+
+  [[nodiscard]] const std::vector<expr::Expr>& vars() const { return vars_; }
+  [[nodiscard]] const std::vector<expr::Expr>& params() const { return params_; }
+  [[nodiscard]] const std::vector<expr::Expr>& init() const { return init_; }
+  [[nodiscard]] const std::vector<expr::Expr>& invar() const { return invar_; }
+  [[nodiscard]] const std::vector<expr::Expr>& param_constraints() const {
+    return param_constraints_;
+  }
+  [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
+
+  /// "Some enabled rule fires" as a relation over (vars, next(vars)):
+  ///   OR_r guard_r && assigned vars step && unassigned vars keep
+  /// plus the stutter disjunct according to the StutterMode.
+  [[nodiscard]] expr::Expr step_relation() const;
+
+  /// "Every owned variable keeps its value".
+  [[nodiscard]] expr::Expr keep_relation() const;
+
+  /// Disjunction of the rule guards.
+  [[nodiscard]] expr::Expr some_rule_enabled() const;
+
+ private:
+  std::string name_;
+  std::vector<expr::Expr> vars_;
+  std::vector<expr::Expr> params_;
+  std::vector<expr::Expr> init_;
+  std::vector<expr::Expr> invar_;
+  std::vector<expr::Expr> param_constraints_;
+  std::vector<Rule> rules_;
+  StutterMode stutter_ = StutterMode::kAlways;
+};
+
+}  // namespace verdict::mdl

@@ -1,0 +1,385 @@
+#include "mdl/vml.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ltl/parser.h"
+
+namespace verdict::mdl {
+
+using expr::Expr;
+
+namespace {
+
+// Cursor over the source with comment/whitespace skipping. Expressions are
+// sliced as raw substrings and delegated to ltl::parse_expr / parse_ltl.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  [[nodiscard]] std::size_t offset() const { return pos_; }
+
+  // Next identifier/keyword without consuming.
+  [[nodiscard]] std::string peek_word() {
+    skip_ws();
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[end])) || text_[end] == '_')) {
+      ++end;
+    }
+    return std::string(text_.substr(pos_, end - pos_));
+  }
+
+  std::string take_word() {
+    const std::string w = peek_word();
+    if (w.empty()) fail("expected identifier");
+    pos_ += w.size();
+    return w;
+  }
+
+  [[nodiscard]] char peek_char() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect_char(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool try_char(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // Raw text until (not including) the next occurrence of `stop` at paren
+  // depth 0; consumes the stop character.
+  std::string take_until(char stop) {
+    skip_ws();
+    std::size_t depth = 0;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '(') ++depth;
+      if (c == ')') {
+        if (depth == 0) fail("unbalanced ')'");
+        --depth;
+      }
+      if (c == stop && depth == 0) {
+        const std::string out(text_.substr(start, pos_ - start));
+        ++pos_;  // consume stop
+        return out;
+      }
+      ++pos_;
+    }
+    fail(std::string("expected '") + stop + "' before end of input");
+  }
+
+  // Quoted string.
+  std::string take_string() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') fail("expected '\"'");
+    ++pos_;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+    if (pos_ >= text_.size()) fail("unterminated string");
+    const std::string out(text_.substr(start, pos_ - start));
+    ++pos_;
+    return out;
+  }
+
+  std::int64_t take_int() {
+    skip_ws();
+    std::size_t end = pos_;
+    if (end < text_.size() && (text_[end] == '-' || text_[end] == '+')) ++end;
+    while (end < text_.size() && std::isdigit(static_cast<unsigned char>(text_[end]))) ++end;
+    if (end == pos_) fail("expected integer");
+    const std::int64_t v = std::stoll(std::string(text_.substr(pos_, end - pos_)));
+    pos_ = end;
+    return v;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ltl::ParseError("vml: " + message, pos_);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+expr::Type parse_type(Cursor& cursor) {
+  const std::string word = cursor.peek_word();
+  if (word == "bool") {
+    cursor.take_word();
+    return expr::Type::boolean();
+  }
+  if (word == "int") {
+    cursor.take_word();
+    return expr::Type::integer();
+  }
+  if (word == "real") {
+    cursor.take_word();
+    return expr::Type::real();
+  }
+  // Range type: INT '..' INT
+  const std::int64_t lo = cursor.take_int();
+  cursor.expect_char('.');
+  cursor.expect_char('.');
+  const std::int64_t hi = cursor.take_int();
+  if (lo > hi) cursor.fail("empty range type");
+  return expr::Type::integer_range(lo, hi);
+}
+
+class VmlParser {
+ public:
+  explicit VmlParser(std::string_view text) : cursor_(text) {}
+
+  VmlModel parse() {
+    bool saw_system = false;
+    while (!cursor_.at_end()) {
+      const std::string word = cursor_.peek_word();
+      if (word == "param") {
+        parse_global_param();
+      } else if (word == "module") {
+        parse_module();
+      } else if (word == "system") {
+        parse_system();
+        saw_system = true;
+      } else {
+        cursor_.fail("expected 'param', 'module', or 'system', got '" + word + "'");
+      }
+    }
+    if (model_.modules.empty()) cursor_.fail("model declares no modules");
+
+    // Attach top-level parameters to the first module so the composition
+    // sees them (compose de-duplicates across modules).
+    for (Expr p : extra_params_) model_.modules.front().add_param(p);
+
+    ComposeOptions options;
+    options.scheduling = model_.scheduling;
+    model_.system = compose(model_.modules, options);
+    for (Expr c : extra_param_constraints_) model_.system.add_param_constraint(c);
+    model_.system.validate();
+
+    // Properties were deferred so they can reference any module.
+    for (const auto& [name, text] : pending_ltl_)
+      model_.ltl_properties.emplace(name, ltl::parse_ltl(text, global_resolver()));
+    for (const auto& [name, text] : pending_ctl_)
+      model_.ctl_properties.emplace(name, ltl::parse_ctl(text, global_resolver()));
+    if (!saw_system && (!pending_ltl_.empty() || !pending_ctl_.empty()))
+      cursor_.fail("properties outside a system block");
+    return std::move(model_);
+  }
+
+ private:
+  void parse_global_param() {
+    cursor_.take_word();  // 'param'
+    const std::string name = cursor_.take_word();
+    cursor_.expect_char(':');
+    const expr::Type type = parse_type(cursor_);
+    cursor_.expect_char(';');
+    const Expr p = expr::declare_var(name, type);
+    global_params_.emplace(name, p);
+    extra_params_.push_back(p);
+  }
+
+  void parse_module() {
+    cursor_.take_word();  // 'module'
+    const std::string module_name = cursor_.take_word();
+    if (module_vars_.contains(module_name)) cursor_.fail("duplicate module " + module_name);
+    cursor_.expect_char('{');
+    Module module(module_name);
+    auto& locals = module_vars_[module_name];
+
+    while (!cursor_.try_char('}')) {
+      const std::string word = cursor_.take_word();
+      if (word == "var") {
+        const std::string bare = cursor_.take_word();
+        cursor_.expect_char(':');
+        const expr::Type type = parse_type(cursor_);
+        cursor_.expect_char(';');
+        const std::string qualified = module_name + "." + bare;
+        const Expr v = expr::declare_var(qualified, type);
+        module.add_var(v);
+        locals.emplace(bare, v);
+        bare_index_[bare].push_back(v);
+      } else if (word == "param") {
+        // Module-scoped parameter: globally named, shared by reference.
+        const std::string bare = cursor_.take_word();
+        cursor_.expect_char(':');
+        const expr::Type type = parse_type(cursor_);
+        cursor_.expect_char(';');
+        const Expr p = expr::declare_var(bare, type);
+        module.add_param(p);
+        global_params_.emplace(bare, p);
+      } else if (word == "init") {
+        module.add_init(parse_bool_expr(module_name, ';'));
+      } else if (word == "invar") {
+        module.add_invar(parse_bool_expr(module_name, ';'));
+      } else if (word == "constrain") {
+        module.add_param_constraint(parse_bool_expr(module_name, ';'));
+      } else if (word == "stutter") {
+        const std::string mode = cursor_.take_word();
+        cursor_.expect_char(';');
+        if (mode == "always") {
+          module.set_stutter(StutterMode::kAlways);
+        } else if (mode == "whendisabled") {
+          module.set_stutter(StutterMode::kWhenDisabled);
+        } else if (mode == "never") {
+          module.set_stutter(StutterMode::kNever);
+        } else {
+          cursor_.fail("unknown stutter mode '" + mode + "'");
+        }
+      } else if (word == "rule") {
+        parse_rule(module, module_name);
+      } else {
+        cursor_.fail("unknown module item '" + word + "'");
+      }
+    }
+    model_.modules.push_back(std::move(module));
+  }
+
+  void parse_rule(Module& module, const std::string& module_name) {
+    const std::string rule_name = cursor_.take_word();
+    const std::string when = cursor_.take_word();
+    if (when != "when") cursor_.fail("expected 'when' in rule " + rule_name);
+    const std::string guard_text = cursor_.take_until('{');
+    const Expr guard = ltl::parse_expr(guard_text, module_resolver(module_name));
+
+    std::vector<Module::Assignment> assigns;
+    while (!cursor_.try_char('}')) {
+      const std::string target = cursor_.take_word();
+      cursor_.expect_char('\'');
+      cursor_.expect_char('=');
+      const std::string value_text = cursor_.take_until(';');
+      const Expr var = resolve(module_name, target);
+      const Expr value = ltl::parse_expr(value_text, module_resolver(module_name));
+      assigns.push_back(Module::Assignment{var, value});
+    }
+    module.add_rule(rule_name, guard, std::move(assigns));
+  }
+
+  void parse_system() {
+    cursor_.take_word();  // 'system'
+    cursor_.expect_char('{');
+    while (!cursor_.try_char('}')) {
+      const std::string word = cursor_.take_word();
+      if (word == "schedule") {
+        const std::string mode = cursor_.take_word();
+        cursor_.expect_char(';');
+        if (mode == "interleaving") {
+          model_.scheduling = Scheduling::kInterleaving;
+        } else if (mode == "synchronous") {
+          model_.scheduling = Scheduling::kSynchronous;
+        } else if (mode == "roundrobin") {
+          model_.scheduling = Scheduling::kRoundRobin;
+        } else {
+          cursor_.fail("unknown schedule '" + mode + "'");
+        }
+      } else if (word == "constrain") {
+        const std::string text = cursor_.take_until(';');
+        extra_param_constraints_.push_back(
+            ltl::parse_expr(text, global_resolver()));
+      } else if (word == "ltl") {
+        const std::string name = cursor_.take_word();
+        const std::string text = cursor_.take_string();
+        cursor_.expect_char(';');
+        pending_ltl_.emplace_back(name, text);
+      } else if (word == "ctl") {
+        const std::string name = cursor_.take_word();
+        const std::string text = cursor_.take_string();
+        cursor_.expect_char(';');
+        pending_ctl_.emplace_back(name, text);
+      } else {
+        cursor_.fail("unknown system item '" + word + "'");
+      }
+    }
+  }
+
+  Expr parse_bool_expr(const std::string& module_name, char stop) {
+    const std::string text = cursor_.take_until(stop);
+    const Expr e = ltl::parse_expr(text, module_resolver(module_name));
+    if (!e.type().is_bool()) cursor_.fail("expected boolean expression");
+    return e;
+  }
+
+  // Name resolution: module-local -> parameter -> qualified -> unique bare.
+  Expr resolve(const std::string& module_name, const std::string& name) {
+    if (!module_name.empty()) {
+      const auto module_it = module_vars_.find(module_name);
+      if (module_it != module_vars_.end()) {
+        const auto it = module_it->second.find(name);
+        if (it != module_it->second.end()) return it->second;
+      }
+    }
+    const auto param_it = global_params_.find(name);
+    if (param_it != global_params_.end()) return param_it->second;
+    if (name.find('.') != std::string::npos && expr::var_exists(name))
+      return expr::var_by_name(name);
+    const auto bare_it = bare_index_.find(name);
+    if (bare_it != bare_index_.end() && bare_it->second.size() == 1)
+      return bare_it->second.front();
+    if (bare_it != bare_index_.end())
+      throw std::invalid_argument("vml: ambiguous name '" + name +
+                                  "' (declared in multiple modules; qualify it)");
+    throw std::invalid_argument("vml: unknown name '" + name + "'");
+  }
+
+  ltl::Resolver module_resolver(std::string module_name) {
+    return [this, module_name](std::string_view name) {
+      return resolve(module_name, std::string(name));
+    };
+  }
+  ltl::Resolver global_resolver() { return module_resolver(""); }
+
+  Cursor cursor_;
+  VmlModel model_;
+  std::map<std::string, std::map<std::string, Expr>> module_vars_;
+  std::map<std::string, std::vector<Expr>> bare_index_;
+  std::map<std::string, Expr> global_params_;
+  std::vector<Expr> extra_params_;
+  std::vector<Expr> extra_param_constraints_;
+  std::vector<std::pair<std::string, std::string>> pending_ltl_;
+  std::vector<std::pair<std::string, std::string>> pending_ctl_;
+};
+
+}  // namespace
+
+VmlModel parse_vml(std::string_view text) { return VmlParser(text).parse(); }
+
+VmlModel parse_vml_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("parse_vml_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_vml(buffer.str());
+}
+
+}  // namespace verdict::mdl

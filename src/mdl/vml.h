@@ -1,0 +1,59 @@
+// vml — the verdict modeling language.
+//
+// A small textual frontend over mdl::Module / mdl::compose, so that models of
+// control components can be written and reviewed as text (the paper's §4.1
+// "high-level modeling language … compiled into the lower-level language used
+// by the underlying model checker"). Example:
+//
+//   param k : 0..2;                       // environment budget
+//
+//   module rollout {
+//     var phase : 0..2;
+//     init phase = 0;
+//     rule advance when phase < 2 { phase' = phase + 1; }
+//     rule wrap    when phase = 2 { phase' = 0; }
+//     stutter always;
+//   }
+//
+//   system {
+//     schedule interleaving;
+//     constrain k > 0;                    // parameter-space constraint
+//     ltl no_overflow "G (rollout.phase <= 2)";
+//     ctl recoverable "AG (EF (rollout.phase = 0))";
+//   }
+//
+// Scoping: a variable declared in module m is globally named "m.<name>";
+// inside the module body bare names resolve to the module's own variables
+// first, then to global parameters, then to a unique bare match in another
+// module. Comments run from "//" to end of line.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ltl/ctl.h"
+#include "ltl/ltl.h"
+#include "mdl/compose.h"
+#include "mdl/module.h"
+#include "ts/transition_system.h"
+
+namespace verdict::mdl {
+
+struct VmlModel {
+  std::vector<Module> modules;
+  Scheduling scheduling = Scheduling::kInterleaving;
+  ts::TransitionSystem system;  // composed and validated
+  std::map<std::string, ltl::Formula> ltl_properties;
+  std::map<std::string, ltl::CtlFormula> ctl_properties;
+};
+
+/// Parses and compiles a vml model. Throws ltl::ParseError (with offset) or
+/// std::invalid_argument on semantic errors.
+[[nodiscard]] VmlModel parse_vml(std::string_view text);
+
+/// Reads `path` and parses it.
+[[nodiscard]] VmlModel parse_vml_file(const std::string& path);
+
+}  // namespace verdict::mdl

@@ -1,0 +1,49 @@
+#include "net/ecmp.h"
+
+#include <stdexcept>
+
+namespace verdict::net {
+
+namespace {
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+NodeId ecmp_next_hop(const Topology& topo, NodeId at, NodeId dst, std::uint64_t seed) {
+  if (at == dst) throw std::invalid_argument("ecmp_next_hop: already at destination");
+  const std::vector<int> dist = topo.bfs_distance(dst);
+  if (dist[at] < 0) throw std::invalid_argument("ecmp_next_hop: destination unreachable");
+  std::vector<NodeId> candidates;
+  for (const Topology::Neighbor& nb : topo.neighbors(at))
+    if (dist[nb.node] == dist[at] - 1) candidates.push_back(nb.node);
+  const std::uint64_t h = mix(seed ^ mix(static_cast<std::uint64_t>(dst) << 32 | at));
+  return candidates[h % candidates.size()];
+}
+
+std::vector<LinkId> ecmp_path(const Topology& topo, NodeId src, NodeId dst,
+                              std::uint64_t seed) {
+  if (src == dst) return {};
+  const std::vector<int> dist = topo.bfs_distance(dst);
+  if (dist[src] < 0) throw std::invalid_argument("ecmp_path: destination unreachable");
+  std::vector<LinkId> path;
+  NodeId at = src;
+  while (at != dst) {
+    const NodeId hop = ecmp_next_hop(topo, at, dst, seed);
+    for (const Topology::Neighbor& nb : topo.neighbors(at)) {
+      if (nb.node == hop) {
+        path.push_back(nb.link);
+        break;
+      }
+    }
+    at = hop;
+  }
+  return path;
+}
+
+}  // namespace verdict::net

@@ -1,0 +1,39 @@
+#include "net/failures.h"
+
+namespace verdict::net {
+
+using expr::Expr;
+
+LinkFailureModel make_link_failure_model(const Topology& topo, const std::string& prefix,
+                                         std::int64_t max_budget) {
+  LinkFailureModel model{mdl::Module(prefix), {}, {}};
+
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    const auto [a, b] = topo.endpoints(l);
+    const Expr up = expr::bool_var(prefix + ".up_" + topo.name(a) + "_" + topo.name(b));
+    model.link_up.push_back(up);
+    model.module.add_var(up);
+    model.module.add_init(up);
+  }
+
+  model.budget = expr::int_var(prefix + ".k", 0, max_budget);
+  model.module.add_param(model.budget);
+
+  // failed = number of down links; a link may fail while failed < k.
+  std::vector<Expr> down;
+  down.reserve(model.link_up.size());
+  for (Expr up : model.link_up) down.push_back(expr::mk_not(up));
+  const Expr failed = expr::count_true(down);
+
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    const Expr up = model.link_up[l];
+    model.module.add_rule("fail_" + std::to_string(l),
+                          expr::mk_and({up, expr::mk_lt(failed, model.budget)}),
+                          {{up, expr::fls()}});
+  }
+  // Failures are events, not an active controller: the module may always
+  // stutter (kAlways is the Module default).
+  return model;
+}
+
+}  // namespace verdict::net

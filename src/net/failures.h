@@ -1,0 +1,36 @@
+// Environment model: non-deterministic link failures under a budget.
+//
+// "We also model link failures: up to k links may fail at non-deterministic
+// points of execution" (paper §4.2, case study 1). One boolean state variable
+// per link, initially up; a failure rule per link guarded by the remaining
+// budget; failures are permanent (no repair), matching the paper's model.
+// The budget k is a rigid parameter, so the checker both searches over *which*
+// links fail and *when* — and parameter synthesis can ask for the largest
+// safe k.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "mdl/module.h"
+#include "net/topology.h"
+
+namespace verdict::net {
+
+struct LinkFailureModel {
+  mdl::Module module;
+  /// One link-up state variable per link, in link-id order.
+  std::vector<expr::Expr> link_up;
+  /// The failure budget parameter k.
+  expr::Expr budget;
+};
+
+/// Builds the failure module. `max_budget` bounds the declared range of k
+/// (the checker picks the actual value, subject to extra constraints the
+/// caller may add, e.g. k = 2 for the Fig. 5 reproduction).
+[[nodiscard]] LinkFailureModel make_link_failure_model(const Topology& topo,
+                                                       const std::string& prefix,
+                                                       std::int64_t max_budget);
+
+}  // namespace verdict::net

@@ -1,0 +1,40 @@
+#include "net/reachability.h"
+
+#include <stdexcept>
+
+namespace verdict::net {
+
+using expr::Expr;
+
+std::vector<Expr> symbolic_reachability(const Topology& topo, NodeId src,
+                                        std::span<const Expr> link_up, int depth) {
+  if (link_up.size() != topo.num_links())
+    throw std::invalid_argument("symbolic_reachability: one link_up var per link required");
+  if (src >= topo.num_nodes())
+    throw std::invalid_argument("symbolic_reachability: unknown source");
+
+  // reach[d][v]; level 0 is the source indicator. Hash-consing makes the
+  // per-level vectors share structure, so this is a DAG of size
+  // O(depth * links), not a tree.
+  std::vector<Expr> current(topo.num_nodes(), expr::fls());
+  current[src] = expr::tru();
+  for (int d = 0; d < depth; ++d) {
+    std::vector<Expr> next(topo.num_nodes());
+    for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+      std::vector<Expr> ways{current[v]};
+      for (const Topology::Neighbor& nb : topo.neighbors(v))
+        ways.push_back(expr::mk_and({current[nb.node], link_up[nb.link]}));
+      next[v] = expr::any_of(ways);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+std::vector<Expr> symbolic_reachability(const Topology& topo, NodeId src,
+                                        std::span<const Expr> link_up) {
+  return symbolic_reachability(topo, src, link_up,
+                               static_cast<int>(topo.num_nodes()) - 1);
+}
+
+}  // namespace verdict::net

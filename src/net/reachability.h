@@ -1,0 +1,31 @@
+// Symbolic reachability over link-state variables.
+//
+// The paper's case study 1 needs "a loop that re-computes the reachability of
+// the front-end to each service node after any change". We express that
+// recomputation *combinationally*: reach(dst) is a boolean formula over the
+// link-up state variables obtained by unrolling BFS to a depth that upper-
+// bounds the shortest surviving path (network diameter under failures). The
+// formula is a DAG shared across destinations, so the encoding stays compact
+// even on fat trees with hundreds of links.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "expr/expr.h"
+#include "net/topology.h"
+
+namespace verdict::net {
+
+/// reach[dst] = formula over `link_up` that is true iff `dst` is reachable
+/// from `src` over up links within `depth` hops. `depth` must upper-bound the
+/// shortest alive path for soundness; num_nodes-1 is always sound, fat trees
+/// need only 4 (edge-agg-core-agg-edge).
+[[nodiscard]] std::vector<expr::Expr> symbolic_reachability(
+    const Topology& topo, NodeId src, std::span<const expr::Expr> link_up, int depth);
+
+/// Convenience: sound default depth (num_nodes - 1).
+[[nodiscard]] std::vector<expr::Expr> symbolic_reachability(
+    const Topology& topo, NodeId src, std::span<const expr::Expr> link_up);
+
+}  // namespace verdict::net

@@ -1,0 +1,106 @@
+#include "net/topology.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace verdict::net {
+
+NodeId Topology::add_node(std::string name) {
+  const NodeId id = static_cast<NodeId>(names_.size());
+  names_.push_back(std::move(name));
+  adjacency_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b) {
+  if (a >= names_.size() || b >= names_.size())
+    throw std::invalid_argument("add_link: unknown node");
+  if (a == b) throw std::invalid_argument("add_link: self-loop");
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b});
+  adjacency_[a].push_back(Neighbor{b, id});
+  adjacency_[b].push_back(Neighbor{a, id});
+  return id;
+}
+
+std::vector<int> Topology::bfs_distance(NodeId src, const std::vector<bool>& link_up) const {
+  if (src >= names_.size()) throw std::invalid_argument("bfs_distance: unknown node");
+  if (!link_up.empty() && link_up.size() != links_.size())
+    throw std::invalid_argument("bfs_distance: link_up size mismatch");
+  std::vector<int> dist(names_.size(), -1);
+  std::deque<NodeId> frontier{src};
+  dist[src] = 0;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (const Neighbor& nb : adjacency_[cur]) {
+      if (!link_up.empty() && !link_up[nb.link]) continue;
+      if (dist[nb.node] == -1) {
+        dist[nb.node] = dist[cur] + 1;
+        frontier.push_back(nb.node);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<bool> Topology::reachable_from(NodeId src,
+                                           const std::vector<bool>& link_up) const {
+  const std::vector<int> dist = bfs_distance(src, link_up);
+  std::vector<bool> out(dist.size());
+  for (std::size_t i = 0; i < dist.size(); ++i) out[i] = dist[i] >= 0;
+  return out;
+}
+
+int Topology::eccentricity(NodeId src) const {
+  int max = 0;
+  for (const int d : bfs_distance(src)) {
+    if (d > max) max = d;
+  }
+  return max;
+}
+
+FatTree make_fat_tree(int k) {
+  if (k < 2 || k % 2 != 0) throw std::invalid_argument("make_fat_tree: k must be even >= 2");
+  FatTree ft;
+  const int half = k / 2;
+
+  for (int i = 0; i < half * half; ++i)
+    ft.core.push_back(ft.topo.add_node("core" + std::to_string(i)));
+  for (int pod = 0; pod < k; ++pod) {
+    for (int a = 0; a < half; ++a)
+      ft.agg.push_back(ft.topo.add_node("agg" + std::to_string(pod) + "_" + std::to_string(a)));
+    for (int e = 0; e < half; ++e)
+      ft.edge.push_back(
+          ft.topo.add_node("edge" + std::to_string(pod) + "_" + std::to_string(e)));
+  }
+
+  for (int pod = 0; pod < k; ++pod) {
+    for (int a = 0; a < half; ++a) {
+      const NodeId agg_node = ft.agg[pod * half + a];
+      // Aggregation switch a serves core group a.
+      for (int c = 0; c < half; ++c) ft.topo.add_link(agg_node, ft.core[a * half + c]);
+      // Full bipartite agg-edge inside the pod.
+      for (int e = 0; e < half; ++e) ft.topo.add_link(agg_node, ft.edge[pod * half + e]);
+    }
+  }
+  return ft;
+}
+
+TestTopology make_test_topology() {
+  TestTopology tt;
+  tt.front_end = tt.topo.add_node("F");
+  const NodeId s1 = tt.topo.add_node("s1");
+  const NodeId s2 = tt.topo.add_node("s2");
+  const NodeId s3 = tt.topo.add_node("s3");
+  const NodeId s4 = tt.topo.add_node("s4");
+  tt.service_nodes = {s1, s2, s3, s4};
+  tt.topo.add_link(tt.front_end, s1);
+  tt.topo.add_link(tt.front_end, s2);
+  tt.topo.add_link(s1, s3);
+  tt.topo.add_link(s2, s4);
+  tt.topo.add_link(s3, s4);
+  return tt;
+}
+
+}  // namespace verdict::net

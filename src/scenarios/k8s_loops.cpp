@@ -1,0 +1,105 @@
+#include "scenarios/k8s_loops.h"
+
+#include "ctrl/deployment.h"
+#include "ctrl/descheduler.h"
+#include "ctrl/scheduler.h"
+#include "ctrl/taint.h"
+#include "mdl/compose.h"
+
+namespace verdict::scenarios {
+
+using expr::Expr;
+
+DeschedulerOscillation make_descheduler_oscillation(
+    std::int64_t eviction_threshold_percent, const std::string& prefix) {
+  DeschedulerOscillation out;
+  out.threshold_percent = eviction_threshold_percent;
+
+  ctrl::ClusterConfig config;
+  config.num_nodes = 3;  // the three workers of the paper's 6-VM cluster
+  config.num_apps = 1;
+  config.max_pods_per_cell = 1;
+  config.max_pending = 1;
+  config.pod_cpu_percent = {50};        // "requested CPU resource to 50%"
+  config.baseline_percent = {60, 0, 0};  // worker 0 is busy with system pods
+
+  ctrl::ClusterState cluster(prefix, config);
+  ctrl::add_deployment_controller(cluster, 0, expr::int_const(1));
+  ctrl::SchedulerOptions sched;
+  sched.capacity_percent = 100;
+  ctrl::add_scheduler(cluster, sched);
+  ctrl::add_descheduler_low_utilization(cluster, eviction_threshold_percent);
+  // Controllers act whenever they have work (idling forever would satisfy
+  // "never settles" vacuously); with no enabled rule the system is quiescent.
+  cluster.module().set_stutter(mdl::StutterMode::kWhenDisabled);
+
+  for (std::size_t n = 0; n < config.num_nodes; ++n)
+    out.pods_on.push_back(cluster.pods(0, n));
+  out.pending = cluster.pending(0);
+
+  // Settled: the pod is placed and no descheduler eviction guard is active,
+  // i.e. every hosting node sits at or below the threshold.
+  std::vector<Expr> calm;
+  calm.push_back(expr::mk_eq(out.pending, expr::int_const(0)));
+  calm.push_back(expr::mk_eq(cluster.running(0), expr::int_const(1)));
+  for (std::size_t n = 0; n < config.num_nodes; ++n) {
+    calm.push_back(expr::mk_implies(
+        expr::mk_lt(expr::int_const(0), cluster.pods(0, n)),
+        expr::mk_le(cluster.utilization(n),
+                    expr::int_const(eviction_threshold_percent))));
+  }
+  out.settled = expr::all_of(calm);
+  out.eventually_settles = ltl::F(ltl::G(ltl::atom(out.settled)));
+
+  const std::vector<mdl::Module> modules{std::move(cluster.module())};
+  out.system = mdl::compose(modules);
+  return out;
+}
+
+TaintLoop make_taint_loop(const std::string& prefix) {
+  TaintLoop out;
+
+  ctrl::ClusterConfig config;
+  config.num_nodes = 2;
+  config.num_apps = 1;
+  config.max_pods_per_cell = 1;
+  config.max_pending = 1;
+  config.pod_cpu_percent = {50};
+
+  ctrl::ClusterState cluster(prefix, config);
+  ctrl::add_deployment_controller(cluster, 0, expr::int_const(1));
+  // Issue 75913: the placement path ignores the taint on node 1...
+  ctrl::SchedulerOptions sched;
+  sched.excluded_nodes = {1};
+  sched.ignore_exclusions = true;
+  ctrl::add_scheduler(cluster, sched);
+  // ...while the taint manager keeps terminating what lands there.
+  ctrl::add_taint_manager(cluster, {1});
+  cluster.module().set_stutter(mdl::StutterMode::kWhenDisabled);
+
+  out.running = cluster.running(0);
+  out.desired = expr::int_const(1);
+  out.eventually_converges =
+      ltl::F(ltl::G(ltl::atom(expr::mk_eq(out.running, out.desired))));
+
+  const std::vector<mdl::Module> modules{std::move(cluster.module())};
+  out.system = mdl::compose(modules);
+  return out;
+}
+
+HpaSurge make_hpa_surge(bool defective_hpa, const std::string& prefix) {
+  HpaSurge out;
+  out.initial_spec = 2;
+  out.model = ctrl::make_hpa_ruc_model(prefix, out.initial_spec,
+                                       /*max_replicas=*/8,
+                                       /*max_surge_bound=*/2, defective_hpa);
+  out.bounded_replicas = ltl::G(ltl::atom(expr::mk_le(
+      out.model.current, expr::int_const(out.initial_spec) + out.model.max_surge)));
+
+  std::vector<mdl::Module> modules;
+  modules.push_back(std::move(out.model.module));
+  out.system = mdl::compose(modules);
+  return out;
+}
+
+}  // namespace verdict::scenarios

@@ -1,0 +1,70 @@
+// Kubernetes control-loop conflict scenarios (paper §3.2 / §3.3).
+//
+// Three assembled models over the ctrl:: component library:
+//
+//   Descheduler oscillation (§3.3, demonstrated on a real cluster in Fig. 2):
+//   a single 50%-CPU pod, a scheduler placing onto any worker with headroom,
+//   and a LowNodeUtilization descheduler with a 45% eviction threshold. Any
+//   node hosting the pod exceeds the threshold, so the pod is evicted and
+//   re-placed forever: F(G(settled)) fails with an eviction/placement lasso.
+//   Raising the threshold above the pod's request (e.g. 55%) removes every
+//   counterexample.
+//
+//   Taint loop (issue #75913): a deployment maintains one replica, the buggy
+//   scheduler ignores the taint filter, the taint manager terminates pods on
+//   the tainted node, and the deployment controller re-creates them — "a
+//   loop". F(G(running == desired)) fails.
+//
+//   HPA surge ratchet (issue #90461): the rolling-update controller may run
+//   maxSurge pods above the spec; the defective HPA raises the spec to the
+//   observed pod count; repeat. G(current <= initial_spec + max_surge) fails
+//   with the defect and is provable without it.
+#pragma once
+
+#include <string>
+
+#include "ctrl/autoscaler.h"
+#include "ctrl/cluster.h"
+#include "expr/expr.h"
+#include "ltl/ltl.h"
+#include "ts/transition_system.h"
+
+namespace verdict::scenarios {
+
+struct DeschedulerOscillation {
+  ts::TransitionSystem system;
+  /// Pods of the app on each worker (0..2) plus the pending pool.
+  std::vector<expr::Expr> pods_on;
+  expr::Expr pending;
+  /// "no pod is waiting and none will be evicted" — the settled predicate.
+  expr::Expr settled;
+  ltl::Formula eventually_settles;  // F(G settled)
+  std::int64_t threshold_percent;
+};
+
+/// 3 workers; worker 0 carries a 60% baseline (system pods), so the app pod
+/// ping-pongs between workers 1 and 2 exactly as in Fig. 2.
+[[nodiscard]] DeschedulerOscillation make_descheduler_oscillation(
+    std::int64_t eviction_threshold_percent, const std::string& prefix = "dsc");
+
+struct TaintLoop {
+  ts::TransitionSystem system;
+  expr::Expr running;  // pods of the app actually running
+  expr::Expr desired;  // the deployment's replica target (constant 1)
+  ltl::Formula eventually_converges;  // F(G(running == desired))
+};
+
+[[nodiscard]] TaintLoop make_taint_loop(const std::string& prefix = "taint");
+
+struct HpaSurge {
+  ts::TransitionSystem system;
+  ctrl::HpaRucModel model;
+  /// G(current <= initial_spec + max_surge).
+  ltl::Formula bounded_replicas;
+  std::int64_t initial_spec;
+};
+
+[[nodiscard]] HpaSurge make_hpa_surge(bool defective_hpa,
+                                      const std::string& prefix = "hpa");
+
+}  // namespace verdict::scenarios

@@ -1,0 +1,184 @@
+#include "scenarios/lb_ecmp.h"
+
+#include "ctrl/loadbalancer.h"
+#include "mdl/compose.h"
+
+namespace verdict::scenarios {
+
+using expr::Expr;
+
+LbEcmpScenario make_lb_ecmp_scenario(ctrl::LbPolicy policy, const std::string& prefix_in) {
+  const std::string prefix =
+      prefix_in.empty()
+          ? (policy == ctrl::LbPolicy::kSmart ? std::string("cs2s") : std::string("cs2r"))
+          : prefix_in;
+  LbEcmpScenario s;
+
+  // --- Topology (for display and ECMP sanity checks).
+  const net::NodeId lb = s.topo.add_node("LB");
+  const net::NodeId r1 = s.topo.add_node("R1");
+  const net::NodeId r2 = s.topo.add_node("R2");
+  const net::NodeId r3 = s.topo.add_node("R3");
+  const net::NodeId r4 = s.topo.add_node("R4");
+  const net::NodeId s1 = s.topo.add_node("s1");
+  const net::NodeId s2 = s.topo.add_node("s2");
+  const net::NodeId s3 = s.topo.add_node("s3");
+  s.topo.add_link(lb, r1);
+  s.topo.add_link(lb, r3);
+  s.topo.add_link(r1, r2);
+  s.topo.add_link(r3, r2);
+  s.topo.add_link(r1, r4);
+  s.topo.add_link(r2, s1);
+  s.topo.add_link(r2, s2);
+  s.topo.add_link(r4, s3);
+  s.routes = {
+      "p1 (app a, s1): LB -> R1 -> R2 -> s1",
+      "p2 (app a, s2): LB -> R3 -> R2 -> s2",
+      "p3 (app b, s2): LB -> R1 -> R2 -> s2",
+      "p4 (app b, s3): LB -> R1 -> R4 -> s3",
+  };
+
+  // --- LB module state: weights and previous weights (for `stable`).
+  mdl::Module lb_a(prefix + ".lb_a");
+  mdl::Module lb_b(prefix + ".lb_b");
+  const auto weight = [&](const std::string& name) {
+    return expr::int_var(prefix + "." + name, 0, 1);
+  };
+  s.weights_a = {weight("w1a"), weight("w2a")};
+  s.weights_b = {weight("w3b"), weight("w4b")};
+  const std::vector<Expr> prev_a = {weight("pw1a"), weight("pw2a")};
+  const std::vector<Expr> prev_b = {weight("pw3b"), weight("pw4b")};
+  for (std::size_t i = 0; i < 2; ++i) {
+    lb_a.add_var(s.weights_a[i]);
+    lb_a.add_var(prev_a[i]);
+    lb_b.add_var(s.weights_b[i]);
+    lb_b.add_var(prev_b[i]);
+  }
+  // Initially stable: app a on p1, app b on p4 (w1a > w2a, w4b > w3b).
+  lb_a.add_init(expr::mk_eq(s.weights_a[0], expr::int_const(1)));
+  lb_a.add_init(expr::mk_eq(s.weights_a[1], expr::int_const(0)));
+  lb_b.add_init(expr::mk_eq(s.weights_b[0], expr::int_const(0)));
+  lb_b.add_init(expr::mk_eq(s.weights_b[1], expr::int_const(1)));
+  for (std::size_t i = 0; i < 2; ++i) {
+    lb_a.add_init(expr::mk_eq(prev_a[i], s.weights_a[i]));
+    lb_b.add_init(expr::mk_eq(prev_b[i], s.weights_b[i]));
+  }
+
+  // --- Environment: a one-time external traffic burst on link R1-R4.
+  mdl::Module env(prefix + ".env");
+  s.external_active = expr::bool_var(prefix + ".ext");
+  env.add_var(s.external_active);
+  env.add_init(expr::mk_not(s.external_active));
+  env.add_rule("burst", expr::mk_not(s.external_active), {{s.external_active, expr::tru()}});
+
+  // --- Parameters (positive reals).
+  s.traffic_a = expr::real_var(prefix + ".t_a");
+  s.traffic_b = expr::real_var(prefix + ".t_b");
+  s.external_amount = expr::real_var(prefix + ".e");
+  // Per-link latency parameters ("the relation between load and latency ...
+  // for each link or device", paper SS4.1); per-app server parameters.
+  const char* kLinkNames[] = {"lb_r1", "lb_r3", "r1_r2", "r3_r2",
+                              "r1_r4", "r2_s1", "r2_s2", "r4_s3"};
+  std::vector<Expr> link_m;
+  std::vector<Expr> link_l;
+  for (const char* name : kLinkNames) {
+    link_m.push_back(expr::real_var(prefix + ".m_" + name));
+    link_l.push_back(expr::real_var(prefix + ".l_" + name));
+  }
+  const Expr m_a = expr::real_var(prefix + ".m_a");
+  const Expr l_a = expr::real_var(prefix + ".l_a");
+  const Expr m_b = expr::real_var(prefix + ".m_b");
+  const Expr l_b = expr::real_var(prefix + ".l_b");
+  const Expr zero = expr::real_const(util::Rational(0));
+  std::vector<Expr> positive_params{s.traffic_a, s.traffic_b, s.external_amount,
+                                    m_a, l_a, m_b, l_b};
+  positive_params.insert(positive_params.end(), link_m.begin(), link_m.end());
+  positive_params.insert(positive_params.end(), link_l.begin(), link_l.end());
+  for (const Expr& p : positive_params) {
+    env.add_param(p);
+    env.add_param_constraint(expr::mk_lt(zero, p));
+  }
+
+  // --- Loads (traffic on each element is the sum over replicas crossing it).
+  const Expr w1 = s.weights_a[0];
+  const Expr w2 = s.weights_a[1];
+  const Expr w3 = s.weights_b[0];
+  const Expr w4 = s.weights_b[1];
+  const Expr ta = s.traffic_a;
+  const Expr tb = s.traffic_b;
+  const Expr ext = expr::ite(s.external_active, s.external_amount, zero);
+
+  const Expr load_lb_r1 = w1 * ta + w3 * tb + w4 * tb;
+  const Expr load_lb_r3 = w2 * ta;
+  const Expr load_r1_r2 = w1 * ta + w3 * tb;  // shared by p1 and p3
+  const Expr load_r3_r2 = w2 * ta;
+  const Expr load_r1_r4 = w4 * tb + ext;  // carries the external burst
+  const Expr load_r2_s1 = w1 * ta;
+  const Expr load_r2_s2 = w2 * ta + w3 * tb;
+  const Expr load_r4_s3 = w4 * tb;
+  const Expr load_s1 = w1 * ta;
+  const Expr load_s2 = w2 * ta + w3 * tb;  // shared by p2 and p3
+  const Expr load_s3 = w4 * tb;
+
+  // Link latency: per-link linear model, identical for both apps.
+  const auto link_lat = [&](std::size_t index, const Expr& load) {
+    return link_m[index] * load + link_l[index];
+  };
+  enum { kLbR1, kLbR3, kR1R2, kR3R2, kR1R4, kR2S1, kR2S2, kR4S3 };
+  const auto server_lat_a = [&](const Expr& load) { return m_a * load + l_a; };
+  const auto server_lat_b = [&](const Expr& load) { return m_b * load + l_b; };
+
+  // --- Response times: path link latencies + server latency.
+  s.response_a = {
+      // p1: LB-R1, R1-R2, R2-s1, server s1
+      link_lat(kLbR1, load_lb_r1) + link_lat(kR1R2, load_r1_r2) +
+          link_lat(kR2S1, load_r2_s1) + server_lat_a(load_s1),
+      // p2: LB-R3, R3-R2, R2-s2, server s2
+      link_lat(kLbR3, load_lb_r3) + link_lat(kR3R2, load_r3_r2) +
+          link_lat(kR2S2, load_r2_s2) + server_lat_a(load_s2),
+  };
+  s.response_b = {
+      // p3: LB-R1, R1-R2, R2-s2, server s2
+      link_lat(kLbR1, load_lb_r1) + link_lat(kR1R2, load_r1_r2) +
+          link_lat(kR2S2, load_r2_s2) + server_lat_b(load_s2),
+      // p4: LB-R1, R1-R4, R4-s3, server s3
+      link_lat(kLbR1, load_lb_r1) + link_lat(kR1R4, load_r1_r4) +
+          link_lat(kR4S3, load_r4_s3) + server_lat_b(load_s3),
+  };
+
+  // --- The latency LB, one decision rule set per app.
+  ctrl::add_latency_lb(
+      lb_a, ctrl::BalancedApp{"app_a", s.weights_a, s.response_a, prev_a}, policy);
+  ctrl::add_latency_lb(
+      lb_b, ctrl::BalancedApp{"app_b", s.weights_b, s.response_b, prev_b}, policy);
+  lb_a.set_stutter(mdl::StutterMode::kNever);  // the LB acts on every turn
+  lb_b.set_stutter(mdl::StutterMode::kNever);
+
+  // --- Composition: the LB "takes turns setting the weights for app_a and
+  // app_b"; the environment may burst on its turn or stay quiet.
+  std::vector<mdl::Module> modules;
+  modules.push_back(std::move(lb_a));
+  modules.push_back(std::move(lb_b));
+  modules.push_back(std::move(env));
+  mdl::ComposeOptions compose_options;
+  compose_options.scheduling = mdl::Scheduling::kRoundRobin;
+  compose_options.turn_var_name = prefix + ".turn";
+  s.system = mdl::compose(modules, compose_options);
+
+  // --- stable: no weight changed in the respective LB's last action.
+  std::vector<Expr> unchanged;
+  for (std::size_t i = 0; i < 2; ++i) {
+    unchanged.push_back(expr::mk_eq(s.weights_a[i], prev_a[i]));
+    unchanged.push_back(expr::mk_eq(s.weights_b[i], prev_b[i]));
+  }
+  s.stable = expr::all_of(unchanged);
+  s.fg_stable = ltl::F(ltl::G(ltl::atom(s.stable)));
+  s.stable_implies_fg = ltl::implies(ltl::atom(s.stable), s.fg_stable);
+  s.quiet_until_burst_implies_fg = ltl::implies(
+      ltl::G(ltl::implies(ltl::atom(expr::mk_not(s.external_active)),
+                          ltl::atom(s.stable))),
+      s.fg_stable);
+  return s;
+}
+
+}  // namespace verdict::scenarios

@@ -1,0 +1,76 @@
+// Case study 2: load balancer + ECMP (liveness). Paper §3.3 Fig. 3 and §4.2.
+//
+// Three servers behind four routers; two applications with two replicas each
+// (p1 on s1, p2 and p3 on s2, p4 on s3). ECMP path selections are hard-coded
+// as in the paper (footnote 5 notes one could let the checker pick them):
+//
+//   Route(p1): LB -> R1 -> R2 -> s1
+//   Route(p2): LB -> R3 -> R2 -> s2
+//   Route(p3): LB -> R1 -> R2 -> s2      (link R1-R2 shared with p1)
+//   Route(p4): LB -> R1 -> R4 -> s3      (link R1-R4 takes the external burst)
+//
+// Input traffic t_a, t_b are positive real parameters; each server's latency
+// is linear in its load with per-app slope/intercept parameters, each link's
+// latency is linear in its load with app-independent parameters. A one-time
+// external traffic increase of size e may hit link R1-R4. The "smart"
+// latency LB (ctrl/loadbalancer.h) alternates round-robin between the apps.
+//
+// Liveness properties (checked with the lasso engine over the infinite
+// real-valued parameter space):
+//   F(G stable)            — fails outright: some parameter choices are
+//                            unstable from the start;
+//   stable -> F(G stable)  — the more interesting counterexample: initially
+//                            stable, the external burst triggers permanent
+//                            oscillation (a lasso-shaped execution).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ctrl/loadbalancer.h"
+#include "expr/expr.h"
+#include "ltl/ltl.h"
+#include "net/topology.h"
+#include "ts/transition_system.h"
+
+namespace verdict::scenarios {
+
+struct LbEcmpScenario {
+  ts::TransitionSystem system;
+
+  // Weight variables: app a -> {p1, p2}, app b -> {p3, p4}.
+  std::vector<expr::Expr> weights_a;
+  std::vector<expr::Expr> weights_b;
+  expr::Expr external_active;  // has the one-time burst happened yet?
+
+  // Parameters (positive reals).
+  expr::Expr traffic_a;
+  expr::Expr traffic_b;
+  expr::Expr external_amount;
+
+  // Response-time expressions per replica (over weights and parameters).
+  std::vector<expr::Expr> response_a;  // RT of p1, p2 for app a
+  std::vector<expr::Expr> response_b;  // RT of p3, p4 for app b
+
+  // "the weight selections do not change".
+  expr::Expr stable;
+  ltl::Formula fg_stable;          // F(G stable)
+  ltl::Formula stable_implies_fg;  // stable -> F(G stable)
+  /// G(!ext -> stable) -> F(G stable): "a system that is stable until the
+  /// external burst eventually re-stabilizes". A counterexample to this is
+  /// the paper's second, "more interesting" shape: stable before the burst,
+  /// permanently oscillating after it (the burst must occur on the lasso).
+  ltl::Formula quiet_until_burst_implies_fg;
+
+  // The Fig. 3 topology and the hard-coded routes, for display.
+  net::Topology topo;
+  std::vector<std::string> routes;
+};
+
+/// `policy` selects the reactive (observed-latency) or smart (predicted-
+/// latency) balancer; the default prefix encodes the policy so both variants
+/// can coexist in one process.
+[[nodiscard]] LbEcmpScenario make_lb_ecmp_scenario(
+    ctrl::LbPolicy policy = ctrl::LbPolicy::kSmart, const std::string& prefix = "");
+
+}  // namespace verdict::scenarios

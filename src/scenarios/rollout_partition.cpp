@@ -1,0 +1,76 @@
+#include "scenarios/rollout_partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mdl/compose.h"
+#include "net/reachability.h"
+
+namespace verdict::scenarios {
+
+using expr::Expr;
+
+RolloutPartitionScenario make_rollout_partition(
+    const net::Topology& topo, net::NodeId front_end,
+    const std::vector<net::NodeId>& service_nodes,
+    const RolloutPartitionOptions& options) {
+  if (std::find(service_nodes.begin(), service_nodes.end(), front_end) !=
+      service_nodes.end())
+    throw std::invalid_argument("front_end must not be a service node");
+
+  RolloutPartitionScenario scenario;
+
+  // Control component: the rollout controller over the service nodes.
+  ctrl::RolloutController rollout = ctrl::make_rollout_controller(
+      options.prefix + ".rollout", service_nodes.size(), options.max_p);
+  scenario.p = rollout.max_down;
+  scenario.node_status = rollout.status;
+
+  // Environment: link failures with budget k.
+  net::LinkFailureModel failures =
+      net::make_link_failure_model(topo, options.prefix + ".net", options.max_k);
+  scenario.k = failures.budget;
+  scenario.link_up = failures.link_up;
+
+  // Availability threshold m: a pure parameter, carried by the rollout module.
+  scenario.m = expr::int_var(options.prefix + ".m", 0, options.max_m);
+  rollout.module.add_param(scenario.m);
+
+  // Derived: reachability of each service node from the front-end, then the
+  // available count ("up and reachable").
+  const int depth = options.reachability_depth > 0
+                        ? options.reachability_depth
+                        : static_cast<int>(topo.num_nodes()) - 1;
+  const std::vector<Expr> reach =
+      net::symbolic_reachability(topo, front_end, failures.link_up, depth);
+  for (std::size_t i = 0; i < service_nodes.size(); ++i) {
+    scenario.node_available.push_back(
+        expr::mk_and({rollout.is_serving(i), reach[service_nodes[i]]}));
+  }
+  scenario.available = expr::count_true(scenario.node_available);
+
+  const std::vector<mdl::Module> modules{std::move(rollout.module),
+                                         std::move(failures.module)};
+  scenario.system = mdl::compose(modules);
+  scenario.property = ltl::G(ltl::atom(expr::mk_le(scenario.m, scenario.available)));
+  return scenario;
+}
+
+RolloutPartitionScenario make_test_scenario(const RolloutPartitionOptions& options) {
+  const net::TestTopology tt = net::make_test_topology();
+  RolloutPartitionOptions o = options;
+  if (o.reachability_depth == 0) o.reachability_depth = 4;
+  return make_rollout_partition(tt.topo, tt.front_end, tt.service_nodes, o);
+}
+
+RolloutPartitionScenario make_fat_tree_scenario(int k_ary,
+                                                RolloutPartitionOptions options) {
+  const net::FatTree ft = net::make_fat_tree(k_ary);
+  const net::NodeId front_end = ft.edge.front();
+  const std::vector<net::NodeId> service_nodes(ft.edge.begin() + 1, ft.edge.end());
+  if (options.reachability_depth == 0) options.reachability_depth = 4;
+  if (options.prefix == "cs1") options.prefix = "ft" + std::to_string(k_ary);
+  return make_rollout_partition(ft.topo, front_end, service_nodes, options);
+}
+
+}  // namespace verdict::scenarios

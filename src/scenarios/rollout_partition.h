@@ -1,0 +1,77 @@
+// Case study 1: update rollout + network partition (safety). Paper §4.2.
+//
+// A service runs on a subset of topology nodes ("service nodes"); one node is
+// the front-end distributing requests. A rollout controller takes service
+// nodes down for updates (up to p simultaneously); up to k links fail at
+// non-deterministic points. A service node is *available* when it is serving
+// (not down for update) and reachable from the front-end over up links.
+//
+// The safety property is the paper's
+//     G (available >= m)
+// ("the number of available service nodes never goes below a threshold m,
+// otherwise the available service nodes may fail due to overload"). The
+// paper's formula guards with `converged`; our reachability is recomputed
+// combinationally from the link state, so every state is converged and the
+// guard is vacuous — see DESIGN.md.
+//
+// p, k, and m are rigid parameters: check a configuration by pinning them
+// (Fig. 5: p = m = 1, k = 2), sweep them (Fig. 6), or synthesize safe values
+// (§4.2: for k = 1, m = 1 the tool suggests p in {1, 2}).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctrl/rollout.h"
+#include "expr/expr.h"
+#include "ltl/ltl.h"
+#include "net/failures.h"
+#include "net/topology.h"
+#include "ts/transition_system.h"
+
+namespace verdict::scenarios {
+
+struct RolloutPartitionOptions {
+  std::int64_t max_p = 4;  // declared range of the rollout concurrency cap
+  std::int64_t max_k = 8;  // declared range of the link-failure budget
+  std::int64_t max_m = 8;  // declared range of the availability threshold
+  /// Upper bound on alive shortest paths used by the symbolic reachability
+  /// unrolling; 0 = num_nodes - 1 (always sound). Fat trees admit 4.
+  int reachability_depth = 0;
+  /// Unique name prefix for the model's variables.
+  std::string prefix = "cs1";
+};
+
+struct RolloutPartitionScenario {
+  ts::TransitionSystem system;
+  // Parameters.
+  expr::Expr p;  // rollout concurrency cap
+  expr::Expr k;  // link failure budget
+  expr::Expr m;  // availability threshold
+  // Derived state predicates.
+  expr::Expr available;                 // # serving & reachable service nodes
+  std::vector<expr::Expr> node_available;  // per service node
+  std::vector<expr::Expr> link_up;      // per link
+  std::vector<expr::Expr> node_status;  // rollout status per service node
+  // The safety property G(available >= m).
+  ltl::Formula property;
+};
+
+/// Builds the scenario over an arbitrary topology. `service_nodes` must not
+/// contain `front_end`.
+[[nodiscard]] RolloutPartitionScenario make_rollout_partition(
+    const net::Topology& topo, net::NodeId front_end,
+    const std::vector<net::NodeId>& service_nodes,
+    const RolloutPartitionOptions& options = {});
+
+/// The paper's 5-node "test" topology instance (Fig. 5).
+[[nodiscard]] RolloutPartitionScenario make_test_scenario(
+    const RolloutPartitionOptions& options = {});
+
+/// A fat-tree instance: one leaf is the front-end, all other leaves are
+/// service nodes (the Fig. 6 scalability configuration).
+[[nodiscard]] RolloutPartitionScenario make_fat_tree_scenario(
+    int k_ary, RolloutPartitionOptions options = {});
+
+}  // namespace verdict::scenarios

@@ -1,0 +1,58 @@
+#include "scenarios/te_lb.h"
+
+#include "ctrl/traffic_eng.h"
+#include "mdl/compose.h"
+
+namespace verdict::scenarios {
+
+using expr::Expr;
+
+TeLbScenario make_te_lb_scenario(std::int64_t max_margin, const std::string& prefix) {
+  TeLbScenario s;
+
+  // Routes: 0/1 path choice per flow. App flow weighs 2 units, background 1.
+  s.app_route = expr::int_var(prefix + ".app_route", 0, 1);
+  s.bg_route = expr::int_var(prefix + ".bg_route", 0, 1);
+
+  const Expr app_on0 = expr::mk_eq(s.app_route, expr::int_const(0));
+  const Expr bg_on0 = expr::mk_eq(s.bg_route, expr::int_const(0));
+  s.load0 = expr::ite(app_on0, expr::int_const(2), expr::int_const(0)) +
+            expr::ite(bg_on0, expr::int_const(1), expr::int_const(0));
+  s.load1 = expr::ite(app_on0, expr::int_const(0), expr::int_const(2)) +
+            expr::ite(bg_on0, expr::int_const(0), expr::int_const(1));
+
+  s.lb_margin = expr::int_var(prefix + ".lb_margin", 0, max_margin);
+  s.te_margin = expr::int_var(prefix + ".te_margin", 0, max_margin);
+
+  // Both controllers contribute rules to one module over the shared routing
+  // state (the ctrl::ClusterState pattern): under kWhenDisabled one enabled
+  // controller always acts, so liveness verdicts cannot hide behind
+  // cross-module starvation (a disabled module's stutter absorbing every
+  // interleaving turn).
+  mdl::Module net(prefix + ".net");
+  net.add_var(s.app_route);
+  net.add_var(s.bg_route);
+  net.add_init(expr::mk_eq(s.app_route, expr::int_const(0)));
+  net.add_init(expr::mk_eq(s.bg_route, expr::int_const(0)));
+  net.add_param(s.lb_margin);
+  net.add_param(s.te_margin);
+  // Service layer: the LB chases latency = load (unit slope; intercepts
+  // cancel in the comparison, so plain loads serve as the latency metric).
+  ctrl::add_two_path_mover(net, "lb", s.app_route, s.load0, s.load1, s.lb_margin);
+  // Network layer: TE balances bandwidth utilization (same loads, seen
+  // through the bandwidth lens).
+  ctrl::add_two_path_mover(net, "te", s.bg_route, s.load0, s.load1, s.te_margin);
+  net.set_stutter(mdl::StutterMode::kWhenDisabled);
+
+  std::vector<mdl::Module> modules;
+  modules.push_back(std::move(net));
+  s.system = mdl::compose(modules);
+
+  s.settled = expr::mk_and(
+      {ctrl::mover_settled(s.app_route, s.load0, s.load1, s.lb_margin),
+       ctrl::mover_settled(s.bg_route, s.load0, s.load1, s.te_margin)});
+  s.eventually_settles = ltl::F(ltl::G(ltl::atom(s.settled)));
+  return s;
+}
+
+}  // namespace verdict::scenarios

@@ -1,0 +1,41 @@
+// The paper's §1 motivating interaction: traffic engineering vs. load
+// balancer, chasing each other across layers.
+//
+// Two parallel paths carry two flows. The network-layer TE controller owns
+// the background flow's route and balances *bandwidth utilization*; the
+// service-layer LB owns the application flow's route and chases *latency*
+// (linear in path load). Each controller is individually sensible; their
+// composition can cycle forever: TE packs the emptier path — which is where
+// the LB just fled to — raising its latency, so the LB flees again, which
+// unbalances utilization, so TE moves again, …
+//
+// Both controllers carry a hysteresis margin (how much better the other path
+// must be before moving). The margins are rigid parameters: the checker
+// finds the oscillating configurations, the L2S engine proves the calm ones,
+// and parameter synthesis maps the entire safe region — quantitative
+// cross-layer co-design, the paper's §2 characteristics end to end.
+#pragma once
+
+#include "expr/expr.h"
+#include "ltl/ltl.h"
+#include "ts/transition_system.h"
+
+namespace verdict::scenarios {
+
+struct TeLbScenario {
+  ts::TransitionSystem system;
+  expr::Expr app_route;   // LB-owned: which path the app flow (size 2) uses
+  expr::Expr bg_route;    // TE-owned: which path the background flow (size 1) uses
+  expr::Expr lb_margin;   // LB hysteresis parameter
+  expr::Expr te_margin;   // TE hysteresis parameter
+  expr::Expr load0;       // derived path loads
+  expr::Expr load1;
+  expr::Expr settled;     // neither controller wants to move
+  ltl::Formula eventually_settles;  // F(G settled)
+};
+
+/// `max_margin` bounds both hysteresis parameter ranges.
+[[nodiscard]] TeLbScenario make_te_lb_scenario(std::int64_t max_margin = 3,
+                                               const std::string& prefix = "telb");
+
+}  // namespace verdict::scenarios

@@ -1,0 +1,44 @@
+#include "sim/agents.h"
+
+#include <limits>
+
+namespace verdict::sim {
+
+void DeploymentAgent::reconcile() {
+  const int have = static_cast<int>(cluster_.pods_of_app(spec_.app).size());
+  for (int i = have; i < desired_; ++i) cluster_.create_pod(spec_);
+}
+
+void SchedulerAgent::reconcile() {
+  for (const PodId id : cluster_.pending_pods()) {
+    const Pod& pod = cluster_.pod(id);
+    int best = -1;
+    double best_util = std::numeric_limits<double>::infinity();
+    for (int n = 0; n < static_cast<int>(cluster_.num_nodes()); ++n) {
+      const NodeSpec& node = cluster_.node(n);
+      if (!node.schedulable) continue;
+      const double util = cluster_.utilization(n);
+      if (util + pod.spec.cpu_request > node.capacity + 1e-9) continue;  // filter
+      if (util < best_util - 1e-12) {  // least-utilization score, lowest index tie
+        best_util = util;
+        best = n;
+      }
+    }
+    if (best >= 0) cluster_.place(id, best);
+  }
+}
+
+void DeschedulerAgent::run_once() {
+  for (int n = 0; n < static_cast<int>(cluster_.num_nodes()); ++n) {
+    if (cluster_.utilization(n) <= threshold_ + 1e-12) continue;
+    for (const PodId id : cluster_.pods_on(n)) {
+      if (cluster_.pod(id).terminating) continue;
+      cluster_.mark_terminating(id);
+      ++evictions_;
+      queue_.schedule_in(grace_, [this, id]() { cluster_.delete_pod(id); });
+      break;  // one eviction per node per run
+    }
+  }
+}
+
+}  // namespace verdict::sim

@@ -1,0 +1,67 @@
+// Controller agents for the discrete-event cluster simulator.
+//
+// Concrete (double-arithmetic) counterparts of the symbolic models in ctrl/:
+// a deployment controller maintaining replicas, a scheduler with filter +
+// least-utilization scoring, and a descheduler cron job with the
+// LowNodeUtilization strategy. Wired onto an EventQueue they re-enact the
+// paper's Fig. 2 testbed experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/event_queue.h"
+
+namespace verdict::sim {
+
+/// Maintains `desired` replicas of an app: creates pending pods when the
+/// non-terminating replica count falls short.
+class DeploymentAgent {
+ public:
+  DeploymentAgent(Cluster& cluster, PodSpec spec, int desired)
+      : cluster_(cluster), spec_(std::move(spec)), desired_(desired) {}
+
+  void reconcile();
+
+ private:
+  Cluster& cluster_;
+  PodSpec spec_;
+  int desired_;
+};
+
+/// Places pending pods: filters nodes by schedulability and capacity
+/// headroom (counting terminating pods' held resources), scores by least
+/// utilization, breaks ties by lowest node index.
+class SchedulerAgent {
+ public:
+  explicit SchedulerAgent(Cluster& cluster) : cluster_(cluster) {}
+
+  void reconcile();
+
+ private:
+  Cluster& cluster_;
+};
+
+/// LowNodeUtilization descheduler, run as a cron job: evicts one pod from
+/// every node whose utilization exceeds the threshold. Evicted pods enter a
+/// termination grace period during which they keep holding node resources.
+class DeschedulerAgent {
+ public:
+  DeschedulerAgent(Cluster& cluster, EventQueue& queue, double threshold,
+                   double grace_seconds)
+      : cluster_(cluster), queue_(queue), threshold_(threshold), grace_(grace_seconds) {}
+
+  void run_once();
+
+  [[nodiscard]] int evictions() const { return evictions_; }
+
+ private:
+  Cluster& cluster_;
+  EventQueue& queue_;
+  double threshold_;
+  double grace_;
+  int evictions_ = 0;
+};
+
+}  // namespace verdict::sim

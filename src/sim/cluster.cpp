@@ -1,0 +1,73 @@
+#include "sim/cluster.h"
+
+#include <stdexcept>
+
+namespace verdict::sim {
+
+int Cluster::add_node(NodeSpec spec) {
+  nodes_.push_back(std::move(spec));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+PodId Cluster::create_pod(PodSpec spec) {
+  const PodId id = next_pod_++;
+  pods_.emplace(id, Pod{id, std::move(spec), kPending});
+  return id;
+}
+
+void Cluster::delete_pod(PodId id) {
+  if (pods_.erase(id) == 0) throw std::invalid_argument("delete_pod: unknown pod");
+}
+
+void Cluster::place(PodId id, int node) {
+  Pod& p = pods_.at(id);
+  if (p.node != kPending) throw std::logic_error("place: pod already placed");
+  if (node < 0 || node >= static_cast<int>(nodes_.size()))
+    throw std::invalid_argument("place: unknown node");
+  p.node = node;
+}
+
+void Cluster::evict(PodId id) {
+  Pod& p = pods_.at(id);
+  if (p.node == kPending) throw std::logic_error("evict: pod not placed");
+  p.node = kPending;
+}
+
+const Pod& Cluster::pod(PodId id) const { return pods_.at(id); }
+
+std::vector<PodId> Cluster::pods_on(int node) const {
+  std::vector<PodId> out;
+  for (const auto& [id, p] : pods_)
+    if (p.node == node) out.push_back(id);
+  return out;
+}
+
+std::vector<PodId> Cluster::pending_pods() const {
+  std::vector<PodId> out;
+  for (const auto& [id, p] : pods_)
+    if (p.node == kPending) out.push_back(id);
+  return out;
+}
+
+void Cluster::mark_terminating(PodId id) {
+  Pod& p = pods_.at(id);
+  if (p.node == kPending) throw std::logic_error("mark_terminating: pod not placed");
+  p.terminating = true;
+}
+
+std::vector<PodId> Cluster::pods_of_app(const std::string& app,
+                                        bool include_terminating) const {
+  std::vector<PodId> out;
+  for (const auto& [id, p] : pods_)
+    if (p.spec.app == app && (include_terminating || !p.terminating)) out.push_back(id);
+  return out;
+}
+
+double Cluster::utilization(int node) const {
+  double used = nodes_.at(node).baseline;
+  for (const auto& [id, p] : pods_)
+    if (p.node == node) used += p.spec.cpu_request;
+  return used;
+}
+
+}  // namespace verdict::sim

@@ -1,0 +1,73 @@
+// Concrete cluster state for the simulator: nodes, pods, placements.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace verdict::sim {
+
+using PodId = int;
+constexpr int kPending = -1;
+
+struct PodSpec {
+  std::string app;
+  double cpu_request = 0.5;  // fraction of node capacity
+};
+
+struct Pod {
+  PodId id = 0;
+  PodSpec spec;
+  int node = kPending;
+  /// Evicted but still in its termination grace period: the pod keeps holding
+  /// its node resources (so placement decisions see them) but no longer
+  /// counts as a running replica. This is the Kubernetes behaviour that makes
+  /// the Fig. 2 ping-pong deterministic: the replacement pod is scheduled
+  /// while the evicted one still occupies the old worker.
+  bool terminating = false;
+};
+
+struct NodeSpec {
+  std::string name;
+  double capacity = 1.0;
+  /// CPU consumed by unmodeled system pods.
+  double baseline = 0.0;
+  /// Taints / exclusions: schedulers honoring filters skip this node.
+  bool schedulable = true;
+};
+
+class Cluster {
+ public:
+  int add_node(NodeSpec spec);
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] const NodeSpec& node(int n) const { return nodes_.at(n); }
+
+  /// Creates a pending pod; returns its id.
+  PodId create_pod(PodSpec spec);
+  /// Removes the pod entirely (e.g. taint-manager termination).
+  void delete_pod(PodId id);
+  /// Binds a pending pod to a node.
+  void place(PodId id, int node);
+  /// Unbinds a pod back to pending (descheduler eviction + recreation).
+  void evict(PodId id);
+  /// Marks a placed pod terminating (resources held until delete_pod).
+  void mark_terminating(PodId id);
+
+  [[nodiscard]] const Pod& pod(PodId id) const;
+  [[nodiscard]] std::vector<PodId> pods_on(int node) const;
+  [[nodiscard]] std::vector<PodId> pending_pods() const;
+  /// Pods of an app; terminating pods are excluded unless requested.
+  [[nodiscard]] std::vector<PodId> pods_of_app(const std::string& app,
+                                               bool include_terminating = false) const;
+
+  /// Actual CPU utilization of a node right now (baseline + requests).
+  [[nodiscard]] double utilization(int node) const;
+
+ private:
+  std::vector<NodeSpec> nodes_;
+  std::map<PodId, Pod> pods_;
+  PodId next_pod_ = 1;
+};
+
+}  // namespace verdict::sim

@@ -1,0 +1,42 @@
+#include "sim/event_queue.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace verdict::sim {
+
+void EventQueue::schedule_at(double time, Callback fn) {
+  if (time < now_) throw std::invalid_argument("EventQueue: scheduling into the past");
+  queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(double delay, Callback fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventQueue::schedule_every(double period, Callback fn) {
+  if (period <= 0) throw std::invalid_argument("EventQueue: non-positive period");
+  // Re-arming wrapper: each firing schedules the next one.
+  auto rearm = std::make_shared<Callback>();
+  auto shared_fn = std::make_shared<Callback>(std::move(fn));
+  *rearm = [this, period, shared_fn, rearm]() {
+    (*shared_fn)();
+    schedule_in(period, *rearm);
+  };
+  schedule_in(period, *rearm);
+}
+
+std::size_t EventQueue::run_until(double t_end) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    event.fn();
+    ++executed;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return executed;
+}
+
+}  // namespace verdict::sim

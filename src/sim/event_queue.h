@@ -1,0 +1,54 @@
+// Discrete-event simulation core.
+//
+// The paper demonstrates the scheduler/descheduler oscillation on a real
+// 6-VM Kubernetes cluster (Fig. 2). We do not have a cluster, so sim/
+// provides a faithful discrete-event substitute: agents schedule callbacks on
+// a virtual clock (cron jobs, metric scrapes, controller reconcile loops) and
+// the queue executes them in timestamp order with FIFO tie-breaking — the
+// same controller logic, minus the VMs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace verdict::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute virtual time `time` (>= now()).
+  void schedule_at(double time, Callback fn);
+  /// Schedules `fn` `delay` seconds from now.
+  void schedule_in(double delay, Callback fn);
+  /// Schedules `fn` every `period` seconds, starting at now() + period,
+  /// until run_until()'s horizon.
+  void schedule_every(double period, Callback fn);
+
+  /// Runs events up to and including `t_end`; returns the number executed.
+  std::size_t run_until(double t_end);
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO among equal timestamps
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace verdict::sim

@@ -1,0 +1,54 @@
+#include "sim/fig2.h"
+
+#include <algorithm>
+
+#include "sim/agents.h"
+
+namespace verdict::sim {
+
+Fig2Result run_fig2_experiment(const Fig2Options& options) {
+  Cluster cluster;
+  cluster.add_node(NodeSpec{"worker1", 1.0, options.worker1_baseline, true});
+  cluster.add_node(NodeSpec{"worker2", 1.0, 0.0, true});
+  cluster.add_node(NodeSpec{"worker3", 1.0, 0.0, true});
+
+  EventQueue queue;
+  DeploymentAgent deployment(cluster, PodSpec{"app", options.pod_cpu_request}, 1);
+  SchedulerAgent scheduler(cluster);
+  DeschedulerAgent descheduler(cluster, queue, options.eviction_threshold,
+                               options.grace_period_s);
+
+  // Reconcile loops (deployment before scheduler, like informer-driven
+  // controllers reacting in dependency order), then the descheduler cron.
+  queue.schedule_every(options.reconcile_period_s, [&]() { deployment.reconcile(); });
+  queue.schedule_every(options.reconcile_period_s, [&]() { scheduler.reconcile(); });
+  queue.schedule_every(options.descheduler_period_s, [&]() { descheduler.run_once(); });
+
+  Fig2Result result;
+  const auto sample = [&]() {
+    int worker = 0;
+    const auto pods = cluster.pods_of_app("app");
+    if (!pods.empty() && cluster.pod(pods.front()).node != kPending)
+      worker = cluster.pod(pods.front()).node + 1;  // 1-based like the paper
+    result.series.push_back(PlacementSample{queue.now() / 60.0, worker});
+  };
+  queue.schedule_every(options.sample_period_s, sample);
+
+  queue.run_until(options.duration_minutes * 60.0);
+
+  result.evictions = descheduler.evictions();
+  int last = 0;
+  for (const PlacementSample& s : result.series) {
+    if (s.worker != 0 && s.worker != last) {
+      if (last != 0) ++result.placement_changes;
+      last = s.worker;
+      if (std::find(result.workers_used.begin(), result.workers_used.end(), s.worker) ==
+          result.workers_used.end())
+        result.workers_used.push_back(s.worker);
+    }
+  }
+  std::sort(result.workers_used.begin(), result.workers_used.end());
+  return result;
+}
+
+}  // namespace verdict::sim

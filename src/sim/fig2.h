@@ -1,0 +1,47 @@
+// The Fig. 2 experiment: scheduler + descheduler oscillation, simulated.
+//
+// Paper setup (§3.3): a Kubernetes cluster with 2 masters, 3 workers and 1
+// load balancer; the descheduler runs as a cron job every 2 minutes; one app
+// pod requests 50% CPU; the LowNodeUtilization eviction threshold is 45%.
+// Fig. 2 plots the worker index hosting the pod against time: a square wave
+// between worker 2 and worker 3.
+//
+// Our substitute: the same three workers (masters and the LB do not schedule
+// pods and are not modeled), the same controller parameters, a 10s reconcile
+// loop for deployment + scheduler, a 30s termination grace period, and a
+// 2-minute descheduler cron. Worker 1 carries a 60% baseline load (system
+// pods), so — exactly as in the paper's cluster — the app pod ping-pongs
+// between workers 2 and 3.
+#pragma once
+
+#include <vector>
+
+namespace verdict::sim {
+
+struct Fig2Options {
+  double pod_cpu_request = 0.50;       // "requested CPU resource to 50%"
+  double eviction_threshold = 0.45;    // LowNodeUtilization threshold
+  double descheduler_period_s = 120;   // "cronjob ... every 2 minutes"
+  double reconcile_period_s = 10;
+  double grace_period_s = 30;
+  double duration_minutes = 32;
+  double sample_period_s = 10;
+  double worker1_baseline = 0.60;      // system pods keep worker 1 busy
+};
+
+struct PlacementSample {
+  double minutes;
+  int worker;  // 1-based worker index hosting the (running) pod; 0 = pending
+};
+
+struct Fig2Result {
+  std::vector<PlacementSample> series;
+  int evictions = 0;
+  int placement_changes = 0;
+  /// Workers that ever hosted the pod (1-based).
+  std::vector<int> workers_used;
+};
+
+[[nodiscard]] Fig2Result run_fig2_experiment(const Fig2Options& options = {});
+
+}  // namespace verdict::sim

@@ -1,0 +1,135 @@
+#include "sim/lb_sim.h"
+
+namespace verdict::sim {
+
+namespace {
+
+struct State {
+  int choice_a = 0;  // app a -> p1
+  int choice_b = 1;  // app b -> p4
+  bool external = false;
+};
+
+// Response times of p1..p4 under a hypothetical (choice_a, choice_b).
+std::array<double, 4> response_times(const LbSimParams& p, int ca, int cb, bool ext) {
+  const double w1 = ca == 0 ? 1 : 0;
+  const double w2 = ca == 1 ? 1 : 0;
+  const double w3 = cb == 0 ? 1 : 0;
+  const double w4 = cb == 1 ? 1 : 0;
+  const double ta = p.traffic_a;
+  const double tb = p.traffic_b;
+  const double e = ext ? p.external : 0.0;
+
+  const double load_lb_r1 = w1 * ta + w3 * tb + w4 * tb;
+  const double load_lb_r3 = w2 * ta;
+  const double load_r1_r2 = w1 * ta + w3 * tb;
+  const double load_r3_r2 = w2 * ta;
+  const double load_r1_r4 = w4 * tb + e;
+  const double load_r2_s1 = w1 * ta;
+  const double load_r2_s2 = w2 * ta + w3 * tb;
+  const double load_r4_s3 = w4 * tb;
+  const double load_s1 = w1 * ta;
+  const double load_s2 = w2 * ta + w3 * tb;
+  const double load_s3 = w4 * tb;
+
+  const auto link = [](double m, double l, double load) { return m * load + l; };
+  const double lat_lb_r1 = link(p.m_lb_r1, p.l_lb_r1, load_lb_r1);
+  const double lat_lb_r3 = link(p.m_lb_r3, p.l_lb_r3, load_lb_r3);
+  const double lat_r1_r2 = link(p.m_r1_r2, p.l_r1_r2, load_r1_r2);
+  const double lat_r3_r2 = link(p.m_r3_r2, p.l_r3_r2, load_r3_r2);
+  const double lat_r1_r4 = link(p.m_r1_r4, p.l_r1_r4, load_r1_r4);
+  const double lat_r2_s1 = link(p.m_r2_s1, p.l_r2_s1, load_r2_s1);
+  const double lat_r2_s2 = link(p.m_r2_s2, p.l_r2_s2, load_r2_s2);
+  const double lat_r4_s3 = link(p.m_r4_s3, p.l_r4_s3, load_r4_s3);
+  return {
+      lat_lb_r1 + lat_r1_r2 + lat_r2_s1 + p.m_a * load_s1 + p.l_a,
+      lat_lb_r3 + lat_r3_r2 + lat_r2_s2 + p.m_a * load_s2 + p.l_a,
+      lat_lb_r1 + lat_r1_r2 + lat_r2_s2 + p.m_b * load_s2 + p.l_b,
+      lat_lb_r1 + lat_r1_r4 + lat_r4_s3 + p.m_b * load_s3 + p.l_b,
+  };
+}
+
+}  // namespace
+
+LbSimResult run_lb_ecmp_sim(const LbSimParams& params, int burst_step, int steps,
+                            LbSimPolicy policy) {
+  LbSimResult result;
+  State state;
+
+  for (int step = 0; step < steps; ++step) {
+    if (step == burst_step) state.external = true;
+    const bool acting_a = step % 2 == 0;
+    const bool smart = policy == LbSimPolicy::kSmart;
+    int changed_from;
+    if (acting_a) {
+      // kSmart: RT of a replica under the hypothetical "route to it";
+      // kReactive: RT observed under the current weights.
+      const int cur = state.choice_a;
+      const double rt_p1 =
+          response_times(params, smart ? 0 : cur, state.choice_b, state.external)[0];
+      const double rt_p2 =
+          response_times(params, smart ? 1 : cur, state.choice_b, state.external)[1];
+      changed_from = cur;
+      state.choice_a = rt_p1 <= rt_p2 ? 0 : 1;
+    } else {
+      const int cur = state.choice_b;
+      const double rt_p3 =
+          response_times(params, state.choice_a, smart ? 0 : cur, state.external)[2];
+      const double rt_p4 =
+          response_times(params, state.choice_a, smart ? 1 : cur, state.external)[3];
+      changed_from = cur;
+      state.choice_b = rt_p3 <= rt_p4 ? 0 : 1;
+    }
+    LbSimStep record;
+    record.step = step;
+    record.acting_app = acting_a ? 'a' : 'b';
+    record.choice_a = state.choice_a;
+    record.choice_b = state.choice_b;
+    record.external_active = state.external;
+    record.response_times =
+        response_times(params, state.choice_a, state.choice_b, state.external);
+    record.changed = (acting_a ? state.choice_a : state.choice_b) != changed_from;
+    result.history.push_back(record);
+  }
+
+  // Stability before the burst: no decision in [0, burst_step) flipped.
+  result.stable_before_burst = true;
+  for (int i = 0; i < burst_step && i < static_cast<int>(result.history.size()); ++i)
+    if (result.history[i].changed) result.stable_before_burst = false;
+
+  // Oscillation after the burst: weights keep flipping through the suffix.
+  // When the burst never fires within the run, inspect the whole run.
+  const int window_start =
+      burst_step < static_cast<int>(result.history.size()) ? burst_step : 0;
+  int last_change = -1;
+  int first_change_after = -1;
+  for (int i = window_start; i < static_cast<int>(result.history.size()); ++i) {
+    if (result.history[i].changed) {
+      if (first_change_after < 0) first_change_after = i;
+      last_change = i;
+    }
+  }
+  // "Keeps flipping": a change happens in the last quarter of the run.
+  result.oscillates_after_burst =
+      last_change >= static_cast<int>(result.history.size()) - 4;
+  if (result.oscillates_after_burst && first_change_after >= 0) {
+    // Period: distance between successive (choice_a, choice_b) recurrences.
+    const auto& h = result.history;
+    for (int lag = 2; lag + first_change_after < static_cast<int>(h.size()); lag += 2) {
+      const int i = static_cast<int>(h.size()) - 1;
+      if (i - lag >= 0 && h[i].choice_a == h[i - lag].choice_a &&
+          h[i].choice_b == h[i - lag].choice_b && lag > 2) {
+        result.cycle_length = lag;
+        break;
+      }
+      if (i - lag >= 0 && h[i].choice_a == h[i - lag].choice_a &&
+          h[i].choice_b == h[i - lag].choice_b) {
+        result.cycle_length = lag;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace verdict::sim

@@ -1,0 +1,59 @@
+// Concrete replay of the Fig. 3 load-balancer + ECMP oscillation.
+//
+// Double-arithmetic twin of scenarios/lb_ecmp: the same topology, routes,
+// load equations, linear latency model, and "smart" weighted LB, stepped
+// round-robin (app a, app b, app a, …) with a one-time external burst on link
+// R1-R4. Where the symbolic engine *searches* for parameters that oscillate,
+// this simulator *demonstrates* the oscillation for given parameters — the
+// concrete analogue of the paper's step (1)-(6) narrative.
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace verdict::sim {
+
+struct LbSimParams {
+  double traffic_a = 1.0;
+  double traffic_b = 1.0;
+  double external = 2.0;  // burst size on link R1-R4
+  // Per-link latency slope/intercept (matching scenarios/lb_ecmp).
+  double m_lb_r1 = 1.0, l_lb_r1 = 1.0;
+  double m_lb_r3 = 1.0, l_lb_r3 = 1.0;
+  double m_r1_r2 = 1.0, l_r1_r2 = 1.0;
+  double m_r3_r2 = 1.0, l_r3_r2 = 1.0;
+  double m_r1_r4 = 1.0, l_r1_r4 = 1.0;
+  double m_r2_s1 = 1.0, l_r2_s1 = 1.0;
+  double m_r2_s2 = 1.0, l_r2_s2 = 1.0;
+  double m_r4_s3 = 1.0, l_r4_s3 = 1.0;
+  double m_a = 1.0, l_a = 1.0;  // app a server latency slope/intercept
+  double m_b = 1.0, l_b = 1.0;
+};
+
+struct LbSimStep {
+  int step;
+  char acting_app;      // 'a' or 'b' (whose weights were just recomputed)
+  int choice_a;         // replica index serving app a (0 = p1, 1 = p2)
+  int choice_b;         // replica index serving app b (0 = p3, 1 = p4)
+  bool external_active;
+  std::array<double, 4> response_times;  // RT of p1..p4 after the decision
+  bool changed;                          // did this decision flip a weight?
+};
+
+struct LbSimResult {
+  std::vector<LbSimStep> history;
+  bool stable_before_burst = false;
+  bool oscillates_after_burst = false;
+  int cycle_length = 0;  // decision-steps per oscillation period (0 if stable)
+};
+
+enum class LbSimPolicy : bool { kReactive, kSmart };
+
+/// Runs `steps` LB decisions; the burst lands before decision `burst_step`.
+/// kSmart scores a replica by its RT under the hypothetical "route to it"
+/// assignment; kReactive compares RTs observed under the current weights.
+[[nodiscard]] LbSimResult run_lb_ecmp_sim(const LbSimParams& params = {},
+                                          int burst_step = 4, int steps = 24,
+                                          LbSimPolicy policy = LbSimPolicy::kSmart);
+
+}  // namespace verdict::sim

@@ -1,0 +1,278 @@
+#include "ts/smv_export.h"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace verdict::ts {
+
+using expr::Expr;
+using expr::Kind;
+
+namespace {
+
+// SMV identifiers: letters, digits, '_', '$', '#', '-'; we normalize to
+// [A-Za-z0-9_] and uniquify collisions.
+class NameMapper {
+ public:
+  std::string map(const std::string& name) {
+    const auto it = forward_.find(name);
+    if (it != forward_.end()) return it->second;
+    std::string smv;
+    smv.reserve(name.size());
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      smv.push_back(ok ? c : '_');
+    }
+    if (smv.empty() || (smv[0] >= '0' && smv[0] <= '9')) smv.insert(smv.begin(), 'v');
+    std::string candidate = smv;
+    int suffix = 1;
+    while (taken_.contains(candidate)) candidate = smv + "_" + std::to_string(suffix++);
+    taken_.insert(candidate);
+    forward_.emplace(name, candidate);
+    return candidate;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::string>& table() const {
+    return forward_;
+  }
+
+ private:
+  std::map<std::string, std::string> forward_;
+  std::set<std::string> taken_;
+};
+
+class SmvPrinter {
+ public:
+  explicit SmvPrinter(NameMapper& names) : names_(names) {}
+
+  std::string print(Expr e) {
+    std::ostringstream os;
+    emit(os, e);
+    return os.str();
+  }
+
+ private:
+  void emit(std::ostream& os, Expr e) {
+    switch (e.kind()) {
+      case Kind::kConstant: {
+        const expr::Value& v = e.constant_value();
+        if (std::holds_alternative<bool>(v)) {
+          os << (std::get<bool>(v) ? "TRUE" : "FALSE");
+        } else if (std::holds_alternative<std::int64_t>(v)) {
+          os << std::get<std::int64_t>(v);
+        } else {
+          // Real rationals: NuXMV accepts fractional constants f'num/den.
+          const util::Rational& r = std::get<util::Rational>(v);
+          if (r.is_integer()) {
+            os << r.num() << ".0";
+          } else {
+            os << "f'" << r.num() << "/" << r.den();
+          }
+        }
+        return;
+      }
+      case Kind::kVariable:
+        os << names_.map(e.var_name());
+        return;
+      case Kind::kNext:
+        os << "next(" << names_.map(e.kids()[0].var_name()) << ")";
+        return;
+      case Kind::kNot:
+        os << "!";
+        paren(os, e.kids()[0]);
+        return;
+      case Kind::kAnd:
+        nary(os, e, " & ");
+        return;
+      case Kind::kOr:
+        nary(os, e, " | ");
+        return;
+      case Kind::kIte:
+        os << "(";
+        paren(os, e.kids()[0]);
+        os << " ? ";
+        paren(os, e.kids()[1]);
+        os << " : ";
+        paren(os, e.kids()[2]);
+        os << ")";
+        return;
+      case Kind::kEq:
+        binary(os, e, e.kids()[0].type().is_bool() ? " <-> " : " = ");
+        return;
+      case Kind::kLt:
+        binary(os, e, " < ");
+        return;
+      case Kind::kLe:
+        binary(os, e, " <= ");
+        return;
+      case Kind::kAdd:
+        nary(os, e, " + ");
+        return;
+      case Kind::kMul:
+        nary(os, e, " * ");
+        return;
+      case Kind::kDiv:
+        binary(os, e, " / ");
+        return;
+      case Kind::kToReal:
+        os << "toreal(";
+        emit(os, e.kids()[0]);
+        os << ")";
+        return;
+    }
+    throw std::logic_error("to_smv: unhandled expression kind");
+  }
+
+  void paren(std::ostream& os, Expr e) {
+    os << "(";
+    emit(os, e);
+    os << ")";
+  }
+  void binary(std::ostream& os, Expr e, const char* op) {
+    paren(os, e.kids()[0]);
+    os << op;
+    paren(os, e.kids()[1]);
+  }
+  void nary(std::ostream& os, Expr e, const char* op) {
+    os << "(";
+    for (std::size_t i = 0; i < e.kids().size(); ++i) {
+      if (i > 0) os << op;
+      paren(os, e.kids()[i]);
+    }
+    os << ")";
+  }
+
+  NameMapper& names_;
+};
+
+std::string type_of(Expr var) {
+  const expr::Type t = var.type();
+  if (t.is_bool()) return "boolean";
+  if (t.is_real()) return "real";
+  if (t.bounded) return std::to_string(t.lo) + ".." + std::to_string(t.hi);
+  return "integer";
+}
+
+std::string print_ltl(const ltl::Formula& f, SmvPrinter& printer);
+
+std::string print_ltl_kids(const ltl::Formula& f, SmvPrinter& printer, const char* op) {
+  return "(" + print_ltl(f.kids()[0], printer) + op + print_ltl(f.kids()[1], printer) +
+         ")";
+}
+
+std::string print_ltl(const ltl::Formula& f, SmvPrinter& printer) {
+  using ltl::Op;
+  switch (f.op()) {
+    case Op::kAtom:
+      return "(" + printer.print(f.atom()) + ")";
+    case Op::kNot:
+      return "!" + print_ltl(f.kids()[0], printer);
+    case Op::kAnd:
+      return print_ltl_kids(f, printer, " & ");
+    case Op::kOr:
+      return print_ltl_kids(f, printer, " | ");
+    case Op::kNext:
+      return "X " + print_ltl(f.kids()[0], printer);
+    case Op::kFinally:
+      return "F " + print_ltl(f.kids()[0], printer);
+    case Op::kGlobally:
+      return "G " + print_ltl(f.kids()[0], printer);
+    case Op::kUntil:
+      return print_ltl_kids(f, printer, " U ");
+    case Op::kRelease:
+      return print_ltl_kids(f, printer, " V ");  // SMV spells release 'V'
+  }
+  throw std::logic_error("to_smv: unhandled LTL op");
+}
+
+std::string print_ctl(const ltl::CtlFormula& f, SmvPrinter& printer) {
+  using ltl::CtlOp;
+  switch (f.op()) {
+    case CtlOp::kAtom:
+      return "(" + printer.print(f.atom()) + ")";
+    case CtlOp::kNot:
+      return "!" + print_ctl(f.kids()[0], printer);
+    case CtlOp::kAnd:
+      return "(" + print_ctl(f.kids()[0], printer) + " & " +
+             print_ctl(f.kids()[1], printer) + ")";
+    case CtlOp::kOr:
+      return "(" + print_ctl(f.kids()[0], printer) + " | " +
+             print_ctl(f.kids()[1], printer) + ")";
+    case CtlOp::kEX:
+      return "EX " + print_ctl(f.kids()[0], printer);
+    case CtlOp::kEF:
+      return "EF " + print_ctl(f.kids()[0], printer);
+    case CtlOp::kEG:
+      return "EG " + print_ctl(f.kids()[0], printer);
+    case CtlOp::kEU:
+      return "E [" + print_ctl(f.kids()[0], printer) + " U " +
+             print_ctl(f.kids()[1], printer) + "]";
+    case CtlOp::kAX:
+      return "AX " + print_ctl(f.kids()[0], printer);
+    case CtlOp::kAF:
+      return "AF " + print_ctl(f.kids()[0], printer);
+    case CtlOp::kAG:
+      return "AG " + print_ctl(f.kids()[0], printer);
+    case CtlOp::kAU:
+      return "A [" + print_ctl(f.kids()[0], printer) + " U " +
+             print_ctl(f.kids()[1], printer) + "]";
+  }
+  throw std::logic_error("to_smv: unhandled CTL op");
+}
+
+}  // namespace
+
+SmvExport to_smv(const TransitionSystem& ts, const std::vector<SmvProperty>& properties) {
+  ts.validate();
+  NameMapper names;
+  SmvPrinter printer(names);
+  std::ostringstream os;
+
+  os << "-- Generated by verdict (ts::to_smv); check with: nuXmv <file>\n";
+  os << "MODULE main\n";
+
+  if (!ts.vars().empty()) {
+    os << "VAR\n";
+    for (Expr v : ts.vars())
+      os << "  " << names.map(v.var_name()) << " : " << type_of(v) << ";\n";
+  }
+  if (!ts.params().empty()) {
+    os << "FROZENVAR\n";
+    for (Expr p : ts.params())
+      os << "  " << names.map(p.var_name()) << " : " << type_of(p) << ";\n";
+  }
+
+  const Expr init = ts.init_formula();
+  const Expr params = ts.param_formula();
+  if (!init.is_true() || !params.is_true()) {
+    os << "INIT\n  " << printer.print(init);
+    if (!params.is_true()) os << " & " << printer.print(params);
+    os << ";\n";
+  }
+  const Expr invar = ts.invar_formula();
+  if (!invar.is_true()) os << "INVAR\n  " << printer.print(invar) << ";\n";
+  const Expr trans = ts.trans_formula();
+  if (!trans.is_true()) os << "TRANS\n  " << printer.print(trans) << ";\n";
+
+  for (const SmvProperty& property : properties) {
+    if (property.ltl.valid()) {
+      os << "LTLSPEC NAME " << property.name << " := "
+         << print_ltl(property.ltl, printer) << ";\n";
+    } else if (property.ctl.valid()) {
+      os << "CTLSPEC NAME " << property.name << " := "
+         << print_ctl(property.ctl, printer) << ";\n";
+    } else {
+      throw std::invalid_argument("to_smv: property '" + property.name +
+                                  "' has neither LTL nor CTL formula");
+    }
+  }
+
+  SmvExport out;
+  out.text = os.str();
+  out.name_map = names.table();
+  return out;
+}
+
+}  // namespace verdict::ts

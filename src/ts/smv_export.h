@@ -1,0 +1,49 @@
+// Export to the NuXMV/NuSMV modeling language.
+//
+// The paper's proof of concept "directly model[s] everything in NuXMV's
+// language". verdict models everything in its own IR — this exporter closes
+// the loop: any ts::TransitionSystem (plus optional named LTL/CTL properties)
+// can be emitted as a .smv module, so results obtained here can be
+// cross-checked in the paper's reference tool.
+//
+// Mapping:
+//   state variable          -> VAR        (boolean / lo..hi / integer / real)
+//   parameter               -> FROZENVAR  (NuXMV's rigid variables)
+//   init / trans / invar    -> INIT / TRANS / INVAR sections
+//   parameter constraints   -> INIT (frozen vars keep their initial value)
+//   declared ranges         -> carried by the lo..hi type, INVAR otherwise
+//   properties              -> LTLSPEC NAME ... / CTLSPEC NAME ...
+//
+// NuXMV-specific syntax used: `?:` conditionals, `toreal`, `U`/`V` (release)
+// temporal operators. Variable names containing '.' are rewritten with '_'
+// (SMV reserves '.' for submodule access); the rewrite map is returned so
+// callers can relate NuXMV output back to verdict names.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ltl/ctl.h"
+#include "ltl/ltl.h"
+#include "ts/transition_system.h"
+
+namespace verdict::ts {
+
+struct SmvExport {
+  std::string text;
+  /// verdict variable name -> emitted SMV identifier.
+  std::map<std::string, std::string> name_map;
+};
+
+struct SmvProperty {
+  std::string name;   // emitted as the spec's NAME
+  ltl::Formula ltl;   // exactly one of ltl/ctl must be valid
+  ltl::CtlFormula ctl;
+};
+
+/// Emits `MODULE main` for the system with the given properties.
+[[nodiscard]] SmvExport to_smv(const TransitionSystem& ts,
+                               const std::vector<SmvProperty>& properties = {});
+
+}  // namespace verdict::ts

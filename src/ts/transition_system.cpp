@@ -1,0 +1,231 @@
+#include "ts/transition_system.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "expr/walk.h"
+
+namespace verdict::ts {
+
+using expr::Expr;
+using expr::Value;
+using expr::VarId;
+
+// --- State -------------------------------------------------------------------
+
+void State::set(Expr var, Value v) {
+  if (!var.is_variable()) throw std::invalid_argument("State::set: not a variable");
+  values_[var.var()] = std::move(v);
+}
+
+std::optional<Value> State::get(Expr var) const {
+  if (!var.is_variable()) throw std::invalid_argument("State::get: not a variable");
+  return get(var.var());
+}
+
+std::optional<Value> State::get(VarId var) const {
+  const auto it = values_.find(var);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+void State::merge(const State& other) {
+  for (const auto& [id, v] : other.values_) values_[id] = v;
+}
+
+std::string State::str() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [id, v] : values_) {
+    if (!first) os << ' ';
+    first = false;
+    os << expr::var_name(id) << '=' << expr::value_str(v);
+  }
+  return os.str();
+}
+
+bool operator==(const State& a, const State& b) {
+  if (a.values_.size() != b.values_.size()) return false;
+  for (const auto& [id, v] : a.values_) {
+    const auto other = b.get(id);
+    if (!other || !expr::value_eq(v, *other)) return false;
+  }
+  return true;
+}
+
+std::string Trace::str() const {
+  std::ostringstream os;
+  if (!params.empty()) os << "params: " << params.str() << '\n';
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    os << "  [" << i << "] " << states[i].str();
+    if (lasso_start && *lasso_start == i) os << "   <- loop target";
+    os << '\n';
+  }
+  if (lasso_start) os << "  (last state loops back to [" << *lasso_start << "])\n";
+  return os.str();
+}
+
+// --- TransitionSystem --------------------------------------------------------
+
+void TransitionSystem::add_var(Expr var) {
+  if (!var.is_variable()) throw std::invalid_argument("add_var: not a variable");
+  if (param_ids_.contains(var.var()))
+    throw std::invalid_argument("add_var: already declared as a parameter: " + var.var_name());
+  if (var_ids_.insert(var.var()).second) vars_.push_back(var);
+}
+
+void TransitionSystem::add_param(Expr param) {
+  if (!param.is_variable()) throw std::invalid_argument("add_param: not a variable");
+  if (var_ids_.contains(param.var()))
+    throw std::invalid_argument("add_param: already declared as a state variable: " +
+                                param.var_name());
+  if (param_ids_.insert(param.var()).second) params_.push_back(param);
+}
+
+void TransitionSystem::add_init(Expr constraint) { init_.push_back(constraint); }
+void TransitionSystem::add_trans(Expr constraint) { trans_.push_back(constraint); }
+void TransitionSystem::add_invar(Expr constraint) { invar_.push_back(constraint); }
+void TransitionSystem::add_param_constraint(Expr constraint) {
+  param_constraints_.push_back(constraint);
+}
+
+Expr TransitionSystem::init_formula() const { return expr::all_of(init_); }
+Expr TransitionSystem::trans_formula() const { return expr::all_of(trans_); }
+Expr TransitionSystem::invar_formula() const { return expr::all_of(invar_); }
+Expr TransitionSystem::param_formula() const { return expr::all_of(param_constraints_); }
+
+Expr range_constraint(Expr var) {
+  const expr::Type t = var.type();
+  if (!(t.is_int() && t.bounded)) return expr::tru();
+  return expr::mk_and(
+      {expr::mk_le(expr::int_const(t.lo), var), expr::mk_le(var, expr::int_const(t.hi))});
+}
+
+Expr TransitionSystem::range_invariant() const {
+  std::vector<Expr> cs;
+  for (Expr v : vars_) cs.push_back(range_constraint(v));
+  for (Expr p : params_) cs.push_back(range_constraint(p));
+  return expr::all_of(cs);
+}
+
+bool TransitionSystem::is_finite_domain() const {
+  const auto finite = [](Expr v) {
+    const expr::Type t = v.type();
+    return t.is_bool() || (t.is_int() && t.bounded);
+  };
+  for (Expr v : vars_)
+    if (!finite(v)) return false;
+  for (Expr p : params_)
+    if (!finite(p)) return false;
+  return true;
+}
+
+void TransitionSystem::validate() const {
+  const auto check_vars_known = [&](Expr e, const char* where) {
+    for (VarId id : expr::current_vars(e)) {
+      if (!var_ids_.contains(id) && !param_ids_.contains(id))
+        throw std::invalid_argument(std::string(where) +
+                                    " references undeclared variable: " + expr::var_name(id));
+    }
+  };
+  const auto check_no_next = [&](Expr e, const char* where) {
+    if (expr::has_next(e))
+      throw std::invalid_argument(std::string(where) + " must not contain next()");
+  };
+
+  for (Expr e : init_) {
+    check_no_next(e, "init constraint");
+    check_vars_known(e, "init constraint");
+  }
+  for (Expr e : invar_) {
+    check_no_next(e, "invar constraint");
+    check_vars_known(e, "invar constraint");
+  }
+  for (Expr e : param_constraints_) {
+    check_no_next(e, "parameter constraint");
+    check_vars_known(e, "parameter constraint");
+    for (VarId id : expr::current_vars(e))
+      if (var_ids_.contains(id))
+        throw std::invalid_argument(
+            "parameter constraint references state variable: " + expr::var_name(id));
+  }
+  for (Expr e : trans_) {
+    check_vars_known(e, "trans constraint");
+    for (VarId id : expr::next_vars(e)) {
+      if (param_ids_.contains(id))
+        throw std::invalid_argument("trans applies next() to parameter: " +
+                                    expr::var_name(id));
+      if (!var_ids_.contains(id))
+        throw std::invalid_argument("trans applies next() to undeclared variable: " +
+                                    expr::var_name(id));
+    }
+  }
+}
+
+expr::Env TransitionSystem::env_of(const State& s, const State& params) const {
+  expr::Env env;
+  for (const auto& [id, v] : s.values()) env.set(id, v);
+  for (const auto& [id, v] : params.values()) env.set(id, v);
+  return env;
+}
+
+expr::Env TransitionSystem::env_of_step(const State& s, const State& next,
+                                        const State& params) const {
+  expr::Env env = env_of(s, params);
+  for (const auto& [id, v] : next.values()) env.set_next(id, v);
+  return env;
+}
+
+bool TransitionSystem::trace_conforms(const Trace& trace, std::string* error) const {
+  const auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  if (trace.states.empty()) return fail("empty trace");
+
+  // Parameter constraints and declared parameter ranges.
+  {
+    expr::Env env = env_of(State{}, trace.params);
+    for (Expr p : params_) {
+      if (!trace.params.get(p)) return fail("trace missing parameter value: " + p.var_name());
+      if (!expr::eval_bool(range_constraint(p), env))
+        return fail("parameter out of declared range: " + p.var_name());
+    }
+    if (!expr::eval_bool(param_formula(), env)) return fail("parameter constraints violated");
+  }
+
+  // Per-state checks.
+  for (std::size_t i = 0; i < trace.states.size(); ++i) {
+    const expr::Env env = env_of(trace.states[i], trace.params);
+    for (Expr v : vars_) {
+      if (!trace.states[i].get(v))
+        return fail("state " + std::to_string(i) + " missing variable " + v.var_name());
+      if (!expr::eval_bool(range_constraint(v), env))
+        return fail("state " + std::to_string(i) + ": " + v.var_name() +
+                    " out of declared range");
+    }
+    if (!expr::eval_bool(invar_formula(), env))
+      return fail("state " + std::to_string(i) + " violates invariant");
+  }
+
+  if (!expr::eval_bool(init_formula(), env_of(trace.states[0], trace.params)))
+    return fail("state 0 violates init");
+
+  const Expr trans = trans_formula();
+  for (std::size_t i = 0; i + 1 < trace.states.size(); ++i) {
+    if (!expr::eval_bool(trans,
+                         env_of_step(trace.states[i], trace.states[i + 1], trace.params)))
+      return fail("transition " + std::to_string(i) + " -> " + std::to_string(i + 1) +
+                  " violates trans");
+  }
+
+  if (trace.lasso_start) {
+    if (*trace.lasso_start >= trace.states.size()) return fail("lasso target out of range");
+    if (!expr::eval_bool(trans, env_of_step(trace.states.back(),
+                                            trace.states[*trace.lasso_start], trace.params)))
+      return fail("lasso-closing transition violates trans");
+  }
+  return true;
+}
+
+}  // namespace verdict::ts

@@ -1,0 +1,133 @@
+// Parametric transition systems.
+//
+// This is the checker's input format (the analogue of a NuXMV model): a set
+// of state variables, a set of rigid parameters (symbolic configuration
+// values and environment constants that never change along an execution),
+// and formulas
+//
+//   init(vars, params)              — initial-state predicate
+//   trans(vars, next(vars), params) — transition relation
+//   invar(vars, params)             — invariant constraints on every state
+//
+// plus optional constraints restricting the parameter space. Engines treat
+// parameters exactly like state variables whose value is frozen by the
+// transition relation, which is what makes parameter *synthesis* possible:
+// the solver is free to choose parameter values that steer an execution into
+// (or away from) a property violation.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "expr/eval.h"
+#include "expr/expr.h"
+
+namespace verdict::ts {
+
+/// A concrete assignment to a set of variables (one trace step, or the chosen
+/// parameter values of a counterexample).
+class State {
+ public:
+  void set(expr::Expr var, expr::Value v);
+  [[nodiscard]] std::optional<expr::Value> get(expr::Expr var) const;
+  [[nodiscard]] std::optional<expr::Value> get(expr::VarId var) const;
+  [[nodiscard]] const std::map<expr::VarId, expr::Value>& values() const { return values_; }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  /// Merges `other` into this state (other wins on conflicts).
+  void merge(const State& other);
+
+  /// Renders as "a=1 b=true ..." in variable-name order.
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const State& a, const State& b);
+
+ private:
+  std::map<expr::VarId, expr::Value> values_;  // ordered => deterministic print
+};
+
+/// An execution trace. For liveness counterexamples, `lasso_start` marks the
+/// state the final state loops back to (a lasso-shaped infinite execution).
+/// `params` holds the rigid parameter values the engine chose.
+struct Trace {
+  std::vector<State> states;
+  std::optional<std::size_t> lasso_start;
+  State params;
+
+  [[nodiscard]] bool is_lasso() const { return lasso_start.has_value(); }
+  [[nodiscard]] std::size_t length() const { return states.size(); }
+  [[nodiscard]] std::string str() const;
+};
+
+class TransitionSystem {
+ public:
+  /// Registers a state variable (must be an expr variable node).
+  void add_var(expr::Expr var);
+  /// Registers a rigid parameter.
+  void add_param(expr::Expr param);
+
+  /// Conjoins a constraint onto init / trans / invar / the parameter space.
+  void add_init(expr::Expr constraint);
+  void add_trans(expr::Expr constraint);
+  void add_invar(expr::Expr constraint);
+  void add_param_constraint(expr::Expr constraint);
+
+  [[nodiscard]] std::span<const expr::Expr> vars() const { return vars_; }
+  [[nodiscard]] std::span<const expr::Expr> params() const { return params_; }
+  [[nodiscard]] bool is_state_var(expr::VarId id) const { return var_ids_.contains(id); }
+  [[nodiscard]] bool is_param(expr::VarId id) const { return param_ids_.contains(id); }
+  [[nodiscard]] const std::set<expr::VarId>& var_ids() const { return var_ids_; }
+
+  /// Conjunction views of the constraint lists.
+  [[nodiscard]] expr::Expr init_formula() const;
+  [[nodiscard]] expr::Expr trans_formula() const;
+  [[nodiscard]] expr::Expr invar_formula() const;
+  [[nodiscard]] expr::Expr param_formula() const;
+
+  /// Conjunction of lo <= v <= hi for every declared bounded variable and
+  /// parameter. Engines conjoin this into invar/param constraints so the
+  /// declared ranges are honored uniformly.
+  [[nodiscard]] expr::Expr range_invariant() const;
+
+  /// True when every bounded-domain requirement for finite-state engines
+  /// (explicit, BDD) is met: every var and param is bool or range-bounded int.
+  [[nodiscard]] bool is_finite_domain() const;
+
+  /// Structural sanity checks; throws std::invalid_argument on violation:
+  ///  - init/invar/param constraints contain no next() references
+  ///  - trans next() references are declared state variables
+  ///  - every referenced variable is a declared var or param
+  void validate() const;
+
+  /// Builds an Env for evaluating state predicates at `s` (with params).
+  [[nodiscard]] expr::Env env_of(const State& s, const State& params) const;
+  /// Builds an Env for evaluating the transition relation over (s, s').
+  [[nodiscard]] expr::Env env_of_step(const State& s, const State& next,
+                                      const State& params) const;
+
+  /// Checks that a trace is a genuine execution: state 0 satisfies init,
+  /// every state satisfies invar and declared ranges, every adjacent pair
+  /// satisfies trans, params satisfy the parameter constraints, and (for
+  /// lassos) the closing step satisfies trans as well. On failure returns
+  /// false and, if `error` is non-null, stores a description.
+  [[nodiscard]] bool trace_conforms(const Trace& trace, std::string* error = nullptr) const;
+
+ private:
+  std::vector<expr::Expr> vars_;
+  std::vector<expr::Expr> params_;
+  std::set<expr::VarId> var_ids_;
+  std::set<expr::VarId> param_ids_;
+  std::vector<expr::Expr> init_;
+  std::vector<expr::Expr> trans_;
+  std::vector<expr::Expr> invar_;
+  std::vector<expr::Expr> param_constraints_;
+};
+
+/// Range invariant for one variable handle (true when unbounded).
+[[nodiscard]] expr::Expr range_constraint(expr::Expr var);
+
+}  // namespace verdict::ts

@@ -1,0 +1,39 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace verdict::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) return;
+  std::cerr << "[verdict:" << level_tag(level) << "] " << message << '\n';
+}
+
+}  // namespace verdict::util

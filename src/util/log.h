@@ -1,0 +1,58 @@
+// Minimal leveled logging for the verdict library.
+//
+// Logging goes to stderr so that bench/example stdout stays machine-parsable.
+// The level is process-global; tests and benches may lower it to keep output
+// quiet, examples may raise it to narrate what the checker is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace verdict::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the process-wide log level. Messages above this level are dropped.
+void set_log_level(LogLevel level) noexcept;
+
+/// Returns the current process-wide log level.
+LogLevel log_level() noexcept;
+
+/// Emits one log line (used by the LOG macros; callable directly too).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+// Stream-style collector that emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace verdict::util
+
+#define VERDICT_LOG(level)                                       \
+  if (static_cast<int>(level) > static_cast<int>(::verdict::util::log_level())) \
+    ;                                                            \
+  else                                                           \
+    ::verdict::util::detail::LogMessage(level)
+
+#define VERDICT_ERROR() VERDICT_LOG(::verdict::util::LogLevel::kError)
+#define VERDICT_WARN() VERDICT_LOG(::verdict::util::LogLevel::kWarn)
+#define VERDICT_INFO() VERDICT_LOG(::verdict::util::LogLevel::kInfo)
+#define VERDICT_DEBUG() VERDICT_LOG(::verdict::util::LogLevel::kDebug)

@@ -1,0 +1,109 @@
+#include "util/rational.h"
+
+#include <cstdlib>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace verdict::util {
+
+namespace {
+std::int64_t checked_gcd(std::int64_t a, std::int64_t b) {
+  return std::gcd(a < 0 ? -a : a, b < 0 ? -b : b);
+}
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  if (den_ == 0) throw std::invalid_argument("Rational: zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  const std::int64_t g = checked_gcd(num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+Rational Rational::parse(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("Rational::parse: empty string");
+  const auto slash = text.find('/');
+  if (slash != std::string::npos) {
+    const std::int64_t n = std::stoll(text.substr(0, slash));
+    const std::int64_t d = std::stoll(text.substr(slash + 1));
+    return Rational(n, d);
+  }
+  const auto dot = text.find('.');
+  if (dot != std::string::npos) {
+    const std::string whole = text.substr(0, dot);
+    const std::string frac = text.substr(dot + 1);
+    if (frac.empty()) return Rational(std::stoll(whole));
+    std::int64_t den = 1;
+    for (std::size_t i = 0; i < frac.size(); ++i) den *= 10;
+    const bool negative = !whole.empty() && whole[0] == '-';
+    const std::int64_t whole_part =
+        (whole.empty() || whole == "-" || whole == "+") ? 0 : std::stoll(whole);
+    const std::int64_t frac_part = std::stoll(frac);
+    std::int64_t num = whole_part * den + (whole_part < 0 || negative ? -frac_part : frac_part);
+    return Rational(num, den);
+  }
+  return Rational(std::stoll(text));
+}
+
+std::string Rational::str() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const {
+  Rational result(*this);
+  result.num_ = -result.num_;
+  return result;
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  // Reduce before multiplying to keep intermediates small.
+  const std::int64_t g = checked_gcd(den_, rhs.den_);
+  const std::int64_t lhs_scale = rhs.den_ / g;
+  const std::int64_t rhs_scale = den_ / g;
+  num_ = num_ * lhs_scale + rhs.num_ * rhs_scale;
+  den_ = den_ * lhs_scale;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) { return *this += -rhs; }
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  const std::int64_t g1 = checked_gcd(num_, rhs.den_);
+  const std::int64_t g2 = checked_gcd(rhs.num_, den_);
+  num_ = (num_ / g1) * (rhs.num_ / g2);
+  den_ = (den_ / g2) * (rhs.den_ / g1);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  if (rhs.num_ == 0) throw std::domain_error("Rational: division by zero");
+  return *this *= Rational(rhs.den_, rhs.num_);
+}
+
+std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) noexcept {
+  // Compare via cross multiplication in 128-bit to avoid overflow.
+  const __int128 left = static_cast<__int128>(lhs.num_) * rhs.den_;
+  const __int128 right = static_cast<__int128>(rhs.num_) * lhs.den_;
+  if (left < right) return std::strong_ordering::less;
+  if (left > right) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) { return os << r.str(); }
+
+}  // namespace verdict::util

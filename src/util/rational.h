@@ -1,0 +1,64 @@
+// Exact rational arithmetic on 64-bit numerator/denominator.
+//
+// The model checker works with real-valued metrics (latency, load, traffic).
+// Counterexample models coming back from the SMT solver are exact rationals;
+// we keep them exact so that replaying a trace through the expression
+// evaluator reproduces the solver's verdict bit-for-bit. The 64-bit limits are
+// ample for control-loop models (which use small constants), and all
+// operations normalize so intermediate growth stays bounded in practice.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace verdict::util {
+
+class Rational {
+ public:
+  constexpr Rational() noexcept : num_(0), den_(1) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): integers embed naturally.
+  constexpr Rational(std::int64_t value) noexcept : num_(value), den_(1) {}
+  /// Constructs num/den; throws std::invalid_argument when den == 0.
+  Rational(std::int64_t num, std::int64_t den);
+
+  /// Parses "a", "a/b", or a decimal like "-1.25". Throws on malformed input.
+  static Rational parse(const std::string& text);
+
+  [[nodiscard]] constexpr std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const noexcept { return den_; }
+
+  [[nodiscard]] bool is_integer() const noexcept { return den_ == 1; }
+  [[nodiscard]] double to_double() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+  [[nodiscard]] std::string str() const;
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  /// Division; throws std::domain_error when rhs == 0.
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) { return lhs += rhs; }
+  friend Rational operator-(Rational lhs, const Rational& rhs) { return lhs -= rhs; }
+  friend Rational operator*(Rational lhs, const Rational& rhs) { return lhs *= rhs; }
+  friend Rational operator/(Rational lhs, const Rational& rhs) { return lhs /= rhs; }
+
+  friend bool operator==(const Rational& lhs, const Rational& rhs) noexcept {
+    return lhs.num_ == rhs.num_ && lhs.den_ == rhs.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) noexcept;
+
+ private:
+  void normalize();
+
+  std::int64_t num_;
+  std::int64_t den_;  // invariant: den_ > 0, gcd(|num_|, den_) == 1
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace verdict::util

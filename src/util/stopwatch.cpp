@@ -1,0 +1,5 @@
+#include "util/stopwatch.h"
+
+// Header-only types; this translation unit exists so the library has a home
+// for future non-inline additions and so the target is never empty.
+namespace verdict::util {}

@@ -1,0 +1,61 @@
+// Wall-clock stopwatch and cooperative deadlines.
+//
+// Model-checking runs are bounded by wall-clock budgets (the paper uses a
+// one-hour timeout for its scalability experiment). Engines poll a Deadline
+// between solver calls and return Verdict::kTimeout when it expires.
+#pragma once
+
+#include <chrono>
+#include <optional>
+
+namespace verdict::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] std::chrono::milliseconds elapsed_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - start_);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A cooperative deadline. A default-constructed Deadline never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+  static Deadline after_seconds(double seconds) {
+    Deadline d;
+    d.expiry_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    return d;
+  }
+  static Deadline never() { return Deadline(); }
+
+  [[nodiscard]] bool expired() const {
+    return expiry_.has_value() && Clock::now() >= *expiry_;
+  }
+  [[nodiscard]] bool is_finite() const { return expiry_.has_value(); }
+
+  /// Remaining budget in seconds; returns a large value for infinite deadlines
+  /// and 0 once expired.
+  [[nodiscard]] double remaining_seconds() const {
+    if (!expiry_.has_value()) return 1e18;
+    const double rem = std::chrono::duration<double>(*expiry_ - Clock::now()).count();
+    return rem > 0 ? rem : 0.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::optional<Clock::time_point> expiry_;
+};
+
+}  // namespace verdict::util

@@ -1,0 +1,25 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace verdict::util {
+
+/// Splits on a single character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// True when `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace verdict::util

@@ -1,0 +1,164 @@
+// Bit-blasting encoder edge cases: negative ranges, scaling, alignment, and
+// exhaustive agreement between encoded circuits and the exact evaluator.
+#include <gtest/gtest.h>
+
+#include "bdd/encoder.h"
+
+namespace verdict::bdd {
+namespace {
+
+using expr::Expr;
+
+// Harness: a system over two variables whose predicate encodings are checked
+// against expr::eval on every assignment.
+class EncoderHarness {
+ public:
+  EncoderHarness(std::string prefix, std::int64_t lo1, std::int64_t hi1,
+                 std::int64_t lo2, std::int64_t hi2)
+      : x_(expr::int_var(prefix + "_x", lo1, hi1)),
+        y_(expr::int_var(prefix + "_y", lo2, hi2)) {
+    ts_.add_var(x_);
+    ts_.add_var(y_);
+    ts_.add_init(expr::tru());
+    ts_.add_trans(expr::tru());
+    system_ = std::make_unique<SymbolicSystem>(ts_);
+  }
+
+  void check_agreement(Expr predicate) {
+    const Bdd encoded = system_->encode_predicate(predicate);
+    const expr::Type tx = x_.type();
+    const expr::Type ty = y_.type();
+    for (std::int64_t vx = tx.lo; vx <= tx.hi; ++vx) {
+      for (std::int64_t vy = ty.lo; vy <= ty.hi; ++vy) {
+        ts::State s;
+        s.set(x_, vx);
+        s.set(y_, vy);
+        expr::Env env;
+        env.set(x_, vx);
+        env.set(y_, vy);
+        const Bdd cube = system_->encode_state(s);
+        // cube -> encoded must equal the evaluator's verdict.
+        const bool via_bdd =
+            !system_->manager().apply_and(cube, encoded).is_zero();
+        EXPECT_EQ(via_bdd, expr::eval_bool(predicate, env))
+            << predicate.str() << " at x=" << vx << " y=" << vy;
+      }
+    }
+  }
+
+  Expr x() const { return x_; }
+  Expr y() const { return y_; }
+
+ private:
+  Expr x_, y_;
+  ts::TransitionSystem ts_;
+  std::unique_ptr<SymbolicSystem> system_;
+};
+
+TEST(BddEncoder, ComparisonsOnPlainRanges) {
+  EncoderHarness h("enc1", 0, 6, 0, 6);
+  h.check_agreement(expr::mk_lt(h.x(), h.y()));
+  h.check_agreement(expr::mk_le(h.x(), h.y()));
+  h.check_agreement(expr::mk_eq(h.x(), h.y()));
+  h.check_agreement(expr::mk_eq(h.x(), expr::int_const(5)));
+}
+
+TEST(BddEncoder, ArithmeticCircuits) {
+  EncoderHarness h("enc2", 0, 5, 0, 5);
+  h.check_agreement(expr::mk_lt(h.x() + h.y(), expr::int_const(7)));
+  h.check_agreement(expr::mk_eq(h.x() + 1, h.y()));
+  h.check_agreement(expr::mk_le(h.x() * 3, h.y() * 2 + 4));
+  h.check_agreement(expr::mk_eq(h.x() - h.y(), expr::int_const(2)));
+}
+
+TEST(BddEncoder, NegativeRanges) {
+  EncoderHarness h("enc3", -3, 3, -2, 4);
+  h.check_agreement(expr::mk_lt(h.x(), h.y()));
+  h.check_agreement(expr::mk_le(h.x() + h.y(), expr::int_const(0)));
+  h.check_agreement(expr::mk_eq(h.x(), expr::int_const(-2)));
+  h.check_agreement(expr::mk_lt(h.x() * -2, h.y()));
+}
+
+TEST(BddEncoder, IteAndBooleanStructure) {
+  EncoderHarness h("enc4", 0, 3, 0, 3);
+  const Expr cond = expr::mk_lt(h.x(), expr::int_const(2));
+  h.check_agreement(expr::mk_eq(expr::ite(cond, h.x(), h.y()), expr::int_const(1)));
+  h.check_agreement(expr::mk_and(
+      {expr::mk_or({cond, expr::mk_eq(h.y(), expr::int_const(0))}),
+       expr::mk_not(expr::mk_eq(h.x(), h.y()))}));
+  h.check_agreement(
+      expr::mk_le(expr::count_true(std::vector<Expr>{cond, expr::mk_lt(h.y(), h.x())}),
+                  expr::int_const(1)));
+}
+
+TEST(BddEncoder, MinMaxViaIte) {
+  EncoderHarness h("enc5", 0, 4, 0, 4);
+  h.check_agreement(expr::mk_eq(expr::mk_min(h.x(), h.y()), h.x()));
+  h.check_agreement(expr::mk_lt(expr::mk_max(h.x(), h.y()), expr::int_const(3)));
+}
+
+TEST(BddEncoder, RejectsInfiniteDomains) {
+  ts::TransitionSystem ts;
+  ts.add_var(expr::real_var("enc_real"));
+  ts.add_trans(expr::tru());
+  EXPECT_THROW(SymbolicSystem{ts}, std::invalid_argument);
+
+  ts::TransitionSystem unbounded;
+  unbounded.add_var(expr::int_var("enc_unbounded"));
+  unbounded.add_trans(expr::tru());
+  EXPECT_THROW(SymbolicSystem{unbounded}, std::invalid_argument);
+}
+
+TEST(BddEncoder, RejectsNonlinearMultiplication) {
+  ts::TransitionSystem ts;
+  const Expr a = expr::int_var("enc_nl_a", 0, 3);
+  const Expr b = expr::int_var("enc_nl_b", 0, 3);
+  ts.add_var(a);
+  ts.add_var(b);
+  ts.add_trans(expr::tru());
+  SymbolicSystem system(ts);
+  EXPECT_THROW((void)system.encode_predicate(expr::mk_lt(a * b, expr::int_const(3))),
+               std::invalid_argument);
+}
+
+TEST(BddEncoder, DecodeRoundTripsEncodeState) {
+  ts::TransitionSystem ts;
+  const Expr x = expr::int_var("enc_rt_x", -2, 5);
+  const Expr b = expr::bool_var("enc_rt_b");
+  ts.add_var(x);
+  ts.add_var(b);
+  ts.add_trans(expr::tru());
+  SymbolicSystem system(ts);
+  for (std::int64_t v = -2; v <= 5; ++v) {
+    for (const bool flag : {false, true}) {
+      ts::State s;
+      s.set(x, v);
+      s.set(b, flag);
+      const Bdd cube = system.encode_state(s);
+      const ts::State back = system.decode(system.manager().any_sat(cube));
+      EXPECT_EQ(std::get<std::int64_t>(*back.get(x)), v);
+      EXPECT_EQ(std::get<bool>(*back.get(b)), flag);
+    }
+  }
+}
+
+TEST(BddEncoder, TransRespectsFrozenParams) {
+  ts::TransitionSystem ts;
+  const Expr x = expr::int_var("enc_fp_x", 0, 3);
+  const Expr p = expr::int_var("enc_fp_p", 0, 3);
+  ts.add_var(x);
+  ts.add_param(p);
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_trans(expr::mk_eq(expr::next(x), expr::mk_min(x + 1, p)));
+  SymbolicSystem system(ts);
+  // Image of init must still satisfy "x <= p" for the SAME frozen p: compute
+  // two steps and verify every satisfying assignment decodes consistently.
+  Bdd reach = system.init();
+  for (int step = 0; step < 3; ++step) reach = system.manager().apply_or(reach, system.image(reach));
+  const Bdd violating = system.manager().apply_and(
+      reach, system.encode_predicate(expr::mk_lt(p, x)));
+  EXPECT_TRUE(violating.is_zero());
+}
+
+}  // namespace
+}  // namespace verdict::bdd

@@ -1,0 +1,281 @@
+// BDD package and BDD model-checker tests, cross-checked against truth
+// tables and the explicit-state oracle.
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.h"
+#include "bdd/checker.h"
+#include "core/explicit.h"
+#include "ltl/parser.h"
+
+namespace verdict {
+namespace {
+
+using bdd::Bdd;
+using bdd::Manager;
+using core::Verdict;
+using expr::Expr;
+
+TEST(BddManager, TerminalInvariants) {
+  Manager m;
+  EXPECT_TRUE(Bdd::zero().is_zero());
+  EXPECT_TRUE(Bdd::one().is_one());
+  EXPECT_TRUE(m.apply_not(Bdd::zero()).is_one());
+  EXPECT_TRUE(m.apply_and(Bdd::one(), Bdd::zero()).is_zero());
+}
+
+TEST(BddManager, HashConsingGivesCanonicalForms) {
+  Manager m;
+  const auto a = m.new_var();
+  const auto b = m.new_var();
+  const Bdd f1 = m.apply_or(m.var(a), m.var(b));
+  const Bdd f2 = m.apply_not(m.apply_and(m.apply_not(m.var(a)), m.apply_not(m.var(b))));
+  EXPECT_EQ(f1, f2);  // De Morgan, canonical by construction
+}
+
+// Exhaustive truth-table agreement for all 2-variable operations.
+TEST(BddManager, OpsMatchTruthTables) {
+  Manager m;
+  const auto a = m.new_var();
+  const auto b = m.new_var();
+  const Bdd va = m.var(a);
+  const Bdd vb = m.var(b);
+  for (const bool x : {false, true}) {
+    for (const bool y : {false, true}) {
+      std::vector<bool> env{x, y};
+      EXPECT_EQ(m.eval(m.apply_and(va, vb), env), x && y);
+      EXPECT_EQ(m.eval(m.apply_or(va, vb), env), x || y);
+      EXPECT_EQ(m.eval(m.apply_xor(va, vb), env), x != y);
+      EXPECT_EQ(m.eval(m.iff(va, vb), env), x == y);
+      EXPECT_EQ(m.eval(m.implies(va, vb), env), !x || y);
+      EXPECT_EQ(m.eval(m.apply_not(va), env), !x);
+    }
+  }
+}
+
+// Random 4-variable formulas: BDD evaluation equals direct evaluation.
+TEST(BddManager, RandomFormulasMatchDirectEvaluation) {
+  Manager m;
+  std::vector<std::uint32_t> levels;
+  for (int i = 0; i < 4; ++i) levels.push_back(m.new_var());
+
+  std::uint64_t seed = 99;
+  const auto rnd = [&seed]() {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>(seed >> 33);
+  };
+
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    // Build a random formula tree and a parallel evaluator.
+    struct NodeFn {
+      Bdd bdd;
+      std::function<bool(const std::vector<bool>&)> eval;
+    };
+    std::function<NodeFn(int)> build = [&](int depth) -> NodeFn {
+      if (depth == 0) {
+        const std::uint32_t v = levels[rnd() % 4];
+        const bool negated = rnd() % 2;
+        return NodeFn{negated ? m.nvar(v) : m.var(v),
+                      [v, negated](const std::vector<bool>& e) {
+                        return negated ? !e[v] : e[v];
+                      }};
+      }
+      NodeFn l = build(depth - 1);
+      NodeFn r = build(depth - 1);
+      switch (rnd() % 3) {
+        case 0:
+          return NodeFn{m.apply_and(l.bdd, r.bdd),
+                        [l, r](const std::vector<bool>& e) {
+                          return l.eval(e) && r.eval(e);
+                        }};
+        case 1:
+          return NodeFn{m.apply_or(l.bdd, r.bdd),
+                        [l, r](const std::vector<bool>& e) {
+                          return l.eval(e) || r.eval(e);
+                        }};
+        default:
+          return NodeFn{m.apply_xor(l.bdd, r.bdd),
+                        [l, r](const std::vector<bool>& e) {
+                          return l.eval(e) != r.eval(e);
+                        }};
+      }
+    };
+    const NodeFn f = build(3);
+    for (int bits = 0; bits < 16; ++bits) {
+      std::vector<bool> env{(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0,
+                            (bits & 8) != 0};
+      EXPECT_EQ(m.eval(f.bdd, env), f.eval(env));
+    }
+  }
+}
+
+TEST(BddManager, ExistsAndForall) {
+  Manager m;
+  const auto a = m.new_var();
+  const auto b = m.new_var();
+  const Bdd f = m.apply_and(m.var(a), m.var(b));
+  const std::vector<std::uint32_t> only_a{a};
+  EXPECT_EQ(m.exists(f, only_a), m.var(b));
+  EXPECT_TRUE(m.forall(f, only_a).is_zero());
+  const Bdd g = m.apply_or(m.var(a), m.var(b));
+  EXPECT_TRUE(m.exists(g, only_a).is_one());
+  EXPECT_EQ(m.forall(g, only_a), m.var(b));
+}
+
+TEST(BddManager, AndExistsMatchesComposition) {
+  Manager m;
+  std::vector<std::uint32_t> levels;
+  for (int i = 0; i < 6; ++i) levels.push_back(m.new_var());
+  std::uint64_t seed = 7;
+  const auto rnd = [&seed]() {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>(seed >> 33);
+  };
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    std::function<Bdd(int)> build = [&](int depth) -> Bdd {
+      if (depth == 0) return rnd() % 2 ? m.var(levels[rnd() % 6]) : m.nvar(levels[rnd() % 6]);
+      const Bdd l = build(depth - 1);
+      const Bdd r = build(depth - 1);
+      return rnd() % 2 ? m.apply_and(l, r) : m.apply_or(l, r);
+    };
+    const Bdd f = build(3);
+    const Bdd g = build(3);
+    const std::vector<std::uint32_t> quantified{levels[0], levels[2], levels[4]};
+    EXPECT_EQ(m.and_exists(f, g, quantified), m.exists(m.apply_and(f, g), quantified));
+  }
+}
+
+TEST(BddManager, RenameShiftsLevels) {
+  Manager m;
+  const auto a = m.new_var();  // 0
+  const auto b = m.new_var();  // 1
+  (void)b;
+  std::vector<std::uint32_t> perm{1, 0};
+  const Bdd f = m.var(a);
+  const Bdd renamed = m.rename(f, perm);
+  EXPECT_EQ(renamed, m.var(1));
+}
+
+TEST(BddManager, SatCount) {
+  Manager m;
+  const auto a = m.new_var();
+  const auto b = m.new_var();
+  const auto c = m.new_var();
+  (void)c;
+  const Bdd f = m.apply_or(m.var(a), m.var(b));  // 3 of 4 over a,b; x2 for c
+  EXPECT_DOUBLE_EQ(m.sat_count(f), 6.0);
+}
+
+TEST(BddManager, AnySatIsSatisfying) {
+  Manager m;
+  const auto a = m.new_var();
+  const auto b = m.new_var();
+  const Bdd f = m.apply_and(m.nvar(a), m.var(b));
+  const std::vector<bool> assignment = m.any_sat(f);
+  EXPECT_TRUE(m.eval(f, assignment));
+  EXPECT_FALSE(assignment[a]);
+  EXPECT_TRUE(assignment[b]);
+}
+
+// --- Symbolic system checks (cross-checked against the explicit engine) ----
+
+ts::TransitionSystem bounded_counter(const std::string& prefix, std::int64_t limit) {
+  ts::TransitionSystem ts;
+  const Expr x = expr::int_var(prefix + "_x", 0, 10);
+  ts.add_var(x);
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_trans(expr::mk_eq(expr::next(x),
+                           expr::ite(expr::mk_lt(x, expr::int_const(limit)), x + 1, x)));
+  return ts;
+}
+
+TEST(BddChecker, InvariantViolationWithShortestTrace) {
+  const auto ts = bounded_counter("bddc1", 8);
+  const Expr x = expr::var_by_name("bddc1_x");
+  const auto outcome = bdd::check_invariant_bdd(ts, expr::mk_lt(x, expr::int_const(5)));
+  ASSERT_EQ(outcome.verdict, Verdict::kViolated);
+  ASSERT_TRUE(outcome.counterexample.has_value());
+  EXPECT_EQ(outcome.counterexample->states.size(), 6u);  // shortest, like explicit BFS
+  std::string error;
+  EXPECT_TRUE(ts.trace_conforms(*outcome.counterexample, &error)) << error;
+}
+
+TEST(BddChecker, InvariantProof) {
+  const auto ts = bounded_counter("bddc2", 4);
+  const Expr x = expr::var_by_name("bddc2_x");
+  const auto outcome = bdd::check_invariant_bdd(ts, expr::mk_lt(x, expr::int_const(5)));
+  EXPECT_EQ(outcome.verdict, Verdict::kHolds);
+}
+
+TEST(BddChecker, SequentialOrderingAgrees) {
+  const auto ts = bounded_counter("bddc3", 8);
+  const Expr x = expr::var_by_name("bddc3_x");
+  bdd::BddOptions options;
+  options.order = bdd::VarOrder::kSequential;
+  const auto outcome =
+      bdd::check_invariant_bdd(ts, expr::mk_lt(x, expr::int_const(5)), options);
+  EXPECT_EQ(outcome.verdict, Verdict::kViolated);
+}
+
+TEST(BddChecker, ParametricReachabilityFindsBadParams) {
+  ts::TransitionSystem ts;
+  const Expr x = expr::int_var("bddp_x", 0, 10);
+  const Expr limit = expr::int_var("bddp_limit", 0, 10);
+  ts.add_var(x);
+  ts.add_param(limit);
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_trans(expr::mk_eq(expr::next(x), expr::ite(expr::mk_lt(x, limit), x + 1, x)));
+  const auto outcome = bdd::check_invariant_bdd(ts, expr::mk_lt(x, expr::int_const(5)));
+  ASSERT_EQ(outcome.verdict, Verdict::kViolated);
+  const auto chosen = outcome.counterexample->params.get(limit);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_GE(std::get<std::int64_t>(*chosen), 5);
+  std::string error;
+  EXPECT_TRUE(ts.trace_conforms(*outcome.counterexample, &error)) << error;
+}
+
+TEST(BddChecker, ReachableStateCount) {
+  const auto ts = bounded_counter("bddc4", 4);
+  // States 0..4 reachable.
+  EXPECT_DOUBLE_EQ(bdd::count_reachable_states(ts), 5.0);
+}
+
+TEST(BddCtl, AgreesWithExplicitOracle) {
+  // Two-bit system with a toggling low bit and a latching high bit.
+  ts::TransitionSystem ts;
+  const Expr lo = expr::bool_var("ctl_lo");
+  const Expr hi = expr::bool_var("ctl_hi");
+  ts.add_var(lo);
+  ts.add_var(hi);
+  ts.add_init(expr::mk_not(lo));
+  ts.add_init(expr::mk_not(hi));
+  ts.add_trans(expr::mk_eq(expr::next(lo), expr::mk_not(lo)));
+  // hi latches once lo is true.
+  ts.add_trans(expr::mk_eq(expr::next(hi), expr::mk_or({hi, lo})));
+
+  const std::vector<std::string> properties = {
+      "EF (ctl_hi)",      "AF (ctl_hi)",          "AG (EF (ctl_lo))",
+      "EG (!ctl_hi)",     "AG (ctl_lo -> AF ctl_hi)", "E[!ctl_hi U ctl_lo]",
+      "A[!ctl_hi U ctl_lo]",
+  };
+  for (const std::string& text : properties) {
+    const ltl::CtlFormula f = ltl::parse_ctl(text);
+    const auto symbolic = bdd::check_ctl_bdd(ts, f);
+    const auto oracle = core::check_ctl_explicit(ts, f);
+    EXPECT_EQ(symbolic.verdict, oracle.verdict) << "property: " << text;
+  }
+}
+
+TEST(BddCtl, FindsFailingInitialState) {
+  ts::TransitionSystem ts;
+  const Expr b = expr::bool_var("ctl_stuck");
+  ts.add_var(b);
+  ts.add_trans(expr::mk_eq(expr::next(b), b));  // frozen bit, both inits allowed
+  const auto outcome = bdd::check_ctl_bdd(ts, ltl::parse_ctl("AF (ctl_stuck)"));
+  ASSERT_EQ(outcome.verdict, Verdict::kViolated);
+  const auto witness = outcome.counterexample->states.front().get(b);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_FALSE(std::get<bool>(*witness));
+}
+
+}  // namespace
+}  // namespace verdict

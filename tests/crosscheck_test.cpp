@@ -1,0 +1,220 @@
+// Engine cross-check property tests.
+//
+// The deepest confidence layer of the suite: random finite-domain transition
+// systems are generated and every engine must agree with the explicit-state
+// oracle — BMC and BDD reachability on violation/absence, k-induction and PDR
+// on proofs, and the lasso LTL engine against the concrete lasso evaluator.
+#include <gtest/gtest.h>
+
+#include "bdd/checker.h"
+#include "core/bmc.h"
+#include "core/checker.h"
+#include "core/explicit.h"
+#include "core/kinduction.h"
+#include "core/liveness.h"
+#include "core/pdr.h"
+#include "core/synth.h"
+#include "ltl/trace_eval.h"
+
+namespace verdict {
+namespace {
+
+using core::Verdict;
+using expr::Expr;
+
+// Deterministic PRNG (identical runs across machines).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint32_t next(std::uint32_t bound) {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>(state_ >> 33) % bound;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// A random system over two small ints and one bool: random guarded updates.
+struct RandomSystem {
+  ts::TransitionSystem ts;
+  Expr x, y, b;
+};
+
+RandomSystem make_random_system(int id, Rng& rng) {
+  RandomSystem out;
+  const std::string p = "rnd" + std::to_string(id);
+  out.x = expr::int_var(p + "_x", 0, 3);
+  out.y = expr::int_var(p + "_y", 0, 3);
+  out.b = expr::bool_var(p + "_b");
+  out.ts.add_var(out.x);
+  out.ts.add_var(out.y);
+  out.ts.add_var(out.b);
+  out.ts.add_init(expr::mk_eq(out.x, expr::int_const(rng.next(2))));
+  out.ts.add_init(expr::mk_eq(out.y, expr::int_const(0)));
+  out.ts.add_init(rng.next(2) ? out.b : expr::mk_not(out.b));
+
+  // Random atom generator.
+  const auto atom = [&]() -> Expr {
+    switch (rng.next(4)) {
+      case 0:
+        return expr::mk_lt(out.x, expr::int_const(rng.next(4)));
+      case 1:
+        return expr::mk_eq(out.y, expr::int_const(rng.next(4)));
+      case 2:
+        return out.b;
+      default:
+        return expr::mk_le(out.x, out.y);
+    }
+  };
+  // Random bounded int update.
+  const auto update = [&](Expr v) -> Expr {
+    switch (rng.next(4)) {
+      case 0:
+        return expr::mk_min(v + 1, expr::int_const(3));
+      case 1:
+        return expr::mk_max(v - 1, expr::int_const(0));
+      case 2:
+        return expr::int_const(rng.next(4));
+      default:
+        return v;
+    }
+  };
+  // Transition: two guarded alternatives (nondeterministic choice).
+  std::vector<Expr> branches;
+  for (int branch = 0; branch < 2; ++branch) {
+    branches.push_back(expr::mk_and(
+        {expr::mk_eq(expr::next(out.x), expr::ite(atom(), update(out.x), update(out.x))),
+         expr::mk_eq(expr::next(out.y), update(out.y)),
+         expr::mk_eq(expr::next(out.b),
+                     rng.next(2) ? expr::mk_not(out.b) : atom())}));
+  }
+  out.ts.add_trans(expr::any_of(branches));
+  return out;
+}
+
+class RandomSystemCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSystemCrossCheck, AllEnginesAgreeOnInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const RandomSystem sys = make_random_system(GetParam(), rng);
+
+  // A few candidate invariants of varying strength.
+  const std::vector<Expr> invariants = {
+      expr::mk_le(sys.x + sys.y, expr::int_const(6)),       // always true (range)
+      expr::mk_lt(sys.x, expr::int_const(3)),
+      expr::mk_or({sys.b, expr::mk_le(sys.y, expr::int_const(2))}),
+      expr::mk_not(expr::mk_and({expr::mk_eq(sys.x, expr::int_const(3)),
+                                 expr::mk_eq(sys.y, expr::int_const(3))})),
+  };
+
+  for (const Expr& invariant : invariants) {
+    const auto oracle = core::check_invariant_explicit(sys.ts, invariant);
+    ASSERT_TRUE(oracle.verdict == Verdict::kHolds || oracle.verdict == Verdict::kViolated);
+    const bool holds = oracle.verdict == Verdict::kHolds;
+
+    // BMC: must find every violation within the diameter (<= 32 states).
+    const auto bmc = core::check_invariant_bmc(sys.ts, invariant, {.max_depth = 40});
+    EXPECT_EQ(bmc.verdict == Verdict::kViolated, !holds)
+        << "BMC disagrees with oracle on " << invariant.str();
+    if (bmc.counterexample) {
+      std::string error;
+      EXPECT_TRUE(sys.ts.trace_conforms(*bmc.counterexample, &error)) << error;
+    }
+
+    // k-induction (complete on finite domains with simple-path).
+    const auto kind = core::check_invariant_kinduction(sys.ts, invariant, {.max_k = 40});
+    EXPECT_EQ(kind.verdict, holds ? Verdict::kHolds : Verdict::kViolated)
+        << "k-induction disagrees on " << invariant.str();
+
+    // PDR.
+    const auto pdr = core::check_invariant_pdr(sys.ts, invariant);
+    EXPECT_EQ(pdr.verdict, holds ? Verdict::kHolds : Verdict::kViolated)
+        << "PDR disagrees on " << invariant.str();
+
+    // BDD reachability.
+    const auto bdd = bdd::check_invariant_bdd(sys.ts, invariant);
+    EXPECT_EQ(bdd.verdict, holds ? Verdict::kHolds : Verdict::kViolated)
+        << "BDD disagrees on " << invariant.str();
+    if (!holds && bdd.counterexample && oracle.counterexample) {
+      // Both BFS-based engines find shortest counterexamples.
+      EXPECT_EQ(bdd.counterexample->states.size(), oracle.counterexample->states.size());
+    }
+  }
+}
+
+TEST_P(RandomSystemCrossCheck, BddCtlAgreesWithExplicitCtl) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const RandomSystem sys = make_random_system(1000 + GetParam(), rng);
+
+  const Expr p = expr::mk_le(sys.x, expr::int_const(1));
+  const Expr q = sys.b;
+  const std::vector<ltl::CtlFormula> formulas = {
+      ltl::AG(ltl::ctl_atom(p)),
+      ltl::EF(ltl::ctl_atom(q)),
+      ltl::AF(ltl::ctl_atom(q)),
+      ltl::EG(ltl::ctl_atom(p)),
+      ltl::AG(ltl::EF(ltl::ctl_atom(p))),
+      ltl::EU(ltl::ctl_atom(p), ltl::ctl_atom(q)),
+      ltl::AU(ltl::ctl_atom(p), ltl::ctl_atom(q)),
+      ltl::AX(ltl::EX(ltl::ctl_atom(q))),
+  };
+  for (const auto& f : formulas) {
+    const auto symbolic = bdd::check_ctl_bdd(sys.ts, f);
+    const auto oracle = core::check_ctl_explicit(sys.ts, f);
+    EXPECT_EQ(symbolic.verdict, oracle.verdict) << f.str();
+  }
+}
+
+TEST_P(RandomSystemCrossCheck, LassoCounterexamplesSatisfyNegation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 3);
+  const RandomSystem sys = make_random_system(2000 + GetParam(), rng);
+
+  const std::vector<ltl::Formula> properties = {
+      ltl::F(ltl::G(ltl::atom(sys.b))),
+      ltl::G(ltl::F(ltl::atom(expr::mk_eq(sys.x, expr::int_const(0))))),
+      ltl::G(ltl::implies(ltl::atom(sys.b),
+                          ltl::F(ltl::atom(expr::mk_eq(sys.y, expr::int_const(0)))))),
+      ltl::U(ltl::atom(expr::mk_le(sys.x, expr::int_const(2))), ltl::atom(sys.b)),
+  };
+  for (const auto& property : properties) {
+    const auto outcome = core::check_ltl_lasso(sys.ts, property, {.max_depth = 12});
+    if (outcome.verdict != Verdict::kViolated) continue;
+    std::string error;
+    EXPECT_TRUE(core::confirm_counterexample(sys.ts, property, outcome, &error))
+        << property.str() << ": " << error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSystemCrossCheck, ::testing::Range(0, 12));
+
+// Parametric agreement: synthesis classification equals per-candidate oracle.
+TEST(SynthCrossCheck, ClassificationMatchesExplicitOracle) {
+  ts::TransitionSystem ts;
+  const Expr x = expr::int_var("sxc_x", 0, 6);
+  const Expr cap = expr::int_var("sxc_cap", 0, 6);
+  ts.add_var(x);
+  ts.add_param(cap);
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_trans(expr::mk_eq(expr::next(x), expr::ite(expr::mk_lt(x, cap), x + 1, x)));
+  const Expr invariant = expr::mk_le(x, expr::int_const(3));
+
+  const auto result = core::synthesize_params(ts, invariant);
+  ASSERT_TRUE(result.complete());
+  for (const ts::State& candidate : result.safe) {
+    ts::TransitionSystem pinned = ts;
+    pinned.add_param_constraint(
+        expr::mk_eq(cap, expr::constant_of(*candidate.get(cap), cap.type())));
+    EXPECT_EQ(core::check_invariant_explicit(pinned, invariant).verdict, Verdict::kHolds);
+  }
+  for (const ts::State& candidate : result.unsafe) {
+    ts::TransitionSystem pinned = ts;
+    pinned.add_param_constraint(
+        expr::mk_eq(cap, expr::constant_of(*candidate.get(cap), cap.type())));
+    EXPECT_EQ(core::check_invariant_explicit(pinned, invariant).verdict,
+              Verdict::kViolated);
+  }
+}
+
+}  // namespace
+}  // namespace verdict

@@ -1,0 +1,193 @@
+// Controller model library tests: each component's characteristic behaviour
+// is verified against the engines (the models are themselves checkable).
+#include <gtest/gtest.h>
+
+#include "core/bmc.h"
+#include "core/checker.h"
+#include "core/explicit.h"
+#include "ltl/ctl.h"
+#include "core/pdr.h"
+#include "ctrl/autoscaler.h"
+#include "ctrl/cluster.h"
+#include "ctrl/deployment.h"
+#include "ctrl/descheduler.h"
+#include "ctrl/ratelimiter.h"
+#include "ctrl/rollout.h"
+#include "ctrl/scheduler.h"
+#include "ctrl/taint.h"
+#include "mdl/compose.h"
+
+namespace verdict {
+namespace {
+
+using core::Verdict;
+using expr::Expr;
+
+ts::TransitionSystem one_module(mdl::Module module) {
+  const std::vector<mdl::Module> modules{std::move(module)};
+  return mdl::compose(modules);
+}
+
+TEST(RolloutModel, NeverExceedsConcurrencyCap) {
+  auto rc = ctrl::make_rollout_controller("ctl_ro1", 4, 3);
+  ts::TransitionSystem sys = one_module(std::move(rc.module));
+  // Invariant: #down <= p, for every p the checker may pick.
+  std::vector<Expr> down;
+  for (const Expr& s : rc.status) down.push_back(expr::mk_eq(s, expr::int_const(1)));
+  const Expr invariant = expr::mk_le(expr::count_true(down), rc.max_down);
+  EXPECT_EQ(core::check_invariant_pdr(sys, invariant,
+                                      {.deadline = util::Deadline::after_seconds(120)})
+                .verdict,
+            Verdict::kHolds);
+}
+
+TEST(RolloutModel, CanCompleteTheUpdate) {
+  auto rc = ctrl::make_rollout_controller("ctl_ro2", 3, 2);
+  ts::TransitionSystem sys = one_module(std::move(rc.module));
+  sys.add_param_constraint(expr::mk_le(expr::int_const(1), rc.max_down));
+  // done() is reachable: G(!done) must be violated.
+  const auto outcome = core::check_invariant_bmc(sys, expr::mk_not(rc.done()),
+                                                 {.max_depth = 12});
+  EXPECT_EQ(outcome.verdict, Verdict::kViolated);
+}
+
+TEST(RolloutModel, StatusesOnlyMoveForward) {
+  auto rc = ctrl::make_rollout_controller("ctl_ro3", 2, 2);
+  ts::TransitionSystem sys = one_module(std::move(rc.module));
+  // A node that finished (status 2) never goes down again: updated stays.
+  const Expr updated0 = expr::mk_eq(rc.status[0], expr::int_const(2));
+  // Encode "once updated, always updated" as an inductive check: from any
+  // reachable state with status=2, the next state keeps it.
+  ts::TransitionSystem with_flag = sys;
+  const Expr was = expr::bool_var("ctl_ro3_was");
+  with_flag.add_var(was);
+  with_flag.add_init(expr::mk_not(was));
+  with_flag.add_trans(expr::mk_eq(expr::next(was), expr::mk_or({was, updated0})));
+  const Expr invariant = expr::mk_implies(was, updated0);
+  EXPECT_EQ(core::check_invariant_pdr(with_flag, invariant).verdict, Verdict::kHolds);
+}
+
+TEST(ClusterModel, UtilizationAccounting) {
+  ctrl::ClusterConfig config;
+  config.num_nodes = 2;
+  config.num_apps = 2;
+  config.pod_cpu_percent = {30, 20};
+  config.baseline_percent = {10, 0};
+  ctrl::ClusterState cluster("ctl_cl1", config);
+
+  expr::Env env;
+  env.set(cluster.pods(0, 0), std::int64_t{2});  // 2 pods of app0 on node0
+  env.set(cluster.pods(1, 0), std::int64_t{1});  // 1 pod of app1 on node0
+  env.set(cluster.pods(0, 1), std::int64_t{0});
+  env.set(cluster.pods(1, 1), std::int64_t{3});
+  EXPECT_EQ(expr::eval_numeric(cluster.utilization(0), env), util::Rational(90));
+  EXPECT_EQ(expr::eval_numeric(cluster.utilization(1), env), util::Rational(60));
+  EXPECT_EQ(expr::eval_numeric(cluster.running(1), env), util::Rational(4));
+  EXPECT_EQ(expr::eval_numeric(cluster.pods_on_node(0), env), util::Rational(3));
+}
+
+TEST(SchedulerModel, RespectsCapacityFilter) {
+  ctrl::ClusterConfig config;
+  config.num_nodes = 1;
+  config.num_apps = 1;
+  config.max_pods_per_cell = 3;
+  config.pod_cpu_percent = {60};
+  ctrl::ClusterState cluster("ctl_sch1", config);
+  ctrl::add_deployment_controller(cluster, 0, expr::int_const(3));
+  ctrl::add_scheduler(cluster);  // capacity 100: only one 60% pod fits
+
+  ts::TransitionSystem sys = one_module(std::move(cluster.module()));
+  const Expr pods = expr::var_by_name("ctl_sch1.pods_a0_n0");
+  EXPECT_EQ(core::check_invariant_pdr(sys, expr::mk_le(pods, expr::int_const(1)))
+                .verdict,
+            Verdict::kHolds);
+}
+
+TEST(SchedulerModel, ExclusionsHonoredUnlessBuggy) {
+  for (const bool buggy : {false, true}) {
+    ctrl::ClusterConfig config;
+    config.num_nodes = 2;
+    ctrl::ClusterState cluster(buggy ? "ctl_sch_bug" : "ctl_sch_ok", config);
+    ctrl::add_deployment_controller(cluster, 0, expr::int_const(1));
+    ctrl::SchedulerOptions options;
+    options.excluded_nodes = {1};
+    options.ignore_exclusions = buggy;
+    ctrl::add_scheduler(cluster, options);
+    const Expr tainted_cell = cluster.pods(0, 1);
+    ts::TransitionSystem sys = one_module(std::move(cluster.module()));
+    const auto outcome = core::check_invariant_bmc(
+        sys, expr::mk_eq(tainted_cell, expr::int_const(0)), {.max_depth = 6});
+    EXPECT_EQ(outcome.verdict == Verdict::kViolated, buggy);
+  }
+}
+
+TEST(DeschedulerModel, RemoveDuplicatesEnforcesSpread) {
+  ctrl::ClusterConfig config;
+  config.num_nodes = 2;
+  config.max_pods_per_cell = 2;
+  config.max_pending = 2;
+  ctrl::ClusterState cluster("ctl_dup", config);
+  ctrl::add_deployment_controller(cluster, 0, expr::int_const(2));
+  ctrl::add_scheduler(cluster);
+  ctrl::add_descheduler_remove_duplicates(cluster);
+  ts::TransitionSystem sys = one_module(std::move(cluster.module()));
+
+  // Co-location is reachable (the scheduler may stack both replicas)...
+  const Expr stacked = expr::mk_le(expr::int_const(2), cluster.pods(0, 0));
+  EXPECT_EQ(core::check_invariant_bmc(sys, expr::mk_not(stacked), {.max_depth = 8})
+                .verdict,
+            Verdict::kViolated);
+  // ...and the descheduler can always break it up again (EF spread from
+  // anywhere): AG(stacked -> EF !stacked) via the explicit engine.
+  const auto ctl = core::check_ctl_explicit(
+      sys, ltl::AG(ltl::ctl_implies(ltl::ctl_atom(stacked),
+                                    ltl::EF(ltl::ctl_atom(expr::mk_not(stacked))))));
+  EXPECT_EQ(ctl.verdict, Verdict::kHolds);
+}
+
+TEST(TaintModel, EvictsOnlyTaintedNodes) {
+  ctrl::ClusterConfig config;
+  config.num_nodes = 2;
+  ctrl::ClusterState cluster("ctl_tnt", config);
+  ctrl::add_taint_manager(cluster, {1});
+  // Rules exist only for node 1.
+  int node0_rules = 0;
+  int node1_rules = 0;
+  for (const auto& rule : cluster.module().rules()) {
+    if (rule.name.find("_n0") != std::string::npos) ++node0_rules;
+    if (rule.name.find("_n1") != std::string::npos) ++node1_rules;
+  }
+  EXPECT_EQ(node0_rules, 0);
+  EXPECT_EQ(node1_rules, 1);
+}
+
+TEST(HpaRucModel, SurgeBoundTracksParameter) {
+  // With a correct HPA, current <= spec + max_surge is inductive for every
+  // max_surge the checker may pick.
+  auto model = ctrl::make_hpa_ruc_model("ctl_hpa", 2, 8, 2, /*defective_hpa=*/false);
+  const Expr invariant = expr::mk_le(model.current, model.spec + model.max_surge);
+  ts::TransitionSystem sys = one_module(std::move(model.module));
+  EXPECT_EQ(core::check_invariant_pdr(sys, invariant).verdict, Verdict::kHolds);
+}
+
+TEST(RateLimiterModel, TokensNeverExceedBurst) {
+  auto rl = ctrl::make_rate_limiter("ctl_rl1", 4, 6, 3);
+  const Expr tokens = rl.tokens;
+  ts::TransitionSystem sys = one_module(std::move(rl.module));
+  EXPECT_EQ(core::check_invariant_pdr(sys, expr::mk_le(tokens, expr::int_const(4)))
+                .verdict,
+            Verdict::kHolds);
+}
+
+TEST(RateLimiterModel, QueueCanSaturateUnderSlowRefill) {
+  auto rl = ctrl::make_rate_limiter("ctl_rl2", 2, 3, 2);
+  const Expr queue = rl.queue;
+  ts::TransitionSystem sys = one_module(std::move(rl.module));
+  // Arrivals may outrun admission: a full queue is reachable.
+  const auto outcome = core::check_invariant_bmc(
+      sys, expr::mk_lt(queue, expr::int_const(3)), {.max_depth = 10});
+  EXPECT_EQ(outcome.verdict, Verdict::kViolated);
+}
+
+}  // namespace
+}  // namespace verdict

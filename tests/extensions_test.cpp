@@ -1,0 +1,157 @@
+// Extension features: the metric autoscaler model and blast-radius analysis.
+#include <gtest/gtest.h>
+
+#include "bdd/checker.h"
+#include "core/l2s.h"
+#include "core/liveness.h"
+#include "core/pdr.h"
+#include "ctrl/autoscaler.h"
+#include "ltl/trace_eval.h"
+#include "mdl/compose.h"
+#include "net/failures.h"
+#include "net/reachability.h"
+#include "net/topology.h"
+
+namespace verdict {
+namespace {
+
+using core::Verdict;
+using expr::Expr;
+
+ts::TransitionSystem one_module(mdl::Module module) {
+  const std::vector<mdl::Module> modules{std::move(module)};
+  return mdl::compose(modules);
+}
+
+TEST(MetricAutoscaler, SaneThresholdsStabilizeUnderSteadyLoad) {
+  ctrl::MetricAutoscalerConfig config;
+  config.max_replicas = 5;
+  config.max_load = 6;
+  config.scale_up_above_percent = 90;
+  config.scale_down_below_percent = 50;
+  config.variable_load = false;  // steady load, any initial value
+  auto as = ctrl::make_metric_autoscaler("mas_ok", config);
+  const Expr at_rest = as.at_rest();
+  ts::TransitionSystem sys = one_module(std::move(as.module));
+
+  core::L2sOptions options;
+  options.deadline = util::Deadline::after_seconds(300);
+  const auto outcome = core::check_fg_via_safety(sys, at_rest, options);
+  EXPECT_EQ(outcome.verdict, Verdict::kHolds) << outcome.message;
+}
+
+TEST(MetricAutoscaler, OverlappingThresholdsFlapForever) {
+  // scale-down threshold ABOVE the scale-up threshold: both rules can be
+  // enabled at once and the replica count flaps forever.
+  ctrl::MetricAutoscalerConfig config;
+  config.max_replicas = 5;
+  config.max_load = 6;
+  config.scale_up_above_percent = 90;
+  config.scale_down_below_percent = 120;
+  config.variable_load = false;
+  auto as = ctrl::make_metric_autoscaler("mas_bad", config);
+  const Expr at_rest = as.at_rest();
+  ts::TransitionSystem sys = one_module(std::move(as.module));
+
+  core::L2sOptions options;
+  options.deadline = util::Deadline::after_seconds(300);
+  const auto outcome = core::check_fg_via_safety(sys, at_rest, options);
+  ASSERT_EQ(outcome.verdict, Verdict::kViolated) << outcome.message;
+  std::string error;
+  EXPECT_TRUE(sys.trace_conforms(*outcome.counterexample, &error)) << error;
+  EXPECT_FALSE(ltl::holds_on_lasso(ltl::F(ltl::G(ltl::atom(at_rest))), sys,
+                                   *outcome.counterexample));
+}
+
+TEST(MetricAutoscaler, ReplicasTrackLoadBounds) {
+  ctrl::MetricAutoscalerConfig config;
+  config.variable_load = true;
+  auto as = ctrl::make_metric_autoscaler("mas_rng", config);
+  const Expr replicas = as.replicas;
+  ts::TransitionSystem sys = one_module(std::move(as.module));
+  // Replica bounds always respected (the rules guard them).
+  EXPECT_EQ(core::check_invariant_pdr(
+                sys, expr::mk_and({expr::mk_le(expr::int_const(1), replicas),
+                                   expr::mk_le(replicas, expr::int_const(8))}))
+                .verdict,
+            Verdict::kHolds);
+}
+
+TEST(BlastRadius, LinkFailureUnlocksUnreachability) {
+  // Test topology + failure budget 1: without any failure, every service
+  // node stays reachable; allowing one failure unlocks states where a link is
+  // down, but still no service node becomes unreachable (the topology is
+  // 2-edge-connected through the mesh) — except s1/s2 behind their only
+  // front-end links.
+  const net::TestTopology tt = net::make_test_topology();
+  net::LinkFailureModel failures = net::make_link_failure_model(tt.topo, "br_net", 1);
+  const std::vector<mdl::Module> modules{failures.module};
+  ts::TransitionSystem sys = mdl::compose(modules);
+  sys.add_param_constraint(expr::mk_eq(failures.budget, expr::int_const(1)));
+
+  const auto reach = net::symbolic_reachability(tt.topo, tt.front_end,
+                                                failures.link_up, 4);
+  // Event: any link goes down.
+  std::vector<Expr> down;
+  for (const Expr up : failures.link_up) down.push_back(expr::mk_not(up));
+  const Expr event = expr::any_of(down);
+
+  std::vector<bdd::MonitoredPredicate> monitored;
+  for (std::size_t i = 0; i < tt.service_nodes.size(); ++i) {
+    monitored.push_back({"s" + std::to_string(i + 1) + "_unreachable",
+                         expr::mk_not(reach[tt.service_nodes[i]])});
+  }
+  monitored.push_back({"some_link_down", event});
+
+  const auto radius = bdd::blast_radius(sys, event, monitored);
+  // Without failures exactly one state (all up); with one allowed failure,
+  // 1 + 5 single-failure states.
+  EXPECT_DOUBLE_EQ(radius.states_without_event, 1.0);
+  EXPECT_DOUBLE_EQ(radius.states_total, 6.0);
+  EXPECT_DOUBLE_EQ(radius.newly_reachable_states(), 5.0);
+  // One failure never disconnects any service node (net_test shows this), so
+  // the unreachability monitors stay unreachable; the link-down monitor is
+  // newly reachable.
+  EXPECT_EQ(radius.newly_reachable, (std::vector<std::string>{"some_link_down"}));
+  EXPECT_EQ(radius.unreachable.size(), 4u);
+  EXPECT_TRUE(radius.reachable_anyway.empty());
+}
+
+TEST(BlastRadius, BiggerBudgetWidensTheRadius) {
+  const net::TestTopology tt = net::make_test_topology();
+  net::LinkFailureModel failures = net::make_link_failure_model(tt.topo, "br2_net", 2);
+  const std::vector<mdl::Module> modules{failures.module};
+  ts::TransitionSystem sys = mdl::compose(modules);
+  sys.add_param_constraint(expr::mk_eq(failures.budget, expr::int_const(2)));
+
+  const auto reach = net::symbolic_reachability(tt.topo, tt.front_end,
+                                                failures.link_up, 4);
+  std::vector<Expr> down;
+  for (const Expr up : failures.link_up) down.push_back(expr::mk_not(up));
+  const Expr event = expr::any_of(down);
+  const std::vector<bdd::MonitoredPredicate> monitored = {
+      {"s1_unreachable", expr::mk_not(reach[tt.service_nodes[0]])},
+      {"front_end_cut", expr::mk_not(expr::any_of({reach[tt.service_nodes[0]],
+                                                   reach[tt.service_nodes[1]],
+                                                   reach[tt.service_nodes[2]],
+                                                   reach[tt.service_nodes[3]]}))},
+  };
+  const auto radius = bdd::blast_radius(sys, event, monitored);
+  // 1 all-up + 5 single + C(5,2)=10 double-failure states.
+  EXPECT_DOUBLE_EQ(radius.states_total, 16.0);
+  // Two failures CAN isolate the front end (its two uplinks) — the Fig. 5
+  // failure mode shows up as newly-reachable monitors.
+  EXPECT_EQ(radius.newly_reachable.size(), 2u);
+}
+
+TEST(BlastRadius, RejectsBadEvents) {
+  ts::TransitionSystem ts;
+  const Expr b = expr::bool_var("br_bad");
+  ts.add_var(b);
+  ts.add_trans(expr::mk_eq(expr::next(b), b));
+  EXPECT_THROW((void)bdd::blast_radius(ts, expr::next(b), {}), std::invalid_argument);
+  EXPECT_THROW((void)bdd::blast_radius(ts, expr::Expr{}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace verdict

@@ -1,0 +1,110 @@
+// Weak-fairness constraints on the lasso engine.
+#include <gtest/gtest.h>
+
+#include "core/liveness.h"
+#include "ltl/trace_eval.h"
+
+namespace verdict {
+namespace {
+
+using core::Verdict;
+using expr::Expr;
+
+// Two-process system: each process may increment its own counter (mod 2);
+// the scheduler is free, so one process can be starved forever.
+struct TwoProcess {
+  ts::TransitionSystem ts;
+  Expr a, b, turn_a;  // turn_a records who moved last
+};
+
+TwoProcess make_two_process(const std::string& prefix) {
+  TwoProcess out;
+  out.a = expr::int_var(prefix + "_a", 0, 1);
+  out.b = expr::int_var(prefix + "_b", 0, 1);
+  out.turn_a = expr::bool_var(prefix + "_ta");
+  out.ts.add_var(out.a);
+  out.ts.add_var(out.b);
+  out.ts.add_var(out.turn_a);
+  out.ts.add_init(expr::mk_eq(out.a, expr::int_const(0)));
+  out.ts.add_init(expr::mk_eq(out.b, expr::int_const(0)));
+  // Either A toggles (turn_a' = true) or B toggles (turn_a' = false).
+  const Expr step_a = expr::mk_and({expr::mk_eq(expr::next(out.a), 1 - out.a),
+                                    expr::mk_eq(expr::next(out.b), out.b),
+                                    expr::next(out.turn_a)});
+  const Expr step_b = expr::mk_and({expr::mk_eq(expr::next(out.b), 1 - out.b),
+                                    expr::mk_eq(expr::next(out.a), out.a),
+                                    expr::mk_not(expr::next(out.turn_a))});
+  out.ts.add_trans(expr::mk_or({step_a, step_b}));
+  return out;
+}
+
+TEST(Fairness, UnfairLassoStarvesAProcess) {
+  // Without fairness, G(F(b = 1)) has a counterexample: only A ever runs.
+  const TwoProcess sys = make_two_process("fair1");
+  const ltl::Formula recurs =
+      ltl::G(ltl::F(ltl::atom(expr::mk_eq(sys.b, expr::int_const(1)))));
+  const auto outcome = core::check_ltl_lasso(sys.ts, recurs, {.max_depth = 6});
+  ASSERT_EQ(outcome.verdict, Verdict::kViolated);
+  // The starving lasso never schedules B inside its loop.
+  const ts::Trace& trace = *outcome.counterexample;
+  for (std::size_t i = *trace.lasso_start; i < trace.states.size(); ++i)
+    EXPECT_EQ(std::get<std::int64_t>(*trace.states[i].get(sys.b)), 0);
+}
+
+TEST(Fairness, FairSchedulingRemovesTheStarvationWitness) {
+  // Requiring B to be scheduled infinitely often (GF !turn_a) eliminates
+  // every counterexample to G(F(b = 1)): if B keeps running, b keeps toggling
+  // through 1.
+  const TwoProcess sys = make_two_process("fair2");
+  const ltl::Formula recurs =
+      ltl::G(ltl::F(ltl::atom(expr::mk_eq(sys.b, expr::int_const(1)))));
+  core::LivenessOptions options;
+  options.max_depth = 8;
+  options.fairness = {expr::mk_not(sys.turn_a)};  // B acts infinitely often
+  const auto outcome = core::check_ltl_lasso(sys.ts, recurs, options);
+  EXPECT_EQ(outcome.verdict, Verdict::kBoundReached) << outcome.message;
+}
+
+TEST(Fairness, FairCounterexamplesSatisfyTheConstraint) {
+  // G(F(a = 1 & b = 1)) is violated even under fairness (the processes can
+  // alternate so the conjunction never holds... actually with both toggling
+  // they CAN align; pick a property that stays violated: F(G(a = 0))).
+  const TwoProcess sys = make_two_process("fair3");
+  const ltl::Formula stabilizes =
+      ltl::F(ltl::G(ltl::atom(expr::mk_eq(sys.a, expr::int_const(0)))));
+  core::LivenessOptions options;
+  options.max_depth = 8;
+  options.fairness = {sys.turn_a, expr::mk_not(sys.turn_a)};  // both run i.o.
+  const auto outcome = core::check_ltl_lasso(sys.ts, stabilizes, options);
+  ASSERT_EQ(outcome.verdict, Verdict::kViolated) << outcome.message;
+  const ts::Trace& trace = *outcome.counterexample;
+  std::string error;
+  EXPECT_TRUE(sys.ts.trace_conforms(trace, &error)) << error;
+  // Both fairness conditions appear inside the loop.
+  bool a_scheduled = false;
+  bool b_scheduled = false;
+  for (std::size_t i = *trace.lasso_start; i < trace.states.size(); ++i) {
+    if (std::get<bool>(*trace.states[i].get(sys.turn_a))) a_scheduled = true;
+    if (!std::get<bool>(*trace.states[i].get(sys.turn_a))) b_scheduled = true;
+  }
+  EXPECT_TRUE(a_scheduled);
+  EXPECT_TRUE(b_scheduled);
+  // And it still refutes the property.
+  EXPECT_FALSE(ltl::holds_on_lasso(stabilizes, sys.ts, trace));
+}
+
+TEST(Fairness, RejectsMalformedConstraints) {
+  const TwoProcess sys = make_two_process("fair4");
+  core::LivenessOptions options;
+  options.fairness = {expr::next(sys.turn_a)};
+  EXPECT_THROW(
+      (void)core::check_ltl_lasso(sys.ts, ltl::F(ltl::atom(sys.turn_a)), options),
+      std::invalid_argument);
+  options.fairness = {sys.a};  // non-boolean
+  EXPECT_THROW(
+      (void)core::check_ltl_lasso(sys.ts, ltl::F(ltl::atom(sys.turn_a)), options),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace verdict

@@ -1,0 +1,92 @@
+// The incident dataset must reproduce the paper's Table 1 exactly.
+#include <gtest/gtest.h>
+
+#include "incidents/incidents.h"
+
+namespace verdict::incidents {
+namespace {
+
+TEST(Incidents, DatasetSizesMatchPaper) {
+  const auto table = aggregate(dataset());
+  EXPECT_EQ(table.google.total, 42);  // "42 of 230 from Google Cloud"
+  EXPECT_EQ(table.aws.total, 11);     // "11 of 12 from AWS"
+  EXPECT_EQ(table.combined.total, 53);
+}
+
+TEST(Incidents, Table1GoogleColumn) {
+  const auto table = aggregate(dataset());
+  EXPECT_EQ(table.google.dynamic_control, 30);
+  EXPECT_EQ(table.google.nontrivial_interactions, 12);
+  EXPECT_EQ(table.google.quantitative_metrics, 20);
+  EXPECT_EQ(table.google.cross_layer, 21);
+}
+
+TEST(Incidents, Table1AwsColumn) {
+  const auto table = aggregate(dataset());
+  EXPECT_EQ(table.aws.dynamic_control, 8);
+  EXPECT_EQ(table.aws.nontrivial_interactions, 7);
+  EXPECT_EQ(table.aws.quantitative_metrics, 7);
+  EXPECT_EQ(table.aws.cross_layer, 9);
+}
+
+TEST(Incidents, Table1TotalsColumn) {
+  const auto table = aggregate(dataset());
+  EXPECT_EQ(table.combined.dynamic_control, 38);        // 72%
+  EXPECT_EQ(table.combined.nontrivial_interactions, 19);  // 36%
+  EXPECT_EQ(table.combined.quantitative_metrics, 27);   // 51%
+  EXPECT_EQ(table.combined.cross_layer, 30);            // 56%
+}
+
+TEST(Incidents, RenderedTableCarriesPaperPercentages) {
+  const std::string text = render_table1(aggregate(dataset()));
+  EXPECT_NE(text.find("38 (72%)"), std::string::npos);
+  EXPECT_NE(text.find("19 (36%)"), std::string::npos);
+  EXPECT_NE(text.find("27 (51%)"), std::string::npos);
+  // 30/53 = 56.6%: the paper prints 56% (truncation); we round consistently
+  // with its other cells (72%, 73%, 82% are all round-half-up), giving 57%.
+  EXPECT_NE(text.find("30 (57%)"), std::string::npos);
+}
+
+TEST(Incidents, DocumentedIncidentsHavePaperLabels) {
+  int documented = 0;
+  for (const IncidentRecord& r : dataset()) {
+    if (!r.documented_in_paper) continue;
+    ++documented;
+    if (r.id == "google-19007") {
+      // "this incident involves all four characteristics"
+      EXPECT_TRUE(r.dynamic_control && r.nontrivial_interactions &&
+                  r.quantitative_metrics && r.cross_layer);
+    }
+    if (r.id == "google-18037") {
+      // "all the key characteristics ... except cross-layer interaction"
+      EXPECT_TRUE(r.dynamic_control && r.nontrivial_interactions &&
+                  r.quantitative_metrics);
+      EXPECT_FALSE(r.cross_layer);
+    }
+  }
+  EXPECT_EQ(documented, 2);
+}
+
+TEST(Incidents, EveryRecordHasMetadata) {
+  for (const IncidentRecord& r : dataset()) {
+    EXPECT_FALSE(r.id.empty());
+    EXPECT_FALSE(r.service.empty());
+    EXPECT_FALSE(r.summary.empty());
+    EXPECT_GE(r.year, 2011);
+    EXPECT_LE(r.year, 2019);
+    // Google reports are 2017-2019, AWS 2011-2019 (paper study windows).
+    if (r.provider == Provider::kGoogleCloud) {
+      EXPECT_GE(r.year, 2017);
+    }
+  }
+}
+
+TEST(Incidents, KubernetesIssuesListed) {
+  const auto issues = kubernetes_issues();
+  ASSERT_EQ(issues.size(), 2u);
+  EXPECT_EQ(issues[0].number, 75913);
+  EXPECT_EQ(issues[1].number, 90461);
+}
+
+}  // namespace
+}  // namespace verdict::incidents

@@ -1,0 +1,162 @@
+// Liveness-to-safety reduction tests: proofs AND refutations, cross-checked
+// against the lasso engine and the trace oracle.
+#include <gtest/gtest.h>
+
+#include "core/l2s.h"
+#include "core/liveness.h"
+#include "ltl/trace_eval.h"
+#include "scenarios/k8s_loops.h"
+
+namespace verdict {
+namespace {
+
+using core::Verdict;
+using expr::Expr;
+
+TEST(L2s, RefutesStabilizationOfToggler) {
+  // b flips forever: F(G b) is false, with a genuine lasso.
+  ts::TransitionSystem ts;
+  const Expr b = expr::bool_var("l2s_tog");
+  ts.add_var(b);
+  ts.add_init(b);
+  ts.add_trans(expr::mk_eq(expr::next(b), expr::mk_not(b)));
+
+  const auto outcome = core::check_fg_via_safety(ts, b);
+  ASSERT_EQ(outcome.verdict, Verdict::kViolated) << outcome.message;
+  ASSERT_TRUE(outcome.counterexample.has_value());
+  ASSERT_TRUE(outcome.counterexample->is_lasso());
+  std::string error;
+  EXPECT_TRUE(ts.trace_conforms(*outcome.counterexample, &error)) << error;
+  EXPECT_FALSE(ltl::holds_on_lasso(ltl::F(ltl::G(ltl::atom(b))), ts,
+                                   *outcome.counterexample));
+}
+
+TEST(L2s, ProvesStabilizationOfLatch) {
+  // b latches to true: F(G b) HOLDS — the lasso engine can never prove this,
+  // the reduction can.
+  ts::TransitionSystem ts;
+  const Expr b = expr::bool_var("l2s_latch");
+  ts.add_var(b);
+  ts.add_trans(expr::next(b));
+  const auto outcome = core::check_fg_via_safety(ts, b);
+  EXPECT_EQ(outcome.verdict, Verdict::kHolds) << outcome.message;
+}
+
+TEST(L2s, GfDistinguishesRecurrence) {
+  // Toggler: G(F b) holds (b recurs); latch to false: G(F b) fails.
+  ts::TransitionSystem toggler;
+  const Expr b = expr::bool_var("l2s_gf1");
+  toggler.add_var(b);
+  toggler.add_init(b);
+  toggler.add_trans(expr::mk_eq(expr::next(b), expr::mk_not(b)));
+  EXPECT_EQ(core::check_gf_via_safety(toggler, b).verdict, Verdict::kHolds);
+
+  ts::TransitionSystem latch;
+  const Expr c = expr::bool_var("l2s_gf2");
+  latch.add_var(c);
+  latch.add_init(c);
+  latch.add_trans(expr::mk_not(expr::next(c)));  // c stays false after step 1
+  const auto outcome = core::check_gf_via_safety(latch, c);
+  ASSERT_EQ(outcome.verdict, Verdict::kViolated);
+  std::string error;
+  EXPECT_TRUE(latch.trace_conforms(*outcome.counterexample, &error)) << error;
+  EXPECT_FALSE(ltl::holds_on_lasso(ltl::G(ltl::F(ltl::atom(c))), latch,
+                                   *outcome.counterexample));
+}
+
+TEST(L2s, AgreesWithLassoEngineOnRandomTogglers) {
+  // Counter mod m with q = (x < t): FG q holds iff the whole cycle stays
+  // below t, i.e. t > max reachable value.
+  for (const std::int64_t modulus : {2, 3, 4}) {
+    for (std::int64_t threshold = 1; threshold <= modulus; ++threshold) {
+      ts::TransitionSystem ts;
+      const Expr x = expr::int_var(
+          "l2s_m" + std::to_string(modulus) + "_t" + std::to_string(threshold), 0, 7);
+      ts.add_var(x);
+      ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+      ts.add_trans(expr::mk_eq(
+          expr::next(x),
+          expr::ite(expr::mk_lt(x, expr::int_const(modulus - 1)), x + 1,
+                    expr::int_const(0))));
+      const Expr q = expr::mk_lt(x, expr::int_const(threshold));
+
+      const auto l2s = core::check_fg_via_safety(ts, q);
+      const bool expected_holds = threshold == modulus;  // cycle covers 0..m-1
+      EXPECT_EQ(l2s.verdict, expected_holds ? Verdict::kHolds : Verdict::kViolated)
+          << "m=" << modulus << " t=" << threshold;
+
+      // The bounded engine agrees on violations.
+      const auto lasso = core::check_ltl_lasso(ts, ltl::F(ltl::G(ltl::atom(q))),
+                                               {.max_depth = 10});
+      EXPECT_EQ(lasso.verdict == Verdict::kViolated, !expected_holds);
+    }
+  }
+}
+
+TEST(L2s, ParametricLoopDetection) {
+  // x cycles 0..cap: FG(x = 0) holds only for cap = 0; the checker must find
+  // the violating parameter itself.
+  ts::TransitionSystem ts;
+  const Expr x = expr::int_var("l2s_px", 0, 3);
+  const Expr cap = expr::int_var("l2s_pcap", 0, 3);
+  ts.add_var(x);
+  ts.add_param(cap);
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_trans(expr::mk_eq(
+      expr::next(x), expr::ite(expr::mk_lt(x, cap), x + 1, expr::int_const(0))));
+
+  const auto any_cap = core::check_fg_via_safety(ts, expr::mk_eq(x, expr::int_const(0)));
+  ASSERT_EQ(any_cap.verdict, Verdict::kViolated);
+  const auto chosen = any_cap.counterexample->params.get(cap);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_GT(std::get<std::int64_t>(*chosen), 0);
+
+  ts::TransitionSystem pinned = ts;
+  pinned.add_param_constraint(expr::mk_eq(cap, expr::int_const(0)));
+  EXPECT_EQ(core::check_fg_via_safety(pinned, expr::mk_eq(x, expr::int_const(0))).verdict,
+            Verdict::kHolds);
+}
+
+TEST(L2s, ProvesDeschedulerCalmAboveThreshold) {
+  // The paper-level payoff: with the 55% threshold the bounded engine only
+  // reports "no lasso up to k"; the reduction PROVES F(G settled).
+  const auto scenario = scenarios::make_descheduler_oscillation(55, "l2s_dsc55");
+  core::L2sOptions options;
+  options.deadline = util::Deadline::after_seconds(300);
+  const auto outcome = core::check_fg_via_safety(scenario.system, scenario.settled, options);
+  EXPECT_EQ(outcome.verdict, Verdict::kHolds) << outcome.message;
+}
+
+TEST(L2s, RefutesDeschedulerBelowThreshold) {
+  const auto scenario = scenarios::make_descheduler_oscillation(45, "l2s_dsc45");
+  core::L2sOptions options;
+  options.deadline = util::Deadline::after_seconds(300);
+  const auto outcome = core::check_fg_via_safety(scenario.system, scenario.settled, options);
+  ASSERT_EQ(outcome.verdict, Verdict::kViolated) << outcome.message;
+  std::string error;
+  EXPECT_TRUE(scenario.system.trace_conforms(*outcome.counterexample, &error)) << error;
+  EXPECT_FALSE(ltl::holds_on_lasso(scenario.eventually_settles, scenario.system,
+                                   *outcome.counterexample));
+}
+
+TEST(L2s, KInductionProverVariant) {
+  ts::TransitionSystem ts;
+  const Expr b = expr::bool_var("l2s_kind");
+  ts.add_var(b);
+  ts.add_trans(expr::next(b));
+  core::L2sOptions options;
+  options.prover = core::L2sOptions::Prover::kKInduction;
+  EXPECT_EQ(core::check_fg_via_safety(ts, b, options).verdict, Verdict::kHolds);
+}
+
+TEST(L2s, RejectsNonStatePredicates) {
+  ts::TransitionSystem ts;
+  const Expr b = expr::bool_var("l2s_badq");
+  ts.add_var(b);
+  ts.add_trans(expr::mk_eq(expr::next(b), b));
+  EXPECT_THROW((void)core::check_fg_via_safety(ts, expr::next(b)), std::invalid_argument);
+  EXPECT_THROW((void)core::check_fg_via_safety(ts, expr::Expr{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace verdict

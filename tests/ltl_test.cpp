@@ -1,0 +1,153 @@
+// LTL formula algebra and the lasso trace evaluator (the liveness oracle).
+#include <gtest/gtest.h>
+
+#include "ltl/ltl.h"
+#include "ltl/trace_eval.h"
+
+namespace verdict::ltl {
+namespace {
+
+using expr::Expr;
+
+TEST(LtlFormula, NnfPushesNegationsToAtoms) {
+  const Expr p = expr::bool_var("lt_p");
+  const Expr q = expr::bool_var("lt_q");
+  // !(G(p) & F(q)) == F(!p) | G(!q)
+  const Formula f = negation(conj(G(atom(p)), F(atom(q))));
+  const Formula n = f.nnf();
+  ASSERT_EQ(n.op(), Op::kOr);
+  EXPECT_EQ(n.kids()[0].op(), Op::kFinally);
+  EXPECT_EQ(n.kids()[0].kids()[0].op(), Op::kAtom);
+  EXPECT_TRUE(n.kids()[0].kids()[0].atom().is(expr::mk_not(p)));
+  EXPECT_EQ(n.kids()[1].op(), Op::kGlobally);
+}
+
+TEST(LtlFormula, NnfUsesUntilReleaseDuality) {
+  const Expr p = expr::bool_var("lt_p2");
+  const Expr q = expr::bool_var("lt_q2");
+  const Formula n = negation(U(atom(p), atom(q))).nnf();
+  ASSERT_EQ(n.op(), Op::kRelease);
+  const Formula m = negation(R(atom(p), atom(q))).nnf();
+  ASSERT_EQ(m.op(), Op::kUntil);
+}
+
+TEST(LtlFormula, SubformulaCollectionDeduplicates) {
+  const Expr p = expr::bool_var("lt_p3");
+  const Formula g = G(atom(p));
+  const Formula f = conj(g, disj(g, atom(p)));
+  // f, g, atom(p), disj(g, atom(p)) -> 4 distinct
+  EXPECT_EQ(f.subformulas().size(), 4u);
+}
+
+TEST(LtlFormula, InvariantRecognition) {
+  const Expr p = expr::bool_var("lt_p4");
+  EXPECT_TRUE(is_invariant_property(G(atom(p))));
+  EXPECT_TRUE(invariant_atom(G(atom(p))).is(p));
+  EXPECT_FALSE(is_invariant_property(F(atom(p))));
+  EXPECT_THROW((void)invariant_atom(F(atom(p))), std::invalid_argument);
+}
+
+// --- Lasso evaluator ----------------------------------------------------------
+
+class LassoOracleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    x_ = expr::int_var("lo_x", 0, 3);
+    system_.add_var(x_);
+    system_.add_init(expr::mk_eq(x_, expr::int_const(0)));
+    // Any transition allowed — the oracle only reads the trace.
+    system_.add_trans(expr::tru());
+  }
+
+  // Builds a lasso trace from the value sequence with the given loop start.
+  ts::Trace lasso(const std::vector<std::int64_t>& values, std::size_t loop) {
+    ts::Trace trace;
+    for (const std::int64_t v : values) {
+      ts::State s;
+      s.set(x_, v);
+      trace.states.push_back(s);
+    }
+    trace.lasso_start = loop;
+    return trace;
+  }
+
+  Expr is(std::int64_t v) { return expr::mk_eq(x_, expr::int_const(v)); }
+
+  Expr x_;
+  ts::TransitionSystem system_;
+};
+
+TEST_F(LassoOracleTest, GloballyOnLoop) {
+  // 0 1 (2 2)^w : G(x=2) false at 0, true at 2.
+  const ts::Trace trace = lasso({0, 1, 2, 2}, 2);
+  EXPECT_FALSE(holds_on_lasso(G(atom(is(2))), system_, trace, 0));
+  EXPECT_TRUE(holds_on_lasso(G(atom(is(2))), system_, trace, 2));
+  EXPECT_TRUE(holds_on_lasso(F(ltl::G(atom(is(2)))), system_, trace, 0));
+}
+
+TEST_F(LassoOracleTest, FinallyAcrossLoop) {
+  // (0 1)^w : F(x=1) true everywhere; F(x=3) false.
+  const ts::Trace trace = lasso({0, 1}, 0);
+  EXPECT_TRUE(holds_on_lasso(F(atom(is(1))), system_, trace, 0));
+  EXPECT_TRUE(holds_on_lasso(F(atom(is(1))), system_, trace, 1));
+  EXPECT_FALSE(holds_on_lasso(F(atom(is(3))), system_, trace, 0));
+  // GF / FG on an oscillating loop.
+  EXPECT_TRUE(holds_on_lasso(G(F(atom(is(1)))), system_, trace, 0));
+  EXPECT_FALSE(holds_on_lasso(F(G(atom(is(1)))), system_, trace, 0));
+}
+
+TEST_F(LassoOracleTest, NextStepsThroughLoopBoundary) {
+  // 0 1 2 loop->1 : X at the last state wraps to the loop target.
+  const ts::Trace trace = lasso({0, 1, 2}, 1);
+  EXPECT_TRUE(holds_on_lasso(X(atom(is(1))), system_, trace, 2));
+  EXPECT_TRUE(holds_on_lasso(X(X(atom(is(2)))), system_, trace, 2));
+}
+
+TEST_F(LassoOracleTest, UntilAndRelease) {
+  // 0 0 1 (2)^w
+  const ts::Trace trace = lasso({0, 0, 1, 2}, 3);
+  EXPECT_TRUE(holds_on_lasso(U(atom(is(0)), atom(is(1))), system_, trace, 0));
+  EXPECT_FALSE(holds_on_lasso(U(atom(is(0)), atom(is(2))), system_, trace, 0));
+  // p R q: q must hold up to and including the p-point (or forever).
+  const Expr le2 = expr::mk_le(x_, expr::int_const(2));
+  EXPECT_TRUE(holds_on_lasso(R(atom(is(2)), atom(le2)), system_, trace, 0));
+  EXPECT_TRUE(holds_on_lasso(R(atom(expr::fls()), atom(le2)), system_, trace, 0));
+}
+
+TEST_F(LassoOracleTest, BooleanConnectives) {
+  const ts::Trace trace = lasso({0, 1}, 0);
+  EXPECT_TRUE(holds_on_lasso(disj(atom(is(0)), atom(is(1))), system_, trace, 0));
+  EXPECT_FALSE(holds_on_lasso(conj(atom(is(0)), atom(is(1))), system_, trace, 0));
+  EXPECT_TRUE(holds_on_lasso(implies(atom(is(3)), atom(is(1))), system_, trace, 0));
+  EXPECT_TRUE(holds_on_lasso(negation(atom(is(1))), system_, trace, 0));
+}
+
+TEST_F(LassoOracleTest, NnfPreservesSemantics) {
+  // Random-ish formulas: f and f.nnf() agree on a fixed lasso at every
+  // position.
+  const ts::Trace trace = lasso({0, 1, 2, 1, 3}, 1);
+  const std::vector<Formula> formulas = {
+      negation(U(atom(is(1)), G(atom(expr::mk_le(x_, expr::int_const(2)))))),
+      negation(conj(F(atom(is(3))), G(F(atom(is(1)))))),
+      negation(R(atom(is(2)), disj(atom(is(1)), X(atom(is(2)))))),
+      negation(negation(F(G(atom(expr::mk_le(x_, expr::int_const(3))))))),
+  };
+  for (const Formula& f : formulas) {
+    const Formula n = f.nnf();
+    for (std::size_t pos = 0; pos < trace.states.size(); ++pos) {
+      EXPECT_EQ(holds_on_lasso(f, system_, trace, pos),
+                holds_on_lasso(n, system_, trace, pos))
+          << f.str() << " at " << pos;
+    }
+  }
+}
+
+TEST_F(LassoOracleTest, RejectsNonLassoTraces) {
+  ts::Trace trace = lasso({0, 1}, 0);
+  trace.lasso_start.reset();
+  EXPECT_THROW((void)holds_on_lasso(G(atom(is(0))), system_, trace),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace verdict::ltl

@@ -1,0 +1,269 @@
+// Tests for the component modeling layer (modules, composition schedulers)
+// and the vml textual frontend.
+#include <gtest/gtest.h>
+
+#include "core/bmc.h"
+#include "core/checker.h"
+#include "core/explicit.h"
+#include "ltl/parser.h"
+#include "mdl/compose.h"
+#include "mdl/vml.h"
+
+namespace verdict {
+namespace {
+
+using core::Verdict;
+using expr::Expr;
+
+TEST(Module, RejectsForeignAssignments) {
+  mdl::Module m("owner_test");
+  const Expr own = expr::int_var("mdl_own", 0, 3);
+  const Expr foreign = expr::int_var("mdl_foreign", 0, 3);
+  m.add_var(own);
+  EXPECT_THROW(
+      m.add_rule("bad", expr::tru(), {{foreign, expr::int_const(1)}}),
+      std::invalid_argument);
+  EXPECT_NO_THROW(m.add_rule("good", expr::tru(), {{own, expr::int_const(1)}}));
+}
+
+TEST(Module, StepRelationKeepsUnassignedVars) {
+  mdl::Module m("keep_test");
+  const Expr a = expr::int_var("mdl_a", 0, 3);
+  const Expr b = expr::int_var("mdl_b", 0, 3);
+  m.add_var(a);
+  m.add_var(b);
+  m.set_stutter(mdl::StutterMode::kNever);
+  m.add_rule("inc_a", expr::mk_lt(a, expr::int_const(3)), {{a, a + 1}});
+
+  // step relation must imply next(b) == b
+  expr::Env env;
+  env.set(a, std::int64_t{0});
+  env.set(b, std::int64_t{2});
+  env.set_next(a, std::int64_t{1});
+  env.set_next(b, std::int64_t{2});
+  EXPECT_TRUE(expr::eval_bool(m.step_relation(), env));
+  env.set_next(b, std::int64_t{0});
+  EXPECT_FALSE(expr::eval_bool(m.step_relation(), env));
+}
+
+TEST(Module, StutterModes) {
+  const Expr x = expr::int_var("mdl_st", 0, 3);
+  expr::Env stay;
+  stay.set(x, std::int64_t{0});
+  stay.set_next(x, std::int64_t{0});
+
+  mdl::Module always("st_always");
+  always.add_var(x);
+  always.add_rule("inc", expr::tru(), {{x, x + 1}});
+  always.set_stutter(mdl::StutterMode::kAlways);
+  EXPECT_TRUE(expr::eval_bool(always.step_relation(), stay));
+
+  mdl::Module when_disabled("st_wd");
+  when_disabled.add_var(x);
+  when_disabled.add_rule("inc", expr::tru(), {{x, x + 1}});
+  when_disabled.set_stutter(mdl::StutterMode::kWhenDisabled);
+  EXPECT_FALSE(expr::eval_bool(when_disabled.step_relation(), stay));
+
+  mdl::Module never("st_never");
+  never.add_var(x);
+  never.add_rule("inc", expr::fls(), {{x, x + 1}});
+  never.set_stutter(mdl::StutterMode::kNever);
+  EXPECT_FALSE(expr::eval_bool(never.step_relation(), stay));
+}
+
+TEST(Compose, RejectsSharedOwnership) {
+  const Expr shared = expr::int_var("mdl_shared", 0, 1);
+  mdl::Module m1("share1");
+  mdl::Module m2("share2");
+  m1.add_var(shared);
+  m2.add_var(shared);
+  const std::vector<mdl::Module> modules{m1, m2};
+  EXPECT_THROW(mdl::compose(modules), std::invalid_argument);
+}
+
+TEST(Compose, InterleavingStepsOneModuleAtATime) {
+  const Expr x = expr::int_var("il_x", 0, 5);
+  const Expr y = expr::int_var("il_y", 0, 5);
+  mdl::Module mx("il_mx");
+  mx.add_var(x);
+  mx.add_init(expr::mk_eq(x, expr::int_const(0)));
+  mx.add_rule("inc", expr::mk_lt(x, expr::int_const(5)), {{x, x + 1}});
+  mx.set_stutter(mdl::StutterMode::kNever);
+  mdl::Module my("il_my");
+  my.add_var(y);
+  my.add_init(expr::mk_eq(y, expr::int_const(0)));
+  my.add_rule("inc", expr::mk_lt(y, expr::int_const(5)), {{y, y + 1}});
+  my.set_stutter(mdl::StutterMode::kNever);
+
+  const std::vector<mdl::Module> modules{mx, my};
+  const auto ts = mdl::compose(modules);
+  // In one step, x+y increases by exactly 1 => G(x + y <= step count). Check
+  // a consequence: x=1,y=1 is reachable but never in one step from init.
+  const auto outcome = core::check_invariant_bmc(
+      ts, expr::mk_not(expr::mk_and({expr::mk_eq(x, expr::int_const(1)),
+                                     expr::mk_eq(y, expr::int_const(1))})));
+  ASSERT_EQ(outcome.verdict, Verdict::kViolated);
+  EXPECT_EQ(outcome.stats.depth_reached, 2);  // needs two interleaved steps
+}
+
+TEST(Compose, SynchronousStepsAllModules) {
+  const Expr x = expr::int_var("sy_x", 0, 5);
+  const Expr y = expr::int_var("sy_y", 0, 5);
+  mdl::Module mx("sy_mx");
+  mx.add_var(x);
+  mx.add_init(expr::mk_eq(x, expr::int_const(0)));
+  mx.add_rule("inc", expr::mk_lt(x, expr::int_const(5)), {{x, x + 1}});
+  mx.set_stutter(mdl::StutterMode::kNever);
+  mdl::Module my("sy_my");
+  my.add_var(y);
+  my.add_init(expr::mk_eq(y, expr::int_const(0)));
+  my.add_rule("inc", expr::mk_lt(y, expr::int_const(5)), {{y, y + 1}});
+  my.set_stutter(mdl::StutterMode::kNever);
+
+  const std::vector<mdl::Module> modules{mx, my};
+  mdl::ComposeOptions options;
+  options.scheduling = mdl::Scheduling::kSynchronous;
+  const auto ts = mdl::compose(modules, options);
+  const auto outcome = core::check_invariant_bmc(
+      ts, expr::mk_not(expr::mk_and({expr::mk_eq(x, expr::int_const(1)),
+                                     expr::mk_eq(y, expr::int_const(1))})));
+  ASSERT_EQ(outcome.verdict, Verdict::kViolated);
+  EXPECT_EQ(outcome.stats.depth_reached, 1);  // lockstep
+}
+
+TEST(Compose, RoundRobinAlternates) {
+  const Expr x = expr::int_var("rr_x", 0, 5);
+  const Expr y = expr::int_var("rr_y", 0, 5);
+  mdl::Module mx("rr_mx");
+  mx.add_var(x);
+  mx.add_init(expr::mk_eq(x, expr::int_const(0)));
+  mx.add_rule("inc", expr::mk_lt(x, expr::int_const(5)), {{x, x + 1}});
+  mx.set_stutter(mdl::StutterMode::kNever);
+  mdl::Module my("rr_my");
+  my.add_var(y);
+  my.add_init(expr::mk_eq(y, expr::int_const(0)));
+  my.add_rule("inc", expr::mk_lt(y, expr::int_const(5)), {{y, y + 1}});
+  my.set_stutter(mdl::StutterMode::kNever);
+
+  const std::vector<mdl::Module> modules{mx, my};
+  mdl::ComposeOptions options;
+  options.scheduling = mdl::Scheduling::kRoundRobin;
+  options.turn_var_name = "rr_turn";
+  const auto ts = mdl::compose(modules, options);
+  // After two steps: x and y both 1, deterministically. x=2,y=0 unreachable.
+  const auto impossible = core::check_invariant_bmc(
+      ts, expr::mk_not(expr::mk_and({expr::mk_eq(x, expr::int_const(2)),
+                                     expr::mk_eq(y, expr::int_const(0))})),
+      {.max_depth = 8});
+  EXPECT_EQ(impossible.verdict, Verdict::kBoundReached);
+  const auto possible = core::check_invariant_bmc(
+      ts, expr::mk_not(expr::mk_and({expr::mk_eq(x, expr::int_const(1)),
+                                     expr::mk_eq(y, expr::int_const(1))})));
+  EXPECT_EQ(possible.verdict, Verdict::kViolated);
+}
+
+TEST(Vml, ParsesAndChecksEndToEnd) {
+  const auto model = mdl::parse_vml(R"vml(
+    // toy rollout model
+    param budget : 0..2;
+
+    module roll {
+      var phase : 0..3;
+      init phase = 0;
+      rule advance when phase < budget { phase' = phase + 1; }
+      stutter always;
+    }
+
+    system {
+      schedule interleaving;
+      constrain budget > 0;
+      ltl bounded "G (roll.phase <= budget)";
+      ltl wrong   "G (roll.phase < 2)";
+    }
+  )vml");
+  ASSERT_EQ(model.modules.size(), 1u);
+  ASSERT_TRUE(model.ltl_properties.contains("bounded"));
+  ASSERT_TRUE(model.ltl_properties.contains("wrong"));
+
+  core::CheckOptions options;
+  options.engine = core::Engine::kPdr;
+  const auto good = core::check(model.system, model.ltl_properties.at("bounded"), options);
+  EXPECT_EQ(good.verdict, Verdict::kHolds) << good.message;
+
+  const auto bad = core::check(model.system, model.ltl_properties.at("wrong"), options);
+  ASSERT_EQ(bad.verdict, Verdict::kViolated);
+  // Only budget=2 exposes it.
+  const Expr budget = expr::var_by_name("budget");
+  EXPECT_EQ(std::get<std::int64_t>(*bad.counterexample->params.get(budget)), 2);
+}
+
+TEST(Vml, CtlPropertiesAndRoundRobin) {
+  const auto model = mdl::parse_vml(R"vml(
+    module ping {
+      var on : bool;
+      init !on;
+      rule flip when true { on' = !on; }
+      stutter never;
+    }
+    module pong {
+      var on : bool;
+      init !on;
+      rule flip when true { on' = !on; }
+      stutter never;
+    }
+    system {
+      schedule roundrobin;
+      ctl reach_both "EF (ping.on & pong.on)";
+    }
+  )vml");
+  const auto outcome =
+      core::check_ctl_explicit(model.system, model.ctl_properties.at("reach_both"));
+  EXPECT_EQ(outcome.verdict, Verdict::kHolds);
+}
+
+TEST(Vml, ParsesShippedSampleModel) {
+  // The sample model shipped for the verdictc CLI must stay parseable.
+  const auto model = mdl::parse_vml_file(std::string(VERDICT_SOURCE_DIR) +
+                                         "/examples/models/rollout.vml");
+  EXPECT_EQ(model.modules.size(), 1u);
+  EXPECT_TRUE(model.ltl_properties.contains("quorum_kept"));
+  EXPECT_TRUE(model.ctl_properties.contains("can_finish"));
+  // quorum = 1 with p <= 2 over 3 nodes is safe; the checker proves it.
+  ts::TransitionSystem pinned = model.system;
+  pinned.add_param_constraint(
+      expr::mk_eq(expr::var_by_name("quorum"), expr::int_const(1)));
+  core::CheckOptions options;
+  options.engine = core::Engine::kPdr;
+  options.deadline = util::Deadline::after_seconds(120);
+  EXPECT_EQ(core::check(pinned, model.ltl_properties.at("quorum_kept"), options).verdict,
+            Verdict::kHolds);
+}
+
+TEST(Vml, ParsesShippedAutoscalerModel) {
+  const auto model = mdl::parse_vml_file(std::string(VERDICT_SOURCE_DIR) +
+                                         "/examples/models/autoscaler.vml");
+  ASSERT_TRUE(model.ltl_properties.contains("replicas_bounded"));
+  core::CheckOptions options;
+  options.engine = core::Engine::kPdr;
+  options.deadline = util::Deadline::after_seconds(120);
+  EXPECT_EQ(
+      core::check(model.system, model.ltl_properties.at("replicas_bounded"), options)
+          .verdict,
+      Verdict::kHolds);
+}
+
+TEST(Vml, ErrorsCarryOffsets) {
+  EXPECT_THROW(mdl::parse_vml("module m { var x : 0..3; init x = ; }"), ltl::ParseError);
+  EXPECT_THROW(mdl::parse_vml("bogus top"), ltl::ParseError);
+  EXPECT_THROW(mdl::parse_vml("system { }"), ltl::ParseError);  // no modules
+  // Ambiguous bare name across modules.
+  EXPECT_THROW(mdl::parse_vml(R"vml(
+    module a1 { var v : bool; init !v; }
+    module a2 { var v : bool; init !v; }
+    system { ltl p "G (v)"; }
+  )vml"),
+               std::exception);
+}
+
+}  // namespace
+}  // namespace verdict

@@ -1,0 +1,208 @@
+// Discrete-event simulator tests: event ordering, cluster bookkeeping, the
+// Fig. 2 oscillation experiment, and the Fig. 3 LB replay.
+#include <gtest/gtest.h>
+
+#include "sim/agents.h"
+#include "sim/fig2.h"
+#include "sim/lb_sim.h"
+
+namespace verdict::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimestampOrderWithFifoTies) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(2.0, [&]() { order.push_back(2); });
+  q.schedule_at(1.0, [&]() { order.push_back(1); });
+  q.schedule_at(1.0, [&]() { order.push_back(10); });  // same time, later FIFO
+  q.schedule_at(3.0, [&]() { order.push_back(3); });
+  EXPECT_EQ(q.run_until(2.5), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 10, 2}));
+  EXPECT_EQ(q.run_until(5.0), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, PeriodicEventsRearm) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_every(10.0, [&]() { ++fired; });
+  q.run_until(35.0);
+  EXPECT_EQ(fired, 3);  // at 10, 20, 30
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule_at(5.0, []() {});
+  q.run_until(5.0);
+  EXPECT_THROW(q.schedule_at(1.0, []() {}), std::invalid_argument);
+}
+
+TEST(Cluster, PlacementLifecycle) {
+  Cluster c;
+  const int n0 = c.add_node(NodeSpec{"n0", 1.0, 0.2, true});
+  const PodId pod = c.create_pod(PodSpec{"app", 0.5});
+  EXPECT_EQ(c.pending_pods().size(), 1u);
+  c.place(pod, n0);
+  EXPECT_TRUE(c.pending_pods().empty());
+  EXPECT_DOUBLE_EQ(c.utilization(n0), 0.7);
+  c.evict(pod);
+  EXPECT_DOUBLE_EQ(c.utilization(n0), 0.2);
+  EXPECT_EQ(c.pending_pods().size(), 1u);
+  c.delete_pod(pod);
+  EXPECT_THROW(c.delete_pod(pod), std::invalid_argument);
+}
+
+TEST(Cluster, TerminatingPodsHoldResourcesButDoNotCount) {
+  Cluster c;
+  const int n0 = c.add_node(NodeSpec{"n0", 1.0, 0.0, true});
+  const PodId pod = c.create_pod(PodSpec{"app", 0.5});
+  c.place(pod, n0);
+  c.mark_terminating(pod);
+  EXPECT_DOUBLE_EQ(c.utilization(n0), 0.5);                    // still held
+  EXPECT_TRUE(c.pods_of_app("app").empty());                   // not running
+  EXPECT_EQ(c.pods_of_app("app", /*include_terminating=*/true).size(), 1u);
+}
+
+TEST(Agents, SchedulerFiltersAndScores) {
+  Cluster c;
+  c.add_node(NodeSpec{"full", 1.0, 0.8, true});     // no headroom for 0.5
+  c.add_node(NodeSpec{"busy", 1.0, 0.3, true});
+  c.add_node(NodeSpec{"idle", 1.0, 0.0, true});
+  c.add_node(NodeSpec{"cordoned", 1.0, 0.0, false});  // unschedulable
+  const PodId pod = c.create_pod(PodSpec{"app", 0.5});
+  SchedulerAgent scheduler(c);
+  scheduler.reconcile();
+  EXPECT_EQ(c.pod(pod).node, 2);  // least utilization among schedulable+fitting
+}
+
+TEST(Agents, DeploymentMaintainsReplicas) {
+  Cluster c;
+  c.add_node(NodeSpec{"n0", 1.0, 0.0, true});
+  DeploymentAgent deployment(c, PodSpec{"app", 0.2}, 3);
+  deployment.reconcile();
+  EXPECT_EQ(c.pods_of_app("app").size(), 3u);
+  deployment.reconcile();  // idempotent
+  EXPECT_EQ(c.pods_of_app("app").size(), 3u);
+}
+
+TEST(Agents, DeschedulerEvictsAboveThreshold) {
+  Cluster c;
+  EventQueue q;
+  const int n0 = c.add_node(NodeSpec{"n0", 1.0, 0.0, true});
+  const PodId pod = c.create_pod(PodSpec{"app", 0.5});
+  c.place(pod, n0);
+  DeschedulerAgent descheduler(c, q, 0.45, 30.0);
+  descheduler.run_once();
+  EXPECT_EQ(descheduler.evictions(), 1);
+  EXPECT_TRUE(c.pod(pod).terminating);
+  q.run_until(31.0);  // grace expires -> deleted
+  EXPECT_THROW((void)c.pod(pod), std::out_of_range);
+}
+
+TEST(Agents, DeschedulerRespectsThreshold) {
+  Cluster c;
+  EventQueue q;
+  const int n0 = c.add_node(NodeSpec{"n0", 1.0, 0.0, true});
+  c.place(c.create_pod(PodSpec{"app", 0.5}), n0);
+  DeschedulerAgent descheduler(c, q, 0.55, 30.0);
+  descheduler.run_once();
+  EXPECT_EQ(descheduler.evictions(), 0);
+}
+
+// --- Fig. 2 -------------------------------------------------------------------
+
+TEST(Fig2, PodOscillatesBetweenWorkers2And3) {
+  const Fig2Result result = run_fig2_experiment();
+  EXPECT_EQ(result.workers_used, (std::vector<int>{2, 3}));
+  // ~2-minute period over 32 minutes: an eviction every cron tick.
+  EXPECT_GE(result.evictions, 14);
+  EXPECT_GE(result.placement_changes, 14);
+}
+
+TEST(Fig2, SquareWaveHasTwoMinutePeriod) {
+  const Fig2Result result = run_fig2_experiment();
+  // Collect placement-change times; consecutive changes ~120s apart.
+  std::vector<double> change_minutes;
+  int last = 0;
+  for (const PlacementSample& s : result.series) {
+    if (s.worker != 0 && s.worker != last) {
+      if (last != 0) change_minutes.push_back(s.minutes);
+      last = s.worker;
+    }
+  }
+  ASSERT_GE(change_minutes.size(), 3u);
+  for (std::size_t i = 1; i < change_minutes.size(); ++i)
+    EXPECT_NEAR(change_minutes[i] - change_minutes[i - 1], 2.0, 0.5);
+}
+
+TEST(Fig2, RaisingThresholdStopsOscillation) {
+  Fig2Options options;
+  options.eviction_threshold = 0.55;  // above the pod's 50% request
+  const Fig2Result result = run_fig2_experiment(options);
+  EXPECT_EQ(result.evictions, 0);
+  EXPECT_EQ(result.placement_changes, 0);
+  EXPECT_EQ(result.workers_used.size(), 1u);
+}
+
+TEST(Fig2, PodNeverLandsOnBusyWorker1) {
+  const Fig2Result result = run_fig2_experiment();
+  for (const PlacementSample& s : result.series) EXPECT_NE(s.worker, 1);
+}
+
+// --- Fig. 3 LB replay ----------------------------------------------------------
+
+TEST(LbSim, ReactiveOscillatesUnderCheckerFoundParameters) {
+  // Exactly the parameter point the symbolic lasso engine reports for the
+  // reactive policy (asymmetric r2-s2 / r4-s3 latency intercepts).
+  LbSimParams params;
+  params.l_r2_s2 = 3.0;
+  params.l_r4_s3 = 0.5;
+  const LbSimResult result =
+      run_lb_ecmp_sim(params, /*burst_step=*/4, /*steps=*/24, LbSimPolicy::kReactive);
+  EXPECT_TRUE(result.oscillates_after_burst);
+  EXPECT_GT(result.cycle_length, 0);
+}
+
+TEST(LbSim, ReactiveBurstTriggeredNarrative) {
+  // The parameter point the checker reports for the quiet-until-burst query:
+  // stable at (p1, p4) until the burst hits R1-R4, then app_b bounces between
+  // p3 and p4 forever (the paper's steps (1)-(6)).
+  LbSimParams params;
+  params.l_r2_s2 = 10.0;
+  params.l_r4_s3 = 7.0;
+  params.external = 1.0;
+  const LbSimResult result =
+      run_lb_ecmp_sim(params, /*burst_step=*/4, /*steps=*/24, LbSimPolicy::kReactive);
+  EXPECT_TRUE(result.stable_before_burst);
+  EXPECT_TRUE(result.oscillates_after_burst);
+}
+
+TEST(LbSim, SmartOscillatesUnderCheckerFoundParameters) {
+  // The parameter point reported for the smart policy.
+  LbSimParams params;
+  params.m_r2_s2 = 0.25;
+  params.l_r2_s2 = 21.0 / 8.0;
+  params.m_r4_s3 = 1.0;
+  params.l_r4_s3 = 11.0 / 4.0;
+  params.m_b = 0.5;
+  // The symbolic lasso runs with the burst never firing (ext stays false).
+  const LbSimResult result =
+      run_lb_ecmp_sim(params, /*burst_step=*/1000, /*steps=*/24, LbSimPolicy::kSmart);
+  EXPECT_TRUE(result.oscillates_after_burst);
+  EXPECT_EQ(result.cycle_length, 4);  // a: p1<->p2 and b: p3<->p4 in lockstep
+}
+
+TEST(LbSim, DefaultParametersConverge) {
+  const LbSimResult result = run_lb_ecmp_sim();
+  EXPECT_FALSE(result.oscillates_after_burst);
+}
+
+TEST(LbSim, HistoryLengthAndTurnAlternation) {
+  const LbSimResult result = run_lb_ecmp_sim({}, 4, 10);
+  ASSERT_EQ(result.history.size(), 10u);
+  for (const LbSimStep& s : result.history)
+    EXPECT_EQ(s.acting_app, s.step % 2 == 0 ? 'a' : 'b');
+}
+
+}  // namespace
+}  // namespace verdict::sim

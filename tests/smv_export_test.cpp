@@ -1,0 +1,87 @@
+// NuXMV export: structure, name mapping, property emission.
+#include <gtest/gtest.h>
+
+#include "ts/smv_export.h"
+
+namespace verdict::ts {
+namespace {
+
+using expr::Expr;
+
+TEST(SmvExport, EmitsAllSections) {
+  TransitionSystem ts;
+  const Expr x = expr::int_var("smv.x", 0, 5);
+  const Expr p = expr::int_var("smv.p", 1, 3);
+  const Expr b = expr::bool_var("smv.b");
+  ts.add_var(x);
+  ts.add_var(b);
+  ts.add_param(p);
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_init(b);
+  ts.add_invar(expr::mk_le(x, expr::int_const(5)));
+  ts.add_trans(expr::mk_eq(expr::next(x), expr::ite(expr::mk_lt(x, p), x + 1, x)));
+  ts.add_param_constraint(expr::mk_le(p, expr::int_const(2)));
+
+  std::vector<SmvProperty> properties;
+  properties.push_back({"bounded", ltl::G(ltl::atom(expr::mk_le(x, p))), {}});
+  properties.push_back({"recoverable", {}, ltl::AG(ltl::EF(ltl::ctl_atom(b)))});
+  const SmvExport out = to_smv(ts, properties);
+
+  EXPECT_NE(out.text.find("MODULE main"), std::string::npos);
+  EXPECT_NE(out.text.find("VAR"), std::string::npos);
+  EXPECT_NE(out.text.find("smv_x : 0..5;"), std::string::npos);
+  EXPECT_NE(out.text.find("smv_b : boolean;"), std::string::npos);
+  EXPECT_NE(out.text.find("FROZENVAR"), std::string::npos);
+  EXPECT_NE(out.text.find("smv_p : 1..3;"), std::string::npos);
+  EXPECT_NE(out.text.find("INIT"), std::string::npos);
+  EXPECT_NE(out.text.find("INVAR"), std::string::npos);
+  EXPECT_NE(out.text.find("TRANS"), std::string::npos);
+  EXPECT_NE(out.text.find("next(smv_x)"), std::string::npos);
+  EXPECT_NE(out.text.find("LTLSPEC NAME bounded :="), std::string::npos);
+  EXPECT_NE(out.text.find("CTLSPEC NAME recoverable :="), std::string::npos);
+  // Name map relates verdict names to SMV identifiers.
+  EXPECT_EQ(out.name_map.at("smv.x"), "smv_x");
+}
+
+TEST(SmvExport, NameCollisionsAreUniquified) {
+  TransitionSystem ts;
+  const Expr a = expr::bool_var("col.v");
+  const Expr b = expr::bool_var("col_v");
+  ts.add_var(a);
+  ts.add_var(b);
+  ts.add_trans(expr::mk_eq(expr::next(a), b));
+  const SmvExport out = to_smv(ts);
+  EXPECT_NE(out.name_map.at("col.v"), out.name_map.at("col_v"));
+}
+
+TEST(SmvExport, RealsAndDivision) {
+  TransitionSystem ts;
+  const Expr r = expr::real_var("smvr.r");
+  ts.add_var(r);
+  ts.add_init(expr::mk_eq(r, expr::real_const(util::Rational(1, 2))));
+  ts.add_trans(expr::mk_eq(expr::next(r), expr::mk_div(r, expr::real_const(util::Rational(2)))));
+  const SmvExport out = to_smv(ts);
+  EXPECT_NE(out.text.find("smvr_r : real;"), std::string::npos);
+  EXPECT_NE(out.text.find("f'1/2"), std::string::npos);
+}
+
+TEST(SmvExport, BooleanEqualityUsesIff) {
+  TransitionSystem ts;
+  const Expr a = expr::bool_var("smviff.a");
+  ts.add_var(a);
+  ts.add_trans(expr::mk_eq(expr::next(a), expr::mk_not(a)));
+  const SmvExport out = to_smv(ts);
+  EXPECT_NE(out.text.find("<->"), std::string::npos);
+}
+
+TEST(SmvExport, RejectsEmptyProperties) {
+  TransitionSystem ts;
+  ts.add_var(expr::bool_var("smvbad.a"));
+  ts.add_trans(expr::tru());
+  std::vector<SmvProperty> properties;
+  properties.push_back({"nothing", {}, {}});
+  EXPECT_THROW((void)to_smv(ts, properties), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace verdict::ts

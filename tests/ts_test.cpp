@@ -1,0 +1,178 @@
+// Transition-system container: validation, range invariants, trace checking.
+#include <gtest/gtest.h>
+
+#include "ts/transition_system.h"
+
+namespace verdict::ts {
+namespace {
+
+using expr::Expr;
+
+TEST(TransitionSystem, ValidationCatchesModelingMistakes) {
+  TransitionSystem ts;
+  const Expr x = expr::int_var("ts_x", 0, 3);
+  const Expr p = expr::int_var("ts_p", 0, 3);
+  const Expr stranger = expr::int_var("ts_stranger", 0, 3);
+  ts.add_var(x);
+  ts.add_param(p);
+
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_trans(expr::mk_eq(expr::next(x), x));
+  EXPECT_NO_THROW(ts.validate());
+
+  {
+    TransitionSystem bad = ts;
+    bad.add_init(expr::mk_eq(expr::next(x), x));  // next() in init
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+  }
+  {
+    TransitionSystem bad = ts;
+    bad.add_trans(expr::mk_eq(expr::next(p), p));  // next() on a parameter
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+  }
+  {
+    TransitionSystem bad = ts;
+    bad.add_invar(expr::mk_le(stranger, expr::int_const(3)));  // undeclared var
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+  }
+  {
+    TransitionSystem bad = ts;
+    bad.add_param_constraint(expr::mk_le(x, p));  // state var in param space
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+  }
+}
+
+TEST(TransitionSystem, VarParamSeparation) {
+  TransitionSystem ts;
+  const Expr x = expr::int_var("ts_sep", 0, 3);
+  ts.add_var(x);
+  EXPECT_THROW(ts.add_param(x), std::invalid_argument);
+  EXPECT_TRUE(ts.is_state_var(x.var()));
+  EXPECT_FALSE(ts.is_param(x.var()));
+}
+
+TEST(TransitionSystem, FiniteDomainDetection) {
+  TransitionSystem finite;
+  finite.add_var(expr::int_var("ts_fin", 0, 3));
+  finite.add_var(expr::bool_var("ts_finb"));
+  EXPECT_TRUE(finite.is_finite_domain());
+
+  TransitionSystem infinite;
+  infinite.add_var(expr::real_var("ts_inf"));
+  EXPECT_FALSE(infinite.is_finite_domain());
+
+  TransitionSystem unbounded;
+  unbounded.add_var(expr::int_var("ts_unb"));
+  EXPECT_FALSE(unbounded.is_finite_domain());
+}
+
+TEST(TransitionSystem, RangeInvariantCoversVarsAndParams) {
+  TransitionSystem ts;
+  const Expr x = expr::int_var("ts_rng_x", 1, 3);
+  const Expr p = expr::int_var("ts_rng_p", 2, 5);
+  ts.add_var(x);
+  ts.add_param(p);
+  expr::Env env;
+  env.set(x, std::int64_t{2});
+  env.set(p, std::int64_t{4});
+  EXPECT_TRUE(expr::eval_bool(ts.range_invariant(), env));
+  env.set(x, std::int64_t{0});
+  EXPECT_FALSE(expr::eval_bool(ts.range_invariant(), env));
+}
+
+class TraceConformance : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    x_ = expr::int_var("tc_x", 0, 5);
+    limit_ = expr::int_var("tc_lim", 0, 5);
+    ts_.add_var(x_);
+    ts_.add_param(limit_);
+    ts_.add_init(expr::mk_eq(x_, expr::int_const(0)));
+    ts_.add_trans(expr::mk_eq(expr::next(x_), expr::ite(expr::mk_lt(x_, limit_), x_ + 1, x_)));
+    ts_.add_param_constraint(expr::mk_le(limit_, expr::int_const(4)));
+  }
+
+  Trace make_trace(std::vector<std::int64_t> xs, std::int64_t limit) {
+    Trace t;
+    t.params.set(limit_, limit);
+    for (const std::int64_t v : xs) {
+      State s;
+      s.set(x_, v);
+      t.states.push_back(s);
+    }
+    return t;
+  }
+
+  TransitionSystem ts_;
+  Expr x_, limit_;
+};
+
+TEST_F(TraceConformance, AcceptsGenuineExecution) {
+  const Trace t = make_trace({0, 1, 2, 2}, 2);
+  std::string error;
+  EXPECT_TRUE(ts_.trace_conforms(t, &error)) << error;
+}
+
+TEST_F(TraceConformance, RejectsBadInit) {
+  const Trace t = make_trace({1, 2}, 2);
+  std::string error;
+  EXPECT_FALSE(ts_.trace_conforms(t, &error));
+  EXPECT_NE(error.find("init"), std::string::npos);
+}
+
+TEST_F(TraceConformance, RejectsBadTransition) {
+  const Trace t = make_trace({0, 2}, 4);  // skips a step
+  std::string error;
+  EXPECT_FALSE(ts_.trace_conforms(t, &error));
+  EXPECT_NE(error.find("trans"), std::string::npos);
+}
+
+TEST_F(TraceConformance, RejectsParamConstraintViolation) {
+  const Trace t = make_trace({0, 1}, 5);  // limit > 4
+  std::string error;
+  EXPECT_FALSE(ts_.trace_conforms(t, &error));
+}
+
+TEST_F(TraceConformance, RejectsOutOfRangeState) {
+  Trace t = make_trace({0, 1}, 2);
+  t.states[1].set(x_, std::int64_t{9});
+  std::string error;
+  EXPECT_FALSE(ts_.trace_conforms(t, &error));
+  EXPECT_NE(error.find("range"), std::string::npos);
+}
+
+TEST_F(TraceConformance, ChecksLassoClosure) {
+  // 0 1 2 with loop back to 1 is NOT an execution (2 -> 1 shrinks x).
+  Trace bad = make_trace({0, 1, 2}, 4);
+  bad.lasso_start = 1;
+  std::string error;
+  EXPECT_FALSE(ts_.trace_conforms(bad, &error));
+  EXPECT_NE(error.find("lasso"), std::string::npos);
+
+  // 0 1 2 2 with loop at the final plateau is fine (2 -> 2 when limit=2).
+  Trace good = make_trace({0, 1, 2}, 2);
+  good.lasso_start = 2;
+  EXPECT_TRUE(ts_.trace_conforms(good, &error)) << error;
+}
+
+TEST_F(TraceConformance, RejectsMissingValues) {
+  Trace t = make_trace({0, 1}, 2);
+  t.params = State{};  // lost the parameter value
+  std::string error;
+  EXPECT_FALSE(ts_.trace_conforms(t, &error));
+}
+
+TEST(TraceRendering, HumanReadable) {
+  const Expr v = expr::int_var("tr_v", 0, 3);
+  Trace t;
+  State s;
+  s.set(v, std::int64_t{1});
+  t.states.push_back(s);
+  t.lasso_start = 0;
+  const std::string text = t.str();
+  EXPECT_NE(text.find("tr_v=1"), std::string::npos);
+  EXPECT_NE(text.find("loop"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace verdict::ts

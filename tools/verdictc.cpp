@@ -1,0 +1,206 @@
+// verdictc — command-line model checker for vml models.
+//
+// Usage:
+//   verdictc MODEL.vml [options]
+//
+// Options:
+//   --list                 list declared properties and exit
+//   --property NAME        check only the named property (repeatable)
+//   --engine ENGINE        auto | bmc | kinduction | pdr | explicit | lasso
+//                          (LTL properties; CTL always uses the BDD engine)
+//   --depth N              unroll depth / induction bound / frame limit (50)
+//   --timeout SECONDS      per-property budget (default: none)
+//   --smv FILE             also export the model + properties as NuXMV input
+//   --trace                print counterexample traces
+//   --quiet                only print the per-property verdict lines
+//
+// Exit code: 0 when every checked property holds or is bound-clean,
+// 1 when any property is violated, 2 on usage/model errors.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bdd/checker.h"
+#include "core/checker.h"
+#include "mdl/vml.h"
+#include "ts/smv_export.h"
+
+#include <fstream>
+
+namespace {
+
+struct Options {
+  std::string model_path;
+  std::vector<std::string> properties;
+  verdict::core::Engine engine = verdict::core::Engine::kAuto;
+  int depth = 50;
+  double timeout = 0.0;  // 0 = none
+  bool list_only = false;
+  bool print_trace = false;
+  bool quiet = false;
+  std::string smv_out;  // when set, export the model to this .smv path
+};
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s MODEL.vml [--list] [--property NAME]... "
+               "[--engine auto|bmc|kinduction|pdr|explicit|lasso] [--depth N] "
+               "[--timeout SECONDS] [--trace] [--quiet]\n",
+               argv0);
+  std::exit(code);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], 2);
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      options.list_only = true;
+    } else if (arg == "--property") {
+      options.properties.push_back(value());
+    } else if (arg == "--engine") {
+      const std::string engine = value();
+      if (engine == "auto") {
+        options.engine = verdict::core::Engine::kAuto;
+      } else if (engine == "bmc") {
+        options.engine = verdict::core::Engine::kBmc;
+      } else if (engine == "kinduction") {
+        options.engine = verdict::core::Engine::kKInduction;
+      } else if (engine == "pdr") {
+        options.engine = verdict::core::Engine::kPdr;
+      } else if (engine == "explicit") {
+        options.engine = verdict::core::Engine::kExplicit;
+      } else if (engine == "lasso") {
+        options.engine = verdict::core::Engine::kLtlLasso;
+      } else {
+        std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
+        usage(argv[0], 2);
+      }
+    } else if (arg == "--depth") {
+      options.depth = std::atoi(value().c_str());
+    } else if (arg == "--timeout") {
+      options.timeout = std::atof(value().c_str());
+    } else if (arg == "--smv") {
+      options.smv_out = value();
+    } else if (arg == "--trace") {
+      options.print_trace = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0], 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0], 2);
+    } else if (options.model_path.empty()) {
+      options.model_path = arg;
+    } else {
+      usage(argv[0], 2);
+    }
+  }
+  if (options.model_path.empty()) usage(argv[0], 2);
+  return options;
+}
+
+bool selected(const Options& options, const std::string& name) {
+  if (options.properties.empty()) return true;
+  for (const std::string& wanted : options.properties)
+    if (wanted == name) return true;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace verdict;
+  const Options options = parse_args(argc, argv);
+
+  mdl::VmlModel model;
+  try {
+    model = mdl::parse_vml_file(options.model_path);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "verdictc: %s\n", error.what());
+    return 2;
+  }
+  if (!options.quiet)
+    std::printf("%s: %zu module(s), %zu LTL + %zu CTL properties\n",
+                options.model_path.c_str(), model.modules.size(),
+                model.ltl_properties.size(), model.ctl_properties.size());
+
+  if (!options.smv_out.empty()) {
+    std::vector<ts::SmvProperty> smv_properties;
+    for (const auto& [name, property] : model.ltl_properties)
+      smv_properties.push_back({name, property, {}});
+    for (const auto& [name, property] : model.ctl_properties)
+      smv_properties.push_back({name, {}, property});
+    const ts::SmvExport exported = ts::to_smv(model.system, smv_properties);
+    std::ofstream out(options.smv_out);
+    if (!out) {
+      std::fprintf(stderr, "verdictc: cannot write %s\n", options.smv_out.c_str());
+      return 2;
+    }
+    out << exported.text;
+    if (!options.quiet)
+      std::printf("exported NuXMV model to %s\n", options.smv_out.c_str());
+  }
+
+  if (options.list_only) {
+    for (const auto& [name, property] : model.ltl_properties)
+      std::printf("  ltl %s : %s\n", name.c_str(), property.str().c_str());
+    for (const auto& [name, property] : model.ctl_properties)
+      std::printf("  ctl %s : %s\n", name.c_str(), property.str().c_str());
+    return 0;
+  }
+
+  const util::Deadline deadline = options.timeout > 0
+                                      ? util::Deadline::after_seconds(options.timeout)
+                                      : util::Deadline::never();
+  bool any_violation = false;
+  bool any_error = false;
+
+  for (const auto& [name, property] : model.ltl_properties) {
+    if (!selected(options, name)) continue;
+    try {
+      core::CheckOptions check;
+      check.engine = options.engine;
+      check.max_depth = options.depth;
+      check.deadline = options.timeout > 0 ? util::Deadline::after_seconds(options.timeout)
+                                           : deadline;
+      const auto outcome = core::check(model.system, property, check);
+      std::printf("ltl %-24s %s\n", name.c_str(), core::describe(outcome).c_str());
+      if (outcome.violated()) {
+        any_violation = true;
+        if (options.print_trace && outcome.counterexample)
+          std::printf("%s", outcome.counterexample->str().c_str());
+      }
+    } catch (const std::exception& error) {
+      std::printf("ltl %-24s ERROR: %s\n", name.c_str(), error.what());
+      any_error = true;
+    }
+  }
+
+  for (const auto& [name, property] : model.ctl_properties) {
+    if (!selected(options, name)) continue;
+    try {
+      bdd::BddOptions check;
+      check.deadline = options.timeout > 0 ? util::Deadline::after_seconds(options.timeout)
+                                           : deadline;
+      const auto outcome = bdd::check_ctl_bdd(model.system, property, check);
+      std::printf("ctl %-24s %s\n", name.c_str(), core::describe(outcome).c_str());
+      if (outcome.violated()) {
+        any_violation = true;
+        if (options.print_trace && outcome.counterexample)
+          std::printf("%s", outcome.counterexample->str().c_str());
+      }
+    } catch (const std::exception& error) {
+      std::printf("ctl %-24s ERROR: %s\n", name.c_str(), error.what());
+      any_error = true;
+    }
+  }
+  if (any_error) return 2;
+  return any_violation ? 1 : 0;
+}
