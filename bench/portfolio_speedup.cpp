@@ -1,0 +1,158 @@
+// Portfolio speedup — sequential kAuto vs the parallel portfolio (jobs = 4)
+// on the Fig. 6 fattree instances, and sequential parameter synthesis vs the
+// work-stealing driver on the synth_parameters sweep.
+//
+// The portfolio wins on the violation instances because the sequential auto
+// path must first exhaust PDR before falling back to BMC, while the race
+// lets BMC report the counterexample as soon as it reaches the failure
+// depth and cancels the other lanes. The synthesis sweep parallelises the
+// per-candidate prover calls across workers while sharing one replay pool.
+//
+// Acceptance targets: >= 1.5x wall-clock on at least one fattree instance,
+// >= 2x on the synthesis sweep, and identical verdicts everywhere.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/checker.h"
+#include "core/synth.h"
+#include "portfolio/par_synth.h"
+#include "scenarios/rollout_partition.h"
+
+namespace {
+
+using namespace verdict;
+
+constexpr std::size_t kJobs = 4;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Timed {
+  core::CheckOutcome outcome;
+  double wall = 0.0;
+};
+
+Timed run(const ts::TransitionSystem& system, const ltl::Formula& property,
+          core::Engine engine, std::size_t jobs, double budget) {
+  core::CheckOptions options;
+  options.engine = engine;
+  options.max_depth = 40;
+  options.jobs = jobs;
+  options.deadline = util::Deadline::after_seconds(budget);
+  const double start = now_seconds();
+  Timed timed;
+  timed.outcome = core::check(system, property, options);
+  timed.wall = now_seconds() - start;
+  return timed;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Portfolio speedup — sequential kAuto vs portfolio (jobs=4)");
+  const double budget = bench::timeout_seconds();
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("per-check budget: %.0fs (VERDICT_BENCH_TIMEOUT to change), "
+              "%u hardware core(s)\n\n",
+              budget, cores);
+
+  bool verdicts_match = true;
+  double best_check_speedup = 0.0;
+
+  struct TopologyCase {
+    std::string name;
+    int fat_tree_k;  // 0 = the 5-node test topology
+    std::int64_t failing_k;
+  };
+  std::vector<TopologyCase> cases = {
+      {"test", 0, 2}, {"fattree4", 4, 2}, {"fattree6", 6, 3}};
+  if (bench::full_sweep()) {
+    cases.push_back({"fattree8", 8, 4});
+    cases.push_back({"fattree10", 10, 5});
+  }
+
+  std::printf("%-10s | %-22s | %-28s | %s\n", "topology", "sequential kAuto",
+              "portfolio jobs=4", "speedup");
+  for (const TopologyCase& tc : cases) {
+    scenarios::RolloutPartitionOptions scenario_options;
+    scenario_options.prefix = "pfb_" + tc.name;
+    scenario_options.max_k = 8;
+    const auto scenario = tc.fat_tree_k == 0
+                              ? scenarios::make_test_scenario(scenario_options)
+                              : scenarios::make_fat_tree_scenario(tc.fat_tree_k,
+                                                                  scenario_options);
+    // The violation instance: k at the minimal front-end cut.
+    const auto system = bench::pinned(
+        scenario.system, {{scenario.p, 1}, {scenario.k, tc.failing_k}, {scenario.m, 1}});
+
+    const Timed seq = run(system, scenario.property, core::Engine::kAuto, 1, budget);
+    const Timed par =
+        run(system, scenario.property, core::Engine::kPortfolio, kJobs, budget);
+
+    const bool match = seq.outcome.verdict == par.outcome.verdict;
+    verdicts_match = verdicts_match && match;
+    const double speedup = par.wall > 0 ? seq.wall / par.wall : 0.0;
+    if (match) best_check_speedup = std::max(best_check_speedup, speedup);
+    std::printf("%-10s | %-9s %10.2fs | %-9s %16.2fs | %5.2fx%s\n", tc.name.c_str(),
+                core::verdict_name(seq.outcome.verdict), seq.wall,
+                core::verdict_name(par.outcome.verdict), par.wall, speedup,
+                match ? "" : "  VERDICT MISMATCH");
+  }
+
+  // --- Parameter synthesis sweep (same configuration as synth_parameters).
+  std::printf("\nsynthesis sweep (p in {1..4}, k = 1, m = 1, prover = k-induction):\n");
+  scenarios::RolloutPartitionOptions scenario_options;
+  scenario_options.prefix = "pfb_syn";
+  scenario_options.max_p = 4;
+  const auto scenario = scenarios::make_test_scenario(scenario_options);
+  ts::TransitionSystem system = scenario.system;
+  system.add_param_constraint(expr::mk_eq(scenario.k, expr::int_const(1)));
+  system.add_param_constraint(expr::mk_eq(scenario.m, expr::int_const(1)));
+  system.add_param_constraint(expr::mk_le(expr::int_const(1), scenario.p));
+
+  core::SynthOptions synth;
+  synth.prover = core::SynthProver::kKInduction;
+  synth.per_candidate_seconds = budget * 6;
+  synth.max_depth = 40;
+  const expr::Expr invariant = ltl::invariant_atom(scenario.property);
+
+  double start = now_seconds();
+  const auto seq_result = core::synthesize_params(system, invariant, synth);
+  const double seq_wall = now_seconds() - start;
+
+  synth.jobs = kJobs;
+  start = now_seconds();
+  const auto par_result = portfolio::synthesize_params_parallel(system, invariant, synth);
+  const double par_wall = now_seconds() - start;
+
+  const bool synth_match =
+      seq_result.safe == par_result.safe && seq_result.unsafe == par_result.unsafe;
+  verdicts_match = verdicts_match && synth_match;
+  const double synth_speedup = par_wall > 0 ? seq_wall / par_wall : 0.0;
+  std::printf("  sequential: %zu safe / %zu unsafe in %6.2fs (%zu pruned by replay)\n",
+              seq_result.safe.size(), seq_result.unsafe.size(), seq_wall,
+              seq_result.pruned_by_replay);
+  std::printf("  jobs=4:     %zu safe / %zu unsafe in %6.2fs (%zu pruned by replay)\n",
+              par_result.safe.size(), par_result.unsafe.size(), par_wall,
+              par_result.pruned_by_replay);
+  std::printf("  speedup: %.2fx%s\n", synth_speedup,
+              synth_match ? "" : "  CLASSIFICATION MISMATCH");
+
+  std::printf("\nbest check speedup: %.2fx (target >= 1.5x), synth speedup: %.2fx "
+              "(target >= 2x), verdicts %s\n",
+              best_check_speedup, synth_speedup,
+              verdicts_match ? "identical" : "DIFFER");
+  std::printf("(check speedup is algorithmic — the race reaches the winning engine\n"
+              " without paying for the losers first — so it survives few-core hosts;\n"
+              " the synthesis sweep parallelises identical per-candidate work and is\n"
+              " bounded by available cores: expect ~1x at %u core(s).)\n",
+              cores);
+  return verdicts_match ? 0 : 1;
+}

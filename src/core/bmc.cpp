@@ -44,7 +44,7 @@ CheckOutcome run_incremental(const ts::TransitionSystem& ts, Expr invariant,
   assert_state_constraints(solver, ts, 0);
 
   for (int k = 0; k <= options.max_depth; ++k) {
-    if (options.deadline.expired()) {
+    if (options.deadline.expired_or_cancelled()) {
       outcome.verdict = Verdict::kTimeout;
       outcome.message = "deadline expired before depth " + std::to_string(k);
       break;
@@ -69,7 +69,7 @@ CheckOutcome run_incremental(const ts::TransitionSystem& ts, Expr invariant,
     solver.pop();
     if (r == smt::CheckResult::kUnknown) {
       outcome.verdict =
-          options.deadline.expired() ? Verdict::kTimeout : Verdict::kUnknown;
+          options.deadline.expired_or_cancelled() ? Verdict::kTimeout : Verdict::kUnknown;
       outcome.message = "solver returned unknown at depth " + std::to_string(k);
       outcome.stats.depth_reached = k;
       outcome.stats.solver_checks = solver.num_checks();
@@ -78,9 +78,9 @@ CheckOutcome run_incremental(const ts::TransitionSystem& ts, Expr invariant,
     }
     outcome.stats.depth_reached = k;
   }
-  if (outcome.verdict == Verdict::kUnknown && !options.deadline.expired())
+  if (outcome.verdict == Verdict::kUnknown && !options.deadline.expired_or_cancelled())
     outcome.verdict = Verdict::kBoundReached;
-  if (options.deadline.expired() && outcome.verdict != Verdict::kTimeout) {
+  if (options.deadline.expired_or_cancelled() && outcome.verdict != Verdict::kTimeout) {
     // Loop completed exactly at the deadline; report the bound result.
     outcome.verdict = Verdict::kBoundReached;
   }
@@ -99,7 +99,7 @@ CheckOutcome run_monolithic(const ts::TransitionSystem& ts, Expr invariant,
   std::size_t checks = 0;
 
   for (int k = 0; k <= options.max_depth; ++k) {
-    if (options.deadline.expired()) {
+    if (options.deadline.expired_or_cancelled()) {
       outcome.verdict = Verdict::kTimeout;
       outcome.message = "deadline expired before depth " + std::to_string(k);
       break;
@@ -128,7 +128,7 @@ CheckOutcome run_monolithic(const ts::TransitionSystem& ts, Expr invariant,
     }
     if (r == smt::CheckResult::kUnknown) {
       outcome.verdict =
-          options.deadline.expired() ? Verdict::kTimeout : Verdict::kUnknown;
+          options.deadline.expired_or_cancelled() ? Verdict::kTimeout : Verdict::kUnknown;
       outcome.stats.depth_reached = k;
       outcome.stats.solver_checks = checks;
       outcome.stats.seconds = watch.elapsed_seconds();

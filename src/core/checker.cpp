@@ -10,6 +10,7 @@
 #include "core/pdr.h"
 #include "ltl/parser.h"
 #include "ltl/trace_eval.h"
+#include "portfolio/portfolio.h"
 #include "util/log.h"
 
 namespace verdict::core {
@@ -36,15 +37,40 @@ CheckOutcome check_safety(const ts::TransitionSystem& ts, expr::Expr invariant,
       o.deadline = options.deadline;
       return check_invariant_explicit(ts, invariant, o);
     }
-    case Engine::kAuto:
     case Engine::kPdr: {
       PdrOptions o;
       o.max_frames = options.max_depth;
       o.deadline = options.deadline;
       return check_invariant_pdr(ts, invariant, o);
     }
+    case Engine::kAuto: {
+      // PDR first; when it gives up without a decision (and budget remains),
+      // fall back to BMC to at least hunt for a bounded violation. The two
+      // runs report one merged Stats record ("pdr+bmc"). Under a finite
+      // budget PDR only gets half of it — otherwise it consumes the whole
+      // deadline and the fallback (which often finds a cheap bounded
+      // violation where PDR struggles) could never run.
+      PdrOptions o;
+      o.max_frames = options.max_depth;
+      o.deadline = options.deadline.is_finite()
+                       ? options.deadline.clipped_to(options.deadline.remaining_seconds() / 2)
+                       : options.deadline;
+      CheckOutcome pdr = check_invariant_pdr(ts, invariant, o);
+      if (pdr.verdict == Verdict::kHolds || pdr.verdict == Verdict::kViolated ||
+          options.deadline.expired_or_cancelled())
+        return pdr;
+      BmcOptions b;
+      b.max_depth = options.max_depth;
+      b.deadline = options.deadline;
+      CheckOutcome bmc = check_invariant_bmc(ts, invariant, b);
+      Stats merged = pdr.stats;
+      merged.merge(bmc.stats);
+      bmc.stats = std::move(merged);
+      return bmc;
+    }
+    case Engine::kPortfolio:
     case Engine::kLtlLasso:
-      break;  // fall through to the caller's lasso path
+      break;  // dispatched by the caller before reaching check_safety
   }
   LivenessOptions o;
   o.max_depth = options.max_depth;
@@ -56,6 +82,16 @@ CheckOutcome check_safety(const ts::TransitionSystem& ts, expr::Expr invariant,
 
 CheckOutcome check(const ts::TransitionSystem& ts, const ltl::Formula& property,
                    const CheckOptions& options) {
+  // Portfolio: explicit request, or kAuto with a parallelism budget.
+  if (options.engine == Engine::kPortfolio ||
+      (options.engine == Engine::kAuto && options.jobs != 1)) {
+    portfolio::PortfolioOptions po;
+    po.max_depth = options.max_depth;
+    po.deadline = options.deadline;
+    po.jobs = options.jobs;
+    return portfolio::check_portfolio(ts, property, po);
+  }
+
   if (ltl::is_invariant_property(property) && options.engine != Engine::kLtlLasso)
     return check_safety(ts, ltl::invariant_atom(property), options);
 

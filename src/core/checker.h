@@ -26,6 +26,7 @@ enum class Engine : std::uint8_t {
   kPdr,         // IC3-style unbounded proof
   kExplicit,    // brute-force enumeration (finite domains)
   kLtlLasso,    // bounded lasso search for arbitrary LTL
+  kPortfolio,   // race BMC/k-induction/PDR (lasso/L2S for liveness) on threads
 };
 
 struct CheckOptions {
@@ -33,6 +34,9 @@ struct CheckOptions {
   /// Unroll depth (BMC/lasso), induction bound, or PDR frame limit.
   int max_depth = 50;
   util::Deadline deadline = util::Deadline::never();
+  /// Worker threads for the portfolio engine. kAuto upgrades to kPortfolio
+  /// when jobs > 1; 0 means "use all hardware threads".
+  std::size_t jobs = 1;
 };
 
 /// Checks an LTL property. G(atom) properties route to the safety engines;

@@ -96,11 +96,11 @@ ExplicitStateSpace::ExplicitStateSpace(const ts::TransitionSystem& ts, ts::State
       const auto idx = add_state(s, SIZE_MAX);
       if (idx) initial_.push_back(*idx);
     }
-    return !truncated_ && !options.deadline.expired();
+    return !truncated_ && !options.deadline.expired_or_cancelled();
   });
 
   // BFS: for each discovered state, enumerate candidate successors.
-  while (!frontier.empty() && !truncated_ && !options.deadline.expired()) {
+  while (!frontier.empty() && !truncated_ && !options.deadline.expired_or_cancelled()) {
     const std::size_t cur = frontier.front();
     frontier.pop_front();
     const ts::State from = states_[cur];  // copy: states_ may reallocate
@@ -111,7 +111,7 @@ ExplicitStateSpace::ExplicitStateSpace(const ts::TransitionSystem& ts, ts::State
         const auto idx = add_state(to, cur);
         if (idx) successors_[cur].push_back(*idx);
       }
-      return !truncated_ && !options.deadline.expired();
+      return !truncated_ && !options.deadline.expired_or_cancelled();
     });
   }
 }
@@ -240,7 +240,7 @@ CheckOutcome check_invariant_explicit(const ts::TransitionSystem& ts, Expr invar
 
   std::size_t total_states = 0;
   for (const ts::State& params : enumerate_params(ts)) {
-    if (options.deadline.expired()) {
+    if (options.deadline.expired_or_cancelled()) {
       outcome.verdict = Verdict::kTimeout;
       outcome.stats.seconds = watch.elapsed_seconds();
       return outcome;
@@ -280,7 +280,7 @@ CheckOutcome check_ctl_explicit(const ts::TransitionSystem& ts,
   outcome.stats.engine = "explicit-ctl";
 
   for (const ts::State& params : enumerate_params(ts)) {
-    if (options.deadline.expired()) {
+    if (options.deadline.expired_or_cancelled()) {
       outcome.verdict = Verdict::kTimeout;
       outcome.stats.seconds = watch.elapsed_seconds();
       return outcome;

@@ -70,7 +70,7 @@ CheckOutcome check_invariant_kinduction(const ts::TransitionSystem& ts, Expr inv
 
   for (int k = 0; k <= options.max_k; ++k) {
     outcome.stats.depth_reached = k;
-    if (options.deadline.expired())
+    if (options.deadline.expired_or_cancelled())
       return finish(Verdict::kTimeout, "deadline expired at k=" + std::to_string(k));
 
     // --- Base: init-reachable violation within k steps?
@@ -92,7 +92,7 @@ CheckOutcome check_invariant_kinduction(const ts::TransitionSystem& ts, Expr inv
     }
     base.pop();
     if (base_result == smt::CheckResult::kUnknown)
-      return finish(options.deadline.expired() ? Verdict::kTimeout : Verdict::kUnknown,
+      return finish(options.deadline.expired_or_cancelled() ? Verdict::kTimeout : Verdict::kUnknown,
                     "base case unknown at k=" + std::to_string(k));
 
     // --- Step: P holds along frames 0..k, can frame k+1 violate it?
@@ -111,7 +111,7 @@ CheckOutcome check_invariant_kinduction(const ts::TransitionSystem& ts, Expr inv
                     "proved by " + std::to_string(k + 1) + "-induction");
     }
     if (step_result == smt::CheckResult::kUnknown)
-      return finish(options.deadline.expired() ? Verdict::kTimeout : Verdict::kUnknown,
+      return finish(options.deadline.expired_or_cancelled() ? Verdict::kTimeout : Verdict::kUnknown,
                     "step case unknown at k=" + std::to_string(k));
   }
   return finish(Verdict::kBoundReached,

@@ -245,7 +245,7 @@ CheckOutcome check_ltl_lasso(const ts::TransitionSystem& ts, const Formula& prop
   const Formula negated = ltl::negation(property).nnf();
 
   for (int k = 0; k <= options.max_depth; ++k) {
-    if (options.deadline.expired()) {
+    if (options.deadline.expired_or_cancelled()) {
       outcome.verdict = Verdict::kTimeout;
       outcome.message = "deadline expired at k=" + std::to_string(k);
       outcome.stats.solver_checks = checks;
@@ -276,7 +276,7 @@ CheckOutcome check_ltl_lasso(const ts::TransitionSystem& ts, const Formula& prop
       return outcome;
     }
     if (r == smt::CheckResult::kUnknown) {
-      outcome.verdict = options.deadline.expired() ? Verdict::kTimeout : Verdict::kUnknown;
+      outcome.verdict = options.deadline.expired_or_cancelled() ? Verdict::kTimeout : Verdict::kUnknown;
       outcome.message = "solver returned unknown at k=" + std::to_string(k);
       outcome.stats.solver_checks = checks;
       outcome.stats.seconds = watch.elapsed_seconds();

@@ -129,7 +129,7 @@ class Pdr {
   }
 
  private:
-  bool expired() const { return options_.deadline.expired(); }
+  bool expired() const { return options_.deadline.expired_or_cancelled(); }
 
   // Assumption literals activating every lemma of F_level.
   std::vector<z3::expr> frame_assumptions(int level) const {

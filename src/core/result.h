@@ -37,6 +37,21 @@ struct Stats {
   double seconds = 0.0;
   std::size_t solver_checks = 0;
   int depth_reached = -1;  // engine-specific: unroll depth / frame count
+
+  /// Folds another engine run into this record: solver calls and solver time
+  /// accumulate, depth keeps the maximum, and the engine label concatenates
+  /// ("pdr+bmc") so portfolio / fallback outcomes show every engine that ran.
+  void merge(const Stats& other) {
+    seconds += other.seconds;
+    solver_checks += other.solver_checks;
+    depth_reached = depth_reached > other.depth_reached ? depth_reached
+                                                        : other.depth_reached;
+    if (engine.empty()) {
+      engine = other.engine;
+    } else if (!other.engine.empty()) {
+      engine += "+" + other.engine;
+    }
+  }
 };
 
 struct CheckOutcome {

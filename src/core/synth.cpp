@@ -46,7 +46,7 @@ SynthResult synthesize_params(const ts::TransitionSystem& ts, Expr invariant,
 
   const std::vector<ts::State> candidates = enumerate_params(ts);
   for (const ts::State& candidate : candidates) {
-    if (options.deadline.expired()) {
+    if (options.deadline.expired_or_cancelled()) {
       result.undecided.push_back(candidate);
       continue;
     }

@@ -30,6 +30,10 @@ struct SynthOptions {
   double per_candidate_seconds = 30.0;
   util::Deadline deadline = util::Deadline::never();
   int max_depth = 100;  // prover frame/k bound
+  /// Worker threads. synthesize_params itself is sequential and ignores this;
+  /// portfolio::synthesize_params_parallel work-steals candidates across this
+  /// many workers (0 = all hardware threads) and honors every other knob.
+  std::size_t jobs = 1;
 };
 
 struct SynthResult {

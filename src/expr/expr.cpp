@@ -1,8 +1,10 @@
 #include "expr/expr.h"
 
 #include <algorithm>
-#include <deque>
+#include <array>
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
@@ -70,72 +72,136 @@ struct VarInfo {
   Expr node;  // the interned kVariable node
 };
 
+// The arena supports concurrent use by the portfolio engines: interning and
+// variable declaration serialize on one mutex, while the far hotter read
+// side (Expr accessors, the evaluator, engine translations) is lock-free.
+// Nodes live in fixed-size chunks that never move once allocated; a reader
+// only dereferences ids below the published size, and the release-store of
+// the size counter (after the node and its chunk pointer are fully written)
+// paired with the acquire-load on the read side makes the node contents
+// visible without further synchronization. Interned nodes are immutable, so
+// concurrent reads of the same node are safe.
 class Arena {
+  static constexpr std::size_t kNodeChunkShift = 12;  // 4096 nodes per chunk
+  static constexpr std::size_t kNodeChunkSize = std::size_t{1} << kNodeChunkShift;
+  static constexpr std::size_t kMaxNodeChunks = std::size_t{1} << 14;  // 64M nodes
+  static constexpr std::size_t kVarChunkShift = 10;  // 1024 vars per chunk
+  static constexpr std::size_t kVarChunkSize = std::size_t{1} << kVarChunkShift;
+  static constexpr std::size_t kMaxVarChunks = std::size_t{1} << 12;  // 4M vars
+
  public:
   Arena() {
-    nodes_.emplace_back();  // id 0 = invalid sentinel
+    node_slot(0);  // id 0 = invalid sentinel
+    size_.store(1, std::memory_order_release);
+  }
+
+  ~Arena() {
+    for (auto& c : node_chunks_) delete[] c.load(std::memory_order_relaxed);
+    for (auto& c : var_chunks_) delete[] c.load(std::memory_order_relaxed);
   }
 
   Expr intern(Node node) {
     Key key{node.kind, node.type, node.var, node.value, {}};
     key.kids.reserve(node.kids.size());
     for (Expr k : node.kids) key.kids.push_back(k.id());
-    const auto it = table_.find(key);
-    if (it != table_.end()) return detail_make_expr(it->second);
-    const std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
-    nodes_.push_back(std::move(node));
-    table_.emplace(std::move(key), id);
-    return detail_make_expr(id);
+    std::lock_guard<std::mutex> lock(mu_);
+    return intern_locked(std::move(key), std::move(node));
   }
 
   const Node& node(std::uint32_t id) const {
-    if (id == 0 || id >= nodes_.size())
+    if (id == 0 || id >= size_.load(std::memory_order_acquire))
       throw std::logic_error("Expr: access through invalid handle");
-    return nodes_[id];
+    return node_chunks_[id >> kNodeChunkShift].load(std::memory_order_acquire)
+        [id & (kNodeChunkSize - 1)];
   }
 
   Expr declare(std::string_view name, Type type) {
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = var_names_.find(std::string(name));
     if (it != var_names_.end()) {
-      const VarInfo& info = vars_[it->second];
+      const VarInfo& info = var_chunks_[it->second >> kVarChunkShift].load(
+          std::memory_order_relaxed)[it->second & (kVarChunkSize - 1)];
       if (!(info.type == type))
         throw std::invalid_argument("variable redeclared with different type: " +
                                     std::string(name));
       return info.node;
     }
-    const VarId id = static_cast<VarId>(vars_.size());
+    const VarId id = var_count_.load(std::memory_order_relaxed);
     Node n;
     n.kind = Kind::kVariable;
     n.type = type;
     n.var = id;
-    Expr e = intern(std::move(n));
-    vars_.push_back(VarInfo{std::string(name), type, e});
+    Key key{n.kind, n.type, n.var, n.value, {}};
+    Expr e = intern_locked(std::move(key), std::move(n));
+    VarInfo& slot = var_slot(id);
+    slot = VarInfo{std::string(name), type, e};
     var_names_.emplace(std::string(name), id);
+    var_count_.store(id + 1, std::memory_order_release);
     return e;
   }
 
   const VarInfo& var_info(VarId id) const {
-    if (id >= vars_.size()) throw std::logic_error("unknown VarId");
-    return vars_[id];
+    if (id >= var_count_.load(std::memory_order_acquire))
+      throw std::logic_error("unknown VarId");
+    return var_chunks_[id >> kVarChunkShift].load(std::memory_order_acquire)
+        [id & (kVarChunkSize - 1)];
   }
 
   Expr find_var(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = var_names_.find(std::string(name));
     if (it == var_names_.end())
       throw std::invalid_argument("unknown variable: " + std::string(name));
-    return vars_[it->second].node;
+    return var_info(it->second).node;
   }
 
   bool has_var(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return var_names_.contains(std::string(name));
   }
 
-  std::size_t size() const { return nodes_.size() - 1; }
+  std::size_t size() const { return size_.load(std::memory_order_acquire) - 1; }
 
  private:
-  std::deque<Node> nodes_;
+  Expr intern_locked(Key key, Node node) {
+    const auto it = table_.find(key);
+    if (it != table_.end()) return detail_make_expr(it->second);
+    const std::uint32_t id = size_.load(std::memory_order_relaxed);
+    node_slot(id) = std::move(node);
+    table_.emplace(std::move(key), id);
+    size_.store(id + 1, std::memory_order_release);
+    return detail_make_expr(id);
+  }
+
+  Node& node_slot(std::uint32_t id) {
+    const std::size_t chunk = id >> kNodeChunkShift;
+    if (chunk >= kMaxNodeChunks) throw std::length_error("expr arena full");
+    Node* p = node_chunks_[chunk].load(std::memory_order_relaxed);
+    if (!p) {
+      p = new Node[kNodeChunkSize];
+      node_chunks_[chunk].store(p, std::memory_order_release);
+    }
+    return p[id & (kNodeChunkSize - 1)];
+  }
+
+  VarInfo& var_slot(VarId id) {
+    const std::size_t chunk = id >> kVarChunkShift;
+    if (chunk >= kMaxVarChunks) throw std::length_error("expr arena: too many variables");
+    VarInfo* p = var_chunks_[chunk].load(std::memory_order_relaxed);
+    if (!p) {
+      p = new VarInfo[kVarChunkSize];
+      var_chunks_[chunk].store(p, std::memory_order_release);
+    }
+    return p[id & (kVarChunkSize - 1)];
+  }
+
+  std::array<std::atomic<Node*>, kMaxNodeChunks> node_chunks_{};
+  std::atomic<std::uint32_t> size_{0};
+  std::array<std::atomic<VarInfo*>, kMaxVarChunks> var_chunks_{};
+  std::atomic<VarId> var_count_{0};
+
+  mutable std::mutex mu_;  // guards table_, var_names_, and slot growth
   std::unordered_map<Key, std::uint32_t, KeyHash> table_;
-  std::vector<VarInfo> vars_;
   std::unordered_map<std::string, VarId> var_names_;
 };
 

@@ -21,9 +21,11 @@
 // `Implies`, `Iff`, `Ne`, `Gt`, `Ge`, unary minus, `Sub`, `min`, `max` are
 // provided as builders that rewrite into the core.
 //
-// Threading: the arena is a process-global singleton without synchronization;
-// like the Z3 contexts the engines wrap, the library is single-threaded by
-// design. Run concurrent analyses in separate processes.
+// Threading: the arena is a process-global singleton that is safe to use
+// from multiple threads (the portfolio engines build formulas concurrently).
+// Interning serializes on one mutex; reads of already-interned nodes are
+// lock-free. Z3 contexts remain single-threaded — each engine/worker owns
+// its own smt::Solver (and thus its own z3::context).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,52 @@
+#include "portfolio/pool.h"
+
+#include <stdexcept>
+
+namespace verdict::portfolio {
+
+std::size_t default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 2 ? static_cast<std::size_t>(hw) : 2;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = default_jobs();
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    queue_.clear();
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) throw std::runtime_error("ThreadPool::submit after shutdown");
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace verdict::portfolio

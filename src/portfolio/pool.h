@@ -1,0 +1,53 @@
+// Fixed-size thread pool with a FIFO job queue.
+//
+// The portfolio racer and the parallel synthesis driver both run on this
+// pool: jobs are plain closures, workers drain the queue until the pool is
+// destroyed. Cancellation is NOT the pool's concern — racing jobs share a
+// util::CancelToken (attached to their Deadline) and stop themselves at the
+// engines' existing deadline-poll sites, so a "cancelled" job simply returns
+// quickly rather than being torn down.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace verdict::portfolio {
+
+/// Worker count to use when the caller passes jobs = 0: every hardware
+/// thread, with a floor of 2 so a portfolio still races somewhere.
+[[nodiscard]] std::size_t default_jobs();
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = default_jobs()).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains nothing: pending jobs that never started are dropped, running
+  /// jobs are joined. Callers that need results must wait on them (futures /
+  /// their own latch) before destroying the pool.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Throws std::runtime_error after shutdown began.
+  void submit(std::function<void()> job);
+
+  [[nodiscard]] std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace verdict::portfolio

@@ -1,0 +1,176 @@
+#include "portfolio/portfolio.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/bmc.h"
+#include "core/kinduction.h"
+#include "core/l2s.h"
+#include "core/liveness.h"
+#include "core/pdr.h"
+#include "portfolio/pool.h"
+#include "util/log.h"
+
+namespace verdict::portfolio {
+
+using core::CheckOutcome;
+using core::Verdict;
+
+namespace {
+
+struct Lane {
+  std::string name;
+  // Each lane constructs its engine (and thus its own z3::context) inside
+  // the worker thread; the shared inputs (ts, property) are read-only.
+  std::function<CheckOutcome(const util::Deadline&)> run;
+};
+
+bool definitive(Verdict v) { return v == Verdict::kHolds || v == Verdict::kViolated; }
+
+// Ranking for the no-winner case: a clean bound is more informative than a
+// timeout, which is more informative than a solver giving up.
+int indefinite_rank(Verdict v) {
+  switch (v) {
+    case Verdict::kBoundReached:
+      return 2;
+    case Verdict::kTimeout:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+std::vector<Lane> build_lanes(const ts::TransitionSystem& ts, const ltl::Formula& property,
+                              const PortfolioOptions& options) {
+  std::vector<Lane> lanes;
+  if (ltl::is_invariant_property(property)) {
+    const expr::Expr invariant = ltl::invariant_atom(property);
+    lanes.push_back({"bmc", [&ts, invariant, &options](const util::Deadline& d) {
+                       core::BmcOptions o;
+                       o.max_depth = options.max_depth;
+                       o.deadline = d;
+                       return core::check_invariant_bmc(ts, invariant, o);
+                     }});
+    lanes.push_back({"kinduction", [&ts, invariant, &options](const util::Deadline& d) {
+                       core::KInductionOptions o;
+                       o.max_k = options.max_depth;
+                       o.deadline = d;
+                       return core::check_invariant_kinduction(ts, invariant, o);
+                     }});
+    lanes.push_back({"pdr", [&ts, invariant, &options](const util::Deadline& d) {
+                       core::PdrOptions o;
+                       o.max_frames = options.max_depth;
+                       o.deadline = d;
+                       return core::check_invariant_pdr(ts, invariant, o);
+                     }});
+    return lanes;
+  }
+
+  // Liveness: the lasso engine hunts counterexamples for arbitrary LTL; for
+  // the stabilization shapes on finite domains the L2S reduction races it
+  // with a genuine proof procedure (one lane per prover).
+  lanes.push_back({"lasso", [&ts, &property, &options](const util::Deadline& d) {
+                     core::LivenessOptions o;
+                     o.max_depth = options.max_depth;
+                     o.deadline = d;
+                     return core::check_ltl_lasso(ts, property, o);
+                   }});
+  if (ts.is_finite_domain() &&
+      (ltl::is_fg_property(property) || ltl::is_gf_property(property))) {
+    const expr::Expr q = ltl::stabilization_atom(property);
+    const bool fg = ltl::is_fg_property(property);
+    const int l2s_depth = options.max_depth > 0 ? options.max_depth * 4 : 200;
+    for (const auto prover : {core::L2sOptions::Prover::kPdr,
+                              core::L2sOptions::Prover::kKInduction}) {
+      const char* name =
+          prover == core::L2sOptions::Prover::kPdr ? "l2s/pdr" : "l2s/kinduction";
+      lanes.push_back({name, [&ts, q, fg, prover, l2s_depth](const util::Deadline& d) {
+                         core::L2sOptions o;
+                         o.prover = prover;
+                         o.max_depth = l2s_depth;
+                         o.deadline = d;
+                         return fg ? core::check_fg_via_safety(ts, q, o)
+                                   : core::check_gf_via_safety(ts, q, o);
+                       }});
+    }
+  }
+  return lanes;
+}
+
+}  // namespace
+
+CheckOutcome check_portfolio(const ts::TransitionSystem& ts, const ltl::Formula& property,
+                             const PortfolioOptions& options) {
+  ts.validate();
+  util::Stopwatch watch;
+  const std::vector<Lane> lanes = build_lanes(ts, property, options);
+
+  const util::CancelToken cancel;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<CheckOutcome> outcomes(lanes.size());
+  std::size_t done = 0;
+  int winner = -1;
+
+  {
+    ThreadPool pool(options.jobs == 0 ? default_jobs() : options.jobs);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      pool.submit([&, i] {
+        CheckOutcome out;
+        try {
+          out = lanes[i].run(options.deadline.with_cancel(cancel));
+        } catch (const std::exception& error) {
+          out.verdict = Verdict::kUnknown;
+          out.stats.engine = lanes[i].name;
+          out.message = lanes[i].name + std::string(" failed: ") + error.what();
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        outcomes[i] = std::move(out);
+        if (winner < 0 && definitive(outcomes[i].verdict)) {
+          winner = static_cast<int>(i);
+          cancel.request_cancel();  // losers stop at their next deadline poll
+        }
+        ++done;
+        cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done == lanes.size(); });
+  }  // pool joins here; all lanes have returned
+
+  // No winner: surface the most informative indefinite lane.
+  std::size_t best = 0;
+  if (winner >= 0) {
+    best = static_cast<std::size_t>(winner);
+  } else {
+    for (std::size_t i = 1; i < lanes.size(); ++i)
+      if (indefinite_rank(outcomes[i].verdict) > indefinite_rank(outcomes[best].verdict))
+        best = i;
+  }
+
+  CheckOutcome result = std::move(outcomes[best]);
+  core::Stats merged = result.stats;
+  for (std::size_t i = 0; i < lanes.size(); ++i)
+    if (i != best) merged.merge(outcomes[i].stats);
+  const double wall = watch.elapsed_seconds();
+  merged.engine = "portfolio[" + merged.engine + "]";
+  result.stats = std::move(merged);
+
+  std::ostringstream note;
+  if (winner >= 0) {
+    note << "won by " << lanes[best].name << " in " << wall << "s wall ("
+         << lanes.size() - 1 << " lane(s) cancelled)";
+  } else {
+    note << "no definitive lane; best of " << lanes.size() << " after " << wall
+         << "s wall";
+  }
+  result.message = result.message.empty() ? note.str()
+                                          : result.message + "; " + note.str();
+  VERDICT_DEBUG() << "portfolio: " << note.str();
+  return result;
+}
+
+}  // namespace verdict::portfolio

@@ -1,0 +1,47 @@
+// Parallel portfolio verification.
+//
+// Unpredictable per-instance engine performance is the practical obstacle to
+// "as fast as the hardware allows": BMC finds shallow violations orders of
+// magnitude faster than PDR proves their absence, k-induction occasionally
+// beats both, and nothing reveals the winner short of running the instance.
+// The portfolio racer sidesteps the choice by launching complementary
+// engines concurrently — BMC, k-induction, and PDR for a safety property;
+// the bounded lasso engine plus (on finite domains, for the stabilization
+// shapes) the liveness-to-safety reduction for a liveness property — and
+// taking the first definitive verdict (kHolds or kViolated).
+//
+// Losers are stopped cooperatively: every lane's Deadline carries a shared
+// util::CancelToken that the winner trips, and the engines' existing
+// deadline-poll sites observe it via expired_or_cancelled(). Each lane owns
+// its own smt::Solver and therefore its own z3::context — Z3 contexts are
+// not thread-safe and must never be shared across lanes.
+//
+// The returned CheckOutcome carries the winner's verdict/trace and a Stats
+// record merged across every lane (core::Stats::merge), so the caller can
+// see which engine won and what the race cost in total.
+#pragma once
+
+#include "core/result.h"
+#include "ltl/ltl.h"
+#include "ts/transition_system.h"
+#include "util/stopwatch.h"
+
+namespace verdict::portfolio {
+
+struct PortfolioOptions {
+  /// Unroll depth (BMC/lasso), induction bound, or PDR frame limit.
+  int max_depth = 50;
+  util::Deadline deadline = util::Deadline::never();
+  /// Worker threads; 0 = one per hardware thread (default_jobs()).
+  std::size_t jobs = 0;
+};
+
+/// Races the applicable engines and returns the first definitive verdict
+/// (cancelling the rest), or the most informative indefinite verdict when no
+/// lane decides. Verdicts agree with the sequential engines by construction —
+/// every lane runs the identical engine code on the identical system.
+[[nodiscard]] core::CheckOutcome check_portfolio(const ts::TransitionSystem& ts,
+                                                 const ltl::Formula& property,
+                                                 const PortfolioOptions& options = {});
+
+}  // namespace verdict::portfolio

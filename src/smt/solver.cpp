@@ -133,6 +133,13 @@ void Solver::pop() { solver_.pop(); }
 namespace {
 void apply_deadline(z3::context& ctx, z3::solver& solver, const util::Deadline& deadline) {
   z3::params p(ctx);
+  if (deadline.cancelled()) {
+    // A portfolio sibling already won; make any further queries return
+    // immediately (the engine's next poll will stop the run).
+    p.set("timeout", 1u);
+    solver.set(p);
+    return;
+  }
   if (deadline.is_finite()) {
     const double rem = deadline.remaining_seconds();
     const unsigned ms =
@@ -188,7 +195,7 @@ bool Solver::refine_real_model(std::span<const Expr> vars, int frame,
   for (Expr v : vars) {
     if (!v.is_variable() || !v.type().is_real()) continue;
     for (const auto& [num, den] : kCandidates) {
-      if (deadline.expired()) break;
+      if (deadline.expired_or_cancelled()) break;
       z3::expr pin = constant_for(v, frame) == ctx_.real_val(num, den);
       assumptions.push_back(pin);
       if (check_assuming(assumptions, deadline) == CheckResult::kSat) {

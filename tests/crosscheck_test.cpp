@@ -15,6 +15,8 @@
 #include "core/pdr.h"
 #include "core/synth.h"
 #include "ltl/trace_eval.h"
+#include "portfolio/par_synth.h"
+#include "portfolio/portfolio.h"
 
 namespace verdict {
 namespace {
@@ -186,6 +188,46 @@ TEST_P(RandomSystemCrossCheck, LassoCounterexamplesSatisfyNegation) {
   }
 }
 
+// The portfolio races BMC / k-induction / PDR on worker threads; whichever
+// lane wins, the verdict must equal the explicit oracle's (and sequential
+// BMC's violation-finding), and every violation trace must replay.
+TEST_P(RandomSystemCrossCheck, PortfolioAgreesWithOracleAndSequentialBmc) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 50021 + 17);
+  const RandomSystem sys = make_random_system(3000 + GetParam(), rng);
+
+  const std::vector<Expr> invariants = {
+      expr::mk_le(sys.x + sys.y, expr::int_const(6)),
+      expr::mk_lt(sys.x, expr::int_const(3)),
+      expr::mk_or({sys.b, expr::mk_le(sys.y, expr::int_const(2))}),
+      expr::mk_not(expr::mk_and({expr::mk_eq(sys.x, expr::int_const(3)),
+                                 expr::mk_eq(sys.y, expr::int_const(3))})),
+  };
+
+  for (const Expr& invariant : invariants) {
+    const auto oracle = core::check_invariant_explicit(sys.ts, invariant);
+    ASSERT_TRUE(oracle.verdict == Verdict::kHolds || oracle.verdict == Verdict::kViolated);
+    const bool holds = oracle.verdict == Verdict::kHolds;
+
+    const auto bmc = core::check_invariant_bmc(sys.ts, invariant, {.max_depth = 40});
+    EXPECT_EQ(bmc.verdict == Verdict::kViolated, !holds);
+
+    const ltl::Formula property = ltl::G(ltl::atom(invariant));
+    core::CheckOptions po;
+    po.engine = core::Engine::kPortfolio;
+    po.max_depth = 40;
+    po.jobs = 4;
+    const auto pf = core::check(sys.ts, property, po);
+    EXPECT_EQ(pf.verdict, holds ? Verdict::kHolds : Verdict::kViolated)
+        << "portfolio disagrees with oracle on " << invariant.str() << " — "
+        << core::describe(pf);
+    EXPECT_EQ(pf.stats.engine.rfind("portfolio[", 0), 0u) << pf.stats.engine;
+    if (pf.violated()) {
+      std::string error;
+      EXPECT_TRUE(core::confirm_counterexample(sys.ts, property, pf, &error)) << error;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomSystemCrossCheck, ::testing::Range(0, 12));
 
 // Parametric agreement: synthesis classification equals per-candidate oracle.
@@ -213,6 +255,40 @@ TEST(SynthCrossCheck, ClassificationMatchesExplicitOracle) {
         expr::mk_eq(cap, expr::constant_of(*candidate.get(cap), cap.type())));
     EXPECT_EQ(core::check_invariant_explicit(pinned, invariant).verdict,
               Verdict::kViolated);
+  }
+}
+
+// The work-stealing driver must land on the identical classification the
+// sequential driver computes (same safe/unsafe partition, same ordering).
+TEST(SynthCrossCheck, ParallelMatchesSequentialClassification) {
+  ts::TransitionSystem ts;
+  const Expr x = expr::int_var("psxc_x", 0, 8);
+  const Expr cap = expr::int_var("psxc_cap", 0, 8);
+  const Expr step = expr::int_var("psxc_step", 1, 2);
+  ts.add_var(x);
+  ts.add_param(cap);
+  ts.add_param(step);
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_trans(expr::mk_eq(expr::next(x),
+                           expr::ite(expr::mk_lt(x, cap), expr::mk_min(x + step, cap), x)));
+  const Expr invariant = expr::mk_le(x, expr::int_const(4));
+
+  const auto sequential = core::synthesize_params(ts, invariant);
+  ASSERT_TRUE(sequential.complete());
+
+  core::SynthOptions options;
+  options.jobs = 4;
+  const auto parallel = portfolio::synthesize_params_parallel(ts, invariant, options);
+  ASSERT_TRUE(parallel.complete());
+
+  EXPECT_EQ(parallel.safe, sequential.safe);
+  EXPECT_EQ(parallel.unsafe, sequential.unsafe);
+  ASSERT_EQ(parallel.witnesses.size(), parallel.unsafe.size());
+  for (std::size_t i = 0; i < parallel.unsafe.size(); ++i) {
+    std::string error;
+    EXPECT_TRUE(ts.trace_conforms(parallel.witnesses[i], &error)) << error;
+    EXPECT_FALSE(expr::eval_bool(
+        invariant, ts.env_of(parallel.witnesses[i].states.back(), parallel.unsafe[i])));
   }
 }
 

@@ -1,0 +1,343 @@
+// Portfolio subsystem tests: thread pool, cancellation tokens, the engine
+// race, and the work-stealing synthesis driver.
+//
+// The cancellation stress test is the one the TSan CI job exists for: many
+// racing checks where all lanes but the winner must stop cooperatively, with
+// no hang, no leak, and no data race on the shared arena / token / stats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/checker.h"
+#include "core/explicit.h"
+#include "core/synth.h"
+#include "ltl/ltl.h"
+#include "portfolio/par_synth.h"
+#include "portfolio/pool.h"
+#include "portfolio/portfolio.h"
+
+namespace verdict {
+namespace {
+
+using core::Verdict;
+using expr::Expr;
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  std::atomic<int> count{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  {
+    portfolio::ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4u);
+    for (int i = 0; i < 64; ++i)
+      pool.submit([&] {
+        ++count;
+        cv.notify_all();
+      });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(30), [&] { return count.load() == 64; });
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, DefaultJobsIsAtLeastTwo) {
+  EXPECT_GE(portfolio::default_jobs(), 2u);
+}
+
+TEST(CancelToken, CopiesShareOneFlag) {
+  util::CancelToken a;
+  util::CancelToken b = a;
+  EXPECT_FALSE(b.cancelled());
+  a.request_cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+  a.reset();
+  EXPECT_FALSE(b.cancelled());
+}
+
+TEST(CancelToken, DeadlineIntegration) {
+  util::CancelToken token;
+  const util::Deadline plain = util::Deadline::after_seconds(3600);
+  const util::Deadline with = plain.with_cancel(token);
+  EXPECT_FALSE(with.expired_or_cancelled());
+  EXPECT_TRUE(with.has_cancel_token());
+  EXPECT_FALSE(plain.has_cancel_token());
+  token.request_cancel();
+  EXPECT_TRUE(with.cancelled());
+  EXPECT_TRUE(with.expired_or_cancelled());
+  EXPECT_FALSE(with.expired()) << "cancellation must not masquerade as time expiry";
+  EXPECT_EQ(with.remaining_seconds(), 0.0);
+  EXPECT_FALSE(plain.expired_or_cancelled()) << "the original deadline is unaffected";
+
+  // An infinite deadline is still cancellable.
+  const util::Deadline infinite = util::Deadline::never().with_cancel(token);
+  EXPECT_TRUE(infinite.expired_or_cancelled());
+  EXPECT_FALSE(infinite.is_finite());
+}
+
+TEST(StatsMerge, SumsChecksAndTimeKeepsMaxDepthJoinsLabels) {
+  core::Stats a;
+  a.engine = "pdr";
+  a.seconds = 1.5;
+  a.solver_checks = 10;
+  a.depth_reached = 3;
+  core::Stats b;
+  b.engine = "bmc";
+  b.seconds = 0.5;
+  b.solver_checks = 7;
+  b.depth_reached = 9;
+  a.merge(b);
+  EXPECT_EQ(a.engine, "pdr+bmc");
+  EXPECT_DOUBLE_EQ(a.seconds, 2.0);
+  EXPECT_EQ(a.solver_checks, 17u);
+  EXPECT_EQ(a.depth_reached, 9);
+
+  core::Stats empty;
+  empty.merge(b);
+  EXPECT_EQ(empty.engine, "bmc");
+}
+
+// --- Cancellation stress -----------------------------------------------------
+
+// N jobs poll a shared token through the Deadline interface, exactly like
+// the engines' poll sites; one designated winner cancels the rest. Everyone
+// must return promptly — well inside the 1-hour time budget that would
+// otherwise keep the losers spinning.
+TEST(CancellationStress, AllButOneCancelledNoHang) {
+  constexpr int kJobs = 32;
+  const util::CancelToken token;
+  const util::Deadline deadline =
+      util::Deadline::after_seconds(3600).with_cancel(token);
+
+  std::atomic<int> cancelled_count{0};
+  std::atomic<int> finished{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  const auto start = std::chrono::steady_clock::now();
+  {
+    portfolio::ThreadPool pool(8);
+    for (int i = 0; i < kJobs; ++i) {
+      pool.submit([&, i] {
+        // The winner must sit in the first batch of 8: later jobs queue
+        // behind the spinners and would never run to issue the cancel.
+        if (i == 3) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          token.request_cancel();  // the "winner"
+        } else {
+          while (!deadline.expired_or_cancelled()) std::this_thread::yield();
+          ++cancelled_count;
+        }
+        ++finished;
+        cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    const bool all = cv.wait_for(lock, std::chrono::seconds(60),
+                                 [&] { return finished.load() == kJobs; });
+    ASSERT_TRUE(all) << "cancellation did not propagate; losers are hung";
+  }
+  EXPECT_EQ(cancelled_count.load(), kJobs - 1);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 60.0);
+}
+
+// --- The engine race ---------------------------------------------------------
+
+// A counter chain: x climbs to `top` one step per transition. The invariant
+// x < bound is violated iff bound <= top, and the violation needs `bound`
+// steps — deep enough that PDR/k-induction do real work while BMC races.
+ts::TransitionSystem counter_system(const std::string& prefix, std::int64_t top,
+                                    Expr* x_out) {
+  ts::TransitionSystem ts;
+  const Expr x = expr::int_var(prefix + "_x", 0, top);
+  ts.add_var(x);
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_trans(expr::mk_eq(expr::next(x), expr::mk_min(x + 1, expr::int_const(top))));
+  *x_out = x;
+  return ts;
+}
+
+TEST(Portfolio, ViolationRaceAgreesWithOracle) {
+  Expr x;
+  const ts::TransitionSystem ts = counter_system("pf_viol", 12, &x);
+  const ltl::Formula property = ltl::G(ltl::atom(expr::mk_lt(x, expr::int_const(10))));
+
+  portfolio::PortfolioOptions options;
+  options.max_depth = 30;
+  options.jobs = 4;
+  const auto outcome = portfolio::check_portfolio(ts, property, options);
+  EXPECT_EQ(outcome.verdict, Verdict::kViolated) << core::describe(outcome);
+  ASSERT_TRUE(outcome.counterexample.has_value());
+  std::string error;
+  EXPECT_TRUE(core::confirm_counterexample(ts, property, outcome, &error)) << error;
+  EXPECT_NE(outcome.message.find("won by"), std::string::npos) << outcome.message;
+}
+
+TEST(Portfolio, ProofRaceAgreesWithOracle) {
+  Expr x;
+  const ts::TransitionSystem ts = counter_system("pf_proof", 12, &x);
+  const ltl::Formula property = ltl::G(ltl::atom(expr::mk_le(x, expr::int_const(12))));
+
+  portfolio::PortfolioOptions options;
+  options.max_depth = 40;
+  options.jobs = 4;
+  const auto outcome = portfolio::check_portfolio(ts, property, options);
+  EXPECT_EQ(outcome.verdict, Verdict::kHolds) << core::describe(outcome);
+}
+
+// Racing checks back-to-back: each iteration's winner cancels its losers, so
+// repeated races stress start/cancel/join and the shared expression arena.
+// TSan (the dedicated CI job) verifies the absence of data races; this test
+// verifies verdict stability and completion.
+TEST(Portfolio, RepeatedRacesStayCorrectAndTerminate) {
+  for (int round = 0; round < 8; ++round) {
+    Expr x;
+    const std::int64_t top = 6 + round;
+    const ts::TransitionSystem ts =
+        counter_system("pf_rep" + std::to_string(round), top, &x);
+    const bool expect_violation = round % 2 == 0;
+    const Expr invariant = expect_violation
+                               ? expr::mk_lt(x, expr::int_const(top - 1))
+                               : expr::mk_le(x, expr::int_const(top));
+    portfolio::PortfolioOptions options;
+    options.max_depth = 30;
+    options.jobs = 3;
+    const auto outcome =
+        portfolio::check_portfolio(ts, ltl::G(ltl::atom(invariant)), options);
+    EXPECT_EQ(outcome.verdict,
+              expect_violation ? Verdict::kViolated : Verdict::kHolds)
+        << "round " << round << ": " << core::describe(outcome);
+  }
+}
+
+TEST(Portfolio, MoreLanesThanWorkersStillCompletes) {
+  Expr x;
+  const ts::TransitionSystem ts = counter_system("pf_narrow", 8, &x);
+  portfolio::PortfolioOptions options;
+  options.max_depth = 20;
+  options.jobs = 1;  // every lane queues behind one worker
+  const auto outcome = portfolio::check_portfolio(
+      ts, ltl::G(ltl::atom(expr::mk_lt(x, expr::int_const(5)))), options);
+  EXPECT_EQ(outcome.verdict, Verdict::kViolated) << core::describe(outcome);
+}
+
+TEST(Portfolio, LivenessViolationViaLassoLane) {
+  // x oscillates 0 <-> 1 forever: FG(x = 0) is violated by the toggle lasso.
+  ts::TransitionSystem ts;
+  const Expr x = expr::int_var("pf_live_x", 0, 1);
+  ts.add_var(x);
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_trans(expr::mk_eq(expr::next(x), expr::ite(expr::mk_eq(x, expr::int_const(0)),
+                                                    expr::int_const(1),
+                                                    expr::int_const(0))));
+  const ltl::Formula property = ltl::F(ltl::G(ltl::atom(expr::mk_eq(x, expr::int_const(0)))));
+
+  portfolio::PortfolioOptions options;
+  options.max_depth = 10;
+  options.jobs = 3;
+  const auto outcome = portfolio::check_portfolio(ts, property, options);
+  EXPECT_EQ(outcome.verdict, Verdict::kViolated) << core::describe(outcome);
+  std::string error;
+  EXPECT_TRUE(core::confirm_counterexample(ts, property, outcome, &error)) << error;
+}
+
+TEST(Portfolio, LivenessProofViaL2sLane) {
+  // x saturates at 1 and stays: FG(x = 1) holds; only the L2S lanes can
+  // prove it (the lasso lane alone would report kBoundReached).
+  ts::TransitionSystem ts;
+  const Expr x = expr::int_var("pf_l2s_x", 0, 1);
+  ts.add_var(x);
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_trans(expr::mk_eq(expr::next(x), expr::int_const(1)));
+  const ltl::Formula property = ltl::F(ltl::G(ltl::atom(expr::mk_eq(x, expr::int_const(1)))));
+
+  portfolio::PortfolioOptions options;
+  options.max_depth = 10;
+  options.jobs = 3;
+  const auto outcome = portfolio::check_portfolio(ts, property, options);
+  EXPECT_EQ(outcome.verdict, Verdict::kHolds) << core::describe(outcome);
+}
+
+TEST(Portfolio, AutoUpgradesToPortfolioWhenJobsGiven) {
+  Expr x;
+  const ts::TransitionSystem ts = counter_system("pf_auto", 8, &x);
+  core::CheckOptions options;
+  options.engine = core::Engine::kAuto;
+  options.jobs = 4;
+  const auto outcome =
+      core::check(ts, ltl::G(ltl::atom(expr::mk_le(x, expr::int_const(8)))), options);
+  EXPECT_EQ(outcome.verdict, Verdict::kHolds);
+  EXPECT_EQ(outcome.stats.engine.rfind("portfolio[", 0), 0u) << outcome.stats.engine;
+}
+
+// --- Parallel synthesis ------------------------------------------------------
+
+TEST(ParSynth, SharedWitnessPoolPreservesPrunedByReplay) {
+  // Larger parameter space: x climbs by `step` toward `cap`; safe iff the
+  // reachable maximum stays <= 4. Unsafe candidates share the same failure
+  // shape, so replay pruning must fire on several of them.
+  ts::TransitionSystem ts;
+  const Expr x = expr::int_var("ps_pool_x", 0, 10);
+  const Expr cap = expr::int_var("ps_pool_cap", 0, 10);
+  ts.add_var(x);
+  ts.add_param(cap);
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_trans(expr::mk_eq(expr::next(x), expr::ite(expr::mk_lt(x, cap), x + 1, x)));
+  const Expr invariant = expr::mk_le(x, expr::int_const(4));
+
+  core::SynthOptions options;
+  options.jobs = 4;
+  const auto parallel = portfolio::synthesize_params_parallel(ts, invariant, options);
+  ASSERT_TRUE(parallel.complete());
+  const auto sequential = core::synthesize_params(ts, invariant);
+  EXPECT_EQ(parallel.safe, sequential.safe);
+  EXPECT_EQ(parallel.unsafe, sequential.unsafe);
+  EXPECT_EQ(parallel.safe.size(), 5u);    // cap in {0..4}
+  EXPECT_EQ(parallel.unsafe.size(), 6u);  // cap in {5..10}
+  EXPECT_EQ(parallel.stats.engine, "synth/pdr[jobs=4]");
+}
+
+TEST(ParSynth, JobsOneDelegatesToSequentialDriver) {
+  ts::TransitionSystem ts;
+  const Expr x = expr::int_var("ps_seq_x", 0, 4);
+  const Expr cap = expr::int_var("ps_seq_cap", 0, 4);
+  ts.add_var(x);
+  ts.add_param(cap);
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_trans(expr::mk_eq(expr::next(x), expr::ite(expr::mk_lt(x, cap), x + 1, x)));
+  const Expr invariant = expr::mk_le(x, expr::int_const(2));
+
+  core::SynthOptions options;
+  options.jobs = 1;
+  const auto result = portfolio::synthesize_params_parallel(ts, invariant, options);
+  ASSERT_TRUE(result.complete());
+  EXPECT_EQ(result.stats.engine, "synth/pdr");  // sequential label: no [jobs=N]
+  EXPECT_EQ(result.safe.size(), 3u);
+  EXPECT_EQ(result.unsafe.size(), 2u);
+}
+
+TEST(ParSynth, DeadlineMarksUnprocessedCandidatesUndecided) {
+  ts::TransitionSystem ts;
+  const Expr x = expr::int_var("ps_dl_x", 0, 6);
+  const Expr cap = expr::int_var("ps_dl_cap", 0, 6);
+  ts.add_var(x);
+  ts.add_param(cap);
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_trans(expr::mk_eq(expr::next(x), expr::ite(expr::mk_lt(x, cap), x + 1, x)));
+
+  core::SynthOptions options;
+  options.jobs = 2;
+  options.deadline = util::Deadline::after_seconds(0);  // already expired
+  const auto result = portfolio::synthesize_params_parallel(
+      ts, expr::mk_le(x, expr::int_const(3)), options);
+  EXPECT_EQ(result.undecided.size(), 7u);
+  EXPECT_TRUE(result.safe.empty());
+  EXPECT_TRUE(result.unsafe.empty());
+}
+
+}  // namespace
+}  // namespace verdict

@@ -6,17 +6,28 @@
 // Options:
 //   --list                 list declared properties and exit
 //   --property NAME        check only the named property (repeatable)
-//   --engine ENGINE        auto | bmc | kinduction | pdr | explicit | lasso
-//                          (LTL properties; CTL always uses the BDD engine)
+//   --engine ENGINE        auto | bmc | kinduction | pdr | explicit | lasso |
+//                          portfolio (LTL properties; CTL always uses the
+//                          BDD engine)
+//   --jobs N               worker threads for the portfolio engine; with
+//                          --engine auto, N > 1 upgrades to the portfolio
+//                          (0 = all hardware threads)
 //   --depth N              unroll depth / induction bound / frame limit (50)
 //   --timeout SECONDS      per-property budget (default: none)
 //   --smv FILE             also export the model + properties as NuXMV input
 //   --trace                print counterexample traces
 //   --quiet                only print the per-property verdict lines
 //
+// Every kViolated verdict is independently confirmed on the spot: the trace
+// is replayed through the exact evaluator (core::confirm_counterexample) and
+// the confirmation status is printed; a trace that fails confirmation is a
+// checker bug and exits with status 2 instead of silently printing a bogus
+// counterexample.
+//
 // Exit code: 0 when every checked property holds or is bound-clean,
-// 1 when any property is violated, 2 on usage/model errors.
+// 1 when any property is violated, 2 on usage/model/confirmation errors.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -34,6 +45,7 @@ struct Options {
   std::string model_path;
   std::vector<std::string> properties;
   verdict::core::Engine engine = verdict::core::Engine::kAuto;
+  std::size_t jobs = 1;
   int depth = 50;
   double timeout = 0.0;  // 0 = none
   bool list_only = false;
@@ -45,7 +57,8 @@ struct Options {
 [[noreturn]] void usage(const char* argv0, int code) {
   std::fprintf(stderr,
                "usage: %s MODEL.vml [--list] [--property NAME]... "
-               "[--engine auto|bmc|kinduction|pdr|explicit|lasso] [--depth N] "
+               "[--engine auto|bmc|kinduction|pdr|explicit|lasso|portfolio] "
+               "[--jobs N] [--depth N] "
                "[--timeout SECONDS] [--trace] [--quiet]\n",
                argv0);
   std::exit(code);
@@ -77,10 +90,21 @@ Options parse_args(int argc, char** argv) {
         options.engine = verdict::core::Engine::kExplicit;
       } else if (engine == "lasso") {
         options.engine = verdict::core::Engine::kLtlLasso;
+      } else if (engine == "portfolio") {
+        options.engine = verdict::core::Engine::kPortfolio;
       } else {
         std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
         usage(argv[0], 2);
       }
+    } else if (arg == "--jobs") {
+      const std::string v = value();
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "--jobs must be a non-negative integer\n");
+        usage(argv[0], 2);
+      }
+      options.jobs = static_cast<std::size_t>(n);
     } else if (arg == "--depth") {
       options.depth = std::atoi(value().c_str());
     } else if (arg == "--timeout") {
@@ -168,12 +192,25 @@ int main(int argc, char** argv) {
       core::CheckOptions check;
       check.engine = options.engine;
       check.max_depth = options.depth;
+      check.jobs = options.jobs;
       check.deadline = options.timeout > 0 ? util::Deadline::after_seconds(options.timeout)
                                            : deadline;
       const auto outcome = core::check(model.system, property, check);
       std::printf("ltl %-24s %s\n", name.c_str(), core::describe(outcome).c_str());
       if (outcome.violated()) {
         any_violation = true;
+        // Independently confirm the trace before trusting (or printing) it:
+        // it must be a genuine execution AND falsify the property.
+        std::string confirm_error;
+        if (core::confirm_counterexample(model.system, property, outcome,
+                                         &confirm_error)) {
+          if (!options.quiet)
+            std::printf("    counterexample confirmed (replay + property check)\n");
+        } else {
+          std::printf("    counterexample FAILED confirmation: %s\n",
+                      confirm_error.c_str());
+          any_error = true;
+        }
         if (options.print_trace && outcome.counterexample)
           std::printf("%s", outcome.counterexample->str().c_str());
       }
