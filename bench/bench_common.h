@@ -8,6 +8,8 @@
 //
 //   VERDICT_BENCH_TIMEOUT   per-check timeout in seconds (default 10)
 //   VERDICT_BENCH_FULL      set to 1 to run the full-size sweeps (fattree12)
+//   VERDICT_BENCH_SMOKE     set to 1 to restrict every bench to its tiniest
+//                           instance (the CI smoke step)
 #pragma once
 
 #include <cstdio>
@@ -26,6 +28,13 @@ inline double timeout_seconds() {
 
 inline bool full_sweep() {
   if (const char* env = std::getenv("VERDICT_BENCH_FULL")) return std::atoi(env) != 0;
+  return false;
+}
+
+/// CI smoke mode: smallest instance only, so the bench acts as a regression
+/// canary instead of a measurement.
+inline bool smoke() {
+  if (const char* env = std::getenv("VERDICT_BENCH_SMOKE")) return std::atoi(env) != 0;
   return false;
 }
 

@@ -73,6 +73,7 @@ int main() {
   };
   std::vector<TopologyCase> cases = {
       {"test", 0, 2}, {"fattree4", 4, 2}, {"fattree6", 6, 3}};
+  if (bench::smoke()) cases.resize(1);  // CI canary: the 5-node topology only
   if (bench::full_sweep()) {
     cases.push_back({"fattree8", 8, 4});
     cases.push_back({"fattree10", 10, 5});

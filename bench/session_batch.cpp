@@ -1,0 +1,121 @@
+// Session batch speedup — core::Session over the rollout scenario's named
+// 4-property set vs a sequential loop of independent core::check calls.
+//
+// The session shares one solver unrolling across all four properties (one
+// activation literal each, incremental check_assuming), so the expensive
+// part of bounded checking — constructing solvers and translating the
+// transition relation frame by frame — is paid once instead of once per
+// property. The sequential loop is the exact one-shot API a caller would
+// otherwise write.
+//
+// Acceptance target: >= 1.5x wall-clock on the 4-property fattree4 instance,
+// with identical verdicts (the process exits 1 on any verdict mismatch).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/checker.h"
+#include "core/session.h"
+#include "scenarios/rollout_partition.h"
+
+namespace {
+
+using namespace verdict;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* engine_name(core::Engine engine) {
+  return engine == core::Engine::kBmc ? "bmc" : "kinduction";
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Session batch — shared unrolling vs N one-shot checks");
+  const double budget = bench::timeout_seconds();
+  std::printf("per-property budget: %.0fs (VERDICT_BENCH_TIMEOUT to change)\n\n",
+              budget);
+
+  struct TopologyCase {
+    std::string name;
+    int fat_tree_k;  // 0 = the 5-node test topology
+    std::int64_t failing_k;
+  };
+  std::vector<TopologyCase> cases = {{"test", 0, 2}, {"fattree4", 4, 2}};
+  if (bench::smoke()) cases.resize(1);  // CI canary: the 5-node topology only
+  if (bench::full_sweep()) cases.push_back({"fattree6", 6, 3});
+
+  bool verdicts_match = true;
+  double best_fattree_speedup = 0.0;
+
+  std::printf("%-10s %-11s | %-14s | %-14s | %s\n", "topology", "engine",
+              "sequential", "session", "speedup");
+  for (const TopologyCase& tc : cases) {
+    scenarios::RolloutPartitionOptions scenario_options;
+    scenario_options.prefix = "sb_" + tc.name;
+    scenario_options.max_k = 8;
+    const auto scenario = tc.fat_tree_k == 0
+                              ? scenarios::make_test_scenario(scenario_options)
+                              : scenarios::make_fat_tree_scenario(tc.fat_tree_k,
+                                                                  scenario_options);
+    // The violation instance: k at the minimal front-end cut, so one of the
+    // four properties is violated and the other three survive/prove.
+    const auto system = bench::pinned(
+        scenario.system, {{scenario.p, 1}, {scenario.k, tc.failing_k}, {scenario.m, 1}});
+    const std::size_t n = scenario.properties.size();
+
+    for (const core::Engine engine : {core::Engine::kBmc, core::Engine::kKInduction}) {
+      // Sequential loop: one independent core::check per property.
+      std::vector<core::Verdict> solo_verdicts;
+      double start = now_seconds();
+      for (const auto& [name, property] : scenario.properties) {
+        core::CheckOptions options;
+        options.engine = engine;
+        options.max_depth = 20;
+        options.deadline = util::Deadline::after_seconds(budget);
+        solo_verdicts.push_back(core::check(system, property, options).verdict);
+      }
+      const double solo_wall = now_seconds() - start;
+
+      // One session over the same four properties and the same total budget.
+      core::Session session(system);
+      for (const auto& [name, property] : scenario.properties)
+        session.add_property(name, property);
+      core::SessionOptions batch_options;
+      batch_options.engine = engine;
+      batch_options.max_depth = 20;
+      batch_options.deadline =
+          util::Deadline::after_seconds(budget * static_cast<double>(n));
+      start = now_seconds();
+      const auto batch = session.check_all(batch_options);
+      const double batch_wall = now_seconds() - start;
+
+      bool match = batch.properties.size() == solo_verdicts.size();
+      for (std::size_t i = 0; match && i < solo_verdicts.size(); ++i)
+        match = batch.properties[i].outcome.verdict == solo_verdicts[i];
+      verdicts_match = verdicts_match && match;
+
+      const double speedup = batch_wall > 0 ? solo_wall / batch_wall : 0.0;
+      if (match && tc.fat_tree_k != 0)
+        best_fattree_speedup = std::max(best_fattree_speedup, speedup);
+      std::printf("%-10s %-11s | %zu checks %5.2fs | %zu solver %5.2fs | %5.2fx%s\n",
+                  tc.name.c_str(), engine_name(engine), n, solo_wall,
+                  batch.total.solvers_created, batch_wall, speedup,
+                  match ? "" : "  VERDICT MISMATCH");
+    }
+  }
+
+  std::printf("\nbest fattree batch speedup: %.2fx (target >= 1.5x), verdicts %s\n",
+              best_fattree_speedup, verdicts_match ? "identical" : "DIFFER");
+  std::printf("(the win is encoding amortization: N properties share one solver\n"
+              " construction and one frame-by-frame translation of the transition\n"
+              " relation, so it is independent of core count.)\n");
+  return verdicts_match ? 0 : 1;
+}

@@ -1,5 +1,7 @@
 #include "core/bmc.h"
 
+#include "core/engine_util.h"
+#include "enc/unroller.h"
 #include "smt/solver.h"
 #include "util/log.h"
 
@@ -8,19 +10,6 @@ namespace verdict::core {
 using expr::Expr;
 
 namespace {
-
-// Asserts everything that holds in every state at `frame`: the declared
-// invariant constraints and the declared variable ranges.
-void assert_state_constraints(smt::Solver& solver, const ts::TransitionSystem& ts,
-                              int frame) {
-  solver.add(ts.invar_formula(), frame);
-  for (Expr v : ts.vars()) solver.add(ts::range_constraint(v), frame);
-}
-
-void assert_param_constraints(smt::Solver& solver, const ts::TransitionSystem& ts) {
-  solver.add(ts.param_formula(), 0);
-  for (Expr p : ts.params()) solver.add(ts::range_constraint(p), 0);
-}
 
 ts::Trace extract_trace(smt::Solver& solver, const ts::TransitionSystem& ts, int depth) {
   ts::Trace trace;
@@ -31,115 +20,63 @@ ts::Trace extract_trace(smt::Solver& solver, const ts::TransitionSystem& ts, int
 
 CheckOutcome run_incremental(const ts::TransitionSystem& ts, Expr invariant,
                              const BmcOptions& options) {
-  util::Stopwatch watch;
   CheckOutcome outcome;
-  outcome.stats.engine = "bmc";
+  EngineRun run(outcome, "bmc");
 
   smt::Solver solver;
-  std::set<expr::VarId> rigid;
-  for (Expr p : ts.params()) rigid.insert(p.var());
-  solver.set_rigid(rigid);
-  assert_param_constraints(solver, ts);
-  solver.add(ts.init_formula(), 0);
-  assert_state_constraints(solver, ts, 0);
+  enc::Unroller unroller(solver, ts);
+  run.track(solver);
+  const Expr bad = expr::mk_not(invariant);
 
   for (int k = 0; k <= options.max_depth; ++k) {
-    if (options.deadline.expired_or_cancelled()) {
-      outcome.verdict = Verdict::kTimeout;
-      outcome.message = "deadline expired before depth " + std::to_string(k);
-      break;
-    }
-    if (k > 0) {
-      solver.add(ts.trans_formula(), k - 1);
-      assert_state_constraints(solver, ts, k);
-    }
-    solver.push();
-    solver.add(expr::mk_not(invariant), k);
-    const smt::CheckResult r = solver.check(options.deadline);
+    if (options.deadline.expired_or_cancelled())
+      return run.finish(Verdict::kTimeout,
+                        "deadline expired before depth " + std::to_string(k));
+    unroller.ensure_frames(k);
+    const std::vector<z3::expr> assumptions{unroller.literal(bad, k)};
+    const smt::CheckResult r = solver.check_assuming(assumptions, options.deadline);
+    run.note_depth(k);
     if (r == smt::CheckResult::kSat) {
-      solver.refine_real_model(ts.params(), 0, options.deadline);
-      outcome.verdict = Verdict::kViolated;
+      solver.refine_real_model(ts.params(), 0, options.deadline, assumptions);
       outcome.counterexample = extract_trace(solver, ts, k);
-      outcome.stats.depth_reached = k;
-      solver.pop();
-      outcome.stats.solver_checks = solver.num_checks();
-      outcome.stats.seconds = watch.elapsed_seconds();
-      return outcome;
+      return run.finish(Verdict::kViolated);
     }
-    solver.pop();
-    if (r == smt::CheckResult::kUnknown) {
-      outcome.verdict =
-          options.deadline.expired_or_cancelled() ? Verdict::kTimeout : Verdict::kUnknown;
-      outcome.message = "solver returned unknown at depth " + std::to_string(k);
-      outcome.stats.depth_reached = k;
-      outcome.stats.solver_checks = solver.num_checks();
-      outcome.stats.seconds = watch.elapsed_seconds();
-      return outcome;
-    }
-    outcome.stats.depth_reached = k;
+    if (r == smt::CheckResult::kUnknown)
+      return run.give_up(options.deadline,
+                         "solver returned unknown at depth " + std::to_string(k));
   }
-  if (outcome.verdict == Verdict::kUnknown && !options.deadline.expired_or_cancelled())
-    outcome.verdict = Verdict::kBoundReached;
-  if (options.deadline.expired_or_cancelled() && outcome.verdict != Verdict::kTimeout) {
-    // Loop completed exactly at the deadline; report the bound result.
-    outcome.verdict = Verdict::kBoundReached;
-  }
-  outcome.stats.solver_checks = solver.num_checks();
-  outcome.stats.seconds = watch.elapsed_seconds();
-  return outcome;
+  return run.finish(Verdict::kBoundReached);
 }
 
 CheckOutcome run_monolithic(const ts::TransitionSystem& ts, Expr invariant,
                             const BmcOptions& options) {
   // Ablation variant: rebuilds the solver and re-asserts the whole unrolling
   // at every depth. Same verdicts, strictly more work.
-  util::Stopwatch watch;
   CheckOutcome outcome;
-  outcome.stats.engine = "bmc-monolithic";
-  std::size_t checks = 0;
+  EngineRun run(outcome, "bmc-monolithic");
 
   for (int k = 0; k <= options.max_depth; ++k) {
-    if (options.deadline.expired_or_cancelled()) {
-      outcome.verdict = Verdict::kTimeout;
-      outcome.message = "deadline expired before depth " + std::to_string(k);
-      break;
-    }
+    if (options.deadline.expired_or_cancelled())
+      return run.finish(Verdict::kTimeout,
+                        "deadline expired before depth " + std::to_string(k));
     smt::Solver solver;
-    std::set<expr::VarId> rigid;
-    for (Expr p : ts.params()) rigid.insert(p.var());
-    solver.set_rigid(rigid);
-    assert_param_constraints(solver, ts);
-    solver.add(ts.init_formula(), 0);
-    for (int i = 0; i <= k; ++i) {
-      assert_state_constraints(solver, ts, i);
-      if (i > 0) solver.add(ts.trans_formula(), i - 1);
-    }
+    enc::Unroller unroller(solver, ts);
+    unroller.ensure_frames(k);
     solver.add(expr::mk_not(invariant), k);
     const smt::CheckResult r = solver.check(options.deadline);
-    checks += solver.num_checks();
+    run.note_depth(k);
     if (r == smt::CheckResult::kSat) {
       solver.refine_real_model(ts.params(), 0, options.deadline);
-      outcome.verdict = Verdict::kViolated;
       outcome.counterexample = extract_trace(solver, ts, k);
-      outcome.stats.depth_reached = k;
-      outcome.stats.solver_checks = checks;
-      outcome.stats.seconds = watch.elapsed_seconds();
-      return outcome;
+      run.note_finished_solver(solver);
+      return run.finish(Verdict::kViolated);
     }
-    if (r == smt::CheckResult::kUnknown) {
-      outcome.verdict =
-          options.deadline.expired_or_cancelled() ? Verdict::kTimeout : Verdict::kUnknown;
-      outcome.stats.depth_reached = k;
-      outcome.stats.solver_checks = checks;
-      outcome.stats.seconds = watch.elapsed_seconds();
-      return outcome;
-    }
-    outcome.stats.depth_reached = k;
+    run.note_finished_solver(solver);
+    if (r == smt::CheckResult::kUnknown)
+      return run.give_up(options.deadline,
+                         "solver returned unknown at depth " + std::to_string(k));
   }
-  if (outcome.verdict == Verdict::kUnknown) outcome.verdict = Verdict::kBoundReached;
-  outcome.stats.solver_checks = checks;
-  outcome.stats.seconds = watch.elapsed_seconds();
-  return outcome;
+  return run.finish(Verdict::kBoundReached);
 }
 
 }  // namespace

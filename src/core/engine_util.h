@@ -1,0 +1,76 @@
+// Shared engine-run bookkeeping.
+//
+// Every bounded engine used to stamp Stats::{solver_checks, seconds,
+// depth_reached} by hand at each return site, and the copies drifted (the
+// timeout `break` path of the old BMC loop reported different numbers than
+// its early returns). EngineRun is the one place those fields are written:
+// engines register the solvers they keep alive with track() (counters are
+// read at finish time), fold in short-lived per-depth solvers with
+// note_finished_solver() before destroying them, and leave through finish()
+// or give_up() on every path — success, bound, timeout, and unknown alike.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/result.h"
+#include "smt/solver.h"
+#include "util/stopwatch.h"
+
+namespace verdict::core {
+
+class EngineRun {
+ public:
+  EngineRun(CheckOutcome& outcome, std::string engine) : outcome_(outcome) {
+    outcome_.stats.engine = std::move(engine);
+  }
+
+  /// Registers a solver that stays alive until finish()/give_up(); its
+  /// check/assertion counters are folded into the stats on exit.
+  void track(const smt::Solver& solver) { tracked_.push_back(&solver); }
+
+  /// Folds the counters of a solver about to be destroyed (per-depth
+  /// rebuild loops) into the stats.
+  void note_finished_solver(const smt::Solver& solver) {
+    checks_ += solver.num_checks();
+    assertions_ += solver.num_assertions();
+    ++solvers_;
+  }
+
+  /// Records exploration progress (unroll depth / induction k / frame).
+  void note_depth(int depth) { outcome_.stats.depth_reached = depth; }
+
+  /// Stamps the stats and verdict; the single exit point for every path.
+  CheckOutcome& finish(Verdict verdict, std::string message = "") {
+    outcome_.verdict = verdict;
+    if (!message.empty()) outcome_.message = std::move(message);
+    outcome_.stats.seconds = watch_.elapsed_seconds();
+    outcome_.stats.solver_checks = checks_;
+    outcome_.stats.frame_assertions = assertions_;
+    outcome_.stats.solvers_created = solvers_ + tracked_.size();
+    for (const smt::Solver* s : tracked_) {
+      outcome_.stats.solver_checks += s->num_checks();
+      outcome_.stats.frame_assertions += s->num_assertions();
+    }
+    return outcome_;
+  }
+
+  /// The timeout/unknown split every engine needs: kTimeout when the deadline
+  /// (or a portfolio cancellation) caused the solver to give up, kUnknown
+  /// when the solver gave up on its own.
+  CheckOutcome& give_up(const util::Deadline& deadline, std::string message) {
+    return finish(deadline.expired_or_cancelled() ? Verdict::kTimeout : Verdict::kUnknown,
+                  std::move(message));
+  }
+
+ private:
+  CheckOutcome& outcome_;
+  util::Stopwatch watch_;
+  std::vector<const smt::Solver*> tracked_;
+  std::size_t checks_ = 0;
+  std::size_t assertions_ = 0;
+  std::size_t solvers_ = 0;
+};
+
+}  // namespace verdict::core

@@ -1,5 +1,7 @@
 #include "core/kinduction.h"
 
+#include "core/engine_util.h"
+#include "enc/unroller.h"
 #include "smt/solver.h"
 #include "util/log.h"
 
@@ -8,23 +10,6 @@ namespace verdict::core {
 using expr::Expr;
 
 namespace {
-
-void assert_state_constraints(smt::Solver& solver, const ts::TransitionSystem& ts,
-                              int frame) {
-  solver.add(ts.invar_formula(), frame);
-  for (Expr v : ts.vars()) solver.add(ts::range_constraint(v), frame);
-}
-
-void assert_param_constraints(smt::Solver& solver, const ts::TransitionSystem& ts) {
-  solver.add(ts.param_formula(), 0);
-  for (Expr p : ts.params()) solver.add(ts::range_constraint(p), 0);
-}
-
-std::set<expr::VarId> rigid_of(const ts::TransitionSystem& ts) {
-  std::set<expr::VarId> rigid;
-  for (Expr p : ts.params()) rigid.insert(p.var());
-  return rigid;
-}
 
 // "State i differs from state j" as a formula over frames i and j.
 z3::expr states_distinct(smt::Solver& solver, const ts::TransitionSystem& ts, int i, int j) {
@@ -42,80 +27,60 @@ CheckOutcome check_invariant_kinduction(const ts::TransitionSystem& ts, Expr inv
     throw std::invalid_argument("check_invariant_kinduction: invariant must be boolean");
   ts.validate();
 
-  util::Stopwatch watch;
   CheckOutcome outcome;
-  outcome.stats.engine = "k-induction";
+  EngineRun run(outcome, "k-induction");
+  const Expr bad = expr::mk_not(invariant);
 
   // Base-case solver: init + unrolling, queried for !P at the frontier.
-  smt::Solver base;
-  base.set_rigid(rigid_of(ts));
-  assert_param_constraints(base, ts);
-  base.add(ts.init_formula(), 0);
-  assert_state_constraints(base, ts, 0);
+  smt::Solver base_solver;
+  enc::Unroller base(base_solver, ts);
+  run.track(base_solver);
 
   // Step solver: an arbitrary (not necessarily initial) simple path of k
   // states satisfying P, asked whether it can step into !P.
-  smt::Solver step;
-  step.set_rigid(rigid_of(ts));
-  assert_param_constraints(step, ts);
-  assert_state_constraints(step, ts, 0);
-
-  const auto finish = [&](Verdict v, const std::string& message = "") {
-    outcome.verdict = v;
-    outcome.message = message;
-    outcome.stats.solver_checks = base.num_checks() + step.num_checks();
-    outcome.stats.seconds = watch.elapsed_seconds();
-    return outcome;
-  };
+  smt::Solver step_solver;
+  enc::Unroller step(step_solver, ts, {.assert_init = false});
+  run.track(step_solver);
 
   for (int k = 0; k <= options.max_k; ++k) {
-    outcome.stats.depth_reached = k;
+    run.note_depth(k);
     if (options.deadline.expired_or_cancelled())
-      return finish(Verdict::kTimeout, "deadline expired at k=" + std::to_string(k));
+      return run.finish(Verdict::kTimeout, "deadline expired at k=" + std::to_string(k));
 
     // --- Base: init-reachable violation within k steps?
-    if (k > 0) {
-      base.add(ts.trans_formula(), k - 1);
-      assert_state_constraints(base, ts, k);
-    }
-    base.push();
-    base.add(expr::mk_not(invariant), k);
-    const smt::CheckResult base_result = base.check(options.deadline);
+    base.ensure_frames(k);
+    const std::vector<z3::expr> base_assumptions{base.literal(bad, k)};
+    const smt::CheckResult base_result =
+        base_solver.check_assuming(base_assumptions, options.deadline);
     if (base_result == smt::CheckResult::kSat) {
-      base.refine_real_model(ts.params(), 0, options.deadline);
+      base_solver.refine_real_model(ts.params(), 0, options.deadline, base_assumptions);
       ts::Trace trace;
-      trace.params = base.state_at(ts.params(), 0);
-      for (int i = 0; i <= k; ++i) trace.states.push_back(base.state_at(ts.vars(), i));
-      base.pop();
+      trace.params = base_solver.state_at(ts.params(), 0);
+      for (int i = 0; i <= k; ++i) trace.states.push_back(base_solver.state_at(ts.vars(), i));
       outcome.counterexample = std::move(trace);
-      return finish(Verdict::kViolated);
+      return run.finish(Verdict::kViolated);
     }
-    base.pop();
     if (base_result == smt::CheckResult::kUnknown)
-      return finish(options.deadline.expired_or_cancelled() ? Verdict::kTimeout : Verdict::kUnknown,
-                    "base case unknown at k=" + std::to_string(k));
+      return run.give_up(options.deadline, "base case unknown at k=" + std::to_string(k));
 
     // --- Step: P holds along frames 0..k, can frame k+1 violate it?
-    step.add(invariant, k);
-    step.add(ts.trans_formula(), k);
-    assert_state_constraints(step, ts, k + 1);
+    step.ensure_frames(k + 1);
+    step_solver.add(invariant, k);
     if (options.simple_path) {
-      for (int j = 0; j < k + 1; ++j) step.add(states_distinct(step, ts, j, k + 1));
+      for (int j = 0; j < k + 1; ++j)
+        step_solver.add(states_distinct(step_solver, ts, j, k + 1));
     }
-    step.push();
-    step.add(expr::mk_not(invariant), k + 1);
-    const smt::CheckResult step_result = step.check(options.deadline);
-    step.pop();
-    if (step_result == smt::CheckResult::kUnsat) {
-      return finish(Verdict::kHolds,
-                    "proved by " + std::to_string(k + 1) + "-induction");
-    }
+    const std::vector<z3::expr> step_assumptions{step.literal(bad, k + 1)};
+    const smt::CheckResult step_result =
+        step_solver.check_assuming(step_assumptions, options.deadline);
+    if (step_result == smt::CheckResult::kUnsat)
+      return run.finish(Verdict::kHolds,
+                        "proved by " + std::to_string(k + 1) + "-induction");
     if (step_result == smt::CheckResult::kUnknown)
-      return finish(options.deadline.expired_or_cancelled() ? Verdict::kTimeout : Verdict::kUnknown,
-                    "step case unknown at k=" + std::to_string(k));
+      return run.give_up(options.deadline, "step case unknown at k=" + std::to_string(k));
   }
-  return finish(Verdict::kBoundReached,
-                "no proof or counterexample within k=" + std::to_string(options.max_k));
+  return run.finish(Verdict::kBoundReached,
+                    "no proof or counterexample within k=" + std::to_string(options.max_k));
 }
 
 }  // namespace verdict::core

@@ -1,9 +1,12 @@
 #include "core/liveness.h"
 
 #include <map>
+#include <memory>
 
 #include "expr/walk.h"
 
+#include "core/engine_util.h"
+#include "enc/unroller.h"
 #include "smt/solver.h"
 #include "util/log.h"
 
@@ -36,20 +39,23 @@ class SubformulaIndex {
   std::vector<Formula> formulas_;
 };
 
-class LassoEncoder {
+// The property-independent part of the bound-k lasso encoding, built once
+// per (solver, k) and shared by every property checked at that depth: the
+// system unrolling (via the Unroller), the loop-selector booleans with their
+// exactly-one and loop-back constraints, and the weak-fairness witnesses.
+class LassoFrame {
  public:
-  LassoEncoder(smt::Solver& solver, const ts::TransitionSystem& ts, const Formula& nnf,
-               int k)
-      : solver_(solver), ts_(ts), index_(nnf), k_(k), loop_sel_(solver.context()) {}
-
-  // Builds the whole encoding and asserts |[nnf]|_0 plus fairness.
-  void encode(std::span<const Expr> fairness) {
-    encode_path();
+  LassoFrame(enc::Unroller& unroller, int k, std::span<const Expr> fairness)
+      : unroller_(unroller), k_(k), loop_sel_(solver().context()) {
+    unroller_.ensure_frames(k + 1);
     encode_loop_selectors();
-    encode_formula_tables();
-    solver_.add(enc(index_.index_of(root()), 0));
     encode_fairness(fairness);
   }
+
+  [[nodiscard]] smt::Solver& solver() { return unroller_.solver(); }
+  [[nodiscard]] const ts::TransitionSystem& ts() const { return unroller_.ts(); }
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] const z3::expr_vector& loop_sel() const { return loop_sel_; }
 
   /// After kSat: the chosen loop-back position.
   [[nodiscard]] std::size_t loop_target_from_model(z3::model model) const {
@@ -60,36 +66,21 @@ class LassoEncoder {
     throw std::logic_error("lasso model without an active loop selector");
   }
 
-  [[nodiscard]] const Formula& root() const { return index_.all().front(); }
-
  private:
-  // Path constraints: init at 0, state constraints at 0..k+1, trans 0..k,
-  // and the successor of state k (frame k+1) equal to the loop target.
-  void encode_path() {
-    solver_.add(ts_.param_formula(), 0);
-    for (Expr p : ts_.params()) solver_.add(ts::range_constraint(p), 0);
-    solver_.add(ts_.init_formula(), 0);
-    for (int i = 0; i <= k_ + 1; ++i) {
-      solver_.add(ts_.invar_formula(), i);
-      for (Expr v : ts_.vars()) solver_.add(ts::range_constraint(v), i);
-    }
-    for (int i = 0; i <= k_; ++i) solver_.add(ts_.trans_formula(), i);
-  }
-
   void encode_loop_selectors() {
-    z3::context& ctx = solver_.context();
+    z3::context& ctx = solver().context();
     for (int j = 0; j <= k_; ++j)
       loop_sel_.push_back(ctx.bool_const(("loop!" + std::to_string(j)).c_str()));
     // Exactly one loop target.
-    solver_.add(z3::mk_or(loop_sel_));
+    solver().add(z3::mk_or(loop_sel_));
     for (int a = 0; a <= k_; ++a)
-      for (int b = a + 1; b <= k_; ++b) solver_.add(!loop_sel_[a] || !loop_sel_[b]);
+      for (int b = a + 1; b <= k_; ++b) solver().add(!loop_sel_[a] || !loop_sel_[b]);
     // l_j -> state at frame k+1 equals state j.
     for (int j = 0; j <= k_; ++j) {
       z3::expr_vector eqs(ctx);
-      for (Expr v : ts_.vars())
-        eqs.push_back(solver_.translate(v, k_ + 1) == solver_.translate(v, j));
-      solver_.add(z3::implies(loop_sel_[j], z3::mk_and(eqs)));
+      for (Expr v : ts().vars())
+        eqs.push_back(solver().translate(v, k_ + 1) == solver().translate(v, j));
+      solver().add(z3::implies(loop_sel_[j], z3::mk_and(eqs)));
     }
   }
 
@@ -97,7 +88,7 @@ class LassoEncoder {
   // loop. Position i is in the loop iff some l_j with j <= i is set.
   void encode_fairness(std::span<const Expr> fairness) {
     if (fairness.empty()) return;
-    z3::context& ctx = solver_.context();
+    z3::context& ctx = solver().context();
     std::vector<z3::expr> in_loop;
     z3::expr prefix = ctx.bool_val(false);
     for (int i = 0; i <= k_; ++i) {
@@ -108,10 +99,35 @@ class LassoEncoder {
       z3::expr_vector witnesses(ctx);
       for (int i = 0; i <= k_; ++i)
         witnesses.push_back(in_loop[static_cast<std::size_t>(i)] &&
-                            solver_.translate(f, i));
-      solver_.add(z3::mk_or(witnesses));
+                            solver().translate(f, i));
+      solver().add(z3::mk_or(witnesses));
     }
   }
+
+  enc::Unroller& unroller_;
+  int k_;
+  z3::expr_vector loop_sel_;
+};
+
+// Per-property subformula tables over a shared LassoFrame. Table variables
+// are prefixed so several properties coexist in one solver; the tables are
+// definitional biconditionals, so asserting them for a property that ends up
+// unchecked is sound. root_literal() is the property's activation: assuming
+// it is exactly asserting |[nnf]|_0.
+class LassoEncoder {
+ public:
+  LassoEncoder(LassoFrame& frame, const Formula& nnf, std::string prefix)
+      : frame_(frame), index_(nnf), prefix_(std::move(prefix)) {
+    encode_formula_tables();
+  }
+
+  [[nodiscard]] z3::expr root_literal() {
+    return enc(index_.index_of(index_.all().front()), 0);
+  }
+
+ private:
+  [[nodiscard]] smt::Solver& solver() { return frame_.solver(); }
+  [[nodiscard]] int k() const { return frame_.k(); }
 
   z3::expr enc(std::size_t formula, int position) {
     return table_var("enc", formula, position, enc_);
@@ -120,59 +136,60 @@ class LassoEncoder {
     return table_var("aux", formula, position, aux_);
   }
 
-  z3::expr table_var(const char* prefix, std::size_t formula, int position,
+  z3::expr table_var(const char* kind, std::size_t formula, int position,
                      std::map<std::pair<std::size_t, int>, z3::expr>& table) {
     const auto key = std::make_pair(formula, position);
     const auto it = table.find(key);
     if (it != table.end()) return it->second;
-    const std::string name = std::string(prefix) + "!" + std::to_string(formula) + "!" +
+    const std::string name = prefix_ + kind + "!" + std::to_string(formula) + "!" +
                              std::to_string(position);
-    z3::expr v = solver_.context().bool_const(name.c_str());
+    z3::expr v = solver().context().bool_const(name.c_str());
     table.emplace(key, v);
     return v;
   }
 
   // Disjunction over loop targets j of (l_j && table(f, j)).
   z3::expr at_loop_target(std::size_t f, bool use_aux) {
-    z3::expr_vector cases(solver_.context());
-    for (int j = 0; j <= k_; ++j)
-      cases.push_back(loop_sel_[j] && (use_aux ? aux(f, j) : enc(f, j)));
+    z3::expr_vector cases(solver().context());
+    for (int j = 0; j <= k(); ++j)
+      cases.push_back(frame_.loop_sel()[j] && (use_aux ? aux(f, j) : enc(f, j)));
     return z3::mk_or(cases);
   }
 
   void encode_formula_tables() {
+    const int k_ = k();
     const std::vector<Formula>& formulas = index_.all();
     for (std::size_t f = 0; f < formulas.size(); ++f) {
       const Formula& formula = formulas[f];
       switch (formula.op()) {
         case Op::kAtom:
           for (int i = 0; i <= k_; ++i)
-            solver_.add(enc(f, i) == solver_.translate(formula.atom(), i));
+            solver().add(enc(f, i) == solver().translate(formula.atom(), i));
           break;
         case Op::kNot: {
           // NNF: negation only wraps atoms.
           const std::size_t a = index_.index_of(formula.kids()[0]);
-          for (int i = 0; i <= k_; ++i) solver_.add(enc(f, i) == !enc(a, i));
+          for (int i = 0; i <= k_; ++i) solver().add(enc(f, i) == !enc(a, i));
           break;
         }
         case Op::kAnd: {
           const std::size_t a = index_.index_of(formula.kids()[0]);
           const std::size_t b = index_.index_of(formula.kids()[1]);
           for (int i = 0; i <= k_; ++i)
-            solver_.add(enc(f, i) == (enc(a, i) && enc(b, i)));
+            solver().add(enc(f, i) == (enc(a, i) && enc(b, i)));
           break;
         }
         case Op::kOr: {
           const std::size_t a = index_.index_of(formula.kids()[0]);
           const std::size_t b = index_.index_of(formula.kids()[1]);
           for (int i = 0; i <= k_; ++i)
-            solver_.add(enc(f, i) == (enc(a, i) || enc(b, i)));
+            solver().add(enc(f, i) == (enc(a, i) || enc(b, i)));
           break;
         }
         case Op::kNext: {
           const std::size_t a = index_.index_of(formula.kids()[0]);
-          for (int i = 0; i < k_; ++i) solver_.add(enc(f, i) == enc(a, i + 1));
-          solver_.add(enc(f, k_) == at_loop_target(a, /*use_aux=*/false));
+          for (int i = 0; i < k_; ++i) solver().add(enc(f, i) == enc(a, i + 1));
+          solver().add(enc(f, k_) == at_loop_target(a, /*use_aux=*/false));
           break;
         }
         case Op::kFinally:
@@ -183,15 +200,15 @@ class LassoEncoder {
           const std::size_t b = index_.index_of(formula.kids()[is_f ? 0 : 1]);
           const std::size_t a = is_f ? SIZE_MAX : index_.index_of(formula.kids()[0]);
           const auto left = [&](int i) {
-            return a == SIZE_MAX ? solver_.context().bool_val(true) : enc(a, i);
+            return a == SIZE_MAX ? solver().context().bool_val(true) : enc(a, i);
           };
           for (int i = 0; i < k_; ++i)
-            solver_.add(enc(f, i) == (enc(b, i) || (left(i) && enc(f, i + 1))));
-          solver_.add(enc(f, k_) ==
-                      (enc(b, k_) || (left(k_) && at_loop_target(f, /*use_aux=*/true))));
+            solver().add(enc(f, i) == (enc(b, i) || (left(i) && enc(f, i + 1))));
+          solver().add(enc(f, k_) ==
+                       (enc(b, k_) || (left(k_) && at_loop_target(f, /*use_aux=*/true))));
           for (int i = 0; i < k_; ++i)
-            solver_.add(aux(f, i) == (enc(b, i) || (left(i) && aux(f, i + 1))));
-          solver_.add(aux(f, k_) == enc(b, k_));
+            solver().add(aux(f, i) == (enc(b, i) || (left(i) && aux(f, i + 1))));
+          solver().add(aux(f, k_) == enc(b, k_));
           break;
         }
         case Op::kGlobally:
@@ -202,91 +219,128 @@ class LassoEncoder {
           const std::size_t b = index_.index_of(formula.kids()[is_g ? 0 : 1]);
           const std::size_t a = is_g ? SIZE_MAX : index_.index_of(formula.kids()[0]);
           const auto left = [&](int i) {
-            return a == SIZE_MAX ? solver_.context().bool_val(false) : enc(a, i);
+            return a == SIZE_MAX ? solver().context().bool_val(false) : enc(a, i);
           };
           for (int i = 0; i < k_; ++i)
-            solver_.add(enc(f, i) == (enc(b, i) && (left(i) || enc(f, i + 1))));
-          solver_.add(enc(f, k_) ==
-                      (enc(b, k_) && (left(k_) || at_loop_target(f, /*use_aux=*/true))));
+            solver().add(enc(f, i) == (enc(b, i) && (left(i) || enc(f, i + 1))));
+          solver().add(enc(f, k_) ==
+                       (enc(b, k_) && (left(k_) || at_loop_target(f, /*use_aux=*/true))));
           for (int i = 0; i < k_; ++i)
-            solver_.add(aux(f, i) == (enc(b, i) && (left(i) || aux(f, i + 1))));
-          solver_.add(aux(f, k_) == enc(b, k_));
+            solver().add(aux(f, i) == (enc(b, i) && (left(i) || aux(f, i + 1))));
+          solver().add(aux(f, k_) == enc(b, k_));
           break;
         }
       }
     }
   }
 
-  smt::Solver& solver_;
-  const ts::TransitionSystem& ts_;
+  LassoFrame& frame_;
   SubformulaIndex index_;
-  int k_;
-  z3::expr_vector loop_sel_;
+  std::string prefix_;
   std::map<std::pair<std::size_t, int>, z3::expr> enc_;
   std::map<std::pair<std::size_t, int>, z3::expr> aux_;
 };
 
-}  // namespace
-
-CheckOutcome check_ltl_lasso(const ts::TransitionSystem& ts, const Formula& property,
-                             const LivenessOptions& options) {
-  if (!property.valid()) throw std::invalid_argument("check_ltl_lasso: invalid property");
+void validate_inputs(const ts::TransitionSystem& ts,
+                     std::span<const Formula> properties,
+                     const LivenessOptions& options) {
+  for (const Formula& p : properties)
+    if (!p.valid()) throw std::invalid_argument("check_ltl_lasso: invalid property");
   for (Expr f : options.fairness)
     if (!f.valid() || !f.type().is_bool() || expr::has_next(f))
       throw std::invalid_argument(
           "check_ltl_lasso: fairness constraints must be boolean state predicates");
   ts.validate();
+}
+
+}  // namespace
+
+LassoBatchResult check_ltl_lasso_batch(const ts::TransitionSystem& ts,
+                                       std::span<const Formula> properties,
+                                       const LivenessOptions& options) {
+  validate_inputs(ts, properties, options);
 
   util::Stopwatch watch;
-  CheckOutcome outcome;
-  outcome.stats.engine = "ltl-lasso-bmc";
-  std::size_t checks = 0;
+  LassoBatchResult result;
+  result.outcomes.resize(properties.size());
+  result.shared.engine = "ltl-lasso-bmc";
+  for (CheckOutcome& o : result.outcomes) o.stats.engine = "ltl-lasso-bmc";
 
-  const Formula negated = ltl::negation(property).nnf();
+  std::vector<Formula> negated;
+  negated.reserve(properties.size());
+  for (const Formula& p : properties) negated.push_back(ltl::negation(p).nnf());
 
-  for (int k = 0; k <= options.max_depth; ++k) {
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < properties.size(); ++i) pending.push_back(i);
+
+  const auto resolve = [&](std::size_t i, Verdict v, std::string message = "") {
+    CheckOutcome& o = result.outcomes[i];
+    o.verdict = v;
+    if (!message.empty()) o.message = std::move(message);
+    o.stats.seconds = watch.elapsed_seconds();
+    std::erase(pending, i);
+  };
+
+  for (int k = 0; k <= options.max_depth && !pending.empty(); ++k) {
     if (options.deadline.expired_or_cancelled()) {
-      outcome.verdict = Verdict::kTimeout;
-      outcome.message = "deadline expired at k=" + std::to_string(k);
-      outcome.stats.solver_checks = checks;
-      outcome.stats.seconds = watch.elapsed_seconds();
-      return outcome;
+      for (const std::size_t i : std::vector<std::size_t>(pending))
+        resolve(i, Verdict::kTimeout, "deadline expired at k=" + std::to_string(k));
+      break;
     }
     smt::Solver solver;
-    std::set<expr::VarId> rigid;
-    for (Expr p : ts.params()) rigid.insert(p.var());
-    solver.set_rigid(rigid);
+    enc::Unroller unroller(solver, ts);
+    LassoFrame frame(unroller, k, options.fairness);
 
-    LassoEncoder encoder(solver, ts, negated, k);
-    encoder.encode(options.fairness);
-    const smt::CheckResult r = solver.check(options.deadline);
-    checks += solver.num_checks();
-    outcome.stats.depth_reached = k;
-    if (r == smt::CheckResult::kSat) {
-      std::vector<Expr> to_pin(ts.params().begin(), ts.params().end());
-      solver.refine_real_model(to_pin, 0, options.deadline);
-      ts::Trace trace;
-      trace.params = solver.state_at(ts.params(), 0);
-      for (int i = 0; i <= k; ++i) trace.states.push_back(solver.state_at(ts.vars(), i));
-      trace.lasso_start = encoder.loop_target_from_model(solver.model());
-      outcome.verdict = Verdict::kViolated;
-      outcome.counterexample = std::move(trace);
-      outcome.stats.solver_checks = checks;
-      outcome.stats.seconds = watch.elapsed_seconds();
-      return outcome;
+    std::vector<std::unique_ptr<LassoEncoder>> encoders(properties.size());
+    for (const std::size_t i : pending)
+      encoders[i] = std::make_unique<LassoEncoder>(
+          frame, negated[i], "p" + std::to_string(i) + "!");
+
+    for (const std::size_t i : std::vector<std::size_t>(pending)) {
+      if (options.deadline.expired_or_cancelled()) {
+        resolve(i, Verdict::kTimeout, "deadline expired at k=" + std::to_string(k));
+        continue;
+      }
+      const std::vector<z3::expr> assumptions{encoders[i]->root_literal()};
+      const smt::CheckResult r = solver.check_assuming(assumptions, options.deadline);
+      result.outcomes[i].stats.depth_reached = k;
+      if (r == smt::CheckResult::kSat) {
+        std::vector<Expr> to_pin(ts.params().begin(), ts.params().end());
+        solver.refine_real_model(to_pin, 0, options.deadline, assumptions);
+        ts::Trace trace;
+        trace.params = solver.state_at(ts.params(), 0);
+        for (int j = 0; j <= k; ++j) trace.states.push_back(solver.state_at(ts.vars(), j));
+        trace.lasso_start = frame.loop_target_from_model(solver.model());
+        result.outcomes[i].counterexample = std::move(trace);
+        resolve(i, Verdict::kViolated);
+      } else if (r == smt::CheckResult::kUnknown) {
+        resolve(i,
+                options.deadline.expired_or_cancelled() ? Verdict::kTimeout
+                                                        : Verdict::kUnknown,
+                "solver returned unknown at k=" + std::to_string(k));
+      }
     }
-    if (r == smt::CheckResult::kUnknown) {
-      outcome.verdict = options.deadline.expired_or_cancelled() ? Verdict::kTimeout : Verdict::kUnknown;
-      outcome.message = "solver returned unknown at k=" + std::to_string(k);
-      outcome.stats.solver_checks = checks;
-      outcome.stats.seconds = watch.elapsed_seconds();
-      return outcome;
-    }
+    result.shared.solver_checks += solver.num_checks();
+    result.shared.frame_assertions += solver.num_assertions();
+    ++result.shared.solvers_created;
+    result.shared.depth_reached = k;
   }
-  outcome.verdict = Verdict::kBoundReached;
-  outcome.message = "no lasso counterexample up to k=" + std::to_string(options.max_depth);
-  outcome.stats.solver_checks = checks;
-  outcome.stats.seconds = watch.elapsed_seconds();
+
+  for (const std::size_t i : std::vector<std::size_t>(pending))
+    resolve(i, Verdict::kBoundReached,
+            "no lasso counterexample up to k=" + std::to_string(options.max_depth));
+  result.shared.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+CheckOutcome check_ltl_lasso(const ts::TransitionSystem& ts, const Formula& property,
+                             const LivenessOptions& options) {
+  LassoBatchResult batch = check_ltl_lasso_batch(ts, std::span(&property, 1), options);
+  CheckOutcome outcome = std::move(batch.outcomes.front());
+  // One-property runs report the full (un-shared) cost, as before.
+  outcome.stats.solver_checks = batch.shared.solver_checks;
+  outcome.stats.frame_assertions = batch.shared.frame_assertions;
+  outcome.stats.solvers_created = batch.shared.solvers_created;
   return outcome;
 }
 

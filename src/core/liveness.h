@@ -15,6 +15,9 @@
 // as kBoundReached (bounded LTL search cannot prove liveness).
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "core/result.h"
 #include "ltl/ltl.h"
 #include "ts/transition_system.h"
@@ -38,5 +41,21 @@ struct LivenessOptions {
 [[nodiscard]] CheckOutcome check_ltl_lasso(const ts::TransitionSystem& ts,
                                            const ltl::Formula& property,
                                            const LivenessOptions& options = {});
+
+/// Batch variant behind core::Session: all properties share one solver per
+/// depth — the system unrolling, loop selectors, loop-back constraints, and
+/// fairness witnesses are encoded once, and each property contributes only
+/// its (prefixed) subformula tables, activated per check through its root
+/// encoding variable as an assumption. `outcomes` is parallel to
+/// `properties` and each entry matches what the one-property engine would
+/// report; `shared` accounts the shared per-depth solvers (one per depth
+/// explored) so sessions can report true batch cost.
+struct LassoBatchResult {
+  std::vector<CheckOutcome> outcomes;
+  Stats shared;
+};
+[[nodiscard]] LassoBatchResult check_ltl_lasso_batch(
+    const ts::TransitionSystem& ts, std::span<const ltl::Formula> properties,
+    const LivenessOptions& options = {});
 
 }  // namespace verdict::core

@@ -59,6 +59,8 @@ class Pdr {
       outcome.verdict = v;
       outcome.message = message;
       outcome.stats.solver_checks = solver_.num_checks();
+      outcome.stats.frame_assertions = solver_.num_assertions();
+      outcome.stats.solvers_created = 1;
       outcome.stats.seconds = watch.elapsed_seconds();
       return outcome;
     };

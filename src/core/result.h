@@ -37,6 +37,12 @@ struct Stats {
   double seconds = 0.0;
   std::size_t solver_checks = 0;
   int depth_reached = -1;  // engine-specific: unroll depth / frame count
+  /// SMT solver instances constructed for this run. Batch sessions exist to
+  /// drive this (and frame_assertions) below the N-independent-checks cost.
+  std::size_t solvers_created = 0;
+  /// Formulas asserted across those solvers (smt::Solver::num_assertions) —
+  /// the per-frame translation work that sessions amortize across properties.
+  std::size_t frame_assertions = 0;
 
   /// Folds another engine run into this record: solver calls and solver time
   /// accumulate, depth keeps the maximum, and the engine label concatenates
@@ -44,6 +50,8 @@ struct Stats {
   void merge(const Stats& other) {
     seconds += other.seconds;
     solver_checks += other.solver_checks;
+    solvers_created += other.solvers_created;
+    frame_assertions += other.frame_assertions;
     depth_reached = depth_reached > other.depth_reached ? depth_reached
                                                         : other.depth_reached;
     if (engine.empty()) {

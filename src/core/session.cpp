@@ -1,0 +1,362 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/liveness.h"
+#include "enc/unroller.h"
+#include "ltl/parser.h"
+#include "portfolio/portfolio.h"
+#include "smt/solver.h"
+#include "util/log.h"
+
+namespace verdict::core {
+
+using expr::Expr;
+
+namespace {
+
+ts::Trace extract_trace(smt::Solver& solver, const ts::TransitionSystem& ts, int depth) {
+  ts::Trace trace;
+  trace.params = solver.state_at(ts.params(), 0);
+  for (int i = 0; i <= depth; ++i) trace.states.push_back(solver.state_at(ts.vars(), i));
+  return trace;
+}
+
+z3::expr states_distinct(smt::Solver& solver, const ts::TransitionSystem& ts, int i, int j) {
+  z3::expr_vector diffs(solver.context());
+  for (Expr v : ts.vars())
+    diffs.push_back(solver.translate(v, i) != solver.translate(v, j));
+  return z3::mk_or(diffs);
+}
+
+// Folds a delegated one-shot outcome's cost into the session total.
+void fold_cost(Stats& total, const Stats& stats) {
+  total.solver_checks += stats.solver_checks;
+  total.frame_assertions += stats.frame_assertions;
+  total.solvers_created += stats.solvers_created;
+  total.depth_reached = std::max(total.depth_reached, stats.depth_reached);
+}
+
+// Shared state of one in-progress batch group: which properties are still
+// unresolved, and the uniform way a property leaves the group.
+class Group {
+ public:
+  Group(std::vector<PropertyVerdict>& out, std::vector<std::size_t> members,
+        const util::Stopwatch& watch, std::string engine)
+      : out_(out), pending_(std::move(members)), watch_(watch), engine_(std::move(engine)) {
+    for (const std::size_t i : pending_) out_[i].outcome.stats.engine = engine_;
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& pending() const { return pending_; }
+  [[nodiscard]] std::vector<std::size_t> pending_copy() const { return pending_; }
+  [[nodiscard]] bool done() const { return pending_.empty(); }
+  [[nodiscard]] CheckOutcome& outcome(std::size_t i) { return out_[i].outcome; }
+
+  void resolve(std::size_t i, Verdict verdict, std::string message = "") {
+    CheckOutcome& o = out_[i].outcome;
+    o.verdict = verdict;
+    if (!message.empty()) o.message = std::move(message);
+    o.stats.seconds = watch_.elapsed_seconds();
+    std::erase(pending_, i);
+  }
+
+  void resolve_rest(Verdict verdict, const std::string& message) {
+    for (const std::size_t i : pending_copy()) resolve(i, verdict, message);
+  }
+
+ private:
+  std::vector<PropertyVerdict>& out_;
+  std::vector<std::size_t> pending_;
+  const util::Stopwatch& watch_;
+  std::string engine_;
+};
+
+// All invariant properties over one shared init+unrolling solver: per depth,
+// each pending property is one check_assuming against its activation literal.
+void run_shared_bmc(const ts::TransitionSystem& system, Group& group,
+                    const std::vector<Expr>& bad, const SessionOptions& options,
+                    Stats& total) {
+  smt::Solver solver;
+  enc::Unroller unroller(solver, system);
+  for (int k = 0; k <= options.max_depth && !group.done(); ++k) {
+    if (options.deadline.expired_or_cancelled()) {
+      group.resolve_rest(Verdict::kTimeout,
+                         "deadline expired before depth " + std::to_string(k));
+      break;
+    }
+    unroller.ensure_frames(k);
+    for (const std::size_t i : group.pending_copy()) {
+      const std::size_t before = solver.num_checks();
+      const std::vector<z3::expr> assumptions{unroller.literal(bad[i], k)};
+      const smt::CheckResult r = solver.check_assuming(assumptions, options.deadline);
+      group.outcome(i).stats.depth_reached = k;
+      if (r == smt::CheckResult::kSat) {
+        solver.refine_real_model(system.params(), 0, options.deadline, assumptions);
+        group.outcome(i).counterexample = extract_trace(solver, system, k);
+        group.resolve(i, Verdict::kViolated);
+      } else if (r == smt::CheckResult::kUnknown) {
+        group.resolve(i,
+                      options.deadline.expired_or_cancelled() ? Verdict::kTimeout
+                                                              : Verdict::kUnknown,
+                      "solver returned unknown at depth " + std::to_string(k));
+      }
+      group.outcome(i).stats.solver_checks += solver.num_checks() - before;
+    }
+  }
+  group.resolve_rest(Verdict::kBoundReached, "");
+  total.solver_checks += solver.num_checks();
+  total.frame_assertions += solver.num_assertions();
+  total.solvers_created += 1;
+  total.depth_reached = std::max(total.depth_reached, unroller.max_frame());
+}
+
+// All invariant properties over one shared base solver and one shared step
+// solver. The step unrolling and its simple-path constraints are property-
+// independent; each property only assumes its own P@0..k and !P@k+1
+// literals, so N properties pay the expensive encoding once.
+void run_shared_kinduction(const ts::TransitionSystem& system, Group& group,
+                           const std::vector<Expr>& invariant,
+                           const std::vector<Expr>& bad,
+                           const SessionOptions& options, Stats& total) {
+  smt::Solver base_solver;
+  enc::Unroller base(base_solver, system);
+  smt::Solver step_solver;
+  enc::Unroller step(step_solver, system, {.assert_init = false});
+
+  for (int k = 0; k <= options.max_depth && !group.done(); ++k) {
+    if (options.deadline.expired_or_cancelled()) {
+      group.resolve_rest(Verdict::kTimeout, "deadline expired at k=" + std::to_string(k));
+      break;
+    }
+    base.ensure_frames(k);
+    step.ensure_frames(k + 1);
+    for (int j = 0; j < k + 1; ++j)
+      step_solver.add(states_distinct(step_solver, system, j, k + 1));
+
+    for (const std::size_t i : group.pending_copy()) {
+      const std::size_t before = base_solver.num_checks() + step_solver.num_checks();
+      group.outcome(i).stats.depth_reached = k;
+
+      const std::vector<z3::expr> base_assumptions{base.literal(bad[i], k)};
+      const smt::CheckResult base_result =
+          base_solver.check_assuming(base_assumptions, options.deadline);
+      if (base_result == smt::CheckResult::kSat) {
+        base_solver.refine_real_model(system.params(), 0, options.deadline,
+                                      base_assumptions);
+        group.outcome(i).counterexample = extract_trace(base_solver, system, k);
+        group.resolve(i, Verdict::kViolated);
+      } else if (base_result == smt::CheckResult::kUnknown) {
+        group.resolve(i,
+                      options.deadline.expired_or_cancelled() ? Verdict::kTimeout
+                                                              : Verdict::kUnknown,
+                      "base case unknown at k=" + std::to_string(k));
+      } else {
+        std::vector<z3::expr> step_assumptions;
+        for (int j = 0; j <= k; ++j) step_assumptions.push_back(step.literal(invariant[i], j));
+        step_assumptions.push_back(step.literal(bad[i], k + 1));
+        const smt::CheckResult step_result =
+            step_solver.check_assuming(step_assumptions, options.deadline);
+        if (step_result == smt::CheckResult::kUnsat) {
+          group.resolve(i, Verdict::kHolds,
+                        "proved by " + std::to_string(k + 1) + "-induction");
+        } else if (step_result == smt::CheckResult::kUnknown) {
+          group.resolve(i,
+                        options.deadline.expired_or_cancelled() ? Verdict::kTimeout
+                                                                : Verdict::kUnknown,
+                        "step case unknown at k=" + std::to_string(k));
+        }
+      }
+      group.outcome(i).stats.solver_checks +=
+          base_solver.num_checks() + step_solver.num_checks() - before;
+    }
+  }
+  group.resolve_rest(Verdict::kBoundReached,
+                     "no proof or counterexample within k=" +
+                         std::to_string(options.max_depth));
+  total.solver_checks += base_solver.num_checks() + step_solver.num_checks();
+  total.frame_assertions += base_solver.num_assertions() + step_solver.num_assertions();
+  total.solvers_created += 2;
+  total.depth_reached = std::max(total.depth_reached, base.max_frame());
+}
+
+}  // namespace
+
+bool SessionResult::all_hold() const {
+  return std::all_of(properties.begin(), properties.end(), [](const PropertyVerdict& p) {
+    return p.outcome.verdict == Verdict::kHolds;
+  });
+}
+
+bool SessionResult::any_violated() const {
+  return std::any_of(properties.begin(), properties.end(), [](const PropertyVerdict& p) {
+    return p.outcome.verdict == Verdict::kViolated;
+  });
+}
+
+bool SessionResult::any_undecided() const {
+  return std::any_of(properties.begin(), properties.end(), [](const PropertyVerdict& p) {
+    return p.outcome.verdict == Verdict::kTimeout ||
+           p.outcome.verdict == Verdict::kUnknown;
+  });
+}
+
+bool SessionResult::all_clean() const { return !any_violated() && !any_undecided(); }
+
+std::string SessionResult::table() const {
+  std::size_t name_width = 8;
+  for (const PropertyVerdict& p : properties)
+    name_width = std::max(name_width, p.name.size());
+  std::ostringstream os;
+  os << std::left << std::setw(static_cast<int>(name_width)) << "property"
+     << "  " << std::setw(13) << "verdict" << std::right << std::setw(9) << "time"
+     << std::setw(7) << "depth" << std::setw(8) << "checks"
+     << "  engine\n";
+  for (const PropertyVerdict& p : properties) {
+    const Stats& s = p.outcome.stats;
+    std::ostringstream time;
+    time << std::fixed << std::setprecision(2) << s.seconds << "s";
+    os << std::left << std::setw(static_cast<int>(name_width)) << p.name << "  "
+       << std::setw(13) << verdict_name(p.outcome.verdict) << std::right << std::setw(9)
+       << time.str() << std::setw(7) << s.depth_reached << std::setw(8)
+       << s.solver_checks << "  " << s.engine << "\n";
+  }
+  return os.str();
+}
+
+Session::Session(ts::TransitionSystem system) : system_(std::move(system)) {
+  system_.validate();
+}
+
+std::size_t Session::add_property(std::string name, ltl::Formula property) {
+  if (!property.valid())
+    throw std::invalid_argument("Session::add_property: invalid property");
+  properties_.push_back({std::move(name), std::move(property)});
+  return properties_.size() - 1;
+}
+
+std::size_t Session::add_property(std::string name, std::string_view property_text) {
+  return add_property(std::move(name), ltl::parse_ltl(property_text));
+}
+
+SessionResult Session::check_all(const SessionOptions& options) const {
+  util::Stopwatch watch;
+  SessionResult result;
+  result.total.engine = "session";
+  result.properties.reserve(properties_.size());
+  for (const Prop& p : properties_)
+    result.properties.push_back({p.name, p.formula, CheckOutcome{}});
+  if (properties_.empty()) {
+    result.total.seconds = watch.elapsed_seconds();
+    return result;
+  }
+
+  // Parallel sessions: (property × engine) lanes on one pool.
+  if (options.engine == Engine::kPortfolio ||
+      (options.engine == Engine::kAuto && options.jobs != 1)) {
+    portfolio::PortfolioOptions po;
+    po.max_depth = options.max_depth;
+    po.deadline = options.deadline;
+    po.jobs = options.jobs;
+    std::vector<ltl::Formula> formulas;
+    formulas.reserve(properties_.size());
+    for (const Prop& p : properties_) formulas.push_back(p.formula);
+    std::vector<CheckOutcome> outcomes =
+        portfolio::check_portfolio_batch(system_, formulas, po);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      fold_cost(result.total, outcomes[i].stats);
+      result.properties[i].outcome = std::move(outcomes[i]);
+    }
+    result.total.seconds = watch.elapsed_seconds();
+    return result;
+  }
+
+  // Partition by sharing opportunity.
+  std::vector<std::size_t> safety;  // shared BMC / k-induction group
+  std::vector<std::size_t> lasso;   // shared per-depth lasso group
+  std::vector<std::size_t> delegate;  // one-shot core::check per property
+  std::vector<Expr> invariant(properties_.size());
+  std::vector<Expr> bad(properties_.size());
+  std::vector<std::size_t> lasso_slot(properties_.size());
+
+  for (std::size_t i = 0; i < properties_.size(); ++i) {
+    const ltl::Formula& f = properties_[i].formula;
+    const bool inv = ltl::is_invariant_property(f);
+    if (inv && options.engine != Engine::kLtlLasso) {
+      if (options.engine == Engine::kPdr || options.engine == Engine::kExplicit) {
+        delegate.push_back(i);  // no shared unrolling for PDR / explicit
+      } else {
+        safety.push_back(i);
+        invariant[i] = ltl::invariant_atom(f);
+        bad[i] = expr::mk_not(invariant[i]);
+      }
+      continue;
+    }
+    if (options.engine == Engine::kExplicit)
+      throw std::invalid_argument(
+          "explicit engine only supports G(atom) safety properties; use "
+          "check_ctl_explicit for branching-time properties");
+    if (options.engine == Engine::kAuto && system_.is_finite_domain() &&
+        (ltl::is_fg_property(f) || ltl::is_gf_property(f))) {
+      delegate.push_back(i);  // L2S proof path, one product system per property
+      continue;
+    }
+    lasso_slot[i] = lasso.size();
+    lasso.push_back(i);
+  }
+
+  if (!safety.empty()) {
+    Group group(result.properties, safety, watch,
+                options.engine == Engine::kBmc ? "bmc" : "k-induction");
+    if (options.engine == Engine::kBmc) {
+      run_shared_bmc(system_, group, bad, options, result.total);
+    } else {
+      run_shared_kinduction(system_, group, invariant, bad, options, result.total);
+    }
+  }
+  // kAuto: k-induction may leave properties undecided that PDR can settle;
+  // fall back to the one-shot auto pipeline for exactly those.
+  if (options.engine == Engine::kAuto) {
+    for (const std::size_t i : safety) {
+      CheckOutcome& o = result.properties[i].outcome;
+      if (o.verdict != Verdict::kBoundReached && o.verdict != Verdict::kUnknown) continue;
+      if (options.deadline.expired_or_cancelled()) continue;
+      CheckOptions co;
+      co.engine = Engine::kAuto;
+      co.max_depth = options.max_depth;
+      co.deadline = options.deadline;
+      CheckOutcome fresh = check(system_, properties_[i].formula, co);
+      fold_cost(result.total, fresh.stats);
+      o = std::move(fresh);
+    }
+  }
+
+  for (const std::size_t i : delegate) {
+    CheckOptions co;
+    co.engine = options.engine;
+    co.max_depth = options.max_depth;
+    co.deadline = options.deadline;
+    CheckOutcome fresh = check(system_, properties_[i].formula, co);
+    fold_cost(result.total, fresh.stats);
+    result.properties[i].outcome = std::move(fresh);
+  }
+
+  if (!lasso.empty()) {
+    std::vector<ltl::Formula> formulas;
+    formulas.reserve(lasso.size());
+    for (const std::size_t i : lasso) formulas.push_back(properties_[i].formula);
+    LivenessOptions lo;
+    lo.max_depth = options.max_depth;
+    lo.deadline = options.deadline;
+    LassoBatchResult batch = check_ltl_lasso_batch(system_, formulas, lo);
+    for (const std::size_t i : lasso)
+      result.properties[i].outcome = std::move(batch.outcomes[lasso_slot[i]]);
+    fold_cost(result.total, batch.shared);
+  }
+
+  result.total.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace verdict::core

@@ -1,0 +1,106 @@
+// Multi-property verification sessions.
+//
+// The paper's workflow (Fig. 4) checks *sets* of safety/liveness properties
+// against one parametric transition system, but core::check is a one-shot
+// API: every call builds fresh solvers and re-translates the transition
+// relation frame by frame. A Session amortizes that encoding across
+// properties the way an inference stack batches requests: add_property() N
+// times, then check_all() verifies all N over ONE shared unrolling
+// (enc::Unroller) using incremental check_assuming with one activation
+// literal per property — N properties cost one solver construction and one
+// set of frame assertions instead of N (see Stats::{solvers_created,
+// frame_assertions}).
+//
+//   core::Session session(scenario.system);
+//   session.add_property("available_ge_m", scenario.property);
+//   session.add_property("available_nonneg", "G (available >= 0)");
+//   core::SessionResult r = session.check_all({.engine = core::Engine::kBmc});
+//   std::cout << r.table();
+//
+// Sharing by engine: kBmc shares one init+unrolling solver; kKInduction
+// shares a base and a step solver (simple-path constraints are
+// property-independent and encoded once); liveness properties share one
+// solver per depth (path + loop selectors + fairness encoded once, per-
+// property subformula tables activated by assumption). kAuto runs the shared
+// k-induction first (its base case is a shared BMC) and falls back to
+// one-shot kAuto for properties it leaves undecided. kPdr/kExplicit cannot
+// share an unrolling and delegate to core::check per property. jobs > 1 (or
+// kPortfolio) schedules (property × engine) lanes on one thread pool via
+// portfolio::check_portfolio_batch.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/checker.h"
+#include "core/result.h"
+#include "ltl/ltl.h"
+#include "ts/transition_system.h"
+#include "util/stopwatch.h"
+
+namespace verdict::core {
+
+struct SessionOptions {
+  Engine engine = Engine::kAuto;
+  /// Unroll depth (BMC/lasso), induction bound, or PDR frame limit.
+  int max_depth = 50;
+  /// Budget for the whole session (all properties).
+  util::Deadline deadline = util::Deadline::never();
+  /// Worker threads; != 1 with kAuto (or kPortfolio explicitly) races
+  /// (property × engine) lanes on one pool. 0 = all hardware threads.
+  std::size_t jobs = 1;
+};
+
+struct PropertyVerdict {
+  std::string name;
+  ltl::Formula property;
+  CheckOutcome outcome;
+};
+
+struct SessionResult {
+  std::vector<PropertyVerdict> properties;
+  /// Aggregate cost of the whole session. Shared solvers are counted once,
+  /// which is the point: with N properties, total.solvers_created and
+  /// total.frame_assertions are strictly below N one-shot core::check calls.
+  Stats total;
+
+  [[nodiscard]] bool all_hold() const;      // every property proven
+  [[nodiscard]] bool any_violated() const;  // some counterexample found
+  [[nodiscard]] bool any_undecided() const; // some timeout/unknown
+  /// No violations and no undecided results (kHolds/kBoundReached only).
+  [[nodiscard]] bool all_clean() const;
+  /// Human-readable per-property verdict table.
+  [[nodiscard]] std::string table() const;
+};
+
+class Session {
+ public:
+  /// The session keeps its own copy of the system (cheap: shared expression
+  /// handles), so the argument need not outlive it.
+  explicit Session(ts::TransitionSystem system);
+
+  /// Registers a property; returns its index into SessionResult::properties.
+  std::size_t add_property(std::string name, ltl::Formula property);
+  /// Parses `property_text` with ltl::parse_ltl and registers it.
+  std::size_t add_property(std::string name, std::string_view property_text);
+
+  [[nodiscard]] std::size_t num_properties() const { return properties_.size(); }
+  [[nodiscard]] const ts::TransitionSystem& system() const { return system_; }
+
+  /// Checks every added property. Verdicts agree with one-shot core::check
+  /// of the same engine (asserted by the crosscheck suite); only the cost
+  /// profile differs.
+  [[nodiscard]] SessionResult check_all(const SessionOptions& options = {}) const;
+
+ private:
+  struct Prop {
+    std::string name;
+    ltl::Formula formula;
+  };
+
+  ts::TransitionSystem system_;
+  std::vector<Prop> properties_;
+};
+
+}  // namespace verdict::core

@@ -11,6 +11,13 @@
 // found so far under the candidate's parameter values — a trace that stays
 // feasible condemns the candidate for free. This trace-generalization step is
 // what makes the enumeration practical on larger spaces.
+//
+// With SynthProver::kKInduction the sweep additionally shares TWO persistent
+// solvers (base + step) across the whole candidate space: candidates are
+// pinned through assumption literals (p == value) per check_assuming, so the
+// frame unrolling and simple-path constraints — which do not depend on the
+// candidate — are encoded once for the entire enumeration instead of once
+// per candidate (see enc::Unroller).
 #pragma once
 
 #include <vector>

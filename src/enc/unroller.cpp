@@ -1,0 +1,42 @@
+#include "enc/unroller.h"
+
+namespace verdict::enc {
+
+using expr::Expr;
+
+Unroller::Unroller(smt::Solver& solver, const ts::TransitionSystem& ts,
+                   UnrollerOptions options)
+    : solver_(solver), ts_(ts), options_(options) {
+  std::set<expr::VarId> rigid;
+  for (Expr p : ts.params()) rigid.insert(p.var());
+  solver_.set_rigid(rigid);
+}
+
+void Unroller::ensure_frames(int upto) {
+  for (int k = max_frame_ + 1; k <= upto; ++k) {
+    if (k == 0) {
+      if (options_.assert_params) {
+        solver_.add(ts_.param_formula(), 0);
+        for (Expr p : ts_.params()) solver_.add(ts::range_constraint(p), 0);
+      }
+      if (options_.assert_init) solver_.add(ts_.init_formula(), 0);
+    } else {
+      solver_.add(ts_.trans_formula(), k - 1);
+    }
+    solver_.add(ts_.invar_formula(), k);
+    for (Expr v : ts_.vars()) solver_.add(ts::range_constraint(v), k);
+    max_frame_ = k;
+  }
+}
+
+z3::expr Unroller::literal(Expr e, int frame) {
+  const auto key = std::make_pair(static_cast<std::uint64_t>(e.id()), frame);
+  const auto it = literals_.find(key);
+  if (it != literals_.end()) return it->second;
+  z3::expr lit = solver_.fresh_bool("act");
+  solver_.add(z3::implies(lit, solver_.translate(e, frame)));
+  literals_.emplace(key, lit);
+  return lit;
+}
+
+}  // namespace verdict::enc

@@ -102,75 +102,104 @@ std::vector<Lane> build_lanes(const ts::TransitionSystem& ts, const ltl::Formula
 
 }  // namespace
 
-CheckOutcome check_portfolio(const ts::TransitionSystem& ts, const ltl::Formula& property,
-                             const PortfolioOptions& options) {
+std::vector<CheckOutcome> check_portfolio_batch(const ts::TransitionSystem& ts,
+                                                std::span<const ltl::Formula> properties,
+                                                const PortfolioOptions& options) {
   ts.validate();
   util::Stopwatch watch;
-  const std::vector<Lane> lanes = build_lanes(ts, property, options);
+  const std::size_t n = properties.size();
+  std::vector<std::vector<Lane>> lanes(n);
+  std::size_t total_lanes = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    lanes[p] = build_lanes(ts, properties[p], options);
+    total_lanes += lanes[p].size();
+  }
 
-  const util::CancelToken cancel;
+  // One cancel token, winner slot, and outcome vector PER PROPERTY; a winning
+  // lane only trips its own property's token. The pool is shared: lanes of
+  // every property interleave on the same workers, so a quick verdict on one
+  // property frees its threads for the others.
+  std::vector<util::CancelToken> cancels(n);
   std::mutex mu;
   std::condition_variable cv;
-  std::vector<CheckOutcome> outcomes(lanes.size());
-  std::size_t done = 0;
-  int winner = -1;
+  std::vector<std::vector<CheckOutcome>> outcomes(n);
+  for (std::size_t p = 0; p < n; ++p) outcomes[p].resize(lanes[p].size());
+  std::vector<int> winner(n, -1);
+  std::vector<std::size_t> done(n, 0);
+  std::vector<double> wall(n, 0.0);
+  std::size_t total_done = 0;
 
   {
     ThreadPool pool(options.jobs == 0 ? default_jobs() : options.jobs);
-    for (std::size_t i = 0; i < lanes.size(); ++i) {
-      pool.submit([&, i] {
-        CheckOutcome out;
-        try {
-          out = lanes[i].run(options.deadline.with_cancel(cancel));
-        } catch (const std::exception& error) {
-          out.verdict = Verdict::kUnknown;
-          out.stats.engine = lanes[i].name;
-          out.message = lanes[i].name + std::string(" failed: ") + error.what();
-        }
-        std::lock_guard<std::mutex> lock(mu);
-        outcomes[i] = std::move(out);
-        if (winner < 0 && definitive(outcomes[i].verdict)) {
-          winner = static_cast<int>(i);
-          cancel.request_cancel();  // losers stop at their next deadline poll
-        }
-        ++done;
-        cv.notify_all();
-      });
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t i = 0; i < lanes[p].size(); ++i) {
+        pool.submit([&, p, i] {
+          CheckOutcome out;
+          try {
+            out = lanes[p][i].run(options.deadline.with_cancel(cancels[p]));
+          } catch (const std::exception& error) {
+            out.verdict = Verdict::kUnknown;
+            out.stats.engine = lanes[p][i].name;
+            out.message = lanes[p][i].name + std::string(" failed: ") + error.what();
+          }
+          std::lock_guard<std::mutex> lock(mu);
+          outcomes[p][i] = std::move(out);
+          if (winner[p] < 0 && definitive(outcomes[p][i].verdict)) {
+            winner[p] = static_cast<int>(i);
+            cancels[p].request_cancel();  // losers stop at their next poll
+          }
+          if (++done[p] == lanes[p].size()) wall[p] = watch.elapsed_seconds();
+          ++total_done;
+          cv.notify_all();
+        });
+      }
     }
     std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return done == lanes.size(); });
-  }  // pool joins here; all lanes have returned
+    cv.wait(lock, [&] { return total_done == total_lanes; });
+  }  // pool joins here; all lanes of all properties have returned
 
-  // No winner: surface the most informative indefinite lane.
-  std::size_t best = 0;
-  if (winner >= 0) {
-    best = static_cast<std::size_t>(winner);
-  } else {
-    for (std::size_t i = 1; i < lanes.size(); ++i)
-      if (indefinite_rank(outcomes[i].verdict) > indefinite_rank(outcomes[best].verdict))
-        best = i;
+  std::vector<CheckOutcome> results;
+  results.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    // No winner: surface the most informative indefinite lane.
+    std::size_t best = 0;
+    if (winner[p] >= 0) {
+      best = static_cast<std::size_t>(winner[p]);
+    } else {
+      for (std::size_t i = 1; i < lanes[p].size(); ++i)
+        if (indefinite_rank(outcomes[p][i].verdict) >
+            indefinite_rank(outcomes[p][best].verdict))
+          best = i;
+    }
+
+    CheckOutcome result = std::move(outcomes[p][best]);
+    core::Stats merged = result.stats;
+    for (std::size_t i = 0; i < lanes[p].size(); ++i)
+      if (i != best) merged.merge(outcomes[p][i].stats);
+    merged.engine = "portfolio[" + merged.engine + "]";
+    result.stats = std::move(merged);
+
+    std::ostringstream note;
+    if (winner[p] >= 0) {
+      note << "won by " << lanes[p][best].name << " in " << wall[p] << "s wall ("
+           << lanes[p].size() - 1 << " lane(s) cancelled)";
+    } else {
+      note << "no definitive lane; best of " << lanes[p].size() << " after "
+           << wall[p] << "s wall";
+    }
+    result.message = result.message.empty() ? note.str()
+                                            : result.message + "; " + note.str();
+    VERDICT_DEBUG() << "portfolio[" << p << "]: " << note.str();
+    results.push_back(std::move(result));
   }
+  return results;
+}
 
-  CheckOutcome result = std::move(outcomes[best]);
-  core::Stats merged = result.stats;
-  for (std::size_t i = 0; i < lanes.size(); ++i)
-    if (i != best) merged.merge(outcomes[i].stats);
-  const double wall = watch.elapsed_seconds();
-  merged.engine = "portfolio[" + merged.engine + "]";
-  result.stats = std::move(merged);
-
-  std::ostringstream note;
-  if (winner >= 0) {
-    note << "won by " << lanes[best].name << " in " << wall << "s wall ("
-         << lanes.size() - 1 << " lane(s) cancelled)";
-  } else {
-    note << "no definitive lane; best of " << lanes.size() << " after " << wall
-         << "s wall";
-  }
-  result.message = result.message.empty() ? note.str()
-                                          : result.message + "; " + note.str();
-  VERDICT_DEBUG() << "portfolio: " << note.str();
-  return result;
+CheckOutcome check_portfolio(const ts::TransitionSystem& ts, const ltl::Formula& property,
+                             const PortfolioOptions& options) {
+  return std::move(
+      check_portfolio_batch(ts, std::span<const ltl::Formula>(&property, 1), options)
+          .front());
 }
 
 }  // namespace verdict::portfolio

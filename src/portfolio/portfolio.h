@@ -21,6 +21,9 @@
 // see which engine won and what the race cost in total.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "core/result.h"
 #include "ltl/ltl.h"
 #include "ts/transition_system.h"
@@ -43,5 +46,16 @@ struct PortfolioOptions {
 [[nodiscard]] core::CheckOutcome check_portfolio(const ts::TransitionSystem& ts,
                                                  const ltl::Formula& property,
                                                  const PortfolioOptions& options = {});
+
+/// Batch racer behind core::Session with jobs != 1: every (property × engine)
+/// pair becomes one lane and ALL lanes share one thread pool, so a session of
+/// N properties saturates the hardware instead of racing N sequential
+/// portfolios. Each property keeps its own cancel token and winner — a
+/// verdict for property 3 cancels only property 3's remaining lanes. The
+/// returned vector is parallel to `properties`; each entry is exactly what
+/// check_portfolio would report for that property alone.
+[[nodiscard]] std::vector<core::CheckOutcome> check_portfolio_batch(
+    const ts::TransitionSystem& ts, std::span<const ltl::Formula> properties,
+    const PortfolioOptions& options = {});
 
 }  // namespace verdict::portfolio

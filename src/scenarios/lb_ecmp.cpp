@@ -178,6 +178,11 @@ LbEcmpScenario make_lb_ecmp_scenario(ctrl::LbPolicy policy, const std::string& p
       ltl::G(ltl::implies(ltl::atom(expr::mk_not(s.external_active)),
                           ltl::atom(s.stable))),
       s.fg_stable);
+  s.properties = {
+      {"fg_stable", s.fg_stable},
+      {"stable_implies_fg", s.stable_implies_fg},
+      {"quiet_until_burst_implies_fg", s.quiet_until_burst_implies_fg},
+  };
   return s;
 }
 

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ctrl/loadbalancer.h"
@@ -61,6 +62,9 @@ struct LbEcmpScenario {
   /// the paper's second, "more interesting" shape: stable before the burst,
   /// permanently oscillating after it (the burst must occur on the lasso).
   ltl::Formula quiet_until_burst_implies_fg;
+  /// The three liveness properties above, named, for batch checking with
+  /// core::Session (one lasso solver per depth shared across all three).
+  std::vector<std::pair<std::string, ltl::Formula>> properties;
 
   // The Fig. 3 topology and the hard-coded routes, for display.
   net::Topology topo;

@@ -53,6 +53,22 @@ RolloutPartitionScenario make_rollout_partition(
                                          std::move(failures.module)};
   scenario.system = mdl::compose(modules);
   scenario.property = ltl::G(ltl::atom(expr::mk_le(scenario.m, scenario.available)));
+
+  // The named batch: the paper's property plus availability-counter sanity
+  // invariants. 1 is violated for aggressive parameters, the rest always
+  // hold, which makes the set a good session workload (and benchmark).
+  const auto total =
+      expr::int_const(static_cast<std::int64_t>(service_nodes.size()));
+  scenario.properties = {
+      {"available_ge_m", scenario.property},
+      {"available_nonneg",
+       ltl::G(ltl::atom(expr::mk_le(expr::int_const(0), scenario.available)))},
+      {"available_le_total", ltl::G(ltl::atom(expr::mk_le(scenario.available, total)))},
+      {"first_node_counted",
+       ltl::G(ltl::atom(expr::mk_or(
+           {expr::mk_not(scenario.node_available.front()),
+            expr::mk_le(expr::int_const(1), scenario.available)})))},
+  };
   return scenario;
 }
 

@@ -21,6 +21,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ctrl/rollout.h"
@@ -56,6 +57,10 @@ struct RolloutPartitionScenario {
   std::vector<expr::Expr> node_status;  // rollout status per service node
   // The safety property G(available >= m).
   ltl::Formula property;
+  /// Named property set for batch checking (core::Session): the paper's
+  /// G(available >= m) plus sanity invariants of the availability counter.
+  /// All are invariant-shaped, so one session shares a single unrolling.
+  std::vector<std::pair<std::string, ltl::Formula>> properties;
 };
 
 /// Builds the scenario over an arbitrary topology. `service_nodes` must not

@@ -124,8 +124,14 @@ z3::expr Solver::translate(Expr e, int frame) {
   return out;
 }
 
-void Solver::add(Expr e, int frame) { solver_.add(translate(e, frame)); }
-void Solver::add(const z3::expr& e) { solver_.add(e); }
+void Solver::add(Expr e, int frame) {
+  solver_.add(translate(e, frame));
+  ++num_assertions_;
+}
+void Solver::add(const z3::expr& e) {
+  solver_.add(e);
+  ++num_assertions_;
+}
 
 void Solver::push() { solver_.push(); }
 void Solver::pop() { solver_.pop(); }
@@ -186,11 +192,12 @@ CheckResult Solver::check_assuming(std::span<const z3::expr> assumptions,
 }
 
 bool Solver::refine_real_model(std::span<const Expr> vars, int frame,
-                               const util::Deadline& deadline) {
+                               const util::Deadline& deadline,
+                               std::span<const z3::expr> base) {
   static const std::pair<std::int64_t, std::int64_t> kCandidates[] = {
       {0, 1}, {1, 1}, {2, 1},  {1, 2}, {3, 1},  {1, 4},   {4, 1},
       {5, 1}, {1, 8}, {10, 1}, {8, 1}, {16, 1}, {100, 1}, {1, 100}};
-  std::vector<z3::expr> assumptions;
+  std::vector<z3::expr> assumptions(base.begin(), base.end());
   bool need_recheck = false;
   for (Expr v : vars) {
     if (!v.is_variable() || !v.type().is_real()) continue;

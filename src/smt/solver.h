@@ -68,8 +68,12 @@ class Solver {
   /// values human-readable and within 64-bit extraction range (Z3 is
   /// otherwise free to answer with astronomically large rationals). Returns
   /// false if the final re-check did not land on kSat (model unchanged).
+  /// `base` assumptions (e.g. the property-activation literal of a session
+  /// check_assuming) are held through every re-check so the refined model
+  /// still satisfies them.
   bool refine_real_model(std::span<const expr::Expr> vars, int frame,
-                         const util::Deadline& deadline = util::Deadline::never());
+                         const util::Deadline& deadline = util::Deadline::never(),
+                         std::span<const z3::expr> base = {});
 
   /// After a kUnsat check_assuming: the subset of assumptions in the core.
   [[nodiscard]] std::vector<z3::expr> unsat_core();
@@ -81,6 +85,11 @@ class Solver {
 
   /// Number of check() calls made (benchmark instrumentation).
   [[nodiscard]] std::size_t num_checks() const { return num_checks_; }
+
+  /// Number of asserted formulas (both overloads of add); together with
+  /// num_checks this is the encoding-reuse instrumentation behind
+  /// core::Stats::{frame_assertions, solver_checks}.
+  [[nodiscard]] std::size_t num_assertions() const { return num_assertions_; }
 
  private:
   z3::expr constant_for(expr::Expr var, int frame);
@@ -96,6 +105,7 @@ class Solver {
   std::optional<z3::model> model_;
   std::size_t fresh_counter_ = 0;
   std::size_t num_checks_ = 0;
+  std::size_t num_assertions_ = 0;
 };
 
 /// Convenience: builds a State holding concrete values for the system's

@@ -13,6 +13,7 @@
 #include "core/kinduction.h"
 #include "core/liveness.h"
 #include "core/pdr.h"
+#include "core/session.h"
 #include "core/synth.h"
 #include "ltl/trace_eval.h"
 #include "portfolio/par_synth.h"
@@ -185,6 +186,53 @@ TEST_P(RandomSystemCrossCheck, LassoCounterexamplesSatisfyNegation) {
     std::string error;
     EXPECT_TRUE(core::confirm_counterexample(sys.ts, property, outcome, &error))
         << property.str() << ": " << error;
+  }
+}
+
+// Batch sessions share one unrolling across properties via assumption
+// literals; the sharing must be invisible in the verdicts. For every
+// (engine, property) pair the session verdict must equal the one-shot
+// core::check verdict, and every session counterexample must replay through
+// the exact evaluator exactly like a one-shot counterexample would.
+TEST_P(RandomSystemCrossCheck, SessionVerdictsMatchOneShotPerEnginePerProperty) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 90001 + 29);
+  const RandomSystem sys = make_random_system(4000 + GetParam(), rng);
+
+  // A mixed batch: three invariants (safety group) and two liveness shapes
+  // (lasso group), so every sharing path in Session::check_all is exercised.
+  const std::vector<ltl::Formula> properties = {
+      ltl::G(ltl::atom(expr::mk_le(sys.x + sys.y, expr::int_const(6)))),
+      ltl::G(ltl::atom(expr::mk_lt(sys.x, expr::int_const(3)))),
+      ltl::G(ltl::atom(expr::mk_or({sys.b, expr::mk_le(sys.y, expr::int_const(2))}))),
+      ltl::F(ltl::G(ltl::atom(sys.b))),
+      ltl::U(ltl::atom(expr::mk_le(sys.x, expr::int_const(2))), ltl::atom(sys.b)),
+  };
+
+  for (const core::Engine engine :
+       {core::Engine::kBmc, core::Engine::kKInduction, core::Engine::kLtlLasso}) {
+    core::Session session(sys.ts);
+    for (std::size_t i = 0; i < properties.size(); ++i)
+      session.add_property("p" + std::to_string(i), properties[i]);
+
+    core::SessionOptions batch_options;
+    batch_options.engine = engine;
+    batch_options.max_depth = 12;
+    const auto batch = session.check_all(batch_options);
+
+    for (std::size_t i = 0; i < properties.size(); ++i) {
+      core::CheckOptions solo_options;
+      solo_options.engine = engine;
+      solo_options.max_depth = 12;
+      const auto solo = core::check(sys.ts, properties[i], solo_options);
+      const auto& outcome = batch.properties[i].outcome;
+      EXPECT_EQ(outcome.verdict, solo.verdict)
+          << "engine " << static_cast<int>(engine) << " on " << properties[i].str();
+      if (outcome.violated()) {
+        std::string error;
+        EXPECT_TRUE(core::confirm_counterexample(sys.ts, properties[i], outcome, &error))
+            << properties[i].str() << ": " << error;
+      }
+    }
   }
 }
 

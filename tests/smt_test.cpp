@@ -104,6 +104,86 @@ TEST(Solver, CheckAssumingAndUnsatCore) {
   EXPECT_EQ(solver.check_assuming(only_a2), CheckResult::kSat);
 }
 
+// The session pattern: one unrolling, N "properties" behind activation
+// literals, each checked independently through check_assuming without
+// push/pop and without interfering with the others.
+TEST(Solver, CheckAssumingIsolatesActivationLiterals) {
+  Solver solver;
+  const Expr x = expr::int_var("smt_act", 0, 10);
+  solver.add(expr::mk_le(x, expr::int_const(5)), 0);
+
+  const z3::expr wants_nine = solver.fresh_bool("p0");
+  const z3::expr wants_three = solver.fresh_bool("p1");
+  const z3::expr wants_positive = solver.fresh_bool("p2");
+  solver.add(z3::implies(wants_nine,
+                         solver.translate(expr::mk_eq(x, expr::int_const(9)), 0)));
+  solver.add(z3::implies(wants_three,
+                         solver.translate(expr::mk_eq(x, expr::int_const(3)), 0)));
+  solver.add(z3::implies(wants_positive,
+                         solver.translate(expr::mk_lt(expr::int_const(0), x), 0)));
+
+  std::vector<z3::expr> a{wants_nine};
+  EXPECT_EQ(solver.check_assuming(a), CheckResult::kUnsat);
+  a = {wants_three};
+  ASSERT_EQ(solver.check_assuming(a), CheckResult::kSat);
+  EXPECT_EQ(std::get<std::int64_t>(solver.value_of(x, 0)), 3);
+  a = {wants_three, wants_positive};
+  EXPECT_EQ(solver.check_assuming(a), CheckResult::kSat);
+  // The earlier unsat check must not have poisoned the solver state.
+  a = {wants_nine, wants_positive};
+  EXPECT_EQ(solver.check_assuming(a), CheckResult::kUnsat);
+  const auto core = solver.unsat_core();
+  bool nine_in_core = false;
+  for (const z3::expr& c : core)
+    if (z3::eq(c, wants_nine)) nine_in_core = true;
+  EXPECT_TRUE(nine_in_core);
+  // wants_positive is individually satisfiable and must not be required:
+  // a minimal core for {nine, positive} is {nine} alone.
+  for (const z3::expr& c : core) EXPECT_FALSE(z3::eq(c, wants_three));
+}
+
+// refine_real_model under accumulated assumptions: the pins it tries (and
+// the final re-check) must hold the caller's base assumptions, otherwise the
+// refined model may abandon the activated property's constraint.
+TEST(Solver, RefineRealModelHonorsBaseAssumptions) {
+  Solver solver;
+  const Expr r = expr::real_var("smt_refb");
+  const z3::expr big = solver.fresh_bool("big");
+  const z3::expr small = solver.fresh_bool("small");
+  solver.add(z3::implies(
+      big, solver.translate(expr::mk_lt(expr::int_const(10), r), 0)));
+  solver.add(z3::implies(
+      small, solver.translate(expr::mk_lt(r, expr::int_const(1)), 0)));
+
+  std::vector<z3::expr> assume_big{big};
+  ASSERT_EQ(solver.check_assuming(assume_big), CheckResult::kSat);
+  ASSERT_TRUE(solver.refine_real_model(std::vector<Expr>{r}, 0,
+                                       util::Deadline::never(), assume_big));
+  // Without the base assumption the refinement would happily pin r = 0.
+  const util::Rational v = std::get<util::Rational>(solver.value_of(r, 0));
+  EXPECT_TRUE(util::Rational(10) < v) << v.str();
+
+  // Same solver, other property: the base assumptions swap cleanly.
+  std::vector<z3::expr> assume_small{small};
+  ASSERT_EQ(solver.check_assuming(assume_small), CheckResult::kSat);
+  ASSERT_TRUE(solver.refine_real_model(std::vector<Expr>{r}, 0,
+                                       util::Deadline::never(), assume_small));
+  const util::Rational w = std::get<util::Rational>(solver.value_of(r, 0));
+  EXPECT_TRUE(w < util::Rational(1)) << w.str();
+}
+
+// num_assertions is the encoding-cost instrumentation behind
+// core::Stats::frame_assertions; both add() overloads must count.
+TEST(Solver, NumAssertionsCountsBothAddOverloads) {
+  Solver solver;
+  EXPECT_EQ(solver.num_assertions(), 0u);
+  const Expr x = expr::int_var("smt_na", 0, 10);
+  solver.add(expr::mk_le(x, expr::int_const(5)), 0);
+  EXPECT_EQ(solver.num_assertions(), 1u);
+  solver.add(solver.fresh_bool("na_lit"));
+  EXPECT_EQ(solver.num_assertions(), 2u);
+}
+
 TEST(Solver, StateExtraction) {
   Solver solver;
   const Expr x = expr::int_var("smt_st_x", 0, 10);

@@ -1,0 +1,70 @@
+#!/bin/sh
+# Drives the verdictc CLI end-to-end: --prop/--props-file selection, the
+# per-property verdict table, and the documented aggregate exit codes
+# (0 all hold or bound-clean, 1 any violated, 2 errors, 3 any undecided).
+#
+# Usage: verdictc_cli_test.sh <path-to-verdictc> <examples/models dir>
+set -u
+
+VERDICTC="$1"
+MODELS="$2"
+TMP="${TMPDIR:-/tmp}/verdictc_cli_$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+expect_exit() {
+  want="$1"
+  got="$2"
+  what="$3"
+  [ "$got" -eq "$want" ] || fail "$what: expected exit $want, got $got"
+}
+
+# --help exits 0 and documents the exit-code contract.
+"$VERDICTC" --help > "$TMP/help.txt" 2>&1
+expect_exit 0 $? "--help"
+grep -q "exit codes:" "$TMP/help.txt" || fail "--help must document exit codes"
+grep -q "3  no violation" "$TMP/help.txt" || fail "--help must document exit code 3"
+
+# All properties hold: exit 0.
+"$VERDICTC" "$MODELS/autoscaler.vml" --engine kinduction --depth 20 \
+  > "$TMP/hold.txt" 2>&1
+expect_exit 0 $? "autoscaler all-hold run"
+grep -q "holds" "$TMP/hold.txt" || fail "all-hold run must print a holds verdict"
+
+# A violated property: exit 1, confirmed counterexample.
+"$VERDICTC" "$MODELS/rollout.vml" --prop quorum_kept --trace > "$TMP/viol.txt" 2>&1
+expect_exit 1 $? "rollout violation run"
+grep -q "violated" "$TMP/viol.txt" || fail "violation run must print a violated verdict"
+grep -q "counterexample confirmed" "$TMP/viol.txt" || \
+  fail "violation run must confirm the counterexample"
+
+# --props-file drives the same batch and prints the session verdict table.
+printf '# properties under test\n\nquorum_kept\n' > "$TMP/props.txt"
+"$VERDICTC" "$MODELS/rollout.vml" --props-file "$TMP/props.txt" > "$TMP/batch.txt" 2>&1
+expect_exit 1 $? "props-file run"
+grep -q "property" "$TMP/batch.txt" || fail "props-file run must print the verdict table"
+grep -q "quorum_kept" "$TMP/batch.txt" || fail "verdict table must name the property"
+grep -q "session:" "$TMP/batch.txt" || fail "props-file run must print session stats"
+
+# Unknown property names are usage errors: exit 2.
+"$VERDICTC" "$MODELS/rollout.vml" --prop no_such_property > "$TMP/unknown.txt" 2>&1
+expect_exit 2 $? "unknown property"
+
+# Missing props file: exit 2.
+"$VERDICTC" "$MODELS/rollout.vml" --props-file "$TMP/does_not_exist.txt" \
+  > "$TMP/missing.txt" 2>&1
+expect_exit 2 $? "missing props file"
+
+# An already-expired budget leaves the property undecided: exit 3.
+"$VERDICTC" "$MODELS/rollout.vml" --prop quorum_kept --engine bmc \
+  --timeout 0.000001 > "$TMP/timeout.txt" 2>&1
+expect_exit 3 $? "timeout run"
+grep -q "timeout" "$TMP/timeout.txt" || fail "timeout run must print a timeout verdict"
+
+echo "verdictc CLI: all checks passed"
+exit 0

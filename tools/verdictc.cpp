@@ -5,7 +5,10 @@
 //
 // Options:
 //   --list                 list declared properties and exit
-//   --property NAME        check only the named property (repeatable)
+//   --prop NAME            check only the named property (repeatable;
+//   --property NAME        alias)
+//   --props-file FILE      read property names from FILE (one per line,
+//                          blank lines and '#' comments ignored)
 //   --engine ENGINE        auto | bmc | kinduction | pdr | explicit | lasso |
 //                          portfolio (LTL properties; CTL always uses the
 //                          BDD engine)
@@ -13,10 +16,14 @@
 //                          --engine auto, N > 1 upgrades to the portfolio
 //                          (0 = all hardware threads)
 //   --depth N              unroll depth / induction bound / frame limit (50)
-//   --timeout SECONDS      per-property budget (default: none)
+//   --timeout SECONDS      wall-clock budget for the whole run (default: none)
 //   --smv FILE             also export the model + properties as NuXMV input
 //   --trace                print counterexample traces
 //   --quiet                only print the per-property verdict lines
+//
+// All selected LTL properties are checked in ONE core::Session, which shares
+// the solver unrolling across them (see src/core/session.h); a per-property
+// verdict table is printed at the end of the run.
 //
 // Every kViolated verdict is independently confirmed on the spot: the trace
 // is replayed through the exact evaluator (core::confirm_counterexample) and
@@ -24,8 +31,11 @@
 // checker bug and exits with status 2 instead of silently printing a bogus
 // counterexample.
 //
-// Exit code: 0 when every checked property holds or is bound-clean,
-// 1 when any property is violated, 2 on usage/model/confirmation errors.
+// Exit codes (also in --help):
+//   0  every checked property holds or is bound-clean
+//   1  at least one property is violated
+//   2  usage, model, or counterexample-confirmation error
+//   3  no violation, but at least one property timed out or came back unknown
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,8 +44,10 @@
 
 #include "bdd/checker.h"
 #include "core/checker.h"
+#include "core/session.h"
 #include "mdl/vml.h"
 #include "ts/smv_export.h"
+#include "util/strings.h"
 
 #include <fstream>
 
@@ -56,10 +68,24 @@ struct Options {
 
 [[noreturn]] void usage(const char* argv0, int code) {
   std::fprintf(stderr,
-               "usage: %s MODEL.vml [--list] [--property NAME]... "
-               "[--engine auto|bmc|kinduction|pdr|explicit|lasso|portfolio] "
-               "[--jobs N] [--depth N] "
-               "[--timeout SECONDS] [--trace] [--quiet]\n",
+               "usage: %s MODEL.vml [options]\n"
+               "  --list             list declared properties and exit\n"
+               "  --prop NAME        check only the named property (repeatable;\n"
+               "  --property NAME    alias)\n"
+               "  --props-file FILE  read property names from FILE (one per line,\n"
+               "                     blank lines and '#' comments ignored)\n"
+               "  --engine ENGINE    auto|bmc|kinduction|pdr|explicit|lasso|portfolio\n"
+               "  --jobs N           worker threads (0 = all hardware threads)\n"
+               "  --depth N          unroll depth / induction bound / frame limit (50)\n"
+               "  --timeout SECONDS  wall-clock budget for the whole run\n"
+               "  --smv FILE         also export the model as NuXMV input\n"
+               "  --trace            print counterexample traces\n"
+               "  --quiet            only print the per-property verdict lines\n"
+               "exit codes:\n"
+               "  0  every checked property holds or is bound-clean\n"
+               "  1  at least one property is violated\n"
+               "  2  usage, model, or counterexample-confirmation error\n"
+               "  3  no violation, but some property timed out or is unknown\n",
                argv0);
   std::exit(code);
 }
@@ -74,8 +100,21 @@ Options parse_args(int argc, char** argv) {
     };
     if (arg == "--list") {
       options.list_only = true;
-    } else if (arg == "--property") {
+    } else if (arg == "--property" || arg == "--prop") {
       options.properties.push_back(value());
+    } else if (arg == "--props-file") {
+      const std::string path = value();
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "verdictc: cannot read props file %s\n", path.c_str());
+        std::exit(2);
+      }
+      std::string line;
+      while (std::getline(in, line)) {
+        const std::string name(verdict::util::trim(line));
+        if (name.empty() || name[0] == '#') continue;
+        options.properties.push_back(name);
+      }
     } else if (arg == "--engine") {
       const std::string engine = value();
       if (engine == "auto") {
@@ -180,29 +219,53 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Every name the user asked for must exist.
+  for (const std::string& wanted : options.properties) {
+    if (!model.ltl_properties.contains(wanted) && !model.ctl_properties.contains(wanted)) {
+      std::fprintf(stderr, "verdictc: unknown property '%s'\n", wanted.c_str());
+      return 2;
+    }
+  }
+
   const util::Deadline deadline = options.timeout > 0
                                       ? util::Deadline::after_seconds(options.timeout)
                                       : util::Deadline::never();
   bool any_violation = false;
   bool any_error = false;
+  bool any_undecided = false;
 
+  // All selected LTL properties go through ONE session so the solver
+  // unrolling is shared across them (src/core/session.h).
+  core::Session session(model.system);
   for (const auto& [name, property] : model.ltl_properties) {
     if (!selected(options, name)) continue;
+    session.add_property(name, property);
+  }
+  if (session.num_properties() > 0) {
+    core::SessionResult result;
     try {
-      core::CheckOptions check;
+      core::SessionOptions check;
       check.engine = options.engine;
       check.max_depth = options.depth;
       check.jobs = options.jobs;
-      check.deadline = options.timeout > 0 ? util::Deadline::after_seconds(options.timeout)
-                                           : deadline;
-      const auto outcome = core::check(model.system, property, check);
-      std::printf("ltl %-24s %s\n", name.c_str(), core::describe(outcome).c_str());
+      check.deadline = deadline;
+      result = session.check_all(check);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "verdictc: %s\n", error.what());
+      return 2;
+    }
+    for (const auto& pv : result.properties) {
+      const auto& outcome = pv.outcome;
+      std::printf("ltl %-24s %s\n", pv.name.c_str(), core::describe(outcome).c_str());
+      if (outcome.verdict == core::Verdict::kTimeout ||
+          outcome.verdict == core::Verdict::kUnknown)
+        any_undecided = true;
       if (outcome.violated()) {
         any_violation = true;
         // Independently confirm the trace before trusting (or printing) it:
         // it must be a genuine execution AND falsify the property.
         std::string confirm_error;
-        if (core::confirm_counterexample(model.system, property, outcome,
+        if (core::confirm_counterexample(model.system, pv.property, outcome,
                                          &confirm_error)) {
           if (!options.quiet)
             std::printf("    counterexample confirmed (replay + property check)\n");
@@ -214,9 +277,12 @@ int main(int argc, char** argv) {
         if (options.print_trace && outcome.counterexample)
           std::printf("%s", outcome.counterexample->str().c_str());
       }
-    } catch (const std::exception& error) {
-      std::printf("ltl %-24s ERROR: %s\n", name.c_str(), error.what());
-      any_error = true;
+    }
+    if (!options.quiet) {
+      std::printf("\n%s", result.table().c_str());
+      std::printf("session: %zu solver(s), %zu frame assertion(s), %zu check(s), %.2fs\n",
+                  result.total.solvers_created, result.total.frame_assertions,
+                  result.total.solver_checks, result.total.seconds);
     }
   }
 
@@ -224,10 +290,12 @@ int main(int argc, char** argv) {
     if (!selected(options, name)) continue;
     try {
       bdd::BddOptions check;
-      check.deadline = options.timeout > 0 ? util::Deadline::after_seconds(options.timeout)
-                                           : deadline;
+      check.deadline = deadline;
       const auto outcome = bdd::check_ctl_bdd(model.system, property, check);
       std::printf("ctl %-24s %s\n", name.c_str(), core::describe(outcome).c_str());
+      if (outcome.verdict == core::Verdict::kTimeout ||
+          outcome.verdict == core::Verdict::kUnknown)
+        any_undecided = true;
       if (outcome.violated()) {
         any_violation = true;
         if (options.print_trace && outcome.counterexample)
@@ -239,5 +307,6 @@ int main(int argc, char** argv) {
     }
   }
   if (any_error) return 2;
-  return any_violation ? 1 : 0;
+  if (any_violation) return 1;
+  return any_undecided ? 3 : 0;
 }
