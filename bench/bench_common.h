@@ -10,13 +10,19 @@
 //   VERDICT_BENCH_FULL      set to 1 to run the full-size sweeps (fattree12)
 //   VERDICT_BENCH_SMOKE     set to 1 to restrict every bench to its tiniest
 //                           instance (the CI smoke step)
+//   VERDICT_BENCH_JSON      when set to a file path, benches append one JSON
+//                           object per measurement row (NDJSON) so scripts
+//                           consume numbers instead of scraping stdout
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 
 #include "expr/expr.h"
+#include "obs/json.h"
 #include "ts/transition_system.h"
 
 namespace verdict::bench {
@@ -53,5 +59,40 @@ inline void header(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("==============================================================\n");
 }
+
+/// Machine-readable measurement rows. When VERDICT_BENCH_JSON names a file,
+/// every row() appends one compact JSON object ({"bench": <name>, ...fields
+/// written by the callback}) as one NDJSON line; without the variable the
+/// helper is a silent no-op, so benches always call it unconditionally.
+///
+///   bench::JsonRows rows("session_batch");
+///   rows.row([&](obs::JsonWriter& w) {
+///     w.kv("topology", tc.name);
+///     w.kv("speedup", speedup);
+///   });
+class JsonRows {
+ public:
+  explicit JsonRows(std::string bench) : bench_(std::move(bench)) {
+    if (const char* env = std::getenv("VERDICT_BENCH_JSON")) path_ = env;
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  template <typename Fill>
+  void row(Fill&& fill) {
+    if (path_.empty()) return;
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("bench", bench_);
+    fill(w);
+    w.end_object();
+    std::ofstream out(path_, std::ios::app);
+    if (out) out << w.str() << '\n';
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+};
 
 }  // namespace verdict::bench

@@ -2,14 +2,17 @@
 //
 // test topology, p = m = 1, k = 2: the checker finds an execution where two
 // link failures (the front-end's uplinks) plus the rollout drive the number
-// of available service nodes to 0 < m. The trace is printed state by state
-// with the derived `available` count, the way Fig. 5 annotates its states.
+// of available service nodes to 0 < m. The trace renders through the shared
+// obs::explain_trace explainer — the same code path as `verdictc --explain` —
+// with the derived `available` count as a per-state column and the node
+// status codes labelled old/DOWN/updated, the way Fig. 5 annotates states.
 #include <cstdio>
 
 #include "bench_common.h"
 #include "core/bmc.h"
 #include "core/checker.h"
 #include "ltl/trace_eval.h"
+#include "obs/explain.h"
 #include "scenarios/rollout_partition.h"
 
 int main() {
@@ -29,32 +32,20 @@ int main() {
   std::printf("result    %s\n\n", core::describe(outcome).c_str());
   if (!outcome.counterexample) return 1;
 
-  const ts::Trace& trace = *outcome.counterexample;
-  std::printf("parameters chosen by the checker: %s\n\n", trace.params.str().c_str());
-  for (std::size_t i = 0; i < trace.states.size(); ++i) {
-    const expr::Env env = system.env_of(trace.states[i], trace.params);
-    const std::int64_t available =
-        std::get<std::int64_t>(expr::eval(scenario.available, env));
-    std::printf("state [%zu]  available: %ld\n", i, static_cast<long>(available));
-    // Narrate what changed: node statuses and failed links.
-    std::printf("  rollout:");
-    for (std::size_t n = 0; n < scenario.node_status.size(); ++n) {
-      const auto v = trace.states[i].get(scenario.node_status[n]);
-      const long s = static_cast<long>(std::get<std::int64_t>(*v));
-      std::printf(" s%zu=%s", n + 1, s == 0 ? "old" : (s == 1 ? "DOWN" : "updated"));
-    }
-    std::printf("\n  links down:");
-    bool any = false;
-    for (const expr::Expr& up : scenario.link_up) {
-      const auto v = trace.states[i].get(up);
-      if (!std::get<bool>(*v)) {
-        std::printf(" %s", up.var_name().c_str());
-        any = true;
-      }
-    }
-    if (!any) std::printf(" (none)");
-    std::printf("\n");
-  }
+  obs::ExplainOptions explain;
+  explain.derived.emplace_back("available", scenario.available);
+  for (const expr::Expr& status : scenario.node_status)
+    explain.labels[status.var()] = {{0, "old"}, {1, "DOWN"}, {2, "updated"}};
+  std::printf("%s", obs::explain_trace(system, *outcome.counterexample, explain).c_str());
+
+  bench::JsonRows rows("fig5_counterexample");
+  rows.row([&](obs::JsonWriter& w) {
+    w.kv("verdict", core::verdict_name(outcome.verdict));
+    w.kv("trace_length", outcome.counterexample->states.size());
+    w.kv("seconds", outcome.stats.seconds);
+    w.kv("solver_seconds", outcome.stats.solver_seconds);
+    w.kv("solver_checks", outcome.stats.solver_checks);
+  });
 
   std::string error;
   const bool confirmed =

@@ -65,6 +65,7 @@ int main() {
 
   bool verdicts_match = true;
   double best_check_speedup = 0.0;
+  bench::JsonRows rows("portfolio_speedup");
 
   struct TopologyCase {
     std::string name;
@@ -105,6 +106,15 @@ int main() {
                 core::verdict_name(seq.outcome.verdict), seq.wall,
                 core::verdict_name(par.outcome.verdict), par.wall, speedup,
                 match ? "" : "  VERDICT MISMATCH");
+    rows.row([&](obs::JsonWriter& w) {
+      w.kv("topology", tc.name);
+      w.kv("sequential_seconds", seq.wall);
+      w.kv("portfolio_seconds", par.wall);
+      w.kv("speedup", speedup);
+      w.kv("verdict", core::verdict_name(par.outcome.verdict));
+      w.kv("verdicts_match", match);
+      w.kv("solver_seconds", par.outcome.stats.solver_seconds);
+    });
   }
 
   // --- Parameter synthesis sweep (same configuration as synth_parameters).
@@ -145,6 +155,15 @@ int main() {
               par_result.pruned_by_replay);
   std::printf("  speedup: %.2fx%s\n", synth_speedup,
               synth_match ? "" : "  CLASSIFICATION MISMATCH");
+  rows.row([&](obs::JsonWriter& w) {
+    w.kv("sweep", "synthesis");
+    w.kv("sequential_seconds", seq_wall);
+    w.kv("parallel_seconds", par_wall);
+    w.kv("speedup", synth_speedup);
+    w.kv("safe", par_result.safe.size());
+    w.kv("unsafe", par_result.unsafe.size());
+    w.kv("verdicts_match", synth_match);
+  });
 
   std::printf("\nbest check speedup: %.2fx (target >= 1.5x), synth speedup: %.2fx "
               "(target >= 2x), verdicts %s\n",

@@ -54,6 +54,7 @@ int main() {
 
   bool verdicts_match = true;
   double best_fattree_speedup = 0.0;
+  bench::JsonRows rows("session_batch");
 
   std::printf("%-10s %-11s | %-14s | %-14s | %s\n", "topology", "engine",
               "sequential", "session", "speedup");
@@ -109,6 +110,18 @@ int main() {
                   tc.name.c_str(), engine_name(engine), n, solo_wall,
                   batch.total.solvers_created, batch_wall, speedup,
                   match ? "" : "  VERDICT MISMATCH");
+      rows.row([&](obs::JsonWriter& w) {
+        w.kv("topology", tc.name);
+        w.kv("engine", engine_name(engine));
+        w.kv("properties", n);
+        w.kv("sequential_seconds", solo_wall);
+        w.kv("session_seconds", batch_wall);
+        w.kv("speedup", speedup);
+        w.kv("verdicts_match", match);
+        w.kv("solvers_created", batch.total.solvers_created);
+        w.kv("frame_assertions", batch.total.frame_assertions);
+        w.kv("solver_seconds", batch.total.solver_seconds);
+      });
     }
   }
 

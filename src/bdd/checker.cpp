@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "expr/walk.h"
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace verdict::bdd {
@@ -94,6 +95,11 @@ CheckOutcome check_invariant_bdd(const ts::TransitionSystem& ts, Expr invariant,
     reached = m.apply_or(reached, fresh);
     rings.push_back(fresh);
     ++depth;
+    if (obs::TraceSink* s = obs::sink())
+      s->event("bdd.ring")
+          .attr("depth", depth)
+          .attr("nodes", m.num_nodes())
+          .emit();
   }
 }
 

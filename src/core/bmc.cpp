@@ -33,9 +33,16 @@ CheckOutcome run_incremental(const ts::TransitionSystem& ts, Expr invariant,
       return run.finish(Verdict::kTimeout,
                         "deadline expired before depth " + std::to_string(k));
     unroller.ensure_frames(k);
+    const double solve_before = solver.check_seconds();
     const std::vector<z3::expr> assumptions{unroller.literal(bad, k)};
     const smt::CheckResult r = solver.check_assuming(assumptions, options.deadline);
     run.note_depth(k);
+    if (obs::TraceSink* s = obs::sink())
+      s->event("bmc.depth")
+          .attr("k", k)
+          .attr("sat", r == smt::CheckResult::kSat)
+          .attr("solve_seconds", solver.check_seconds() - solve_before)
+          .emit();
     if (r == smt::CheckResult::kSat) {
       solver.refine_real_model(ts.params(), 0, options.deadline, assumptions);
       outcome.counterexample = extract_trace(solver, ts, k);

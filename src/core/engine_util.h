@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/result.h"
+#include "obs/trace.h"
 #include "smt/solver.h"
 #include "util/stopwatch.h"
 
@@ -24,6 +25,8 @@ class EngineRun {
  public:
   EngineRun(CheckOutcome& outcome, std::string engine) : outcome_(outcome) {
     outcome_.stats.engine = std::move(engine);
+    if (obs::TraceSink* s = obs::sink())
+      s->event("engine.start").attr("engine", outcome_.stats.engine).emit();
   }
 
   /// Registers a solver that stays alive until finish()/give_up(); its
@@ -35,6 +38,7 @@ class EngineRun {
   void note_finished_solver(const smt::Solver& solver) {
     checks_ += solver.num_checks();
     assertions_ += solver.num_assertions();
+    solver_seconds_ += solver.check_seconds();
     ++solvers_;
   }
 
@@ -42,6 +46,7 @@ class EngineRun {
   void note_depth(int depth) { outcome_.stats.depth_reached = depth; }
 
   /// Stamps the stats and verdict; the single exit point for every path.
+  /// Also emits the "engine.finish" trace event every engine shares.
   CheckOutcome& finish(Verdict verdict, std::string message = "") {
     outcome_.verdict = verdict;
     if (!message.empty()) outcome_.message = std::move(message);
@@ -49,10 +54,21 @@ class EngineRun {
     outcome_.stats.solver_checks = checks_;
     outcome_.stats.frame_assertions = assertions_;
     outcome_.stats.solvers_created = solvers_ + tracked_.size();
+    outcome_.stats.solver_seconds = solver_seconds_;
     for (const smt::Solver* s : tracked_) {
       outcome_.stats.solver_checks += s->num_checks();
       outcome_.stats.frame_assertions += s->num_assertions();
+      outcome_.stats.solver_seconds += s->check_seconds();
     }
+    if (obs::TraceSink* s = obs::sink())
+      s->event("engine.finish")
+          .attr("engine", outcome_.stats.engine)
+          .attr("verdict", verdict_name(verdict))
+          .attr("seconds", outcome_.stats.seconds)
+          .attr("solver_seconds", outcome_.stats.solver_seconds)
+          .attr("checks", outcome_.stats.solver_checks)
+          .attr("depth", outcome_.stats.depth_reached)
+          .emit();
     return outcome_;
   }
 
@@ -71,6 +87,7 @@ class EngineRun {
   std::size_t checks_ = 0;
   std::size_t assertions_ = 0;
   std::size_t solvers_ = 0;
+  double solver_seconds_ = 0.0;
 };
 
 }  // namespace verdict::core

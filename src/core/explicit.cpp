@@ -3,6 +3,7 @@
 #include <deque>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace verdict::core {
@@ -247,6 +248,11 @@ CheckOutcome check_invariant_explicit(const ts::TransitionSystem& ts, Expr invar
     }
     const ExplicitStateSpace space(ts, params, options);
     total_states += space.num_states();
+    if (obs::TraceSink* s = obs::sink())
+      s->event("explicit.space")
+          .attr("states", space.num_states())
+          .attr("truncated", space.truncated())
+          .emit();
     const std::vector<std::size_t> path = space.shortest_path_to(expr::mk_not(invariant));
     if (!path.empty()) {
       ts::Trace trace;
@@ -286,6 +292,11 @@ CheckOutcome check_ctl_explicit(const ts::TransitionSystem& ts,
       return outcome;
     }
     const ExplicitStateSpace space(ts, params, options);
+    if (obs::TraceSink* s = obs::sink())
+      s->event("explicit.space")
+          .attr("states", space.num_states())
+          .attr("truncated", space.truncated())
+          .emit();
     if (space.truncated()) {
       outcome.verdict = Verdict::kUnknown;
       outcome.message = "state space truncated";

@@ -46,6 +46,7 @@ CheckOutcome check_invariant_kinduction(const ts::TransitionSystem& ts, Expr inv
     run.note_depth(k);
     if (options.deadline.expired_or_cancelled())
       return run.finish(Verdict::kTimeout, "deadline expired at k=" + std::to_string(k));
+    const double solve_before = base_solver.check_seconds() + step_solver.check_seconds();
 
     // --- Base: init-reachable violation within k steps?
     base.ensure_frames(k);
@@ -73,6 +74,13 @@ CheckOutcome check_invariant_kinduction(const ts::TransitionSystem& ts, Expr inv
     const std::vector<z3::expr> step_assumptions{step.literal(bad, k + 1)};
     const smt::CheckResult step_result =
         step_solver.check_assuming(step_assumptions, options.deadline);
+    if (obs::TraceSink* s = obs::sink())
+      s->event("kinduction.k")
+          .attr("k", k)
+          .attr("step_blocked", step_result == smt::CheckResult::kUnsat)
+          .attr("solve_seconds",
+                base_solver.check_seconds() + step_solver.check_seconds() - solve_before)
+          .emit();
     if (step_result == smt::CheckResult::kUnsat)
       return run.finish(Verdict::kHolds,
                         "proved by " + std::to_string(k + 1) + "-induction");

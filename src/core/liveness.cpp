@@ -322,8 +322,15 @@ LassoBatchResult check_ltl_lasso_batch(const ts::TransitionSystem& ts,
     }
     result.shared.solver_checks += solver.num_checks();
     result.shared.frame_assertions += solver.num_assertions();
+    result.shared.solver_seconds += solver.check_seconds();
     ++result.shared.solvers_created;
     result.shared.depth_reached = k;
+    if (obs::TraceSink* s = obs::sink())
+      s->event("lasso.depth")
+          .attr("k", k)
+          .attr("pending", pending.size())
+          .attr("solve_seconds", solver.check_seconds())
+          .emit();
   }
 
   for (const std::size_t i : std::vector<std::size_t>(pending))
@@ -341,6 +348,7 @@ CheckOutcome check_ltl_lasso(const ts::TransitionSystem& ts, const Formula& prop
   outcome.stats.solver_checks = batch.shared.solver_checks;
   outcome.stats.frame_assertions = batch.shared.frame_assertions;
   outcome.stats.solvers_created = batch.shared.solvers_created;
+  outcome.stats.solver_seconds = batch.shared.solver_seconds;
   return outcome;
 }
 

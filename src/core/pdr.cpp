@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "expr/walk.h"
+#include "obs/trace.h"
 #include "smt/solver.h"
 #include "util/log.h"
 
@@ -55,13 +56,25 @@ class Pdr {
     util::Stopwatch watch;
     CheckOutcome outcome;
     outcome.stats.engine = "pdr";
+    if (obs::TraceSink* s = obs::sink())
+      s->event("engine.start").attr("engine", outcome.stats.engine).emit();
     const auto finish = [&](Verdict v, const std::string& message = "") {
       outcome.verdict = v;
       outcome.message = message;
       outcome.stats.solver_checks = solver_.num_checks();
       outcome.stats.frame_assertions = solver_.num_assertions();
       outcome.stats.solvers_created = 1;
+      outcome.stats.solver_seconds = solver_.check_seconds();
       outcome.stats.seconds = watch.elapsed_seconds();
+      if (obs::TraceSink* s = obs::sink())
+        s->event("engine.finish")
+            .attr("engine", outcome.stats.engine)
+            .attr("verdict", verdict_name(v))
+            .attr("seconds", outcome.stats.seconds)
+            .attr("solver_seconds", outcome.stats.solver_seconds)
+            .attr("checks", outcome.stats.solver_checks)
+            .attr("depth", outcome.stats.depth_reached)
+            .emit();
       return outcome;
     };
 
@@ -87,6 +100,8 @@ class Pdr {
     int n = 1;  // current frontier frame
     while (true) {
       outcome.stats.depth_reached = n;
+      if (obs::TraceSink* s = obs::sink())
+        s->event("pdr.frame").attr("frame", n).attr("lemmas", lemmas_.size()).emit();
       if (expired()) return finish(Verdict::kTimeout, "deadline at frame " + std::to_string(n));
       if (n > options_.max_frames)
         return finish(Verdict::kBoundReached,
@@ -236,6 +251,7 @@ class Pdr {
     Lemma lemma{solver_.fresh_bool("lem"), level, cube};
     solver_.add(z3::implies(lemma.act, clause_at0(cube)));
     lemmas_.push_back(std::move(lemma));
+    obs::count("pdr.lemmas");
   }
 
   // Blocks `bad` at `level`; returns false when a counterexample was found
@@ -256,6 +272,7 @@ class Pdr {
       }
       const auto [lvl, idx] = queue.top();
       queue.pop();
+      obs::count("pdr.obligations");
       const Obligation ob = arena[idx];
 
       if (lvl == 0 || state_is_initial(ob.state)) {

@@ -35,6 +35,10 @@ enum class Verdict : std::uint8_t {
 struct Stats {
   std::string engine;
   double seconds = 0.0;
+  /// Wall time spent inside smt::Solver::check* calls — the solver share of
+  /// `seconds`. The gap between the two is encoding/bookkeeping time, which
+  /// is exactly what the session/encoding layer exists to shrink.
+  double solver_seconds = 0.0;
   std::size_t solver_checks = 0;
   int depth_reached = -1;  // engine-specific: unroll depth / frame count
   /// SMT solver instances constructed for this run. Batch sessions exist to
@@ -49,6 +53,7 @@ struct Stats {
   /// ("pdr+bmc") so portfolio / fallback outcomes show every engine that ran.
   void merge(const Stats& other) {
     seconds += other.seconds;
+    solver_seconds += other.solver_seconds;
     solver_checks += other.solver_checks;
     solvers_created += other.solvers_created;
     frame_assertions += other.frame_assertions;

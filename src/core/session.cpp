@@ -7,6 +7,7 @@
 #include "core/liveness.h"
 #include "enc/unroller.h"
 #include "ltl/parser.h"
+#include "obs/trace.h"
 #include "portfolio/portfolio.h"
 #include "smt/solver.h"
 #include "util/log.h"
@@ -36,6 +37,7 @@ void fold_cost(Stats& total, const Stats& stats) {
   total.solver_checks += stats.solver_checks;
   total.frame_assertions += stats.frame_assertions;
   total.solvers_created += stats.solvers_created;
+  total.solver_seconds += stats.solver_seconds;
   total.depth_reached = std::max(total.depth_reached, stats.depth_reached);
 }
 
@@ -60,6 +62,13 @@ class Group {
     if (!message.empty()) o.message = std::move(message);
     o.stats.seconds = watch_.elapsed_seconds();
     std::erase(pending_, i);
+    if (obs::TraceSink* s = obs::sink())
+      s->event("session.resolve")
+          .attr("property", i)
+          .attr("engine", engine_)
+          .attr("verdict", verdict_name(verdict))
+          .attr("depth", o.stats.depth_reached)
+          .emit();
   }
 
   void resolve_rest(Verdict verdict, const std::string& message) {
@@ -87,6 +96,7 @@ void run_shared_bmc(const ts::TransitionSystem& system, Group& group,
       break;
     }
     unroller.ensure_frames(k);
+    const double solve_before = solver.check_seconds();
     for (const std::size_t i : group.pending_copy()) {
       const std::size_t before = solver.num_checks();
       const std::vector<z3::expr> assumptions{unroller.literal(bad[i], k)};
@@ -104,12 +114,21 @@ void run_shared_bmc(const ts::TransitionSystem& system, Group& group,
       }
       group.outcome(i).stats.solver_checks += solver.num_checks() - before;
     }
+    if (obs::TraceSink* s = obs::sink())
+      s->event("session.depth")
+          .attr("engine", "bmc")
+          .attr("k", k)
+          .attr("pending", group.pending_copy().size())
+          .attr("solve_seconds", solver.check_seconds() - solve_before)
+          .emit();
   }
   group.resolve_rest(Verdict::kBoundReached, "");
   total.solver_checks += solver.num_checks();
   total.frame_assertions += solver.num_assertions();
   total.solvers_created += 1;
+  total.solver_seconds += solver.check_seconds();
   total.depth_reached = std::max(total.depth_reached, unroller.max_frame());
+  obs::count("session.shared_bmc_checks", solver.num_checks());
 }
 
 // All invariant properties over one shared base solver and one shared step
@@ -130,6 +149,7 @@ void run_shared_kinduction(const ts::TransitionSystem& system, Group& group,
       group.resolve_rest(Verdict::kTimeout, "deadline expired at k=" + std::to_string(k));
       break;
     }
+    const double solve_before = base_solver.check_seconds() + step_solver.check_seconds();
     base.ensure_frames(k);
     step.ensure_frames(k + 1);
     for (int j = 0; j < k + 1; ++j)
@@ -171,6 +191,14 @@ void run_shared_kinduction(const ts::TransitionSystem& system, Group& group,
       group.outcome(i).stats.solver_checks +=
           base_solver.num_checks() + step_solver.num_checks() - before;
     }
+    if (obs::TraceSink* s = obs::sink())
+      s->event("session.depth")
+          .attr("engine", "kinduction")
+          .attr("k", k)
+          .attr("pending", group.pending_copy().size())
+          .attr("solve_seconds", base_solver.check_seconds() +
+                                     step_solver.check_seconds() - solve_before)
+          .emit();
   }
   group.resolve_rest(Verdict::kBoundReached,
                      "no proof or counterexample within k=" +
@@ -178,7 +206,10 @@ void run_shared_kinduction(const ts::TransitionSystem& system, Group& group,
   total.solver_checks += base_solver.num_checks() + step_solver.num_checks();
   total.frame_assertions += base_solver.num_assertions() + step_solver.num_assertions();
   total.solvers_created += 2;
+  total.solver_seconds += base_solver.check_seconds() + step_solver.check_seconds();
   total.depth_reached = std::max(total.depth_reached, base.max_frame());
+  obs::count("session.shared_kind_checks",
+             base_solver.num_checks() + step_solver.num_checks());
 }
 
 }  // namespace

@@ -1,0 +1,97 @@
+#include "obs/explain.h"
+
+#include <sstream>
+
+#include "expr/eval.h"
+
+namespace verdict::obs {
+
+using expr::Value;
+using expr::VarId;
+
+std::string explain_value(const ExplainOptions& options, VarId var, const Value& value) {
+  if (std::holds_alternative<std::int64_t>(value)) {
+    const auto by_var = options.labels.find(var);
+    if (by_var != options.labels.end()) {
+      const auto named = by_var->second.find(std::get<std::int64_t>(value));
+      if (named != by_var->second.end()) return named->second;
+    }
+  }
+  return expr::value_str(value);
+}
+
+namespace {
+
+// "name=value" pairs of one state, rendered with labels.
+std::string full_state(const ExplainOptions& options, const ts::State& s) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [id, v] : s.values()) {
+    if (!first) os << "  ";
+    first = false;
+    os << expr::var_name(id) << '=' << explain_value(options, id, v);
+  }
+  return os.str();
+}
+
+void append_derived(const ExplainOptions& options, const ts::TransitionSystem& ts,
+                    const ts::State& state, const ts::Trace& trace, std::ostream& os) {
+  if (options.derived.empty()) return;
+  const expr::Env env = ts.env_of(state, trace.params);
+  os << "   |";
+  for (const auto& [name, e] : options.derived)
+    os << ' ' << name << '=' << expr::value_str(expr::eval(e, env));
+}
+
+}  // namespace
+
+std::string explain_trace(const ts::TransitionSystem& ts, const ts::Trace& trace,
+                          const ExplainOptions& options) {
+  std::ostringstream os;
+  const std::string& ind = options.indent;
+
+  if (!trace.params.empty()) {
+    os << ind << "parameters chosen by the checker:\n";
+    for (const auto& [id, v] : trace.params.values())
+      os << ind << "    " << expr::var_name(id) << " = "
+         << explain_value(options, id, v) << "\n";
+  }
+
+  for (std::size_t i = 0; i < trace.states.size(); ++i) {
+    const ts::State& state = trace.states[i];
+    os << ind << "step [" << i << "]";
+    if (trace.lasso_start && *trace.lasso_start == i) os << "  <- loop target";
+
+    if (i == 0 || !options.diff_only) {
+      append_derived(options, ts, state, trace, os);
+      os << "\n" << ind << "    " << full_state(options, state) << "\n";
+      continue;
+    }
+
+    // Diff against the previous state: only changed variables.
+    const ts::State& prev = trace.states[i - 1];
+    std::vector<std::string> changes;
+    for (const auto& [id, v] : state.values()) {
+      const auto before = prev.get(id);
+      if (before && expr::value_eq(*before, v)) continue;
+      std::string line = expr::var_name(id) + ": ";
+      line += before ? explain_value(options, id, *before) : "?";
+      line += " -> " + explain_value(options, id, v);
+      changes.push_back(std::move(line));
+    }
+    append_derived(options, ts, state, trace, os);
+    if (changes.empty()) {
+      os << "\n" << ind << "    (stutter: no variable changed)\n";
+      continue;
+    }
+    os << "\n";
+    for (const std::string& change : changes) os << ind << "    " << change << "\n";
+  }
+
+  if (trace.lasso_start)
+    os << ind << "(last state loops back to step [" << *trace.lasso_start
+       << "]: the violation repeats forever)\n";
+  return os.str();
+}
+
+}  // namespace verdict::obs

@@ -1,0 +1,62 @@
+// Counterexample explainer: renders a ts::Trace as a step-by-step state
+// *diff* instead of a full state dump.
+//
+// The paper's deliverable is an *actionable* counterexample — Fig. 5
+// annotates each state with what changed (a node taken down, a link failed)
+// and the parameter values that enabled the failure. Raw `Trace::str()`
+// prints every variable at every step, which drowns that story at ~20
+// variables. The explainer prints:
+//
+//   * the parameter valuation the checker chose, first and prominently
+//     (these are the knobs an operator can actually turn);
+//   * state [0] in full;
+//   * for every later state, only the variables whose value changed
+//     ("s1: old -> DOWN", "link_up_c0_a0: true -> false");
+//   * optional derived columns (e.g. "available = 3") evaluated per state
+//     through the exact expression evaluator;
+//   * lasso loop-back annotations for liveness counterexamples.
+//
+// Values always render through expr::value_str (exact rationals as "a/b",
+// never a raw numerator/denominator pair or a truncated double), and integer
+// codes can be given human labels ("0 -> old, 1 -> DOWN, 2 -> updated") so
+// every frontend — verdictc --explain/--trace, bench/fig5, reports — shows
+// the same text for the same value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/expr.h"
+#include "ts/transition_system.h"
+
+namespace verdict::obs {
+
+struct ExplainOptions {
+  /// Print only changed variables after state [0]. Off = full state per step
+  /// (what `--trace` shows); the rendering and labels stay identical.
+  bool diff_only = true;
+  /// Extra named expressions evaluated per state over (state, params) and
+  /// printed as a derived column, e.g. {"available", scenario.available}.
+  std::vector<std::pair<std::string, expr::Expr>> derived;
+  /// Human names for integer codes, per variable ("enum" rendering):
+  /// labels[var id][2] == "updated".
+  std::map<expr::VarId, std::map<std::int64_t, std::string>> labels;
+  /// Indent prepended to every line.
+  std::string indent;
+};
+
+/// One value rendered for humans: labels (if any) win, otherwise
+/// expr::value_str. The single authority for counterexample value text.
+[[nodiscard]] std::string explain_value(const ExplainOptions& options, expr::VarId var,
+                                        const expr::Value& value);
+
+/// Renders the trace per the options. `ts` supplies variable/parameter
+/// classification and the evaluation environment for derived columns.
+[[nodiscard]] std::string explain_trace(const ts::TransitionSystem& ts,
+                                        const ts::Trace& trace,
+                                        const ExplainOptions& options = {});
+
+}  // namespace verdict::obs

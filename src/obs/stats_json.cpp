@@ -1,0 +1,76 @@
+#include "obs/stats_json.h"
+
+#include "obs/trace.h"
+
+namespace verdict::obs {
+
+void write_value(JsonWriter& w, const expr::Value& v) {
+  if (const bool* b = std::get_if<bool>(&v)) {
+    w.value(*b);
+  } else if (const std::int64_t* i = std::get_if<std::int64_t>(&v)) {
+    w.value(*i);
+  } else {
+    w.value(std::get<util::Rational>(v).str());  // exact, e.g. "3/7"
+  }
+}
+
+void write_state(JsonWriter& w, const ts::State& s) {
+  w.begin_object();
+  for (const auto& [id, v] : s.values()) {
+    w.key(expr::var_name(id));
+    write_value(w, v);
+  }
+  w.end_object();
+}
+
+void write_trace(JsonWriter& w, const ts::Trace& trace) {
+  w.begin_object();
+  w.kv("length", trace.states.size());
+  w.key("lasso_start");
+  if (trace.lasso_start) {
+    w.value(*trace.lasso_start);
+  } else {
+    w.null();
+  }
+  w.key("params");
+  write_state(w, trace.params);
+  w.key("states");
+  w.begin_array();
+  for (const ts::State& s : trace.states) write_state(w, s);
+  w.end_array();
+  w.end_object();
+}
+
+void write_stats(JsonWriter& w, const core::Stats& stats) {
+  w.begin_object();
+  w.kv("engine", stats.engine);
+  w.kv("seconds", stats.seconds);
+  w.kv("solver_seconds", stats.solver_seconds);
+  w.kv("solver_checks", stats.solver_checks);
+  w.kv("depth_reached", static_cast<std::int64_t>(stats.depth_reached));
+  w.kv("solvers_created", stats.solvers_created);
+  w.kv("frame_assertions", stats.frame_assertions);
+  w.end_object();
+}
+
+void write_outcome(JsonWriter& w, const core::CheckOutcome& outcome) {
+  w.begin_object();
+  w.kv("verdict", core::verdict_name(outcome.verdict));
+  if (!outcome.message.empty()) w.kv("message", outcome.message);
+  w.key("stats");
+  write_stats(w, outcome.stats);
+  if (outcome.counterexample) {
+    w.key("counterexample");
+    write_trace(w, *outcome.counterexample);
+  }
+  w.end_object();
+}
+
+void write_counters(JsonWriter& w) {
+  w.begin_object();
+  for (const auto& [name, value] : counters_snapshot())
+    w.kv(name, static_cast<std::int64_t>(value));
+  w.end_object();
+}
+
+}  // namespace verdict::obs

@@ -1,0 +1,46 @@
+// Machine-readable results: Stats / CheckOutcome / Trace -> JSON.
+//
+// BENCH_*.json stayed empty for two PRs because nothing in the repo could
+// export numbers a script can consume — every perf claim was a human reading
+// stdout. These writers define the one JSON shape (documented in
+// docs/observability.md, "verdict-stats-v1") shared by:
+//
+//   * verdictc --stats-json FILE   — the full run document,
+//   * the bench binaries           — VERDICT_BENCH_JSON row files,
+//   * tools/verdict-report         — consumes both,
+//   * tests/obs_test.cpp           — emit -> parse -> field-check round trip.
+//
+// Value encoding: bools are JSON bools, ints are JSON numbers, and exact
+// rationals are JSON strings ("3/7") so nothing is rounded — the consumer
+// decides whether to go lossy.
+#pragma once
+
+#include <string>
+
+#include "core/result.h"
+#include "obs/json.h"
+#include "ts/transition_system.h"
+
+namespace verdict::obs {
+
+/// Writes one expr::Value (bool / int / exact-rational-as-string).
+void write_value(JsonWriter& w, const expr::Value& v);
+
+/// Writes a state as an object {"var": value, ...} in variable-name order.
+void write_state(JsonWriter& w, const ts::State& s);
+
+/// Writes a trace: {"length": N, "lasso_start": k|null,
+/// "params": {...}, "states": [{...}, ...]}.
+void write_trace(JsonWriter& w, const ts::Trace& trace);
+
+/// Writes a Stats record as an object of its counters and timings.
+void write_stats(JsonWriter& w, const core::Stats& stats);
+
+/// Writes a CheckOutcome: verdict, message, stats, and (when present) the
+/// counterexample trace.
+void write_outcome(JsonWriter& w, const core::CheckOutcome& outcome);
+
+/// Writes the process-global obs counter registry snapshot as an object.
+void write_counters(JsonWriter& w);
+
+}  // namespace verdict::obs

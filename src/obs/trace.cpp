@@ -1,0 +1,153 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace verdict::obs {
+
+namespace detail {
+std::atomic<TraceSink*> g_sink{nullptr};
+}  // namespace detail
+
+void set_sink(TraceSink* s) { detail::g_sink.store(s, std::memory_order_release); }
+
+// --- EventBuilder ------------------------------------------------------------
+
+EventBuilder::EventBuilder(TraceSink& sink, std::string_view type) : sink_(sink) {
+  line_ = "{\"ts\":" + json_number(sink.now()) + ",\"type\":\"" + json_escape(type) + "\"";
+}
+
+EventBuilder& EventBuilder::attr(std::string_view key, std::string_view v) {
+  line_ += ",\"" + json_escape(key) + "\":\"" + json_escape(v) + "\"";
+  return *this;
+}
+
+EventBuilder& EventBuilder::attr(std::string_view key, bool v) {
+  line_ += ",\"" + json_escape(key) + "\":" + (v ? "true" : "false");
+  return *this;
+}
+
+EventBuilder& EventBuilder::attr(std::string_view key, std::int64_t v) {
+  line_ += ",\"" + json_escape(key) + "\":" + std::to_string(v);
+  return *this;
+}
+
+EventBuilder& EventBuilder::attr(std::string_view key, double v) {
+  line_ += ",\"" + json_escape(key) + "\":" + json_number(v);
+  return *this;
+}
+
+void EventBuilder::emit() {
+  line_ += "}\n";
+  sink_.write_line(line_);
+}
+
+// --- TraceSink ---------------------------------------------------------------
+
+TraceSink::TraceSink(std::ostream& out) : out_(&out) {}
+
+TraceSink::~TraceSink() {
+  // Defensive: never leave a dangling global sink behind.
+  if (sink() == this) set_sink(nullptr);
+}
+
+std::unique_ptr<TraceSink> TraceSink::open_file(const std::string& path) {
+  auto stream = std::make_unique<std::ofstream>(path);
+  if (!*stream) throw std::runtime_error("cannot open trace file: " + path);
+  auto sink = std::make_unique<TraceSink>(*stream);
+  sink->owned_ = std::move(stream);
+  return sink;
+}
+
+void TraceSink::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *out_ << line;
+  events_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_->flush();
+}
+
+// --- Span --------------------------------------------------------------------
+
+Span::Span(std::string_view type) : sink_(sink()) {
+  if (!sink_) return;
+  start_ = sink_->now();
+  type_ = type;
+}
+
+Span& Span::attr(std::string_view key, std::string_view v) {
+  if (sink_) attrs_ += ",\"" + json_escape(key) + "\":\"" + json_escape(v) + "\"";
+  return *this;
+}
+
+Span& Span::attr(std::string_view key, std::int64_t v) {
+  if (sink_) attrs_ += ",\"" + json_escape(key) + "\":" + std::to_string(v);
+  return *this;
+}
+
+Span& Span::attr(std::string_view key, double v) {
+  if (sink_) attrs_ += ",\"" + json_escape(key) + "\":" + json_number(v);
+  return *this;
+}
+
+void Span::close() {
+  if (!sink_) return;
+  TraceSink* s = sink_;
+  sink_ = nullptr;
+  // The span's "ts" is its START time; "dur" is the elapsed seconds. (The
+  // sink may have been uninstalled mid-span; the captured pointer is still
+  // valid by the set_sink contract — callers uninstall before destruction,
+  // and in-flight spans belong to the same run.)
+  std::string line = "{\"ts\":" + json_number(start_) + ",\"type\":\"" +
+                     json_escape(type_) + "\",\"dur\":" +
+                     json_number(s->now() - start_) + attrs_ + "}\n";
+  s->write_line(line);
+}
+
+// --- Counters ----------------------------------------------------------------
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // node-stable map: counter() hands out references that must never move.
+  std::map<std::string, std::atomic<std::uint64_t>> cells;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: counters live process-long
+  return *r;
+}
+
+}  // namespace
+
+std::atomic<std::uint64_t>& counter(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.cells[std::string(name)];
+}
+
+void count(std::string_view name, std::uint64_t delta) {
+  counter(name).fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::map<std::string, std::uint64_t> counters_snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, cell] : r.cells)
+    out.emplace(name, cell.load(std::memory_order_relaxed));
+  return out;
+}
+
+void reset_counters() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, cell] : r.cells) cell.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace verdict::obs

@@ -11,6 +11,7 @@
 #include "core/l2s.h"
 #include "core/liveness.h"
 #include "core/pdr.h"
+#include "obs/trace.h"
 #include "portfolio/pool.h"
 #include "util/log.h"
 
@@ -134,6 +135,11 @@ std::vector<CheckOutcome> check_portfolio_batch(const ts::TransitionSystem& ts,
     for (std::size_t p = 0; p < n; ++p) {
       for (std::size_t i = 0; i < lanes[p].size(); ++i) {
         pool.submit([&, p, i] {
+          if (obs::TraceSink* s = obs::sink())
+            s->event("portfolio.lane_start")
+                .attr("property", p)
+                .attr("lane", lanes[p][i].name)
+                .emit();
           CheckOutcome out;
           try {
             out = lanes[p][i].run(options.deadline.with_cancel(cancels[p]));
@@ -143,10 +149,27 @@ std::vector<CheckOutcome> check_portfolio_batch(const ts::TransitionSystem& ts,
             out.message = lanes[p][i].name + std::string(" failed: ") + error.what();
           }
           std::lock_guard<std::mutex> lock(mu);
+          const bool was_cancelled = winner[p] >= 0;
           outcomes[p][i] = std::move(out);
+          if (obs::TraceSink* s = obs::sink())
+            s->event(was_cancelled ? "portfolio.lane_cancelled" : "portfolio.lane_finish")
+                .attr("property", p)
+                .attr("lane", lanes[p][i].name)
+                .attr("verdict", core::verdict_name(outcomes[p][i].verdict))
+                .attr("seconds", outcomes[p][i].stats.seconds)
+                .emit();
           if (winner[p] < 0 && definitive(outcomes[p][i].verdict)) {
             winner[p] = static_cast<int>(i);
             cancels[p].request_cancel();  // losers stop at their next poll
+            if (obs::TraceSink* s = obs::sink())
+              s->event("portfolio.win")
+                  .attr("property", p)
+                  .attr("lane", lanes[p][i].name)
+                  .attr("verdict", core::verdict_name(outcomes[p][i].verdict))
+                  .attr("wall_seconds", watch.elapsed_seconds())
+                  .attr("cancelled_lanes", lanes[p].size() - 1 - done[p])
+                  .emit();
+            obs::count("portfolio.wins");
           }
           if (++done[p] == lanes[p].size()) wall[p] = watch.elapsed_seconds();
           ++total_done;

@@ -1,8 +1,10 @@
 #include "smt/solver.h"
 
+#include <atomic>
 #include <climits>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace verdict::smt {
@@ -13,7 +15,25 @@ using expr::Type;
 using expr::TypeKind;
 using expr::Value;
 
-Solver::Solver() : ctx_(), solver_(ctx_) {}
+namespace {
+std::atomic<std::size_t> g_solver_serial{0};
+
+const char* check_result_name(CheckResult r) {
+  switch (r) {
+    case CheckResult::kSat:
+      return "sat";
+    case CheckResult::kUnsat:
+      return "unsat";
+    default:
+      return "unknown";
+  }
+}
+}  // namespace
+
+Solver::Solver() : ctx_(), solver_(ctx_) {
+  serial_ = g_solver_serial.fetch_add(1, std::memory_order_relaxed);
+  obs::count("smt.solvers_created");
+}
 
 void Solver::set_rigid(const std::set<expr::VarId>& rigid) {
   if (!cache_.empty())
@@ -162,15 +182,21 @@ CheckResult Solver::check(const util::Deadline& deadline) {
   apply_deadline(ctx_, solver_, deadline);
   ++num_checks_;
   model_.reset();
+  const util::Stopwatch watch;
+  CheckResult result;
   switch (solver_.check()) {
     case z3::sat:
       model_ = solver_.get_model();
-      return CheckResult::kSat;
+      result = CheckResult::kSat;
+      break;
     case z3::unsat:
-      return CheckResult::kUnsat;
+      result = CheckResult::kUnsat;
+      break;
     default:
-      return CheckResult::kUnknown;
+      result = CheckResult::kUnknown;
   }
+  note_check(watch.elapsed_seconds(), result, 0);
+  return result;
 }
 
 CheckResult Solver::check_assuming(std::span<const z3::expr> assumptions,
@@ -180,15 +206,33 @@ CheckResult Solver::check_assuming(std::span<const z3::expr> assumptions,
   model_.reset();
   z3::expr_vector vec(ctx_);
   for (const z3::expr& a : assumptions) vec.push_back(a);
+  const util::Stopwatch watch;
+  CheckResult result;
   switch (solver_.check(vec)) {
     case z3::sat:
       model_ = solver_.get_model();
-      return CheckResult::kSat;
+      result = CheckResult::kSat;
+      break;
     case z3::unsat:
-      return CheckResult::kUnsat;
+      result = CheckResult::kUnsat;
+      break;
     default:
-      return CheckResult::kUnknown;
+      result = CheckResult::kUnknown;
   }
+  note_check(watch.elapsed_seconds(), result, assumptions.size());
+  return result;
+}
+
+void Solver::note_check(double seconds, CheckResult result, std::size_t assumptions) {
+  check_seconds_ += seconds;
+  obs::count("smt.checks");
+  if (obs::TraceSink* s = obs::sink())
+    s->event("smt.check")
+        .attr("solver", serial_)
+        .attr("result", check_result_name(result))
+        .attr("assumptions", assumptions)
+        .attr("seconds", seconds)
+        .emit();
 }
 
 bool Solver::refine_real_model(std::span<const Expr> vars, int frame,

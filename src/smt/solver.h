@@ -91,9 +91,20 @@ class Solver {
   /// core::Stats::{frame_assertions, solver_checks}.
   [[nodiscard]] std::size_t num_assertions() const { return num_assertions_; }
 
+  /// Accumulated wall time spent inside check()/check_assuming() — the
+  /// timing hook behind core::Stats::solver_seconds and the obs layer's
+  /// per-query "smt.check" events.
+  [[nodiscard]] double check_seconds() const { return check_seconds_; }
+
+  /// Process-unique serial number (correlates "smt.check" trace events with
+  /// the solver that issued them).
+  [[nodiscard]] std::size_t serial() const { return serial_; }
+
  private:
   z3::expr constant_for(expr::Expr var, int frame);
   z3::sort sort_of(const expr::Type& type);
+  // Timing/tracing hook shared by both check overloads.
+  void note_check(double seconds, CheckResult result, std::size_t assumptions);
 
   z3::context ctx_;
   z3::solver solver_;
@@ -106,6 +117,8 @@ class Solver {
   std::size_t fresh_counter_ = 0;
   std::size_t num_checks_ = 0;
   std::size_t num_assertions_ = 0;
+  double check_seconds_ = 0.0;
+  std::size_t serial_ = 0;
 };
 
 /// Convenience: builds a State holding concrete values for the system's

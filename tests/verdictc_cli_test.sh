@@ -3,11 +3,17 @@
 # per-property verdict table, and the documented aggregate exit codes
 # (0 all hold or bound-clean, 1 any violated, 2 errors, 3 any undecided).
 #
-# Usage: verdictc_cli_test.sh <path-to-verdictc> <examples/models dir>
+# With a third argument (the verdict-report binary) it also validates the
+# --stats-json / --trace-out output JSON-aware: verdict-report --check parses
+# the stats document and enforces the verdict-stats-v1 schema field by field.
+#
+# Usage: verdictc_cli_test.sh <path-to-verdictc> <examples/models dir> \
+#                             [path-to-verdict-report]
 set -u
 
 VERDICTC="$1"
 MODELS="$2"
+REPORT="${3:-}"
 TMP="${TMPDIR:-/tmp}/verdictc_cli_$$"
 mkdir -p "$TMP"
 trap 'rm -rf "$TMP"' EXIT
@@ -59,6 +65,51 @@ expect_exit 2 $? "unknown property"
 "$VERDICTC" "$MODELS/rollout.vml" --props-file "$TMP/does_not_exist.txt" \
   > "$TMP/missing.txt" 2>&1
 expect_exit 2 $? "missing props file"
+
+# --stats-json + --trace-out: machine-readable exports, schema-checked.
+"$VERDICTC" "$MODELS/rollout.vml" --engine bmc --depth 8 \
+  --stats-json "$TMP/stats.json" --trace-out "$TMP/trace.ndjson" \
+  > "$TMP/obs.txt" 2>&1
+expect_exit 1 $? "stats/trace export run"
+[ -s "$TMP/stats.json" ] || fail "--stats-json must write a non-empty file"
+[ -s "$TMP/trace.ndjson" ] || fail "--trace-out must write a non-empty file"
+grep -q '"schema":"verdict-stats-v1"' "$TMP/stats.json" || \
+  fail "stats document must carry the verdict-stats-v1 schema marker"
+grep -q '"name":"quorum_kept"' "$TMP/stats.json" || \
+  fail "stats document must record the checked property"
+grep -q '"exit_code":1' "$TMP/stats.json" || \
+  fail "stats document must record the exit code"
+head -1 "$TMP/trace.ndjson" | grep -q '"type":"run.start"' || \
+  fail "trace must open with a run.start event"
+tail -1 "$TMP/trace.ndjson" | grep -q '"type":"run.finish"' || \
+  fail "trace must close with a run.finish event"
+# LTL properties route through ONE core::Session, so the per-depth progress
+# event is the session's, not the one-shot engine's.
+grep -q '"type":"session.depth"' "$TMP/trace.ndjson" || \
+  fail "a session bmc run must emit session.depth events"
+grep -q '"type":"session.resolve"' "$TMP/trace.ndjson" || \
+  fail "a session run must emit session.resolve events"
+
+if [ -n "$REPORT" ]; then
+  # JSON-aware validation: parse + schema-check the document, then render
+  # both reports (exit 0 = clean).
+  "$REPORT" --stats "$TMP/stats.json" --check > "$TMP/check.txt" 2>&1
+  expect_exit 0 $? "verdict-report --check on a fresh stats document"
+  "$REPORT" --stats "$TMP/stats.json" --trace "$TMP/trace.ndjson" \
+    > "$TMP/report.txt" 2>&1
+  expect_exit 0 $? "verdict-report rendering"
+  grep -q "quorum_kept" "$TMP/report.txt" || \
+    fail "report must name the checked property"
+
+  # A corrupted document must be rejected.
+  sed 's/verdict-stats-v1/verdict-stats-v999/' "$TMP/stats.json" \
+    > "$TMP/bad_schema.json"
+  "$REPORT" --stats "$TMP/bad_schema.json" --check > /dev/null 2>&1
+  expect_exit 1 $? "verdict-report --check on a wrong schema marker"
+  printf '{"not json' > "$TMP/bad_json.json"
+  "$REPORT" --stats "$TMP/bad_json.json" --check > /dev/null 2>&1
+  expect_exit 1 $? "verdict-report --check on malformed JSON"
+fi
 
 # An already-expired budget leaves the property undecided: exit 3.
 "$VERDICTC" "$MODELS/rollout.vml" --prop quorum_kept --engine bmc \

@@ -18,7 +18,13 @@
 //   --depth N              unroll depth / induction bound / frame limit (50)
 //   --timeout SECONDS      wall-clock budget for the whole run (default: none)
 //   --smv FILE             also export the model + properties as NuXMV input
-//   --trace                print counterexample traces
+//   --trace                print counterexample traces (full states per step)
+//   --explain              print counterexample traces as state *diffs*
+//                          (only changed variables; parameters up front)
+//   --stats-json FILE      write the whole run as one JSON document
+//                          (schema "verdict-stats-v1", docs/observability.md)
+//   --trace-out FILE       stream structured engine events to FILE as NDJSON
+//                          (one JSON object per line; see docs/observability.md)
 //   --quiet                only print the per-property verdict lines
 //
 // All selected LTL properties are checked in ONE core::Session, which shares
@@ -39,6 +45,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +53,9 @@
 #include "core/checker.h"
 #include "core/session.h"
 #include "mdl/vml.h"
+#include "obs/explain.h"
+#include "obs/stats_json.h"
+#include "obs/trace.h"
 #include "ts/smv_export.h"
 #include "util/strings.h"
 
@@ -62,8 +72,11 @@ struct Options {
   double timeout = 0.0;  // 0 = none
   bool list_only = false;
   bool print_trace = false;
+  bool explain = false;
   bool quiet = false;
-  std::string smv_out;  // when set, export the model to this .smv path
+  std::string smv_out;     // when set, export the model to this .smv path
+  std::string stats_json;  // when set, write the verdict-stats-v1 document here
+  std::string trace_out;   // when set, stream NDJSON engine events here
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
@@ -79,7 +92,10 @@ struct Options {
                "  --depth N          unroll depth / induction bound / frame limit (50)\n"
                "  --timeout SECONDS  wall-clock budget for the whole run\n"
                "  --smv FILE         also export the model as NuXMV input\n"
-               "  --trace            print counterexample traces\n"
+               "  --trace            print counterexample traces (full states)\n"
+               "  --explain          print counterexample traces as state diffs\n"
+               "  --stats-json FILE  write run results as JSON (verdict-stats-v1)\n"
+               "  --trace-out FILE   stream structured engine events as NDJSON\n"
                "  --quiet            only print the per-property verdict lines\n"
                "exit codes:\n"
                "  0  every checked property holds or is bound-clean\n"
@@ -152,6 +168,12 @@ Options parse_args(int argc, char** argv) {
       options.smv_out = value();
     } else if (arg == "--trace") {
       options.print_trace = true;
+    } else if (arg == "--explain") {
+      options.explain = true;
+    } else if (arg == "--stats-json") {
+      options.stats_json = value();
+    } else if (arg == "--trace-out") {
+      options.trace_out = value();
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -174,6 +196,49 @@ bool selected(const Options& options, const std::string& name) {
   for (const std::string& wanted : options.properties)
     if (wanted == name) return true;
   return false;
+}
+
+const char* engine_cli_name(verdict::core::Engine e) {
+  using verdict::core::Engine;
+  switch (e) {
+    case Engine::kAuto:
+      return "auto";
+    case Engine::kBmc:
+      return "bmc";
+    case Engine::kKInduction:
+      return "kinduction";
+    case Engine::kPdr:
+      return "pdr";
+    case Engine::kExplicit:
+      return "explicit";
+    case Engine::kLtlLasso:
+      return "lasso";
+    case Engine::kPortfolio:
+      return "portfolio";
+  }
+  return "?";
+}
+
+// One checked property as it lands in the --stats-json document.
+struct PropRecord {
+  std::string name;
+  std::string kind;  // "ltl" | "ctl"
+  std::string text;
+  verdict::core::CheckOutcome outcome;
+};
+
+// --trace and --explain share one renderer (obs::explain_trace); --trace
+// shows full states per step, --explain only the per-step diff. Rational
+// values and labels render identically either way.
+void print_counterexample(const Options& options, const verdict::mdl::VmlModel& model,
+                          const verdict::core::CheckOutcome& outcome) {
+  if (!outcome.counterexample) return;
+  if (!options.print_trace && !options.explain) return;
+  verdict::obs::ExplainOptions eo;
+  eo.diff_only = options.explain;
+  eo.indent = "    ";
+  std::printf("%s", verdict::obs::explain_trace(model.system, *outcome.counterexample, eo)
+                        .c_str());
 }
 
 }  // namespace
@@ -234,6 +299,29 @@ int main(int argc, char** argv) {
   bool any_error = false;
   bool any_undecided = false;
 
+  // Structured event stream: installed before any engine runs so every
+  // solver check and portfolio lane shows up in the file.
+  std::unique_ptr<obs::TraceSink> trace_sink;
+  if (!options.trace_out.empty()) {
+    try {
+      trace_sink = obs::TraceSink::open_file(options.trace_out);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "verdictc: %s\n", error.what());
+      return 2;
+    }
+    obs::set_sink(trace_sink.get());
+    trace_sink->event("run.start")
+        .attr("model", options.model_path)
+        .attr("engine", engine_cli_name(options.engine))
+        .attr("depth", options.depth)
+        .attr("jobs", options.jobs)
+        .emit();
+  }
+
+  std::vector<PropRecord> records;
+  core::Stats total;
+  total.engine = "run";
+
   // All selected LTL properties go through ONE session so the solver
   // unrolling is shared across them (src/core/session.h).
   core::Session session(model.system);
@@ -257,6 +345,7 @@ int main(int argc, char** argv) {
     for (const auto& pv : result.properties) {
       const auto& outcome = pv.outcome;
       std::printf("ltl %-24s %s\n", pv.name.c_str(), core::describe(outcome).c_str());
+      records.push_back({pv.name, "ltl", pv.property.str(), outcome});
       if (outcome.verdict == core::Verdict::kTimeout ||
           outcome.verdict == core::Verdict::kUnknown)
         any_undecided = true;
@@ -274,10 +363,11 @@ int main(int argc, char** argv) {
                       confirm_error.c_str());
           any_error = true;
         }
-        if (options.print_trace && outcome.counterexample)
-          std::printf("%s", outcome.counterexample->str().c_str());
+        print_counterexample(options, model, outcome);
       }
     }
+    total.merge(result.total);
+    total.engine = "run";
     if (!options.quiet) {
       std::printf("\n%s", result.table().c_str());
       std::printf("session: %zu solver(s), %zu frame assertion(s), %zu check(s), %.2fs\n",
@@ -293,20 +383,79 @@ int main(int argc, char** argv) {
       check.deadline = deadline;
       const auto outcome = bdd::check_ctl_bdd(model.system, property, check);
       std::printf("ctl %-24s %s\n", name.c_str(), core::describe(outcome).c_str());
+      records.push_back({name, "ctl", property.str(), outcome});
+      total.merge(outcome.stats);
+      total.engine = "run";
       if (outcome.verdict == core::Verdict::kTimeout ||
           outcome.verdict == core::Verdict::kUnknown)
         any_undecided = true;
       if (outcome.violated()) {
         any_violation = true;
-        if (options.print_trace && outcome.counterexample)
-          std::printf("%s", outcome.counterexample->str().c_str());
+        print_counterexample(options, model, outcome);
       }
     } catch (const std::exception& error) {
       std::printf("ctl %-24s ERROR: %s\n", name.c_str(), error.what());
       any_error = true;
     }
   }
-  if (any_error) return 2;
-  if (any_violation) return 1;
-  return any_undecided ? 3 : 0;
+
+  const int exit_code = any_error ? 2 : any_violation ? 1 : (any_undecided ? 3 : 0);
+
+  if (trace_sink) {
+    trace_sink->event("run.finish").attr("exit_code", exit_code).emit();
+    obs::set_sink(nullptr);
+    trace_sink->flush();
+    if (!options.quiet)
+      std::printf("wrote %zu trace event(s) to %s\n", trace_sink->events_emitted(),
+                  options.trace_out.c_str());
+  }
+
+  // The verdict-stats-v1 document (schema: docs/observability.md).
+  if (!options.stats_json.empty()) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "verdict-stats-v1");
+    w.kv("model", options.model_path);
+    w.kv("engine", engine_cli_name(options.engine));
+    w.key("options");
+    w.begin_object();
+    w.kv("depth", options.depth);
+    w.kv("jobs", options.jobs);
+    w.kv("timeout", options.timeout);
+    w.end_object();
+    w.key("properties");
+    w.begin_array();
+    for (const PropRecord& r : records) {
+      w.begin_object();
+      w.kv("name", r.name);
+      w.kv("kind", r.kind);
+      w.kv("text", r.text);
+      w.kv("verdict", core::verdict_name(r.outcome.verdict));
+      if (!r.outcome.message.empty()) w.kv("message", r.outcome.message);
+      w.key("stats");
+      obs::write_stats(w, r.outcome.stats);
+      if (r.outcome.counterexample) {
+        w.key("counterexample");
+        obs::write_trace(w, *r.outcome.counterexample);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.key("total");
+    obs::write_stats(w, total);
+    w.key("counters");
+    obs::write_counters(w);
+    w.kv("exit_code", exit_code);
+    w.end_object();
+    std::ofstream out(options.stats_json);
+    if (!out) {
+      std::fprintf(stderr, "verdictc: cannot write %s\n", options.stats_json.c_str());
+      return 2;
+    }
+    out << w.str() << "\n";
+    if (!options.quiet)
+      std::printf("wrote stats JSON to %s\n", options.stats_json.c_str());
+  }
+
+  return exit_code;
 }
