@@ -1,0 +1,142 @@
+// Service throughput — cold vs warm verification through svc::Service.
+//
+// The deployment loop of §4.3 re-verifies a near-identical model on every
+// config push. svc::Service memoizes definitive verdicts under canonical
+// request fingerprints, so the second push with an unchanged model costs a
+// cache lookup instead of a solver run. This bench measures that gap: one
+// cold round (every property computed) and one warm round (every property
+// served from the verdict cache) over the rollout scenario's named
+// 4-property set, submitted concurrently the way daemon clients would.
+//
+// Acceptance target: warm >= 10x faster than cold on fattree4, with
+// identical verdicts and every warm response a cache hit (the process
+// exits 1 otherwise).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/checker.h"
+#include "scenarios/rollout_partition.h"
+#include "svc/service.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace verdict;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Round {
+  std::vector<core::Verdict> verdicts;
+  std::size_t cache_hits = 0;
+  double wall = 0.0;
+};
+
+// Submit every property at once (as concurrent daemon clients would) and
+// wait for all responses in order.
+Round run_round(svc::Service& service, const ts::TransitionSystem& system,
+                const std::vector<std::pair<std::string, ltl::Formula>>& properties,
+                double budget) {
+  Round round;
+  std::vector<svc::PendingCheck> pending;
+  pending.reserve(properties.size());
+  const double start = now_seconds();
+  for (const auto& [name, property] : properties) {
+    svc::CheckRequest request;
+    request.system = &system;
+    request.property = property;
+    request.engine = core::Engine::kKInduction;
+    request.max_depth = 20;
+    request.deadline = util::Deadline::after_seconds(budget);
+    pending.push_back(service.submit(request));
+  }
+  for (svc::PendingCheck& p : pending) {
+    const svc::CheckResponse response = p.wait();
+    round.verdicts.push_back(response.outcome.verdict);
+    if (response.cache_hit) ++round.cache_hits;
+  }
+  round.wall = now_seconds() - start;
+  return round;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Service throughput — cold vs warm verdict-cache rounds");
+  const double budget = bench::timeout_seconds();
+  std::printf("per-property budget: %.0fs (VERDICT_BENCH_TIMEOUT to change)\n\n",
+              budget);
+
+  struct TopologyCase {
+    std::string name;
+    int fat_tree_k;  // 0 = the 5-node test topology
+  };
+  std::vector<TopologyCase> cases = {{"test", 0}, {"fattree4", 4}};
+  if (bench::smoke()) cases.resize(1);  // CI canary: the 5-node topology only
+  if (bench::full_sweep()) cases.push_back({"fattree6", 6});
+
+  bool ok = true;
+  bool fattree_ran = false;
+  double best_fattree_speedup = 0.0;
+  bench::JsonRows rows("svc_throughput");
+
+  std::printf("%-10s | %-16s | %-16s | %s\n", "topology", "cold", "warm",
+              "speedup");
+  for (const TopologyCase& tc : cases) {
+    scenarios::RolloutPartitionOptions scenario_options;
+    scenario_options.prefix = "svct_" + tc.name;
+    scenario_options.max_k = 8;
+    const auto scenario = tc.fat_tree_k == 0
+                              ? scenarios::make_test_scenario(scenario_options)
+                              : scenarios::make_fat_tree_scenario(tc.fat_tree_k,
+                                                                  scenario_options);
+    // The violation instance (k at the minimal front-end cut): verdicts are
+    // mixed but all definitive under k-induction, so every one is cacheable.
+    const auto system = bench::pinned(
+        scenario.system, {{scenario.p, 1}, {scenario.k, 2}, {scenario.m, 1}});
+    const std::size_t n = scenario.properties.size();
+
+    svc::Service service;  // fresh cache per topology: round 1 is truly cold
+    const Round cold = run_round(service, system, scenario.properties, budget);
+    const Round warm = run_round(service, system, scenario.properties, budget);
+
+    const bool match = cold.verdicts == warm.verdicts;
+    const bool all_hits = warm.cache_hits == n;
+    const double speedup = warm.wall > 0 ? cold.wall / warm.wall : 0.0;
+    ok = ok && match && all_hits;
+    if (tc.fat_tree_k != 0 && match && all_hits) {
+      fattree_ran = true;
+      best_fattree_speedup = std::max(best_fattree_speedup, speedup);
+    }
+    std::printf("%-10s | %zu checks %6.3fs | %zu hits %7.4fs | %6.1fx%s%s\n",
+                tc.name.c_str(), n, cold.wall, warm.cache_hits, warm.wall,
+                speedup, match ? "" : "  VERDICT MISMATCH",
+                all_hits ? "" : "  MISSED CACHE");
+    rows.row([&](obs::JsonWriter& w) {
+      w.kv("topology", tc.name);
+      w.kv("properties", n);
+      w.kv("cold_seconds", cold.wall);
+      w.kv("warm_seconds", warm.wall);
+      w.kv("speedup", speedup);
+      w.kv("warm_cache_hits", warm.cache_hits);
+      w.kv("verdicts_match", match);
+      w.kv("cache_size", service.cache().size());
+      w.kv("single_flight_shared", service.cache().single_flight_shared());
+    });
+  }
+
+  if (fattree_ran && best_fattree_speedup < 10.0) ok = false;
+  std::printf("\nbest fattree warm speedup: %.1fx (target >= 10x), rounds %s\n",
+              best_fattree_speedup, ok ? "consistent" : "INCONSISTENT");
+  std::printf("(a warm round never touches a solver: each request fingerprints\n"
+              " the model + property + options and the verdict cache answers,\n"
+              " replay-confirmable counterexamples included.)\n");
+  return ok ? 0 : 1;
+}

@@ -283,6 +283,37 @@ SessionResult Session::check_all(const SessionOptions& options) const {
     return result;
   }
 
+  // Verdict memoization: resolve cache hits up front, run engines only on
+  // the rest, and offer every fresh outcome back to the hook at the end.
+  std::vector<std::size_t> todo;
+  todo.reserve(properties_.size());
+  for (std::size_t i = 0; i < properties_.size(); ++i) {
+    if (options.cache) {
+      if (std::optional<CheckOutcome> hit = options.cache->lookup(
+              system_, properties_[i].formula, options.engine, options.max_depth)) {
+        result.properties[i].outcome = std::move(*hit);
+        obs::count("session.cache_hits");
+        if (obs::TraceSink* s = obs::sink())
+          s->event("session.cache_hit")
+              .attr("property", i)
+              .attr("verdict", verdict_name(result.properties[i].outcome.verdict))
+              .emit();
+        continue;
+      }
+    }
+    todo.push_back(i);
+  }
+  const auto store_fresh = [&] {
+    if (!options.cache) return;
+    for (const std::size_t i : todo)
+      options.cache->store(system_, properties_[i].formula, options.engine,
+                           options.max_depth, result.properties[i].outcome);
+  };
+  if (todo.empty()) {
+    result.total.seconds = watch.elapsed_seconds();
+    return result;
+  }
+
   // Parallel sessions: (property × engine) lanes on one pool.
   if (options.engine == Engine::kPortfolio ||
       (options.engine == Engine::kAuto && options.jobs != 1)) {
@@ -291,14 +322,15 @@ SessionResult Session::check_all(const SessionOptions& options) const {
     po.deadline = options.deadline;
     po.jobs = options.jobs;
     std::vector<ltl::Formula> formulas;
-    formulas.reserve(properties_.size());
-    for (const Prop& p : properties_) formulas.push_back(p.formula);
+    formulas.reserve(todo.size());
+    for (const std::size_t i : todo) formulas.push_back(properties_[i].formula);
     std::vector<CheckOutcome> outcomes =
         portfolio::check_portfolio_batch(system_, formulas, po);
-    for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      fold_cost(result.total, outcomes[i].stats);
-      result.properties[i].outcome = std::move(outcomes[i]);
+    for (std::size_t slot = 0; slot < outcomes.size(); ++slot) {
+      fold_cost(result.total, outcomes[slot].stats);
+      result.properties[todo[slot]].outcome = std::move(outcomes[slot]);
     }
+    store_fresh();
     result.total.seconds = watch.elapsed_seconds();
     return result;
   }
@@ -311,7 +343,7 @@ SessionResult Session::check_all(const SessionOptions& options) const {
   std::vector<Expr> bad(properties_.size());
   std::vector<std::size_t> lasso_slot(properties_.size());
 
-  for (std::size_t i = 0; i < properties_.size(); ++i) {
+  for (const std::size_t i : todo) {
     const ltl::Formula& f = properties_[i].formula;
     const bool inv = ltl::is_invariant_property(f);
     if (inv && options.engine != Engine::kLtlLasso) {
@@ -386,6 +418,7 @@ SessionResult Session::check_all(const SessionOptions& options) const {
     fold_cost(result.total, batch.shared);
   }
 
+  store_fresh();
   result.total.seconds = watch.elapsed_seconds();
   return result;
 }

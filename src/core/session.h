@@ -41,6 +41,22 @@
 
 namespace verdict::core {
 
+/// Verdict memoization hook. The service layer (svc::VerdictCache via
+/// svc::SessionCache) implements this; core only defines the seam so the
+/// dependency keeps pointing downward. check_all() consults the hook per
+/// property before any engine runs and offers every freshly computed outcome
+/// back afterwards — the implementation decides what is safe to keep (svc
+/// stores only definitive verdicts).
+class PropertyCacheHook {
+ public:
+  virtual ~PropertyCacheHook() = default;
+  virtual std::optional<CheckOutcome> lookup(const ts::TransitionSystem& system,
+                                             const ltl::Formula& property,
+                                             Engine engine, int max_depth) = 0;
+  virtual void store(const ts::TransitionSystem& system, const ltl::Formula& property,
+                     Engine engine, int max_depth, const CheckOutcome& outcome) = 0;
+};
+
 struct SessionOptions {
   Engine engine = Engine::kAuto;
   /// Unroll depth (BMC/lasso), induction bound, or PDR frame limit.
@@ -50,6 +66,9 @@ struct SessionOptions {
   /// Worker threads; != 1 with kAuto (or kPortfolio explicitly) races
   /// (property × engine) lanes on one pool. 0 = all hardware threads.
   std::size_t jobs = 1;
+  /// Optional verdict memoization (not owned; may be shared across sessions
+  /// and threads — implementations must be thread-safe). nullptr = off.
+  PropertyCacheHook* cache = nullptr;
 };
 
 struct PropertyVerdict {

@@ -118,6 +118,11 @@ void JsonWriter::null() {
   out_ += "null";
 }
 
+void JsonWriter::raw_value(std::string_view json) {
+  comma();
+  out_ += json;
+}
+
 // --- Parser ------------------------------------------------------------------
 
 namespace {
@@ -300,5 +305,45 @@ const JsonValue& JsonValue::operator[](const std::string& k) const {
 }
 
 JsonValue parse_json(std::string_view text) { return Parser(text).parse_document(); }
+
+namespace {
+
+void write_json_value(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      w.null();
+      break;
+    case JsonValue::Kind::kBool:
+      w.value(v.boolean);
+      break;
+    case JsonValue::Kind::kNumber:
+      w.value(v.number);
+      break;
+    case JsonValue::Kind::kString:
+      w.value(v.string);
+      break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& e : v.array) write_json_value(w, e);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [k, e] : v.object) {
+        w.key(k);
+        write_json_value(w, e);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_json(const JsonValue& v) {
+  JsonWriter w;
+  write_json_value(w, v);
+  return w.str();
+}
 
 }  // namespace verdict::obs

@@ -51,6 +51,12 @@ class JsonWriter {
   void value(double v);
   void null();
 
+  /// Splices a pre-rendered JSON value (object/array/scalar) in value
+  /// position, with the usual comma handling. The caller vouches that `json`
+  /// is well-formed — the writer does not re-validate it. Used by the svc
+  /// layer to re-embed stored trace documents without a parse round trip.
+  void raw_value(std::string_view json);
+
   /// Shorthand for key(k); value(v).
   template <typename T>
   void kv(std::string_view k, T v) {
@@ -98,5 +104,10 @@ class JsonValue {
 /// Parses one JSON document. Throws std::invalid_argument on malformed input
 /// (including trailing garbage).
 [[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Re-serializes a parsed value as compact one-line JSON (objects in key
+/// order — the parser already sorts them — so parse/print round trips are
+/// stable).
+[[nodiscard]] std::string to_json(const JsonValue& v);
 
 }  // namespace verdict::obs

@@ -4,6 +4,34 @@
 
 namespace verdict::portfolio {
 
+struct JobHandle::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  util::CancelToken token;
+};
+
+void JobHandle::cancel() const {
+  if (state_) state_->token.request_cancel();
+}
+
+bool JobHandle::done() const {
+  if (!state_) return true;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+void JobHandle::wait() const {
+  if (!state_) return;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+const util::CancelToken& JobHandle::token() const {
+  static const util::CancelToken kNullToken;
+  return state_ ? state_->token : kNullToken;
+}
+
 std::size_t default_jobs() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw >= 2 ? static_cast<std::size_t>(hw) : 2;
@@ -33,6 +61,27 @@ void ThreadPool::submit(std::function<void()> job) {
     queue_.push_back(std::move(job));
   }
   cv_.notify_one();
+}
+
+JobHandle ThreadPool::submit_cancellable(
+    std::function<void(const util::CancelToken&)> job) {
+  JobHandle handle;
+  handle.state_ = std::make_shared<JobHandle::State>();
+  std::shared_ptr<JobHandle::State> state = handle.state_;
+  submit([state, job = std::move(job)] {
+    try {
+      job(state->token);
+    } catch (...) {
+      // Results (and errors) travel through the closure's own channel; the
+      // handle only reports completion.
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  });
+  return handle;
 }
 
 void ThreadPool::worker_loop() {

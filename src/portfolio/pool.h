@@ -12,15 +12,42 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/stopwatch.h"
 
 namespace verdict::portfolio {
 
 /// Worker count to use when the caller passes jobs = 0: every hardware
 /// thread, with a floor of 2 so a portfolio still races somewhere.
 [[nodiscard]] std::size_t default_jobs();
+
+/// Handle to one submitted job (ThreadPool::submit_cancellable): lets a
+/// caller that is NOT the worker — a server connection thread whose client
+/// hung up, a drain path, a deadline reaper — cancel the job cooperatively
+/// and wait for it to finish. cancel() trips the handle's CancelToken, which
+/// the job is expected to fold into its Deadline (the engines' existing poll
+/// sites then stop it); a job cancelled before a worker picks it up still
+/// runs, observes the tripped token immediately, and returns fast.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  void cancel() const;
+  [[nodiscard]] bool done() const;
+  /// Blocks until the job function returned.
+  void wait() const;
+  [[nodiscard]] const util::CancelToken& token() const;
+
+ private:
+  friend class ThreadPool;
+  struct State;
+  std::shared_ptr<State> state_;
+};
 
 class ThreadPool {
  public:
@@ -37,6 +64,12 @@ class ThreadPool {
 
   /// Enqueues a job. Throws std::runtime_error after shutdown began.
   void submit(std::function<void()> job);
+
+  /// Enqueues a job that receives a per-job CancelToken and returns a handle
+  /// for cancelling/awaiting it from outside the pool (verdictd request
+  /// scheduling). The job's exceptions are swallowed — a handle only answers
+  /// "finished?", results travel through the closure's own channel.
+  JobHandle submit_cancellable(std::function<void(const util::CancelToken&)> job);
 
   [[nodiscard]] std::size_t num_threads() const { return threads_.size(); }
 

@@ -315,4 +315,11 @@ ts::State params_from_model(Solver& solver, const ts::TransitionSystem& ts) {
   return solver.state_at(ts.params(), /*frame=*/0);
 }
 
+std::string z3_version() {
+  unsigned major = 0, minor = 0, build = 0, revision = 0;
+  Z3_get_version(&major, &minor, &build, &revision);
+  return std::to_string(major) + "." + std::to_string(minor) + "." +
+         std::to_string(build);
+}
+
 }  // namespace verdict::smt

@@ -125,4 +125,7 @@ class Solver {
 /// parameters from a sat model.
 [[nodiscard]] ts::State params_from_model(Solver& solver, const ts::TransitionSystem& ts);
 
+/// Runtime Z3 version ("4.12.2"), for --version banners.
+[[nodiscard]] std::string z3_version();
+
 }  // namespace verdict::smt

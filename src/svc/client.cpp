@@ -1,0 +1,142 @@
+#include "svc/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "svc/protocol.h"
+#include "svc/stored_trace.h"
+
+namespace verdict::svc {
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("verdictc: socket path too long: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw std::runtime_error("verdictc: socket(): " + std::string(std::strerror(errno)));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("verdictc: cannot connect to " + socket_path + ": " +
+                             std::strerror(err));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::read_line() {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("verdictc: read from verdictd failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    if (n == 0)
+      throw std::runtime_error("verdictc: verdictd closed the connection mid-request");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::vector<ClientVerdict> Client::check(const std::string& model_text,
+                                         const std::vector<std::string>& props,
+                                         core::Engine engine, int max_depth,
+                                         double timeout_seconds) {
+  const std::string id = std::to_string(next_id_++);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("id", id);
+  w.kv("model", model_text);
+  if (!props.empty()) {
+    w.key("props");
+    w.begin_array();
+    for (const std::string& p : props) w.value(p);
+    w.end_array();
+  }
+  w.kv("engine", engine_name(engine));
+  w.kv("depth", max_depth);
+  if (timeout_seconds > 0) w.kv("timeout", timeout_seconds);
+  w.end_object();
+
+  std::string request = w.str() + "\n";
+  std::string_view remaining = request;
+  while (!remaining.empty()) {
+    const ssize_t n = ::send(fd_, remaining.data(), remaining.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("verdictc: write to verdictd failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    remaining.remove_prefix(static_cast<std::size_t>(n));
+  }
+
+  std::vector<ClientVerdict> verdicts;
+  for (;;) {
+    obs::JsonValue line;
+    try {
+      line = obs::parse_json(read_line());
+    } catch (const std::invalid_argument& error) {
+      throw std::runtime_error("verdictc: bad response from verdictd: " +
+                               std::string(error.what()));
+    }
+    const std::string& type = line["type"].string;
+    if (type == "error")
+      throw std::runtime_error("verdictd: " + line["message"].string);
+    if (line["id"].string != id)
+      throw std::runtime_error("verdictc: response for unknown request id '" +
+                               line["id"].string + "'");
+    if (type == "done") break;
+    if (type != "verdict")
+      throw std::runtime_error("verdictc: unexpected response type '" + type + "'");
+
+    const std::optional<WireVerdict> wire = wire_verdict_from_json(line);
+    if (!wire)
+      throw std::runtime_error("verdictc: malformed verdict line from verdictd");
+
+    ClientVerdict v;
+    v.prop = wire->prop;
+    v.cache_hit = wire->cache_hit;
+    v.rejected = wire->rejected;
+    v.outcome.verdict = wire->verdict;
+    v.outcome.message = wire->message;
+    v.outcome.stats.engine = wire->engine;
+    v.outcome.stats.seconds = wire->seconds;
+    v.outcome.stats.solver_seconds = wire->solver_seconds;
+    v.outcome.stats.solver_checks = wire->solver_checks;
+    v.outcome.stats.depth_reached = wire->depth_reached;
+    if (!wire->counterexample_json.empty()) {
+      // The caller parsed the same model text, so every variable the trace
+      // names exists locally; failure here means the two sides disagree
+      // about the model, which must surface, not silently drop the trace.
+      std::optional<ts::Trace> trace = trace_from_json(wire->counterexample_json);
+      if (!trace)
+        throw std::runtime_error("verdictc: counterexample for '" + wire->prop +
+                                 "' does not match the local model");
+      v.outcome.counterexample = std::move(*trace);
+    }
+    verdicts.push_back(std::move(v));
+  }
+  return verdicts;
+}
+
+}  // namespace verdict::svc

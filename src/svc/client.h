@@ -1,0 +1,55 @@
+// Client side of the verdictd protocol (`verdictc --connect SOCK`).
+//
+// One Client is one connection; check() sends a single request line and
+// blocks until the server's "done" line. The caller is expected to have
+// parsed the SAME model text locally (verdictc always does — it needs the
+// parse for --list, CTL properties, and counterexample confirmation): the
+// server ships counterexamples as name-keyed JSON and this client rehydrates
+// them into ts::Trace values against the local variable registry, so a
+// served kViolated outcome goes through the exact same
+// core::confirm_counterexample path as a locally computed one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/checker.h"
+#include "core/result.h"
+
+namespace verdict::svc {
+
+struct ClientVerdict {
+  std::string prop;
+  core::CheckOutcome outcome;  // counterexample rehydrated, if any
+  bool cache_hit = false;
+  /// The server's admission queue was full for this property.
+  bool rejected = false;
+};
+
+class Client {
+ public:
+  /// Connects to the daemon's Unix socket. Throws std::runtime_error when
+  /// the socket cannot be reached (daemon not running, wrong path).
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request for `props` (empty = every LTL property in the model)
+  /// and returns the per-property verdicts in server order. Throws
+  /// std::runtime_error on protocol violations, server "error" responses,
+  /// or a counterexample that does not rehydrate locally.
+  [[nodiscard]] std::vector<ClientVerdict> check(
+      const std::string& model_text, const std::vector<std::string>& props,
+      core::Engine engine, int max_depth, double timeout_seconds);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received but not yet consumed as lines
+  std::uint64_t next_id_ = 1;
+
+  [[nodiscard]] std::string read_line();
+};
+
+}  // namespace verdict::svc

@@ -1,0 +1,322 @@
+#include "svc/daemon.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "mdl/vml.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "svc/protocol.h"
+#include "svc/stored_trace.h"
+
+namespace verdict::svc {
+
+namespace {
+
+// Full-buffer send; MSG_NOSIGNAL so a hung-up client yields EPIPE instead of
+// killing the process. Returns false once the peer is gone.
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::string error_line(const std::string& id, const std::string& message) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("type", "error");
+  w.kv("id", id);
+  w.kv("message", message);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string request_id(const obs::JsonValue& req) {
+  const obs::JsonValue& id = req["id"];
+  if (id.is_string()) return id.string;
+  if (id.is_number()) return obs::json_number(id.number);
+  return "";
+}
+
+}  // namespace
+
+struct Daemon::Impl {
+  DaemonOptions options;
+  std::unique_ptr<Service> service;
+  int listen_fd = -1;
+  int stop_pipe[2] = {-1, -1};
+
+  std::mutex mu;
+  std::unordered_set<int> conn_fds;
+  std::vector<std::thread> handlers;
+  std::atomic<std::uint64_t> connections{0};
+
+  void handle_connection(int fd);
+  void handle_request(int fd, const std::string& line);
+};
+
+Daemon::Daemon(const DaemonOptions& options) : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+  if (options.socket_path.empty())
+    throw std::runtime_error("verdictd: socket path must not be empty");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options.socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("verdictd: socket path too long: " + options.socket_path);
+  std::memcpy(addr.sun_path, options.socket_path.c_str(),
+              options.socket_path.size() + 1);
+
+  impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (impl_->listen_fd < 0)
+    throw std::runtime_error("verdictd: socket(): " + std::string(std::strerror(errno)));
+  ::unlink(options.socket_path.c_str());  // replace a stale socket file
+  if (::bind(impl_->listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(impl_->listen_fd);
+    throw std::runtime_error("verdictd: bind(" + options.socket_path +
+                             "): " + std::strerror(err));
+  }
+  if (::listen(impl_->listen_fd, 64) != 0) {
+    const int err = errno;
+    ::close(impl_->listen_fd);
+    ::unlink(options.socket_path.c_str());
+    throw std::runtime_error("verdictd: listen(): " + std::string(std::strerror(err)));
+  }
+  if (::pipe(impl_->stop_pipe) != 0) {
+    const int err = errno;
+    ::close(impl_->listen_fd);
+    ::unlink(options.socket_path.c_str());
+    throw std::runtime_error("verdictd: pipe(): " + std::string(std::strerror(err)));
+  }
+
+  // The Service loads the cache file (if any) here, before we are reachable.
+  impl_->service = std::make_unique<Service>(options.service);
+}
+
+Daemon::~Daemon() {
+  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+  for (int fd : impl_->stop_pipe)
+    if (fd >= 0) ::close(fd);
+  ::unlink(impl_->options.socket_path.c_str());
+}
+
+Service& Daemon::service() { return *impl_->service; }
+
+const std::string& Daemon::socket_path() const { return impl_->options.socket_path; }
+
+std::uint64_t Daemon::connections_served() const {
+  return impl_->connections.load(std::memory_order_relaxed);
+}
+
+void Daemon::request_stop() {
+  // Only async-signal-safe calls here: this runs from the SIGTERM handler.
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t n = ::write(impl_->stop_pipe[1], &byte, 1);
+}
+
+void Daemon::serve() {
+  for (;;) {
+    pollfd fds[2] = {{impl_->listen_fd, POLLIN, 0}, {impl_->stop_pipe[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // request_stop()
+    if (fds[0].revents == 0) continue;
+    const int fd = ::accept(impl_->listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    impl_->connections.fetch_add(1, std::memory_order_relaxed);
+    obs::count("svc.connections");
+    Impl* impl = impl_.get();
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->conn_fds.insert(fd);
+      impl_->handlers.emplace_back([impl, fd] { impl->handle_connection(fd); });
+    }
+  }
+
+  // Graceful drain: no new connections (the listen socket stays unaccepted
+  // from here), end every open connection's request stream (SHUT_RD — the
+  // handler still writes responses for requests already admitted), wait for
+  // the handlers, then drain the Service (persists the cache file).
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (int fd : impl_->conn_fds) ::shutdown(fd, SHUT_RD);
+  }
+  // Handlers remove themselves from conn_fds but never append to handlers
+  // once the accept loop has stopped, so joining a snapshot is safe.
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    handlers.swap(impl_->handlers);
+  }
+  for (std::thread& t : handlers) t.join();
+  impl_->service->drain();
+}
+
+void Daemon::Impl::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // client closed (or SHUT_RD during drain)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty()) handle_request(fd, line);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    conn_fds.erase(fd);
+  }
+  ::close(fd);
+}
+
+void Daemon::Impl::handle_request(int fd, const std::string& line) {
+  obs::JsonValue req;
+  try {
+    req = obs::parse_json(line);
+  } catch (const std::exception& error) {
+    send_all(fd, error_line("", std::string("bad request JSON: ") + error.what()));
+    return;
+  }
+  const std::string id = request_id(req);
+  if (!req["model"].is_string() || req["model"].string.empty()) {
+    send_all(fd, error_line(id, "request needs a \"model\" field (vml text)"));
+    return;
+  }
+
+  core::Engine engine = core::Engine::kAuto;
+  if (req.has("engine")) {
+    const std::optional<core::Engine> parsed = engine_from_name(req["engine"].string);
+    if (!parsed) {
+      send_all(fd, error_line(id, "unknown engine '" + req["engine"].string + "'"));
+      return;
+    }
+    engine = *parsed;
+  }
+  const int depth = req["depth"].is_number() ? static_cast<int>(req["depth"].number) : 50;
+  const double timeout = req["timeout"].is_number() ? req["timeout"].number : 0.0;
+
+  mdl::VmlModel model;
+  try {
+    model = mdl::parse_vml(req["model"].string);
+  } catch (const std::exception& error) {
+    send_all(fd, error_line(id, std::string("model error: ") + error.what()));
+    return;
+  }
+
+  // Select properties: the request's list, or every LTL property. CTL
+  // properties are BDD-checked client-side (docs/service.md) — naming one
+  // here is an error, not a silent skip.
+  std::vector<std::string> names;
+  if (req["props"].is_array()) {
+    for (const obs::JsonValue& p : req["props"].array) {
+      if (!p.is_string()) {
+        send_all(fd, error_line(id, "\"props\" must be an array of names"));
+        return;
+      }
+      if (model.ctl_properties.contains(p.string) &&
+          !model.ltl_properties.contains(p.string)) {
+        send_all(fd, error_line(id, "property '" + p.string +
+                                        "' is CTL; verdictd serves LTL only"));
+        return;
+      }
+      if (!model.ltl_properties.contains(p.string)) {
+        send_all(fd, error_line(id, "unknown property '" + p.string + "'"));
+        return;
+      }
+      names.push_back(p.string);
+    }
+  } else {
+    for (const auto& [name, property] : model.ltl_properties) names.push_back(name);
+  }
+
+  if (obs::TraceSink* s = obs::sink())
+    s->event("svc.request_line")
+        .attr("id", id)
+        .attr("props", names.size())
+        .attr("engine", engine_name(engine))
+        .emit();
+
+  // Fan every property out onto the service pool, then collect in order.
+  // The model (and its TransitionSystem) lives on this stack frame until
+  // every pending check completed — required by CheckRequest's borrow rule.
+  const util::Deadline deadline =
+      timeout > 0 ? util::Deadline::after_seconds(timeout) : util::Deadline::never();
+  std::vector<PendingCheck> pending;
+  pending.reserve(names.size());
+  for (const std::string& name : names) {
+    CheckRequest request;
+    request.system = &model.system;
+    request.property = model.ltl_properties.at(name);
+    request.engine = engine;
+    request.max_depth = depth;
+    request.deadline = deadline;
+    pending.push_back(service->submit(request));
+  }
+
+  bool peer_alive = true;
+  std::size_t cache_hits = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (!peer_alive) pending[i].cancel();  // nobody is listening; stop early
+    const CheckResponse response = pending[i].wait();
+    if (response.cache_hit) ++cache_hits;
+
+    WireVerdict v;
+    v.prop = names[i];
+    v.verdict = response.outcome.verdict;
+    v.engine = response.outcome.stats.engine;
+    v.message = response.outcome.message;
+    v.seconds = response.outcome.stats.seconds;
+    v.solver_seconds = response.outcome.stats.solver_seconds;
+    v.solver_checks = response.outcome.stats.solver_checks;
+    v.depth_reached = response.outcome.stats.depth_reached;
+    v.cache_hit = response.cache_hit;
+    v.rejected = response.rejected;
+    if (response.outcome.counterexample)
+      v.counterexample_json = trace_to_json(*response.outcome.counterexample);
+    if (peer_alive) peer_alive = send_all(fd, wire_verdict_line(id, v) + "\n");
+  }
+
+  if (peer_alive) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("type", "done");
+    w.kv("id", id);
+    w.kv("served", pending.size());
+    w.kv("cache_hits", cache_hits);
+    w.end_object();
+    send_all(fd, w.str() + "\n");
+  }
+}
+
+}  // namespace verdict::svc

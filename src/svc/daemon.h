@@ -1,0 +1,64 @@
+// verdictd's network layer: a Unix-domain NDJSON server over svc::Service.
+//
+// The Daemon is a library class so tests can run a real server in-process
+// (tests/svc_test.cpp exercises it with concurrent socket clients under
+// TSan); tools/verdictd.cpp is a thin main() around it. Lifecycle:
+//
+//   svc::Daemon daemon({.socket_path = "/tmp/verdictd.sock"});
+//   std::thread t([&] { daemon.serve(); });   // or serve() on the main thread
+//   ...
+//   daemon.request_stop();                    // async-signal-safe (SIGTERM)
+//   t.join();                                 // returns after graceful drain
+//
+// serve() accepts connections and spawns one handler thread per connection;
+// each request line fans its properties out onto the Service's worker pool
+// (svc/service.h), so one connection with N properties and N connections
+// with one property load the machine the same way. request_stop() makes
+// serve() stop accepting, half-closes every open connection (SHUT_RD: reads
+// end, queued responses still flush), waits for the handler threads, and
+// drains the Service — in-flight verdicts complete and the cache file is
+// persisted before serve() returns.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "svc/service.h"
+
+namespace verdict::svc {
+
+struct DaemonOptions {
+  /// Path of the AF_UNIX socket. A stale file at this path is replaced.
+  std::string socket_path;
+  ServiceOptions service;
+};
+
+class Daemon {
+ public:
+  /// Binds and listens (the socket is accept-ready — clients may connect
+  /// before serve() runs). Throws std::runtime_error on socket errors.
+  explicit Daemon(const DaemonOptions& options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Blocking accept loop; returns after request_stop() completes a graceful
+  /// drain. Call at most once.
+  void serve();
+
+  /// Signals serve() to shut down. Async-signal-safe (one write to a
+  /// self-pipe) — this is the SIGTERM handler's entire job.
+  void request_stop();
+
+  [[nodiscard]] Service& service();
+  [[nodiscard]] const std::string& socket_path() const;
+  [[nodiscard]] std::uint64_t connections_served() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace verdict::svc

@@ -1,0 +1,255 @@
+#include "svc/fingerprint.h"
+
+#include <unordered_map>
+
+namespace verdict::svc {
+
+namespace {
+
+// splitmix64 finalizer: the standard full-avalanche 64-bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+// Two independent 64-bit lanes absorbed word by word. Order-sensitive.
+class Mix {
+ public:
+  Mix& u64(std::uint64_t v) {
+    a_ = mix64(a_ ^ (v * 0x9e3779b97f4a7c15ULL));
+    b_ = mix64(rotl(b_, 29) + (v ^ 0xc2b2ae3d27d4eb4fULL));
+    return *this;
+  }
+  Mix& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  Mix& tag(std::uint8_t t) { return u64(0xf100ULL | t); }
+  Mix& boolean(bool v) { return u64(v ? 0xb1ULL : 0xb0ULL); }
+  Mix& str(std::string_view s) {
+    u64(s.size());
+    std::uint64_t word = 0;
+    int n = 0;
+    for (const char c : s) {
+      word = (word << 8) | static_cast<unsigned char>(c);
+      if (++n == 8) {
+        u64(word);
+        word = 0;
+        n = 0;
+      }
+    }
+    if (n > 0) u64(word);
+    return *this;
+  }
+  Mix& fp(const Fingerprint& f) { return u64(f.hi).u64(f.lo); }
+
+  [[nodiscard]] Fingerprint digest() const {
+    // Cross-mix the lanes so neither half is recoverable independently.
+    return {mix64(a_ + rotl(b_, 17)), mix64(b_ ^ rotl(a_, 41))};
+  }
+
+ private:
+  std::uint64_t a_ = 0x736572766963650aULL;  // "service\n"
+  std::uint64_t b_ = 0x76657264696374fbULL;  // "verdict" | 0xfb
+};
+
+// Commutative accumulator: each element fingerprint is whitened through a
+// fixed permutation and the results are summed, so any permutation of the
+// same multiset of elements produces the same value.
+class UnorderedMix {
+ public:
+  void add(const Fingerprint& f) {
+    hi_ += mix64(f.hi ^ 0xa5a5a5a55a5a5a5aULL);
+    lo_ += mix64(f.lo + 0x0123456789abcdefULL);
+    ++count_;
+  }
+  void fold_into(Mix& m) const { m.u64(count_).u64(hi_).u64(lo_); }
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+bool commutative(expr::Kind k) {
+  switch (k) {
+    case expr::Kind::kAnd:
+    case expr::Kind::kOr:
+    case expr::Kind::kAdd:
+    case expr::Kind::kMul:
+    case expr::Kind::kEq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Fingerprint type_fp(const expr::Type& t) {
+  Mix m;
+  m.tag(0x70).u64(static_cast<std::uint64_t>(t.kind)).boolean(t.bounded);
+  if (t.bounded) m.i64(t.lo).i64(t.hi);
+  return m.digest();
+}
+
+Fingerprint value_fp(const expr::Value& v) {
+  Mix m;
+  if (const bool* b = std::get_if<bool>(&v)) {
+    m.tag(0x01).boolean(*b);
+  } else if (const std::int64_t* i = std::get_if<std::int64_t>(&v)) {
+    m.tag(0x02).i64(*i);
+  } else {
+    const util::Rational& r = std::get<util::Rational>(v);
+    m.tag(0x03).i64(r.num()).i64(r.den());
+  }
+  return m.digest();
+}
+
+// Memoized structural DFS over the shared expression DAG. The memo is local
+// to one fingerprinting call tree (not process-global): entries stay valid
+// because Expr handles are immutable, but a local map keeps the hasher free
+// of locks and unbounded growth.
+class ExprHasher {
+ public:
+  Fingerprint hash(expr::Expr e) {
+    if (!e.valid()) {
+      Mix m;
+      m.tag(0xee);
+      return m.digest();
+    }
+    const auto it = memo_.find(e.id());
+    if (it != memo_.end()) return it->second;
+
+    Mix m;
+    const expr::Kind kind = e.kind();
+    m.tag(0x10).u64(static_cast<std::uint64_t>(kind));
+    switch (kind) {
+      case expr::Kind::kConstant:
+        m.fp(value_fp(e.constant_value()));
+        break;
+      case expr::Kind::kVariable:
+        m.str(e.var_name()).fp(type_fp(e.type()));
+        break;
+      default: {
+        if (kind == expr::Kind::kNext) {
+          // Child is the underlying variable; hash it positionally.
+          m.fp(hash(e.kids()[0]));
+        } else if (commutative(kind)) {
+          UnorderedMix u;
+          for (const expr::Expr kid : e.kids()) u.add(hash(kid));
+          u.fold_into(m);
+        } else {
+          for (const expr::Expr kid : e.kids()) m.fp(hash(kid));
+        }
+        break;
+      }
+    }
+    const Fingerprint fp = m.digest();
+    memo_.emplace(e.id(), fp);
+    return fp;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, Fingerprint> memo_;
+};
+
+Fingerprint formula_fp(const ltl::Formula& f, ExprHasher& exprs) {
+  Mix m;
+  m.tag(0x20).u64(static_cast<std::uint64_t>(f.op()));
+  if (f.op() == ltl::Op::kAtom) {
+    m.fp(exprs.hash(f.atom()));
+  } else if (f.op() == ltl::Op::kAnd || f.op() == ltl::Op::kOr) {
+    UnorderedMix u;
+    for (const ltl::Formula& kid : f.kids()) u.add(formula_fp(kid, exprs));
+    u.fold_into(m);
+  } else {
+    for (const ltl::Formula& kid : f.kids()) m.fp(formula_fp(kid, exprs));
+  }
+  return m.digest();
+}
+
+Fingerprint system_fp(const ts::TransitionSystem& ts, ExprHasher& exprs) {
+  Mix m;
+  m.tag(0x30);
+  const auto unordered_exprs = [&](std::span<const expr::Expr> es) {
+    UnorderedMix u;
+    for (const expr::Expr e : es) u.add(exprs.hash(e));
+    u.fold_into(m);
+  };
+  unordered_exprs(ts.vars());
+  unordered_exprs(ts.params());
+  unordered_exprs(ts.init_constraints());
+  unordered_exprs(ts.trans_constraints());
+  unordered_exprs(ts.invar_constraints());
+  unordered_exprs(ts.param_constraints());
+  return m.digest();
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void hex64(std::string& out, std::uint64_t v) {
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out.push_back(kHexDigits[(v >> shift) & 0xf]);
+}
+
+}  // namespace
+
+std::string Fingerprint::str() const {
+  std::string out;
+  out.reserve(32);
+  hex64(out, hi);
+  hex64(out, lo);
+  return out;
+}
+
+std::optional<Fingerprint> Fingerprint::parse(std::string_view text) {
+  if (text.size() != 32) return std::nullopt;
+  Fingerprint f;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const char c = text[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+    (i < 16 ? f.hi : f.lo) = ((i < 16 ? f.hi : f.lo) << 4) | digit;
+  }
+  return f;
+}
+
+Fingerprint fingerprint(expr::Expr e) {
+  ExprHasher h;
+  return h.hash(e);
+}
+
+Fingerprint fingerprint(const ltl::Formula& f) {
+  ExprHasher h;
+  return formula_fp(f, h);
+}
+
+Fingerprint fingerprint(const ts::TransitionSystem& ts) {
+  ExprHasher h;
+  return system_fp(ts, h);
+}
+
+Fingerprint fingerprint_request(const ts::TransitionSystem& ts,
+                                const ltl::Formula& property, core::Engine engine,
+                                int max_depth) {
+  ExprHasher h;
+  Mix m;
+  m.str("verdict-fp-v1");
+  m.fp(system_fp(ts, h));
+  m.fp(formula_fp(property, h));
+  m.u64(static_cast<std::uint64_t>(engine));
+  m.i64(max_depth);
+  return m.digest();
+}
+
+}  // namespace verdict::svc

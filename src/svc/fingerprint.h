@@ -1,0 +1,75 @@
+// Canonical 128-bit fingerprints of verification requests.
+//
+// The service layer memoizes verdicts across requests (svc::VerdictCache),
+// which needs a key with two properties the raw in-memory representation
+// lacks:
+//
+//   * process-independence — expr::Expr ids depend on interning order, so
+//     the fingerprint hashes structure (kinds, variable names/types,
+//     constant values), never ids. The same model text always fingerprints
+//     identically, today and after a daemon restart.
+//   * order-insensitivity where semantics allow — conjunct lists on a
+//     ts::TransitionSystem (init/trans/invar/param constraints), declared
+//     variable sets, and commutative operators (And/Or/Add/Mul/Eq, LTL
+//     conjunction/disjunction) hash as multisets, so assembling the same
+//     model in a different order yields the same key. Everything
+//     order-sensitive (Ite, Lt, Div, Until, ...) hashes positionally.
+//
+// The hash is a home-grown xxhash/FNV-style two-lane mix (no new
+// dependencies). It is a cache key, not a cryptographic commitment: collisions
+// are astronomically unlikely (2^-128-ish for accidental ones) but an
+// adversarial client of a shared daemon could in principle construct one —
+// the cache must only ever be fed verdicts the server computed itself.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/checker.h"
+#include "expr/expr.h"
+#include "ltl/ltl.h"
+#include "ts/transition_system.h"
+
+namespace verdict::svc {
+
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+
+  /// 32 lowercase hex characters (hi then lo).
+  [[nodiscard]] std::string str() const;
+  /// Inverse of str(); rejects anything that is not exactly 32 hex chars.
+  static std::optional<Fingerprint> parse(std::string_view text);
+};
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& f) const noexcept {
+    return static_cast<std::size_t>(f.hi ^ (f.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Structural fingerprint of one expression (memoized internally; repeated
+/// sub-DAGs are hashed once).
+[[nodiscard]] Fingerprint fingerprint(expr::Expr e);
+
+/// Structural fingerprint of an LTL formula.
+[[nodiscard]] Fingerprint fingerprint(const ltl::Formula& f);
+
+/// Fingerprint of a whole transition system: declared vars/params (as sets)
+/// plus the four constraint lists (as multisets).
+[[nodiscard]] Fingerprint fingerprint(const ts::TransitionSystem& ts);
+
+/// The verdict-cache key: (system, property, engine, max_depth) under the
+/// "verdict-fp-v1" schema tag. Deadlines and job counts are deliberately
+/// excluded — they change how fast a verdict arrives, never which verdict —
+/// and indefinite verdicts (which DO depend on budgets) are not cacheable in
+/// the first place (svc::VerdictCache).
+[[nodiscard]] Fingerprint fingerprint_request(const ts::TransitionSystem& ts,
+                                              const ltl::Formula& property,
+                                              core::Engine engine, int max_depth);
+
+}  // namespace verdict::svc

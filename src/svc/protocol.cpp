@@ -1,0 +1,99 @@
+#include "svc/protocol.h"
+
+#include "core/result.h"
+
+namespace verdict::svc {
+
+const char* engine_name(core::Engine e) {
+  using core::Engine;
+  switch (e) {
+    case Engine::kAuto:
+      return "auto";
+    case Engine::kBmc:
+      return "bmc";
+    case Engine::kKInduction:
+      return "kinduction";
+    case Engine::kPdr:
+      return "pdr";
+    case Engine::kExplicit:
+      return "explicit";
+    case Engine::kLtlLasso:
+      return "lasso";
+    case Engine::kPortfolio:
+      return "portfolio";
+  }
+  return "?";
+}
+
+std::optional<core::Engine> engine_from_name(std::string_view name) {
+  using core::Engine;
+  if (name == "auto") return Engine::kAuto;
+  if (name == "bmc") return Engine::kBmc;
+  if (name == "kinduction") return Engine::kKInduction;
+  if (name == "pdr") return Engine::kPdr;
+  if (name == "explicit") return Engine::kExplicit;
+  if (name == "lasso") return Engine::kLtlLasso;
+  if (name == "portfolio") return Engine::kPortfolio;
+  return std::nullopt;
+}
+
+std::optional<core::Verdict> verdict_from_name(std::string_view name) {
+  using core::Verdict;
+  if (name == "holds") return Verdict::kHolds;
+  if (name == "violated") return Verdict::kViolated;
+  if (name == "bound-reached") return Verdict::kBoundReached;
+  if (name == "timeout") return Verdict::kTimeout;
+  if (name == "unknown") return Verdict::kUnknown;
+  return std::nullopt;
+}
+
+std::string wire_verdict_line(const std::string& id, const WireVerdict& v) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("type", "verdict");
+  w.kv("id", id);
+  w.kv("prop", v.prop);
+  w.kv("verdict", core::verdict_name(v.verdict));
+  w.kv("engine", v.engine);
+  if (!v.message.empty()) w.kv("message", v.message);
+  w.kv("seconds", v.seconds);
+  w.kv("solver_seconds", v.solver_seconds);
+  w.kv("solver_checks", v.solver_checks);
+  w.kv("depth_reached", v.depth_reached);
+  w.kv("cache_hit", v.cache_hit);
+  if (v.rejected) w.kv("rejected", true);
+  if (!v.counterexample_json.empty()) {
+    w.key("counterexample");
+    w.raw_value(v.counterexample_json);
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::optional<WireVerdict> wire_verdict_from_json(const obs::JsonValue& line) {
+  if (!line.is_object() || line["type"].string != "verdict") return std::nullopt;
+  if (!line["prop"].is_string() || !line["verdict"].is_string()) return std::nullopt;
+  const std::optional<core::Verdict> verdict =
+      verdict_from_name(line["verdict"].string);
+  if (!verdict) return std::nullopt;
+
+  WireVerdict v;
+  v.prop = line["prop"].string;
+  v.verdict = *verdict;
+  v.engine = line["engine"].string;
+  v.message = line["message"].string;
+  if (line["seconds"].is_number()) v.seconds = line["seconds"].number;
+  if (line["solver_seconds"].is_number())
+    v.solver_seconds = line["solver_seconds"].number;
+  if (line["solver_checks"].is_number())
+    v.solver_checks = static_cast<std::size_t>(line["solver_checks"].number);
+  if (line["depth_reached"].is_number())
+    v.depth_reached = static_cast<int>(line["depth_reached"].number);
+  v.cache_hit = line["cache_hit"].boolean;
+  v.rejected = line["rejected"].boolean;
+  if (line.has("counterexample"))
+    v.counterexample_json = obs::to_json(line["counterexample"]);
+  return v;
+}
+
+}  // namespace verdict::svc

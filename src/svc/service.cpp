@@ -1,0 +1,187 @@
+#include "svc/service.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "obs/trace.h"
+#include "svc/fingerprint.h"
+
+namespace verdict::svc {
+
+namespace {
+
+core::CheckOutcome rejected_outcome() {
+  core::CheckOutcome outcome;
+  outcome.verdict = core::Verdict::kUnknown;
+  outcome.message = "rejected: admission queue full";
+  outcome.stats.engine = "svc";
+  return outcome;
+}
+
+}  // namespace
+
+// Admission bookkeeping: how many requests are admitted-but-unfinished.
+// Shared by submit (admission check), the pool job (completion), and drain
+// (wait-for-zero), so it lives behind one mutex rather than in atomics.
+struct Service::Inflight {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t active = 0;
+  bool draining = false;
+  std::uint64_t requests = 0;
+  std::uint64_t rejected = 0;
+};
+
+Service::Service(const ServiceOptions& options)
+    : options_(options),
+      cache_(std::make_unique<VerdictCache>(options.cache)),
+      pool_(std::make_unique<portfolio::ThreadPool>(options.jobs)),
+      inflight_(std::make_unique<Inflight>()) {
+  if (!options_.cache_file.empty()) {
+    const std::size_t loaded = cache_->load_file(options_.cache_file);
+    if (obs::TraceSink* s = obs::sink())
+      s->event("svc.cache_loaded")
+          .attr("file", options_.cache_file)
+          .attr("entries", loaded)
+          .emit();
+  }
+}
+
+Service::~Service() { drain(); }
+
+void PendingCheck::cancel() { handle_.cancel(); }
+
+bool PendingCheck::done() const { return handle_.done(); }
+
+CheckResponse PendingCheck::wait() {
+  handle_.wait();
+  return slot_ ? *slot_ : CheckResponse{};
+}
+
+PendingCheck Service::submit(const CheckRequest& request) {
+  PendingCheck pending;
+  pending.slot_ = std::make_shared<CheckResponse>();
+
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(inflight_->mu);
+    ++inflight_->requests;
+    if (inflight_->draining || inflight_->active >= options_.queue_limit) {
+      ++inflight_->rejected;
+      obs::count("svc.rejected");
+      pending.slot_->outcome = rejected_outcome();
+      pending.slot_->rejected = true;
+      return pending;  // no handle: wait() returns immediately
+    }
+    depth = ++inflight_->active;
+  }
+  obs::count("svc.requests");
+  obs::count("svc.queue.enqueued");
+  if (obs::TraceSink* s = obs::sink())
+    s->event("svc.request").attr("queue_depth", depth).emit();
+
+  // Copies for the closure: the formula and options by value, the system by
+  // pointer (the caller guarantees it outlives wait() — see CheckRequest).
+  const ts::TransitionSystem* system = request.system;
+  const ltl::Formula property = request.property;
+  const core::Engine engine = request.engine;
+  const int max_depth = request.max_depth;
+  const util::Deadline deadline = request.deadline;
+  const Fingerprint key =
+      fingerprint_request(*system, property, engine, max_depth);
+
+  std::shared_ptr<CheckResponse> slot = pending.slot_;
+  Inflight* inflight = inflight_.get();
+  VerdictCache* cache = cache_.get();
+  util::Stopwatch queued;
+
+  pending.handle_ = pool_->submit_cancellable(
+      [=](const util::CancelToken& token) {
+        slot->queue_seconds = queued.elapsed_seconds();
+        obs::count("svc.queue.dequeued");
+        bool computed = false;
+        CachedVerdict cached = cache->get_or_compute(key, [&] {
+          computed = true;
+          core::CheckOptions check_options;
+          check_options.engine = engine;
+          check_options.max_depth = max_depth;
+          check_options.deadline = deadline.with_cancel(token);
+          return cached_from_outcome(core::check(*system, property, check_options));
+        });
+        slot->cache_hit = !computed;
+        std::optional<core::CheckOutcome> outcome = outcome_from_cached(cached);
+        if (!outcome) {
+          // Stored counterexample does not rehydrate against this system
+          // (should not happen for a fingerprint match — defensive): compute
+          // fresh rather than serve a trace-less kViolated.
+          obs::count("svc.rehydrate_failed");
+          core::CheckOptions check_options;
+          check_options.engine = engine;
+          check_options.max_depth = max_depth;
+          check_options.deadline = deadline.with_cancel(token);
+          outcome = core::check(*system, property, check_options);
+          slot->cache_hit = false;
+        }
+        slot->outcome = std::move(*outcome);
+        {
+          std::lock_guard<std::mutex> lock(inflight->mu);
+          --inflight->active;
+        }
+        inflight->cv.notify_all();
+      });
+  return pending;
+}
+
+CheckResponse Service::check(const CheckRequest& request) {
+  return submit(request).wait();
+}
+
+void Service::drain() {
+  {
+    std::unique_lock<std::mutex> lock(inflight_->mu);
+    inflight_->draining = true;
+    inflight_->cv.wait(lock, [this] { return inflight_->active == 0; });
+  }
+  if (!options_.cache_file.empty() && cache_) {
+    cache_->save_file(options_.cache_file);
+    if (obs::TraceSink* s = obs::sink())
+      s->event("svc.cache_saved")
+          .attr("file", options_.cache_file)
+          .attr("entries", cache_->size())
+          .emit();
+  }
+}
+
+std::size_t Service::queue_depth() const {
+  std::lock_guard<std::mutex> lock(inflight_->mu);
+  return inflight_->active;
+}
+
+std::uint64_t Service::requests() const {
+  std::lock_guard<std::mutex> lock(inflight_->mu);
+  return inflight_->requests;
+}
+
+std::uint64_t Service::rejected() const {
+  std::lock_guard<std::mutex> lock(inflight_->mu);
+  return inflight_->rejected;
+}
+
+std::optional<core::CheckOutcome> SessionCache::lookup(
+    const ts::TransitionSystem& system, const ltl::Formula& property,
+    core::Engine engine, int max_depth) {
+  const Fingerprint key = fingerprint_request(system, property, engine, max_depth);
+  std::optional<CachedVerdict> cached = cache_.lookup(key);
+  if (!cached) return std::nullopt;
+  return outcome_from_cached(*cached);  // rehydration failure -> miss
+}
+
+void SessionCache::store(const ts::TransitionSystem& system,
+                         const ltl::Formula& property, core::Engine engine,
+                         int max_depth, const core::CheckOutcome& outcome) {
+  const Fingerprint key = fingerprint_request(system, property, engine, max_depth);
+  cache_.insert(key, cached_from_outcome(outcome));  // insert drops non-definitive
+}
+
+}  // namespace verdict::svc

@@ -1,0 +1,134 @@
+// The verification service: cache-aware request scheduling on a shared
+// worker pool.
+//
+// svc::Service is the in-process core of verdictd (the daemon is a socket
+// front-end over it, tools/verdictd.cpp) and is equally usable embedded —
+// bench/svc_throughput drives it directly. One Service owns:
+//
+//   * a portfolio::ThreadPool — every admitted request becomes one pool job,
+//     so K clients with N properties each saturate the hardware instead of
+//     each spawning private solvers threads,
+//   * a VerdictCache — requests are fingerprinted (svc/fingerprint.h) and
+//     served from cache when a definitive verdict is known; identical
+//     in-flight requests collapse to one solver run (single-flight),
+//   * a bounded admission queue — at most `queue_limit` admitted-but-
+//     unfinished requests; beyond that submit() rejects immediately with a
+//     kUnknown outcome instead of letting latency grow without bound,
+//   * per-request deadlines — the request's Deadline is combined with the
+//     job's CancelToken, so both timeouts and server-side cancellation
+//     (client hung up, drain) stop the engines at their existing poll sites.
+//
+// drain() (also run by the destructor) stops admission, waits for every
+// in-flight request, and persists the cache when a cache file is configured
+// — the graceful-SIGTERM path of verdictd.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/checker.h"
+#include "core/session.h"
+#include "portfolio/pool.h"
+#include "svc/verdict_cache.h"
+#include "util/stopwatch.h"
+
+namespace verdict::svc {
+
+struct ServiceOptions {
+  /// Pool workers (0 = portfolio::default_jobs()).
+  std::size_t jobs = 0;
+  /// Maximum admitted-but-unfinished requests; submit() rejects beyond it.
+  std::size_t queue_limit = 64;
+  CacheOptions cache;
+  /// When non-empty: the persistent verdict store, loaded at construction
+  /// and saved on drain().
+  std::string cache_file;
+};
+
+/// One verification request: a property against a system. The system is
+/// borrowed — it must stay alive until the request completes (wait()).
+struct CheckRequest {
+  const ts::TransitionSystem* system = nullptr;
+  ltl::Formula property;
+  core::Engine engine = core::Engine::kAuto;
+  int max_depth = 50;
+  util::Deadline deadline = util::Deadline::never();
+};
+
+struct CheckResponse {
+  core::CheckOutcome outcome;
+  bool cache_hit = false;
+  /// Request bounced off the full admission queue; outcome is kUnknown.
+  bool rejected = false;
+  /// Admission-to-worker-pickup latency (0 for hits served at admission).
+  double queue_seconds = 0.0;
+};
+
+class Service;
+
+/// Ticket for one submitted request. cancel() stops the engines
+/// cooperatively; wait() blocks for the response (immediately available for
+/// rejected requests).
+class PendingCheck {
+ public:
+  void cancel();
+  [[nodiscard]] bool done() const;
+  [[nodiscard]] CheckResponse wait();
+
+ private:
+  friend class Service;
+  portfolio::JobHandle handle_;
+  std::shared_ptr<CheckResponse> slot_;
+};
+
+class Service {
+ public:
+  explicit Service(const ServiceOptions& options = {});
+  ~Service();  // drains
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Admission-controlled asynchronous check.
+  [[nodiscard]] PendingCheck submit(const CheckRequest& request);
+
+  /// Blocking convenience: submit + wait.
+  [[nodiscard]] CheckResponse check(const CheckRequest& request);
+
+  /// Stops admitting, waits for every in-flight request, persists the cache
+  /// (ServiceOptions::cache_file). Idempotent.
+  void drain();
+
+  [[nodiscard]] VerdictCache& cache() { return *cache_; }
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::uint64_t requests() const;
+  [[nodiscard]] std::uint64_t rejected() const;
+
+ private:
+  struct Inflight;
+
+  ServiceOptions options_;
+  std::unique_ptr<VerdictCache> cache_;
+  std::unique_ptr<portfolio::ThreadPool> pool_;
+  std::unique_ptr<Inflight> inflight_;
+};
+
+/// core::PropertyCacheHook adapter: lets a plain core::Session (verdictc in
+/// local mode, embedded users) share the daemon's memoization layer. Not
+/// single-flight — sessions are synchronous; it only consults/feeds the LRU.
+class SessionCache final : public core::PropertyCacheHook {
+ public:
+  explicit SessionCache(VerdictCache& cache) : cache_(cache) {}
+
+  std::optional<core::CheckOutcome> lookup(const ts::TransitionSystem& system,
+                                           const ltl::Formula& property,
+                                           core::Engine engine, int max_depth) override;
+  void store(const ts::TransitionSystem& system, const ltl::Formula& property,
+             core::Engine engine, int max_depth,
+             const core::CheckOutcome& outcome) override;
+
+ private:
+  VerdictCache& cache_;
+};
+
+}  // namespace verdict::svc

@@ -1,0 +1,36 @@
+// Process-independent counterexample traces.
+//
+// ts::Trace keys states by expr::VarId, which is only meaningful inside the
+// process that declared the variables. The service layer needs traces that
+// survive a daemon restart (persistent verdict cache) and a socket hop
+// (verdictd -> verdictc --connect), so it stores them keyed by variable NAME
+// in exactly the JSON shape obs::write_trace already emits:
+//
+//   {"length": N, "lasso_start": k|null, "params": {"p": 1, ...},
+//    "states": [{"x": true, "m": "3/7", ...}, ...]}
+//
+// Rehydration (to_trace) resolves names against the variables declared in
+// the receiving process and parses values against the declared types; it
+// fails soft (nullopt) when a name is unknown or a value malformed, which
+// callers treat as a cache miss — never as a verdict.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/json.h"
+#include "ts/transition_system.h"
+
+namespace verdict::svc {
+
+/// Serializes `trace` as one compact JSON object (obs::write_trace shape).
+[[nodiscard]] std::string trace_to_json(const ts::Trace& trace);
+
+/// Parses an obs::write_trace-shaped JSON object back into a ts::Trace,
+/// resolving variable names in the current process. Returns nullopt when a
+/// variable is undeclared, a value does not parse against its declared type,
+/// or the document shape is wrong.
+[[nodiscard]] std::optional<ts::Trace> trace_from_json(const obs::JsonValue& doc);
+[[nodiscard]] std::optional<ts::Trace> trace_from_json(const std::string& text);
+
+}  // namespace verdict::svc

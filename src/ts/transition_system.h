@@ -82,6 +82,17 @@ class TransitionSystem {
   [[nodiscard]] bool is_param(expr::VarId id) const { return param_ids_.contains(id); }
   [[nodiscard]] const std::set<expr::VarId>& var_ids() const { return var_ids_; }
 
+  /// Raw constraint lists, in insertion order. The canonical fingerprinting
+  /// layer (src/svc/fingerprint.h) hashes these element-wise and
+  /// order-insensitively — conjunct order carries no semantics — so two
+  /// models assembled in different orders share one cache key.
+  [[nodiscard]] std::span<const expr::Expr> init_constraints() const { return init_; }
+  [[nodiscard]] std::span<const expr::Expr> trans_constraints() const { return trans_; }
+  [[nodiscard]] std::span<const expr::Expr> invar_constraints() const { return invar_; }
+  [[nodiscard]] std::span<const expr::Expr> param_constraints() const {
+    return param_constraints_;
+  }
+
   /// Conjunction views of the constraint lists.
   [[nodiscard]] expr::Expr init_formula() const;
   [[nodiscard]] expr::Expr trans_formula() const;

@@ -1,0 +1,556 @@
+// The verification-as-a-service subsystem end to end: canonical
+// fingerprints, the verdict cache (LRU + cacheability rule + single-flight +
+// persistence), the Service scheduler, the Session cache hook, and a real
+// in-process Daemon serving concurrent socket clients. The daemon test is
+// the suite's TSan workout — it exercises connection threads, the worker
+// pool, and the sharded cache simultaneously.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checker.h"
+#include "core/session.h"
+#include "expr/expr.h"
+#include "ltl/ltl.h"
+#include "mdl/vml.h"
+#include "scenarios/rollout_partition.h"
+#include "svc/client.h"
+#include "svc/daemon.h"
+#include "svc/fingerprint.h"
+#include "svc/service.h"
+#include "svc/stored_trace.h"
+#include "svc/verdict_cache.h"
+
+namespace verdict {
+namespace {
+
+using svc::Fingerprint;
+
+// --- Fingerprints ------------------------------------------------------------
+
+ts::TransitionSystem counter_system(const std::string& prefix,
+                                    std::int64_t init_value = 0,
+                                    std::int64_t limit = 3,
+                                    bool swap_order = false) {
+  ts::TransitionSystem sys;
+  const expr::Expr x = expr::int_var(prefix + ".x", 0, 7);
+  const expr::Expr y = expr::int_var(prefix + ".y", 0, 7);
+  sys.add_var(x);
+  sys.add_var(y);
+  const expr::Expr step =
+      (x < limit) && (expr::next(x) == x + 1) && (expr::next(y) == y);
+  const expr::Expr stay = (expr::next(x) == x) && (expr::next(y) == y);
+  if (swap_order) {
+    sys.add_init(y == 0);
+    sys.add_init(x == init_value);
+  } else {
+    sys.add_init(x == init_value);
+    sys.add_init(y == 0);
+  }
+  sys.add_trans(step || stay);
+  sys.add_invar(x >= 0);
+  return sys;
+}
+
+TEST(Fingerprint, SameSystemSameKey) {
+  const ts::TransitionSystem a = counter_system("fp1");
+  const ts::TransitionSystem b = counter_system("fp1");
+  EXPECT_EQ(svc::fingerprint(a), svc::fingerprint(b));
+}
+
+TEST(Fingerprint, ConstraintOrderDoesNotMatter) {
+  const ts::TransitionSystem a = counter_system("fp2");
+  const ts::TransitionSystem b = counter_system("fp2", 0, 3, /*swap_order=*/true);
+  EXPECT_EQ(svc::fingerprint(a), svc::fingerprint(b));
+}
+
+TEST(Fingerprint, CommutativeOperandOrderDoesNotMatter) {
+  const expr::Expr x = expr::int_var("fp3.x", 0, 7);
+  const expr::Expr y = expr::int_var("fp3.y", 0, 7);
+  EXPECT_EQ(svc::fingerprint((x == 1) && (y == 2)),
+            svc::fingerprint((y == 2) && (x == 1)));
+  EXPECT_EQ(svc::fingerprint(x + y), svc::fingerprint(y + x));
+  // Order-sensitive operators must keep position.
+  EXPECT_NE(svc::fingerprint(x < y), svc::fingerprint(y < x));
+  EXPECT_NE(svc::fingerprint(x / y), svc::fingerprint(y / x));
+}
+
+TEST(Fingerprint, EveryModelMutationChangesTheKey) {
+  const Fingerprint base = svc::fingerprint(counter_system("fp4"));
+  // Different init value.
+  EXPECT_NE(base, svc::fingerprint(counter_system("fp4", 1)));
+  // Different transition guard.
+  EXPECT_NE(base, svc::fingerprint(counter_system("fp4", 0, 5)));
+  // Extra invariant.
+  ts::TransitionSystem stronger = counter_system("fp4");
+  stronger.add_invar(expr::var_by_name("fp4.y") <= 6);
+  EXPECT_NE(base, svc::fingerprint(stronger));
+  // A parameter (same constraints otherwise).
+  ts::TransitionSystem with_param = counter_system("fp4");
+  with_param.add_param(expr::int_var("fp4.p", 0, 3));
+  EXPECT_NE(base, svc::fingerprint(with_param));
+  // Different variable names = different model.
+  EXPECT_NE(base, svc::fingerprint(counter_system("fp4b")));
+}
+
+TEST(Fingerprint, RequestKeyCoversPropertyEngineAndDepth) {
+  const ts::TransitionSystem sys = counter_system("fp5");
+  const ltl::Formula safe = ltl::G(ltl::atom(expr::var_by_name("fp5.x") <= 7));
+  const ltl::Formula tight = ltl::G(ltl::atom(expr::var_by_name("fp5.x") <= 2));
+  const Fingerprint base =
+      svc::fingerprint_request(sys, safe, core::Engine::kBmc, 20);
+  EXPECT_EQ(base, svc::fingerprint_request(sys, safe, core::Engine::kBmc, 20));
+  EXPECT_NE(base, svc::fingerprint_request(sys, tight, core::Engine::kBmc, 20));
+  EXPECT_NE(base, svc::fingerprint_request(sys, safe, core::Engine::kPdr, 20));
+  EXPECT_NE(base, svc::fingerprint_request(sys, safe, core::Engine::kBmc, 21));
+}
+
+TEST(Fingerprint, LtlConjunctionIsUnorderedUntilIsNot) {
+  const expr::Expr x = expr::int_var("fp6.x", 0, 7);
+  const ltl::Formula a = ltl::atom(x == 1);
+  const ltl::Formula b = ltl::atom(x == 2);
+  EXPECT_EQ(svc::fingerprint(ltl::conj(a, b)), svc::fingerprint(ltl::conj(b, a)));
+  EXPECT_NE(svc::fingerprint(ltl::U(a, b)), svc::fingerprint(ltl::U(b, a)));
+}
+
+TEST(Fingerprint, HexRoundTrip) {
+  const Fingerprint f = svc::fingerprint(counter_system("fp7"));
+  const std::string hex = f.str();
+  EXPECT_EQ(hex.size(), 32u);
+  const auto parsed = Fingerprint::parse(hex);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, f);
+  EXPECT_FALSE(Fingerprint::parse("not-a-key").has_value());
+  EXPECT_FALSE(Fingerprint::parse(hex.substr(1)).has_value());
+}
+
+// --- Verdict cache -----------------------------------------------------------
+
+svc::CachedVerdict holds_verdict(double seconds = 0.1) {
+  svc::CachedVerdict v;
+  v.verdict = core::Verdict::kHolds;
+  v.engine = "pdr";
+  v.seconds = seconds;
+  return v;
+}
+
+Fingerprint key_of(std::uint64_t n) {
+  return Fingerprint{0x1234u + n, n};
+}
+
+TEST(VerdictCache, OnlyDefinitiveVerdictsAreStored) {
+  svc::VerdictCache cache;
+  svc::CachedVerdict v = holds_verdict();
+  for (const core::Verdict bad : {core::Verdict::kBoundReached,
+                                  core::Verdict::kTimeout, core::Verdict::kUnknown}) {
+    v.verdict = bad;
+    cache.insert(key_of(1), v);
+    EXPECT_FALSE(cache.lookup(key_of(1)).has_value())
+        << "verdict " << core::verdict_name(bad) << " must not be cached";
+  }
+  // kViolated without a stored trace is NOT definitive-with-evidence.
+  v.verdict = core::Verdict::kViolated;
+  v.counterexample_json.clear();
+  cache.insert(key_of(1), v);
+  EXPECT_FALSE(cache.lookup(key_of(1)).has_value());
+
+  v.verdict = core::Verdict::kHolds;
+  cache.insert(key_of(1), v);
+  EXPECT_TRUE(cache.lookup(key_of(1)).has_value());
+}
+
+TEST(VerdictCache, LruEvictsOldestWithinCapacity) {
+  svc::VerdictCache cache({.capacity = 4, .shards = 1});
+  for (std::uint64_t i = 0; i < 8; ++i) cache.insert(key_of(i), holds_verdict());
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_GE(cache.evictions(), 4u);
+  EXPECT_TRUE(cache.lookup(key_of(7)).has_value());   // newest survives
+  EXPECT_FALSE(cache.lookup(key_of(0)).has_value());  // oldest evicted
+}
+
+TEST(VerdictCache, LookupRefreshesLruPosition) {
+  svc::VerdictCache cache({.capacity = 2, .shards = 1});
+  cache.insert(key_of(0), holds_verdict());
+  cache.insert(key_of(1), holds_verdict());
+  ASSERT_TRUE(cache.lookup(key_of(0)).has_value());  // 0 is now most recent
+  cache.insert(key_of(2), holds_verdict());          // evicts 1, not 0
+  EXPECT_TRUE(cache.lookup(key_of(0)).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(1)).has_value());
+}
+
+TEST(VerdictCache, SingleFlightComputesOnce) {
+  svc::VerdictCache cache;
+  std::atomic<int> computes{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<svc::CachedVerdict> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[t] = cache.get_or_compute(key_of(42), [&] {
+        computes.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return holds_verdict(7.0);
+      });
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(computes.load(), 1);
+  for (const svc::CachedVerdict& r : results) {
+    EXPECT_EQ(r.verdict, core::Verdict::kHolds);
+    EXPECT_DOUBLE_EQ(r.seconds, 7.0);
+  }
+  EXPECT_GE(cache.single_flight_shared(), static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(VerdictCache, SingleFlightSharesButNeverStoresNonDefinitive) {
+  svc::VerdictCache cache;
+  svc::CachedVerdict timeout;
+  timeout.verdict = core::Verdict::kTimeout;
+  const svc::CachedVerdict got =
+      cache.get_or_compute(key_of(9), [&] { return timeout; });
+  EXPECT_EQ(got.verdict, core::Verdict::kTimeout);
+  EXPECT_FALSE(cache.lookup(key_of(9)).has_value());
+}
+
+TEST(VerdictCache, LeaderExceptionLetsWaitersRecover) {
+  svc::VerdictCache cache;
+  std::atomic<int> attempts{0};
+  std::vector<std::thread> threads;
+  std::atomic<int> successes{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      try {
+        const svc::CachedVerdict v = cache.get_or_compute(key_of(13), [&] {
+          if (attempts.fetch_add(1) == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            throw std::runtime_error("solver exploded");
+          }
+          return holds_verdict();
+        });
+        EXPECT_EQ(v.verdict, core::Verdict::kHolds);
+        successes.fetch_add(1);
+      } catch (const std::runtime_error&) {
+        // Only the failing leader may see the exception.
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_GE(attempts.load(), 2);
+  EXPECT_GE(successes.load(), 3);
+}
+
+// --- Persistence across "restarts" -------------------------------------------
+
+TEST(VerdictCache, PersistedCounterexampleRoundTrips) {
+  // Real violated outcome with a trace, through save -> fresh cache -> load,
+  // then rehydrated and re-confirmed against the system. The same flow runs
+  // across a genuine process restart in tests/verdictd_cli_test.sh.
+  scenarios::RolloutPartitionScenario scenario = scenarios::make_test_scenario();
+  const core::CheckOutcome outcome =
+      core::check(scenario.system, scenario.property,
+                  {.engine = core::Engine::kBmc, .max_depth = 6});
+  ASSERT_TRUE(outcome.violated());
+  ASSERT_TRUE(outcome.counterexample.has_value());
+
+  const Fingerprint key = svc::fingerprint_request(
+      scenario.system, scenario.property, core::Engine::kBmc, 6);
+  svc::VerdictCache cache;
+  cache.insert(key, svc::cached_from_outcome(outcome));
+
+  std::stringstream disk;
+  cache.save(disk);
+
+  svc::VerdictCache restarted;
+  EXPECT_EQ(restarted.load(disk), 1u);
+  const auto cached = restarted.lookup(key);
+  ASSERT_TRUE(cached.has_value());
+  const auto rehydrated = svc::outcome_from_cached(*cached);
+  ASSERT_TRUE(rehydrated.has_value());
+  EXPECT_EQ(rehydrated->verdict, core::Verdict::kViolated);
+  ASSERT_TRUE(rehydrated->counterexample.has_value());
+  std::string why;
+  EXPECT_TRUE(core::confirm_counterexample(scenario.system, scenario.property,
+                                           *rehydrated, &why))
+      << why;
+}
+
+TEST(VerdictCache, LoadSkipsMalformedAndNonDefinitiveLines) {
+  svc::VerdictCache cache;
+  std::stringstream disk;
+  svc::VerdictCache source;
+  source.insert(key_of(1), holds_verdict());
+  source.save(disk);
+  disk << "this is not json\n";
+  disk << R"({"schema":"verdict-cache-v1","key":"00000000000000000000000000000001",)"
+       << R"("verdict":"timeout","engine":"bmc"})" << "\n";
+  disk << R"({"schema":"some-other-schema","key":"00000000000000000000000000000002",)"
+       << R"("verdict":"holds","engine":"bmc"})" << "\n";
+  EXPECT_EQ(cache.load(disk), 1u);  // only the genuine holds line
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// --- Service -----------------------------------------------------------------
+
+TEST(Service, WarmRequestsHitTheCacheAndAgreeWithColdOnes) {
+  scenarios::RolloutPartitionScenario scenario = scenarios::make_test_scenario();
+  svc::Service service({.jobs = 2});
+  svc::CheckRequest request;
+  request.system = &scenario.system;
+  request.property = scenario.property;
+  request.engine = core::Engine::kBmc;
+  request.max_depth = 6;
+
+  const svc::CheckResponse cold = service.check(request);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(cold.outcome.verdict, core::Verdict::kViolated);
+
+  const svc::CheckResponse warm = service.check(request);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.outcome.verdict, core::Verdict::kViolated);
+  ASSERT_TRUE(warm.outcome.counterexample.has_value());
+  std::string why;
+  EXPECT_TRUE(core::confirm_counterexample(scenario.system, scenario.property,
+                                           warm.outcome, &why))
+      << why;
+  EXPECT_EQ(service.cache().hits(), 1u);
+}
+
+TEST(Service, ZeroQueueLimitRejectsEveryRequest) {
+  scenarios::RolloutPartitionScenario scenario = scenarios::make_test_scenario();
+  svc::Service service({.jobs = 1, .queue_limit = 0});
+  svc::CheckRequest request;
+  request.system = &scenario.system;
+  request.property = scenario.property;
+  const svc::CheckResponse response = service.check(request);
+  EXPECT_TRUE(response.rejected);
+  EXPECT_EQ(response.outcome.verdict, core::Verdict::kUnknown);
+  EXPECT_EQ(service.rejected(), 1u);
+}
+
+TEST(Service, ConcurrentIdenticalSubmissionsShareOneSolverRun) {
+  scenarios::RolloutPartitionScenario scenario = scenarios::make_test_scenario();
+  svc::Service service({.jobs = 4});
+  svc::CheckRequest request;
+  request.system = &scenario.system;
+  request.property = scenario.properties.at(1).second;  // a holding invariant
+  request.engine = core::Engine::kKInduction;
+  request.max_depth = 10;
+
+  std::vector<svc::PendingCheck> pending;
+  for (int i = 0; i < 6; ++i) pending.push_back(service.submit(request));
+  std::vector<svc::CheckResponse> responses;
+  for (svc::PendingCheck& p : pending) responses.push_back(p.wait());
+
+  std::size_t computed = 0;
+  for (const svc::CheckResponse& r : responses) {
+    EXPECT_EQ(r.outcome.verdict, core::Verdict::kHolds);
+    if (!r.cache_hit) ++computed;
+  }
+  // Single-flight: at most one response per wave actually ran the engines
+  // (>=1 because the first request must compute).
+  EXPECT_GE(computed, 1u);
+  EXPECT_EQ(service.cache().size(), 1u);
+}
+
+// --- Session cache hook ------------------------------------------------------
+
+TEST(SessionCache, SecondSessionRunBuildsNoSolvers) {
+  // k-induction decides every property definitively (holds / violated), so
+  // the whole result set is cacheable and the warm run never reaches an
+  // engine: zero solvers built.
+  const ts::TransitionSystem sys = counter_system("schook");
+  const expr::Expr x = expr::var_by_name("schook.x");
+  svc::VerdictCache cache;
+  svc::SessionCache hook(cache);
+
+  core::Session session(sys);
+  session.add_property("in_range", ltl::G(ltl::atom(x <= 7)));
+  session.add_property("below_two", ltl::G(ltl::atom(x < 2)));  // violated
+
+  core::SessionOptions options;
+  options.engine = core::Engine::kKInduction;
+  options.max_depth = 10;
+  options.cache = &hook;
+
+  const core::SessionResult cold = session.check_all(options);
+  ASSERT_EQ(cold.properties.size(), 2u);
+  ASSERT_EQ(cold.properties[0].outcome.verdict, core::Verdict::kHolds);
+  ASSERT_EQ(cold.properties[1].outcome.verdict, core::Verdict::kViolated);
+  ASSERT_GT(cold.total.solvers_created, 0u);
+
+  const core::SessionResult warm = session.check_all(options);
+  ASSERT_EQ(warm.properties.size(), 2u);
+  for (std::size_t i = 0; i < cold.properties.size(); ++i)
+    EXPECT_EQ(cold.properties[i].outcome.verdict, warm.properties[i].outcome.verdict)
+        << cold.properties[i].name;
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(warm.total.solvers_created, 0u);
+  ASSERT_TRUE(warm.properties[1].outcome.counterexample.has_value());
+  EXPECT_TRUE(sys.trace_conforms(*warm.properties[1].outcome.counterexample));
+}
+
+// --- Daemon + concurrent socket clients --------------------------------------
+
+constexpr const char* kDaemonModel = R"vml(
+module svcd {
+  var x : 0..3;
+  init x = 0;
+  rule up when x < 3 { x' = x + 1; }
+  stutter always;
+}
+
+system {
+  schedule interleaving;
+  ltl bound_ok  "G (svcd.x <= 3)";
+  ltl never_two "G (svcd.x < 2)";
+}
+)vml";
+
+TEST(Daemon, ServesConcurrentClientsWithInProcessVerdicts) {
+  // Expected verdicts computed in-process, same engine/depth.
+  const mdl::VmlModel model = mdl::parse_vml(kDaemonModel);
+  const core::CheckOutcome expect_bound =
+      core::check(model.system, model.ltl_properties.at("bound_ok"),
+                  {.engine = core::Engine::kKInduction, .max_depth = 10});
+  const core::CheckOutcome expect_two =
+      core::check(model.system, model.ltl_properties.at("never_two"),
+                  {.engine = core::Engine::kKInduction, .max_depth = 10});
+  ASSERT_EQ(expect_bound.verdict, core::Verdict::kHolds);
+  ASSERT_EQ(expect_two.verdict, core::Verdict::kViolated);
+
+  char sock_dir[] = "/tmp/svc_test.XXXXXX";
+  ASSERT_NE(::mkdtemp(sock_dir), nullptr);
+  const std::string sock = std::string(sock_dir) + "/d.sock";
+
+  svc::DaemonOptions options;
+  options.socket_path = sock;
+  options.service.jobs = 4;
+  svc::Daemon daemon(options);
+  std::thread server([&] { daemon.serve(); });
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  std::atomic<int> cache_hits{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      try {
+        svc::Client client(sock);
+        // Two rounds per client: the second round is warm for *someone*.
+        for (int round = 0; round < 2; ++round) {
+          const std::vector<svc::ClientVerdict> verdicts = client.check(
+              kDaemonModel, {"bound_ok", "never_two"},
+              core::Engine::kKInduction, 10, /*timeout_seconds=*/0.0);
+          if (verdicts.size() != 2) throw std::runtime_error("wrong count");
+          for (const svc::ClientVerdict& v : verdicts) {
+            const core::CheckOutcome& expected =
+                v.prop == "bound_ok" ? expect_bound : expect_two;
+            if (v.outcome.verdict != expected.verdict)
+              throw std::runtime_error("verdict mismatch for " + v.prop);
+            if (v.outcome.violated()) {
+              if (!v.outcome.counterexample.has_value())
+                throw std::runtime_error("violated without trace: " + v.prop);
+              std::string why;
+              if (!core::confirm_counterexample(model.system,
+                                                model.ltl_properties.at(v.prop),
+                                                v.outcome, &why))
+                throw std::runtime_error("unconfirmed trace: " + why);
+            }
+            if (v.cache_hit) cache_hits.fetch_add(1);
+          }
+        }
+      } catch (const std::exception& error) {
+        ADD_FAILURE() << "client: " << error.what();
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  daemon.request_stop();
+  server.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // 8 clients x 2 rounds x 2 props = 32 requests for 2 distinct keys: almost
+  // everything is a hit or a shared flight. Conservatively, every client's
+  // second round must hit.
+  EXPECT_GE(cache_hits.load(), kClients);
+  EXPECT_EQ(daemon.connections_served(), static_cast<std::uint64_t>(kClients));
+  EXPECT_GE(daemon.service().requests(), 32u);
+
+  ::unlink(sock.c_str());
+  ::rmdir(sock_dir);
+}
+
+TEST(Daemon, RejectsBadRequestsWithoutDying) {
+  char sock_dir[] = "/tmp/svc_test.XXXXXX";
+  ASSERT_NE(::mkdtemp(sock_dir), nullptr);
+  const std::string sock = std::string(sock_dir) + "/d.sock";
+
+  svc::DaemonOptions options;
+  options.socket_path = sock;
+  options.service.jobs = 1;
+  svc::Daemon daemon(options);
+  std::thread server([&] { daemon.serve(); });
+
+  {
+    svc::Client client(sock);
+    EXPECT_THROW(
+        (void)client.check("not a model {", {}, core::Engine::kAuto, 10, 0.0),
+        std::runtime_error);
+  }
+  {
+    // The daemon survives the bad request and serves the next client.
+    svc::Client client(sock);
+    const auto verdicts =
+        client.check(kDaemonModel, {"bound_ok"}, core::Engine::kKInduction, 10, 0.0);
+    ASSERT_EQ(verdicts.size(), 1u);
+    EXPECT_EQ(verdicts[0].outcome.verdict, core::Verdict::kHolds);
+  }
+  {
+    svc::Client client(sock);
+    EXPECT_THROW((void)client.check(kDaemonModel, {"no_such_prop"},
+                                    core::Engine::kAuto, 10, 0.0),
+                 std::runtime_error);
+  }
+
+  daemon.request_stop();
+  server.join();
+  ::unlink(sock.c_str());
+  ::rmdir(sock_dir);
+}
+
+// --- Stored traces -----------------------------------------------------------
+
+TEST(StoredTrace, RoundTripsThroughJson) {
+  scenarios::RolloutPartitionScenario scenario = scenarios::make_test_scenario();
+  const core::CheckOutcome outcome =
+      core::check(scenario.system, scenario.property,
+                  {.engine = core::Engine::kBmc, .max_depth = 6});
+  ASSERT_TRUE(outcome.counterexample.has_value());
+  const std::string json = svc::trace_to_json(*outcome.counterexample);
+  const auto back = svc::trace_from_json(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->states.size(), outcome.counterexample->states.size());
+  EXPECT_EQ(back->lasso_start, outcome.counterexample->lasso_start);
+  EXPECT_TRUE(scenario.system.trace_conforms(*back));
+}
+
+TEST(StoredTrace, UnknownVariablesFailSoft) {
+  EXPECT_FALSE(svc::trace_from_json(
+                   R"({"length":1,"lasso_start":null,"params":{},)"
+                   R"("states":[{"no.such.var.anywhere":1}]})")
+                   .has_value());
+  EXPECT_FALSE(svc::trace_from_json("not json at all").has_value());
+}
+
+}  // namespace
+}  // namespace verdict

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Drives the verdictc CLI end-to-end: --prop/--props-file selection, the
 # per-property verdict table, and the documented aggregate exit codes
 # (0 all hold or bound-clean, 1 any violated, 2 errors, 3 any undecided).
@@ -9,13 +9,12 @@
 #
 # Usage: verdictc_cli_test.sh <path-to-verdictc> <examples/models dir> \
 #                             [path-to-verdict-report]
-set -u
+set -euo pipefail
 
 VERDICTC="$1"
 MODELS="$2"
 REPORT="${3:-}"
-TMP="${TMPDIR:-/tmp}/verdictc_cli_$$"
-mkdir -p "$TMP"
+TMP="$(mktemp -d "${TMPDIR:-/tmp}/verdictc_cli.XXXXXX")"
 trap 'rm -rf "$TMP"' EXIT
 
 fail() {
@@ -23,54 +22,76 @@ fail() {
   exit 1
 }
 
+# expect_exit WANT GOT WHAT [OUTPUT_FILE]: on mismatch, name the failing
+# check explicitly and dump the run's output so the ctest log is actionable.
 expect_exit() {
-  want="$1"
-  got="$2"
-  what="$3"
-  [ "$got" -eq "$want" ] || fail "$what: expected exit $want, got $got"
+  local want="$1" got="$2" what="$3" output="${4:-}"
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $what: expected exit $want, got $got" >&2
+    if [ -n "$output" ] && [ -f "$output" ]; then
+      echo "---- output ($output) ----" >&2
+      cat "$output" >&2
+      echo "--------------------------" >&2
+    fi
+    exit 1
+  fi
+}
+
+# run RC_VAR OUTPUT_FILE CMD...: run a command whose nonzero exit is part of
+# the contract under test without tripping `set -e`.
+run() {
+  local -n rc_ref="$1"
+  local output="$2"
+  shift 2
+  rc_ref=0
+  "$@" > "$output" 2>&1 || rc_ref=$?
 }
 
 # --help exits 0 and documents the exit-code contract.
-"$VERDICTC" --help > "$TMP/help.txt" 2>&1
-expect_exit 0 $? "--help"
+run rc "$TMP/help.txt" "$VERDICTC" --help
+expect_exit 0 "$rc" "--help" "$TMP/help.txt"
 grep -q "exit codes:" "$TMP/help.txt" || fail "--help must document exit codes"
 grep -q "3  no violation" "$TMP/help.txt" || fail "--help must document exit code 3"
 
 # All properties hold: exit 0.
-"$VERDICTC" "$MODELS/autoscaler.vml" --engine kinduction --depth 20 \
-  > "$TMP/hold.txt" 2>&1
-expect_exit 0 $? "autoscaler all-hold run"
+run rc "$TMP/hold.txt" "$VERDICTC" "$MODELS/autoscaler.vml" --engine kinduction --depth 20
+expect_exit 0 "$rc" "autoscaler all-hold run" "$TMP/hold.txt"
 grep -q "holds" "$TMP/hold.txt" || fail "all-hold run must print a holds verdict"
 
 # A violated property: exit 1, confirmed counterexample.
-"$VERDICTC" "$MODELS/rollout.vml" --prop quorum_kept --trace > "$TMP/viol.txt" 2>&1
-expect_exit 1 $? "rollout violation run"
+run rc "$TMP/viol.txt" "$VERDICTC" "$MODELS/rollout.vml" --prop quorum_kept --trace
+expect_exit 1 "$rc" "rollout violation run" "$TMP/viol.txt"
 grep -q "violated" "$TMP/viol.txt" || fail "violation run must print a violated verdict"
 grep -q "counterexample confirmed" "$TMP/viol.txt" || \
   fail "violation run must confirm the counterexample"
 
 # --props-file drives the same batch and prints the session verdict table.
 printf '# properties under test\n\nquorum_kept\n' > "$TMP/props.txt"
-"$VERDICTC" "$MODELS/rollout.vml" --props-file "$TMP/props.txt" > "$TMP/batch.txt" 2>&1
-expect_exit 1 $? "props-file run"
+run rc "$TMP/batch.txt" "$VERDICTC" "$MODELS/rollout.vml" --props-file "$TMP/props.txt"
+expect_exit 1 "$rc" "props-file run" "$TMP/batch.txt"
 grep -q "property" "$TMP/batch.txt" || fail "props-file run must print the verdict table"
 grep -q "quorum_kept" "$TMP/batch.txt" || fail "verdict table must name the property"
 grep -q "session:" "$TMP/batch.txt" || fail "props-file run must print session stats"
 
 # Unknown property names are usage errors: exit 2.
-"$VERDICTC" "$MODELS/rollout.vml" --prop no_such_property > "$TMP/unknown.txt" 2>&1
-expect_exit 2 $? "unknown property"
+run rc "$TMP/unknown.txt" "$VERDICTC" "$MODELS/rollout.vml" --prop no_such_property
+expect_exit 2 "$rc" "unknown property" "$TMP/unknown.txt"
 
 # Missing props file: exit 2.
-"$VERDICTC" "$MODELS/rollout.vml" --props-file "$TMP/does_not_exist.txt" \
-  > "$TMP/missing.txt" 2>&1
-expect_exit 2 $? "missing props file"
+run rc "$TMP/missing.txt" "$VERDICTC" "$MODELS/rollout.vml" \
+  --props-file "$TMP/does_not_exist.txt"
+expect_exit 2 "$rc" "missing props file" "$TMP/missing.txt"
+
+# --version prints one build-identity line and exits 0.
+run rc "$TMP/version.txt" "$VERDICTC" --version
+expect_exit 0 "$rc" "--version" "$TMP/version.txt"
+grep -q "^verdictc " "$TMP/version.txt" || fail "--version must name the tool"
+grep -q "Z3" "$TMP/version.txt" || fail "--version must report the Z3 version"
 
 # --stats-json + --trace-out: machine-readable exports, schema-checked.
-"$VERDICTC" "$MODELS/rollout.vml" --engine bmc --depth 8 \
-  --stats-json "$TMP/stats.json" --trace-out "$TMP/trace.ndjson" \
-  > "$TMP/obs.txt" 2>&1
-expect_exit 1 $? "stats/trace export run"
+run rc "$TMP/obs.txt" "$VERDICTC" "$MODELS/rollout.vml" --engine bmc --depth 8 \
+  --stats-json "$TMP/stats.json" --trace-out "$TMP/trace.ndjson"
+expect_exit 1 "$rc" "stats/trace export run" "$TMP/obs.txt"
 [ -s "$TMP/stats.json" ] || fail "--stats-json must write a non-empty file"
 [ -s "$TMP/trace.ndjson" ] || fail "--trace-out must write a non-empty file"
 grep -q '"schema":"verdict-stats-v1"' "$TMP/stats.json" || \
@@ -93,28 +114,40 @@ grep -q '"type":"session.resolve"' "$TMP/trace.ndjson" || \
 if [ -n "$REPORT" ]; then
   # JSON-aware validation: parse + schema-check the document, then render
   # both reports (exit 0 = clean).
-  "$REPORT" --stats "$TMP/stats.json" --check > "$TMP/check.txt" 2>&1
-  expect_exit 0 $? "verdict-report --check on a fresh stats document"
-  "$REPORT" --stats "$TMP/stats.json" --trace "$TMP/trace.ndjson" \
-    > "$TMP/report.txt" 2>&1
-  expect_exit 0 $? "verdict-report rendering"
+  run rc "$TMP/check.txt" "$REPORT" --stats "$TMP/stats.json" --check
+  expect_exit 0 "$rc" "verdict-report --check on a fresh stats document" "$TMP/check.txt"
+  run rc "$TMP/report.txt" "$REPORT" --stats "$TMP/stats.json" --trace "$TMP/trace.ndjson"
+  expect_exit 0 "$rc" "verdict-report rendering" "$TMP/report.txt"
   grep -q "quorum_kept" "$TMP/report.txt" || \
     fail "report must name the checked property"
+
+  # `-` reads the document from stdin, so the tool composes in pipelines.
+  rc=0
+  "$REPORT" --stats - --check < "$TMP/stats.json" > "$TMP/stdin_check.txt" 2>&1 || rc=$?
+  expect_exit 0 "$rc" "verdict-report --stats - (stdin)" "$TMP/stdin_check.txt"
+  rc=0
+  "$REPORT" --trace - < "$TMP/trace.ndjson" > "$TMP/stdin_trace.txt" 2>&1 || rc=$?
+  expect_exit 0 "$rc" "verdict-report --trace - (stdin)" "$TMP/stdin_trace.txt"
+  grep -q "run.start" "$TMP/stdin_trace.txt" || \
+    fail "stdin trace report must aggregate event types"
+  rc=0
+  "$REPORT" --stats - --trace - --check < "$TMP/stats.json" > /dev/null 2>&1 || rc=$?
+  expect_exit 2 "$rc" "verdict-report with two stdin inputs must be a usage error"
 
   # A corrupted document must be rejected.
   sed 's/verdict-stats-v1/verdict-stats-v999/' "$TMP/stats.json" \
     > "$TMP/bad_schema.json"
-  "$REPORT" --stats "$TMP/bad_schema.json" --check > /dev/null 2>&1
-  expect_exit 1 $? "verdict-report --check on a wrong schema marker"
+  run rc /dev/null "$REPORT" --stats "$TMP/bad_schema.json" --check
+  expect_exit 1 "$rc" "verdict-report --check on a wrong schema marker"
   printf '{"not json' > "$TMP/bad_json.json"
-  "$REPORT" --stats "$TMP/bad_json.json" --check > /dev/null 2>&1
-  expect_exit 1 $? "verdict-report --check on malformed JSON"
+  run rc /dev/null "$REPORT" --stats "$TMP/bad_json.json" --check
+  expect_exit 1 "$rc" "verdict-report --check on malformed JSON"
 fi
 
 # An already-expired budget leaves the property undecided: exit 3.
-"$VERDICTC" "$MODELS/rollout.vml" --prop quorum_kept --engine bmc \
-  --timeout 0.000001 > "$TMP/timeout.txt" 2>&1
-expect_exit 3 $? "timeout run"
+run rc "$TMP/timeout.txt" "$VERDICTC" "$MODELS/rollout.vml" --prop quorum_kept \
+  --engine bmc --timeout 0.000001
+expect_exit 3 "$rc" "timeout run" "$TMP/timeout.txt"
 grep -q "timeout" "$TMP/timeout.txt" || fail "timeout run must print a timeout verdict"
 
 echo "verdictc CLI: all checks passed"

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Drives the verdictd daemon end-to-end through the real binaries: cold
+# verification over the Unix socket, warm (cached) re-verification with the
+# client-visible cache marker, graceful SIGTERM drain, and the persistent
+# cache file carrying proved verdicts across a daemon restart.
+#
+# Usage: verdictd_cli_test.sh <path-to-verdictd> <path-to-verdictc> \
+#                             <examples/models dir>
+set -euo pipefail
+
+VERDICTD="$1"
+VERDICTC="$2"
+MODELS="$3"
+TMP="$(mktemp -d "${TMPDIR:-/tmp}/verdictd_cli.XXXXXX")"
+SOCK="$TMP/verdictd.sock"
+CACHE="$TMP/cache.ndjson"
+DAEMON_PID=""
+
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  for f in "$TMP"/*.txt; do
+    [ -f "$f" ] || continue
+    echo "---- $f ----" >&2
+    cat "$f" >&2
+  done
+  exit 1
+}
+
+expect_exit() {
+  local want="$1" got="$2" what="$3"
+  [ "$got" -eq "$want" ] || fail "$what: expected exit $want, got $got"
+}
+
+start_daemon() {
+  "$VERDICTD" --socket "$SOCK" --cache-file "$CACHE" --jobs 2 \
+    > "$TMP/daemon.txt" 2>&1 &
+  DAEMON_PID=$!
+  # Wait for the socket to appear (the daemon binds before serve()).
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during startup"
+    sleep 0.05
+  done
+  fail "daemon socket $SOCK never appeared"
+}
+
+stop_daemon() {
+  kill -TERM "$DAEMON_PID"
+  for _ in $(seq 1 200); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || { DAEMON_PID=""; return 0; }
+    sleep 0.05
+  done
+  fail "daemon did not exit after SIGTERM"
+}
+
+# --version prints build identity and exits 0.
+rc=0
+"$VERDICTD" --version > "$TMP/version.txt" 2>&1 || rc=$?
+expect_exit 0 "$rc" "verdictd --version"
+grep -q "^verdictd " "$TMP/version.txt" || fail "--version must name the tool"
+
+# A missing socket path is a usage error.
+rc=0
+"$VERDICTD" > /dev/null 2>&1 || rc=$?
+expect_exit 2 "$rc" "verdictd without --socket"
+
+# Connecting to a daemon that is not running is an error, not a hang.
+rc=0
+"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$SOCK" > "$TMP/noconn.txt" 2>&1 || rc=$?
+expect_exit 2 "$rc" "verdictc --connect with no daemon"
+
+start_daemon
+
+# Cold run through the daemon: verdicts and exit code match the local run.
+rc=0
+"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$SOCK" --engine pdr \
+  > "$TMP/cold.txt" 2>&1 || rc=$?
+expect_exit 0 "$rc" "cold served run"
+grep -q "holds" "$TMP/cold.txt" || fail "cold run must print holds verdicts"
+grep -q "served from verdictd cache" "$TMP/cold.txt" && \
+  fail "cold run must not claim cache hits"
+
+# Warm run: same request is served from the daemon's verdict cache.
+rc=0
+"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$SOCK" --engine pdr \
+  > "$TMP/warm.txt" 2>&1 || rc=$?
+expect_exit 0 "$rc" "warm served run"
+grep -q "served from verdictd cache" "$TMP/warm.txt" || \
+  fail "warm run must be served from the verdict cache"
+
+# A violated property round-trips its counterexample over the socket and is
+# re-confirmed client-side; aggregate exit code stays 1.
+rc=0
+"$VERDICTC" "$MODELS/rollout.vml" --connect "$SOCK" --prop quorum_kept --trace \
+  > "$TMP/viol.txt" 2>&1 || rc=$?
+expect_exit 1 "$rc" "served violation run"
+grep -q "violated" "$TMP/viol.txt" || fail "served run must print the violation"
+grep -q "counterexample confirmed" "$TMP/viol.txt" || \
+  fail "served counterexample must be confirmed client-side"
+
+# Graceful SIGTERM drain persists the cache file.
+stop_daemon
+grep -q "drained" "$TMP/daemon.txt" || fail "daemon must log its graceful drain"
+[ -s "$CACHE" ] || fail "daemon must persist the cache file on SIGTERM"
+grep -q '"schema":"verdict-cache-v1"' "$CACHE" || \
+  fail "cache file must carry the verdict-cache-v1 schema"
+
+# Restarted daemon serves the proved verdicts from the persisted cache: the
+# FIRST request after restart is already warm.
+start_daemon
+rc=0
+"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$SOCK" --engine pdr \
+  > "$TMP/restart.txt" 2>&1 || rc=$?
+expect_exit 0 "$rc" "post-restart served run"
+grep -q "served from verdictd cache" "$TMP/restart.txt" || \
+  fail "restarted daemon must serve proved verdicts from the cache file"
+stop_daemon
+
+echo "verdictd CLI: all checks passed"
+exit 0

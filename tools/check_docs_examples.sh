@@ -1,7 +1,8 @@
 #!/bin/sh
-# Docs-honesty check: every ```sh fenced verdictc / verdict-report invocation
-# in README.md and docs/*.md is executed against the real binaries, so flag
-# drift between the docs and the CLI fails CI instead of rotting silently.
+# Docs-honesty check: every ```sh fenced verdictc / verdict-report / verdictd
+# invocation in README.md and docs/*.md is executed against the real binaries,
+# so flag drift between the docs and the CLI fails CI instead of rotting
+# silently.
 #
 # The commands run inside a sandbox directory that mirrors what the docs
 # assume: `examples/` (symlinked from the repo), `build/tools/verdictc` and
@@ -12,12 +13,33 @@
 # the documented verdict codes. Exit 2 (usage/model error — e.g. a flag the
 # CLI no longer accepts), a timeout, or any other code fails the check.
 #
-# Usage: check_docs_examples.sh <verdictc> <verdict-report> <repo-root>
+# Daemon examples: a verdictd command ending in `&` is started in the
+# background; the check waits for its --socket path to appear so the
+# following --connect examples have a live daemon, and tears every daemon
+# down on exit. Without a verdictd argument those examples are skipped.
+#
+# Usage: check_docs_examples.sh <verdictc> <verdict-report> <repo-root> \
+#                               [verdictd]
 set -u
 
 VERDICTC="$1"
 REPORT="$2"
 ROOT="$3"
+VERDICTD="${4:-}"
+DAEMON_PIDS=""
+
+# The sandbox symlinks to the binaries, so relative arguments must be
+# anchored to the caller's directory first.
+absolutize() {
+  case "$1" in
+    ""|/*) printf '%s' "$1" ;;
+    *) printf '%s/%s' "$PWD" "$1" ;;
+  esac
+}
+VERDICTC=$(absolutize "$VERDICTC")
+REPORT=$(absolutize "$REPORT")
+ROOT=$(absolutize "$ROOT")
+VERDICTD=$(absolutize "$VERDICTD")
 
 fail() {
   echo "FAIL: $1" >&2
@@ -26,14 +48,35 @@ fail() {
 
 [ -x "$VERDICTC" ] || fail "verdictc binary not executable: $VERDICTC"
 [ -x "$REPORT" ] || fail "verdict-report binary not executable: $REPORT"
+[ -z "$VERDICTD" ] || [ -x "$VERDICTD" ] || \
+  fail "verdictd binary not executable: $VERDICTD"
 [ -f "$ROOT/README.md" ] || fail "repo root without README.md: $ROOT"
 
 SANDBOX="${TMPDIR:-/tmp}/verdict_docs_check_$$"
 mkdir -p "$SANDBOX/build/tools"
-trap 'rm -rf "$SANDBOX"' EXIT
+
+kill_daemons() {
+  for pid in $DAEMON_PIDS; do
+    kill -TERM "$pid" 2>/dev/null
+    # Give the drain a moment, then make sure it is gone.
+    for _ in 1 2 3 4 5 6 7 8 9 10; do
+      kill -0 "$pid" 2>/dev/null || break
+      sleep 0.1
+    done
+    kill -KILL "$pid" 2>/dev/null
+  done
+  DAEMON_PIDS=""
+}
+
+cleanup() {
+  kill_daemons
+  rm -rf "$SANDBOX"
+}
+trap cleanup EXIT
 
 ln -s "$VERDICTC" "$SANDBOX/build/tools/verdictc"
 ln -s "$REPORT" "$SANDBOX/build/tools/verdict-report"
+[ -n "$VERDICTD" ] && ln -s "$VERDICTD" "$SANDBOX/build/tools/verdictd"
 ln -s "$ROOT/examples" "$SANDBOX/examples"
 printf '# nightly invariants\nquorum_kept\n' > "$SANDBOX/props.txt"
 
@@ -81,7 +124,7 @@ awk '
     # Collapse the indentation of continuation lines.
     gsub(/[ \t]+/, " ", line)
     sub(/^ /, "", line)
-    if (line ~ /^(\.\/)?(build\/tools\/)?(verdictc|verdict-report)([ \t]|$)/)
+    if (line ~ /^(\.\/)?(build\/tools\/)?(verdictc|verdict-report|verdictd)([ \t]|$)/)
       printf "%s\t%s\n", FILENAME, line
   }
 ' "$ROOT/README.md" "$ROOT"/docs/*.md > "$COMMANDS"
@@ -93,6 +136,44 @@ n=0
 while IFS="$(printf '\t')" read -r source cmd; do
   n=$((n + 1))
   out="$SANDBOX/out.$n"
+
+  case "$cmd" in
+    *verdictd*)
+      if [ -z "$VERDICTD" ]; then
+        echo "skip [$source] $cmd (no verdictd binary supplied)"
+        continue
+      fi
+      case "$cmd" in
+        *"&")
+          # A backgrounded daemon example: start it, then wait for its
+          # --socket path so the --connect examples that follow have a live
+          # server. One daemon at a time — a fresh example replaces the last.
+          kill_daemons
+          sock=$(printf '%s\n' "$cmd" | sed -n 's/.*--socket \([^ ]*\).*/\1/p')
+          [ -n "$sock" ] || fail "[$source] daemon example without --socket: $cmd"
+          # A hard-killed predecessor leaves a stale socket file; make sure
+          # the wait below observes the NEW daemon's bind.
+          rm -f "$SANDBOX/$sock" "$sock" 2>/dev/null
+          plain=${cmd%&}
+          (cd "$SANDBOX" && PATH="$SANDBOX/build/tools:$PATH" \
+             sh -c "$plain") > "$out" 2>&1 &
+          DAEMON_PIDS="$DAEMON_PIDS $!"
+          i=0
+          while [ ! -S "$SANDBOX/$sock" ] && [ ! -S "$sock" ]; do
+            i=$((i + 1))
+            [ "$i" -le 100 ] || {
+              sed "s/^/    /" "$out" >&2
+              fail "[$source] daemon socket $sock never appeared: $cmd"
+            }
+            sleep 0.05
+          done
+          echo "ok [$source] $cmd (daemon up)"
+          continue
+          ;;
+      esac
+      ;;
+  esac
+
   (cd "$SANDBOX" && PATH="$SANDBOX/build/tools:$PATH" timeout 120 sh -c "$cmd") \
     > "$out" 2>&1
   code=$?

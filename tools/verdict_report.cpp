@@ -11,6 +11,11 @@
 //   --check        validate only: parse both files, enforce the documented
 //                  schema, print nothing on success
 //
+// FILE may be `-` to read from stdin (one of --stats/--trace, not both), so
+// the tool composes in pipelines:
+//
+//   verdictc model.vml --stats-json /dev/stdout --quiet | verdict-report --stats -
+//
 // At least one of --stats/--trace is required. Exit codes: 0 inputs parse
 // and conform, 1 malformed input or schema violation, 2 usage error.
 //
@@ -19,6 +24,7 @@
 // docs/observability.md fails the CLI test, not just a human reader.
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -36,12 +42,18 @@ using verdict::obs::parse_json;
                "usage: %s [--stats FILE] [--trace FILE] [--check]\n"
                "  --stats FILE  verdict-stats-v1 document (verdictc --stats-json)\n"
                "  --trace FILE  NDJSON event stream (verdictc --trace-out)\n"
-               "  --check       validate only; print nothing on success\n",
+               "  --check       validate only; print nothing on success\n"
+               "FILE may be '-' to read from stdin (at most one input).\n",
                argv0);
   std::exit(code);
 }
 
 std::string read_file(const std::string& path) {
+  if (path == "-") {  // stdin; can only be consumed once (enforced in main)
+    std::ostringstream os;
+    os << std::cin.rdbuf();
+    return os.str();
+  }
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot read " + path);
   std::ostringstream os;
@@ -253,6 +265,10 @@ int main(int argc, char** argv) {
     }
   }
   if (stats_path.empty() && trace_path.empty()) usage(argv[0], 2);
+  if (stats_path == "-" && trace_path == "-") {
+    std::fprintf(stderr, "verdict-report: only one of --stats/--trace may be '-'\n");
+    return 2;
+  }
 
   try {
     if (!stats_path.empty()) {

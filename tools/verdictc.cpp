@@ -25,7 +25,13 @@
 //                          (schema "verdict-stats-v1", docs/observability.md)
 //   --trace-out FILE       stream structured engine events to FILE as NDJSON
 //                          (one JSON object per line; see docs/observability.md)
+//   --connect SOCK         check LTL properties via a running verdictd at the
+//                          given Unix socket instead of in-process (verdicts,
+//                          exit codes, and printing are identical; repeated
+//                          requests hit the daemon's verdict cache). CTL
+//                          properties are still checked locally (BDD engine).
 //   --quiet                only print the per-property verdict lines
+//   --version              print version (git SHA, build type, Z3) and exit
 //
 // All selected LTL properties are checked in ONE core::Session, which shares
 // the solver unrolling across them (see src/core/session.h); a per-property
@@ -56,10 +62,14 @@
 #include "obs/explain.h"
 #include "obs/stats_json.h"
 #include "obs/trace.h"
+#include "smt/solver.h"
+#include "svc/client.h"
 #include "ts/smv_export.h"
 #include "util/strings.h"
+#include "util/version.h"
 
 #include <fstream>
+#include <sstream>
 
 namespace {
 
@@ -77,6 +87,7 @@ struct Options {
   std::string smv_out;     // when set, export the model to this .smv path
   std::string stats_json;  // when set, write the verdict-stats-v1 document here
   std::string trace_out;   // when set, stream NDJSON engine events here
+  std::string connect;     // when set, check LTL props via verdictd at this socket
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
@@ -96,7 +107,9 @@ struct Options {
                "  --explain          print counterexample traces as state diffs\n"
                "  --stats-json FILE  write run results as JSON (verdict-stats-v1)\n"
                "  --trace-out FILE   stream structured engine events as NDJSON\n"
+               "  --connect SOCK     check LTL properties via verdictd at SOCK\n"
                "  --quiet            only print the per-property verdict lines\n"
+               "  --version          print version (git SHA, build type, Z3)\n"
                "exit codes:\n"
                "  0  every checked property holds or is bound-clean\n"
                "  1  at least one property is violated\n"
@@ -174,8 +187,15 @@ Options parse_args(int argc, char** argv) {
       options.stats_json = value();
     } else if (arg == "--trace-out") {
       options.trace_out = value();
+    } else if (arg == "--connect") {
+      options.connect = value();
     } else if (arg == "--quiet") {
       options.quiet = true;
+    } else if (arg == "--version") {
+      std::printf("%s\n",
+                  verdict::util::version_line("verdictc", verdict::smt::z3_version())
+                      .c_str());
+      std::exit(0);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -323,28 +343,59 @@ int main(int argc, char** argv) {
   total.engine = "run";
 
   // All selected LTL properties go through ONE session so the solver
-  // unrolling is shared across them (src/core/session.h).
+  // unrolling is shared across them (src/core/session.h). With --connect the
+  // same selection travels to verdictd as one request instead; the server's
+  // responses are folded into an identical SessionResult so everything below
+  // (printing, confirmation, stats JSON, exit codes) is shared.
   core::Session session(model.system);
+  std::vector<std::string> ltl_selected;
   for (const auto& [name, property] : model.ltl_properties) {
     if (!selected(options, name)) continue;
     session.add_property(name, property);
+    ltl_selected.push_back(name);
   }
   if (session.num_properties() > 0) {
     core::SessionResult result;
-    try {
-      core::SessionOptions check;
-      check.engine = options.engine;
-      check.max_depth = options.depth;
-      check.jobs = options.jobs;
-      check.deadline = deadline;
-      result = session.check_all(check);
-    } catch (const std::exception& error) {
-      std::fprintf(stderr, "verdictc: %s\n", error.what());
-      return 2;
+    std::vector<bool> served_from_cache;
+    if (!options.connect.empty()) {
+      try {
+        std::ifstream model_in(options.model_path);
+        std::stringstream model_text;
+        model_text << model_in.rdbuf();
+        svc::Client client(options.connect);
+        const std::vector<svc::ClientVerdict> verdicts = client.check(
+            model_text.str(), ltl_selected, options.engine, options.depth,
+            options.timeout);
+        for (const svc::ClientVerdict& v : verdicts) {
+          result.properties.push_back(
+              {v.prop, model.ltl_properties.at(v.prop), v.outcome});
+          result.total.merge(v.outcome.stats);
+          served_from_cache.push_back(v.cache_hit);
+        }
+        result.total.engine = "verdictd";
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "verdictc: %s\n", error.what());
+        return 2;
+      }
+    } else {
+      try {
+        core::SessionOptions check;
+        check.engine = options.engine;
+        check.max_depth = options.depth;
+        check.jobs = options.jobs;
+        check.deadline = deadline;
+        result = session.check_all(check);
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "verdictc: %s\n", error.what());
+        return 2;
+      }
     }
-    for (const auto& pv : result.properties) {
+    for (std::size_t pi = 0; pi < result.properties.size(); ++pi) {
+      const auto& pv = result.properties[pi];
       const auto& outcome = pv.outcome;
       std::printf("ltl %-24s %s\n", pv.name.c_str(), core::describe(outcome).c_str());
+      if (!options.quiet && pi < served_from_cache.size() && served_from_cache[pi])
+        std::printf("    (served from verdictd cache)\n");
       records.push_back({pv.name, "ltl", pv.property.str(), outcome});
       if (outcome.verdict == core::Verdict::kTimeout ||
           outcome.verdict == core::Verdict::kUnknown)

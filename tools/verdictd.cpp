@@ -1,0 +1,147 @@
+// verdictd — the verification daemon (verification-as-a-service).
+//
+// Serves verdictc requests over a Unix-domain socket with a content-addressed
+// verdict cache in front of the engines: re-verifying an unchanged
+// (model, property, engine, depth) request is a hash lookup, identical
+// concurrent requests collapse to one solver run, and --cache-file carries
+// proven verdicts across daemon restarts. Protocol and cacheability rules:
+// docs/service.md.
+//
+// Usage:
+//   verdictd --socket PATH [options]
+//
+// Options:
+//   --socket PATH       Unix-domain socket to listen on (required)
+//   --jobs N            verification worker threads (0 = all hardware threads)
+//   --queue-limit N     max admitted-but-unfinished requests; further
+//                       requests are rejected immediately (default 64)
+//   --cache-capacity N  in-memory verdict cache entries (default 4096)
+//   --cache-file FILE   NDJSON verdict store: loaded at startup, written on
+//                       graceful shutdown (SIGTERM/SIGINT)
+//   --trace-out FILE    stream structured events to FILE as NDJSON
+//   --quiet             no startup/shutdown banner
+//   --version           print version (git SHA, build type, Z3) and exit
+//
+// SIGTERM/SIGINT trigger a graceful drain: stop accepting, finish in-flight
+// verdicts, persist the cache, exit 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "obs/trace.h"
+#include "portfolio/pool.h"
+#include "smt/solver.h"
+#include "svc/daemon.h"
+#include "util/version.h"
+
+namespace {
+
+verdict::svc::Daemon* g_daemon = nullptr;
+
+void handle_signal(int) {
+  if (g_daemon != nullptr) g_daemon->request_stop();  // async-signal-safe
+}
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [options]\n"
+               "  --socket PATH       Unix-domain socket to listen on\n"
+               "  --jobs N            worker threads (0 = all hardware threads)\n"
+               "  --queue-limit N     max in-flight requests before rejecting (64)\n"
+               "  --cache-capacity N  in-memory verdict cache entries (4096)\n"
+               "  --cache-file FILE   persistent verdict store (NDJSON)\n"
+               "  --trace-out FILE    stream structured events as NDJSON\n"
+               "  --quiet             no startup/shutdown banner\n"
+               "  --version           print version and exit\n",
+               argv0);
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace verdict;
+
+  svc::DaemonOptions options;
+  options.service.jobs = 0;  // a daemon defaults to every hardware thread
+  std::string trace_out;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], 2);
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      options.socket_path = value();
+    } else if (arg == "--jobs") {
+      options.service.jobs = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg == "--queue-limit") {
+      options.service.queue_limit = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg == "--cache-capacity") {
+      options.service.cache.capacity = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg == "--cache-file") {
+      options.service.cache_file = value();
+    } else if (arg == "--trace-out") {
+      trace_out = value();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--version") {
+      std::printf("%s\n", util::version_line("verdictd", smt::z3_version()).c_str());
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(argv[0], 2);
+    }
+  }
+  if (options.socket_path.empty()) usage(argv[0], 2);
+
+  std::unique_ptr<obs::TraceSink> trace_sink;
+  if (!trace_out.empty()) {
+    try {
+      trace_sink = obs::TraceSink::open_file(trace_out);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "verdictd: %s\n", error.what());
+      return 2;
+    }
+    obs::set_sink(trace_sink.get());
+  }
+
+  int exit_code = 0;
+  try {
+    svc::Daemon daemon(options);
+    g_daemon = &daemon;
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+    if (!quiet)
+      std::printf("verdictd: listening on %s (%zu jobs, queue limit %zu)\n",
+                  options.socket_path.c_str(),
+                  options.service.jobs != 0 ? options.service.jobs
+                                            : portfolio::default_jobs(),
+                  options.service.queue_limit);
+    std::fflush(stdout);
+    daemon.serve();  // returns after SIGTERM + graceful drain
+    if (!quiet)
+      std::printf("verdictd: drained (%llu connection(s), %llu request(s), "
+                  "%llu cache hit(s)); bye\n",
+                  static_cast<unsigned long long>(daemon.connections_served()),
+                  static_cast<unsigned long long>(daemon.service().requests()),
+                  static_cast<unsigned long long>(daemon.service().cache().hits()));
+    g_daemon = nullptr;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "verdictd: %s\n", error.what());
+    exit_code = 2;
+  }
+
+  if (trace_sink) {
+    obs::set_sink(nullptr);
+    trace_sink->flush();
+  }
+  return exit_code;
+}
