@@ -5,8 +5,10 @@
 #include <functional>
 #include <vector>
 
+#include "core/checker.h"
 #include "expr/walk.h"
 #include "obs/trace.h"
+#include "opt/optimize.h"
 #include "util/log.h"
 
 namespace verdict::bdd {
@@ -42,6 +44,21 @@ ts::Trace trace_from_chain(const SymbolicSystem& system,
 
 CheckOutcome check_invariant_bdd(const ts::TransitionSystem& ts, Expr invariant,
                                  const BddOptions& options) {
+  if (options.optimize) {
+    const opt::Optimized optimized = opt::optimize_invariant(ts, invariant, {});
+    BddOptions inner = options;
+    inner.optimize = false;
+    if (!optimized.changed()) return check_invariant_bdd(ts, invariant, inner);
+    CheckOutcome out =
+        check_invariant_bdd(optimized.system, opt::invariant_atom(optimized), inner);
+    if (out.verdict == Verdict::kViolated && out.counterexample &&
+        !core::lift_counterexample(optimized, *out.counterexample, options.deadline)) {
+      // Sliced-away component cannot execute alongside this trace; the
+      // violation may be spurious. Decide on the original system.
+      return check_invariant_bdd(ts, invariant, inner);
+    }
+    return out;
+  }
   util::Stopwatch watch;
   CheckOutcome outcome;
   outcome.stats.engine = "bdd-reach";

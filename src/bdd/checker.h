@@ -18,6 +18,12 @@ namespace verdict::bdd {
 struct BddOptions {
   VarOrder order = VarOrder::kInterleaved;
   util::Deadline deadline = util::Deadline::never();
+  /// Run the opt/ pipeline before encoding. Slicing removes whole state
+  /// variables, i.e. BDD bits — an exponential lever on ring sizes.
+  /// Counterexamples are lifted back; an unliftable one falls back to an
+  /// unoptimized run. Applies to check_invariant_bdd (CTL checking always
+  /// encodes the full system).
+  bool optimize = true;
 };
 
 /// Checks G(invariant) by forward reachability.

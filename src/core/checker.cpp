@@ -1,5 +1,6 @@
 #include "core/checker.h"
 
+#include <atomic>
 #include <sstream>
 
 #include "core/bmc.h"
@@ -10,6 +11,8 @@
 #include "core/pdr.h"
 #include "ltl/parser.h"
 #include "ltl/trace_eval.h"
+#include "obs/trace.h"
+#include "opt/optimize.h"
 #include "portfolio/portfolio.h"
 #include "util/log.h"
 
@@ -82,6 +85,30 @@ CheckOutcome check_safety(const ts::TransitionSystem& ts, expr::Expr invariant,
 
 CheckOutcome check(const ts::TransitionSystem& ts, const ltl::Formula& property,
                    const CheckOptions& options) {
+  if (options.optimize) {
+    opt::OptimizeOptions oo;
+    // Slicing is only sound to lift on finite safety counterexamples, so it
+    // stays off for the lasso/liveness paths; fold + constant propagation
+    // apply everywhere (their lifting is exact, lassos included).
+    oo.slice = ltl::is_invariant_property(property) &&
+               options.engine != Engine::kLtlLasso;
+    const opt::Optimized optimized = opt::optimize(ts, property, oo);
+    CheckOptions inner = options;
+    inner.optimize = false;
+    if (!optimized.changed()) return check(ts, property, inner);
+    CheckOutcome out = check(optimized.system, optimized.properties.front(), inner);
+    if (out.verdict == Verdict::kViolated && out.counterexample &&
+        !lift_counterexample(optimized, *out.counterexample, options.deadline)) {
+      // The sliced-away component cannot execute alongside this trace (or
+      // the reconstruction budget ran out): the violation may be spurious.
+      // Decide on the original system instead.
+      CheckOutcome full = check(ts, property, inner);
+      full.stats.merge(out.stats);
+      return full;
+    }
+    return out;
+  }
+
   // Portfolio: explicit request, or kAuto with a parallelism budget.
   if (options.engine == Engine::kPortfolio ||
       (options.engine == Engine::kAuto && options.jobs != 1)) {
@@ -150,6 +177,55 @@ bool confirm_counterexample(const ts::TransitionSystem& ts, const ltl::Formula& 
   const expr::Expr atom = ltl::invariant_atom(property);
   if (expr::eval_bool(atom, ts.env_of(trace.states.back(), trace.params)))
     return fail("final trace state satisfies the invariant it should violate");
+  return true;
+}
+
+bool lift_counterexample(const opt::Optimized& optimized, ts::Trace& trace,
+                         const util::Deadline& deadline) {
+  // Explicit reconstruction first: free when nothing was sliced, cheap when
+  // the dropped component's state space fits the enumeration budget. It also
+  // re-inserts the propagated constants, which the solver path relies on.
+  if (optimized.lift_trace(trace)) return true;
+  if (trace.is_lasso()) return false;
+  const std::size_t len = trace.states.size();
+  if (len == 0) return false;
+
+  // Solver-based completion. A fresh step counter turns "the dropped
+  // component has an execution with exactly `len` states" into a BMC
+  // reachability question: G(step < len-1) is first violated at frame len-1,
+  // so the shortest counterexample is exactly len states of the dropped
+  // component, independent of the kept half (slicing guarantees the two
+  // share no variables).
+  static std::atomic<std::uint64_t> lift_id{0};
+  const std::string step_name = "__opt_lift_step" + std::to_string(lift_id.fetch_add(1));
+  ts::TransitionSystem d = optimized.dropped;
+  const expr::Expr step = expr::int_var(step_name, 0, static_cast<std::int64_t>(len));
+  d.add_var(step);
+  d.add_init(expr::mk_eq(step, expr::int_const(0)));
+  d.add_trans(expr::mk_eq(expr::next(step), step + 1));
+
+  BmcOptions b;
+  b.max_depth = static_cast<int>(len);
+  b.deadline = deadline;
+  const CheckOutcome run = check_invariant_bmc(
+      d, expr::mk_lt(step, expr::int_const(static_cast<std::int64_t>(len) - 1)), b);
+  if (run.verdict != Verdict::kViolated || !run.counterexample ||
+      run.counterexample->states.size() != len)
+    return false;
+
+  for (std::size_t i = 0; i < len; ++i) {
+    for (const expr::Expr v : optimized.dropped_vars) {
+      const std::optional<expr::Value> val = run.counterexample->states[i].get(v);
+      if (!val) return false;
+      trace.states[i].set(v, *val);
+    }
+  }
+  for (const expr::Expr p : optimized.dropped_params) {
+    const std::optional<expr::Value> val = run.counterexample->params.get(p);
+    if (!val) return false;
+    trace.params.set(p, *val);
+  }
+  obs::count("opt.solver_lifts");
   return true;
 }
 

@@ -14,6 +14,7 @@
 
 #include "core/result.h"
 #include "ltl/ltl.h"
+#include "opt/optimize.h"
 #include "ts/transition_system.h"
 #include "util/stopwatch.h"
 
@@ -37,6 +38,12 @@ struct CheckOptions {
   /// Worker threads for the portfolio engine. kAuto upgrades to kPortfolio
   /// when jobs > 1; 0 means "use all hardware threads".
   std::size_t jobs = 1;
+  /// Run the opt/ model-optimization pipeline (fold + constant propagation +
+  /// cone-of-influence slicing for safety properties) before the engine sees
+  /// the system. Counterexamples are lifted back to the original system; if
+  /// a sliced violation cannot be lifted, the check transparently reruns
+  /// unoptimized. verdictc --no-opt / the wire field "optimize" turn it off.
+  bool optimize = true;
 };
 
 /// Checks an LTL property. G(atom) properties route to the safety engines;
@@ -58,6 +65,20 @@ struct CheckOptions {
                                           const ltl::Formula& property,
                                           const CheckOutcome& outcome,
                                           std::string* error = nullptr);
+
+/// Lifts a sliced counterexample back to the original system. Tries the
+/// optimizer's explicit reconstruction (opt::Optimized::lift_trace) first;
+/// when the dropped component is too large for explicit enumeration, falls
+/// back to a solver-based completion: BMC on the dropped component alone —
+/// augmented with a step counter so "an execution with exactly this trace's
+/// length" becomes a reachability question — whose witness values merge into
+/// the trace. Returns false when no completion exists within the deadline;
+/// the sliced violation may then be spurious and the caller must re-decide
+/// on the original system. Lasso traces with a non-empty dropped component
+/// are always refused (neither completion preserves the loop).
+[[nodiscard]] bool lift_counterexample(const opt::Optimized& optimized,
+                                       ts::Trace& trace,
+                                       const util::Deadline& deadline);
 
 /// One-line human-readable summary ("violated in 0.12s at depth 4 [bmc]").
 [[nodiscard]] std::string describe(const CheckOutcome& outcome);

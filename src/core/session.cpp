@@ -8,6 +8,7 @@
 #include "enc/unroller.h"
 #include "ltl/parser.h"
 #include "obs/trace.h"
+#include "opt/optimize.h"
 #include "portfolio/portfolio.h"
 #include "smt/solver.h"
 #include "util/log.h"
@@ -314,6 +315,35 @@ SessionResult Session::check_all(const SessionOptions& options) const {
     return result;
   }
 
+  // Session-level optimization: fold + constant propagation run ONCE over the
+  // shared system (sound for every property shape; constant lifting is
+  // exact). The shared safety group additionally gets one cone-of-influence
+  // slice below. Delegated one-shot checks go through core::check on the
+  // original system, which applies (and lifts) its own optimization.
+  std::vector<ltl::Formula> formulas(properties_.size());
+  for (const std::size_t i : todo) formulas[i] = properties_[i].formula;
+  opt::Optimized base;
+  const ts::TransitionSystem* sys = &system_;
+  if (options.optimize) {
+    std::vector<ltl::Formula> batch;
+    batch.reserve(todo.size());
+    for (const std::size_t i : todo) batch.push_back(formulas[i]);
+    opt::OptimizeOptions oo;
+    oo.slice = false;
+    base = opt::optimize(system_, batch, oo);
+    if (base.changed()) {
+      sys = &base.system;
+      for (std::size_t slot = 0; slot < todo.size(); ++slot)
+        formulas[todo[slot]] = base.properties[slot];
+    }
+  }
+  // Re-inserts constants propagated by the session-level pass (idempotent on
+  // traces already complete w.r.t. the original system).
+  const auto lift_base = [&](CheckOutcome& o) {
+    if (o.verdict == Verdict::kViolated && o.counterexample && base.changed())
+      (void)base.lift_trace(*o.counterexample);  // no slice => always succeeds
+  };
+
   // Parallel sessions: (property × engine) lanes on one pool.
   if (options.engine == Engine::kPortfolio ||
       (options.engine == Engine::kAuto && options.jobs != 1)) {
@@ -321,13 +351,14 @@ SessionResult Session::check_all(const SessionOptions& options) const {
     po.max_depth = options.max_depth;
     po.deadline = options.deadline;
     po.jobs = options.jobs;
-    std::vector<ltl::Formula> formulas;
-    formulas.reserve(todo.size());
-    for (const std::size_t i : todo) formulas.push_back(properties_[i].formula);
+    std::vector<ltl::Formula> batch;
+    batch.reserve(todo.size());
+    for (const std::size_t i : todo) batch.push_back(formulas[i]);
     std::vector<CheckOutcome> outcomes =
-        portfolio::check_portfolio_batch(system_, formulas, po);
+        portfolio::check_portfolio_batch(*sys, batch, po);
     for (std::size_t slot = 0; slot < outcomes.size(); ++slot) {
       fold_cost(result.total, outcomes[slot].stats);
+      lift_base(outcomes[slot]);
       result.properties[todo[slot]].outcome = std::move(outcomes[slot]);
     }
     store_fresh();
@@ -344,7 +375,7 @@ SessionResult Session::check_all(const SessionOptions& options) const {
   std::vector<std::size_t> lasso_slot(properties_.size());
 
   for (const std::size_t i : todo) {
-    const ltl::Formula& f = properties_[i].formula;
+    const ltl::Formula& f = formulas[i];
     const bool inv = ltl::is_invariant_property(f);
     if (inv && options.engine != Engine::kLtlLasso) {
       if (options.engine == Engine::kPdr || options.engine == Engine::kExplicit) {
@@ -370,12 +401,48 @@ SessionResult Session::check_all(const SessionOptions& options) const {
   }
 
   if (!safety.empty()) {
+    // One cone-of-influence slice for the whole safety group: the cone seeds
+    // from the union of the group's property supports, so every member runs
+    // on the same (smaller) shared unrolling.
+    const ts::TransitionSystem* gsys = sys;
+    opt::Optimized sliced;
+    if (options.optimize) {
+      std::vector<ltl::Formula> gf;
+      gf.reserve(safety.size());
+      for (const std::size_t i : safety) gf.push_back(formulas[i]);
+      sliced = opt::optimize(*sys, gf, {});
+      if (sliced.changed()) {
+        gsys = &sliced.system;
+        for (std::size_t slot = 0; slot < safety.size(); ++slot) {
+          const std::size_t i = safety[slot];
+          invariant[i] = ltl::invariant_atom(sliced.properties[slot]);
+          bad[i] = expr::mk_not(invariant[i]);
+        }
+      }
+    }
     Group group(result.properties, safety, watch,
                 options.engine == Engine::kBmc ? "bmc" : "k-induction");
     if (options.engine == Engine::kBmc) {
-      run_shared_bmc(system_, group, bad, options, result.total);
+      run_shared_bmc(*gsys, group, bad, options, result.total);
     } else {
-      run_shared_kinduction(system_, group, invariant, bad, options, result.total);
+      run_shared_kinduction(*gsys, group, invariant, bad, options, result.total);
+    }
+    if (sliced.changed()) {
+      for (const std::size_t i : safety) {
+        CheckOutcome& o = result.properties[i].outcome;
+        if (o.verdict != Verdict::kViolated || !o.counterexample) continue;
+        if (lift_counterexample(sliced, *o.counterexample, options.deadline)) continue;
+        // The sliced-away component cannot execute alongside this trace:
+        // re-decide this property on the unoptimized system.
+        CheckOptions co;
+        co.engine = options.engine;
+        co.max_depth = options.max_depth;
+        co.deadline = options.deadline;
+        co.optimize = false;
+        CheckOutcome fresh = check(system_, properties_[i].formula, co);
+        fold_cost(result.total, fresh.stats);
+        o = std::move(fresh);
+      }
     }
   }
   // kAuto: k-induction may leave properties undecided that PDR can settle;
@@ -389,6 +456,7 @@ SessionResult Session::check_all(const SessionOptions& options) const {
       co.engine = Engine::kAuto;
       co.max_depth = options.max_depth;
       co.deadline = options.deadline;
+      co.optimize = options.optimize;
       CheckOutcome fresh = check(system_, properties_[i].formula, co);
       fold_cost(result.total, fresh.stats);
       o = std::move(fresh);
@@ -400,24 +468,26 @@ SessionResult Session::check_all(const SessionOptions& options) const {
     co.engine = options.engine;
     co.max_depth = options.max_depth;
     co.deadline = options.deadline;
+    co.optimize = options.optimize;
     CheckOutcome fresh = check(system_, properties_[i].formula, co);
     fold_cost(result.total, fresh.stats);
     result.properties[i].outcome = std::move(fresh);
   }
 
   if (!lasso.empty()) {
-    std::vector<ltl::Formula> formulas;
-    formulas.reserve(lasso.size());
-    for (const std::size_t i : lasso) formulas.push_back(properties_[i].formula);
+    std::vector<ltl::Formula> lasso_formulas;
+    lasso_formulas.reserve(lasso.size());
+    for (const std::size_t i : lasso) lasso_formulas.push_back(formulas[i]);
     LivenessOptions lo;
     lo.max_depth = options.max_depth;
     lo.deadline = options.deadline;
-    LassoBatchResult batch = check_ltl_lasso_batch(system_, formulas, lo);
+    LassoBatchResult batch = check_ltl_lasso_batch(*sys, lasso_formulas, lo);
     for (const std::size_t i : lasso)
       result.properties[i].outcome = std::move(batch.outcomes[lasso_slot[i]]);
     fold_cost(result.total, batch.shared);
   }
 
+  for (const std::size_t i : todo) lift_base(result.properties[i].outcome);
   store_fresh();
   result.total.seconds = watch.elapsed_seconds();
   return result;

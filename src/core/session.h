@@ -69,6 +69,11 @@ struct SessionOptions {
   /// Optional verdict memoization (not owned; may be shared across sessions
   /// and threads — implementations must be thread-safe). nullptr = off.
   PropertyCacheHook* cache = nullptr;
+  /// Run the opt/ pipeline once per session (fold + constant propagation on
+  /// the shared system, plus one cone-of-influence slice for the shared
+  /// safety group). Counterexamples are lifted back before they are reported
+  /// or offered to the cache hook.
+  bool optimize = true;
 };
 
 struct PropertyVerdict {

@@ -4,9 +4,11 @@
 #include <numeric>
 #include <optional>
 
+#include "core/checker.h"
 #include "core/explicit.h"
 #include "core/kinduction.h"
 #include "core/pdr.h"
+#include "opt/optimize.h"
 #include "enc/unroller.h"
 #include "smt/solver.h"
 #include "util/log.h"
@@ -182,6 +184,26 @@ SynthResult synthesize_params_kinduction(const ts::TransitionSystem& ts, Expr in
 SynthResult synthesize_params(const ts::TransitionSystem& ts, Expr invariant,
                               const SynthOptions& options) {
   ts.validate();
+  if (options.optimize) {
+    opt::OptimizeOptions oo;
+    oo.keep_params = true;  // the sweep must see the full parameter space
+    const opt::Optimized optimized = opt::optimize_invariant(ts, invariant, oo);
+    SynthOptions inner = options;
+    inner.optimize = false;
+    if (optimized.changed()) {
+      SynthResult result =
+          synthesize_params(optimized.system, opt::invariant_atom(optimized), inner);
+      bool lifted = true;
+      for (ts::Trace& w : result.witnesses)
+        lifted = lifted && lift_counterexample(optimized, w, options.deadline);
+      if (lifted) return result;
+      // Some sliced witness has no matching execution of the dropped
+      // component — its "unsafe" classification may be spurious. Redo the
+      // sweep on the original system.
+      return synthesize_params(ts, invariant, inner);
+    }
+    return synthesize_params(ts, invariant, inner);
+  }
   util::Stopwatch watch;
   SynthResult result;
   result.stats.engine =

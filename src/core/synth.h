@@ -41,6 +41,12 @@ struct SynthOptions {
   /// portfolio::synthesize_params_parallel work-steals candidates across this
   /// many workers (0 = all hardware threads) and honors every other knob.
   std::size_t jobs = 1;
+  /// Run the opt/ pipeline with parameters kept rigid-symbolic (the sweep
+  /// still enumerates the full parameter space; only property-irrelevant
+  /// state variables are folded or sliced away). Witness traces are lifted
+  /// back; if any cannot be, the whole sweep transparently reruns
+  /// unoptimized.
+  bool optimize = true;
 };
 
 struct SynthResult {

@@ -1,0 +1,218 @@
+#include "expr/simplify.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace verdict::expr {
+
+namespace {
+
+// Overflow-checked arithmetic: nullopt means "interval unknown", never a
+// silently clamped bound.
+std::optional<std::int64_t> checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+std::optional<std::int64_t> checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+std::optional<Interval> interval_add(const Interval& a, const Interval& b) {
+  const auto lo = checked_add(a.lo, b.lo);
+  const auto hi = checked_add(a.hi, b.hi);
+  if (!lo || !hi) return std::nullopt;
+  return Interval{*lo, *hi};
+}
+
+std::optional<Interval> interval_mul(const Interval& a, const Interval& b) {
+  // The extrema of x*y over a box are attained at the corners.
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+  for (const std::int64_t x : {a.lo, a.hi}) {
+    for (const std::int64_t y : {b.lo, b.hi}) {
+      const auto p = checked_mul(x, y);
+      if (!p) return std::nullopt;
+      lo = std::min(lo, *p);
+      hi = std::max(hi, *p);
+    }
+  }
+  return Interval{lo, hi};
+}
+
+Interval interval_union(const Interval& a, const Interval& b) {
+  return Interval{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+std::optional<Interval> var_interval(Expr e) {
+  const Type t = e.type();
+  if (!t.is_int() || !t.bounded) return std::nullopt;
+  return Interval{t.lo, t.hi};
+}
+
+}  // namespace
+
+std::optional<Interval> Simplifier::bounds(Expr e) {
+  const auto it = bounds_memo_.find(e.id());
+  if (it != bounds_memo_.end()) return it->second;
+  std::optional<Interval> out;
+  switch (e.kind()) {
+    case Kind::kConstant:
+      if (const auto* v = std::get_if<std::int64_t>(&e.constant_value()))
+        out = Interval{*v, *v};
+      break;
+    case Kind::kVariable:
+    case Kind::kNext:
+      // Declared ranges are invariants (see the header's soundness contract),
+      // so they bound the variable in the current AND the next state.
+      out = var_interval(e);
+      break;
+    case Kind::kAdd: {
+      out = Interval{0, 0};
+      for (Expr k : e.kids()) {
+        const auto kb = bounds(k);
+        if (!kb) {
+          out = std::nullopt;
+          break;
+        }
+        out = interval_add(*out, *kb);
+        if (!out) break;
+      }
+      break;
+    }
+    case Kind::kMul: {
+      out = Interval{1, 1};
+      for (Expr k : e.kids()) {
+        const auto kb = bounds(k);
+        if (!kb) {
+          out = std::nullopt;
+          break;
+        }
+        out = interval_mul(*out, *kb);
+        if (!out) break;
+      }
+      break;
+    }
+    case Kind::kIte: {
+      const auto a = bounds(e.kids()[1]);
+      const auto b = bounds(e.kids()[2]);
+      if (a && b) out = interval_union(*a, *b);
+      break;
+    }
+    default:
+      // kDiv (integer division semantics), kToReal, boolean nodes: unknown.
+      break;
+  }
+  bounds_memo_.emplace(e.id(), out);
+  return out;
+}
+
+Expr Simplifier::simplify(Expr root) {
+  if (!root.valid()) return root;
+  const std::function<Expr(Expr)> go = [&](Expr e) -> Expr {
+    const auto it = memo_.find(e.id());
+    if (it != memo_.end()) return it->second;
+    Expr out;
+    switch (e.kind()) {
+      case Kind::kConstant:
+      case Kind::kVariable:
+      case Kind::kNext:
+        out = e;
+        break;
+      default: {
+        std::vector<Expr> kids;
+        kids.reserve(e.kids().size());
+        bool changed = false;
+        for (Expr k : e.kids()) {
+          const Expr nk = go(k);
+          changed = changed || !nk.is(k);
+          kids.push_back(nk);
+        }
+        // Rebuild through the canonicalizing builders even when unchanged is
+        // unnecessary; reuse the node unless a child moved.
+        switch (e.kind()) {
+          case Kind::kNot:
+            out = changed ? mk_not(kids[0]) : e;
+            break;
+          case Kind::kAnd:
+            out = changed ? mk_and(kids) : e;
+            break;
+          case Kind::kOr:
+            out = changed ? mk_or(kids) : e;
+            break;
+          case Kind::kIte:
+            out = changed ? ite(kids[0], kids[1], kids[2]) : e;
+            break;
+          case Kind::kEq:
+            out = changed ? mk_eq(kids[0], kids[1]) : e;
+            break;
+          case Kind::kLt:
+            out = changed ? mk_lt(kids[0], kids[1]) : e;
+            break;
+          case Kind::kLe:
+            out = changed ? mk_le(kids[0], kids[1]) : e;
+            break;
+          case Kind::kAdd:
+            out = changed ? mk_add(kids) : e;
+            break;
+          case Kind::kMul:
+            out = changed ? mk_mul(kids) : e;
+            break;
+          case Kind::kDiv:
+            out = changed ? mk_div(kids[0], kids[1]) : e;
+            break;
+          case Kind::kToReal:
+            out = changed ? to_real(kids[0]) : e;
+            break;
+          default:
+            out = e;
+        }
+        // Bounds-based folding of comparison atoms the rebuild left standing.
+        if (out.valid() && !out.is_constant() &&
+            (out.kind() == Kind::kEq || out.kind() == Kind::kLt ||
+             out.kind() == Kind::kLe)) {
+          const auto a = bounds(out.kids()[0]);
+          const auto b = bounds(out.kids()[1]);
+          if (a && b) {
+            Expr folded;
+            switch (out.kind()) {
+              case Kind::kLt:
+                if (a->hi < b->lo) folded = tru();
+                else if (a->lo >= b->hi) folded = fls();
+                break;
+              case Kind::kLe:
+                if (a->hi <= b->lo) folded = tru();
+                else if (a->lo > b->hi) folded = fls();
+                break;
+              case Kind::kEq:
+                if (a->hi < b->lo || b->hi < a->lo) folded = fls();
+                else if (a->singleton() && b->singleton() && a->lo == b->lo)
+                  folded = tru();
+                break;
+              default:
+                break;
+            }
+            if (folded.valid()) {
+              out = folded;
+              ++comparisons_folded_;
+            }
+          }
+        }
+      }
+    }
+    memo_.emplace(e.id(), out);
+    return out;
+  };
+  return go(root);
+}
+
+Expr simplify(Expr e) { return Simplifier{}.simplify(e); }
+
+std::optional<Interval> int_bounds(Expr e) { return Simplifier{}.bounds(e); }
+
+}  // namespace verdict::expr

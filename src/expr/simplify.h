@@ -1,0 +1,77 @@
+// Semantics-preserving expression simplification beyond what the interning
+// builders already do.
+//
+// The builders in expr.h canonicalize aggressively at construction time
+// (constant folding, neutral/absorbing elements, ite collapsing), so simply
+// re-building a DAG bottom-up re-triggers those rules after a substitution
+// exposed new redexes. What the builders *cannot* do — because it needs type
+// metadata, not node shapes — is bounds-based comparison folding: with
+// x : int[0,3] and y : int[0,3], the atom `x + y <= 6` is true in every
+// in-range state, and `x < 0` is false. The Simplifier computes an integer
+// interval for every int-typed subterm (declared ranges for variables,
+// interval arithmetic for +, *, ite) and folds kLt/kLe/kEq atoms the
+// intervals decide.
+//
+// Soundness contract: declared ranges are treated as invariants. That is the
+// repo-wide convention — `ts::TransitionSystem::range_invariant()` is
+// asserted by every engine at every frame, the explicit/BDD engines only
+// enumerate in-range states, and `trace_conforms` rejects out-of-range
+// values — so a fold justified by declared bounds is valid on any expression
+// the engines ever evaluate. Callers evaluating expressions *outside* that
+// convention (i.e. binding out-of-range values) must not use bounds folding.
+//
+// A Simplifier instance keeps its memo across calls, so simplifying the many
+// constraints of one system shares work over the common subgraphs; the free
+// `simplify()` is the one-shot form.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "expr/expr.h"
+
+namespace verdict::expr {
+
+/// Inclusive integer interval [lo, hi].
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  [[nodiscard]] bool singleton() const { return lo == hi; }
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+class Simplifier {
+ public:
+  /// Rewrites `e` bottom-up through the canonicalizing builders, folding
+  /// comparisons decided by interval bounds. Idempotent: simplify(simplify(e))
+  /// is simplify(e).
+  [[nodiscard]] Expr simplify(Expr e);
+
+  /// Integer bounds of (already-simplified) `e`, when derivable. Constants,
+  /// bounded variables and their next-state references have exact bounds;
+  /// kAdd/kMul/kIte combine child bounds; everything else (unbounded vars,
+  /// division) is unknown. Returns nullopt on overflow rather than clamping.
+  [[nodiscard]] std::optional<Interval> bounds(Expr e);
+
+  /// Number of kLt/kLe/kEq atoms folded to a constant by bounds reasoning
+  /// (cumulative over all simplify() calls on this instance).
+  [[nodiscard]] std::size_t comparisons_folded() const { return comparisons_folded_; }
+
+ private:
+  std::unordered_map<std::uint32_t, Expr> memo_;
+  std::unordered_map<std::uint32_t, std::optional<Interval>> bounds_memo_;
+  std::size_t comparisons_folded_ = 0;
+};
+
+/// One-shot convenience wrapper.
+[[nodiscard]] Expr simplify(Expr e);
+
+/// One-shot bounds query (fresh memo).
+[[nodiscard]] std::optional<Interval> int_bounds(Expr e);
+
+}  // namespace verdict::expr

@@ -1,0 +1,697 @@
+#include "opt/optimize.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "expr/eval.h"
+#include "expr/simplify.h"
+#include "expr/walk.h"
+#include "obs/trace.h"
+
+namespace verdict::opt {
+
+namespace {
+
+using expr::Expr;
+using expr::Kind;
+using expr::VarId;
+
+// Mutable working copy of a system: four conjunct lists plus the var/param
+// declarations. The passes edit this; assemble() turns it back into a
+// TransitionSystem at the end.
+struct Parts {
+  std::vector<Expr> vars;
+  std::vector<Expr> params;
+  std::vector<Expr> init;
+  std::vector<Expr> trans;
+  std::vector<Expr> invar;
+  std::vector<Expr> pconstr;
+};
+
+Parts parts_of(const ts::TransitionSystem& s) {
+  Parts p;
+  p.vars.assign(s.vars().begin(), s.vars().end());
+  p.params.assign(s.params().begin(), s.params().end());
+  p.init.assign(s.init_constraints().begin(), s.init_constraints().end());
+  p.trans.assign(s.trans_constraints().begin(), s.trans_constraints().end());
+  p.invar.assign(s.invar_constraints().begin(), s.invar_constraints().end());
+  p.pconstr.assign(s.param_constraints().begin(), s.param_constraints().end());
+  return p;
+}
+
+ts::TransitionSystem assemble(const Parts& p) {
+  ts::TransitionSystem s;
+  for (Expr v : p.vars) s.add_var(v);
+  for (Expr v : p.params) s.add_param(v);
+  for (Expr e : p.init) s.add_init(e);
+  for (Expr e : p.trans) s.add_trans(e);
+  for (Expr e : p.invar) s.add_invar(e);
+  for (Expr e : p.pconstr) s.add_param_constraint(e);
+  return s;
+}
+
+// Pushes `e` as conjunct(s): top-level conjunctions are split so constprop
+// and slicing see fine-grained units; `true` disappears.
+void push_conjuncts(std::vector<Expr>& out, Expr e) {
+  if (e.kind() == Kind::kAnd) {
+    for (Expr k : e.kids()) push_conjuncts(out, k);
+    return;
+  }
+  if (e.is_true()) return;
+  out.push_back(e);
+}
+
+// Rewrites every atom of `f` through `fn`, rebuilding only changed spines.
+// n-ary conjunction/disjunction nodes are rebuilt as left folds — the
+// temporal structure is untouched, only atoms move.
+ltl::Formula rewrite_atoms(const ltl::Formula& f,
+                           const std::function<Expr(Expr)>& fn, bool& changed) {
+  using ltl::Op;
+  if (f.op() == Op::kAtom) {
+    const Expr a = fn(f.atom());
+    if (a.is(f.atom())) return f;
+    changed = true;
+    return ltl::atom(a);
+  }
+  bool kids_changed = false;
+  std::vector<ltl::Formula> ks;
+  ks.reserve(f.kids().size());
+  for (const ltl::Formula& k : f.kids())
+    ks.push_back(rewrite_atoms(k, fn, kids_changed));
+  if (!kids_changed) return f;
+  changed = true;
+  switch (f.op()) {
+    case Op::kNot:
+      return ltl::negation(ks[0]);
+    case Op::kAnd: {
+      ltl::Formula out = ks[0];
+      for (std::size_t i = 1; i < ks.size(); ++i) out = ltl::conj(out, ks[i]);
+      return out;
+    }
+    case Op::kOr: {
+      ltl::Formula out = ks[0];
+      for (std::size_t i = 1; i < ks.size(); ++i) out = ltl::disj(out, ks[i]);
+      return out;
+    }
+    case Op::kNext:
+      return ltl::X(ks[0]);
+    case Op::kFinally:
+      return ltl::F(ks[0]);
+    case Op::kGlobally:
+      return ltl::G(ks[0]);
+    case Op::kUntil:
+      return ltl::U(ks[0], ks[1]);
+    case Op::kRelease:
+      return ltl::R(ks[0], ks[1]);
+    case Op::kAtom:
+      break;  // unreachable
+  }
+  return f;
+}
+
+// --- Pass 1: fold ------------------------------------------------------------
+
+// Simplifies every conjunct and property atom through one shared Simplifier,
+// re-splitting conjunctions the rewrite may expose. Returns true on change
+// and accumulates the node-count shrink into `nodes_folded`.
+bool fold_parts(Parts& p, std::vector<ltl::Formula>& props,
+                expr::Simplifier& simp, std::size_t& nodes_folded) {
+  bool changed = false;
+  const auto fold_list = [&](std::vector<Expr>& list) {
+    std::vector<Expr> out;
+    out.reserve(list.size());
+    for (Expr e : list) {
+      const Expr n = simp.simplify(e);
+      if (!n.is(e)) {
+        changed = true;
+        const std::size_t before = expr::dag_size(e);
+        const std::size_t after = n.is_true() ? 0 : expr::dag_size(n);
+        if (before > after) nodes_folded += before - after;
+      }
+      push_conjuncts(out, n);
+    }
+    if (out.size() != list.size()) changed = true;
+    list = std::move(out);
+  };
+  fold_list(p.init);
+  fold_list(p.trans);
+  fold_list(p.invar);
+  fold_list(p.pconstr);
+  for (ltl::Formula& f : props)
+    f = rewrite_atoms(f, [&](Expr a) { return simp.simplify(a); }, changed);
+  return changed;
+}
+
+// --- Pass 2: constant propagation --------------------------------------------
+
+// "This conjunct pins a variable to a constant": v, !v, v == c, c == v.
+std::optional<std::pair<VarId, Expr>> pin_of(Expr c) {
+  if (c.kind() == Kind::kVariable && c.type().is_bool())
+    return std::make_pair(c.var(), expr::tru());
+  if (c.kind() == Kind::kNot && c.kids()[0].kind() == Kind::kVariable &&
+      c.kids()[0].type().is_bool())
+    return std::make_pair(c.kids()[0].var(), expr::fls());
+  if (c.kind() == Kind::kEq) {
+    const Expr a = c.kids()[0];
+    const Expr b = c.kids()[1];
+    if (a.is_variable() && b.is_constant()) return std::make_pair(a.var(), b);
+    if (b.is_variable() && a.is_constant()) return std::make_pair(b.var(), a);
+  }
+  return std::nullopt;
+}
+
+// "This transition conjunct is the identity next(v) == v".
+std::optional<VarId> identity_of(Expr c) {
+  if (c.kind() != Kind::kEq) return std::nullopt;
+  const Expr a = c.kids()[0];
+  const Expr b = c.kids()[1];
+  const auto match = [](Expr n, Expr v) {
+    return n.kind() == Kind::kNext && v.kind() == Kind::kVariable &&
+           n.var() == v.var();
+  };
+  if (match(a, b)) return a.var();
+  if (match(b, a)) return b.var();
+  return std::nullopt;
+}
+
+// One constprop round: detects pinned params and state vars and substitutes
+// them away. Returns the number of variables propagated this round.
+std::size_t propagate_round(Parts& p, std::vector<ltl::Formula>& props,
+                            bool keep_params, Optimized& out) {
+  std::map<VarId, Expr> pinned;  // var id -> constant expr
+
+  if (!keep_params) {
+    for (Expr c : p.pconstr)
+      if (const auto pin = pin_of(c))
+        pinned.emplace(pin->first, pin->second);
+  }
+  // Invar pins hold in every state outright.
+  std::set<VarId> state_ids;
+  for (Expr v : p.vars) state_ids.insert(v.var());
+  for (Expr c : p.invar)
+    if (const auto pin = pin_of(c); pin && state_ids.contains(pin->first))
+      pinned.emplace(pin->first, pin->second);
+  // Init pins need the identity transition conjunct to stay constant.
+  std::set<VarId> identity;
+  for (Expr c : p.trans)
+    if (const auto v = identity_of(c)) identity.insert(*v);
+  for (Expr c : p.init)
+    if (const auto pin = pin_of(c);
+        pin && state_ids.contains(pin->first) && identity.contains(pin->first))
+      pinned.emplace(pin->first, pin->second);
+
+  if (pinned.empty()) return 0;
+
+  expr::Substitution sub;
+  for (const auto& [id, cst] : pinned) sub.emplace(id, cst);
+  const auto apply = [&](Expr e) {
+    return expr::substitute_next(expr::substitute(e, sub), sub);
+  };
+  for (auto* list : {&p.init, &p.trans, &p.invar, &p.pconstr})
+    for (Expr& e : *list) e = apply(e);
+  [[maybe_unused]] bool props_changed = false;
+  for (ltl::Formula& f : props) f = rewrite_atoms(f, apply, props_changed);
+
+  const auto strip = [&](std::vector<Expr>& vars,
+                         std::vector<std::pair<Expr, expr::Value>>& record) {
+    std::vector<Expr> kept;
+    kept.reserve(vars.size());
+    for (Expr v : vars) {
+      const auto it = pinned.find(v.var());
+      if (it == pinned.end()) {
+        kept.push_back(v);
+      } else {
+        record.emplace_back(v, it->second.constant_value());
+      }
+    }
+    vars = std::move(kept);
+  };
+  strip(p.vars, out.propagated_vars);
+  strip(p.params, out.propagated_params);
+  return pinned.size();
+}
+
+// --- Pass 3: cone-of-influence slice -----------------------------------------
+
+// One conjunct with its support (current + next variables) and origin list.
+struct Unit {
+  enum List : std::uint8_t { kInit, kTrans, kInvar, kPconstr };
+  List list;
+  Expr e;
+  std::vector<VarId> support;
+};
+
+std::vector<VarId> support_of(Expr e) {
+  std::set<VarId> s = expr::current_vars(e);
+  for (VarId v : expr::next_vars(e)) s.insert(v);
+  return {s.begin(), s.end()};
+}
+
+// Closes `cone` over constraint co-occurrence: any unit touching an in-cone
+// variable pulls its full support in. Marks pulled-in units in `in_cone`.
+void close_cone(const std::vector<Unit>& units, std::set<VarId>& cone,
+                std::vector<bool>& in_cone) {
+  std::unordered_map<VarId, std::vector<std::size_t>> units_of;
+  for (std::size_t i = 0; i < units.size(); ++i)
+    for (VarId v : units[i].support) units_of[v].push_back(i);
+  std::deque<VarId> queue(cone.begin(), cone.end());
+  while (!queue.empty()) {
+    const VarId v = queue.front();
+    queue.pop_front();
+    const auto it = units_of.find(v);
+    if (it == units_of.end()) continue;
+    for (const std::size_t i : it->second) {
+      if (in_cone[i]) continue;
+      in_cone[i] = true;
+      for (VarId w : units[i].support)
+        if (cone.insert(w).second) queue.push_back(w);
+    }
+  }
+}
+
+// --- lift_trace: explicit reconstruction of the dropped component ------------
+
+// All search below treats a state of the dropped component as an assignment
+// to its *constrained* variables (the ones some dropped conjunct mentions);
+// unconstrained variables take a fixed in-range default.
+expr::Value default_value(Expr v) {
+  const expr::Type t = v.type();
+  if (t.is_bool()) return expr::Value{false};
+  if (t.is_int()) return expr::Value{t.bounded ? t.lo : std::int64_t{0}};
+  return expr::Value{util::Rational(0)};
+}
+
+// Enumerates all finite-domain assignments over `vars`, invoking `fn` for
+// each; stops early when `fn` returns true or the work budget is exhausted.
+// Returns false if some variable has an infinite domain.
+bool enumerate_assignments(const std::vector<Expr>& vars, std::size_t i,
+                           ts::State& partial, std::size_t& work,
+                           std::size_t max_work,
+                           const std::function<bool(const ts::State&)>& fn) {
+  if (work > max_work) return false;
+  if (i == vars.size()) {
+    ++work;
+    return fn(partial);
+  }
+  const Expr v = vars[i];
+  const expr::Type t = v.type();
+  if (t.is_bool()) {
+    for (const bool b : {false, true}) {
+      partial.set(v, b);
+      if (enumerate_assignments(vars, i + 1, partial, work, max_work, fn))
+        return true;
+    }
+    return false;
+  }
+  if (t.is_int() && t.bounded) {
+    for (std::int64_t x = t.lo; x <= t.hi; ++x) {
+      partial.set(v, x);
+      if (enumerate_assignments(vars, i + 1, partial, work, max_work, fn))
+        return true;
+    }
+    return false;
+  }
+  return false;  // infinite domain: give up (caller falls back)
+}
+
+// Recognizes a defining equation: `v == rhs` (init shape) or
+// `next(v) == rhs` (trans shape), either orientation. Returns (v, rhs).
+std::optional<std::pair<Expr, Expr>> eq_def(Expr e, bool next_lhs) {
+  if (e.kind() != Kind::kEq || e.kids().size() != 2) return std::nullopt;
+  const auto oriented = [&](Expr a, Expr b) -> std::optional<std::pair<Expr, Expr>> {
+    if (next_lhs) {
+      if (a.kind() == Kind::kNext) return std::make_pair(a.kids()[0], b);
+    } else if (a.kind() == Kind::kVariable) {
+      return std::make_pair(a, b);
+    }
+    return std::nullopt;
+  };
+  if (auto d = oriented(e.kids()[0], e.kids()[1])) return d;
+  return oriented(e.kids()[1], e.kids()[0]);
+}
+
+struct DroppedWalk {
+  const ts::TransitionSystem& d;
+  std::size_t max_work;
+  std::size_t work = 0;
+
+  std::vector<Expr> cvars;    // constrained state vars (finite domains)
+  std::vector<Expr> cparams;  // constrained params
+  ts::State defaults;         // free state vars at their default
+  ts::State param_defaults;   // free params at their default
+
+  // Deterministic extraction (generator side only): defining equations let
+  // the walk *compute* most of an assignment instead of enumerating it, so
+  // a fully deterministic dropped component costs O(trace length) work
+  // instead of O(product of domains). Every generated candidate still goes
+  // through the full init/invar/trans checks below, so a wrong extraction
+  // can only reject, never fabricate an execution.
+  std::vector<std::pair<Expr, Expr>> det_init;  // v == rhs(params)
+  std::vector<std::pair<Expr, Expr>> det_next;  // next(v) == rhs(state, params)
+  std::vector<Expr> einit_vars;  // cvars still enumerated for initial states
+  std::vector<Expr> enext_vars;  // cvars still enumerated for successors
+
+  // Finds an execution of `length` states and appends its values into
+  // `trace` (states and params merge *under* the existing kept values).
+  bool run(std::size_t length, ts::Trace& trace) {
+    bool done = false;
+    ts::State pbuf;
+    enumerate_assignments(cparams, 0, pbuf, work, max_work,
+                          [&](const ts::State& pv) {
+                            ts::State params = pv;
+                            params.merge(param_defaults);
+                            if (!holds(d.param_formula(), params, params))
+                              return false;
+                            done = try_params(length, params, trace);
+                            return done;
+                          });
+    return done;
+  }
+
+  [[nodiscard]] bool holds(Expr f, const ts::State& s, const ts::State& params) const {
+    return expr::eval_bool(f, d.env_of(s, params));
+  }
+
+  bool try_params(std::size_t length, const ts::State& params, ts::Trace& trace) {
+    // Collect initial states.
+    std::vector<ts::State> states;            // index -> assignment
+    std::map<std::string, std::size_t> ids;   // canonical key -> index
+    const auto key_of = [&](const ts::State& s) { return s.str(); };
+    std::vector<std::size_t> inits;
+    {
+      ts::State buf;
+      if (!det_init.empty()) {
+        const expr::Env env = d.env_of({}, params);
+        for (const auto& [v, rhs] : det_init) buf.set(v, expr::eval(rhs, env));
+      }
+      enumerate_assignments(einit_vars, 0, buf, work, max_work, [&](const ts::State& s) {
+        if (holds(d.init_formula(), s, params) && holds(d.invar_formula(), s, params)) {
+          states.push_back(s);
+          ids.emplace(key_of(s), states.size() - 1);
+          inits.push_back(states.size() - 1);
+        }
+        return false;  // keep enumerating
+      });
+    }
+    if (inits.empty()) return false;
+    if (length <= 1) {
+      emit(params, trace, {inits.front()}, states);
+      return true;
+    }
+    // Breadth-first closure of the reachable graph, depth-bounded: a walk of
+    // `length` states only visits states within length-1 steps of an init,
+    // so frontier states at depth length-1 are recorded but never expanded
+    // (crucial when the component's full orbit dwarfs the trace — e.g. a
+    // long-period deterministic counter chain).
+    std::vector<std::vector<std::size_t>> succs;
+    std::vector<std::size_t> depth(states.size(), 0);
+    for (std::size_t i = 0; i < states.size() && work <= max_work; ++i) {
+      succs.resize(states.size());
+      if (depth[i] + 1 >= length) continue;  // successors can't be used
+      std::vector<std::size_t> out;
+      ts::State buf;
+      if (!det_next.empty()) {
+        const expr::Env env = d.env_of(states[i], params);
+        for (const auto& [v, rhs] : det_next) buf.set(v, expr::eval(rhs, env));
+      }
+      enumerate_assignments(enext_vars, 0, buf, work, max_work, [&](const ts::State& nxt) {
+        if (!holds(d.invar_formula(), nxt, params)) return false;
+        if (!expr::eval_bool(d.trans_formula(), d.env_of_step(states[i], nxt, params)))
+          return false;
+        const auto [it, fresh] = ids.emplace(key_of(nxt), states.size());
+        if (fresh) {
+          states.push_back(nxt);
+          depth.push_back(depth[i] + 1);
+        }
+        out.push_back(it->second);
+        return false;
+      });
+      succs[i] = std::move(out);
+    }
+    if (work > max_work) return false;
+    succs.resize(states.size());
+    // ok[r][s]: state s starts a walk of r further steps.
+    std::vector<std::vector<char>> ok(length);
+    ok[0].assign(states.size(), 1);
+    for (std::size_t r = 1; r < length; ++r) {
+      ok[r].assign(states.size(), 0);
+      for (std::size_t s = 0; s < states.size(); ++s)
+        for (const std::size_t n : succs[s])
+          if (ok[r - 1][n]) {
+            ok[r][s] = 1;
+            break;
+          }
+    }
+    for (const std::size_t s0 : inits) {
+      if (!ok[length - 1][s0]) continue;
+      std::vector<std::size_t> walk{s0};
+      std::size_t cur = s0;
+      for (std::size_t r = length - 1; r > 0; --r) {
+        for (const std::size_t n : succs[cur]) {
+          if (ok[r - 1][n]) {
+            walk.push_back(n);
+            cur = n;
+            break;
+          }
+        }
+      }
+      emit(params, trace, walk, states);
+      return true;
+    }
+    return false;
+  }
+
+  void emit(const ts::State& params, ts::Trace& trace,
+            const std::vector<std::size_t>& walk,
+            const std::vector<ts::State>& states) {
+    for (std::size_t i = 0; i < trace.states.size(); ++i) {
+      ts::State add = states[walk[std::min(i, walk.size() - 1)]];
+      add.merge(defaults);
+      trace.states[i].merge(add);
+    }
+    ts::State padd = params;
+    padd.merge(param_defaults);
+    trace.params.merge(padd);
+  }
+};
+
+}  // namespace
+
+bool Optimized::lift_trace(ts::Trace& trace) const {
+  for (const auto& [v, val] : propagated_params) trace.params.set(v, val);
+  for (const auto& [v, val] : propagated_vars)
+    for (ts::State& s : trace.states) s.set(v, val);
+
+  if (dropped_vars.empty() && dropped_params.empty()) return true;
+
+  // Partition dropped vars into constrained (mentioned by some dropped
+  // conjunct) and free (unconstrained: any in-range value works).
+  std::set<VarId> constrained;
+  const auto collect = [&](std::span<const Expr> list) {
+    for (Expr e : list)
+      for (VarId v : support_of(e)) constrained.insert(v);
+  };
+  collect(dropped.init_constraints());
+  collect(dropped.trans_constraints());
+  collect(dropped.invar_constraints());
+  collect(dropped.param_constraints());
+
+  DroppedWalk search{dropped, max_lift_work};
+
+  // Harvest defining equations for the deterministic fast path. Init pins
+  // may only read params (evaluated before any state exists); successor
+  // definitions may read the whole current state but nothing primed.
+  std::set<VarId> state_ids, param_ids;
+  for (Expr v : dropped_vars) state_ids.insert(v.var());
+  for (Expr v : dropped_params) param_ids.insert(v.var());
+  std::set<VarId> det_init_seen, det_next_seen;
+  std::vector<Expr> conjuncts;
+  for (Expr e : dropped.init_constraints()) push_conjuncts(conjuncts, e);
+  for (Expr e : conjuncts) {
+    const auto def = eq_def(e, /*next_lhs=*/false);
+    if (!def || !state_ids.contains(def->first.var())) continue;
+    if (!expr::next_vars(def->second).empty()) continue;
+    bool params_only = true;
+    for (VarId u : expr::current_vars(def->second))
+      params_only = params_only && param_ids.contains(u);
+    if (params_only && det_init_seen.insert(def->first.var()).second)
+      search.det_init.push_back(*def);
+  }
+  conjuncts.clear();
+  for (Expr e : dropped.trans_constraints()) push_conjuncts(conjuncts, e);
+  for (Expr e : conjuncts) {
+    const auto def = eq_def(e, /*next_lhs=*/true);
+    if (!def || !state_ids.contains(def->first.var())) continue;
+    if (!expr::next_vars(def->second).empty()) continue;
+    if (det_next_seen.insert(def->first.var()).second) search.det_next.push_back(*def);
+  }
+
+  for (Expr v : dropped_vars) {
+    if (constrained.contains(v.var())) {
+      search.cvars.push_back(v);
+      if (!det_init_seen.contains(v.var())) search.einit_vars.push_back(v);
+      if (!det_next_seen.contains(v.var())) search.enext_vars.push_back(v);
+    } else {
+      search.defaults.set(v, default_value(v));
+    }
+  }
+  for (Expr v : dropped_params) {
+    if (constrained.contains(v.var()))
+      search.cparams.push_back(v);
+    else
+      search.param_defaults.set(v, default_value(v));
+  }
+
+  if (search.cvars.empty() && search.cparams.empty() && constrained.empty()) {
+    // Fully unconstrained component: constant defaults work for any trace
+    // shape, lassos included.
+    for (ts::State& s : trace.states) s.merge(search.defaults);
+    trace.params.merge(search.param_defaults);
+    return true;
+  }
+  // A lasso needs the dropped component to loop in sync; we only reconstruct
+  // finite executions (slicing is wired on safety paths only).
+  if (trace.is_lasso()) return false;
+  return search.run(std::max<std::size_t>(trace.states.size(), 1), trace);
+}
+
+Optimized optimize(const ts::TransitionSystem& system,
+                   std::span<const ltl::Formula> properties,
+                   const OptimizeOptions& options) {
+  obs::Span span("opt.pipeline");
+  Optimized out;
+  out.max_lift_work = options.max_lift_work;
+  out.properties.assign(properties.begin(), properties.end());
+  Parts p = parts_of(system);
+  bool changed = false;
+
+  expr::Simplifier simp;
+  if (options.fold) {
+    obs::Span s("opt.fold");
+    changed = fold_parts(p, out.properties, simp, out.nodes_folded) || changed;
+    s.attr("nodes_folded", out.nodes_folded);
+  }
+
+  if (options.propagate_constants) {
+    obs::Span s("opt.constprop");
+    const Parts parts_before = p;
+    const std::vector<ltl::Formula> props_before = out.properties;
+    const std::size_t folded_before = out.nodes_folded;
+    const bool changed_before = changed;
+    // Propagate-and-refold to a fixpoint: substituting one constant can
+    // expose the next (init x == y + 1 with y pinned).
+    for (int round = 0; round < 64; ++round) {
+      const std::size_t n = propagate_round(p, out.properties, options.keep_params, out);
+      if (n == 0) break;
+      out.constants_propagated += n;
+      changed = true;
+      if (options.fold) fold_parts(p, out.properties, simp, out.nodes_folded);
+    }
+    // Benefit gate: inlining pinned rigid *parameters* is pure churn unless
+    // it lets the re-fold simplify something — a pin is already a unit
+    // constraint for the backend, while substitution rebuilds (and, because
+    // n-ary operands are canonically id-ordered, reorders) every hash-consed
+    // spine it touches, perturbing solver search heuristics for no semantic
+    // gain. Pinned *state vars* always pay (the state space shrinks), so the
+    // revert applies only to params-only propagation with zero new folds.
+    if (out.constants_propagated > 0 && out.propagated_vars.empty() &&
+        out.nodes_folded == folded_before) {
+      p = parts_before;
+      out.properties = props_before;
+      out.propagated_params.clear();
+      out.constants_propagated = 0;
+      changed = changed_before;
+    }
+    s.attr("constants_propagated", out.constants_propagated);
+  }
+
+  if (options.slice) {
+    obs::Span s("opt.slice");
+    std::vector<Unit> units;
+    const auto add_units = [&](Unit::List list, const std::vector<Expr>& src) {
+      for (Expr e : src) units.push_back({list, e, support_of(e)});
+    };
+    add_units(Unit::kInit, p.init);
+    add_units(Unit::kTrans, p.trans);
+    add_units(Unit::kInvar, p.invar);
+    add_units(Unit::kPconstr, p.pconstr);
+
+    std::set<VarId> cone;
+    for (const ltl::Formula& f : out.properties)
+      for (const ltl::Formula& sub : f.subformulas())
+        if (sub.op() == ltl::Op::kAtom)
+          for (VarId v : support_of(sub.atom())) cone.insert(v);
+    for (Expr e : options.extra_support)
+      for (VarId v : support_of(e)) cone.insert(v);
+    if (options.keep_params)
+      for (Expr v : p.params) cone.insert(v.var());
+
+    std::vector<bool> in_cone(units.size(), false);
+    close_cone(units, cone, in_cone);
+
+    Parts kept;
+    Parts dropped;
+    for (Expr v : p.vars)
+      (cone.contains(v.var()) ? kept.vars : dropped.vars).push_back(v);
+    for (Expr v : p.params)
+      (cone.contains(v.var()) ? kept.params : dropped.params).push_back(v);
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      // Support-free conjuncts (constant `false` that folding exposed) stay
+      // in the checked system: they must keep blocking executions.
+      Parts& dst = (in_cone[i] || units[i].support.empty()) ? kept : dropped;
+      std::vector<Expr>* list = nullptr;
+      switch (units[i].list) {
+        case Unit::kInit: list = &dst.init; break;
+        case Unit::kTrans: list = &dst.trans; break;
+        case Unit::kInvar: list = &dst.invar; break;
+        case Unit::kPconstr: list = &dst.pconstr; break;
+      }
+      list->push_back(units[i].e);
+    }
+    out.vars_removed = dropped.vars.size() + dropped.params.size();
+    if (out.vars_removed > 0) {
+      changed = true;
+      out.dropped_vars = dropped.vars;
+      out.dropped_params = dropped.params;
+      out.dropped = assemble(dropped);
+      p = std::move(kept);
+    }
+    s.attr("vars_removed", out.vars_removed);
+  }
+
+  out.system = assemble(p);
+  out.changed_ = changed;
+  if (changed) out.system.validate();
+
+  if (out.nodes_folded > 0) obs::count("opt.nodes_folded", out.nodes_folded);
+  if (out.constants_propagated > 0)
+    obs::count("opt.constants_propagated", out.constants_propagated);
+  if (out.vars_removed > 0) obs::count("opt.vars_removed", out.vars_removed);
+  span.attr("changed", out.changed_);
+  return out;
+}
+
+Optimized optimize(const ts::TransitionSystem& system,
+                   const ltl::Formula& property, const OptimizeOptions& options) {
+  return optimize(system, std::span<const ltl::Formula>(&property, 1), options);
+}
+
+Optimized optimize_invariant(const ts::TransitionSystem& system,
+                             expr::Expr invariant,
+                             const OptimizeOptions& options) {
+  const ltl::Formula prop = ltl::G(ltl::atom(invariant));
+  return optimize(system, prop, options);
+}
+
+expr::Expr invariant_atom(const Optimized& o) {
+  return ltl::invariant_atom(o.properties.front());
+}
+
+}  // namespace verdict::opt

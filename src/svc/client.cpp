@@ -61,7 +61,7 @@ std::string Client::read_line() {
 std::vector<ClientVerdict> Client::check(const std::string& model_text,
                                          const std::vector<std::string>& props,
                                          core::Engine engine, int max_depth,
-                                         double timeout_seconds) {
+                                         double timeout_seconds, bool optimize) {
   const std::string id = std::to_string(next_id_++);
   obs::JsonWriter w;
   w.begin_object();
@@ -76,6 +76,7 @@ std::vector<ClientVerdict> Client::check(const std::string& model_text,
   w.kv("engine", engine_name(engine));
   w.kv("depth", max_depth);
   if (timeout_seconds > 0) w.kv("timeout", timeout_seconds);
+  if (!optimize) w.kv("optimize", false);
   w.end_object();
 
   std::string request = w.str() + "\n";

@@ -37,12 +37,15 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   /// Sends one request for `props` (empty = every LTL property in the model)
-  /// and returns the per-property verdicts in server order. Throws
-  /// std::runtime_error on protocol violations, server "error" responses,
-  /// or a counterexample that does not rehydrate locally.
+  /// and returns the per-property verdicts in server order. `optimize`
+  /// false asks the server to skip the opt/ pipeline (verdictc --no-opt);
+  /// the field is only emitted when false since true is the wire default.
+  /// Throws std::runtime_error on protocol violations, server "error"
+  /// responses, or a counterexample that does not rehydrate locally.
   [[nodiscard]] std::vector<ClientVerdict> check(
       const std::string& model_text, const std::vector<std::string>& props,
-      core::Engine engine, int max_depth, double timeout_seconds);
+      core::Engine engine, int max_depth, double timeout_seconds,
+      bool optimize = true);
 
  private:
   int fd_ = -1;

@@ -225,6 +225,8 @@ void Daemon::Impl::handle_request(int fd, const std::string& line) {
   }
   const int depth = req["depth"].is_number() ? static_cast<int>(req["depth"].number) : 50;
   const double timeout = req["timeout"].is_number() ? req["timeout"].number : 0.0;
+  const bool optimize =
+      req["optimize"].kind == obs::JsonValue::Kind::kBool ? req["optimize"].boolean : true;
 
   mdl::VmlModel model;
   try {
@@ -280,6 +282,7 @@ void Daemon::Impl::handle_request(int fd, const std::string& line) {
     request.property = model.ltl_properties.at(name);
     request.engine = engine;
     request.max_depth = depth;
+    request.optimize = optimize;
     request.deadline = deadline;
     pending.push_back(service->submit(request));
   }

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "opt/optimize.h"
+
 namespace verdict::svc {
 
 namespace {
@@ -245,6 +247,12 @@ Fingerprint fingerprint_request(const ts::TransitionSystem& ts,
   ExprHasher h;
   Mix m;
   m.str("verdict-fp-v1");
+  // Optimizer-version salt: cached verdicts produced through a given opt/
+  // pipeline are invalidated when the pipeline changes (an optimizer bug fix
+  // must not serve stale verdicts). The request-level optimize *flag* is
+  // deliberately NOT mixed in — the pipeline is semantics-preserving, so
+  // --no-opt requests share cache entries with optimized ones.
+  m.u64(opt::kOptimizerVersion);
   m.fp(system_fp(ts, h));
   m.fp(formula_fp(property, h));
   m.u64(static_cast<std::uint64_t>(engine));

@@ -64,10 +64,15 @@ struct FingerprintHash {
 [[nodiscard]] Fingerprint fingerprint(const ts::TransitionSystem& ts);
 
 /// The verdict-cache key: (system, property, engine, max_depth) under the
-/// "verdict-fp-v1" schema tag. Deadlines and job counts are deliberately
-/// excluded — they change how fast a verdict arrives, never which verdict —
-/// and indefinite verdicts (which DO depend on budgets) are not cacheable in
-/// the first place (svc::VerdictCache).
+/// "verdict-fp-v1" schema tag, salted with opt::kOptimizerVersion so cached
+/// verdicts are invalidated whenever the optimization pipeline changes.
+/// Deadlines and job counts are deliberately excluded — they change how fast
+/// a verdict arrives, never which verdict — and indefinite verdicts (which DO
+/// depend on budgets) are not cacheable in the first place
+/// (svc::VerdictCache). The per-request optimize flag is likewise excluded:
+/// the pipeline is semantics-preserving, so --no-opt requests hit the same
+/// entries. Note the system fingerprinted here is always the PRE-optimization
+/// system — optimization happens inside core::check, below the cache.
 [[nodiscard]] Fingerprint fingerprint_request(const ts::TransitionSystem& ts,
                                               const ltl::Formula& property,
                                               core::Engine engine, int max_depth);

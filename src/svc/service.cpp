@@ -87,6 +87,7 @@ PendingCheck Service::submit(const CheckRequest& request) {
   const ltl::Formula property = request.property;
   const core::Engine engine = request.engine;
   const int max_depth = request.max_depth;
+  const bool optimize = request.optimize;
   const util::Deadline deadline = request.deadline;
   const Fingerprint key =
       fingerprint_request(*system, property, engine, max_depth);
@@ -106,6 +107,7 @@ PendingCheck Service::submit(const CheckRequest& request) {
           core::CheckOptions check_options;
           check_options.engine = engine;
           check_options.max_depth = max_depth;
+          check_options.optimize = optimize;
           check_options.deadline = deadline.with_cancel(token);
           return cached_from_outcome(core::check(*system, property, check_options));
         });
@@ -119,6 +121,7 @@ PendingCheck Service::submit(const CheckRequest& request) {
           core::CheckOptions check_options;
           check_options.engine = engine;
           check_options.max_depth = max_depth;
+          check_options.optimize = optimize;
           check_options.deadline = deadline.with_cancel(token);
           outcome = core::check(*system, property, check_options);
           slot->cache_hit = false;

@@ -53,6 +53,10 @@ struct CheckRequest {
   core::Engine engine = core::Engine::kAuto;
   int max_depth = 50;
   util::Deadline deadline = util::Deadline::never();
+  /// Run the opt/ pipeline before checking (core::CheckOptions::optimize).
+  /// Deliberately NOT part of the request fingerprint: the optimizer is
+  /// semantics-preserving, so the same cache entry serves both settings.
+  bool optimize = true;
 };
 
 struct CheckResponse {

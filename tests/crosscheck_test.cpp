@@ -18,6 +18,8 @@
 #include "ltl/trace_eval.h"
 #include "portfolio/par_synth.h"
 #include "portfolio/portfolio.h"
+#include "scenarios/k8s_loops.h"
+#include "scenarios/rollout_partition.h"
 
 namespace verdict {
 namespace {
@@ -337,6 +339,209 @@ TEST(SynthCrossCheck, ParallelMatchesSequentialClassification) {
     EXPECT_TRUE(ts.trace_conforms(parallel.witnesses[i], &error)) << error;
     EXPECT_FALSE(expr::eval_bool(
         invariant, ts.env_of(parallel.witnesses[i].states.back(), parallel.unsafe[i])));
+  }
+}
+
+// --- Optimizer crosscheck ---------------------------------------------------
+//
+// The opt/ pipeline (docs/optimizer.md) must be invisible in verdicts: for
+// every engine and every property, core::check with optimization on and off
+// must agree, and optimized-run counterexamples must replay on the ORIGINAL
+// system (they are lifted back through opt::Optimized::lift_trace).
+
+TEST_P(RandomSystemCrossCheck, OptimizerPreservesVerdictsPerEngine) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 60013 + 41);
+  const RandomSystem sys = make_random_system(5000 + GetParam(), rng);
+
+  const std::vector<Expr> invariants = {
+      expr::mk_le(sys.x + sys.y, expr::int_const(6)),  // folds to true by bounds
+      expr::mk_lt(sys.x, expr::int_const(3)),
+      expr::mk_or({sys.b, expr::mk_le(sys.y, expr::int_const(2))}),
+      expr::mk_not(expr::mk_and({expr::mk_eq(sys.x, expr::int_const(3)),
+                                 expr::mk_eq(sys.y, expr::int_const(3))})),
+  };
+
+  for (const core::Engine engine :
+       {core::Engine::kBmc, core::Engine::kKInduction, core::Engine::kPdr}) {
+    for (const Expr& invariant : invariants) {
+      const ltl::Formula property = ltl::G(ltl::atom(invariant));
+      core::CheckOptions with_opt;
+      with_opt.engine = engine;
+      with_opt.max_depth = 40;
+      core::CheckOptions without_opt = with_opt;
+      without_opt.optimize = false;
+
+      const auto optimized = core::check(sys.ts, property, with_opt);
+      const auto plain = core::check(sys.ts, property, without_opt);
+      EXPECT_EQ(optimized.verdict, plain.verdict)
+          << "engine " << static_cast<int>(engine) << " on " << invariant.str();
+      if (optimized.violated()) {
+        std::string error;
+        EXPECT_TRUE(
+            core::confirm_counterexample(sys.ts, property, optimized, &error))
+            << invariant.str() << ": " << error;
+      }
+    }
+  }
+
+  // BDD reachability (bdd::BddOptions::optimize) — both shortest.
+  for (const Expr& invariant : invariants) {
+    bdd::BddOptions without_opt;
+    without_opt.optimize = false;
+    const auto optimized = bdd::check_invariant_bdd(sys.ts, invariant);
+    const auto plain = bdd::check_invariant_bdd(sys.ts, invariant, without_opt);
+    EXPECT_EQ(optimized.verdict, plain.verdict) << invariant.str();
+    if (optimized.verdict == Verdict::kViolated && plain.counterexample &&
+        optimized.counterexample) {
+      EXPECT_EQ(optimized.counterexample->states.size(),
+                plain.counterexample->states.size())
+          << "lifted BDD counterexample lost shortest-length guarantee on "
+          << invariant.str();
+      std::string error;
+      EXPECT_TRUE(sys.ts.trace_conforms(*optimized.counterexample, &error)) << error;
+    }
+  }
+
+  // Lasso liveness (fold/constprop apply; slicing is off on lasso paths).
+  const std::vector<ltl::Formula> liveness = {
+      ltl::F(ltl::G(ltl::atom(sys.b))),
+      ltl::G(ltl::F(ltl::atom(expr::mk_eq(sys.x, expr::int_const(0))))),
+  };
+  for (const auto& property : liveness) {
+    core::CheckOptions with_opt;
+    with_opt.engine = core::Engine::kLtlLasso;
+    with_opt.max_depth = 12;
+    core::CheckOptions without_opt = with_opt;
+    without_opt.optimize = false;
+    const auto optimized = core::check(sys.ts, property, with_opt);
+    const auto plain = core::check(sys.ts, property, without_opt);
+    EXPECT_EQ(optimized.verdict, plain.verdict) << property.str();
+    if (optimized.violated()) {
+      std::string error;
+      EXPECT_TRUE(core::confirm_counterexample(sys.ts, property, optimized, &error))
+          << property.str() << ": " << error;
+    }
+  }
+}
+
+TEST_P(RandomSystemCrossCheck, OptimizerPreservesSessionBatchVerdicts) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 70001 + 53);
+  const RandomSystem sys = make_random_system(6000 + GetParam(), rng);
+
+  const std::vector<ltl::Formula> properties = {
+      ltl::G(ltl::atom(expr::mk_le(sys.x + sys.y, expr::int_const(6)))),
+      ltl::G(ltl::atom(expr::mk_lt(sys.x, expr::int_const(3)))),
+      ltl::G(ltl::atom(expr::mk_or({sys.b, expr::mk_le(sys.y, expr::int_const(2))}))),
+      ltl::F(ltl::G(ltl::atom(sys.b))),
+      ltl::U(ltl::atom(expr::mk_le(sys.x, expr::int_const(2))), ltl::atom(sys.b)),
+  };
+
+  for (const core::Engine engine :
+       {core::Engine::kAuto, core::Engine::kBmc, core::Engine::kKInduction}) {
+    const auto run = [&](bool optimize) {
+      core::Session session(sys.ts);
+      for (std::size_t i = 0; i < properties.size(); ++i)
+        session.add_property("p" + std::to_string(i), properties[i]);
+      core::SessionOptions batch_options;
+      batch_options.engine = engine;
+      batch_options.max_depth = 12;
+      batch_options.optimize = optimize;
+      return session.check_all(batch_options);
+    };
+    const auto optimized = run(true);
+    const auto plain = run(false);
+    ASSERT_EQ(optimized.properties.size(), plain.properties.size());
+    for (std::size_t i = 0; i < properties.size(); ++i) {
+      EXPECT_EQ(optimized.properties[i].outcome.verdict,
+                plain.properties[i].outcome.verdict)
+          << "engine " << static_cast<int>(engine) << " on " << properties[i].str();
+      if (optimized.properties[i].outcome.violated()) {
+        std::string error;
+        EXPECT_TRUE(core::confirm_counterexample(
+            sys.ts, properties[i], optimized.properties[i].outcome, &error))
+            << properties[i].str() << ": " << error;
+      }
+    }
+  }
+}
+
+// Scenario-level agreement: the paper's case-study models, every named
+// property, with and without optimization.
+TEST(OptimizerScenarioCrossCheck, RolloutPartitionAllPropertiesAgree) {
+  struct Config {
+    std::string prefix;
+    std::int64_t p, k, m;
+  };
+  // Fig. 5's violated configuration and a holding one.
+  const std::vector<Config> configs = {{"occ1", 1, 2, 1}, {"occ2", 1, 1, 1}};
+  for (const Config& config : configs) {
+    scenarios::RolloutPartitionOptions options;
+    options.prefix = config.prefix;
+    const auto sc = scenarios::make_test_scenario(options);
+    ts::TransitionSystem pinned = sc.system;
+    pinned.add_param_constraint(expr::mk_eq(sc.p, expr::int_const(config.p)));
+    pinned.add_param_constraint(expr::mk_eq(sc.k, expr::int_const(config.k)));
+    pinned.add_param_constraint(expr::mk_eq(sc.m, expr::int_const(config.m)));
+
+    for (const auto& [name, property] : sc.properties) {
+      core::CheckOptions with_opt;
+      with_opt.max_depth = 10;
+      core::CheckOptions without_opt = with_opt;
+      without_opt.optimize = false;
+      const auto optimized = core::check(pinned, property, with_opt);
+      const auto plain = core::check(pinned, property, without_opt);
+      EXPECT_EQ(optimized.verdict, plain.verdict)
+          << config.prefix << "/" << name;
+      if (optimized.violated()) {
+        std::string error;
+        EXPECT_TRUE(core::confirm_counterexample(pinned, property, optimized, &error))
+            << config.prefix << "/" << name << ": " << error;
+      }
+    }
+  }
+}
+
+TEST(OptimizerScenarioCrossCheck, K8sLoopScenariosAgree) {
+  struct Case {
+    std::string name;
+    ts::TransitionSystem system;
+    ltl::Formula property;
+  };
+  std::vector<Case> cases;
+  {
+    const auto sc = scenarios::make_descheduler_oscillation(45, "occ_dsc45");
+    cases.push_back({"descheduler-45", sc.system, sc.eventually_settles});
+  }
+  {
+    const auto sc = scenarios::make_descheduler_oscillation(55, "occ_dsc55");
+    cases.push_back({"descheduler-55", sc.system, sc.eventually_settles});
+  }
+  {
+    const auto sc = scenarios::make_taint_loop("occ_taint");
+    cases.push_back({"taint-loop", sc.system, sc.eventually_converges});
+  }
+  {
+    const auto sc = scenarios::make_hpa_surge(true, "occ_hpa_bad");
+    cases.push_back({"hpa-defective", sc.system, sc.bounded_replicas});
+  }
+  {
+    const auto sc = scenarios::make_hpa_surge(false, "occ_hpa_ok");
+    cases.push_back({"hpa-fixed", sc.system, sc.bounded_replicas});
+  }
+
+  for (const Case& c : cases) {
+    core::CheckOptions with_opt;
+    with_opt.max_depth = 12;
+    core::CheckOptions without_opt = with_opt;
+    without_opt.optimize = false;
+    const auto optimized = core::check(c.system, c.property, with_opt);
+    const auto plain = core::check(c.system, c.property, without_opt);
+    EXPECT_EQ(optimized.verdict, plain.verdict) << c.name;
+    if (optimized.violated()) {
+      std::string error;
+      EXPECT_TRUE(core::confirm_counterexample(c.system, c.property, optimized, &error))
+          << c.name << ": " << error;
+    }
   }
 }
 

@@ -21,6 +21,10 @@
 //   --trace                print counterexample traces (full states per step)
 //   --explain              print counterexample traces as state *diffs*
 //                          (only changed variables; parameters up front)
+//   --no-opt               skip the opt/ optimization pipeline (constant
+//                          folding, constant propagation, cone-of-influence
+//                          slicing; docs/optimizer.md) — verdicts must be
+//                          identical either way, only speed differs
 //   --stats-json FILE      write the whole run as one JSON document
 //                          (schema "verdict-stats-v1", docs/observability.md)
 //   --trace-out FILE       stream structured engine events to FILE as NDJSON
@@ -84,6 +88,7 @@ struct Options {
   bool print_trace = false;
   bool explain = false;
   bool quiet = false;
+  bool optimize = true;  // --no-opt clears this
   std::string smv_out;     // when set, export the model to this .smv path
   std::string stats_json;  // when set, write the verdict-stats-v1 document here
   std::string trace_out;   // when set, stream NDJSON engine events here
@@ -102,6 +107,7 @@ struct Options {
                "  --jobs N           worker threads (0 = all hardware threads)\n"
                "  --depth N          unroll depth / induction bound / frame limit (50)\n"
                "  --timeout SECONDS  wall-clock budget for the whole run\n"
+               "  --no-opt           skip the optimization pipeline (docs/optimizer.md)\n"
                "  --smv FILE         also export the model as NuXMV input\n"
                "  --trace            print counterexample traces (full states)\n"
                "  --explain          print counterexample traces as state diffs\n"
@@ -177,6 +183,8 @@ Options parse_args(int argc, char** argv) {
       options.depth = std::atoi(value().c_str());
     } else if (arg == "--timeout") {
       options.timeout = std::atof(value().c_str());
+    } else if (arg == "--no-opt") {
+      options.optimize = false;
     } else if (arg == "--smv") {
       options.smv_out = value();
     } else if (arg == "--trace") {
@@ -365,7 +373,7 @@ int main(int argc, char** argv) {
         svc::Client client(options.connect);
         const std::vector<svc::ClientVerdict> verdicts = client.check(
             model_text.str(), ltl_selected, options.engine, options.depth,
-            options.timeout);
+            options.timeout, options.optimize);
         for (const svc::ClientVerdict& v : verdicts) {
           result.properties.push_back(
               {v.prop, model.ltl_properties.at(v.prop), v.outcome});
@@ -383,6 +391,7 @@ int main(int argc, char** argv) {
         check.engine = options.engine;
         check.max_depth = options.depth;
         check.jobs = options.jobs;
+        check.optimize = options.optimize;
         check.deadline = deadline;
         result = session.check_all(check);
       } catch (const std::exception& error) {
@@ -432,6 +441,7 @@ int main(int argc, char** argv) {
     try {
       bdd::BddOptions check;
       check.deadline = deadline;
+      check.optimize = options.optimize;
       const auto outcome = bdd::check_ctl_bdd(model.system, property, check);
       std::printf("ctl %-24s %s\n", name.c_str(), core::describe(outcome).c_str());
       records.push_back({name, "ctl", property.str(), outcome});
@@ -473,6 +483,7 @@ int main(int argc, char** argv) {
     w.kv("depth", options.depth);
     w.kv("jobs", options.jobs);
     w.kv("timeout", options.timeout);
+    w.kv("optimize", options.optimize);
     w.end_object();
     w.key("properties");
     w.begin_array();
