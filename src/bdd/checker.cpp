@@ -54,8 +54,11 @@ CheckOutcome check_invariant_bdd(const ts::TransitionSystem& ts, Expr invariant,
     if (out.verdict == Verdict::kViolated && out.counterexample &&
         !core::lift_counterexample(optimized, *out.counterexample, options.deadline)) {
       // Sliced-away component cannot execute alongside this trace; the
-      // violation may be spurious. Decide on the original system.
-      return check_invariant_bdd(ts, invariant, inner);
+      // violation may be spurious. Decide on the original system, carrying
+      // the discarded sliced attempt's stats along (mirrors core::check).
+      CheckOutcome full = check_invariant_bdd(ts, invariant, inner);
+      full.stats.merge(out.stats);
+      return full;
     }
     return out;
   }

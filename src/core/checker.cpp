@@ -1,6 +1,5 @@
 #include "core/checker.h"
 
-#include <atomic>
 #include <sstream>
 
 #include "core/bmc.h"
@@ -190,14 +189,16 @@ bool lift_counterexample(const opt::Optimized& optimized, ts::Trace& trace,
   const std::size_t len = trace.states.size();
   if (len == 0) return false;
 
-  // Solver-based completion. A fresh step counter turns "the dropped
-  // component has an execution with exactly `len` states" into a BMC
-  // reachability question: G(step < len-1) is first violated at frame len-1,
-  // so the shortest counterexample is exactly len states of the dropped
-  // component, independent of the kept half (slicing guarantees the two
-  // share no variables).
-  static std::atomic<std::uint64_t> lift_id{0};
-  const std::string step_name = "__opt_lift_step" + std::to_string(lift_id.fetch_add(1));
+  // Solver-based completion. A step counter turns "the dropped component has
+  // an execution with exactly `len` states" into a BMC reachability question:
+  // G(step < len-1) is first violated at frame len-1, so the shortest
+  // counterexample is exactly len states of the dropped component,
+  // independent of the kept half (slicing guarantees the two share no
+  // variables). The counter is keyed by len, not by a per-lift id:
+  // re-declaring the same name with the same [0, len] type returns the
+  // already-interned variable, so a long-running daemon interns at most one
+  // step variable per distinct trace length instead of one per lift.
+  const std::string step_name = "__opt_lift_step" + std::to_string(len);
   ts::TransitionSystem d = optimized.dropped;
   const expr::Expr step = expr::int_var(step_name, 0, static_cast<std::int64_t>(len));
   d.add_var(step);

@@ -286,10 +286,13 @@ SessionResult Session::check_all(const SessionOptions& options) const {
 
   // Verdict memoization: resolve cache hits up front, run engines only on
   // the rest, and offer every fresh outcome back to the hook at the end.
+  // optimize=false is the optimizer escape hatch: skip the lookup (a hit may
+  // have been produced through the pipeline) but still store fresh outcomes,
+  // refreshing any stale entry.
   std::vector<std::size_t> todo;
   todo.reserve(properties_.size());
   for (std::size_t i = 0; i < properties_.size(); ++i) {
-    if (options.cache) {
+    if (options.cache && options.optimize) {
       if (std::optional<CheckOutcome> hit = options.cache->lookup(
               system_, properties_[i].formula, options.engine, options.max_depth)) {
         result.properties[i].outcome = std::move(*hit);

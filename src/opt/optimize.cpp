@@ -9,6 +9,7 @@
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <variant>
 
 #include "expr/eval.h"
 #include "expr/simplify.h"
@@ -151,18 +152,33 @@ bool fold_parts(Parts& p, std::vector<ltl::Formula>& props,
 
 // --- Pass 2: constant propagation --------------------------------------------
 
+// Whether `val` is a legal value for `v` under its declared type: matching
+// kind, and within bounds for a bounded int. The declared ranges are
+// invariants engines conjoin (ts::TransitionSystem::range_invariant), so a
+// value outside them denotes a state that does not exist in the real system.
+bool value_in_range(Expr v, const expr::Value& val) {
+  const expr::Type t = v.type();
+  if (t.is_bool()) return std::holds_alternative<bool>(val);
+  if (t.is_int()) {
+    const std::int64_t* x = std::get_if<std::int64_t>(&val);
+    return x != nullptr && (!t.bounded || (*x >= t.lo && *x <= t.hi));
+  }
+  return std::holds_alternative<util::Rational>(val);
+}
+
 // "This conjunct pins a variable to a constant": v, !v, v == c, c == v.
-std::optional<std::pair<VarId, Expr>> pin_of(Expr c) {
+// Returns the variable expression and the pinned constant.
+std::optional<std::pair<Expr, Expr>> pin_of(Expr c) {
   if (c.kind() == Kind::kVariable && c.type().is_bool())
-    return std::make_pair(c.var(), expr::tru());
+    return std::make_pair(c, expr::tru());
   if (c.kind() == Kind::kNot && c.kids()[0].kind() == Kind::kVariable &&
       c.kids()[0].type().is_bool())
-    return std::make_pair(c.kids()[0].var(), expr::fls());
+    return std::make_pair(c.kids()[0], expr::fls());
   if (c.kind() == Kind::kEq) {
     const Expr a = c.kids()[0];
     const Expr b = c.kids()[1];
-    if (a.is_variable() && b.is_constant()) return std::make_pair(a.var(), b);
-    if (b.is_variable() && a.is_constant()) return std::make_pair(b.var(), a);
+    if (a.is_variable() && b.is_constant()) return std::make_pair(a, b);
+    if (b.is_variable() && a.is_constant()) return std::make_pair(b, a);
   }
   return std::nullopt;
 }
@@ -187,25 +203,42 @@ std::size_t propagate_round(Parts& p, std::vector<ltl::Formula>& props,
                             bool keep_params, Optimized& out) {
   std::map<VarId, Expr> pinned;  // var id -> constant expr
 
+  // An out-of-range pin (invar v == 10 over v:int[0,3]) is a contradiction
+  // with the range invariant engines conjoin, not a propagatable fact:
+  // substituting it away would drop the contradiction together with v's
+  // declared range and could turn an unsatisfiable system satisfiable.
+  // Rewrite the conjunct to false instead, so constprop stays sound on its
+  // own (the fold pass performs the same rewrite when it is enabled).
+  const auto pin_or_reject = [](Expr& c) -> std::optional<std::pair<Expr, Expr>> {
+    const auto pin = pin_of(c);
+    if (pin && !value_in_range(pin->first, pin->second.constant_value())) {
+      c = expr::fls();
+      return std::nullopt;
+    }
+    return pin;
+  };
+
   if (!keep_params) {
-    for (Expr c : p.pconstr)
-      if (const auto pin = pin_of(c))
-        pinned.emplace(pin->first, pin->second);
+    for (Expr& c : p.pconstr)
+      if (const auto pin = pin_or_reject(c))
+        pinned.emplace(pin->first.var(), pin->second);
   }
   // Invar pins hold in every state outright.
   std::set<VarId> state_ids;
   for (Expr v : p.vars) state_ids.insert(v.var());
-  for (Expr c : p.invar)
-    if (const auto pin = pin_of(c); pin && state_ids.contains(pin->first))
-      pinned.emplace(pin->first, pin->second);
+  for (Expr& c : p.invar)
+    if (const auto pin = pin_or_reject(c);
+        pin && state_ids.contains(pin->first.var()))
+      pinned.emplace(pin->first.var(), pin->second);
   // Init pins need the identity transition conjunct to stay constant.
   std::set<VarId> identity;
   for (Expr c : p.trans)
     if (const auto v = identity_of(c)) identity.insert(*v);
-  for (Expr c : p.init)
-    if (const auto pin = pin_of(c);
-        pin && state_ids.contains(pin->first) && identity.contains(pin->first))
-      pinned.emplace(pin->first, pin->second);
+  for (Expr& c : p.init)
+    if (const auto pin = pin_or_reject(c);
+        pin && state_ids.contains(pin->first.var()) &&
+        identity.contains(pin->first.var()))
+      pinned.emplace(pin->first.var(), pin->second);
 
   if (pinned.empty()) return 0;
 
@@ -352,7 +385,12 @@ struct DroppedWalk {
   // a fully deterministic dropped component costs O(trace length) work
   // instead of O(product of domains). Every generated candidate still goes
   // through the full init/invar/trans checks below, so a wrong extraction
-  // can only reject, never fabricate an execution.
+  // can only reject, never fabricate an execution. Computed values must
+  // additionally pass the declared-range check (det_values): enumeration and
+  // defaults are in-range by construction, but a defining equation like
+  // next(v) == v + 1 over v:int[0,63] evaluates past the bound at v == 63 —
+  // the real system (which conjoins range_invariant) deadlocks there, so the
+  // candidate must be rejected, not walked through.
   std::vector<std::pair<Expr, Expr>> det_init;  // v == rhs(params)
   std::vector<std::pair<Expr, Expr>> det_next;  // next(v) == rhs(state, params)
   std::vector<Expr> einit_vars;  // cvars still enumerated for initial states
@@ -379,6 +417,19 @@ struct DroppedWalk {
     return expr::eval_bool(f, d.env_of(s, params));
   }
 
+  // Evaluates the defining equations of `defs` into `buf`; false when some
+  // computed value escapes its variable's declared range (no such state
+  // exists in the real component — the caller must not expand it).
+  bool det_values(const std::vector<std::pair<Expr, Expr>>& defs,
+                  const expr::Env& env, ts::State& buf) {
+    for (const auto& [v, rhs] : defs) {
+      const expr::Value val = expr::eval(rhs, env);
+      if (!value_in_range(v, val)) return false;
+      buf.set(v, val);
+    }
+    return true;
+  }
+
   bool try_params(std::size_t length, const ts::State& params, ts::Trace& trace) {
     // Collect initial states.
     std::vector<ts::State> states;            // index -> assignment
@@ -387,18 +438,19 @@ struct DroppedWalk {
     std::vector<std::size_t> inits;
     {
       ts::State buf;
-      if (!det_init.empty()) {
-        const expr::Env env = d.env_of({}, params);
-        for (const auto& [v, rhs] : det_init) buf.set(v, expr::eval(rhs, env));
+      bool det_ok = true;
+      if (!det_init.empty())
+        det_ok = det_values(det_init, d.env_of({}, params), buf);
+      if (det_ok) {
+        enumerate_assignments(einit_vars, 0, buf, work, max_work, [&](const ts::State& s) {
+          if (holds(d.init_formula(), s, params) && holds(d.invar_formula(), s, params)) {
+            states.push_back(s);
+            ids.emplace(key_of(s), states.size() - 1);
+            inits.push_back(states.size() - 1);
+          }
+          return false;  // keep enumerating
+        });
       }
-      enumerate_assignments(einit_vars, 0, buf, work, max_work, [&](const ts::State& s) {
-        if (holds(d.init_formula(), s, params) && holds(d.invar_formula(), s, params)) {
-          states.push_back(s);
-          ids.emplace(key_of(s), states.size() - 1);
-          inits.push_back(states.size() - 1);
-        }
-        return false;  // keep enumerating
-      });
     }
     if (inits.empty()) return false;
     if (length <= 1) {
@@ -417,10 +469,9 @@ struct DroppedWalk {
       if (depth[i] + 1 >= length) continue;  // successors can't be used
       std::vector<std::size_t> out;
       ts::State buf;
-      if (!det_next.empty()) {
-        const expr::Env env = d.env_of(states[i], params);
-        for (const auto& [v, rhs] : det_next) buf.set(v, expr::eval(rhs, env));
-      }
+      if (!det_next.empty() &&
+          !det_values(det_next, d.env_of(states[i], params), buf))
+        continue;  // det successor leaves the declared ranges: dead end
       enumerate_assignments(enext_vars, 0, buf, work, max_work, [&](const ts::State& nxt) {
         if (!holds(d.invar_formula(), nxt, params)) return false;
         if (!expr::eval_bool(d.trans_formula(), d.env_of_step(states[i], nxt, params)))

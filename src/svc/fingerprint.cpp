@@ -251,7 +251,9 @@ Fingerprint fingerprint_request(const ts::TransitionSystem& ts,
   // pipeline are invalidated when the pipeline changes (an optimizer bug fix
   // must not serve stale verdicts). The request-level optimize *flag* is
   // deliberately NOT mixed in — the pipeline is semantics-preserving, so
-  // --no-opt requests share cache entries with optimized ones.
+  // both settings answer the same question and share one entry; the cache
+  // *lookup* is what --no-opt bypasses (svc::Service recomputes and
+  // refreshes the entry), keeping it an escape hatch around optimizer bugs.
   m.u64(opt::kOptimizerVersion);
   m.fp(system_fp(ts, h));
   m.fp(formula_fp(property, h));

@@ -70,9 +70,11 @@ struct FingerprintHash {
 /// a verdict arrives, never which verdict — and indefinite verdicts (which DO
 /// depend on budgets) are not cacheable in the first place
 /// (svc::VerdictCache). The per-request optimize flag is likewise excluded:
-/// the pipeline is semantics-preserving, so --no-opt requests hit the same
-/// entries. Note the system fingerprinted here is always the PRE-optimization
-/// system — optimization happens inside core::check, below the cache.
+/// the pipeline is semantics-preserving, so both settings answer the same
+/// question and write to the same entry — but optimize=false requests bypass
+/// the cache *lookup* (svc::Service) so --no-opt always recomputes. Note the
+/// system fingerprinted here is always the PRE-optimization system —
+/// optimization happens inside core::check, below the cache.
 [[nodiscard]] Fingerprint fingerprint_request(const ts::TransitionSystem& ts,
                                               const ltl::Formula& property,
                                               core::Engine engine, int max_depth);

@@ -101,16 +101,31 @@ PendingCheck Service::submit(const CheckRequest& request) {
       [=](const util::CancelToken& token) {
         slot->queue_seconds = queued.elapsed_seconds();
         obs::count("svc.queue.dequeued");
-        bool computed = false;
-        CachedVerdict cached = cache->get_or_compute(key, [&] {
-          computed = true;
+        const auto run_check = [&] {
           core::CheckOptions check_options;
           check_options.engine = engine;
           check_options.max_depth = max_depth;
           check_options.optimize = optimize;
           check_options.deadline = deadline.with_cancel(token);
-          return cached_from_outcome(core::check(*system, property, check_options));
-        });
+          return core::check(*system, property, check_options);
+        };
+        bool computed = false;
+        CachedVerdict cached;
+        if (optimize) {
+          cached = cache->get_or_compute(key, [&] {
+            computed = true;
+            return cached_from_outcome(run_check());
+          });
+        } else {
+          // optimize=false is the escape hatch around optimizer bugs: never
+          // serve a cached verdict (the entry may have been produced through
+          // the optimizing pipeline). Recompute, and refresh the shared entry
+          // so a stale verdict is overwritten rather than left behind.
+          computed = true;
+          cached = cached_from_outcome(run_check());
+          cache->insert(key, cached);
+          obs::count("svc.cache_bypassed");
+        }
         slot->cache_hit = !computed;
         std::optional<core::CheckOutcome> outcome = outcome_from_cached(cached);
         if (!outcome) {
@@ -118,12 +133,7 @@ PendingCheck Service::submit(const CheckRequest& request) {
           // (should not happen for a fingerprint match — defensive): compute
           // fresh rather than serve a trace-less kViolated.
           obs::count("svc.rehydrate_failed");
-          core::CheckOptions check_options;
-          check_options.engine = engine;
-          check_options.max_depth = max_depth;
-          check_options.optimize = optimize;
-          check_options.deadline = deadline.with_cancel(token);
-          outcome = core::check(*system, property, check_options);
+          outcome = run_check();
           slot->cache_hit = false;
         }
         slot->outcome = std::move(*outcome);

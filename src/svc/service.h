@@ -54,8 +54,11 @@ struct CheckRequest {
   int max_depth = 50;
   util::Deadline deadline = util::Deadline::never();
   /// Run the opt/ pipeline before checking (core::CheckOptions::optimize).
-  /// Deliberately NOT part of the request fingerprint: the optimizer is
-  /// semantics-preserving, so the same cache entry serves both settings.
+  /// Not part of the request fingerprint (the optimizer is semantics-
+  /// preserving, so both settings answer the same question), but
+  /// optimize=false requests always recompute — bypassing the cache lookup
+  /// and overwriting the shared entry — so --no-opt is a genuine escape
+  /// hatch around optimizer bugs, cached or not.
   bool optimize = true;
 };
 

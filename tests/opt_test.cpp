@@ -326,6 +326,90 @@ TEST(Optimize, LiftRejectsInfeasibleDroppedComponent) {
   }
 }
 
+TEST(Optimize, LiftRespectsDeclaredRangesInDeterministicExtraction) {
+  // The dropped counter has NO clamp or guard: only its declared range
+  // int[0,3] stops it, by deadlock after 4 states (engines conjoin
+  // range_invariant; the constraint lists never repeat it). The
+  // deterministic-extraction fast path must bounds-check the values it
+  // computes, or it would happily walk v = 4, 5, ... and lift a witness
+  // longer than the dropped component can actually run.
+  const Expr x = expr::int_var("opt_rng_x", 0, 9);
+  const Expr v = expr::int_var("opt_rng_v", 0, 3);
+  ts::TransitionSystem ts;
+  ts.add_var(x);
+  ts.add_var(v);
+  ts.add_init(x == 0);
+  ts.add_init(v == 0);
+  ts.add_trans(expr::mk_eq(expr::next(x), expr::mk_min(x + 1, expr::int_const(9))));
+  ts.add_trans(expr::mk_eq(expr::next(v), v + 1));  // unclamped on purpose
+
+  const ltl::Formula prop = ltl::G(ltl::atom(x < 6));
+  const opt::Optimized o = opt::optimize(ts, prop, {});
+  ASSERT_TRUE(o.changed());
+  ASSERT_EQ(o.dropped_vars.size(), 1u);
+
+  // A 7-state sliced trace (x: 0..6) reaches the violation, but the dropped
+  // counter deadlocks after 4 states: the lift must refuse, never emit
+  // out-of-range values for v.
+  ts::Trace trace;
+  for (std::int64_t i = 0; i <= 6; ++i) {
+    ts::State s;
+    s.set(x, expr::Value(i));
+    trace.states.push_back(s);
+  }
+  EXPECT_FALSE(o.lift_trace(trace));
+
+  // End-to-end parity: the optimized check falls back to the original system
+  // (where the composed run deadlocks before x reaches 6) and must agree
+  // with the unoptimized verdict; any reported violation must be a genuine
+  // execution, declared ranges included.
+  core::CheckOptions options;
+  options.engine = core::Engine::kBmc;
+  options.max_depth = 10;
+  const core::CheckOutcome outcome = core::check(ts, prop, options);
+  core::CheckOptions unopt = options;
+  unopt.optimize = false;
+  const core::CheckOutcome reference = core::check(ts, prop, unopt);
+  EXPECT_EQ(outcome.verdict, reference.verdict);
+  EXPECT_NE(outcome.verdict, core::Verdict::kViolated);
+  if (outcome.counterexample) {
+    std::string error;
+    EXPECT_TRUE(ts.trace_conforms(*outcome.counterexample, &error)) << error;
+  }
+}
+
+TEST(Optimize, ConstpropRejectsOutOfRangePinsWithoutFold) {
+  // invar v == 10 over v:int[0,3] contradicts the declared range: the system
+  // has no reachable states, so every safety property holds vacuously. With
+  // folding disabled (a legal public-API combination), constprop must not
+  // substitute the pin away — that would drop the contradiction together
+  // with v's range constraint and make the system satisfiable. It rewrites
+  // the conjunct to false instead.
+  const Expr v = expr::int_var("opt_oor_v", 0, 3);
+  const Expr w = expr::int_var("opt_oor_w", 0, 3);
+  ts::TransitionSystem ts;
+  ts.add_var(v);
+  ts.add_var(w);
+  ts.add_init(w == 0);
+  ts.add_trans(expr::mk_eq(expr::next(w), w));
+  ts.add_invar(v == 10);
+
+  opt::OptimizeOptions options;
+  options.fold = false;
+  const ltl::Formula prop = ltl::G(ltl::atom(w != 0));
+  const opt::Optimized o = opt::optimize(ts, prop, options);
+  for (const auto& [var, value] : o.propagated_vars)
+    EXPECT_NE(var.var(), v.var()) << "out-of-range pin must not propagate";
+
+  core::CheckOptions check;
+  check.engine = core::Engine::kExplicit;
+  check.optimize = false;
+  EXPECT_EQ(core::check(ts, prop, check).verdict, core::Verdict::kHolds);
+  const ts::TransitionSystem& sys = o.changed() ? o.system : ts;
+  const ltl::Formula& rewritten = o.properties.front();
+  EXPECT_EQ(core::check(sys, rewritten, check).verdict, core::Verdict::kHolds);
+}
+
 TEST(Optimize, ConstpropRevertsWhenSubstitutionCannotFold) {
   // q is pinned, but substituting q=2 folds nothing: the pin is already a
   // unit constraint for the backends, so the pipeline must revert the

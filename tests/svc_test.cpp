@@ -323,6 +323,35 @@ TEST(Service, WarmRequestsHitTheCacheAndAgreeWithColdOnes) {
   EXPECT_EQ(service.cache().hits(), 1u);
 }
 
+TEST(Service, NoOptRequestsBypassTheCacheAndRefreshIt) {
+  // optimize=false is the escape hatch around optimizer bugs: even with a
+  // warm cache entry for the identical request, it must recompute rather
+  // than serve a verdict that may have been produced through the pipeline.
+  scenarios::RolloutPartitionScenario scenario = scenarios::make_test_scenario();
+  svc::Service service({.jobs = 2});
+  svc::CheckRequest request;
+  request.system = &scenario.system;
+  request.property = scenario.property;
+  request.engine = core::Engine::kBmc;
+  request.max_depth = 6;
+
+  const svc::CheckResponse warm = service.check(request);
+  EXPECT_FALSE(warm.cache_hit);
+  EXPECT_EQ(warm.outcome.verdict, core::Verdict::kViolated);
+
+  request.optimize = false;
+  const svc::CheckResponse noopt = service.check(request);
+  EXPECT_FALSE(noopt.cache_hit) << "--no-opt must never serve a cached verdict";
+  EXPECT_EQ(noopt.outcome.verdict, core::Verdict::kViolated);
+
+  // The unoptimized recompute refreshes the shared entry, which optimized
+  // requests keep hitting (the flag is not part of the fingerprint).
+  request.optimize = true;
+  const svc::CheckResponse hit = service.check(request);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.outcome.verdict, core::Verdict::kViolated);
+}
+
 TEST(Service, ZeroQueueLimitRejectsEveryRequest) {
   scenarios::RolloutPartitionScenario scenario = scenarios::make_test_scenario();
   svc::Service service({.jobs = 1, .queue_limit = 0});
