@@ -96,6 +96,14 @@ CheckOutcome check(const ts::TransitionSystem& ts, const ltl::Formula& property,
     inner.optimize = false;
     if (!optimized.changed()) return check(ts, property, inner);
     CheckOutcome out = check(optimized.system, optimized.properties.front(), inner);
+    if (out.artifact) {
+      // The certificate was computed on the reduced system; record the
+      // propagated constants it is relative to (docs/incremental.md).
+      for (const auto& [var, value] : optimized.propagated_vars)
+        out.artifact->pinned.set(var, value);
+      for (const auto& [param, value] : optimized.propagated_params)
+        out.artifact->pinned.set(param, value);
+    }
     if (out.verdict == Verdict::kViolated && out.counterexample &&
         !lift_counterexample(optimized, *out.counterexample, options.deadline)) {
       // The sliced-away component cannot execute alongside this trace (or

@@ -81,9 +81,16 @@ CheckOutcome check_invariant_kinduction(const ts::TransitionSystem& ts, Expr inv
           .attr("solve_seconds",
                 base_solver.check_seconds() + step_solver.check_seconds() - solve_before)
           .emit();
-    if (step_result == smt::CheckResult::kUnsat)
+    if (step_result == smt::CheckResult::kUnsat) {
+      // Certify the proof: a later model revision can re-check (k+1)-induction
+      // at exactly this k (one base + one step query) instead of searching.
+      ProofArtifact artifact;
+      artifact.kind = ProofArtifact::Kind::kKInduction;
+      artifact.k = k;
+      outcome.artifact = std::move(artifact);
       return run.finish(Verdict::kHolds,
                         "proved by " + std::to_string(k + 1) + "-induction");
+    }
     if (step_result == smt::CheckResult::kUnknown)
       return run.give_up(options.deadline, "step case unknown at k=" + std::to_string(k));
   }

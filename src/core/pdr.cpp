@@ -138,6 +138,16 @@ class Pdr {
       for (int i = 1; i < n; ++i) {
         if (std::none_of(lemmas_.begin(), lemmas_.end(),
                          [&](const Lemma& l) { return l.level == i; })) {
+          // F_i = F_{i+1}: the lemmas at level >= i (plus the property)
+          // form an inductive invariant. Export them as a re-checkable
+          // certificate so a later model revision can revalidate with one
+          // base + one consecution query instead of a fresh PDR run.
+          ProofArtifact artifact;
+          artifact.kind = ProofArtifact::Kind::kPdrInvariant;
+          artifact.k = i;
+          for (const Lemma& l : lemmas_)
+            if (l.level >= i) artifact.cubes.push_back(l.cube);
+          outcome.artifact = std::move(artifact);
           return finish(Verdict::kHolds,
                         "inductive invariant found at frame " + std::to_string(i));
         }

@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "ts/transition_system.h"
 
@@ -67,11 +68,32 @@ struct Stats {
   }
 };
 
+/// Re-checkable certificate exported by a safety engine on a kHolds verdict.
+///
+/// kPdrInvariant: the inductive invariant is `P /\ AND(!cube)` over `cubes`
+/// (each cube a partial assignment over vars+params, negated into a clause),
+/// where P is the property's invariant atom. kKInduction: the property was
+/// proved by (k+1)-induction; re-validation re-runs one base and one step
+/// check at exactly that k instead of searching.
+///
+/// `pinned` records constants the optimizer propagated away before the engine
+/// ran: the certificate is only valid relative to those equalities, so any
+/// re-validation against the unoptimized system must conjoin them.
+struct ProofArtifact {
+  enum class Kind : std::uint8_t { kPdrInvariant, kKInduction };
+  Kind kind = Kind::kPdrInvariant;
+  int k = 0;                    // kKInduction: proved by (k+1)-induction
+  std::vector<ts::State> cubes; // kPdrInvariant: blocked cubes of the invariant
+  ts::State pinned;             // optimizer-propagated constants (may be empty)
+};
+
 struct CheckOutcome {
   Verdict verdict = Verdict::kUnknown;
   std::optional<ts::Trace> counterexample;
   Stats stats;
   std::string message;  // human-readable detail (e.g. timeout context)
+  /// Present only on kHolds from an engine that can certify its proof.
+  std::optional<ProofArtifact> artifact;
 
   [[nodiscard]] bool violated() const { return verdict == Verdict::kViolated; }
   [[nodiscard]] bool holds() const { return verdict == Verdict::kHolds; }

@@ -33,6 +33,17 @@ z3::expr states_distinct(smt::Solver& solver, const ts::TransitionSystem& ts, in
   return z3::mk_or(diffs);
 }
 
+// Records optimizer-propagated constants on a proof artifact: the engine
+// proved the property of the reduced system, so the exported certificate is
+// valid only relative to these pinned equalities (docs/incremental.md).
+void pin_artifact(CheckOutcome& o, const opt::Optimized& optimized) {
+  if (!o.artifact || !optimized.changed()) return;
+  for (const auto& [var, value] : optimized.propagated_vars)
+    o.artifact->pinned.set(var, value);
+  for (const auto& [param, value] : optimized.propagated_params)
+    o.artifact->pinned.set(param, value);
+}
+
 // Folds a delegated one-shot outcome's cost into the session total.
 void fold_cost(Stats& total, const Stats& stats) {
   total.solver_checks += stats.solver_checks;
@@ -180,6 +191,10 @@ void run_shared_kinduction(const ts::TransitionSystem& system, Group& group,
         const smt::CheckResult step_result =
             step_solver.check_assuming(step_assumptions, options.deadline);
         if (step_result == smt::CheckResult::kUnsat) {
+          ProofArtifact artifact;
+          artifact.kind = ProofArtifact::Kind::kKInduction;
+          artifact.k = k;
+          group.outcome(i).artifact = std::move(artifact);
           group.resolve(i, Verdict::kHolds,
                         "proved by " + std::to_string(k + 1) + "-induction");
         } else if (step_result == smt::CheckResult::kUnknown) {
@@ -362,6 +377,7 @@ SessionResult Session::check_all(const SessionOptions& options) const {
     for (std::size_t slot = 0; slot < outcomes.size(); ++slot) {
       fold_cost(result.total, outcomes[slot].stats);
       lift_base(outcomes[slot]);
+      pin_artifact(outcomes[slot], base);
       result.properties[todo[slot]].outcome = std::move(outcomes[slot]);
     }
     store_fresh();
@@ -446,6 +462,10 @@ SessionResult Session::check_all(const SessionOptions& options) const {
         fold_cost(result.total, fresh.stats);
         o = std::move(fresh);
       }
+    }
+    for (const std::size_t i : safety) {
+      pin_artifact(result.properties[i].outcome, sliced);
+      pin_artifact(result.properties[i].outcome, base);
     }
   }
   // kAuto: k-induction may leave properties undecided that PDR can settle;

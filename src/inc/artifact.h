@@ -1,0 +1,33 @@
+// Process-independent proof artifacts ("verdict-artifact-v1").
+//
+// core::ProofArtifact keys its cubes and pins by expr::VarId, which is
+// meaningless outside the producing process. Persisting artifacts in the
+// verdict cache (and shipping them across daemon restarts) needs the same
+// portability discipline as svc::StoredTrace: states serialized name-keyed,
+// rehydration resolving names against the receiving process's declarations
+// and failing soft — a malformed or alien artifact is a cache miss, never a
+// verdict.
+//
+//   {"schema": "verdict-artifact-v1", "kind": "pdr"|"kinduction", "k": N,
+//    "pinned": {"x": 1, ...}, "cubes": [{"x": 0, "up": false}, ...]}
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/result.h"
+#include "obs/json.h"
+
+namespace verdict::inc {
+
+/// Serializes an artifact as one compact JSON object.
+[[nodiscard]] std::string artifact_to_json(const core::ProofArtifact& artifact);
+
+/// Inverse of artifact_to_json under this process's declarations; nullopt on
+/// unknown kind/variable names, malformed values, or wrong document shape.
+[[nodiscard]] std::optional<core::ProofArtifact> artifact_from_json(
+    const obs::JsonValue& doc);
+[[nodiscard]] std::optional<core::ProofArtifact> artifact_from_json(
+    const std::string& text);
+
+}  // namespace verdict::inc

@@ -1,0 +1,268 @@
+#include "inc/profile.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "expr/walk.h"
+#include "opt/optimize.h"
+
+namespace verdict::inc {
+
+namespace {
+
+// splitmix64 finalizer (the svc/fingerprint.cpp mixer, re-instantiated here
+// with the "inc-" domain tags below so inc hashes never collide with request
+// fingerprints by construction).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+// Order-sensitive two-lane accumulator over svc::Fingerprint values.
+class Acc {
+ public:
+  Acc& u64(std::uint64_t v) {
+    a_ = mix64(a_ ^ (v * 0x9e3779b97f4a7c15ULL));
+    b_ = mix64(rotl(b_, 31) + (v ^ 0x94d049bb133111ebULL));
+    return *this;
+  }
+  Acc& fp(const svc::Fingerprint& f) { return u64(f.hi).u64(f.lo); }
+  [[nodiscard]] svc::Fingerprint digest() const {
+    return {mix64(a_ + rotl(b_, 19)), mix64(b_ ^ rotl(a_, 43))};
+  }
+
+ private:
+  std::uint64_t a_ = 0x696e632d636f6e65ULL;  // "inc-cone"
+  std::uint64_t b_ = 0x696e632d70726f66ULL;  // "inc-prof"
+};
+
+// Commutative accumulator (whiten then sum), for multisets of fingerprints.
+class MultisetAcc {
+ public:
+  void add(const svc::Fingerprint& f) {
+    hi_ += mix64(f.hi ^ 0x5bd1e9955bd1e995ULL);
+    lo_ += mix64(f.lo + 0xfedcba9876543210ULL);
+    ++count_;
+  }
+  void fold_into(Acc& m) const { m.u64(count_).u64(hi_).u64(lo_); }
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+// Minimal union-find over dense indices, path-halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+// All variables an LTL formula's atoms mention.
+void formula_support(const ltl::Formula& f, std::set<expr::VarId>& out) {
+  if (f.op() == ltl::Op::kAtom) {
+    for (const expr::VarId id : expr::current_vars(f.atom())) out.insert(id);
+    return;
+  }
+  for (const ltl::Formula& kid : f.kids()) formula_support(kid, out);
+}
+
+}  // namespace
+
+SystemProfile::SystemProfile(const ts::TransitionSystem& system) {
+  // Dense index over declarations, in declaration order (deterministic).
+  std::vector<expr::Expr> decls;
+  std::map<std::string, std::size_t> by_name;
+  const auto declare = [&](expr::Expr e) {
+    by_name.emplace(std::string(e.var_name()), decls.size());
+    decls.push_back(e);
+  };
+  for (const expr::Expr v : system.vars()) declare(v);
+  for (const expr::Expr p : system.params()) declare(p);
+
+  // Union the support of every constraint; remember each constraint's
+  // support representative (or "global" when support-free).
+  UnionFind uf(decls.size());
+  struct Attached {
+    expr::Expr e;
+    int list;                  // 0 init, 1 trans, 2 invar, 3 pconstr
+    std::size_t rep;           // dense index, SIZE_MAX for support-free
+  };
+  std::vector<Attached> attached;
+  const auto absorb = [&](std::span<const expr::Expr> constraints, int list) {
+    for (const expr::Expr e : constraints) {
+      std::set<expr::VarId> support = expr::current_vars(e);
+      for (const expr::VarId id : expr::next_vars(e)) support.insert(id);
+      std::size_t rep = SIZE_MAX;
+      for (const expr::VarId id : support) {
+        const auto it = by_name.find(std::string(expr::var_name(id)));
+        if (it == by_name.end()) continue;  // defensive: undeclared support
+        if (rep == SIZE_MAX) {
+          rep = it->second;
+        } else {
+          uf.unite(rep, it->second);
+        }
+      }
+      attached.push_back({e, list, rep});
+    }
+  };
+  absorb(system.init_constraints(), 0);
+  absorb(system.trans_constraints(), 1);
+  absorb(system.invar_constraints(), 2);
+  absorb(system.param_constraints(), 3);
+
+  // Materialize components in first-declaration order.
+  std::map<std::size_t, std::size_t> root_to_component;
+  const std::size_t nvars = system.vars().size();
+  for (std::size_t i = 0; i < decls.size(); ++i) {
+    const std::size_t root = uf.find(i);
+    auto [it, fresh] = root_to_component.emplace(root, components_.size());
+    if (fresh) components_.emplace_back();
+    Component& c = components_[it->second];
+    if (i < nvars) {
+      c.vars.push_back(decls[i]);
+    } else {
+      c.params.push_back(decls[i]);
+    }
+    name_to_component_.emplace_back(std::string(decls[i].var_name()), it->second);
+  }
+  std::sort(name_to_component_.begin(), name_to_component_.end());
+
+  for (const Attached& a : attached) {
+    std::vector<expr::Expr>* lists[4];
+    if (a.rep == SIZE_MAX) {
+      lists[0] = &global_init_;
+      lists[1] = &global_trans_;
+      lists[2] = &global_invar_;
+      lists[3] = &global_pconstr_;
+    } else {
+      Component& c = components_[root_to_component.at(uf.find(a.rep))];
+      lists[0] = &c.init;
+      lists[1] = &c.trans;
+      lists[2] = &c.invar;
+      lists[3] = &c.param_constraints;
+    }
+    lists[a.list]->push_back(a.e);
+  }
+
+  // Fingerprints: declarations and constraint lists as multisets (assembly
+  // order must not matter — svc/fingerprint.h discipline), lists kept
+  // separate (an init conjunct moving to invar is a semantic change).
+  const auto hash_component = [](const Component& c) {
+    Acc m;
+    m.u64(0x1c01);  // component tag
+    const auto multiset = [&m](const std::vector<expr::Expr>& es) {
+      MultisetAcc u;
+      for (const expr::Expr e : es) u.add(svc::fingerprint(e));
+      u.fold_into(m);
+    };
+    multiset(c.vars);
+    multiset(c.params);
+    multiset(c.init);
+    multiset(c.trans);
+    multiset(c.invar);
+    multiset(c.param_constraints);
+    return m.digest();
+  };
+  for (Component& c : components_) c.fp = hash_component(c);
+  {
+    Component global;
+    global.init = global_init_;
+    global.trans = global_trans_;
+    global.invar = global_invar_;
+    global.param_constraints = global_pconstr_;
+    Acc m;
+    m.u64(0x1c02);  // global-residue tag
+    m.fp(hash_component(global));
+    global_fp_ = m.digest();
+  }
+}
+
+std::vector<std::size_t> SystemProfile::cone_of(const ltl::Formula& property) const {
+  std::set<expr::VarId> support;
+  formula_support(property, support);
+  std::set<std::size_t> cone;
+  for (const expr::VarId id : support) {
+    const std::string name(expr::var_name(id));
+    const auto it = std::lower_bound(
+        name_to_component_.begin(), name_to_component_.end(), name,
+        [](const auto& entry, const std::string& n) { return entry.first < n; });
+    if (it != name_to_component_.end() && it->first == name) cone.insert(it->second);
+  }
+  return {cone.begin(), cone.end()};
+}
+
+svc::Fingerprint SystemProfile::cone_fp(const std::vector<std::size_t>& cone) const {
+  Acc m;
+  m.u64(0x1c03);  // cone tag
+  MultisetAcc u;
+  for (const std::size_t i : cone) u.add(components_[i].fp);
+  u.fold_into(m);
+  m.fp(global_fp_);
+  return m.digest();
+}
+
+svc::Fingerprint SystemProfile::cone_fp(const ltl::Formula& property) const {
+  return cone_fp(cone_of(property));
+}
+
+ts::TransitionSystem SystemProfile::cone_system(
+    const std::vector<std::size_t>& cone) const {
+  ts::TransitionSystem out;
+  const auto add_constraints = [&out](const Component& c) {
+    for (const expr::Expr e : c.init) out.add_init(e);
+    for (const expr::Expr e : c.trans) out.add_trans(e);
+    for (const expr::Expr e : c.invar) out.add_invar(e);
+    for (const expr::Expr e : c.param_constraints) out.add_param_constraint(e);
+  };
+  for (const std::size_t i : cone) {
+    for (const expr::Expr v : components_[i].vars) out.add_var(v);
+    for (const expr::Expr p : components_[i].params) out.add_param(p);
+  }
+  for (const std::size_t i : cone) add_constraints(components_[i]);
+  Component global;
+  global.init = global_init_;
+  global.trans = global_trans_;
+  global.invar = global_invar_;
+  global.param_constraints = global_pconstr_;
+  add_constraints(global);
+  return out;
+}
+
+svc::Fingerprint property_key(const ltl::Formula& property, core::Engine engine,
+                              int max_depth) {
+  Acc m;
+  m.u64(0x1c04);  // prop-key tag
+  // The same optimizer-version salt as full request fingerprints: a verdict
+  // produced through an older opt/ pipeline must not be carried across
+  // versions either.
+  m.u64(opt::kOptimizerVersion);
+  m.fp(svc::fingerprint(property));
+  m.u64(static_cast<std::uint64_t>(engine));
+  m.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(max_depth)));
+  return m.digest();
+}
+
+}  // namespace verdict::inc

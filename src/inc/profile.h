@@ -1,0 +1,85 @@
+// Structural decomposition of a transition system into dependency-connected
+// components, with per-component fingerprints — the "delta fingerprint" half
+// of incremental re-verification (docs/incremental.md).
+//
+// Two variables are in the same component when some constraint (init, trans,
+// invar, or param constraint) mentions both; the relation is closed
+// transitively, mirroring exactly the constraint-co-occurrence closure the
+// opt/ cone-of-influence slicer uses. A property's *cone* is the set of
+// components its atom support touches, and the cone fingerprint hashes those
+// components' declarations and constraints structurally (names and shapes,
+// never expr ids — svc/fingerprint.h discipline). Editing one component
+// therefore changes the cone fingerprint of exactly the properties that
+// depend on it: everything else can be answered from the previous model
+// version's verdict.
+//
+// Support-free constraints (e.g. a constant `true` left by hand-written
+// models) constrain nothing but distinguish systems, so they form a "global"
+// residue hashed into every cone.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/checker.h"
+#include "ltl/ltl.h"
+#include "svc/fingerprint.h"
+#include "ts/transition_system.h"
+
+namespace verdict::inc {
+
+/// One dependency-connected component: its declarations and the constraints
+/// attached to it, plus a structural fingerprint of both.
+struct Component {
+  std::vector<expr::Expr> vars;
+  std::vector<expr::Expr> params;
+  std::vector<expr::Expr> init;
+  std::vector<expr::Expr> trans;
+  std::vector<expr::Expr> invar;
+  std::vector<expr::Expr> param_constraints;
+  svc::Fingerprint fp;
+};
+
+class SystemProfile {
+ public:
+  explicit SystemProfile(const ts::TransitionSystem& system);
+
+  [[nodiscard]] const std::vector<Component>& components() const { return components_; }
+
+  /// Indices (into components()) of the components the property's atom
+  /// support touches. Sorted, unique. Support naming no declared variable is
+  /// ignored (it can constrain nothing here).
+  [[nodiscard]] std::vector<std::size_t> cone_of(const ltl::Formula& property) const;
+
+  /// Fingerprint of a cone: the multiset of its component fingerprints plus
+  /// the global (support-free) residue. Equal cone fingerprints mean the
+  /// property sees a structurally identical slice of the system.
+  [[nodiscard]] svc::Fingerprint cone_fp(const std::vector<std::size_t>& cone) const;
+  [[nodiscard]] svc::Fingerprint cone_fp(const ltl::Formula& property) const;
+
+  /// The raw cone subsystem: declarations and constraints of the cone's
+  /// components plus the support-free residue, nothing else. Every execution
+  /// of the full system projects onto an execution of this subsystem
+  /// (constraints are only removed), so a safety proof on it transfers to
+  /// the full system unconditionally — the soundness base of artifact
+  /// revalidation (docs/incremental.md).
+  [[nodiscard]] ts::TransitionSystem cone_system(
+      const std::vector<std::size_t>& cone) const;
+
+ private:
+  std::vector<Component> components_;
+  std::vector<expr::Expr> global_init_, global_trans_, global_invar_, global_pconstr_;
+  svc::Fingerprint global_fp_;
+  // var/param name -> component index, for cone_of.
+  std::vector<std::pair<std::string, std::size_t>> name_to_component_;
+};
+
+/// The part of a request fingerprint that survives a model edit:
+/// (property, engine, max_depth) plus the optimizer-version salt. Entries
+/// with equal prop keys answer the same question about different model
+/// versions — the link the cross-version index is keyed by.
+[[nodiscard]] svc::Fingerprint property_key(const ltl::Formula& property,
+                                            core::Engine engine, int max_depth);
+
+}  // namespace verdict::inc

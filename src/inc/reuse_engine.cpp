@@ -1,0 +1,203 @@
+#include "inc/reuse_engine.h"
+
+#include <exception>
+#include <utility>
+
+#include "inc/artifact.h"
+#include "inc/revalidate.h"
+#include "obs/trace.h"
+#include "svc/fingerprint.h"
+
+namespace verdict::inc {
+
+namespace {
+
+// Bound on the profile memo: a daemon alternates between a handful of live
+// model versions, not hundreds. Wholesale clear on overflow (cheap; profiles
+// rebuild in milliseconds).
+constexpr std::size_t kMaxProfiles = 8;
+
+// An index entry is worth keeping only when something sound can be carried
+// from it: a validated/revalidatable proof, or a replayable counterexample.
+bool carryable(const svc::CachedVerdict& v) {
+  if (v.verdict == core::Verdict::kHolds) return !v.artifact_json.empty();
+  if (v.verdict == core::Verdict::kViolated) return !v.counterexample_json.empty();
+  return false;
+}
+
+}  // namespace
+
+ReuseEngine::ReuseEngine(svc::VerdictCache& cache) : cache_(cache) {}
+
+std::size_t ReuseEngine::rebuild_from_cache() {
+  std::size_t indexed = 0;
+  cache_.for_each([&](const svc::Fingerprint& key, const svc::CachedVerdict& v) {
+    if (v.prop_key == svc::Fingerprint{} || !carryable(v)) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    // cone_valid deliberately false: disk is not trusted, the first carry
+    // attempt must revalidate the artifact against this process's cone.
+    index_[v.prop_key] = IndexEntry{key, v.cone_fp, /*cone_valid=*/false};
+    ++indexed;
+  });
+  return indexed;
+}
+
+std::shared_ptr<const SystemProfile> ReuseEngine::profile_for(
+    const ts::TransitionSystem& system) {
+  const svc::Fingerprint fp = svc::fingerprint(system);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = profiles_.find(fp);
+    if (it != profiles_.end()) return it->second;
+  }
+  auto profile = std::make_shared<const SystemProfile>(system);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (profiles_.size() >= kMaxProfiles) profiles_.clear();
+  return profiles_.emplace(fp, std::move(profile)).first->second;
+}
+
+DeltaPlan ReuseEngine::plan(const ts::TransitionSystem& system,
+                            std::span<const ltl::Formula> properties,
+                            core::Engine engine, int max_depth) {
+  DeltaPlan out;
+  const std::shared_ptr<const SystemProfile> profile = profile_for(system);
+  for (const ltl::Formula& property : properties) {
+    DeltaPlan::Entry entry;
+    entry.prop_key = property_key(property, engine, max_depth);
+    entry.cone_fp = profile->cone_fp(property);
+
+    std::optional<IndexEntry> indexed;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = index_.find(entry.prop_key);
+      if (it != index_.end()) indexed = it->second;
+    }
+    if (indexed) {
+      if (const std::optional<svc::CachedVerdict> prior =
+              cache_.lookup(indexed->request_fp);
+          prior && carryable(*prior)) {
+        if (prior->verdict == core::Verdict::kViolated) {
+          entry.action = DeltaPlan::Action::kRevalidate;  // trace replay
+        } else if (entry.cone_fp == indexed->cone_fp && indexed->cone_valid) {
+          entry.action = DeltaPlan::Action::kReuseVerdict;
+        } else {
+          entry.action = DeltaPlan::Action::kRevalidate;
+        }
+      }
+    }
+    out.entries.push_back(entry);
+  }
+  return out;
+}
+
+std::optional<svc::CachedVerdict> ReuseEngine::try_reuse(
+    const ts::TransitionSystem& system, const ltl::Formula& property,
+    core::Engine engine, int max_depth, const util::Deadline& deadline) {
+  try {
+    const svc::Fingerprint prop_key = property_key(property, engine, max_depth);
+    std::optional<IndexEntry> indexed;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = index_.find(prop_key);
+      if (it != index_.end()) indexed = it->second;
+    }
+    if (!indexed) return std::nullopt;
+
+    std::optional<svc::CachedVerdict> prior = cache_.lookup(indexed->request_fp);
+    if (!prior || !carryable(*prior)) return std::nullopt;
+
+    const std::shared_ptr<const SystemProfile> profile = profile_for(system);
+    const std::vector<std::size_t> cone = profile->cone_of(property);
+    const svc::Fingerprint cone_fp = profile->cone_fp(cone);
+    const svc::Fingerprint request_fp =
+        svc::fingerprint_request(system, property, engine, max_depth);
+
+    const auto carry = [&](svc::CachedVerdict v) {
+      v.prop_key = prop_key;
+      v.cone_fp = cone_fp;
+      std::lock_guard<std::mutex> lock(mutex_);
+      index_[prop_key] = IndexEntry{request_fp, cone_fp, /*cone_valid=*/true};
+      return v;
+    };
+
+    if (prior->verdict == core::Verdict::kViolated) {
+      // A counterexample needs no proof theory: rehydrate the stored trace
+      // and replay it on the NEW full system. Pure evaluation, no solver.
+      const std::optional<core::CheckOutcome> outcome = svc::outcome_from_cached(*prior);
+      if (!outcome) return std::nullopt;
+      if (!core::confirm_counterexample(system, property, *outcome)) {
+        obs::count("inc.cex_replay_failed");
+        return std::nullopt;
+      }
+      obs::count("inc.properties_reused");
+      obs::count("inc.cex_replayed");
+      return carry(std::move(*prior));
+    }
+
+    // kHolds. Zero-solver carry only behind the full guard: same cone, and
+    // the artifact validated cone-locally by THIS process.
+    if (cone_fp == indexed->cone_fp && indexed->cone_valid) {
+      obs::count("inc.properties_reused");
+      return carry(std::move(*prior));
+    }
+
+    // Cone changed (or artifact fresh from disk): revalidate the certificate
+    // against the property's raw cone subsystem.
+    const std::optional<core::ProofArtifact> artifact =
+        artifact_from_json(prior->artifact_json);
+    if (!artifact) return std::nullopt;
+    const RevalidateResult check =
+        revalidate(profile->cone_system(cone), property, *artifact, deadline);
+    if (!check.valid) {
+      obs::count("inc.revalidation_failed");
+      return std::nullopt;
+    }
+    obs::count("inc.invariants_revalidated");
+    return carry(std::move(*prior));
+  } catch (const std::exception&) {
+    return std::nullopt;  // fail-soft: a scratch run is always sound
+  }
+}
+
+svc::CachedVerdict ReuseEngine::record(const ts::TransitionSystem& system,
+                                       const ltl::Formula& property,
+                                       core::Engine engine, int max_depth,
+                                       const core::CheckOutcome& outcome) {
+  svc::CachedVerdict v = svc::cached_from_outcome(outcome);
+  try {
+    v.prop_key = property_key(property, engine, max_depth);
+    const std::shared_ptr<const SystemProfile> profile = profile_for(system);
+    const std::vector<std::size_t> cone = profile->cone_of(property);
+    v.cone_fp = profile->cone_fp(cone);
+
+    bool cone_valid = false;
+    if (outcome.verdict == core::Verdict::kHolds && outcome.artifact) {
+      // Eager cone-local validation, amortized into the scratch run. Success
+      // is what entitles the zero-solver carry later; failure means the
+      // certificate does not stand on the raw cone (however the engine came
+      // by it) and is dropped rather than trusted.
+      const RevalidateResult check =
+          revalidate(profile->cone_system(cone), property, *outcome.artifact,
+                     util::Deadline::never());
+      if (check.valid) {
+        v.artifact_json = artifact_to_json(*outcome.artifact);
+        cone_valid = true;
+        obs::count("inc.artifact_exported");
+      } else {
+        obs::count("inc.artifact_rejected");
+      }
+    }
+
+    if (carryable(v)) {
+      const svc::Fingerprint request_fp =
+          svc::fingerprint_request(system, property, engine, max_depth);
+      std::lock_guard<std::mutex> lock(mutex_);
+      index_[v.prop_key] = IndexEntry{request_fp, v.cone_fp, cone_valid};
+    }
+  } catch (const std::exception&) {
+    // Enrichment is best-effort; the verdict itself is already correct.
+  }
+  return v;
+}
+
+}  // namespace verdict::inc

@@ -1,0 +1,54 @@
+// Cheap re-validation of proof artifacts against a (possibly edited) system.
+//
+// A core::ProofArtifact certifies *why* a safety property held: the PDR
+// inductive invariant, or the k at which (k+1)-induction closed. When the
+// model changes, re-establishing the verdict does not require a fresh
+// fixpoint search — it only requires re-checking the certificate:
+//
+//   * kPdrInvariant — two SMT queries. With Inv := P ∧ ⋀¬cube ∧ ⋀pins:
+//       base:        UNSAT( init ∧ pconstr ∧ invar ∧ ranges ∧ ¬Inv )
+//       consecution: UNSAT( Inv@0 ∧ invar@0,1 ∧ ranges@0,1 ∧ pconstr
+//                           ∧ trans ∧ params-frozen ∧ ¬Inv@1 )
+//     Together these make Inv an inductive invariant of the NEW system, and
+//     Inv ⇒ P, so G(P) holds — regardless of which system produced the
+//     certificate. A failed query proves nothing (fall back to scratch).
+//
+//   * kKInduction — one base window and one step window at the cached k
+//     (with the same simple-path strengthening the engines use), instead of
+//     searching k = 0, 1, 2, ...
+//
+// The queries run against whatever system the caller passes — in the
+// incremental pipeline that is the property's RAW cone subsystem
+// (inc::SystemProfile::cone_system), never the optimized one, so validity
+// transfers to the full system by the slicing argument (docs/incremental.md)
+// and a buggy optimizer or exporter cannot launder an unsound "safe":
+// validation would simply fail.
+#pragma once
+
+#include <string>
+
+#include "core/result.h"
+#include "ltl/ltl.h"
+#include "ts/transition_system.h"
+#include "util/stopwatch.h"
+
+namespace verdict::inc {
+
+struct RevalidateResult {
+  bool valid = false;
+  std::string reason;  // on !valid: which query failed and how
+  std::size_t solver_checks = 0;
+  double solver_seconds = 0.0;
+};
+
+/// Re-checks `artifact` as a safety certificate for `property` (which must
+/// be an invariant property G(atom)) on `system`. Fail-soft by design:
+/// any mismatch — cube/pin variables not declared in `system`, a query that
+/// is sat or unknown, a deadline expiry — yields valid=false, never a wrong
+/// verdict.
+[[nodiscard]] RevalidateResult revalidate(const ts::TransitionSystem& system,
+                                          const ltl::Formula& property,
+                                          const core::ProofArtifact& artifact,
+                                          const util::Deadline& deadline);
+
+}  // namespace verdict::inc

@@ -1,7 +1,9 @@
 #include "svc/fingerprint.h"
 
+#include <mutex>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "opt/optimize.h"
 
 namespace verdict::svc {
@@ -111,10 +113,49 @@ Fingerprint value_fp(const expr::Value& v) {
   return m.digest();
 }
 
-// Memoized structural DFS over the shared expression DAG. The memo is local
-// to one fingerprinting call tree (not process-global): entries stay valid
-// because Expr handles are immutable, but a local map keeps the hasher free
-// of locks and unbounded growth.
+// Process-global bounded expression-fingerprint memo shared by every
+// fingerprinting call in the process. Entries can never go stale — the
+// expression arena is append-only, so an id always denotes the same
+// immutable node — but a long-running verdictd interns fresh ids for every
+// distinct model it sees, and an unbounded id→fingerprint map would grow in
+// lockstep with that churn (same class as the intern-table fix in PR 5).
+// On overflow the table is cleared wholesale: entries are cheap to
+// recompute, and a wholesale clear keeps the hit path one hash lookup with
+// no LRU bookkeeping under the lock.
+class GlobalExprMemo {
+ public:
+  static constexpr std::size_t kCapacity = 1u << 16;
+
+  std::optional<Fingerprint> find(std::uint32_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(id);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void insert(std::uint32_t id, const Fingerprint& fp) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.size() >= kCapacity) {
+      map_.clear();
+      obs::count("svc.fp_memo_clears");
+    }
+    map_.emplace(id, fp);
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::uint32_t, Fingerprint> map_;
+};
+
+GlobalExprMemo& global_expr_memo() {
+  static GlobalExprMemo* memo = new GlobalExprMemo;  // leaked: outlives all users
+  return *memo;
+}
+
+// Memoized structural DFS over the shared expression DAG. A lock-free local
+// memo (valid because Expr handles are immutable) absorbs the traversal's
+// repeated sub-DAGs; the bounded global memo above carries fingerprints
+// across calls so re-fingerprinting a warm model skips the DFS entirely.
 class ExprHasher {
  public:
   Fingerprint hash(expr::Expr e) {
@@ -125,6 +166,10 @@ class ExprHasher {
     }
     const auto it = memo_.find(e.id());
     if (it != memo_.end()) return it->second;
+    if (std::optional<Fingerprint> hit = global_expr_memo().find(e.id())) {
+      memo_.emplace(e.id(), *hit);
+      return *hit;
+    }
 
     Mix m;
     const expr::Kind kind = e.kind();
@@ -152,6 +197,7 @@ class ExprHasher {
     }
     const Fingerprint fp = m.digest();
     memo_.emplace(e.id(), fp);
+    global_expr_memo().insert(e.id(), fp);
     return fp;
   }
 

@@ -1,0 +1,54 @@
+// The incremental re-verification seam.
+//
+// svc::Service and svc::SessionCache only know how to answer a request whose
+// full fingerprint matches a cache entry — i.e. the *identical* model. The
+// incremental layer (src/inc/) answers the production question instead:
+// "this model is a small edit of one we already verified; which verdicts
+// carry over, and which proofs can be revalidated cheaply?" To keep the
+// dependency arrows pointing downward (inc links svc, never the reverse),
+// svc only sees this abstract hook; inc::ReuseEngine implements it and the
+// daemon/CLI wire one in.
+//
+// Contract:
+//   * try_reuse may return a verdict ONLY when it is sound for the given
+//     system as-is — reused kHolds must be backed by a revalidated proof
+//     artifact or an unchanged proof cone, reused kViolated by a trace that
+//     replays on this very system (docs/incremental.md has the argument).
+//     Returning nullopt is always safe; the caller falls back to a scratch
+//     run.
+//   * record is called with every freshly computed outcome; it returns the
+//     CachedVerdict to store (typically cached_from_outcome enriched with
+//     the property key, cone fingerprint, and serialized proof artifact) and
+//     updates the implementation's cross-version index.
+//
+// Both methods are called concurrently from pool workers; implementations
+// must be thread-safe.
+#pragma once
+
+#include <optional>
+
+#include "core/checker.h"
+#include "svc/verdict_cache.h"
+#include "util/stopwatch.h"
+
+namespace verdict::svc {
+
+class ReuseHook {
+ public:
+  virtual ~ReuseHook() = default;
+
+  /// A verdict carried over (and, if needed, revalidated) from a previous
+  /// model version, or nullopt when only a scratch run can answer.
+  virtual std::optional<CachedVerdict> try_reuse(const ts::TransitionSystem& system,
+                                                 const ltl::Formula& property,
+                                                 core::Engine engine, int max_depth,
+                                                 const util::Deadline& deadline) = 0;
+
+  /// Enriches a fresh outcome into the CachedVerdict to store and indexes it
+  /// for future cross-version reuse.
+  virtual CachedVerdict record(const ts::TransitionSystem& system,
+                               const ltl::Formula& property, core::Engine engine,
+                               int max_depth, const core::CheckOutcome& outcome) = 0;
+};
+
+}  // namespace verdict::svc

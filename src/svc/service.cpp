@@ -95,6 +95,7 @@ PendingCheck Service::submit(const CheckRequest& request) {
   std::shared_ptr<CheckResponse> slot = pending.slot_;
   Inflight* inflight = inflight_.get();
   VerdictCache* cache = cache_.get();
+  ReuseHook* reuse = reuse_;
   util::Stopwatch queued;
 
   pending.handle_ = pool_->submit_cancellable(
@@ -113,8 +114,22 @@ PendingCheck Service::submit(const CheckRequest& request) {
         CachedVerdict cached;
         if (optimize) {
           cached = cache->get_or_compute(key, [&] {
+            // Exact-fingerprint miss. Before paying for a scratch run, let
+            // the incremental layer try to carry the verdict over from a
+            // previous model version (unchanged cone, or a revalidated proof
+            // artifact). A carried-over verdict leaves `computed` false, so
+            // the client sees it as the warm hit it is; get_or_compute then
+            // stores it under this request's fingerprint.
+            if (reuse != nullptr) {
+              if (std::optional<CachedVerdict> carried = reuse->try_reuse(
+                      *system, property, engine, max_depth, deadline.with_cancel(token)))
+                return std::move(*carried);
+            }
             computed = true;
-            return cached_from_outcome(run_check());
+            const core::CheckOutcome out = run_check();
+            return reuse != nullptr
+                       ? reuse->record(*system, property, engine, max_depth, out)
+                       : cached_from_outcome(out);
           });
         } else {
           // optimize=false is the escape hatch around optimizer bugs: never
@@ -122,7 +137,10 @@ PendingCheck Service::submit(const CheckRequest& request) {
           // the optimizing pipeline). Recompute, and refresh the shared entry
           // so a stale verdict is overwritten rather than left behind.
           computed = true;
-          cached = cached_from_outcome(run_check());
+          const core::CheckOutcome out = run_check();
+          cached = reuse != nullptr
+                       ? reuse->record(*system, property, engine, max_depth, out)
+                       : cached_from_outcome(out);
           cache->insert(key, cached);
           obs::count("svc.cache_bypassed");
         }
@@ -185,16 +203,31 @@ std::optional<core::CheckOutcome> SessionCache::lookup(
     const ts::TransitionSystem& system, const ltl::Formula& property,
     core::Engine engine, int max_depth) {
   const Fingerprint key = fingerprint_request(system, property, engine, max_depth);
-  std::optional<CachedVerdict> cached = cache_.lookup(key);
-  if (!cached) return std::nullopt;
-  return outcome_from_cached(*cached);  // rehydration failure -> miss
+  if (std::optional<CachedVerdict> cached = cache_.lookup(key))
+    return outcome_from_cached(*cached);  // rehydration failure -> miss
+  if (reuse_ != nullptr) {
+    // Exact miss: a previous model version may still answer (svc/reuse.h).
+    // Sessions are synchronous, so the revalidation runs on the caller's
+    // budgetless path; carried verdicts are re-inserted under this request's
+    // fingerprint so the next identical lookup is an exact hit.
+    if (std::optional<CachedVerdict> carried =
+            reuse_->try_reuse(system, property, engine, max_depth, util::Deadline::never())) {
+      std::optional<core::CheckOutcome> outcome = outcome_from_cached(*carried);
+      if (outcome) cache_.insert(key, std::move(*carried));
+      return outcome;
+    }
+  }
+  return std::nullopt;
 }
 
 void SessionCache::store(const ts::TransitionSystem& system,
                          const ltl::Formula& property, core::Engine engine,
                          int max_depth, const core::CheckOutcome& outcome) {
   const Fingerprint key = fingerprint_request(system, property, engine, max_depth);
-  cache_.insert(key, cached_from_outcome(outcome));  // insert drops non-definitive
+  // insert drops non-definitive verdicts either way.
+  cache_.insert(key, reuse_ != nullptr
+                         ? reuse_->record(system, property, engine, max_depth, outcome)
+                         : cached_from_outcome(outcome));
 }
 
 }  // namespace verdict::svc

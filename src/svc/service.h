@@ -29,6 +29,7 @@
 #include "core/checker.h"
 #include "core/session.h"
 #include "portfolio/pool.h"
+#include "svc/reuse.h"
 #include "svc/verdict_cache.h"
 #include "util/stopwatch.h"
 
@@ -111,6 +112,13 @@ class Service {
   [[nodiscard]] std::uint64_t requests() const;
   [[nodiscard]] std::uint64_t rejected() const;
 
+  /// Installs the incremental re-verification hook (svc/reuse.h): cache
+  /// misses first try a cross-version reuse, and fresh outcomes are enriched
+  /// through it before storage. The hook is borrowed and must outlive every
+  /// submitted request; install it before serving (not thread-safe against
+  /// in-flight submits). nullptr uninstalls.
+  void set_reuse(ReuseHook* reuse) { reuse_ = reuse; }
+
  private:
   struct Inflight;
 
@@ -118,6 +126,7 @@ class Service {
   std::unique_ptr<VerdictCache> cache_;
   std::unique_ptr<portfolio::ThreadPool> pool_;
   std::unique_ptr<Inflight> inflight_;
+  ReuseHook* reuse_ = nullptr;
 };
 
 /// core::PropertyCacheHook adapter: lets a plain core::Session (verdictc in
@@ -125,7 +134,11 @@ class Service {
 /// single-flight — sessions are synchronous; it only consults/feeds the LRU.
 class SessionCache final : public core::PropertyCacheHook {
  public:
-  explicit SessionCache(VerdictCache& cache) : cache_(cache) {}
+  /// `reuse` (optional, borrowed) adds cross-version reuse on exact-match
+  /// misses: a verdict carried over from a previous model version is served
+  /// as a hit and re-inserted under the new request fingerprint.
+  explicit SessionCache(VerdictCache& cache, ReuseHook* reuse = nullptr)
+      : cache_(cache), reuse_(reuse) {}
 
   std::optional<core::CheckOutcome> lookup(const ts::TransitionSystem& system,
                                            const ltl::Formula& property,
@@ -136,6 +149,7 @@ class SessionCache final : public core::PropertyCacheHook {
 
  private:
   VerdictCache& cache_;
+  ReuseHook* reuse_ = nullptr;
 };
 
 }  // namespace verdict::svc

@@ -37,7 +37,9 @@ std::optional<expr::Value> parse_value(const obs::JsonValue& v, const expr::Type
   return std::nullopt;
 }
 
-std::optional<ts::State> parse_state(const obs::JsonValue& obj) {
+}  // namespace
+
+std::optional<ts::State> state_from_json(const obs::JsonValue& obj) {
   if (!obj.is_object()) return std::nullopt;
   ts::State state;
   for (const auto& [name, v] : obj.object) {
@@ -50,7 +52,11 @@ std::optional<ts::State> parse_state(const obs::JsonValue& obj) {
   return state;
 }
 
-}  // namespace
+std::string state_to_json(const ts::State& state) {
+  obs::JsonWriter w;
+  obs::write_state(w, state);
+  return w.str();
+}
 
 std::string trace_to_json(const ts::Trace& trace) {
   obs::JsonWriter w;
@@ -64,11 +70,11 @@ std::optional<ts::Trace> trace_from_json(const obs::JsonValue& doc) {
   ts::Trace trace;
   if (doc["lasso_start"].is_number())
     trace.lasso_start = static_cast<std::size_t>(doc["lasso_start"].number);
-  const std::optional<ts::State> params = parse_state(doc["params"]);
+  const std::optional<ts::State> params = state_from_json(doc["params"]);
   if (!params) return std::nullopt;
   trace.params = *params;
   for (const obs::JsonValue& s : doc["states"].array) {
-    std::optional<ts::State> state = parse_state(s);
+    std::optional<ts::State> state = state_from_json(s);
     if (!state) return std::nullopt;
     trace.states.push_back(std::move(*state));
   }

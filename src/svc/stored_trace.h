@@ -33,4 +33,15 @@ namespace verdict::svc {
 [[nodiscard]] std::optional<ts::Trace> trace_from_json(const obs::JsonValue& doc);
 [[nodiscard]] std::optional<ts::Trace> trace_from_json(const std::string& text);
 
+/// One state (partial assignment) as a name-keyed JSON object
+/// ({"x": true, "m": "3/7", ...} — the obs::write_state shape). The same
+/// portability discipline as whole traces: proof artifacts
+/// (inc::ReuseEngine) persist their invariant cubes through these.
+[[nodiscard]] std::string state_to_json(const ts::State& state);
+
+/// Inverse of state_to_json under the receiving process's declarations;
+/// nullopt when a name is undeclared or a value malformed (fail-soft, treated
+/// as a cache miss by callers).
+[[nodiscard]] std::optional<ts::State> state_from_json(const obs::JsonValue& obj);
+
 }  // namespace verdict::svc

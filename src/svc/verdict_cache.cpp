@@ -15,7 +15,10 @@ namespace verdict::svc {
 
 namespace {
 
-const char* kSchema = "verdict-cache-v1";
+const char* kSchema = "verdict-cache-v2";
+// v1 lines (pre-incremental) are still accepted on load: they simply carry
+// none of the inc enrichment fields, which all default to "absent".
+const char* kSchemaV1 = "verdict-cache-v1";
 
 std::optional<core::Verdict> verdict_from_name(const std::string& name) {
   for (const core::Verdict v :
@@ -216,6 +219,20 @@ std::uint64_t VerdictCache::single_flight_shared() const {
   return flights_->shared.load(std::memory_order_relaxed);
 }
 
+void VerdictCache::for_each(
+    const std::function<void(const Fingerprint&, const CachedVerdict&)>& fn) const {
+  for (const auto& shard : shards_) {
+    // Copy the shard out before calling fn: the callback may re-enter the
+    // cache (lookup/insert) without deadlocking on the shard mutex.
+    std::vector<std::pair<Fingerprint, CachedVerdict>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      snapshot.assign(shard->lru.begin(), shard->lru.end());
+    }
+    for (const auto& [key, v] : snapshot) fn(key, v);
+  }
+}
+
 // --- persistence -------------------------------------------------------------
 
 void VerdictCache::save(std::ostream& out) const {
@@ -237,6 +254,12 @@ void VerdictCache::save(std::ostream& out) const {
         w.key("counterexample");
         // Re-embed the stored JSON as structured JSON, not a string blob.
         w.raw_value(v.counterexample_json);
+      }
+      if (v.prop_key != Fingerprint{}) w.kv("prop_key", v.prop_key.str());
+      if (v.cone_fp != Fingerprint{}) w.kv("cone_fp", v.cone_fp.str());
+      if (!v.artifact_json.empty()) {
+        w.key("artifact");
+        w.raw_value(v.artifact_json);
       }
       w.end_object();
       out << w.str() << '\n';
@@ -263,8 +286,8 @@ std::size_t VerdictCache::load(std::istream& in) {
       continue;
     }
     if (!doc.is_object() || !doc["schema"].is_string() ||
-        doc["schema"].string != kSchema || !doc["key"].is_string() ||
-        !doc["verdict"].is_string()) {
+        (doc["schema"].string != kSchema && doc["schema"].string != kSchemaV1) ||
+        !doc["key"].is_string() || !doc["verdict"].is_string()) {
       obs::count("svc.cache.load_skipped");
       continue;
     }
@@ -285,6 +308,13 @@ std::size_t VerdictCache::load(std::istream& in) {
     if (doc["depth"].is_number()) v.depth_reached = static_cast<int>(doc["depth"].number);
     if (doc.has("counterexample"))
       v.counterexample_json = obs::to_json(doc["counterexample"]);
+    if (doc["prop_key"].is_string())
+      if (const std::optional<Fingerprint> fp = Fingerprint::parse(doc["prop_key"].string))
+        v.prop_key = *fp;
+    if (doc["cone_fp"].is_string())
+      if (const std::optional<Fingerprint> fp = Fingerprint::parse(doc["cone_fp"].string))
+        v.cone_fp = *fp;
+    if (doc.has("artifact")) v.artifact_json = obs::to_json(doc["artifact"]);
     // The cacheability rule applies on the way IN from disk too: a tampered
     // or stale file cannot plant an UNKNOWN (or a trace-less violation).
     if (!cacheable(v)) {

@@ -57,6 +57,19 @@ struct CachedVerdict {
   int depth_reached = -1;
   /// svc::trace_to_json form; empty when the verdict carries no trace.
   std::string counterexample_json;
+
+  // Incremental re-verification enrichment (inc::ReuseEngine; all optional —
+  // zero/empty means "plain entry", exactly what v1 cache files carry).
+  /// Fingerprint of (property, engine, max_depth) alone — the part of the
+  /// request key that survives a model edit. Links entries for the same
+  /// property across model versions.
+  Fingerprint prop_key{};
+  /// Fingerprint of the property's cone (the dependency-connected components
+  /// its support touches) in the system this verdict was computed on.
+  Fingerprint cone_fp{};
+  /// inc:: proof artifact (name-keyed JSON, svc::StoredTrace discipline);
+  /// empty when the producing engine exported none.
+  std::string artifact_json;
 };
 
 /// True for the verdicts the cache is allowed to hold: kHolds, or kViolated
@@ -99,13 +112,19 @@ class VerdictCache {
   [[nodiscard]] std::uint64_t evictions() const;
   [[nodiscard]] std::uint64_t single_flight_shared() const;
 
-  /// Writes every entry as one "verdict-cache-v1" NDJSON line.
+  /// Calls `fn` for a snapshot of every entry (copied out shard by shard, so
+  /// `fn` may call back into the cache). Used by inc::ReuseEngine to rebuild
+  /// its cross-version index after a cache file load.
+  void for_each(const std::function<void(const Fingerprint&, const CachedVerdict&)>& fn) const;
+
+  /// Writes every entry as one "verdict-cache-v2" NDJSON line.
   void save(std::ostream& out) const;
   void save_file(const std::string& path) const;  // throws on open failure
 
   /// Loads entries from an NDJSON stream produced by save() (or anything
-  /// schema-conformant). Malformed and non-cacheable lines are skipped, not
-  /// fatal. Returns the number of entries inserted.
+  /// schema-conformant; "verdict-cache-v1" lines still load, minus the
+  /// incremental enrichment fields v1 lacked). Malformed and non-cacheable
+  /// lines are skipped, not fatal. Returns the number of entries inserted.
   std::size_t load(std::istream& in);
   std::size_t load_file(const std::string& path);  // missing file = 0 loaded
 

@@ -110,18 +110,65 @@ grep -q "counterexample confirmed" "$TMP/viol.txt" || \
 stop_daemon
 grep -q "drained" "$TMP/daemon.txt" || fail "daemon must log its graceful drain"
 [ -s "$CACHE" ] || fail "daemon must persist the cache file on SIGTERM"
-grep -q '"schema":"verdict-cache-v1"' "$CACHE" || \
-  fail "cache file must carry the verdict-cache-v1 schema"
+grep -q '"schema":"verdict-cache-v2"' "$CACHE" || \
+  fail "cache file must carry the verdict-cache-v2 schema"
+grep -q '"artifact"' "$CACHE" || \
+  fail "cache file must persist proof artifacts alongside proved verdicts"
 
 # Restarted daemon serves the proved verdicts from the persisted cache: the
-# FIRST request after restart is already warm.
+# FIRST request after restart is already warm, and the incremental layer
+# re-indexes the persisted artifacts (the startup banner proves they made the
+# round trip through the cache file).
 start_daemon
+# The socket binds before the banner is flushed — poll briefly.
+banner_seen=""
+for _ in $(seq 1 40); do
+  if grep -q "prior verdict(s) for incremental reuse" "$TMP/daemon.txt"; then
+    banner_seen=1
+    break
+  fi
+  sleep 0.05
+done
+[ -n "$banner_seen" ] || \
+  fail "restarted daemon must index persisted artifacts for incremental reuse"
 rc=0
 "$VERDICTC" "$MODELS/autoscaler.vml" --connect "$SOCK" --engine pdr \
   > "$TMP/restart.txt" 2>&1 || rc=$?
 expect_exit 0 "$rc" "post-restart served run"
 grep -q "served from verdictd cache" "$TMP/restart.txt" || \
   fail "restarted daemon must serve proved verdicts from the cache file"
+
+# An EDITED model after the restart: the request fingerprint no longer
+# matches any cached entry, so a warm answer can only come from the
+# incremental layer revalidating the persisted proof artifact against the
+# changed model (restart dropped all in-memory trust; see docs/incremental.md).
+sed 's/^system {/module probe {\n  var tick : 0..3;\n  rule t when tick < 3 { tick'"'"' = tick + 1; }\n  stutter always;\n}\n\nsystem {/' \
+  "$MODELS/autoscaler.vml" > "$TMP/autoscaler_edit.vml"
+grep -q "module probe" "$TMP/autoscaler_edit.vml" || \
+  fail "test bug: model edit did not apply"
+rc=0
+"$VERDICTC" "$TMP/autoscaler_edit.vml" --connect "$SOCK" --engine pdr \
+  > "$TMP/edited.txt" 2>&1 || rc=$?
+expect_exit 0 "$rc" "edited-model served run"
+grep -q "served from verdictd cache" "$TMP/edited.txt" || \
+  fail "edited model must be answered by revalidating the persisted artifact"
+stop_daemon
+
+# A version-skewed cache file is rejected wholesale, never blindly trusted:
+# the daemon starts empty (no reuse banner) and the first request recomputes.
+sed 's/verdict-cache-v2/verdict-cache-v9/g' "$CACHE" > "$TMP/skewed.ndjson"
+CACHE="$TMP/skewed.ndjson"
+start_daemon
+rc=0
+"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$SOCK" --engine pdr \
+  > "$TMP/skewed.txt" 2>&1 || rc=$?
+expect_exit 0 "$rc" "skewed-cache served run"
+grep -q "served from verdictd cache" "$TMP/skewed.txt" && \
+  fail "verdicts from a version-skewed cache file must not be served warm"
+# Checked after the request: by now the daemon is fully up, so the banner
+# would have been flushed if the skewed entries had been indexed.
+grep -q "prior verdict(s) for incremental reuse" "$TMP/daemon.txt" && \
+  fail "daemon must not index entries from a version-skewed cache file"
 stop_daemon
 
 echo "verdictd CLI: all checks passed"

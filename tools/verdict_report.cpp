@@ -118,6 +118,24 @@ JsonValue validate_stats_document(const std::string& text) {
   }
   validate_stats_block(doc["total"], "total");
   require(doc["counters"].is_object(), "counters must be an object");
+  for (const auto& [name, v] : doc["counters"].object) {
+    require(v.is_number(), "counters." + name + " must be a number");
+    require(v.number >= 0, "counters." + name + " must be non-negative");
+    // The incremental re-verification counters are a closed, documented set
+    // (docs/incremental.md); an unknown inc.* name is a producer bug, not a
+    // future extension.
+    if (name.rfind("inc.", 0) == 0) {
+      static const char* kIncCounters[] = {
+          "inc.properties_reused",  "inc.invariants_revalidated",
+          "inc.revalidation_failed", "inc.cex_replayed",
+          "inc.cex_replay_failed",   "inc.artifact_exported",
+          "inc.artifact_rejected",
+      };
+      bool known = false;
+      for (const char* k : kIncCounters) known = known || name == k;
+      require(known, "counters." + name + " is not a known inc.* counter");
+    }
+  }
   require(doc["exit_code"].is_number(), "exit_code must be a number");
   return doc;
 }
@@ -214,6 +232,17 @@ void print_stats_report(const JsonValue& doc) {
     std::printf("counters:\n");
     for (const auto& [name, v] : doc["counters"].object)
       std::printf("  %-28s %ld\n", name.c_str(), static_cast<long>(v.number));
+    const auto counter = [&doc](const char* name) -> long {
+      const JsonValue& v = doc["counters"][name];
+      return v.is_number() ? static_cast<long>(v.number) : 0;
+    };
+    const long reused = counter("inc.properties_reused");
+    const long revalidated = counter("inc.invariants_revalidated");
+    const long failed = counter("inc.revalidation_failed");
+    if (reused + revalidated + failed > 0)
+      std::printf("incremental: %ld verdict(s) reused, %ld proof(s) revalidated, "
+                  "%ld revalidation(s) failed\n",
+                  reused, revalidated, failed);
   }
 }
 

@@ -31,6 +31,7 @@
 #include <memory>
 #include <string>
 
+#include "inc/reuse_engine.h"
 #include "obs/trace.h"
 #include "portfolio/pool.h"
 #include "smt/solver.h"
@@ -116,9 +117,18 @@ int main(int argc, char** argv) {
   int exit_code = 0;
   try {
     svc::Daemon daemon(options);
+    // Incremental re-verification: index whatever the cache file carried
+    // (artifacts re-earn trust through revalidation — docs/incremental.md)
+    // and serve edited-model requests from prior versions' proofs.
+    inc::ReuseEngine reuse(daemon.service().cache());
+    const std::size_t reindexed = reuse.rebuild_from_cache();
+    daemon.service().set_reuse(&reuse);
     g_daemon = &daemon;
     std::signal(SIGTERM, handle_signal);
     std::signal(SIGINT, handle_signal);
+    if (!quiet && reindexed != 0)
+      std::printf("verdictd: indexed %zu prior verdict(s) for incremental reuse\n",
+                  reindexed);
     if (!quiet)
       std::printf("verdictd: listening on %s (%zu jobs, queue limit %zu)\n",
                   options.socket_path.c_str(),
