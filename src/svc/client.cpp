@@ -1,12 +1,15 @@
 #include "svc/client.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/json.h"
 #include "svc/protocol.h"
@@ -14,47 +17,114 @@
 
 namespace verdict::svc {
 
-Client::Client(const std::string& socket_path) {
+namespace {
+
+void set_io_timeout(int fd, double seconds) {
+  if (seconds <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path, const ClientOptions& options)
+    : options_(options) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof(addr.sun_path))
     throw std::runtime_error("verdictc: socket path too long: " + socket_path);
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
 
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0)
-    throw std::runtime_error("verdictc: socket(): " + std::string(std::strerror(errno)));
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+  // Retry connect() with exponential backoff while the daemon is starting:
+  // ENOENT (socket file not created yet) and ECONNREFUSED (bound but not
+  // listening, or a stale file) are the two "try again shortly" errnos;
+  // anything else is a real error and fails immediately.
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(options.connect_wait_seconds));
+  std::chrono::milliseconds backoff{10};
+  for (;;) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+      throw std::runtime_error("verdictc: socket(): " + std::string(std::strerror(errno)));
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0)
+      break;
     const int err = errno;
     ::close(fd_);
     fd_ = -1;
-    throw std::runtime_error("verdictc: cannot connect to " + socket_path + ": " +
-                             std::strerror(err));
+    const bool retryable = err == ECONNREFUSED || err == ENOENT;
+    if (!retryable || std::chrono::steady_clock::now() + backoff > give_up)
+      throw std::runtime_error("verdictc: cannot connect to " + socket_path + ": " +
+                               std::strerror(err));
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds{320});
   }
+  set_io_timeout(fd_, options.io_timeout_seconds);
 }
 
 Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-std::string Client::read_line() {
-  for (;;) {
-    const std::size_t newline = buffer_.find('\n');
-    if (newline != std::string::npos) {
-      std::string line = buffer_.substr(0, newline);
-      buffer_.erase(0, newline + 1);
-      return line;
+void Client::send_all(std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw std::runtime_error("verdictc: write to verdictd timed out");
+      throw std::runtime_error("verdictc: write to verdictd failed: " +
+                               std::string(std::strerror(errno)));
     }
-    char chunk[4096];
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::read_chunk() {
+  char chunk[4096];
+  for (;;) {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw std::runtime_error(
+            "verdictc: verdictd did not respond within the I/O timeout");
       throw std::runtime_error("verdictc: read from verdictd failed: " +
                                std::string(std::strerror(errno)));
     }
     if (n == 0)
       throw std::runtime_error("verdictc: verdictd closed the connection mid-request");
-    buffer_.append(chunk, static_cast<std::size_t>(n));
+    return std::string(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::read_message() {
+  if (options_.binary) {
+    for (;;) {
+      FrameDecoder::Result result = decoder_.next();
+      if (result.status == FrameDecoder::Status::kError)
+        throw std::runtime_error("verdictc: bad frame from verdictd: " + result.error);
+      if (result.status == FrameDecoder::Status::kFrame) {
+        if (result.frame.type == FrameType::kRequest)
+          throw std::runtime_error(
+              "verdictc: request frame from verdictd (server/client roles reversed?)");
+        return std::move(result.frame.payload);
+      }
+      decoder_.feed(read_chunk());
+    }
+  }
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (line.empty()) continue;
+      return line;
+    }
+    buffer_.append(read_chunk());
   }
 }
 
@@ -79,23 +149,16 @@ std::vector<ClientVerdict> Client::check(const std::string& model_text,
   if (!optimize) w.kv("optimize", false);
   w.end_object();
 
-  std::string request = w.str() + "\n";
-  std::string_view remaining = request;
-  while (!remaining.empty()) {
-    const ssize_t n = ::send(fd_, remaining.data(), remaining.size(), MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error("verdictc: write to verdictd failed: " +
-                               std::string(std::strerror(errno)));
-    }
-    remaining.remove_prefix(static_cast<std::size_t>(n));
-  }
+  if (options_.binary)
+    send_all(encode_frame(FrameType::kRequest, w.str()));
+  else
+    send_all(w.str() + "\n");
 
   std::vector<ClientVerdict> verdicts;
   for (;;) {
     obs::JsonValue line;
     try {
-      line = obs::parse_json(read_line());
+      line = obs::parse_json(read_message());
     } catch (const std::invalid_argument& error) {
       throw std::runtime_error("verdictc: bad response from verdictd: " +
                                std::string(error.what()));

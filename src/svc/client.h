@@ -1,13 +1,16 @@
 // Client side of the verdictd protocol (`verdictc --connect SOCK`).
 //
-// One Client is one connection; check() sends a single request line and
-// blocks until the server's "done" line. The caller is expected to have
-// parsed the SAME model text locally (verdictc always does — it needs the
-// parse for --list, CTL properties, and counterexample confirmation): the
-// server ships counterexamples as name-keyed JSON and this client rehydrates
-// them into ts::Trace values against the local variable registry, so a
-// served kViolated outcome goes through the exact same
-// core::confirm_counterexample path as a locally computed one.
+// One Client is one connection; check() sends a single request and blocks
+// until the server's "done" message. Both wire modes are supported — the
+// NDJSON debug mode and the length-prefixed binary framing (svc/frame.h,
+// ClientOptions::binary; the payloads are identical JSON either way). The
+// caller is expected to have parsed the SAME model text locally (verdictc
+// always does — it needs the parse for --list, CTL properties, and
+// counterexample confirmation): the server ships counterexamples as
+// name-keyed JSON and this client rehydrates them into ts::Trace values
+// against the local variable registry, so a served kViolated outcome goes
+// through the exact same core::confirm_counterexample path as a locally
+// computed one.
 #pragma once
 
 #include <string>
@@ -15,6 +18,7 @@
 
 #include "core/checker.h"
 #include "core/result.h"
+#include "svc/frame.h"
 
 namespace verdict::svc {
 
@@ -26,11 +30,27 @@ struct ClientVerdict {
   bool rejected = false;
 };
 
+struct ClientOptions {
+  /// Speak the binary framing instead of NDJSON. Same payloads, cheaper
+  /// transport; the daemon auto-detects per connection.
+  bool binary = false;
+  /// Keep retrying connect() with exponential backoff (10ms doubling to
+  /// 320ms) on ECONNREFUSED/ENOENT for this long before giving up — covers
+  /// the "verdictd is still starting" window without sleep-and-hope in
+  /// scripts. 0 = single attempt.
+  double connect_wait_seconds = 0.0;
+  /// Client-side bound on each socket read/write (SO_RCVTIMEO/SO_SNDTIMEO).
+  /// A server that stops responding for this long fails the check() with a
+  /// timeout error instead of hanging the client. 0 = wait forever.
+  double io_timeout_seconds = 0.0;
+};
+
 class Client {
  public:
-  /// Connects to the daemon's Unix socket. Throws std::runtime_error when
-  /// the socket cannot be reached (daemon not running, wrong path).
-  explicit Client(const std::string& socket_path);
+  /// Connects to the daemon's Unix socket, honoring
+  /// ClientOptions::connect_wait_seconds. Throws std::runtime_error when the
+  /// socket cannot be reached (daemon not running, wrong path).
+  explicit Client(const std::string& socket_path, const ClientOptions& options = {});
   ~Client();
 
   Client(const Client&) = delete;
@@ -41,7 +61,8 @@ class Client {
   /// false asks the server to skip the opt/ pipeline (verdictc --no-opt);
   /// the field is only emitted when false since true is the wire default.
   /// Throws std::runtime_error on protocol violations, server "error"
-  /// responses, or a counterexample that does not rehydrate locally.
+  /// responses, I/O timeouts, or a counterexample that does not rehydrate
+  /// locally.
   [[nodiscard]] std::vector<ClientVerdict> check(
       const std::string& model_text, const std::vector<std::string>& props,
       core::Engine engine, int max_depth, double timeout_seconds,
@@ -49,10 +70,15 @@ class Client {
 
  private:
   int fd_ = -1;
-  std::string buffer_;  // bytes received but not yet consumed as lines
+  ClientOptions options_;
+  std::string buffer_;    // NDJSON: bytes not yet consumed as lines
+  FrameDecoder decoder_;  // binary: incremental frame parser
   std::uint64_t next_id_ = 1;
 
-  [[nodiscard]] std::string read_line();
+  void send_all(std::string_view data);
+  [[nodiscard]] std::string read_chunk();  // one recv(), throws on EOF/error
+  /// Next response payload (one JSON object text) in either wire mode.
+  [[nodiscard]] std::string read_message();
 };
 
 }  // namespace verdict::svc

@@ -1,6 +1,7 @@
 #include "svc/daemon.h"
 
-#include <poll.h>
+#include <fcntl.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -8,10 +9,10 @@
 #include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <list>
 #include <mutex>
 #include <stdexcept>
-#include <thread>
-#include <unordered_set>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -25,28 +26,27 @@ namespace verdict::svc {
 
 namespace {
 
-// Full-buffer send; MSG_NOSIGNAL so a hung-up client yields EPIPE instead of
-// killing the process. Returns false once the peer is gone.
-bool send_all(int fd, std::string_view data) {
-  while (!data.empty()) {
-    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data.remove_prefix(static_cast<std::size_t>(n));
-  }
-  return true;
-}
+// Write backpressure: a connection whose unsent response bytes pass the
+// high watermark stops being read (its requests stop being admitted) until
+// the buffer drains below the low watermark. Keeps a slow reader from
+// turning the daemon into its unbounded response queue.
+constexpr std::size_t kOutbufHighWatermark = 1u << 20;   // 1 MiB
+constexpr std::size_t kOutbufLowWatermark = 64u << 10;   // 64 KiB
 
-std::string error_line(const std::string& id, const std::string& message) {
+// Parsed-model LRU entries kept by the daemon. The steady-state workload is
+// the same model text pushed on every config change, so re-parsing per
+// request is pure waste; keyed by the FULL text (not a hash) so a collision
+// can never serve the wrong model.
+constexpr std::size_t kModelCacheCapacity = 32;
+
+std::string error_json(const std::string& id, const std::string& message) {
   obs::JsonWriter w;
   w.begin_object();
   w.kv("type", "error");
   w.kv("id", id);
   w.kv("message", message);
   w.end_object();
-  return w.str() + "\n";
+  return w.str();
 }
 
 std::string request_id(const obs::JsonValue& req) {
@@ -56,21 +56,98 @@ std::string request_id(const obs::JsonValue& req) {
   return "";
 }
 
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 }  // namespace
 
 struct Daemon::Impl {
+  // How a connection speaks, decided by its first byte: 0x56 'V' opens a
+  // binary frame (no JSON object can start with 'V'), anything else is the
+  // NDJSON debug mode.
+  enum class Wire { kUnknown, kNdjson, kBinary };
+
+  struct Conn;
+
+  // One inbound request being served: the parsed model (shared with the
+  // model cache — it must outlive every pending check, CheckRequest's borrow
+  // rule), the per-property tickets, and the in-order fan-in cursor.
+  // Completions land on worker threads; the event loop owns everything here
+  // except `filled`, which is only written through the completion queue.
+  struct RequestCtx {
+    Conn* conn = nullptr;  // nulled if the connection dies first
+    std::string id;
+    std::shared_ptr<const mdl::VmlModel> model;
+    std::vector<std::string> names;
+    std::vector<PendingCheck> pending;
+    std::vector<char> filled;   // per-property: response slot is ready
+    std::size_t next = 0;       // next property to send (in request order)
+    std::size_t completed = 0;  // callbacks processed
+    std::size_t cache_hits = 0;
+  };
+
+  struct Conn {
+    explicit Conn(std::size_t max_message) : decoder(max_message) {}
+
+    int fd = -1;
+    Wire wire = Wire::kUnknown;
+    FrameDecoder decoder;      // binary mode
+    std::string line_buffer;   // NDJSON mode
+    std::string outbuf;        // unsent response bytes
+    std::size_t out_off = 0;   // sent prefix of outbuf
+    bool want_read = true;     // false while over the write watermark
+    bool peer_gone = false;    // read side saw EOF or error
+    bool poisoned = false;     // protocol error: close once outbuf flushed
+    bool dead = false;         // write side failed: close asap
+    std::uint32_t registered = 0;  // current epoll interest mask
+    std::vector<std::shared_ptr<RequestCtx>> requests;
+
+    [[nodiscard]] std::size_t unsent() const { return outbuf.size() - out_off; }
+  };
+
   DaemonOptions options;
   std::unique_ptr<Service> service;
   int listen_fd = -1;
-  int stop_pipe[2] = {-1, -1};
-
-  std::mutex mu;
-  std::unordered_set<int> conn_fds;
-  std::vector<std::thread> handlers;
+  int epoll_fd = -1;
+  int stop_pipe[2] = {-1, -1};  // SIGTERM handler -> loop
+  int wake_pipe[2] = {-1, -1};  // worker completions -> loop
   std::atomic<std::uint64_t> connections{0};
 
-  void handle_connection(int fd);
-  void handle_request(int fd, const std::string& line);
+  // Everything below is event-loop-thread state — no lock. Workers only
+  // touch done_mu/done_queue and the wake pipe.
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  bool draining = false;
+
+  std::mutex done_mu;
+  std::vector<std::pair<std::shared_ptr<RequestCtx>, std::size_t>> done_queue;
+
+  struct ModelEntry {
+    std::shared_ptr<const mdl::VmlModel> model;
+    std::list<std::string>::iterator order;
+  };
+  std::list<std::string> model_order;  // front = most recent
+  std::unordered_map<std::string, ModelEntry> model_cache;
+
+  void event_loop();
+  void update_interest(Conn& conn);
+  void accept_ready();
+  void on_readable(Conn& conn);
+  void on_writable(Conn& conn);
+  void consume(Conn& conn);
+  void queue_message(Conn& conn, FrameType type, std::string_view payload);
+  void protocol_error(Conn& conn, const std::string& id, const std::string& message);
+  void process_request(Conn& conn, const std::string& payload);
+  void drain_completions();
+  // allow_close=false when called under a caller that still holds a
+  // reference to the Conn (process_request inside the read path) — the
+  // event loop's own maybe_close runs right after.
+  void flush_ready(const std::shared_ptr<RequestCtx>& ctx, bool allow_close);
+  void detach_requests(Conn& conn);
+  bool maybe_close(Conn& conn);  // true if the connection was destroyed
+  void close_conn(Conn& conn);
+  std::shared_ptr<const mdl::VmlModel> parse_model(const std::string& text);
 };
 
 Daemon::Daemon(const DaemonOptions& options) : impl_(std::make_unique<Impl>()) {
@@ -85,29 +162,48 @@ Daemon::Daemon(const DaemonOptions& options) : impl_(std::make_unique<Impl>()) {
   std::memcpy(addr.sun_path, options.socket_path.c_str(),
               options.socket_path.size() + 1);
 
-  impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (impl_->listen_fd < 0)
-    throw std::runtime_error("verdictd: socket(): " + std::string(std::strerror(errno)));
+  const auto fail = [&](const char* what) {
+    const int err = errno;
+    if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+    if (impl_->epoll_fd >= 0) ::close(impl_->epoll_fd);
+    for (int fd : impl_->stop_pipe)
+      if (fd >= 0) ::close(fd);
+    for (int fd : impl_->wake_pipe)
+      if (fd >= 0) ::close(fd);
+    ::unlink(options.socket_path.c_str());
+    throw std::runtime_error("verdictd: " + std::string(what) + ": " +
+                             std::strerror(err));
+  };
+
+  impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (impl_->listen_fd < 0) fail("socket()");
   ::unlink(options.socket_path.c_str());  // replace a stale socket file
   if (::bind(impl_->listen_fd, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(impl_->listen_fd);
-    throw std::runtime_error("verdictd: bind(" + options.socket_path +
-                             "): " + std::strerror(err));
-  }
-  if (::listen(impl_->listen_fd, 64) != 0) {
-    const int err = errno;
-    ::close(impl_->listen_fd);
-    ::unlink(options.socket_path.c_str());
-    throw std::runtime_error("verdictd: listen(): " + std::string(std::strerror(err)));
-  }
-  if (::pipe(impl_->stop_pipe) != 0) {
-    const int err = errno;
-    ::close(impl_->listen_fd);
-    ::unlink(options.socket_path.c_str());
-    throw std::runtime_error("verdictd: pipe(): " + std::string(std::strerror(err)));
-  }
+             sizeof(addr)) != 0)
+    fail("bind()");
+  if (::listen(impl_->listen_fd, 128) != 0) fail("listen()");
+  if (::pipe(impl_->stop_pipe) != 0) fail("pipe()");
+  if (::pipe(impl_->wake_pipe) != 0) fail("pipe()");
+  // A full wake pipe means the loop has wakeups queued already — workers
+  // must never block on it. The read ends are drained with a loop, so they
+  // must not block either.
+  set_nonblocking(impl_->wake_pipe[1]);
+  set_nonblocking(impl_->wake_pipe[0]);
+  set_nonblocking(impl_->stop_pipe[0]);
+  impl_->epoll_fd = ::epoll_create1(0);
+  if (impl_->epoll_fd < 0) fail("epoll_create1()");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = impl_->listen_fd;
+  if (::epoll_ctl(impl_->epoll_fd, EPOLL_CTL_ADD, impl_->listen_fd, &ev) != 0)
+    fail("epoll_ctl(listen)");
+  ev.data.fd = impl_->stop_pipe[0];
+  if (::epoll_ctl(impl_->epoll_fd, EPOLL_CTL_ADD, impl_->stop_pipe[0], &ev) != 0)
+    fail("epoll_ctl(stop)");
+  ev.data.fd = impl_->wake_pipe[0];
+  if (::epoll_ctl(impl_->epoll_fd, EPOLL_CTL_ADD, impl_->wake_pipe[0], &ev) != 0)
+    fail("epoll_ctl(wake)");
 
   // The Service loads the cache file (if any) here, before we are reachable.
   impl_->service = std::make_unique<Service>(options.service);
@@ -115,7 +211,10 @@ Daemon::Daemon(const DaemonOptions& options) : impl_(std::make_unique<Impl>()) {
 
 Daemon::~Daemon() {
   if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+  if (impl_->epoll_fd >= 0) ::close(impl_->epoll_fd);
   for (int fd : impl_->stop_pipe)
+    if (fd >= 0) ::close(fd);
+  for (int fd : impl_->wake_pipe)
     if (fd >= 0) ::close(fd);
   ::unlink(impl_->options.socket_path.c_str());
 }
@@ -135,92 +234,263 @@ void Daemon::request_stop() {
 }
 
 void Daemon::serve() {
-  for (;;) {
-    pollfd fds[2] = {{impl_->listen_fd, POLLIN, 0}, {impl_->stop_pipe[0], POLLIN, 0}};
-    const int rc = ::poll(fds, 2, -1);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (fds[1].revents != 0) break;  // request_stop()
-    if (fds[0].revents == 0) continue;
-    const int fd = ::accept(impl_->listen_fd, nullptr, nullptr);
-    if (fd < 0) continue;
-    impl_->connections.fetch_add(1, std::memory_order_relaxed);
-    obs::count("svc.connections");
-    Impl* impl = impl_.get();
-    {
-      std::lock_guard<std::mutex> lock(impl_->mu);
-      impl_->conn_fds.insert(fd);
-      impl_->handlers.emplace_back([impl, fd] { impl->handle_connection(fd); });
-    }
-  }
-
-  // Graceful drain: no new connections (the listen socket stays unaccepted
-  // from here), end every open connection's request stream (SHUT_RD — the
-  // handler still writes responses for requests already admitted), wait for
-  // the handlers, then drain the Service (persists the cache file).
-  {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    for (int fd : impl_->conn_fds) ::shutdown(fd, SHUT_RD);
-  }
-  // Handlers remove themselves from conn_fds but never append to handlers
-  // once the accept loop has stopped, so joining a snapshot is safe.
-  std::vector<std::thread> handlers;
-  {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    handlers.swap(impl_->handlers);
-  }
-  for (std::thread& t : handlers) t.join();
+  impl_->event_loop();
   impl_->service->drain();
 }
 
-void Daemon::Impl::handle_connection(int fd) {
-  std::string buffer;
-  char chunk[4096];
+void Daemon::Impl::event_loop() {
+  epoll_event events[64];
   for (;;) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (draining && conns.empty()) return;
+    const int n = ::epoll_wait(epoll_fd, events, 64, -1);
     if (n < 0) {
       if (errno == EINTR) continue;
-      break;
+      return;
     }
-    if (n == 0) break;  // client closed (or SHUT_RD during drain)
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t newline;
-    while ((newline = buffer.find('\n')) != std::string::npos) {
-      const std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (!line.empty()) handle_request(fd, line);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == stop_pipe[0]) {
+        char buf[16];
+        while (::read(stop_pipe[0], buf, sizeof(buf)) > 0) {}
+        if (!draining) {
+          draining = true;
+          ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+          // Stop reading everywhere; admitted requests finish and flush.
+          std::vector<Conn*> open;
+          open.reserve(conns.size());
+          for (auto& [cfd, conn] : conns) open.push_back(conn.get());
+          for (Conn* conn : open)
+            if (!maybe_close(*conn)) update_interest(*conn);
+        }
+        continue;
+      }
+      if (fd == wake_pipe[0]) {
+        char buf[256];
+        while (::read(wake_pipe[0], buf, sizeof(buf)) > 0) {}
+        drain_completions();
+        continue;
+      }
+      if (fd == listen_fd) {
+        accept_ready();
+        continue;
+      }
+      const auto it = conns.find(fd);
+      if (it == conns.end()) continue;  // closed earlier this wakeup batch
+      Conn& conn = *it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) conn.peer_gone = true;
+      if (events[i].events & EPOLLOUT) on_writable(conn);
+      if (conns.find(fd) == conns.end()) continue;  // on_writable closed it
+      if (events[i].events & EPOLLIN) on_readable(conn);
+      if (conns.find(fd) == conns.end()) continue;
+      if (!maybe_close(conn)) update_interest(conn);
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    conn_fds.erase(fd);
-  }
-  ::close(fd);
 }
 
-void Daemon::Impl::handle_request(int fd, const std::string& line) {
+void Daemon::Impl::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or transient accept failure — epoll will re-arm
+    }
+    connections.fetch_add(1, std::memory_order_relaxed);
+    obs::count("svc.connections");
+    auto conn = std::make_unique<Conn>(options.max_message_bytes);
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conn->registered = EPOLLIN;
+    conns.emplace(fd, std::move(conn));
+  }
+}
+
+void Daemon::Impl::update_interest(Conn& conn) {
+  std::uint32_t want = 0;
+  if (!conn.peer_gone && !conn.poisoned && !conn.dead && !draining &&
+      conn.want_read)
+    want |= EPOLLIN;
+  if (conn.unsent() > 0 && !conn.dead) want |= EPOLLOUT;
+  if (want == conn.registered) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+  conn.registered = want;
+}
+
+void Daemon::Impl::on_readable(Conn& conn) {
+  char chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      conn.peer_gone = true;
+      break;
+    }
+    if (n == 0) {
+      conn.peer_gone = true;
+      break;
+    }
+    const char* data = chunk;
+    std::size_t len = static_cast<std::size_t>(n);
+    if (conn.wire == Wire::kUnknown) {
+      conn.wire = (data[0] == kFrameMagic0) ? Wire::kBinary : Wire::kNdjson;
+      if (obs::TraceSink* s = obs::sink())
+        s->event("svc.wire_detected")
+            .attr("mode", conn.wire == Wire::kBinary ? "binary" : "ndjson")
+            .emit();
+    }
+    if (conn.wire == Wire::kBinary)
+      conn.decoder.feed(data, len);
+    else
+      conn.line_buffer.append(data, len);
+    consume(conn);
+    if (conn.poisoned || conn.dead) return;
+    // Backpressure: past the high watermark, stop reading (and therefore
+    // stop admitting this connection's requests) until the flush catches up.
+    if (conn.unsent() > kOutbufHighWatermark) {
+      conn.want_read = false;
+      return;
+    }
+  }
+}
+
+void Daemon::Impl::consume(Conn& conn) {
+  if (conn.wire == Wire::kBinary) {
+    for (;;) {
+      FrameDecoder::Result result = conn.decoder.next();
+      if (result.status == FrameDecoder::Status::kNeedMore) return;
+      if (result.status == FrameDecoder::Status::kError) {
+        protocol_error(conn, "", result.error);
+        return;
+      }
+      if (result.frame.type != FrameType::kRequest) {
+        obs::count("svc.frames_rejected");
+        protocol_error(conn, "",
+                       std::string("unexpected ") +
+                           frame_type_name(result.frame.type) +
+                           " frame from client (only request frames flow this way)");
+        return;
+      }
+      process_request(conn, result.frame.payload);
+      if (conn.poisoned || conn.dead) return;
+    }
+  }
+  // NDJSON: one request object per line. A line longer than the message
+  // bound is the same DoS shape as an oversized frame — reject, don't buffer.
+  std::size_t newline;
+  while ((newline = conn.line_buffer.find('\n')) != std::string::npos) {
+    const std::string line = conn.line_buffer.substr(0, newline);
+    conn.line_buffer.erase(0, newline + 1);
+    if (!line.empty()) {
+      if (line.size() > options.max_message_bytes) {
+        obs::count("svc.frames_rejected");
+        protocol_error(conn, "",
+                       "request line of " + std::to_string(line.size()) +
+                           " bytes exceeds the " +
+                           std::to_string(options.max_message_bytes) + "-byte limit");
+        return;
+      }
+      process_request(conn, line);
+      if (conn.poisoned || conn.dead) return;
+    }
+  }
+  if (conn.line_buffer.size() > options.max_message_bytes) {
+    obs::count("svc.frames_rejected");
+    protocol_error(conn, "",
+                   "request line exceeds the " +
+                       std::to_string(options.max_message_bytes) + "-byte limit");
+  }
+}
+
+void Daemon::Impl::queue_message(Conn& conn, FrameType type,
+                                 std::string_view payload) {
+  if (conn.dead) return;
+  if (conn.wire == Wire::kBinary) {
+    conn.outbuf += encode_frame(type, payload);
+  } else {
+    conn.outbuf.append(payload);
+    conn.outbuf.push_back('\n');
+  }
+  on_writable(conn);  // opportunistic immediate flush
+}
+
+void Daemon::Impl::protocol_error(Conn& conn, const std::string& id,
+                                  const std::string& message) {
+  queue_message(conn, FrameType::kError, error_json(id, message));
+  // Framing/limit violations poison the connection: the stream position is
+  // no longer trustworthy, so flush the error and close.
+  conn.poisoned = true;
+}
+
+void Daemon::Impl::on_writable(Conn& conn) {
+  while (conn.unsent() > 0) {
+    const ssize_t n = ::send(conn.fd, conn.outbuf.data() + conn.out_off,
+                             conn.unsent(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      conn.dead = true;  // peer unreachable; responses have nowhere to go
+      break;
+    }
+    conn.out_off += static_cast<std::size_t>(n);
+  }
+  if (conn.out_off == conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.out_off = 0;
+  } else if (conn.out_off > (1u << 16)) {
+    conn.outbuf.erase(0, conn.out_off);
+    conn.out_off = 0;
+  }
+  if (!conn.want_read && conn.unsent() < kOutbufLowWatermark) conn.want_read = true;
+}
+
+std::shared_ptr<const mdl::VmlModel> Daemon::Impl::parse_model(
+    const std::string& text) {
+  const auto it = model_cache.find(text);
+  if (it != model_cache.end()) {
+    model_order.splice(model_order.begin(), model_order, it->second.order);
+    obs::count("svc.model_cache.hit");
+    return it->second.model;
+  }
+  obs::count("svc.model_cache.miss");
+  auto model = std::make_shared<mdl::VmlModel>(mdl::parse_vml(text));  // throws
+  model_order.push_front(text);
+  model_cache.emplace(text, ModelEntry{model, model_order.begin()});
+  if (model_cache.size() > kModelCacheCapacity) {
+    model_cache.erase(model_order.back());
+    model_order.pop_back();
+  }
+  return model;
+}
+
+void Daemon::Impl::process_request(Conn& conn, const std::string& payload) {
   obs::JsonValue req;
   try {
-    req = obs::parse_json(line);
+    req = obs::parse_json(payload);
   } catch (const std::exception& error) {
-    send_all(fd, error_line("", std::string("bad request JSON: ") + error.what()));
+    queue_message(conn, FrameType::kError,
+                  error_json("", std::string("bad request JSON: ") + error.what()));
     return;
   }
   const std::string id = request_id(req);
-  if (!req["model"].is_string() || req["model"].string.empty()) {
-    send_all(fd, error_line(id, "request needs a \"model\" field (vml text)"));
-    return;
-  }
+  const auto reply_error = [&](const std::string& message) {
+    queue_message(conn, FrameType::kError, error_json(id, message));
+  };
+  if (!req["model"].is_string() || req["model"].string.empty())
+    return reply_error("request needs a \"model\" field (vml text)");
 
   core::Engine engine = core::Engine::kAuto;
   if (req.has("engine")) {
     const std::optional<core::Engine> parsed = engine_from_name(req["engine"].string);
-    if (!parsed) {
-      send_all(fd, error_line(id, "unknown engine '" + req["engine"].string + "'"));
-      return;
-    }
+    if (!parsed) return reply_error("unknown engine '" + req["engine"].string + "'");
     engine = *parsed;
   }
   const int depth = req["depth"].is_number() ? static_cast<int>(req["depth"].number) : 50;
@@ -228,12 +498,11 @@ void Daemon::Impl::handle_request(int fd, const std::string& line) {
   const bool optimize =
       req["optimize"].kind == obs::JsonValue::Kind::kBool ? req["optimize"].boolean : true;
 
-  mdl::VmlModel model;
+  std::shared_ptr<const mdl::VmlModel> model;
   try {
-    model = mdl::parse_vml(req["model"].string);
+    model = parse_model(req["model"].string);
   } catch (const std::exception& error) {
-    send_all(fd, error_line(id, std::string("model error: ") + error.what()));
-    return;
+    return reply_error(std::string("model error: ") + error.what());
   }
 
   // Select properties: the request's list, or every LTL property. CTL
@@ -242,24 +511,17 @@ void Daemon::Impl::handle_request(int fd, const std::string& line) {
   std::vector<std::string> names;
   if (req["props"].is_array()) {
     for (const obs::JsonValue& p : req["props"].array) {
-      if (!p.is_string()) {
-        send_all(fd, error_line(id, "\"props\" must be an array of names"));
-        return;
-      }
-      if (model.ctl_properties.contains(p.string) &&
-          !model.ltl_properties.contains(p.string)) {
-        send_all(fd, error_line(id, "property '" + p.string +
-                                        "' is CTL; verdictd serves LTL only"));
-        return;
-      }
-      if (!model.ltl_properties.contains(p.string)) {
-        send_all(fd, error_line(id, "unknown property '" + p.string + "'"));
-        return;
-      }
+      if (!p.is_string()) return reply_error("\"props\" must be an array of names");
+      if (model->ctl_properties.contains(p.string) &&
+          !model->ltl_properties.contains(p.string))
+        return reply_error("property '" + p.string +
+                           "' is CTL; verdictd serves LTL only");
+      if (!model->ltl_properties.contains(p.string))
+        return reply_error("unknown property '" + p.string + "'");
       names.push_back(p.string);
     }
   } else {
-    for (const auto& [name, property] : model.ltl_properties) names.push_back(name);
+    for (const auto& [name, property] : model->ltl_properties) names.push_back(name);
   }
 
   if (obs::TraceSink* s = obs::sink())
@@ -269,33 +531,72 @@ void Daemon::Impl::handle_request(int fd, const std::string& line) {
         .attr("engine", engine_name(engine))
         .emit();
 
-  // Fan every property out onto the service pool, then collect in order.
-  // The model (and its TransitionSystem) lives on this stack frame until
-  // every pending check completed — required by CheckRequest's borrow rule.
+  auto ctx = std::make_shared<RequestCtx>();
+  ctx->conn = &conn;
+  ctx->id = id;
+  ctx->model = model;  // keeps the TransitionSystem alive (borrow rule)
+  ctx->names = std::move(names);
+  ctx->pending.reserve(ctx->names.size());
+  ctx->filled.assign(ctx->names.size(), 0);
+  conn.requests.push_back(ctx);
+
+  // Fan every property onto the service pool. Completions are marshalled
+  // back to this loop through the wake pipe; nothing blocks here, which is
+  // what lets requests from MANY connections coalesce into service batches.
   const util::Deadline deadline =
       timeout > 0 ? util::Deadline::after_seconds(timeout) : util::Deadline::never();
-  std::vector<PendingCheck> pending;
-  pending.reserve(names.size());
-  for (const std::string& name : names) {
+  for (std::size_t i = 0; i < ctx->names.size(); ++i) {
     CheckRequest request;
-    request.system = &model.system;
-    request.property = model.ltl_properties.at(name);
+    request.system = &model->system;
+    request.property = model->ltl_properties.at(ctx->names[i]);
     request.engine = engine;
     request.max_depth = depth;
     request.optimize = optimize;
     request.deadline = deadline;
-    pending.push_back(service->submit(request));
+    request.on_complete = [this, ctx, i] {
+      {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_queue.emplace_back(ctx, i);
+      }
+      const char byte = 'c';
+      [[maybe_unused]] const ssize_t n = ::write(wake_pipe[1], &byte, 1);
+    };
+    ctx->pending.push_back(service->submit(request));
   }
+  if (ctx->names.empty()) {
+    // Degenerate but legal: a model with no LTL properties. Complete now.
+    flush_ready(ctx, /*allow_close=*/false);
+  }
+}
 
-  bool peer_alive = true;
-  std::size_t cache_hits = 0;
-  for (std::size_t i = 0; i < pending.size(); ++i) {
-    if (!peer_alive) pending[i].cancel();  // nobody is listening; stop early
-    const CheckResponse response = pending[i].wait();
-    if (response.cache_hit) ++cache_hits;
+void Daemon::Impl::drain_completions() {
+  std::vector<std::pair<std::shared_ptr<RequestCtx>, std::size_t>> done;
+  {
+    std::lock_guard<std::mutex> lock(done_mu);
+    done.swap(done_queue);
+  }
+  for (auto& [ctx, index] : done) {
+    ctx->filled[index] = 1;
+    ++ctx->completed;
+    // If an earlier entry in this batch closed the connection, close_conn's
+    // detach already nulled ctx->conn — flush_ready is a no-op then.
+    flush_ready(ctx, /*allow_close=*/true);
+  }
+}
+
+void Daemon::Impl::flush_ready(const std::shared_ptr<RequestCtx>& ctx,
+                               bool allow_close) {
+  Conn* conn = ctx->conn;
+  if (conn == nullptr) return;  // connection died; completions just drain
+
+  // Send verdicts in request order as they become ready.
+  while (ctx->next < ctx->pending.size() && ctx->filled[ctx->next]) {
+    const std::size_t i = ctx->next++;
+    const CheckResponse response = ctx->pending[i].wait();  // ready: no block
+    if (response.cache_hit) ++ctx->cache_hits;
 
     WireVerdict v;
-    v.prop = names[i];
+    v.prop = ctx->names[i];
     v.verdict = response.outcome.verdict;
     v.engine = response.outcome.stats.engine;
     v.message = response.outcome.message;
@@ -307,19 +608,52 @@ void Daemon::Impl::handle_request(int fd, const std::string& line) {
     v.rejected = response.rejected;
     if (response.outcome.counterexample)
       v.counterexample_json = trace_to_json(*response.outcome.counterexample);
-    if (peer_alive) peer_alive = send_all(fd, wire_verdict_line(id, v) + "\n");
+    queue_message(*conn, FrameType::kVerdict, wire_verdict_line(ctx->id, v));
   }
 
-  if (peer_alive) {
+  if (ctx->next == ctx->pending.size()) {
     obs::JsonWriter w;
     w.begin_object();
     w.kv("type", "done");
-    w.kv("id", id);
-    w.kv("served", pending.size());
-    w.kv("cache_hits", cache_hits);
+    w.kv("id", ctx->id);
+    w.kv("served", ctx->pending.size());
+    w.kv("cache_hits", ctx->cache_hits);
     w.end_object();
-    send_all(fd, w.str() + "\n");
+    queue_message(*conn, FrameType::kDone, w.str());
+    ctx->conn = nullptr;
+    std::erase(conn->requests, ctx);
   }
+  if (!allow_close) return;  // the event loop closes/re-arms after the read
+  if (!maybe_close(*conn)) update_interest(*conn);
+}
+
+void Daemon::Impl::detach_requests(Conn& conn) {
+  for (const std::shared_ptr<RequestCtx>& ctx : conn.requests) {
+    ctx->conn = nullptr;
+    // Nobody is listening anymore: cancel what has not finished. The
+    // completion callbacks still fire and drain harmlessly.
+    for (std::size_t i = 0; i < ctx->pending.size(); ++i)
+      if (!ctx->filled[i]) ctx->pending[i].cancel();
+  }
+  conn.requests.clear();
+}
+
+bool Daemon::Impl::maybe_close(Conn& conn) {
+  const bool idle = conn.requests.empty() && conn.unsent() == 0;
+  const bool should_close = conn.dead || ((conn.peer_gone || conn.poisoned ||
+                                           draining) &&
+                                          idle);
+  if (!should_close) return false;
+  close_conn(conn);
+  return true;
+}
+
+void Daemon::Impl::close_conn(Conn& conn) {
+  detach_requests(conn);
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+  const int fd = conn.fd;
+  ::close(fd);
+  conns.erase(fd);  // destroys conn
 }
 
 }  // namespace verdict::svc

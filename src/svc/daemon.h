@@ -1,4 +1,4 @@
-// verdictd's network layer: a Unix-domain NDJSON server over svc::Service.
+// verdictd's network layer: an epoll Unix-domain server over svc::Service.
 //
 // The Daemon is a library class so tests can run a real server in-process
 // (tests/svc_test.cpp exercises it with concurrent socket clients under
@@ -10,20 +10,32 @@
 //   daemon.request_stop();                    // async-signal-safe (SIGTERM)
 //   t.join();                                 // returns after graceful drain
 //
-// serve() accepts connections and spawns one handler thread per connection;
-// each request line fans its properties out onto the Service's worker pool
-// (svc/service.h), so one connection with N properties and N connections
-// with one property load the machine the same way. request_stop() makes
-// serve() stop accepting, half-closes every open connection (SHUT_RD: reads
-// end, queued responses still flush), waits for the handler threads, and
-// drains the Service — in-flight verdicts complete and the cache file is
-// persisted before serve() returns.
+// serve() is ONE event loop thread multiplexing every connection with epoll
+// — nonblocking accept/read/write, a per-connection state machine, and
+// write backpressure (a connection whose response buffer passes the high
+// watermark stops being read until it flushes below the low watermark).
+// No thread is parked per connection; all verification runs on the
+// Service's worker pool, and completions are marshalled back to the loop
+// through a wake pipe, so one connection with N properties and N
+// connections with one property load the machine the same way.
+//
+// Two wire modes share one port (svc/frame.h): length-prefixed binary
+// frames (first byte 'V') and newline-delimited JSON as an auto-detected
+// debug mode. Payloads are identical; docs/service.md specifies both.
+// Inbound messages beyond `max_message_bytes` are answered with a clean
+// `error` and the connection is closed, never buffered without bound.
+//
+// request_stop() makes serve() stop accepting and stop reading, finishes
+// every admitted request, flushes the response buffers, and drains the
+// Service — in-flight verdicts complete and the cache file is persisted
+// before serve() returns.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
 
+#include "svc/frame.h"
 #include "svc/service.h"
 
 namespace verdict::svc {
@@ -31,6 +43,10 @@ namespace verdict::svc {
 struct DaemonOptions {
   /// Path of the AF_UNIX socket. A stale file at this path is replaced.
   std::string socket_path;
+  /// Upper bound on one inbound message: a binary frame payload or one
+  /// NDJSON line. Larger messages get an `error` response and the
+  /// connection is closed (counted in `svc.frames_rejected`).
+  std::size_t max_message_bytes = kDefaultMaxMessageBytes;
   ServiceOptions service;
 };
 
@@ -44,7 +60,7 @@ class Daemon {
   Daemon(const Daemon&) = delete;
   Daemon& operator=(const Daemon&) = delete;
 
-  /// Blocking accept loop; returns after request_stop() completes a graceful
+  /// Blocking event loop; returns after request_stop() completes a graceful
   /// drain. Call at most once.
   void serve();
 

@@ -1,0 +1,101 @@
+// The verdictd binary wire framing: length-prefixed frames over a stream.
+//
+// Newline-delimited JSON (svc/protocol.h) is great for debugging with
+// socat and terrible as a service plane: every byte is scanned for '\n',
+// payloads cannot contain raw newlines, and there is no place to hang a
+// version or a type before parsing. The binary framing fixes the transport
+// without touching the payloads — a frame *carries* exactly the JSON object
+// the NDJSON mode would have put on one line, so the request/response
+// schema (docs/service.md) is identical in both modes and the daemon
+// auto-detects which one a client speaks from the first byte of the
+// connection (0x56 'V' = binary; '{' or whitespace = NDJSON, which no JSON
+// object can start with 'V').
+//
+//   offset  size  field
+//   0       2     magic 0x56 0x46 ("VF")
+//   2       1     version (kFrameVersion = 1)
+//   3       1     type (FrameType)
+//   4       4     payload length, little-endian
+//   8       len   payload (UTF-8 JSON object, no trailing newline)
+//
+// The decoder is incremental (feed() arbitrary chunks, next() yields
+// complete frames) and adversarial-input hardened: bad magic, version skew,
+// unknown types, and oversized declared lengths are hard errors — the
+// connection is poisoned, not resynchronized, because a framing error means
+// the two sides already disagree about where messages start. Every rejected
+// frame bumps the `svc.frames_rejected` counter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace verdict::svc {
+
+inline constexpr char kFrameMagic0 = 0x56;  // 'V'
+inline constexpr char kFrameMagic1 = 0x46;  // 'F'
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Default cap on one inbound message (frame payload or NDJSON line). Large
+/// enough for any realistic model text, small enough that a malicious or
+/// broken peer cannot make the server buffer without bound.
+inline constexpr std::size_t kDefaultMaxMessageBytes = 8u << 20;  // 8 MiB
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,  // client -> server: one request object
+  kVerdict = 2,  // server -> client: one per-property verdict object
+  kDone = 3,     // server -> client: stream terminator for one request
+  kError = 4,    // server -> client: request failure
+};
+
+/// Wire name for diagnostics ("request", "verdict", ...).
+[[nodiscard]] const char* frame_type_name(FrameType type);
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+};
+
+/// Renders header + payload. The payload is the same JSON object text the
+/// NDJSON mode would send (minus the trailing newline).
+[[nodiscard]] std::string encode_frame(FrameType type, std::string_view payload);
+
+/// Incremental frame parser for one connection. Not thread-safe (one
+/// decoder per connection, owned by whoever reads the socket).
+class FrameDecoder {
+ public:
+  enum class Status {
+    kNeedMore,  // no complete frame buffered yet
+    kFrame,     // `frame` holds the next decoded frame
+    kError,     // unrecoverable framing error; `error` says why
+  };
+
+  struct Result {
+    Status status = Status::kNeedMore;
+    Frame frame;
+    std::string error;
+  };
+
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxMessageBytes)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw bytes received from the peer.
+  void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+  void feed(std::string_view data) { buffer_.append(data); }
+
+  /// Decodes the next frame out of the buffered bytes. Call repeatedly until
+  /// kNeedMore (frames pipelined into one read all come out). After kError
+  /// the decoder stays poisoned: every further call returns the same error.
+  [[nodiscard]] Result next();
+
+  /// Bytes buffered but not yet consumed (for read-limit enforcement).
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  std::size_t max_payload_;
+  std::string poisoned_;  // non-empty once a framing error was seen
+};
+
+}  // namespace verdict::svc

@@ -1,8 +1,10 @@
-// The verdictd wire protocol: newline-delimited JSON over a Unix-domain
-// stream socket.
+// The verdictd wire protocol: JSON payloads over a Unix-domain stream
+// socket, carried either in length-prefixed binary frames (svc/frame.h,
+// the default) or as newline-delimited JSON (the debug mode) — the daemon
+// auto-detects per connection on the first byte.
 //
-// One request per line, answered by one "verdict" line per checked property
-// followed by a single "done" line (or an "error" line). The model travels
+// One request per message, answered by one "verdict" message per checked
+// property followed by a single "done" (or an "error"). The model travels
 // as vml TEXT — both sides parse it, which is what makes counterexample
 // traces portable: the server serializes them name-keyed (svc/stored_trace.h)
 // and the client rehydrates them against its own parse of the same text.

@@ -1,5 +1,5 @@
 // The verification service: cache-aware request scheduling on a shared
-// worker pool.
+// worker pool, with batched session dispatch.
 //
 // svc::Service is the in-process core of verdictd (the daemon is a socket
 // front-end over it, tools/verdictd.cpp) and is equally usable embedded —
@@ -16,13 +16,25 @@
 //     kUnknown outcome instead of letting latency grow without bound,
 //   * per-request deadlines — the request's Deadline is combined with the
 //     job's CancelToken, so both timeouts and server-side cancellation
-//     (client hung up, drain) stop the engines at their existing poll sites.
+//     (client hung up, drain) stop the engines at their existing poll sites,
+//   * a batch coalescer — requests arriving within `batch_window_seconds`
+//     that share a group fingerprint (system, engine, depth, deadline class)
+//     are verified as ONE core::Session::check_all over a shared solver
+//     unrolling instead of N independent core::check runs, then fanned back
+//     out to their individual responses. Verdicts are identical to
+//     one-at-a-time submission (the session crosscheck suite asserts parity);
+//     only the cost profile changes. The per-property cache/ReuseHook
+//     semantics are preserved: the batch runs with a SessionCache hook, so
+//     each member still consults the verdict cache (and the incremental
+//     reuse layer) before any engine runs and offers its fresh outcome back.
 //
-// drain() (also run by the destructor) stops admission, waits for every
-// in-flight request, and persists the cache when a cache file is configured
-// — the graceful-SIGTERM path of verdictd.
+// drain() (also run by the destructor) stops admission, flushes any batch
+// still coalescing, waits for every in-flight request, and persists the
+// cache when a cache file is configured — the graceful-SIGTERM path of
+// verdictd.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -40,6 +52,15 @@ struct ServiceOptions {
   std::size_t jobs = 0;
   /// Maximum admitted-but-unfinished requests; submit() rejects beyond it.
   std::size_t queue_limit = 64;
+  /// Batch coalescing window in seconds. Requests submitted within this
+  /// window that share a group fingerprint (same system, engine, depth, and
+  /// deadline class) are dispatched as one core::Session::check_all over a
+  /// shared unrolling. 0 disables batching (every request is its own
+  /// single-flight cache computation — the PR-4 behavior).
+  double batch_window_seconds = 0.0;
+  /// Maximum members per batch; a full batch dispatches immediately instead
+  /// of waiting out the window.
+  std::size_t batch_max = 16;
   CacheOptions cache;
   /// When non-empty: the persistent verdict store, loaded at construction
   /// and saved on drain().
@@ -47,7 +68,8 @@ struct ServiceOptions {
 };
 
 /// One verification request: a property against a system. The system is
-/// borrowed — it must stay alive until the request completes (wait()).
+/// borrowed — it must stay alive until the request completes (wait()
+/// returned, or `on_complete` fired for callers that never wait).
 struct CheckRequest {
   const ts::TransitionSystem* system = nullptr;
   ltl::Formula property;
@@ -59,8 +81,15 @@ struct CheckRequest {
   /// preserving, so both settings answer the same question), but
   /// optimize=false requests always recompute — bypassing the cache lookup
   /// and overwriting the shared entry — so --no-opt is a genuine escape
-  /// hatch around optimizer bugs, cached or not.
+  /// hatch around optimizer bugs, cached or not. optimize=false requests are
+  /// never batched either: the batch path is cache-mediated.
   bool optimize = true;
+  /// Invoked exactly once when the response slot is filled: on the worker
+  /// thread for computed/batched requests, on the submitting thread for
+  /// admission rejects. Lets a caller that must not block — the epoll
+  /// daemon — collect responses without parking a thread in wait(). Must not
+  /// throw and must not call back into the Service.
+  std::function<void()> on_complete;
 };
 
 struct CheckResponse {
@@ -73,10 +102,13 @@ struct CheckResponse {
 };
 
 class Service;
+struct Batch;
+struct BatchMember;
 
 /// Ticket for one submitted request. cancel() stops the engines
-/// cooperatively; wait() blocks for the response (immediately available for
-/// rejected requests).
+/// cooperatively (for a batched request: cancels the shared session run only
+/// once every member cancelled); wait() blocks for the response (immediately
+/// available for rejected requests).
 class PendingCheck {
  public:
   void cancel();
@@ -87,6 +119,7 @@ class PendingCheck {
   friend class Service;
   portfolio::JobHandle handle_;
   std::shared_ptr<CheckResponse> slot_;
+  std::shared_ptr<BatchMember> member_;  // set iff the request was batched
 };
 
 class Service {
@@ -103,14 +136,19 @@ class Service {
   /// Blocking convenience: submit + wait.
   [[nodiscard]] CheckResponse check(const CheckRequest& request);
 
-  /// Stops admitting, waits for every in-flight request, persists the cache
-  /// (ServiceOptions::cache_file). Idempotent.
+  /// Stops admitting, flushes coalescing batches, waits for every in-flight
+  /// request, persists the cache (ServiceOptions::cache_file). Idempotent.
   void drain();
 
   [[nodiscard]] VerdictCache& cache() { return *cache_; }
   [[nodiscard]] std::size_t queue_depth() const;
   [[nodiscard]] std::uint64_t requests() const;
   [[nodiscard]] std::uint64_t rejected() const;
+  /// Batches dispatched (each one core::Session::check_all over >=1 members)
+  /// and total members across them; `svc.batches_formed` / `svc.batch_size`
+  /// publish the same numbers as counters.
+  [[nodiscard]] std::uint64_t batches_formed() const;
+  [[nodiscard]] std::uint64_t batched_requests() const;
 
   /// Installs the incremental re-verification hook (svc/reuse.h): cache
   /// misses first try a cross-version reuse, and fresh outcomes are enriched
@@ -121,11 +159,18 @@ class Service {
 
  private:
   struct Inflight;
+  struct Batcher;
+
+  [[nodiscard]] PendingCheck submit_batched(const CheckRequest& request,
+                                            std::shared_ptr<CheckResponse> slot);
+  void batcher_loop();
+  void dispatch_batch(std::shared_ptr<Batch> batch);
 
   ServiceOptions options_;
   std::unique_ptr<VerdictCache> cache_;
   std::unique_ptr<portfolio::ThreadPool> pool_;
   std::unique_ptr<Inflight> inflight_;
+  std::unique_ptr<Batcher> batcher_;  // null when batching is disabled
   ReuseHook* reuse_ = nullptr;
 };
 

@@ -25,6 +25,7 @@
 #include "svc/client.h"
 #include "svc/daemon.h"
 #include "svc/fingerprint.h"
+#include "svc/frame.h"
 #include "svc/service.h"
 #include "svc/stored_trace.h"
 #include "svc/verdict_cache.h"
@@ -552,6 +553,342 @@ TEST(Daemon, RejectsBadRequestsWithoutDying) {
   }
 
   daemon.request_stop();
+  server.join();
+  ::unlink(sock.c_str());
+  ::rmdir(sock_dir);
+}
+
+// --- Binary framing ----------------------------------------------------------
+
+TEST(Frame, RoundTripsEveryType) {
+  for (const svc::FrameType type :
+       {svc::FrameType::kRequest, svc::FrameType::kVerdict, svc::FrameType::kDone,
+        svc::FrameType::kError}) {
+    const std::string payload = R"({"id":"1","k":"v"})";
+    const std::string wire = svc::encode_frame(type, payload);
+    EXPECT_EQ(wire.size(), svc::kFrameHeaderBytes + payload.size());
+    svc::FrameDecoder decoder;
+    decoder.feed(wire);
+    const svc::FrameDecoder::Result result = decoder.next();
+    ASSERT_EQ(result.status, svc::FrameDecoder::Status::kFrame);
+    EXPECT_EQ(result.frame.type, type);
+    EXPECT_EQ(result.frame.payload, payload);
+    EXPECT_EQ(decoder.next().status, svc::FrameDecoder::Status::kNeedMore);
+  }
+}
+
+TEST(Frame, EmptyPayloadRoundTrips) {
+  svc::FrameDecoder decoder;
+  decoder.feed(svc::encode_frame(svc::FrameType::kDone, ""));
+  const svc::FrameDecoder::Result result = decoder.next();
+  ASSERT_EQ(result.status, svc::FrameDecoder::Status::kFrame);
+  EXPECT_EQ(result.frame.type, svc::FrameType::kDone);
+  EXPECT_TRUE(result.frame.payload.empty());
+}
+
+TEST(Frame, PipelinedFramesSplitAcrossArbitraryReads) {
+  // Three frames delivered one byte at a time: every frame must come out
+  // intact, in order, regardless of how the stream was chunked.
+  const std::string wire = svc::encode_frame(svc::FrameType::kRequest, "first") +
+                           svc::encode_frame(svc::FrameType::kVerdict, "second") +
+                           svc::encode_frame(svc::FrameType::kDone, "");
+  svc::FrameDecoder decoder;
+  std::vector<std::string> payloads;
+  for (const char byte : wire) {
+    decoder.feed(&byte, 1);
+    for (;;) {
+      const svc::FrameDecoder::Result result = decoder.next();
+      ASSERT_NE(result.status, svc::FrameDecoder::Status::kError) << result.error;
+      if (result.status != svc::FrameDecoder::Status::kFrame) break;
+      payloads.push_back(result.frame.payload);
+    }
+  }
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], "first");
+  EXPECT_EQ(payloads[1], "second");
+  EXPECT_EQ(payloads[2], "");
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Frame, TruncatedHeaderJustWaits) {
+  svc::FrameDecoder decoder;
+  decoder.feed(svc::encode_frame(svc::FrameType::kRequest, "payload").substr(0, 6));
+  EXPECT_EQ(decoder.next().status, svc::FrameDecoder::Status::kNeedMore);
+  EXPECT_EQ(decoder.buffered(), 6u);
+}
+
+TEST(Frame, RejectsBadMagicOnTheFirstByte) {
+  // A non-frame peer (say, an NDJSON client on the wrong code path) is
+  // rejected immediately — not buffered until a bogus length arrives.
+  svc::FrameDecoder decoder;
+  decoder.feed("{", 1);
+  const svc::FrameDecoder::Result result = decoder.next();
+  ASSERT_EQ(result.status, svc::FrameDecoder::Status::kError);
+  EXPECT_NE(result.error.find("magic"), std::string::npos);
+}
+
+TEST(Frame, RejectsVersionSkew) {
+  std::string wire = svc::encode_frame(svc::FrameType::kRequest, "x");
+  wire[2] = 9;  // a future version
+  svc::FrameDecoder decoder;
+  decoder.feed(wire.data(), 3);  // partial header is enough to notice
+  const svc::FrameDecoder::Result result = decoder.next();
+  ASSERT_EQ(result.status, svc::FrameDecoder::Status::kError);
+  EXPECT_NE(result.error.find("version"), std::string::npos);
+}
+
+TEST(Frame, RejectsUnknownFrameType) {
+  std::string wire = svc::encode_frame(svc::FrameType::kRequest, "x");
+  wire[3] = 0x7f;
+  svc::FrameDecoder decoder;
+  decoder.feed(wire);
+  EXPECT_EQ(decoder.next().status, svc::FrameDecoder::Status::kError);
+}
+
+TEST(Frame, RejectsDeclaredLengthOverflow) {
+  std::string header = svc::encode_frame(svc::FrameType::kRequest, "");
+  header[4] = header[5] = header[6] = header[7] = static_cast<char>(0xff);
+  svc::FrameDecoder decoder(/*max_payload=*/1024);
+  decoder.feed(header);
+  const svc::FrameDecoder::Result result = decoder.next();
+  ASSERT_EQ(result.status, svc::FrameDecoder::Status::kError);
+  EXPECT_NE(result.error.find("limit"), std::string::npos);
+}
+
+TEST(Frame, StaysPoisonedAfterAnError) {
+  svc::FrameDecoder decoder;
+  decoder.feed("XYZ");
+  ASSERT_EQ(decoder.next().status, svc::FrameDecoder::Status::kError);
+  // A valid frame after the bad bytes does NOT resynchronize the stream.
+  decoder.feed(svc::encode_frame(svc::FrameType::kRequest, "valid"));
+  EXPECT_EQ(decoder.next().status, svc::FrameDecoder::Status::kError);
+}
+
+// --- Batched session dispatch ------------------------------------------------
+
+TEST(ServiceBatch, BatchedVerdictsMatchOneAtATimeSubmission) {
+  const ts::TransitionSystem sys = counter_system("batch1");
+  const expr::Expr x = expr::var_by_name("batch1.x");
+  const expr::Expr y = expr::var_by_name("batch1.y");
+  const std::vector<ltl::Formula> props = {
+      ltl::G(ltl::atom(x <= 7)),  // holds
+      ltl::G(ltl::atom(x < 2)),   // violated
+      ltl::G(ltl::atom(y == 0)),  // holds (y never moves)
+  };
+
+  // Reference: batching disabled — every request its own computation.
+  std::vector<core::Verdict> reference;
+  {
+    svc::Service service({.jobs = 2});
+    for (const ltl::Formula& prop : props) {
+      svc::CheckRequest request;
+      request.system = &sys;
+      request.property = prop;
+      request.engine = core::Engine::kKInduction;
+      request.max_depth = 10;
+      reference.push_back(service.check(request).outcome.verdict);
+    }
+    EXPECT_EQ(service.batches_formed(), 0u);
+  }
+
+  // Batched: many client threads submitting concurrently inside a generous
+  // coalescing window; verdicts must be identical to the sequential run.
+  svc::ServiceOptions options;
+  options.jobs = 2;
+  options.batch_window_seconds = 0.02;
+  options.batch_max = 64;
+  svc::Service service(options);
+  constexpr int kThreads = 4;
+  std::vector<std::vector<core::Verdict>> verdicts(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<svc::PendingCheck> pending;
+      for (const ltl::Formula& prop : props) {
+        svc::CheckRequest request;
+        request.system = &sys;
+        request.property = prop;
+        request.engine = core::Engine::kKInduction;
+        request.max_depth = 10;
+        pending.push_back(service.submit(request));
+      }
+      for (svc::PendingCheck& p : pending)
+        verdicts[t].push_back(p.wait().outcome.verdict);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(verdicts[t], reference) << "thread " << t;
+  EXPECT_GE(service.batches_formed(), 1u);
+  EXPECT_EQ(service.batched_requests(),
+            static_cast<std::uint64_t>(kThreads * props.size()));
+  // The violated property's counterexample went through the cache: it must
+  // still rehydrate and replay against the system.
+  svc::CheckRequest again;
+  again.system = &sys;
+  again.property = props[1];
+  again.engine = core::Engine::kKInduction;
+  again.max_depth = 10;
+  const svc::CheckResponse cached = service.check(again);
+  EXPECT_TRUE(cached.cache_hit);
+  ASSERT_TRUE(cached.outcome.counterexample.has_value());
+  EXPECT_TRUE(sys.trace_conforms(*cached.outcome.counterexample));
+}
+
+TEST(ServiceBatch, OnCompleteFiresExactlyOnceIncludingRejects) {
+  const ts::TransitionSystem sys = counter_system("batch2");
+  const expr::Expr x = expr::var_by_name("batch2.x");
+  svc::ServiceOptions options;
+  options.jobs = 1;
+  options.queue_limit = 1;  // force rejects under a burst
+  options.batch_window_seconds = 0.005;
+  svc::Service service(options);
+
+  std::atomic<int> fired{0};
+  std::vector<svc::PendingCheck> pending;
+  for (int i = 0; i < 8; ++i) {
+    svc::CheckRequest request;
+    request.system = &sys;
+    request.property = ltl::G(ltl::atom(x <= 7));
+    request.engine = core::Engine::kKInduction;
+    request.max_depth = 10;
+    request.on_complete = [&fired] { fired.fetch_add(1); };
+    pending.push_back(service.submit(request));
+  }
+  int rejected = 0;
+  for (svc::PendingCheck& p : pending)
+    if (p.wait().rejected) ++rejected;
+  service.drain();
+  EXPECT_EQ(fired.load(), 8);
+  EXPECT_GE(rejected, 1);  // queue_limit 1 under an 8-deep burst must bounce
+}
+
+// --- Daemon wire modes and message bounds ------------------------------------
+
+TEST(Daemon, ServesBinaryAndNdjsonClientsOnOneSocket) {
+  const mdl::VmlModel model = mdl::parse_vml(kDaemonModel);
+  char sock_dir[] = "/tmp/svc_test.XXXXXX";
+  ASSERT_NE(::mkdtemp(sock_dir), nullptr);
+  const std::string sock = std::string(sock_dir) + "/d.sock";
+
+  svc::DaemonOptions options;
+  options.socket_path = sock;
+  options.service.jobs = 2;
+  options.service.batch_window_seconds = 0.002;  // production config
+  svc::Daemon daemon(options);
+  std::thread server([&] { daemon.serve(); });
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        svc::ClientOptions client_options;
+        client_options.binary = (c % 2 == 0);  // both wires, same daemon
+        svc::Client client(sock, client_options);
+        for (int round = 0; round < 2; ++round) {
+          const std::vector<svc::ClientVerdict> verdicts = client.check(
+              kDaemonModel, {"bound_ok", "never_two"}, core::Engine::kKInduction,
+              10, /*timeout_seconds=*/0.0);
+          if (verdicts.size() != 2) throw std::runtime_error("wrong count");
+          if (verdicts[0].outcome.verdict != core::Verdict::kHolds)
+            throw std::runtime_error("bound_ok should hold");
+          if (verdicts[1].outcome.verdict != core::Verdict::kViolated)
+            throw std::runtime_error("never_two should be violated");
+          std::string why;
+          if (!core::confirm_counterexample(model.system,
+                                            model.ltl_properties.at("never_two"),
+                                            verdicts[1].outcome, &why))
+            throw std::runtime_error("unconfirmed trace: " + why);
+        }
+      } catch (const std::exception& error) {
+        ADD_FAILURE() << "client " << c << ": " << error.what();
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  daemon.request_stop();
+  server.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  ::unlink(sock.c_str());
+  ::rmdir(sock_dir);
+}
+
+TEST(Daemon, RejectsOversizedMessagesInBothWireModes) {
+  char sock_dir[] = "/tmp/svc_test.XXXXXX";
+  ASSERT_NE(::mkdtemp(sock_dir), nullptr);
+  const std::string sock = std::string(sock_dir) + "/d.sock";
+
+  svc::DaemonOptions options;
+  options.socket_path = sock;
+  options.service.jobs = 1;
+  options.max_message_bytes = 1024;
+  svc::Daemon daemon(options);
+  std::thread server([&] { daemon.serve(); });
+
+  // A "model" comfortably over the limit but small enough to fit in the
+  // socket buffers, so the client reliably reads the error response.
+  const std::string big_model(4096, 'x');
+  for (const bool binary : {false, true}) {
+    svc::ClientOptions client_options;
+    client_options.binary = binary;
+    svc::Client client(sock, client_options);
+    try {
+      (void)client.check(big_model, {}, core::Engine::kAuto, 10, 0.0);
+      ADD_FAILURE() << "oversized request was not rejected (binary=" << binary << ")";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find("limit"), std::string::npos)
+          << error.what();
+    }
+  }
+
+  // The daemon is still healthy and serves a well-formed request.
+  {
+    svc::Client client(sock);
+    const auto verdicts =
+        client.check(kDaemonModel, {"bound_ok"}, core::Engine::kKInduction, 10, 0.0);
+    ASSERT_EQ(verdicts.size(), 1u);
+    EXPECT_EQ(verdicts[0].outcome.verdict, core::Verdict::kHolds);
+  }
+
+  daemon.request_stop();
+  server.join();
+  ::unlink(sock.c_str());
+  ::rmdir(sock_dir);
+}
+
+TEST(Client, RetriesConnectWhileTheDaemonIsStarting) {
+  char sock_dir[] = "/tmp/svc_test.XXXXXX";
+  ASSERT_NE(::mkdtemp(sock_dir), nullptr);
+  const std::string sock = std::string(sock_dir) + "/d.sock";
+
+  // The daemon appears only after the client has started retrying (ENOENT
+  // until then). Without connect_wait_seconds this throws immediately.
+  EXPECT_THROW(svc::Client no_retry(sock), std::runtime_error);
+
+  std::unique_ptr<svc::Daemon> daemon;
+  std::thread server([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    svc::DaemonOptions options;
+    options.socket_path = sock;
+    options.service.jobs = 1;
+    daemon = std::make_unique<svc::Daemon>(options);
+    daemon->serve();
+  });
+
+  svc::ClientOptions client_options;
+  client_options.connect_wait_seconds = 10.0;
+  client_options.io_timeout_seconds = 30.0;
+  svc::Client client(sock, client_options);
+  const auto verdicts =
+      client.check(kDaemonModel, {"bound_ok"}, core::Engine::kKInduction, 10, 0.0);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].outcome.verdict, core::Verdict::kHolds);
+
+  daemon->request_stop();
   server.join();
   ::unlink(sock.c_str());
   ::rmdir(sock_dir);

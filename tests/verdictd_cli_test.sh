@@ -39,17 +39,13 @@ expect_exit() {
   [ "$got" -eq "$want" ] || fail "$what: expected exit $want, got $got"
 }
 
+# No socket polling here: the first client call after each start uses
+# --connect-timeout, which retries with backoff while the daemon binds —
+# that's the supported replacement for sleep-and-hope startup loops.
 start_daemon() {
   "$VERDICTD" --socket "$SOCK" --cache-file "$CACHE" --jobs 2 \
     > "$TMP/daemon.txt" 2>&1 &
   DAEMON_PID=$!
-  # Wait for the socket to appear (the daemon binds before serve()).
-  for _ in $(seq 1 100); do
-    [ -S "$SOCK" ] && return 0
-    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during startup"
-    sleep 0.05
-  done
-  fail "daemon socket $SOCK never appeared"
 }
 
 stop_daemon() {
@@ -80,21 +76,32 @@ expect_exit 2 "$rc" "verdictc --connect with no daemon"
 start_daemon
 
 # Cold run through the daemon: verdicts and exit code match the local run.
+# --connect-timeout covers the daemon still starting up (no sleep above).
 rc=0
-"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$SOCK" --engine pdr \
-  > "$TMP/cold.txt" 2>&1 || rc=$?
+"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$SOCK" --connect-timeout 10 \
+  --engine pdr > "$TMP/cold.txt" 2>&1 || rc=$?
 expect_exit 0 "$rc" "cold served run"
 grep -q "holds" "$TMP/cold.txt" || fail "cold run must print holds verdicts"
 grep -q "served from verdictd cache" "$TMP/cold.txt" && \
   fail "cold run must not claim cache hits"
 
-# Warm run: same request is served from the daemon's verdict cache.
+# Warm run: same request is served from the daemon's verdict cache. Default
+# wire is the binary framing.
 rc=0
 "$VERDICTC" "$MODELS/autoscaler.vml" --connect "$SOCK" --engine pdr \
   > "$TMP/warm.txt" 2>&1 || rc=$?
 expect_exit 0 "$rc" "warm served run"
 grep -q "served from verdictd cache" "$TMP/warm.txt" || \
   fail "warm run must be served from the verdict cache"
+
+# The same exchange over the NDJSON debug wire: auto-detected by the daemon
+# on the same socket, same verdicts, same cache hits.
+rc=0
+"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$SOCK" --wire ndjson \
+  --engine pdr > "$TMP/warm_ndjson.txt" 2>&1 || rc=$?
+expect_exit 0 "$rc" "warm NDJSON-wire run"
+grep -q "served from verdictd cache" "$TMP/warm_ndjson.txt" || \
+  fail "NDJSON-wire run must be served from the verdict cache"
 
 # A violated property round-trips its counterexample over the socket and is
 # re-confirmed client-side; aggregate exit code stays 1.
@@ -132,8 +139,8 @@ done
 [ -n "$banner_seen" ] || \
   fail "restarted daemon must index persisted artifacts for incremental reuse"
 rc=0
-"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$SOCK" --engine pdr \
-  > "$TMP/restart.txt" 2>&1 || rc=$?
+"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$SOCK" --connect-timeout 10 \
+  --engine pdr > "$TMP/restart.txt" 2>&1 || rc=$?
 expect_exit 0 "$rc" "post-restart served run"
 grep -q "served from verdictd cache" "$TMP/restart.txt" || \
   fail "restarted daemon must serve proved verdicts from the cache file"
@@ -160,8 +167,8 @@ sed 's/verdict-cache-v2/verdict-cache-v9/g' "$CACHE" > "$TMP/skewed.ndjson"
 CACHE="$TMP/skewed.ndjson"
 start_daemon
 rc=0
-"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$SOCK" --engine pdr \
-  > "$TMP/skewed.txt" 2>&1 || rc=$?
+"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$SOCK" --connect-timeout 10 \
+  --engine pdr > "$TMP/skewed.txt" 2>&1 || rc=$?
 expect_exit 0 "$rc" "skewed-cache served run"
 grep -q "served from verdictd cache" "$TMP/skewed.txt" && \
   fail "verdicts from a version-skewed cache file must not be served warm"

@@ -135,6 +135,25 @@ JsonValue validate_stats_document(const std::string& text) {
       for (const char* k : kIncCounters) known = known || name == k;
       require(known, "counters." + name + " is not a known inc.* counter");
     }
+    // The service-plane counters are likewise closed (docs/service.md):
+    // request admission, verdict cache, batching, wire framing, model cache.
+    if (name.rfind("svc.", 0) == 0) {
+      static const char* kSvcCounters[] = {
+          "svc.requests",           "svc.rejected",
+          "svc.connections",        "svc.queue.enqueued",
+          "svc.queue.dequeued",     "svc.cache.hit",
+          "svc.cache.miss",         "svc.cache.insert",
+          "svc.cache.evict",        "svc.cache.reject",
+          "svc.cache.load_skipped", "svc.cache_bypassed",
+          "svc.singleflight.shared", "svc.rehydrate_failed",
+          "svc.fp_memo_clears",     "svc.batches_formed",
+          "svc.batch_size",         "svc.frames_rejected",
+          "svc.model_cache.hit",    "svc.model_cache.miss",
+      };
+      bool known = false;
+      for (const char* k : kSvcCounters) known = known || name == k;
+      require(known, "counters." + name + " is not a known svc.* counter");
+    }
   }
   require(doc["exit_code"].is_number(), "exit_code must be a number");
   return doc;

@@ -34,6 +34,14 @@
 //                          exit codes, and printing are identical; repeated
 //                          requests hit the daemon's verdict cache). CTL
 //                          properties are still checked locally (BDD engine).
+//   --wire MODE            with --connect: "binary" (default; length-prefixed
+//                          frames, svc/frame.h) or "ndjson" (debug mode)
+//   --connect-timeout SECS with --connect: keep retrying the connect with
+//                          exponential backoff while verdictd is starting
+//                          (ECONNREFUSED/ENOENT), and bound each socket
+//                          read/write — a hung daemon fails instead of
+//                          hanging verdictc (default 0: one attempt, no
+//                          I/O bound)
 //   --quiet                only print the per-property verdict lines
 //   --version              print version (git SHA, build type, Z3) and exit
 //
@@ -93,6 +101,8 @@ struct Options {
   std::string stats_json;  // when set, write the verdict-stats-v1 document here
   std::string trace_out;   // when set, stream NDJSON engine events here
   std::string connect;     // when set, check LTL props via verdictd at this socket
+  bool wire_binary = true;        // --wire binary|ndjson
+  double connect_timeout = 0.0;   // --connect-timeout: retry window + I/O bound
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
@@ -114,6 +124,9 @@ struct Options {
                "  --stats-json FILE  write run results as JSON (verdict-stats-v1)\n"
                "  --trace-out FILE   stream structured engine events as NDJSON\n"
                "  --connect SOCK     check LTL properties via verdictd at SOCK\n"
+               "  --wire MODE        with --connect: binary (default) | ndjson\n"
+               "  --connect-timeout SECS  retry connect while verdictd starts;\n"
+               "                     also bounds each socket read/write\n"
                "  --quiet            only print the per-property verdict lines\n"
                "  --version          print version (git SHA, build type, Z3)\n"
                "exit codes:\n"
@@ -197,6 +210,22 @@ Options parse_args(int argc, char** argv) {
       options.trace_out = value();
     } else if (arg == "--connect") {
       options.connect = value();
+    } else if (arg == "--wire") {
+      const std::string mode = value();
+      if (mode == "binary") {
+        options.wire_binary = true;
+      } else if (mode == "ndjson") {
+        options.wire_binary = false;
+      } else {
+        std::fprintf(stderr, "--wire must be 'binary' or 'ndjson'\n");
+        usage(argv[0], 2);
+      }
+    } else if (arg == "--connect-timeout") {
+      options.connect_timeout = std::atof(value().c_str());
+      if (options.connect_timeout < 0) {
+        std::fprintf(stderr, "--connect-timeout must be non-negative\n");
+        usage(argv[0], 2);
+      }
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else if (arg == "--version") {
@@ -370,7 +399,11 @@ int main(int argc, char** argv) {
         std::ifstream model_in(options.model_path);
         std::stringstream model_text;
         model_text << model_in.rdbuf();
-        svc::Client client(options.connect);
+        svc::ClientOptions client_options;
+        client_options.binary = options.wire_binary;
+        client_options.connect_wait_seconds = options.connect_timeout;
+        client_options.io_timeout_seconds = options.connect_timeout;
+        svc::Client client(options.connect, client_options);
         const std::vector<svc::ClientVerdict> verdicts = client.check(
             model_text.str(), ltl_selected, options.engine, options.depth,
             options.timeout, options.optimize);

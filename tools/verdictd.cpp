@@ -18,6 +18,13 @@
 //   --cache-capacity N  in-memory verdict cache entries (default 4096)
 //   --cache-file FILE   NDJSON verdict store: loaded at startup, written on
 //                       graceful shutdown (SIGTERM/SIGINT)
+//   --batch-window MS   coalescing window in milliseconds: requests arriving
+//                       within it that share a (model, engine, depth,
+//                       deadline-class) fingerprint are verified as ONE
+//                       shared session run (default 2; 0 disables batching)
+//   --batch-max N       max requests per batch (default 16)
+//   --max-message BYTES reject inbound frames/lines larger than this
+//                       (default 8 MiB)
 //   --trace-out FILE    stream structured events to FILE as NDJSON
 //   --quiet             no startup/shutdown banner
 //   --version           print version (git SHA, build type, Z3) and exit
@@ -54,6 +61,9 @@ void handle_signal(int) {
                "  --queue-limit N     max in-flight requests before rejecting (64)\n"
                "  --cache-capacity N  in-memory verdict cache entries (4096)\n"
                "  --cache-file FILE   persistent verdict store (NDJSON)\n"
+               "  --batch-window MS   session-batching window, ms (2; 0 = off)\n"
+               "  --batch-max N       max requests per batch (16)\n"
+               "  --max-message BYTES inbound message size limit (8388608)\n"
                "  --trace-out FILE    stream structured events as NDJSON\n"
                "  --quiet             no startup/shutdown banner\n"
                "  --version           print version and exit\n",
@@ -68,6 +78,9 @@ int main(int argc, char** argv) {
 
   svc::DaemonOptions options;
   options.service.jobs = 0;  // a daemon defaults to every hardware thread
+  // The service plane batches by default: a 2ms window is below human (and
+  // CI) noticing but wide enough to coalesce a management-plane burst.
+  options.service.batch_window_seconds = 0.002;
   std::string trace_out;
   bool quiet = false;
 
@@ -87,6 +100,12 @@ int main(int argc, char** argv) {
       options.service.cache.capacity = static_cast<std::size_t>(std::atol(value().c_str()));
     } else if (arg == "--cache-file") {
       options.service.cache_file = value();
+    } else if (arg == "--batch-window") {
+      options.service.batch_window_seconds = std::atof(value().c_str()) / 1000.0;
+    } else if (arg == "--batch-max") {
+      options.service.batch_max = static_cast<std::size_t>(std::atol(value().c_str()));
+    } else if (arg == "--max-message") {
+      options.max_message_bytes = static_cast<std::size_t>(std::atol(value().c_str()));
     } else if (arg == "--trace-out") {
       trace_out = value();
     } else if (arg == "--quiet") {
