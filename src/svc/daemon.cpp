@@ -101,6 +101,7 @@ struct Daemon::Impl {
     bool peer_gone = false;    // read side saw EOF or error
     bool poisoned = false;     // protocol error: close once outbuf flushed
     bool dead = false;         // write side failed: close asap
+    bool in_epoll = false;     // fd currently registered with epoll
     std::uint32_t registered = 0;  // current epoll interest mask
     std::vector<std::shared_ptr<RequestCtx>> requests;
 
@@ -305,6 +306,7 @@ void Daemon::Impl::accept_ready() {
       ::close(fd);
       continue;
     }
+    conn->in_epoll = true;
     conn->registered = EPOLLIN;
     conns.emplace(fd, std::move(conn));
   }
@@ -316,11 +318,27 @@ void Daemon::Impl::update_interest(Conn& conn) {
       conn.want_read)
     want |= EPOLLIN;
   if (conn.unsent() > 0 && !conn.dead) want |= EPOLLOUT;
-  if (want == conn.registered) return;
+  if (want == 0) {
+    // Deregister rather than arm a zero mask: a fully closed peer reports
+    // EPOLLHUP/EPOLLERR level-triggered regardless of the interest mask, so
+    // an events==0 registration would spin the loop at 100% CPU until this
+    // connection's in-flight checks finish. Completions that queue response
+    // bytes re-add the fd below.
+    if (conn.in_epoll) {
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+      conn.in_epoll = false;
+      conn.registered = 0;
+    }
+    return;
+  }
+  if (conn.in_epoll && want == conn.registered) return;
   epoll_event ev{};
   ev.events = want;
   ev.data.fd = conn.fd;
-  ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+  if (::epoll_ctl(epoll_fd, conn.in_epoll ? EPOLL_CTL_MOD : EPOLL_CTL_ADD,
+                  conn.fd, &ev) != 0)
+    return;
+  conn.in_epoll = true;
   conn.registered = want;
 }
 

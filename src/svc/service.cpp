@@ -5,7 +5,6 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -63,21 +62,27 @@ std::uint64_t deadline_bucket(const util::Deadline& d) {
   return static_cast<std::uint64_t>(d.remaining_seconds() * 10.0);
 }
 
-// PropertyCacheHook that delegates to SessionCache and records which request
-// fingerprints were answered from the cache, so the batch fan-out can set
-// per-member cache_hit flags truthfully.
+// PropertyCacheHook that delegates to SessionCache and records which of the
+// session's properties were answered from the cache, so the batch fan-out can
+// set per-member cache_hit flags truthfully. Hits are recorded by property
+// INDEX, not fingerprint: check_all consults the hook exactly once per
+// property, in add order, before any engine runs (src/core/session.cpp), so
+// the k-th lookup call is property k. A fingerprint key would conflate two
+// batch members carrying the identical property — one computed, one served —
+// into the same hit flag.
 class RecordingSessionCache final : public core::PropertyCacheHook {
  public:
-  RecordingSessionCache(VerdictCache& cache, ReuseHook* reuse)
-      : inner_(cache, reuse) {}
+  RecordingSessionCache(VerdictCache& cache, ReuseHook* reuse,
+                        std::size_t num_properties)
+      : inner_(cache, reuse), hit_(num_properties, 0) {}
 
   std::optional<core::CheckOutcome> lookup(const ts::TransitionSystem& system,
                                            const ltl::Formula& property,
                                            core::Engine engine, int max_depth) override {
     std::optional<core::CheckOutcome> hit =
         inner_.lookup(system, property, engine, max_depth);
-    if (hit)
-      hits_.insert(fingerprint_request(system, property, engine, max_depth));
+    if (hit && next_ < hit_.size()) hit_[next_] = 1;
+    ++next_;
     return hit;
   }
 
@@ -87,13 +92,14 @@ class RecordingSessionCache final : public core::PropertyCacheHook {
     inner_.store(system, property, engine, max_depth, outcome);
   }
 
-  [[nodiscard]] bool was_hit(const Fingerprint& key) const {
-    return hits_.contains(key);
+  [[nodiscard]] bool was_hit(std::size_t index) const {
+    return index < hit_.size() && hit_[index] != 0;
   }
 
  private:
   SessionCache inner_;
-  std::unordered_set<Fingerprint, FingerprintHash> hits_;
+  std::vector<char> hit_;
+  std::size_t next_ = 0;
 };
 
 }  // namespace
@@ -487,7 +493,7 @@ void Service::dispatch_batch(std::shared_ptr<Batch> batch) {
         // over) before any engine runs, and offers fresh outcomes back — the
         // same per-property semantics as the direct path, minus single-
         // flight (concurrent identical requests land in ONE batch anyway).
-        RecordingSessionCache hook(*cache, reuse);
+        RecordingSessionCache hook(*cache, reuse, batch->entries.size());
         core::SessionResult result;
         std::string failure;
         try {
@@ -507,15 +513,21 @@ void Service::dispatch_batch(std::shared_ptr<Batch> batch) {
           failure = error.what();
         }
 
+        // Fill EVERY slot before signalling ANY member: a member's
+        // CheckRequest borrow only keeps *batch->system alive until that
+        // member's own completion, so once the first mark_done/on_complete
+        // fires, nothing shared (system, session result, hook) may be read
+        // on behalf of later members.
         for (std::size_t i = 0; i < batch->entries.size(); ++i) {
           Batch::Entry& entry = batch->entries[i];
           if (!failure.empty()) {
             entry.slot->outcome = failed_outcome(failure);
           } else {
             entry.slot->outcome = std::move(result.properties[i].outcome);
-            entry.slot->cache_hit = hook.was_hit(fingerprint_request(
-                *batch->system, entry.property, batch->engine, batch->max_depth));
+            entry.slot->cache_hit = hook.was_hit(i);
           }
+        }
+        for (Batch::Entry& entry : batch->entries) {
           entry.member->mark_done();
           // Same ordering rule as the direct path: the callback fires before
           // this member stops counting toward `active`, so drain() doubles

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -761,6 +762,85 @@ TEST(ServiceBatch, OnCompleteFiresExactlyOnceIncludingRejects) {
   service.drain();
   EXPECT_EQ(fired.load(), 8);
   EXPECT_GE(rejected, 1);  // queue_limit 1 under an 8-deep burst must bounce
+}
+
+TEST(ServiceBatch, BatchSystemNotReadAfterAnyMemberCompletes) {
+  // Two fingerprint-equal but DISTINCT system objects (the daemon produces
+  // these when model-LRU eviction re-parses the same text) coalesce into one
+  // batch that verifies against the FIRST member's system. The CheckRequest
+  // borrow only lasts until that member's own completion, so a contract-
+  // following caller may free its system from on_complete — the fan-out must
+  // fill every member's slot before signalling any of them (ASan catches the
+  // regression as a use-after-free on *batch->system).
+  auto sys_a = std::make_unique<ts::TransitionSystem>(counter_system("batch3"));
+  auto sys_b = std::make_unique<ts::TransitionSystem>(counter_system("batch3"));
+  const expr::Expr x = expr::var_by_name("batch3.x");
+
+  svc::ServiceOptions options;
+  options.jobs = 1;
+  options.batch_window_seconds = 0.05;  // generous: both submits join one batch
+  svc::Service service(options);
+
+  svc::CheckRequest first;
+  first.system = sys_a.get();
+  first.property = ltl::G(ltl::atom(x <= 7));
+  first.engine = core::Engine::kKInduction;
+  first.max_depth = 10;
+  first.on_complete = [&sys_a] { sys_a.reset(); };
+  svc::PendingCheck p1 = service.submit(first);
+
+  svc::CheckRequest second;
+  second.system = sys_b.get();
+  second.property = ltl::G(ltl::atom(x >= 0));
+  second.engine = core::Engine::kKInduction;
+  second.max_depth = 10;
+  svc::PendingCheck p2 = service.submit(second);
+
+  EXPECT_EQ(p1.wait().outcome.verdict, core::Verdict::kHolds);
+  EXPECT_EQ(p2.wait().outcome.verdict, core::Verdict::kHolds);
+  service.drain();
+  EXPECT_EQ(service.batches_formed(), 1u);  // they really shared one session
+}
+
+TEST(ServiceBatch, DuplicatePropertiesInOneBatchReportIndividualCacheHits) {
+  // Two members of one batch carrying the identical property share a request
+  // fingerprint; their cache_hit flags must still be recorded per member
+  // (by session property index), not keyed by fingerprint.
+  const ts::TransitionSystem sys = counter_system("batch4");
+  const expr::Expr x = expr::var_by_name("batch4.x");
+  const ltl::Formula prop = ltl::G(ltl::atom(x <= 7));
+
+  svc::ServiceOptions options;
+  options.jobs = 1;
+  options.batch_window_seconds = 0.05;
+  svc::Service service(options);
+
+  const auto submit_pair = [&] {
+    svc::CheckRequest request;
+    request.system = &sys;
+    request.property = prop;
+    request.engine = core::Engine::kKInduction;
+    request.max_depth = 10;
+    std::vector<svc::PendingCheck> pending;
+    pending.push_back(service.submit(request));
+    pending.push_back(service.submit(request));
+    std::vector<svc::CheckResponse> responses;
+    for (svc::PendingCheck& p : pending) responses.push_back(p.wait());
+    return responses;
+  };
+
+  // Cold cache: the shared session computes the pair — neither member may
+  // claim a hit just because its twin shares the fingerprint.
+  for (const svc::CheckResponse& r : submit_pair()) {
+    EXPECT_EQ(r.outcome.verdict, core::Verdict::kHolds);
+    EXPECT_FALSE(r.cache_hit);
+  }
+  // Warm cache: a fresh pair is answered from the verdict cache entirely.
+  for (const svc::CheckResponse& r : submit_pair()) {
+    EXPECT_EQ(r.outcome.verdict, core::Verdict::kHolds);
+    EXPECT_TRUE(r.cache_hit);
+  }
+  EXPECT_EQ(service.batches_formed(), 2u);
 }
 
 // --- Daemon wire modes and message bounds ------------------------------------

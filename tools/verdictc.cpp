@@ -38,10 +38,13 @@
 //                          frames, svc/frame.h) or "ndjson" (debug mode)
 //   --connect-timeout SECS with --connect: keep retrying the connect with
 //                          exponential backoff while verdictd is starting
-//                          (ECONNREFUSED/ENOENT), and bound each socket
-//                          read/write — a hung daemon fails instead of
-//                          hanging verdictc (default 0: one attempt, no
-//                          I/O bound)
+//                          (ECONNREFUSED/ENOENT) for up to SECS (default 0:
+//                          one attempt)
+//   --io-timeout SECS      with --connect: bound each socket read/write — a
+//                          hung daemon fails instead of hanging verdictc.
+//                          Size it to the SLOWEST single verification, not
+//                          the connect window: the daemon sends nothing
+//                          while a check runs (default 0: no I/O bound)
 //   --quiet                only print the per-property verdict lines
 //   --version              print version (git SHA, build type, Z3) and exit
 //
@@ -102,7 +105,8 @@ struct Options {
   std::string trace_out;   // when set, stream NDJSON engine events here
   std::string connect;     // when set, check LTL props via verdictd at this socket
   bool wire_binary = true;        // --wire binary|ndjson
-  double connect_timeout = 0.0;   // --connect-timeout: retry window + I/O bound
+  double connect_timeout = 0.0;   // --connect-timeout: connect retry window
+  double io_timeout = 0.0;        // --io-timeout: per-read/write socket bound
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
@@ -125,8 +129,9 @@ struct Options {
                "  --trace-out FILE   stream structured engine events as NDJSON\n"
                "  --connect SOCK     check LTL properties via verdictd at SOCK\n"
                "  --wire MODE        with --connect: binary (default) | ndjson\n"
-               "  --connect-timeout SECS  retry connect while verdictd starts;\n"
-               "                     also bounds each socket read/write\n"
+               "  --connect-timeout SECS  retry connect while verdictd starts\n"
+               "  --io-timeout SECS  bound each socket read/write (size to the\n"
+               "                     slowest single check; default: unbounded)\n"
                "  --quiet            only print the per-property verdict lines\n"
                "  --version          print version (git SHA, build type, Z3)\n"
                "exit codes:\n"
@@ -224,6 +229,12 @@ Options parse_args(int argc, char** argv) {
       options.connect_timeout = std::atof(value().c_str());
       if (options.connect_timeout < 0) {
         std::fprintf(stderr, "--connect-timeout must be non-negative\n");
+        usage(argv[0], 2);
+      }
+    } else if (arg == "--io-timeout") {
+      options.io_timeout = std::atof(value().c_str());
+      if (options.io_timeout < 0) {
+        std::fprintf(stderr, "--io-timeout must be non-negative\n");
         usage(argv[0], 2);
       }
     } else if (arg == "--quiet") {
@@ -402,7 +413,10 @@ int main(int argc, char** argv) {
         svc::ClientOptions client_options;
         client_options.binary = options.wire_binary;
         client_options.connect_wait_seconds = options.connect_timeout;
-        client_options.io_timeout_seconds = options.connect_timeout;
+        // Deliberately NOT defaulted from --connect-timeout: a check that
+        // runs longer than the connect window produces no socket bytes for
+        // that long, and a shared knob would abort it as "hung".
+        client_options.io_timeout_seconds = options.io_timeout;
         svc::Client client(options.connect, client_options);
         const std::vector<svc::ClientVerdict> verdicts = client.check(
             model_text.str(), ltl_selected, options.engine, options.depth,
