@@ -1,0 +1,94 @@
+#include "svc/ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace verdict::svc {
+
+namespace {
+
+// splitmix64 finalizer: turns the weak low-byte diffusion of FNV-1a (and of
+// raw fingerprint words) into uniformly spread circle positions.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Ring Ring::from_spec(const std::string& spec) {
+  std::vector<std::string> nodes;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    nodes.push_back(spec.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return from_nodes(std::move(nodes));
+}
+
+Ring Ring::from_nodes(std::vector<std::string> nodes) {
+  if (nodes.empty())
+    throw std::invalid_argument("Ring: cluster spec names no nodes");
+  std::sort(nodes.begin(), nodes.end());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].empty())
+      throw std::invalid_argument("Ring: cluster spec has an empty node id");
+    if (i > 0 && nodes[i] == nodes[i - 1])
+      throw std::invalid_argument("Ring: duplicate node id '" + nodes[i] + "'");
+  }
+
+  Ring ring;
+  ring.nodes_ = std::move(nodes);
+  ring.points_.reserve(ring.nodes_.size() * kVirtualNodesPerNode);
+  for (std::size_t n = 0; n < ring.nodes_.size(); ++n) {
+    for (std::size_t v = 0; v < kVirtualNodesPerNode; ++v) {
+      const std::uint64_t position =
+          mix64(fnv1a64(ring.nodes_[n] + "#" + std::to_string(v)));
+      ring.points_.push_back({position, static_cast<std::uint32_t>(n)});
+    }
+  }
+  // Tie-break equal positions by node id so the ring is a pure function of
+  // the node SET, independent of the order ids appeared in the spec.
+  std::sort(ring.points_.begin(), ring.points_.end(),
+            [&](const Point& a, const Point& b) {
+              if (a.position != b.position) return a.position < b.position;
+              return ring.nodes_[a.node] < ring.nodes_[b.node];
+            });
+  return ring;
+}
+
+std::uint64_t Ring::point_of(const Fingerprint& key) {
+  return mix64(key.hi ^ mix64(key.lo));
+}
+
+std::size_t Ring::owner(const Fingerprint& key) const {
+  const std::uint64_t position = point_of(key);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), position,
+      [](const Point& p, std::uint64_t pos) { return p.position < pos; });
+  // Past the last point: wrap around to the first (the circle closes).
+  if (it == points_.end()) return points_.front().node;
+  return it->node;
+}
+
+std::optional<std::size_t> Ring::index_of(const std::string& id) const {
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), id);
+  if (it == nodes_.end() || *it != id) return std::nullopt;
+  return static_cast<std::size_t>(it - nodes_.begin());
+}
+
+}  // namespace verdict::svc

@@ -1,0 +1,75 @@
+// Consistent-hash ring: deterministic fingerprint -> shard assignment.
+//
+// A cluster of verdictd shards agrees on who owns which request fingerprint
+// with no coordination beyond a shared `--cluster` spec (comma-separated
+// shard socket paths). Every shard — and the router, and verdictc's
+// `--shard-of` — builds the identical ring from that spec:
+//
+//   * each node contributes kVirtualNodes points on a 64-bit circle, placed
+//     by hashing "id#vnode" (FNV-1a 64 + a splitmix64 finalizer, so points
+//     are well spread even for near-identical socket paths);
+//   * a fingerprint's owner is the node of the first point clockwise from
+//     the fingerprint's own 64-bit position (wrapping at the top);
+//   * the ring depends only on the SET of node ids — spec order is
+//     irrelevant, and adding/removing one node moves only the ~K/N keys
+//     whose successor point belonged to it (tests/svc_test.cpp pins this).
+//
+// Ownership is advisory, not authoritative: a shard that cannot reach the
+// owner computes locally (docs/sharding.md, "degradation"), so a ring
+// disagreement during a rolling spec change costs duplicate work, never
+// wrong answers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svc/fingerprint.h"
+
+namespace verdict::svc {
+
+/// Virtual nodes per physical node. 64 keeps the max/min load ratio across
+/// shards under ~1.3 for the cluster sizes this repo targets (2-16).
+inline constexpr std::size_t kVirtualNodesPerNode = 64;
+
+class Ring {
+ public:
+  /// Builds a ring from a `--cluster` spec: comma-separated node ids
+  /// (socket paths). Throws std::invalid_argument on an empty spec, an
+  /// empty id, or a duplicate id.
+  [[nodiscard]] static Ring from_spec(const std::string& spec);
+
+  /// Builds a ring from an explicit node list (same validation as from_spec).
+  [[nodiscard]] static Ring from_nodes(std::vector<std::string> nodes);
+
+  /// Node index (into nodes()) that owns this fingerprint.
+  [[nodiscard]] std::size_t owner(const Fingerprint& key) const;
+
+  /// Node id that owns this fingerprint.
+  [[nodiscard]] const std::string& owner_id(const Fingerprint& key) const {
+    return nodes_[owner(key)];
+  }
+
+  /// Index of `id` in nodes(), or nullopt when the id is not in the ring.
+  [[nodiscard]] std::optional<std::size_t> index_of(const std::string& id) const;
+
+  /// Member nodes, sorted (the canonical order indexes refer to).
+  [[nodiscard]] const std::vector<std::string>& nodes() const { return nodes_; }
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Position of a fingerprint on the 64-bit circle (exposed for tests).
+  [[nodiscard]] static std::uint64_t point_of(const Fingerprint& key);
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    std::uint32_t node;  // index into nodes_
+  };
+
+  std::vector<std::string> nodes_;   // sorted, unique
+  std::vector<Point> points_;        // sorted by (position, node id)
+};
+
+}  // namespace verdict::svc

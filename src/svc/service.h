@@ -10,7 +10,10 @@
 //     each spawning private solvers threads,
 //   * a VerdictCache — requests are fingerprinted (svc/fingerprint.h) and
 //     served from cache when a definitive verdict is known; identical
-//     in-flight requests collapse to one solver run (single-flight),
+//     in-flight requests collapse to one solver run (single-flight). When
+//     configured as a cluster shard, the LRU is the first of three store
+//     tiers — LRU, mmap'd segment (svc/segment.h), ring-owner peer fetch
+//     (svc/peer.h) — consulted in that order on a miss (docs/sharding.md),
 //   * a bounded admission queue — at most `queue_limit` admitted-but-
 //     unfinished requests; beyond that submit() rejects immediately with a
 //     kUnknown outcome instead of letting latency grow without bound,
@@ -41,7 +44,9 @@
 #include "core/checker.h"
 #include "core/session.h"
 #include "portfolio/pool.h"
+#include "svc/peer.h"
 #include "svc/reuse.h"
+#include "svc/segment.h"
 #include "svc/verdict_cache.h"
 #include "util/stopwatch.h"
 
@@ -62,9 +67,22 @@ struct ServiceOptions {
   /// of waiting out the window.
   std::size_t batch_max = 16;
   CacheOptions cache;
-  /// When non-empty: the persistent verdict store, loaded at construction
-  /// and saved on drain().
+  /// When non-empty: the NDJSON snapshot file, loaded at construction and
+  /// saved (atomically, write-temp + rename) on drain().
   std::string cache_file;
+  /// When non-empty: the mmap'd persistent segment (svc/segment.h). Opened
+  /// at construction (its entries warm the LRU) and appended on every fresh
+  /// definitive verdict, so verdicts survive a crash between NDJSON
+  /// snapshots — the hot-path persistence tier.
+  std::string segment_file;
+  /// Comma-separated cluster spec (every shard's socket path). When
+  /// non-empty, enables the peer tier: a local miss on a fingerprint the
+  /// ring assigns to another shard is fetched via PEER_GET before being
+  /// computed, and fresh verdicts are PEER_PUT to their ring owner.
+  /// `self_id` must then name this daemon's own entry in the spec.
+  std::string cluster;
+  std::string self_id;
+  PeerOptions peer;
 };
 
 /// One verification request: a property against a system. The system is
@@ -141,6 +159,18 @@ class Service {
   void drain();
 
   [[nodiscard]] VerdictCache& cache() { return *cache_; }
+  /// Persistent segment tier; null unless ServiceOptions::segment_file set.
+  [[nodiscard]] SegmentStore* segment() { return segment_.get(); }
+  /// Peer tier; null unless ServiceOptions::cluster set.
+  [[nodiscard]] PeerExchange* peers() { return peers_.get(); }
+
+  /// Local-tiers-only lookup (LRU, then segment — never the peer tier) and
+  /// insert (LRU + segment). This is what the daemon serves PEER_GET /
+  /// PEER_PUT from: peer questions are answered with what THIS shard holds,
+  /// one bounded hop, no recursion and no computation.
+  [[nodiscard]] std::optional<CachedVerdict> store_lookup(const Fingerprint& key);
+  void store_insert(const Fingerprint& key, CachedVerdict value);
+
   [[nodiscard]] std::size_t queue_depth() const;
   [[nodiscard]] std::uint64_t requests() const;
   [[nodiscard]] std::uint64_t rejected() const;
@@ -168,6 +198,8 @@ class Service {
 
   ServiceOptions options_;
   std::unique_ptr<VerdictCache> cache_;
+  std::unique_ptr<SegmentStore> segment_;   // null without segment_file
+  std::unique_ptr<PeerExchange> peers_;     // null without a cluster spec
   std::unique_ptr<portfolio::ThreadPool> pool_;
   std::unique_ptr<Inflight> inflight_;
   std::unique_ptr<Batcher> batcher_;  // null when batching is disabled
@@ -181,9 +213,13 @@ class SessionCache final : public core::PropertyCacheHook {
  public:
   /// `reuse` (optional, borrowed) adds cross-version reuse on exact-match
   /// misses: a verdict carried over from a previous model version is served
-  /// as a hit and re-inserted under the new request fingerprint.
-  explicit SessionCache(VerdictCache& cache, ReuseHook* reuse = nullptr)
-      : cache_(cache), reuse_(reuse) {}
+  /// as a hit and re-inserted under the new request fingerprint. `segment`
+  /// and `peers` (optional, borrowed) extend misses through the daemon's
+  /// remaining store tiers in lookup order — segment, then ring owner — and
+  /// write fresh outcomes through to both.
+  explicit SessionCache(VerdictCache& cache, ReuseHook* reuse = nullptr,
+                        SegmentStore* segment = nullptr, PeerExchange* peers = nullptr)
+      : cache_(cache), reuse_(reuse), segment_(segment), peers_(peers) {}
 
   std::optional<core::CheckOutcome> lookup(const ts::TransitionSystem& system,
                                            const ltl::Formula& property,
@@ -195,6 +231,8 @@ class SessionCache final : public core::PropertyCacheHook {
  private:
   VerdictCache& cache_;
   ReuseHook* reuse_ = nullptr;
+  SegmentStore* segment_ = nullptr;
+  PeerExchange* peers_ = nullptr;
 };
 
 }  // namespace verdict::svc

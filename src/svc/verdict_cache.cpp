@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <fstream>
 #include <list>
 #include <mutex>
@@ -47,6 +48,74 @@ CachedVerdict cached_from_outcome(const core::CheckOutcome& outcome) {
   v.depth_reached = outcome.stats.depth_reached;
   if (outcome.counterexample) v.counterexample_json = trace_to_json(*outcome.counterexample);
   return v;
+}
+
+std::string cached_to_json(const Fingerprint& key, const CachedVerdict& v) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", kSchema);
+  w.kv("key", key.str());
+  w.kv("verdict", core::verdict_name(v.verdict));
+  w.kv("engine", v.engine);
+  if (!v.message.empty()) w.kv("message", v.message);
+  w.kv("seconds", v.seconds);
+  w.kv("solver_seconds", v.solver_seconds);
+  w.kv("solver_checks", v.solver_checks);
+  w.kv("depth", static_cast<std::int64_t>(v.depth_reached));
+  if (!v.counterexample_json.empty()) {
+    w.key("counterexample");
+    // Re-embed the stored JSON as structured JSON, not a string blob.
+    w.raw_value(v.counterexample_json);
+  }
+  if (v.prop_key != Fingerprint{}) w.kv("prop_key", v.prop_key.str());
+  if (v.cone_fp != Fingerprint{}) w.kv("cone_fp", v.cone_fp.str());
+  if (!v.artifact_json.empty()) {
+    w.key("artifact");
+    w.raw_value(v.artifact_json);
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::optional<std::pair<Fingerprint, CachedVerdict>> cached_from_json(
+    const std::string& line) {
+  obs::JsonValue doc;
+  try {
+    doc = obs::parse_json(line);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!doc.is_object() || !doc["schema"].is_string() ||
+      (doc["schema"].string != kSchema && doc["schema"].string != kSchemaV1) ||
+      !doc["key"].is_string() || !doc["verdict"].is_string()) {
+    return std::nullopt;
+  }
+  const std::optional<Fingerprint> key = Fingerprint::parse(doc["key"].string);
+  const std::optional<core::Verdict> verdict = verdict_from_name(doc["verdict"].string);
+  if (!key || !verdict) return std::nullopt;
+  CachedVerdict v;
+  v.verdict = *verdict;
+  if (doc["engine"].is_string()) v.engine = doc["engine"].string;
+  if (doc["message"].is_string()) v.message = doc["message"].string;
+  if (doc["seconds"].is_number()) v.seconds = doc["seconds"].number;
+  if (doc["solver_seconds"].is_number()) v.solver_seconds = doc["solver_seconds"].number;
+  if (doc["solver_checks"].is_number())
+    v.solver_checks = static_cast<std::size_t>(doc["solver_checks"].number);
+  if (doc["depth"].is_number()) v.depth_reached = static_cast<int>(doc["depth"].number);
+  if (doc.has("counterexample"))
+    v.counterexample_json = obs::to_json(doc["counterexample"]);
+  if (doc["prop_key"].is_string())
+    if (const std::optional<Fingerprint> fp = Fingerprint::parse(doc["prop_key"].string))
+      v.prop_key = *fp;
+  if (doc["cone_fp"].is_string())
+    if (const std::optional<Fingerprint> fp = Fingerprint::parse(doc["cone_fp"].string))
+      v.cone_fp = *fp;
+  if (doc.has("artifact")) v.artifact_json = obs::to_json(doc["artifact"]);
+  // The cacheability rule applies on every way IN — file load, segment scan,
+  // peer response: a tampered or stale source cannot plant an UNKNOWN (or a
+  // trace-less violation).
+  if (!cacheable(v)) return std::nullopt;
+  return std::make_pair(*key, std::move(v));
 }
 
 std::optional<core::CheckOutcome> outcome_from_cached(const CachedVerdict& v) {
@@ -238,39 +307,29 @@ void VerdictCache::for_each(
 void VerdictCache::save(std::ostream& out) const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    for (const auto& [key, v] : shard->lru) {
-      obs::JsonWriter w;
-      w.begin_object();
-      w.kv("schema", kSchema);
-      w.kv("key", key.str());
-      w.kv("verdict", core::verdict_name(v.verdict));
-      w.kv("engine", v.engine);
-      if (!v.message.empty()) w.kv("message", v.message);
-      w.kv("seconds", v.seconds);
-      w.kv("solver_seconds", v.solver_seconds);
-      w.kv("solver_checks", v.solver_checks);
-      w.kv("depth", static_cast<std::int64_t>(v.depth_reached));
-      if (!v.counterexample_json.empty()) {
-        w.key("counterexample");
-        // Re-embed the stored JSON as structured JSON, not a string blob.
-        w.raw_value(v.counterexample_json);
-      }
-      if (v.prop_key != Fingerprint{}) w.kv("prop_key", v.prop_key.str());
-      if (v.cone_fp != Fingerprint{}) w.kv("cone_fp", v.cone_fp.str());
-      if (!v.artifact_json.empty()) {
-        w.key("artifact");
-        w.raw_value(v.artifact_json);
-      }
-      w.end_object();
-      out << w.str() << '\n';
-    }
+    for (const auto& [key, v] : shard->lru) out << cached_to_json(key, v) << '\n';
   }
 }
 
 void VerdictCache::save_file(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("VerdictCache: cannot write " + path);
-  save(out);
+  // Write-temp + rename: rename(2) is atomic within a filesystem, so readers
+  // (another shard loading the file, a restarted daemon) see either the
+  // previous complete snapshot or the new one — never a torn file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("VerdictCache: cannot write " + tmp);
+    save(out);
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("VerdictCache: short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("VerdictCache: cannot rename " + tmp + " -> " + path);
+  }
 }
 
 std::size_t VerdictCache::load(std::istream& in) {
@@ -278,50 +337,12 @@ std::size_t VerdictCache::load(std::istream& in) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    obs::JsonValue doc;
-    try {
-      doc = obs::parse_json(line);
-    } catch (const std::exception&) {
+    std::optional<std::pair<Fingerprint, CachedVerdict>> entry = cached_from_json(line);
+    if (!entry) {
       obs::count("svc.cache.load_skipped");
       continue;
     }
-    if (!doc.is_object() || !doc["schema"].is_string() ||
-        (doc["schema"].string != kSchema && doc["schema"].string != kSchemaV1) ||
-        !doc["key"].is_string() || !doc["verdict"].is_string()) {
-      obs::count("svc.cache.load_skipped");
-      continue;
-    }
-    const std::optional<Fingerprint> key = Fingerprint::parse(doc["key"].string);
-    const std::optional<core::Verdict> verdict = verdict_from_name(doc["verdict"].string);
-    if (!key || !verdict) {
-      obs::count("svc.cache.load_skipped");
-      continue;
-    }
-    CachedVerdict v;
-    v.verdict = *verdict;
-    if (doc["engine"].is_string()) v.engine = doc["engine"].string;
-    if (doc["message"].is_string()) v.message = doc["message"].string;
-    if (doc["seconds"].is_number()) v.seconds = doc["seconds"].number;
-    if (doc["solver_seconds"].is_number()) v.solver_seconds = doc["solver_seconds"].number;
-    if (doc["solver_checks"].is_number())
-      v.solver_checks = static_cast<std::size_t>(doc["solver_checks"].number);
-    if (doc["depth"].is_number()) v.depth_reached = static_cast<int>(doc["depth"].number);
-    if (doc.has("counterexample"))
-      v.counterexample_json = obs::to_json(doc["counterexample"]);
-    if (doc["prop_key"].is_string())
-      if (const std::optional<Fingerprint> fp = Fingerprint::parse(doc["prop_key"].string))
-        v.prop_key = *fp;
-    if (doc["cone_fp"].is_string())
-      if (const std::optional<Fingerprint> fp = Fingerprint::parse(doc["cone_fp"].string))
-        v.cone_fp = *fp;
-    if (doc.has("artifact")) v.artifact_json = obs::to_json(doc["artifact"]);
-    // The cacheability rule applies on the way IN from disk too: a tampered
-    // or stale file cannot plant an UNKNOWN (or a trace-less violation).
-    if (!cacheable(v)) {
-      obs::count("svc.cache.load_skipped");
-      continue;
-    }
-    insert(*key, std::move(v));
+    insert(entry->first, std::move(entry->second));
     ++loaded;
   }
   return loaded;

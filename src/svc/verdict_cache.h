@@ -31,6 +31,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/result.h"
@@ -83,6 +84,20 @@ struct CachedVerdict {
 [[nodiscard]] std::optional<core::CheckOutcome> outcome_from_cached(
     const CachedVerdict& v);
 
+/// One "verdict-cache-v2" JSON object (no trailing newline). This line format
+/// is the single interchange encoding for every store tier: the NDJSON cache
+/// file, the mmap'd segment payloads (svc/segment.h), and the PEER_GET /
+/// PEER_PUT entry bodies (svc/peer.h) all carry exactly this object.
+[[nodiscard]] std::string cached_to_json(const Fingerprint& key,
+                                         const CachedVerdict& v);
+
+/// Parses one v2 (or legacy v1) line back into (key, verdict). Returns
+/// nullopt for malformed lines AND for non-cacheable verdicts — the
+/// cacheability rule is enforced here so no deserialization path (file load,
+/// segment scan, peer response) can plant an indefinite verdict.
+[[nodiscard]] std::optional<std::pair<Fingerprint, CachedVerdict>>
+cached_from_json(const std::string& line);
+
 class VerdictCache {
  public:
   explicit VerdictCache(const CacheOptions& options = {});
@@ -119,6 +134,9 @@ class VerdictCache {
 
   /// Writes every entry as one "verdict-cache-v2" NDJSON line.
   void save(std::ostream& out) const;
+  /// Atomic on-disk snapshot: writes `path + ".tmp"` then rename()s it over
+  /// `path`, so a daemon killed mid-save leaves either the old file or the
+  /// new one — never a truncated half-file another shard then loads.
   void save_file(const std::string& path) const;  // throws on open failure
 
   /// Loads entries from an NDJSON stream produced by save() (or anything

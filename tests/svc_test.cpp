@@ -11,6 +11,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -22,11 +24,15 @@
 #include "expr/expr.h"
 #include "ltl/ltl.h"
 #include "mdl/vml.h"
+#include "obs/trace.h"
 #include "scenarios/rollout_partition.h"
 #include "svc/client.h"
 #include "svc/daemon.h"
 #include "svc/fingerprint.h"
 #include "svc/frame.h"
+#include "svc/peer.h"
+#include "svc/ring.h"
+#include "svc/segment.h"
 #include "svc/service.h"
 #include "svc/stored_trace.h"
 #include "svc/verdict_cache.h"
@@ -564,7 +570,7 @@ TEST(Daemon, RejectsBadRequestsWithoutDying) {
 TEST(Frame, RoundTripsEveryType) {
   for (const svc::FrameType type :
        {svc::FrameType::kRequest, svc::FrameType::kVerdict, svc::FrameType::kDone,
-        svc::FrameType::kError}) {
+        svc::FrameType::kError, svc::FrameType::kPeerGet, svc::FrameType::kPeerPut}) {
     const std::string payload = R"({"id":"1","k":"v"})";
     const std::string wire = svc::encode_frame(type, payload);
     EXPECT_EQ(wire.size(), svc::kFrameHeaderBytes + payload.size());
@@ -996,6 +1002,354 @@ TEST(StoredTrace, UnknownVariablesFailSoft) {
                    R"("states":[{"no.such.var.anywhere":1}]})")
                    .has_value());
   EXPECT_FALSE(svc::trace_from_json("not json at all").has_value());
+}
+
+// --- Consistent-hash ring ----------------------------------------------------
+
+// Deterministic key stream (no std::random — the suite must be replayable).
+std::vector<Fingerprint> synthetic_keys(std::size_t n) {
+  std::vector<Fingerprint> keys;
+  keys.reserve(n);
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t hi = s;
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    keys.push_back(Fingerprint{hi, s});
+  }
+  return keys;
+}
+
+TEST(Ring, DeterministicAcrossSpecOrder) {
+  const svc::Ring a = svc::Ring::from_spec("/run/s1.sock,/run/s2.sock,/run/s3.sock");
+  const svc::Ring b = svc::Ring::from_spec("/run/s3.sock,/run/s1.sock,/run/s2.sock");
+  ASSERT_EQ(a.nodes(), b.nodes());  // canonical (sorted) member order
+  for (const Fingerprint& key : synthetic_keys(512))
+    EXPECT_EQ(a.owner_id(key), b.owner_id(key));
+}
+
+TEST(Ring, RejectsEmptyAndDuplicateSpecs) {
+  EXPECT_THROW((void)svc::Ring::from_spec(""), std::invalid_argument);
+  EXPECT_THROW((void)svc::Ring::from_spec("a,,b"), std::invalid_argument);
+  EXPECT_THROW((void)svc::Ring::from_spec("a,b,a"), std::invalid_argument);
+  EXPECT_NO_THROW((void)svc::Ring::from_spec("solo"));
+}
+
+TEST(Ring, SpreadIsRoughlyBalanced) {
+  // kVirtualNodesPerNode points per node must keep every shard within a
+  // loose band of the fair share (the header claims ~1.3 max/min; assert 2x
+  // so the test pins the mechanism, not the constant).
+  const svc::Ring ring = svc::Ring::from_spec("sh-a,sh-b,sh-c,sh-d");
+  const std::vector<Fingerprint> keys = synthetic_keys(4096);
+  std::vector<std::size_t> load(ring.size(), 0);
+  for (const Fingerprint& key : keys) ++load[ring.owner(key)];
+  const std::size_t fair = keys.size() / ring.size();
+  for (std::size_t s = 0; s < load.size(); ++s) {
+    EXPECT_GT(load[s], fair / 2) << "shard " << s << " starved";
+    EXPECT_LT(load[s], fair * 2) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(Ring, JoinMovesOnlyKeysToTheNewNode) {
+  const svc::Ring before = svc::Ring::from_spec("n1,n2,n3");
+  const svc::Ring after = svc::Ring::from_spec("n1,n2,n3,n4");
+  const std::vector<Fingerprint> keys = synthetic_keys(4096);
+  std::size_t moved = 0;
+  for (const Fingerprint& key : keys) {
+    const std::string& was = before.owner_id(key);
+    const std::string& now = after.owner_id(key);
+    if (was != now) {
+      // The ONLY legal move is onto the joining node — consistent hashing's
+      // defining property. Any other reshuffle would dump every shard's
+      // warm set on a topology change.
+      EXPECT_EQ(now, "n4");
+      ++moved;
+    }
+  }
+  // Expected share is 1/4 of the keyspace; accept a loose band around it.
+  EXPECT_GT(moved, keys.size() / 8);
+  EXPECT_LT(moved, keys.size() / 2);
+}
+
+TEST(Ring, LeaveMovesOnlyOrphanedKeys) {
+  const svc::Ring before = svc::Ring::from_spec("n1,n2,n3,n4");
+  const svc::Ring after = svc::Ring::from_spec("n1,n2,n3");
+  for (const Fingerprint& key : synthetic_keys(4096)) {
+    // Keys the departed node did not own must not move at all.
+    if (before.owner_id(key) != "n4")
+      EXPECT_EQ(before.owner_id(key), after.owner_id(key));
+  }
+}
+
+// --- Persistent segment ------------------------------------------------------
+
+TEST(Segment, RoundTripsAcrossReopen) {
+  char dir[] = "/tmp/svc_test.XXXXXX";
+  ASSERT_NE(::mkdtemp(dir), nullptr);
+  const std::string path = std::string(dir) + "/verdicts.seg";
+  {
+    svc::SegmentStore segment(path);
+    for (std::uint64_t i = 0; i < 3; ++i)
+      EXPECT_TRUE(segment.append(key_of(i), holds_verdict(1.0 + static_cast<double>(i))));
+    EXPECT_EQ(segment.size(), 3u);
+  }
+  {
+    // A fresh process (modelled by a fresh SegmentStore) replays the log.
+    svc::SegmentStore segment(path);
+    EXPECT_EQ(segment.size(), 3u);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      const auto held = segment.lookup(key_of(i));
+      ASSERT_TRUE(held.has_value());
+      EXPECT_EQ(held->verdict, core::Verdict::kHolds);
+      EXPECT_DOUBLE_EQ(held->seconds, 1.0 + static_cast<double>(i));
+    }
+    EXPECT_FALSE(segment.lookup(key_of(99)).has_value());
+  }
+  ::unlink(path.c_str());
+  ::rmdir(dir);
+}
+
+TEST(Segment, LaterAppendSupersedes) {
+  char dir[] = "/tmp/svc_test.XXXXXX";
+  ASSERT_NE(::mkdtemp(dir), nullptr);
+  const std::string path = std::string(dir) + "/verdicts.seg";
+  {
+    svc::SegmentStore segment(path);
+    EXPECT_TRUE(segment.append(key_of(5), holds_verdict(1.0)));
+    EXPECT_TRUE(segment.append(key_of(5), holds_verdict(2.0)));
+    EXPECT_EQ(segment.size(), 1u);  // one key, latest record wins
+  }
+  svc::SegmentStore segment(path);
+  const auto held = segment.lookup(key_of(5));
+  ASSERT_TRUE(held.has_value());
+  EXPECT_DOUBLE_EQ(held->seconds, 2.0);
+  ::unlink(path.c_str());
+  ::rmdir(dir);
+}
+
+TEST(Segment, TornTailIsDiscardedCleanly) {
+  char dir[] = "/tmp/svc_test.XXXXXX";
+  ASSERT_NE(::mkdtemp(dir), nullptr);
+  const std::string path = std::string(dir) + "/verdicts.seg";
+  {
+    svc::SegmentStore segment(path);
+    EXPECT_TRUE(segment.append(key_of(1), holds_verdict(1.0)));
+    svc::CachedVerdict marked = holds_verdict(2.0);
+    marked.message = "TEAR-THIS-RECORD-APART";
+    EXPECT_TRUE(segment.append(key_of(2), marked));
+  }
+  // Corrupt one payload byte of the SECOND record — the checksum now fails,
+  // modelling a crash mid-append (the marker is written last, but a torn
+  // payload under a valid marker must also be caught).
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    std::string bytes((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+    const std::size_t at = bytes.find("TEAR-THIS");
+    ASSERT_NE(at, std::string::npos);
+    file.seekp(static_cast<std::streamoff>(at));
+    file.put('X');
+  }
+  svc::SegmentStore segment(path);
+  EXPECT_EQ(segment.size(), 1u);  // the tail is gone, the prefix intact
+  EXPECT_TRUE(segment.lookup(key_of(1)).has_value());
+  EXPECT_FALSE(segment.lookup(key_of(2)).has_value());
+  // And the reopened segment still accepts appends after the truncation.
+  EXPECT_TRUE(segment.append(key_of(3), holds_verdict(3.0)));
+  EXPECT_TRUE(segment.lookup(key_of(3)).has_value());
+  ::unlink(path.c_str());
+  ::rmdir(dir);
+}
+
+TEST(Segment, RefusesNonDefinitiveValues) {
+  char dir[] = "/tmp/svc_test.XXXXXX";
+  ASSERT_NE(::mkdtemp(dir), nullptr);
+  const std::string path = std::string(dir) + "/verdicts.seg";
+  svc::SegmentStore segment(path);
+  svc::CachedVerdict timeout = holds_verdict();
+  timeout.verdict = core::Verdict::kTimeout;
+  EXPECT_FALSE(segment.append(key_of(1), timeout));
+  svc::CachedVerdict traceless = holds_verdict();
+  traceless.verdict = core::Verdict::kViolated;  // violated without evidence
+  EXPECT_FALSE(segment.append(key_of(2), traceless));
+  EXPECT_EQ(segment.size(), 0u);
+  ::unlink(path.c_str());
+  ::rmdir(dir);
+}
+
+TEST(Segment, RejectsForeignFile) {
+  char dir[] = "/tmp/svc_test.XXXXXX";
+  ASSERT_NE(::mkdtemp(dir), nullptr);
+  const std::string path = std::string(dir) + "/not-a-segment";
+  {
+    std::ofstream out(path);
+    out << "this file belongs to some other subsystem entirely\n";
+  }
+  EXPECT_THROW(svc::SegmentStore segment(path), std::runtime_error);
+  ::unlink(path.c_str());
+  ::rmdir(dir);
+}
+
+// --- Atomic snapshot save ----------------------------------------------------
+
+TEST(VerdictCache, SaveFileReplacesAtomically) {
+  char dir[] = "/tmp/svc_test.XXXXXX";
+  ASSERT_NE(::mkdtemp(dir), nullptr);
+  const std::string path = std::string(dir) + "/cache.ndjson";
+
+  svc::VerdictCache first;
+  first.insert(key_of(1), holds_verdict(1.0));
+  first.save_file(path);
+  svc::VerdictCache second;
+  second.insert(key_of(2), holds_verdict(2.0));
+  second.insert(key_of(3), holds_verdict(3.0));
+  second.save_file(path);  // full replace of the previous snapshot
+
+  // No temp file may linger — the write lands via rename, so a crash mid-save
+  // leaves the old snapshot untouched rather than a half-written new one.
+  EXPECT_NE(::access((path + ".tmp").c_str(), F_OK), 0);
+  svc::VerdictCache reloaded;
+  EXPECT_EQ(reloaded.load_file(path), 2u);
+  EXPECT_FALSE(reloaded.lookup(key_of(1)).has_value());
+  EXPECT_TRUE(reloaded.lookup(key_of(2)).has_value());
+  EXPECT_TRUE(reloaded.lookup(key_of(3)).has_value());
+
+  ::unlink(path.c_str());
+  ::rmdir(dir);
+}
+
+// --- Two-shard cluster (in-process) ------------------------------------------
+
+// Fixture facts: both daemons share this process's global counters, so the
+// assertions read obs::counters_snapshot() deltas instead of flags the wire
+// protocol does not carry.
+std::uint64_t counter_or_zero(const std::map<std::string, std::uint64_t>& counters,
+                              const std::string& name) {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0u : it->second;
+}
+
+TEST(Cluster, PeerFetchServesAcrossShards) {
+  const mdl::VmlModel model = mdl::parse_vml(kDaemonModel);
+  char dir[] = "/tmp/svc_test.XXXXXX";
+  ASSERT_NE(::mkdtemp(dir), nullptr);
+  const std::string sock_a = std::string(dir) + "/a.sock";
+  const std::string sock_b = std::string(dir) + "/b.sock";
+  const std::string spec = sock_a + "," + sock_b;
+
+  auto make_daemon = [&](const std::string& sock) {
+    svc::DaemonOptions options;
+    options.socket_path = sock;
+    options.service.jobs = 2;
+    options.service.batch_window_seconds = 0.0;
+    options.service.cluster = spec;
+    options.service.self_id = sock;
+    return std::make_unique<svc::Daemon>(options);
+  };
+  auto daemon_a = make_daemon(sock_a);
+  auto daemon_b = make_daemon(sock_b);
+  std::thread serve_a([&] { daemon_a->serve(); });
+  std::thread serve_b([&] { daemon_b->serve(); });
+
+  // Pick the shard that OWNS bound_ok's fingerprint for the cold compute, so
+  // the second shard's warm request must cross the peer tier (PEER_GET).
+  const svc::Ring ring = svc::Ring::from_nodes({sock_a, sock_b});
+  const Fingerprint fp = svc::fingerprint_request(
+      model.system, model.ltl_properties.at("bound_ok"),
+      core::Engine::kKInduction, 10);
+  const std::string owner_sock = ring.owner_id(fp);
+  const std::string other_sock = owner_sock == sock_a ? sock_b : sock_a;
+
+  const std::map<std::string, std::uint64_t> before = obs::counters_snapshot();
+  core::Verdict cold, warm;
+  {
+    svc::Client client(owner_sock);
+    const auto verdicts =
+        client.check(kDaemonModel, {"bound_ok"}, core::Engine::kKInduction, 10, 0.0);
+    ASSERT_EQ(verdicts.size(), 1u);
+    cold = verdicts[0].outcome.verdict;
+  }
+  {
+    svc::Client client(other_sock);
+    const auto verdicts =
+        client.check(kDaemonModel, {"bound_ok"}, core::Engine::kKInduction, 10, 0.0);
+    ASSERT_EQ(verdicts.size(), 1u);
+    warm = verdicts[0].outcome.verdict;
+  }
+  const std::map<std::string, std::uint64_t> after = obs::counters_snapshot();
+
+  EXPECT_EQ(cold, core::Verdict::kHolds);
+  EXPECT_EQ(warm, cold);
+  // The non-owner went to the ring, asked the owner, and got a hit; the
+  // owner served it from its local tiers.
+  EXPECT_GE(counter_or_zero(after, "svc.ring.remote") -
+                counter_or_zero(before, "svc.ring.remote"), 1u);
+  EXPECT_GE(counter_or_zero(after, "svc.peer.get") -
+                counter_or_zero(before, "svc.peer.get"), 1u);
+  EXPECT_GE(counter_or_zero(after, "svc.peer.hit") -
+                counter_or_zero(before, "svc.peer.hit"), 1u);
+  EXPECT_GE(counter_or_zero(after, "svc.peer.serve_get") -
+                counter_or_zero(before, "svc.peer.serve_get"), 1u);
+
+  daemon_a->request_stop();
+  daemon_b->request_stop();
+  serve_a.join();
+  serve_b.join();
+  ::unlink(sock_a.c_str());
+  ::unlink(sock_b.c_str());
+  ::rmdir(dir);
+}
+
+TEST(Cluster, PeerUnreachableDegradesToLocalCompute) {
+  const mdl::VmlModel model = mdl::parse_vml(kDaemonModel);
+  char dir[] = "/tmp/svc_test.XXXXXX";
+  ASSERT_NE(::mkdtemp(dir), nullptr);
+  const std::string sock_a = std::string(dir) + "/a.sock";
+  const std::string sock_b = std::string(dir) + "/b.sock";  // never started
+  const std::string spec = sock_a + "," + sock_b;
+
+  // Find a depth whose request fingerprint the DEAD shard owns, so the live
+  // shard must attempt (and survive) a peer fetch.
+  const svc::Ring ring = svc::Ring::from_nodes({sock_a, sock_b});
+  int depth = 0;
+  for (int d = 10; d < 64; ++d) {
+    const Fingerprint fp = svc::fingerprint_request(
+        model.system, model.ltl_properties.at("bound_ok"),
+        core::Engine::kKInduction, d);
+    if (ring.owner_id(fp) == sock_b) {
+      depth = d;
+      break;
+    }
+  }
+  ASSERT_NE(depth, 0) << "no depth in [10,64) hashes to the dead shard";
+
+  svc::DaemonOptions options;
+  options.socket_path = sock_a;
+  options.service.jobs = 2;
+  options.service.batch_window_seconds = 0.0;
+  options.service.cluster = spec;
+  options.service.self_id = sock_a;
+  svc::Daemon daemon(options);
+  std::thread server([&] { daemon.serve(); });
+
+  const std::map<std::string, std::uint64_t> before = obs::counters_snapshot();
+  {
+    // The dead peer must cost at most a failed dial — never a client error.
+    svc::Client client(sock_a);
+    const auto verdicts = client.check(kDaemonModel, {"bound_ok"},
+                                       core::Engine::kKInduction, depth, 0.0);
+    ASSERT_EQ(verdicts.size(), 1u);
+    EXPECT_EQ(verdicts[0].outcome.verdict, core::Verdict::kHolds);
+  }
+  const std::map<std::string, std::uint64_t> after = obs::counters_snapshot();
+  EXPECT_GE(counter_or_zero(after, "svc.peer.unreachable") -
+                counter_or_zero(before, "svc.peer.unreachable"), 1u);
+
+  daemon.request_stop();
+  server.join();
+  ::unlink(sock_a.c_str());
+  ::rmdir(dir);
 }
 
 }  // namespace

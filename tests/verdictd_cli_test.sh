@@ -15,11 +15,16 @@ TMP="$(mktemp -d "${TMPDIR:-/tmp}/verdictd_cli.XXXXXX")"
 SOCK="$TMP/verdictd.sock"
 CACHE="$TMP/cache.ndjson"
 DAEMON_PID=""
+SHARD1_PID=""
+SHARD2_PID=""
+ROUTER_PID=""
 
 cleanup() {
-  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
-    kill -KILL "$DAEMON_PID" 2>/dev/null || true
-  fi
+  for pid in "$DAEMON_PID" "$SHARD1_PID" "$SHARD2_PID" "$ROUTER_PID"; do
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+      kill -KILL "$pid" 2>/dev/null || true
+    fi
+  done
   rm -rf "$TMP"
 }
 trap cleanup EXIT
@@ -48,13 +53,18 @@ start_daemon() {
   DAEMON_PID=$!
 }
 
-stop_daemon() {
-  kill -TERM "$DAEMON_PID"
+stop_pid() {
+  kill -TERM "$1"
   for _ in $(seq 1 200); do
-    kill -0 "$DAEMON_PID" 2>/dev/null || { DAEMON_PID=""; return 0; }
+    kill -0 "$1" 2>/dev/null || return 0
     sleep 0.05
   done
-  fail "daemon did not exit after SIGTERM"
+  fail "process $1 did not exit after SIGTERM"
+}
+
+stop_daemon() {
+  stop_pid "$DAEMON_PID"
+  DAEMON_PID=""
 }
 
 # --version prints build identity and exits 0.
@@ -177,6 +187,107 @@ grep -q "served from verdictd cache" "$TMP/skewed.txt" && \
 grep -q "prior verdict(s) for incremental reuse" "$TMP/daemon.txt" && \
   fail "daemon must not index entries from a version-skewed cache file"
 stop_daemon
+
+# ---------------------------------------------------------------------------
+# Sharded cluster: peer fetch, crash degradation, segment recovery, router.
+# (docs/sharding.md end to end through the real binaries.)
+# ---------------------------------------------------------------------------
+S1="$TMP/shard1.sock"
+S2="$TMP/shard2.sock"
+CLUSTER="$S1,$S2"
+
+start_shard() { # socket segment-file log-name; prints the pid
+  "$VERDICTD" --socket "$1" --segment-file "$2" --cluster "$CLUSTER" --jobs 2 \
+    > "$TMP/$3.txt" 2>&1 &
+  echo $!
+}
+
+# --shard-of answers the routing question offline — no daemon involved.
+rc=0
+"$VERDICTC" "$MODELS/autoscaler.vml" --shard-of "$CLUSTER" --engine pdr \
+  > "$TMP/shardof.txt" 2>&1 || rc=$?
+expect_exit 0 "$rc" "verdictc --shard-of"
+grep -q -- "-> shard" "$TMP/shardof.txt" || \
+  fail "--shard-of must print a ring assignment per property"
+
+# --route without --cluster is a usage error.
+rc=0
+"$VERDICTD" --route --socket "$TMP/r.sock" > /dev/null 2>&1 || rc=$?
+expect_exit 2 "$rc" "verdictd --route without --cluster"
+
+SHARD1_PID="$(start_shard "$S1" "$TMP/shard1.seg" shard1)"
+SHARD2_PID="$(start_shard "$S2" "$TMP/shard2.seg" shard2)"
+
+# Cold verification through shard 1 computes (and appends to its segment).
+rc=0
+"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$S1" --connect-timeout 10 \
+  --engine pdr > "$TMP/shard_cold.txt" 2>&1 || rc=$?
+expect_exit 0 "$rc" "cold run via shard 1"
+grep -q "served from verdictd cache" "$TMP/shard_cold.txt" && \
+  fail "cold run via shard 1 must not claim cache hits"
+grep -q "of 2 on the cluster ring" "$TMP/shard1.txt" || \
+  fail "a clustered shard must announce its ring position"
+
+# The same request through shard 2: properties shard 1 owns arrive over
+# PEER_GET, properties shard 2 owns arrived via shard 1's PEER_PUT. One
+# priming round absorbs any still-in-flight PUT, then the verdicts must be
+# warm — no recomputation on the second shard.
+rc=0
+"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$S2" --connect-timeout 10 \
+  --engine pdr > "$TMP/shard_prime.txt" 2>&1 || rc=$?
+expect_exit 0 "$rc" "priming run via shard 2"
+rc=0
+"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$S2" --engine pdr \
+  > "$TMP/shard_warm.txt" 2>&1 || rc=$?
+expect_exit 0 "$rc" "warm run via shard 2"
+grep -q "served from verdictd cache" "$TMP/shard_warm.txt" || \
+  fail "shard 2 must serve the cluster-warm verdicts without recomputing"
+
+# The router in front of the same cluster: one socket, identical verdicts.
+"$VERDICTD" --route --socket "$TMP/router.sock" --cluster "$CLUSTER" \
+  > "$TMP/router.txt" 2>&1 &
+ROUTER_PID=$!
+rc=0
+"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$TMP/router.sock" \
+  --connect-timeout 10 --engine pdr > "$TMP/routed.txt" 2>&1 || rc=$?
+expect_exit 0 "$rc" "run through the router"
+grep -q "holds" "$TMP/routed.txt" || fail "routed run must print holds verdicts"
+stop_pid "$ROUTER_PID"
+ROUTER_PID=""
+
+# Kill shard 1 outright (no drain, no snapshot). The cluster degrades, it
+# does not fail: shard 2 keeps serving its warm set, and requests whose ring
+# owner is the dead shard fall back to local compute — never a client error.
+kill -KILL "$SHARD1_PID"
+SHARD1_PID=""
+rc=0
+"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$S2" --engine pdr \
+  > "$TMP/degraded_warm.txt" 2>&1 || rc=$?
+expect_exit 0 "$rc" "warm run via shard 2 with shard 1 dead"
+grep -q "served from verdictd cache" "$TMP/degraded_warm.txt" || \
+  fail "a dead peer must not disturb shard 2's warm set"
+rc=0
+"$VERDICTC" "$MODELS/rollout.vml" --connect "$S2" --prop quorum_kept --trace \
+  > "$TMP/degraded_cold.txt" 2>&1 || rc=$?
+expect_exit 1 "$rc" "cold violation via shard 2 with shard 1 dead"
+grep -q "counterexample confirmed" "$TMP/degraded_cold.txt" || \
+  fail "degraded-mode verdicts must still carry confirmed counterexamples"
+
+# Restart shard 1 from its segment: SIGKILL means no cache-file snapshot was
+# ever written, so a warm first request proves the mmap'd segment carried the
+# verdicts across the crash.
+SHARD1_PID="$(start_shard "$S1" "$TMP/shard1.seg" shard1_restarted)"
+rc=0
+"$VERDICTC" "$MODELS/autoscaler.vml" --connect "$S1" --connect-timeout 10 \
+  --engine pdr > "$TMP/recovered.txt" 2>&1 || rc=$?
+expect_exit 0 "$rc" "post-crash run via restarted shard 1"
+grep -q "served from verdictd cache" "$TMP/recovered.txt" || \
+  fail "restarted shard must replay its segment and serve warm"
+
+stop_pid "$SHARD2_PID"
+SHARD2_PID=""
+stop_pid "$SHARD1_PID"
+SHARD1_PID=""
 
 echo "verdictd CLI: all checks passed"
 exit 0

@@ -16,7 +16,11 @@
 # Daemon examples: a verdictd command ending in `&` is started in the
 # background; the check waits for its --socket path to appear so the
 # following --connect examples have a live daemon, and tears every daemon
-# down on exit. Without a verdictd argument those examples are skipped.
+# down on exit. Daemons are keyed by socket path: a later example reusing a
+# path replaces that daemon only, while examples on other paths keep their
+# daemons running — multi-shard walkthroughs (docs/sharding.md) background a
+# whole cluster plus its router. Without a verdictd argument those examples
+# are skipped.
 #
 # Usage: check_docs_examples.sh <verdictc> <verdict-report> <repo-root> \
 #                               [verdictd]
@@ -26,7 +30,6 @@ VERDICTC="$1"
 REPORT="$2"
 ROOT="$3"
 VERDICTD="${4:-}"
-DAEMON_PIDS=""
 
 # The sandbox symlinks to the binaries, so relative arguments must be
 # anchored to the caller's directory first.
@@ -55,17 +58,41 @@ fail() {
 SANDBOX="${TMPDIR:-/tmp}/verdict_docs_check_$$"
 mkdir -p "$SANDBOX/build/tools"
 
-kill_daemons() {
-  for pid in $DAEMON_PIDS; do
-    kill -TERM "$pid" 2>/dev/null
-    # Give the drain a moment, then make sure it is gone.
-    for _ in 1 2 3 4 5 6 7 8 9 10; do
-      kill -0 "$pid" 2>/dev/null || break
-      sleep 0.1
-    done
-    kill -KILL "$pid" 2>/dev/null
+# Live-daemon registry: one "pid<TAB>socket" line per backgrounded daemon.
+DAEMON_REG="$SANDBOX/daemons.txt"
+: > "$DAEMON_REG"
+
+stop_daemon_pid() {
+  kill -TERM "$1" 2>/dev/null
+  # Give the drain a moment, then make sure it is gone.
+  for _ in 1 2 3 4 5 6 7 8 9 10; do
+    kill -0 "$1" 2>/dev/null || break
+    sleep 0.1
   done
-  DAEMON_PIDS=""
+  kill -KILL "$1" 2>/dev/null
+}
+
+kill_daemons() {
+  [ -f "$DAEMON_REG" ] || return 0
+  while IFS="$(printf '\t')" read -r pid _sock; do
+    [ -n "$pid" ] && stop_daemon_pid "$pid"
+  done < "$DAEMON_REG"
+  : > "$DAEMON_REG"
+}
+
+# unregister_daemon SOCKET: stop and drop the daemon bound to SOCKET, if
+# any; daemons on other sockets are left alone.
+unregister_daemon() {
+  old_pid=$(awk -F'\t' -v s="$1" '$2 == s { print $1 }' "$DAEMON_REG")
+  if [ -n "$old_pid" ]; then
+    stop_daemon_pid "$old_pid"
+    awk -F'\t' -v s="$1" '$2 != s' "$DAEMON_REG" > "$DAEMON_REG.new" &&
+      mv "$DAEMON_REG.new" "$DAEMON_REG"
+  fi
+}
+
+register_daemon() { # PID SOCKET
+  printf '%s\t%s\n' "$1" "$2" >> "$DAEMON_REG"
 }
 
 cleanup() {
@@ -147,17 +174,18 @@ while IFS="$(printf '\t')" read -r source cmd; do
         *"&")
           # A backgrounded daemon example: start it, then wait for its
           # --socket path so the --connect examples that follow have a live
-          # server. One daemon at a time — a fresh example replaces the last.
-          kill_daemons
+          # server. Keyed by socket path — reusing a path replaces that
+          # daemon, other daemons (shards, the router) keep running.
           sock=$(printf '%s\n' "$cmd" | sed -n 's/.*--socket \([^ ]*\).*/\1/p')
           [ -n "$sock" ] || fail "[$source] daemon example without --socket: $cmd"
           # A hard-killed predecessor leaves a stale socket file; make sure
           # the wait below observes the NEW daemon's bind.
+          unregister_daemon "$sock"
           rm -f "$SANDBOX/$sock" "$sock" 2>/dev/null
           plain=${cmd%&}
           (cd "$SANDBOX" && PATH="$SANDBOX/build/tools:$PATH" \
              sh -c "$plain") > "$out" 2>&1 &
-          DAEMON_PIDS="$DAEMON_PIDS $!"
+          register_daemon $! "$sock"
           i=0
           while [ ! -S "$SANDBOX/$sock" ] && [ ! -S "$sock" ]; do
             i=$((i + 1))
