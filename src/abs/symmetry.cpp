@@ -1,0 +1,375 @@
+#include "abs/symmetry.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "expr/walk.h"
+
+namespace verdict::abs {
+
+namespace {
+
+using expr::Expr;
+using expr::Kind;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// One placeholder variable per type: substituting a member by its type's
+/// placeholder turns a per-member constraint into the member-independent
+/// template that the candidate coloring compares.
+Expr placeholder_for(const expr::Type& t) {
+  if (t.is_bool()) return expr::bool_var("__abs.ph.bool");
+  // Bounded ints keep their range so the placeholder type-checks wherever the
+  // member did. Unbounded ints/reals never become candidates (their domain is
+  // not enumerable), but a placeholder is still needed for feature hashing.
+  if (t.is_int() && t.bounded)
+    return expr::int_var("__abs.ph.int." + std::to_string(t.lo) + "." + std::to_string(t.hi),
+                         t.lo, t.hi);
+  return Expr();  // non-enumerable: caller skips
+}
+
+bool enumerable(const expr::Type& t) {
+  if (t.is_bool()) return true;
+  return t.is_int() && t.bounded && t.hi - t.lo >= 0;
+}
+
+std::uint64_t type_key(const expr::Type& t) {
+  std::uint64_t h = static_cast<std::uint64_t>(t.kind);
+  h = mix(h, t.bounded ? 1 : 0);
+  h = mix(h, static_cast<std::uint64_t>(t.lo));
+  h = mix(h, static_cast<std::uint64_t>(t.hi));
+  return h;
+}
+
+/// True when the DAG under `e` contains a next-state reference. Memoized
+/// locally: the shared keep-conjuncts make this O(distinct nodes).
+class NextFinder {
+ public:
+  bool has_next(Expr e) {
+    auto it = memo_.find(e.id());
+    if (it != memo_.end()) return it->second;
+    bool found = e.kind() == Kind::kNext;
+    if (!found)
+      for (Expr k : e.kids())
+        if (has_next(k)) {
+          found = true;
+          break;
+        }
+    memo_.emplace(e.id(), found);
+    return found;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, bool> memo_;
+};
+
+}  // namespace
+
+namespace detail {
+
+// Shared with quotient.cpp (declared in quotient.cpp via extern): flattens a
+// transition constraint into disjuncts-of-conjuncts. mdl::compose emits
+//   Or( And( Or(rule disjuncts...), other modules' keeps... ), ... )
+// so one Or factor per And must be distributed. Or factors *without* next
+// references are guard-level disjunctions and stay opaque conjuncts; more
+// than one next-bearing Or factor under a single And (a shape compose never
+// emits) makes the function bail and the caller treats the constraint as a
+// single opaque disjunct.
+bool flatten_disjuncts(Expr e, std::vector<std::vector<Expr>>& out) {
+  NextFinder nf;
+  const std::function<bool(Expr, std::vector<std::vector<Expr>>&)> rec =
+      [&](Expr node, std::vector<std::vector<Expr>>& acc) -> bool {
+    if (node.kind() == Kind::kOr && nf.has_next(node)) {
+      for (Expr k : node.kids())
+        if (!rec(k, acc)) return false;
+      return true;
+    }
+    if (node.kind() == Kind::kAnd) {
+      std::vector<Expr> plain;
+      std::vector<std::vector<Expr>> inner;
+      bool has_multi = false;
+      for (Expr k : node.kids()) {
+        if (k.kind() == Kind::kOr && nf.has_next(k)) {
+          std::vector<std::vector<Expr>> sub;
+          if (!rec(k, sub)) return false;
+          if (has_multi) return false;  // two Or factors: no cartesian product
+          has_multi = true;
+          inner = std::move(sub);
+        } else {
+          plain.push_back(k);
+        }
+      }
+      if (!has_multi) {
+        acc.push_back(std::move(plain));
+        return true;
+      }
+      for (auto& d : inner) {
+        std::vector<Expr> conj = plain;
+        conj.insert(conj.end(), d.begin(), d.end());
+        acc.push_back(std::move(conj));
+      }
+      return true;
+    }
+    acc.push_back({node});
+    return true;
+  };
+  return rec(e, out);
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Accumulates a variable's structural fingerprint as a commutative multiset
+/// hash (order of discovery must not matter; constraint lists are unordered).
+struct Color {
+  std::uint64_t sum = 0;
+  std::uint64_t xed = 0;
+  std::uint64_t count = 0;
+
+  void add(std::uint64_t d) {
+    sum += d;
+    xed ^= d * 0x2545f4914f6cdd1dULL;
+    ++count;
+  }
+  [[nodiscard]] std::uint64_t digest() const {
+    return mix(mix(sum, xed), count);
+  }
+};
+
+struct FeaturePass {
+  const ts::TransitionSystem& ts;
+  std::unordered_map<expr::VarId, Color> colors;
+  // Per distinct guard expr: the per-variable template hashes, computed once
+  // (hash-consing shares one guard node across all the disjuncts it gates).
+  std::unordered_map<std::uint32_t, std::unordered_map<expr::VarId, std::uint64_t>> guard_cache;
+
+  explicit FeaturePass(const ts::TransitionSystem& system) : ts(system) {}
+
+  bool is_state_var(expr::VarId v) const { return ts.is_state_var(v); }
+
+  std::uint64_t template_hash(Expr e, expr::VarId v, const char* tag) {
+    const Expr ph = placeholder_for(expr::var_type(v));
+    std::uint64_t h = std::hash<std::string_view>{}(tag);
+    if (!ph.valid()) return mix(h, e.id());
+    expr::Substitution sub{{v, ph}};
+    const Expr t = expr::substitute_next(expr::substitute(e, sub), sub);
+    return mix(h, t.id());
+  }
+
+  void add_small_facet(const char* tag, std::span<const Expr> constraints) {
+    for (Expr c : constraints) {
+      const std::set<expr::VarId> support = expr::current_vars(c);
+      if (support.size() == 1 && is_state_var(*support.begin())) {
+        const expr::VarId v = *support.begin();
+        colors[v].add(template_hash(c, v, tag));
+      } else {
+        // Multi-variable constraint: all its variables share the constraint
+        // node itself as a feature (symmetric members sit in the same one).
+        for (expr::VarId v : support)
+          if (is_state_var(v)) colors[v].add(mix(std::hash<std::string_view>{}(tag), c.id()));
+      }
+    }
+  }
+
+  void add_guard_mentions(Expr g) {
+    auto [it, fresh] = guard_cache.try_emplace(g.id());
+    if (fresh) {
+      std::vector<expr::VarId> support;
+      for (expr::VarId v : expr::current_vars(g))
+        if (is_state_var(v)) support.push_back(v);
+      if (support.size() == 1) {
+        // Single-variable guard: the template abstracts the variable away, so
+        // structurally identical guards of different members hash alike.
+        it->second.emplace(support.front(), template_hash(g, support.front(), "grd"));
+      } else {
+        // Multi-variable guard: a per-member residue template would name all
+        // the *other* members and hash differently for each, so the shared
+        // guard node itself is the feature (symmetric members sit inside the
+        // same one; confirm_orbit rejects asymmetric roles within it).
+        for (expr::VarId v : support)
+          it->second.emplace(v, mix(std::hash<std::string_view>{}("grd"), g.id()));
+      }
+    }
+    for (const auto& [v, h] : it->second) colors[v].add(h);
+  }
+
+  void add_trans(Expr constraint) {
+    std::vector<std::vector<Expr>> disjuncts;
+    if (!detail::flatten_disjuncts(constraint, disjuncts)) {
+      disjuncts.clear();
+      disjuncts.push_back({constraint});
+    }
+    const std::uint64_t keep_tag = std::hash<std::string_view>{}("keep");
+    const std::uint64_t odd_tag = std::hash<std::string_view>{}("odd");
+    for (const std::vector<Expr>& conjuncts : disjuncts) {
+      for (Expr c : conjuncts) {
+        if (c.kind() == Kind::kEq) {
+          const Expr a = c.kids()[0];
+          const Expr b = c.kids()[1];
+          const bool an = a.kind() == Kind::kNext;
+          const bool bn = b.kind() == Kind::kNext;
+          if (an != bn) {
+            const Expr target = an ? a : b;
+            const Expr rhs = an ? b : a;
+            const expr::VarId w = target.kids()[0].var();
+            if (rhs.is(target.kids()[0])) {
+              colors[w].add(keep_tag);
+            } else {
+              colors[w].add(template_hash(rhs, w, "asg"));
+            }
+            // Current-state mentions inside a non-trivial rhs count as guard
+            // mentions for the mentioned variables.
+            if (!rhs.is_constant() && !rhs.is(target.kids()[0])) add_guard_mentions(rhs);
+            continue;
+          }
+        }
+        if (!expr::has_next(c)) {
+          // Pin literals get their own role; everything else is a shared
+          // guard mention.
+          if (c.kind() == Kind::kVariable && is_state_var(c.var())) {
+            colors[c.var()].add(std::hash<std::string_view>{}("pin.t"));
+            continue;
+          }
+          if (c.kind() == Kind::kNot && c.kids()[0].kind() == Kind::kVariable &&
+              is_state_var(c.kids()[0].var())) {
+            colors[c.kids()[0].var()].add(std::hash<std::string_view>{}("pin.f"));
+            continue;
+          }
+          if (c.kind() == Kind::kEq) {
+            const Expr a = c.kids()[0];
+            const Expr b = c.kids()[1];
+            if (a.kind() == Kind::kVariable && b.is_constant() && is_state_var(a.var())) {
+              colors[a.var()].add(mix(std::hash<std::string_view>{}("pin.c"), b.id()));
+              continue;
+            }
+            if (b.kind() == Kind::kVariable && a.is_constant() && is_state_var(b.var())) {
+              colors[b.var()].add(mix(std::hash<std::string_view>{}("pin.c"), a.id()));
+              continue;
+            }
+          }
+          add_guard_mentions(c);
+          continue;
+        }
+        // A next-bearing conjunct that is not a plain assignment: opaque.
+        for (expr::VarId v : expr::current_vars(c))
+          if (is_state_var(v)) colors[v].add(odd_tag);
+        for (expr::VarId v : expr::next_vars(c))
+          if (is_state_var(v)) colors[v].add(mix(odd_tag, 1));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool confirm_orbit(const ts::TransitionSystem& ts, std::span<const Expr> members) {
+  if (members.size() < 2) return false;
+  const expr::Type type = members.front().type();
+  for (Expr m : members) {
+    if (!m.is_variable() || !ts.is_state_var(m.var())) return false;
+    if (!(m.type() == type)) return false;
+  }
+
+  // substitute_next maps next(v) to the image *verbatim*, so the permutation
+  // needs a primed companion map sending next(v) to next(pi(v)).
+  const auto is_automorphism = [&](const expr::Substitution& cur,
+                                   const expr::Substitution& nxt) {
+    const auto facet_fixed = [&](std::span<const Expr> constraints) {
+      std::vector<std::uint32_t> original;
+      std::vector<std::uint32_t> permuted;
+      original.reserve(constraints.size());
+      permuted.reserve(constraints.size());
+      for (Expr c : constraints) {
+        original.push_back(c.id());
+        permuted.push_back(expr::substitute_next(expr::substitute(c, cur), nxt).id());
+      }
+      std::sort(original.begin(), original.end());
+      std::sort(permuted.begin(), permuted.end());
+      return original == permuted;
+    };
+    return facet_fixed(ts.init_constraints()) && facet_fixed(ts.trans_constraints()) &&
+           facet_fixed(ts.invar_constraints()) && facet_fixed(ts.param_constraints());
+  };
+  const auto check_permutation = [&](const std::vector<std::size_t>& image) {
+    expr::Substitution cur;
+    expr::Substitution nxt;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (image[i] == i) continue;
+      cur.emplace(members[i].var(), members[image[i]]);
+      nxt.emplace(members[i].var(), expr::next(members[image[i]]));
+    }
+    return is_automorphism(cur, nxt);
+  };
+
+  // Two generators of S_n: the (m0 m1) transposition and the full cycle.
+  // Both being automorphisms makes every permutation one (the generated
+  // group is all of S_n and automorphisms compose).
+  std::vector<std::size_t> transposition(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) transposition[i] = i;
+  std::swap(transposition[0], transposition[1]);
+  if (!check_permutation(transposition)) return false;
+  if (members.size() == 2) return true;
+  std::vector<std::size_t> cycle(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) cycle[i] = (i + 1) % members.size();
+  return check_permutation(cycle);
+}
+
+std::vector<Orbit> detect_orbits(const ts::TransitionSystem& ts,
+                                 const SymmetryOptions& options) {
+  FeaturePass pass(ts);
+  // Every state variable participates even if no constraint mentions it.
+  for (Expr v : ts.vars()) pass.colors.try_emplace(v.var());
+  pass.add_small_facet("init", ts.init_constraints());
+  pass.add_small_facet("invar", ts.invar_constraints());
+  for (Expr c : ts.trans_constraints()) pass.add_trans(c);
+
+  std::unordered_map<expr::VarId, std::uint64_t> forced_group;
+  for (std::size_t g = 0; g < options.forced_split.size(); ++g)
+    for (Expr v : options.forced_split[g])
+      if (v.is_variable()) forced_group[v.var()] = g + 1;
+
+  // Group by (type, fingerprint, forced-split group), keeping VarId order.
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>, std::vector<Expr>> classes;
+  for (Expr v : ts.vars()) {
+    if (!enumerable(v.type())) continue;
+    const auto fg = forced_group.find(v.var());
+    const std::uint64_t group = fg == forced_group.end() ? 0 : fg->second;
+    classes[{type_key(v.type()), pass.colors[v.var()].digest(), group}].push_back(v);
+  }
+
+  std::vector<Orbit> orbits;
+  const std::size_t min_size = std::max<std::size_t>(options.min_orbit_size, 2);
+  // Confirm each candidate; on failure bisect so a partially symmetric class
+  // degrades into smaller confirmed orbits instead of being dropped whole.
+  const std::function<void(std::vector<Expr>, int)> confirm_or_split =
+      [&](std::vector<Expr> candidate, int depth) {
+        if (candidate.size() < min_size) return;
+        if (confirm_orbit(ts, candidate)) {
+          orbits.push_back(Orbit{std::move(candidate)});
+          return;
+        }
+        if (depth <= 0) return;
+        const std::size_t half = candidate.size() / 2;
+        confirm_or_split({candidate.begin(), candidate.begin() + half}, depth - 1);
+        confirm_or_split({candidate.begin() + half, candidate.end()}, depth - 1);
+      };
+  for (auto& [key, vars] : classes) {
+    std::sort(vars.begin(), vars.end(),
+              [](Expr a, Expr b) { return a.var() < b.var(); });
+    confirm_or_split(std::move(vars), 3);
+  }
+  std::sort(orbits.begin(), orbits.end(), [](const Orbit& a, const Orbit& b) {
+    return a.members.front().var() < b.members.front().var();
+  });
+  return orbits;
+}
+
+}  // namespace verdict::abs

@@ -1,0 +1,73 @@
+// Symmetry detection: interchangeable state-variable orbits.
+//
+// Fat-tree links, ECMP paths, and replicated controller targets are
+// structurally interchangeable: the transition system cannot tell two pod
+// links apart because every init/trans/invar constraint treats them through
+// the same template. detect_orbits() finds maximal groups of such variables
+// ("orbits") in two phases:
+//
+//   1. Candidates from structural fingerprints: each variable is colored by
+//      its type and by templates of the constraints it appears in (its init
+//      and invar constraints, its role in every transition disjunct —
+//      assigned / pinned by a guard literal / kept / mentioned in a shared
+//      guard — with the variable itself replaced by a placeholder). Equal
+//      colors make a candidate orbit.
+//   2. A permutation self-check (confirm_orbit) that proves the candidate is
+//      a real orbit before anyone relies on it. The check substitutes two
+//      generators of the symmetric group — one transposition and the full
+//      cycle — into every constraint and requires each facet's constraint
+//      multiset to map onto itself. Automorphisms are closed under
+//      composition and those two generators generate all of S_n, so the two
+//      checks cover every permutation of the members. Hash-consing makes the
+//      comparison exact and cheap: a symmetric substitution rebuilds the very
+//      same canonical nodes, so "maps onto itself" is id-multiset equality.
+//
+// The property is deliberately *not* a detection facet: reachability formulas
+// name concrete paths and would break the symmetry of every link. quotient.h
+// instead rewrites the property over the confirmed orbits and drops any orbit
+// it cannot rewrite, which keeps detection sound and still lets the quotient
+// exploit system-level symmetry the property observes only through counts.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "expr/expr.h"
+#include "ts/transition_system.h"
+
+namespace verdict::abs {
+
+/// Version salt for svc::fingerprint / inc::property_key. Bump whenever the
+/// abstraction pass changes observable behaviour, so verdicts cached by an
+/// older pass are never reused against the new one.
+inline constexpr std::uint32_t kAbstractionVersion = 1;
+
+/// A confirmed orbit: >= 2 state variables of the same type, in VarId order,
+/// that every permutation maps onto the same system (see confirm_orbit).
+struct Orbit {
+  std::vector<expr::Expr> members;
+};
+
+struct SymmetryOptions {
+  /// Candidate groups smaller than this are not worth collapsing.
+  std::size_t min_orbit_size = 2;
+  /// CEGAR refinement hint: variables in different groups are never placed in
+  /// the same candidate orbit (a spurious-trace split). Unlisted variables
+  /// are unconstrained.
+  std::vector<std::vector<expr::Expr>> forced_split;
+};
+
+/// The permutation self-check: true iff every permutation of `members` is an
+/// automorphism of the system's init/trans/invar/param-constraint facets.
+/// Requires >= 2 members, all state variables of the same type.
+[[nodiscard]] bool confirm_orbit(const ts::TransitionSystem& ts,
+                                 std::span<const expr::Expr> members);
+
+/// Finds interchangeable state-variable orbits. Candidates come from
+/// structural fingerprints; every returned orbit passed confirm_orbit (a
+/// failing candidate is bisected, so a partially symmetric group degrades
+/// into smaller confirmed orbits instead of being used unsoundly).
+[[nodiscard]] std::vector<Orbit> detect_orbits(const ts::TransitionSystem& ts,
+                                               const SymmetryOptions& options = {});
+
+}  // namespace verdict::abs

@@ -44,6 +44,13 @@ struct CheckOptions {
   /// a sliced violation cannot be lifted, the check transparently reruns
   /// unoptimized. verdictc --no-opt / the wire field "optimize" turn it off.
   bool optimize = true;
+  /// Run the abs/ symmetry-reduction pass ahead of the engines: verify the
+  /// counting quotient first and fall back through a CEGAR loop (concretize
+  /// abstract counterexamples, split the orbit behind a spurious trace) to
+  /// the concrete system. Only engages for invariant-shaped properties; the
+  /// verdict is always decided soundly. verdictc --no-abs / the wire field
+  /// "abstract" turn it off.
+  bool abstract = true;
 };
 
 /// Checks an LTL property. G(atom) properties route to the safety engines;

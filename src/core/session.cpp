@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "abs/quotient.h"
 #include "core/liveness.h"
 #include "enc/unroller.h"
 #include "ltl/parser.h"
@@ -301,13 +302,13 @@ SessionResult Session::check_all(const SessionOptions& options) const {
 
   // Verdict memoization: resolve cache hits up front, run engines only on
   // the rest, and offer every fresh outcome back to the hook at the end.
-  // optimize=false is the optimizer escape hatch: skip the lookup (a hit may
-  // have been produced through the pipeline) but still store fresh outcomes,
-  // refreshing any stale entry.
+  // optimize=false / abstract=false are the pipeline escape hatches: skip the
+  // lookup (a hit may have been produced through the optimizer or the
+  // abstraction) but still store fresh outcomes, refreshing any stale entry.
   std::vector<std::size_t> todo;
   todo.reserve(properties_.size());
   for (std::size_t i = 0; i < properties_.size(); ++i) {
-    if (options.cache && options.optimize) {
+    if (options.cache && options.optimize && options.abstract) {
       if (std::optional<CheckOutcome> hit = options.cache->lookup(
               system_, properties_[i].formula, options.engine, options.max_depth)) {
         result.properties[i].outcome = std::move(*hit);
@@ -322,15 +323,110 @@ SessionResult Session::check_all(const SessionOptions& options) const {
     }
     todo.push_back(i);
   }
+  // Snapshot before the abstraction pre-pass trims `todo`: outcomes the
+  // quotient decides are fresh too and must reach the cache hook.
+  const std::vector<std::size_t> fresh = todo;
   const auto store_fresh = [&] {
     if (!options.cache) return;
-    for (const std::size_t i : todo)
+    for (const std::size_t i : fresh)
       options.cache->store(system_, properties_[i].formula, options.engine,
                            options.max_depth, result.properties[i].outcome);
   };
   if (todo.empty()) {
     result.total.seconds = watch.elapsed_seconds();
     return result;
+  }
+
+  // Abstraction pre-pass (docs/abstraction.md): detect symmetry once and
+  // check the whole invariant group against one counting quotient before any
+  // concrete engine runs. kHolds transfers soundly (the quotient simulates
+  // the concrete system); an abstract violation is only believed after a
+  // bounded concrete replay reproduces it; anything else falls through to the
+  // shared engines below. The batch path does not refine — the per-property
+  // CEGAR loop in core::check covers that, and the delegated re-checks below
+  // inherit options.abstract so undecided properties still reach it.
+  if (options.abstract && options.engine != Engine::kLtlLasso &&
+      options.engine != Engine::kExplicit &&
+      !options.deadline.expired_or_cancelled()) {
+    std::vector<std::size_t> group;
+    std::vector<ltl::Formula> group_formulas;
+    for (const std::size_t i : todo) {
+      if (!ltl::is_invariant_property(properties_[i].formula)) continue;
+      group.push_back(i);
+      group_formulas.push_back(properties_[i].formula);
+    }
+    std::optional<abs::Abstraction> abstraction;
+    if (!group.empty()) {
+      abs::AbstractionOptions ao;
+      ao.deadline = options.deadline;
+      abstraction = abs::abstract_system(system_, group_formulas, ao);
+    }
+    if (abstraction) {
+      Session quotient(abstraction->system);
+      for (std::size_t slot = 0; slot < group.size(); ++slot)
+        quotient.add_property(properties_[group[slot]].name,
+                              abstraction->properties[slot]);
+      SessionOptions qo = options;
+      qo.cache = nullptr;   // quotient verdicts must not masquerade as concrete
+      qo.abstract = false;  // never re-abstract the quotient
+      // Mirrors check_with_abstraction: counting quotients are induction-
+      // friendly (the per-orbit sum invariant makes the rewritten properties
+      // typically 1-inductive) while PDR tends to enumerate counter values,
+      // and the attempt must leave budget for replay and concrete fallback.
+      if (qo.engine == Engine::kAuto) qo.engine = Engine::kKInduction;
+      qo.deadline = options.deadline.is_finite()
+                        ? options.deadline.clipped_to(
+                              options.deadline.remaining_seconds() / 2)
+                        : options.deadline;
+      SessionResult qr = quotient.check_all(qo);
+      fold_cost(result.total, qr.total);
+      std::ostringstream qmsg;
+      qmsg << "holds on counting quotient (" << abstraction->vars_collapsed
+           << " vars collapsed across " << abstraction->orbits.size()
+           << " orbit" << (abstraction->orbits.size() == 1 ? "" : "s") << ")";
+      std::vector<bool> decided(properties_.size(), false);
+      for (std::size_t slot = 0; slot < group.size(); ++slot) {
+        const std::size_t i = group[slot];
+        CheckOutcome& out = qr.properties[slot].outcome;
+        if (out.verdict == Verdict::kHolds) {
+          // The certificate names counter variables that do not exist in the
+          // concrete system — the verdict transfers, the artifact cannot.
+          out.artifact.reset();
+          out.message = out.message.empty() ? qmsg.str()
+                                            : qmsg.str() + "; " + out.message;
+          result.properties[i].outcome = std::move(out);
+          decided[i] = true;
+          continue;
+        }
+        if (out.verdict != Verdict::kViolated) continue;
+        // Concretize: BMC is complete at the abstract trace's depth, so a
+        // kBoundReached here is a definitive "spurious" and the property
+        // drops to the concrete machinery below.
+        CheckOptions co;
+        co.engine = Engine::kBmc;
+        co.max_depth = out.counterexample
+                           ? static_cast<int>(out.counterexample->length())
+                           : options.max_depth;
+        co.deadline = options.deadline;
+        co.optimize = options.optimize;
+        co.abstract = false;
+        CheckOutcome conc = check(system_, properties_[i].formula, co);
+        fold_cost(result.total, conc.stats);
+        if (conc.verdict == Verdict::kViolated) {
+          result.properties[i].outcome = std::move(conc);
+          decided[i] = true;
+        } else if (conc.verdict == Verdict::kBoundReached ||
+                   conc.verdict == Verdict::kHolds) {
+          obs::count("abs.spurious_traces");
+        }
+      }
+      std::erase_if(todo, [&](std::size_t i) { return decided[i]; });
+      if (todo.empty()) {
+        store_fresh();
+        result.total.seconds = watch.elapsed_seconds();
+        return result;
+      }
+    }
   }
 
   // Session-level optimization: fold + constant propagation run ONCE over the
@@ -458,9 +554,10 @@ SessionResult Session::check_all(const SessionOptions& options) const {
         co.max_depth = options.max_depth;
         co.deadline = options.deadline;
         co.optimize = false;
-        CheckOutcome fresh = check(system_, properties_[i].formula, co);
-        fold_cost(result.total, fresh.stats);
-        o = std::move(fresh);
+        co.abstract = false;  // re-decide wants a concrete trace, verbatim
+        CheckOutcome redecided = check(system_, properties_[i].formula, co);
+        fold_cost(result.total, redecided.stats);
+        o = std::move(redecided);
       }
     }
     for (const std::size_t i : safety) {
@@ -480,9 +577,10 @@ SessionResult Session::check_all(const SessionOptions& options) const {
       co.max_depth = options.max_depth;
       co.deadline = options.deadline;
       co.optimize = options.optimize;
-      CheckOutcome fresh = check(system_, properties_[i].formula, co);
-      fold_cost(result.total, fresh.stats);
-      o = std::move(fresh);
+      co.abstract = options.abstract;  // per-property CEGAR can still refine
+      CheckOutcome redecided = check(system_, properties_[i].formula, co);
+      fold_cost(result.total, redecided.stats);
+      o = std::move(redecided);
     }
   }
 
@@ -492,9 +590,10 @@ SessionResult Session::check_all(const SessionOptions& options) const {
     co.max_depth = options.max_depth;
     co.deadline = options.deadline;
     co.optimize = options.optimize;
-    CheckOutcome fresh = check(system_, properties_[i].formula, co);
-    fold_cost(result.total, fresh.stats);
-    result.properties[i].outcome = std::move(fresh);
+    co.abstract = options.abstract;
+    CheckOutcome one_shot = check(system_, properties_[i].formula, co);
+    fold_cost(result.total, one_shot.stats);
+    result.properties[i].outcome = std::move(one_shot);
   }
 
   if (!lasso.empty()) {

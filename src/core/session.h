@@ -74,6 +74,13 @@ struct SessionOptions {
   /// safety group). Counterexamples are lifted back before they are reported
   /// or offered to the cache hook.
   bool optimize = true;
+  /// Run the abs/ symmetry-reduction pre-pass once per session: the whole
+  /// invariant group is checked against one counting quotient first; holds
+  /// transfer directly, abstract violations must replay concretely, anything
+  /// else falls through to the engines unchanged. Like optimize=false, turning
+  /// this off also bypasses the cache lookup (hits may have been produced
+  /// through the abstraction) while still refreshing stored entries.
+  bool abstract = true;
 };
 
 struct PropertyVerdict {

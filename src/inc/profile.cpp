@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "abs/symmetry.h"
 #include "expr/walk.h"
 #include "opt/optimize.h"
 
@@ -255,10 +256,11 @@ svc::Fingerprint property_key(const ltl::Formula& property, core::Engine engine,
                               int max_depth) {
   Acc m;
   m.u64(0x1c04);  // prop-key tag
-  // The same optimizer-version salt as full request fingerprints: a verdict
-  // produced through an older opt/ pipeline must not be carried across
-  // versions either.
+  // The same optimizer- and abstraction-version salts as full request
+  // fingerprints: a verdict produced through an older opt/ or abs/ pipeline
+  // must not be carried across versions either.
   m.u64(opt::kOptimizerVersion);
+  m.u64(abs::kAbstractionVersion);
   m.fp(svc::fingerprint(property));
   m.u64(static_cast<std::uint64_t>(engine));
   m.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(max_depth)));

@@ -131,7 +131,8 @@ std::string Client::read_message() {
 std::vector<ClientVerdict> Client::check(const std::string& model_text,
                                          const std::vector<std::string>& props,
                                          core::Engine engine, int max_depth,
-                                         double timeout_seconds, bool optimize) {
+                                         double timeout_seconds, bool optimize,
+                                         bool abstract) {
   const std::string id = std::to_string(next_id_++);
   obs::JsonWriter w;
   w.begin_object();
@@ -147,6 +148,7 @@ std::vector<ClientVerdict> Client::check(const std::string& model_text,
   w.kv("depth", max_depth);
   if (timeout_seconds > 0) w.kv("timeout", timeout_seconds);
   if (!optimize) w.kv("optimize", false);
+  if (!abstract) w.kv("abstract", false);
   w.end_object();
 
   if (options_.binary)

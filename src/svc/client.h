@@ -59,14 +59,15 @@ class Client {
   /// Sends one request for `props` (empty = every LTL property in the model)
   /// and returns the per-property verdicts in server order. `optimize`
   /// false asks the server to skip the opt/ pipeline (verdictc --no-opt);
-  /// the field is only emitted when false since true is the wire default.
-  /// Throws std::runtime_error on protocol violations, server "error"
-  /// responses, I/O timeouts, or a counterexample that does not rehydrate
-  /// locally.
+  /// `abstract` false asks it to skip the abs/ symmetry-reduction pass
+  /// (verdictc --no-abs); either field is only emitted when false since true
+  /// is the wire default. Throws std::runtime_error on protocol violations,
+  /// server "error" responses, I/O timeouts, or a counterexample that does
+  /// not rehydrate locally.
   [[nodiscard]] std::vector<ClientVerdict> check(
       const std::string& model_text, const std::vector<std::string>& props,
       core::Engine engine, int max_depth, double timeout_seconds,
-      bool optimize = true);
+      bool optimize = true, bool abstract = true);
 
  private:
   int fd_ = -1;

@@ -570,6 +570,8 @@ void Daemon::Impl::process_request(Conn& conn, const std::string& payload) {
   const double timeout = req["timeout"].is_number() ? req["timeout"].number : 0.0;
   const bool optimize =
       req["optimize"].kind == obs::JsonValue::Kind::kBool ? req["optimize"].boolean : true;
+  const bool abstract =
+      req["abstract"].kind == obs::JsonValue::Kind::kBool ? req["abstract"].boolean : true;
 
   std::shared_ptr<const mdl::VmlModel> model;
   try {
@@ -625,6 +627,7 @@ void Daemon::Impl::process_request(Conn& conn, const std::string& payload) {
     request.engine = engine;
     request.max_depth = depth;
     request.optimize = optimize;
+    request.abstract = abstract;
     request.deadline = deadline;
     request.on_complete = [this, ctx, i] {
       {

@@ -3,6 +3,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "abs/symmetry.h"
 #include "obs/trace.h"
 #include "opt/optimize.h"
 
@@ -293,14 +294,16 @@ Fingerprint fingerprint_request(const ts::TransitionSystem& ts,
   ExprHasher h;
   Mix m;
   m.str("verdict-fp-v1");
-  // Optimizer-version salt: cached verdicts produced through a given opt/
-  // pipeline are invalidated when the pipeline changes (an optimizer bug fix
-  // must not serve stale verdicts). The request-level optimize *flag* is
-  // deliberately NOT mixed in — the pipeline is semantics-preserving, so
-  // both settings answer the same question and share one entry; the cache
-  // *lookup* is what --no-opt bypasses (svc::Service recomputes and
-  // refreshes the entry), keeping it an escape hatch around optimizer bugs.
+  // Optimizer- and abstraction-version salts: cached verdicts produced
+  // through a given opt/ or abs/ pipeline are invalidated when either
+  // pipeline changes (a pass bug fix must not serve stale verdicts). The
+  // request-level optimize/abstract *flags* are deliberately NOT mixed in —
+  // both pipelines are semantics-preserving, so all settings answer the same
+  // question and share one entry; the cache *lookup* is what --no-opt and
+  // --no-abs bypass (svc::Service recomputes and refreshes the entry),
+  // keeping them genuine escape hatches around pipeline bugs.
   m.u64(opt::kOptimizerVersion);
+  m.u64(abs::kAbstractionVersion);
   m.fp(system_fp(ts, h));
   m.fp(formula_fp(property, h));
   m.u64(static_cast<std::uint64_t>(engine));

@@ -64,17 +64,19 @@ struct FingerprintHash {
 [[nodiscard]] Fingerprint fingerprint(const ts::TransitionSystem& ts);
 
 /// The verdict-cache key: (system, property, engine, max_depth) under the
-/// "verdict-fp-v1" schema tag, salted with opt::kOptimizerVersion so cached
-/// verdicts are invalidated whenever the optimization pipeline changes.
-/// Deadlines and job counts are deliberately excluded — they change how fast
-/// a verdict arrives, never which verdict — and indefinite verdicts (which DO
-/// depend on budgets) are not cacheable in the first place
-/// (svc::VerdictCache). The per-request optimize flag is likewise excluded:
-/// the pipeline is semantics-preserving, so both settings answer the same
-/// question and write to the same entry — but optimize=false requests bypass
-/// the cache *lookup* (svc::Service) so --no-opt always recomputes. Note the
-/// system fingerprinted here is always the PRE-optimization system —
-/// optimization happens inside core::check, below the cache.
+/// "verdict-fp-v1" schema tag, salted with opt::kOptimizerVersion and
+/// abs::kAbstractionVersion so cached verdicts are invalidated whenever the
+/// optimization or abstraction pipeline changes. Deadlines and job counts are
+/// deliberately excluded — they change how fast a verdict arrives, never
+/// which verdict — and indefinite verdicts (which DO depend on budgets) are
+/// not cacheable in the first place (svc::VerdictCache). The per-request
+/// optimize/abstract flags are likewise excluded: both pipelines are
+/// semantics-preserving, so all settings answer the same question and write
+/// to the same entry — but optimize=false / abstract=false requests bypass
+/// the cache *lookup* (svc::Service) so --no-opt and --no-abs always
+/// recompute. Note the system fingerprinted here is always the
+/// PRE-optimization, PRE-abstraction system — both passes run inside
+/// core::check, below the cache.
 [[nodiscard]] Fingerprint fingerprint_request(const ts::TransitionSystem& ts,
                                               const ltl::Formula& property,
                                               core::Engine engine, int max_depth);

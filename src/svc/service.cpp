@@ -295,9 +295,10 @@ PendingCheck Service::submit(const CheckRequest& request) {
     s->event("svc.request").attr("queue_depth", depth).emit();
 
   // Batched dispatch: cache-mediated requests join a coalescing batch and
-  // are verified as one shared session run. optimize=false requests keep the
-  // direct path — their contract is "never answer from the cache".
-  if (batcher_ && request.optimize && request.system != nullptr)
+  // are verified as one shared session run. optimize=false / abstract=false
+  // requests keep the direct path — their contract is "never answer from the
+  // cache".
+  if (batcher_ && request.optimize && request.abstract && request.system != nullptr)
     return submit_batched(request, pending.slot_);
 
   // Copies for the closure: the formula and options by value, the system by
@@ -307,6 +308,7 @@ PendingCheck Service::submit(const CheckRequest& request) {
   const core::Engine engine = request.engine;
   const int max_depth = request.max_depth;
   const bool optimize = request.optimize;
+  const bool abstract = request.abstract;
   const util::Deadline deadline = request.deadline;
   const std::function<void()> on_complete = request.on_complete;
   const Fingerprint key =
@@ -329,12 +331,13 @@ PendingCheck Service::submit(const CheckRequest& request) {
           check_options.engine = engine;
           check_options.max_depth = max_depth;
           check_options.optimize = optimize;
+          check_options.abstract = abstract;
           check_options.deadline = deadline.with_cancel(token);
           return core::check(*system, property, check_options);
         };
         bool computed = false;
         CachedVerdict cached;
-        if (optimize) {
+        if (optimize && abstract) {
           cached = cache->get_or_compute(key, [&] {
             // Exact LRU miss. Walk the remaining store tiers before paying
             // for any engine work: the persistent segment, then — when this
@@ -383,10 +386,11 @@ PendingCheck Service::submit(const CheckRequest& request) {
             return fresh;
           });
         } else {
-          // optimize=false is the escape hatch around optimizer bugs: never
-          // serve a cached verdict (the entry may have been produced through
-          // the optimizing pipeline). Recompute, and refresh the shared entry
-          // so a stale verdict is overwritten rather than left behind.
+          // optimize=false / abstract=false are the escape hatches around
+          // pipeline bugs: never serve a cached verdict (the entry may have
+          // been produced through the optimizing or abstracting pipeline).
+          // Recompute, and refresh the shared entry so a stale verdict is
+          // overwritten rather than left behind.
           computed = true;
           const core::CheckOutcome out = run_check();
           cached = reuse != nullptr
@@ -560,7 +564,8 @@ void Service::dispatch_batch(std::shared_ptr<Batch> batch) {
           so.deadline = batch->deadline.with_cancel(token);
           so.jobs = 1;  // the batch already owns one pool worker
           so.cache = &hook;
-          so.optimize = true;
+          so.optimize = true;  // only optimize=true, abstract=true requests batch
+          so.abstract = true;
           result = session.check_all(so);
         } catch (const std::exception& error) {
           failure = error.what();

@@ -102,6 +102,14 @@ struct CheckRequest {
   /// hatch around optimizer bugs, cached or not. optimize=false requests are
   /// never batched either: the batch path is cache-mediated.
   bool optimize = true;
+  /// Run the abs/ symmetry-reduction pass before checking
+  /// (core::CheckOptions::abstract). Same cache contract as optimize:
+  /// excluded from the request fingerprint (the abstraction is
+  /// semantics-preserving), but abstract=false requests always recompute —
+  /// bypassing the cache lookup and overwriting the shared entry — so
+  /// --no-abs is a genuine escape hatch around abstraction bugs, cached or
+  /// not. abstract=false requests are never batched either.
+  bool abstract = true;
   /// Invoked exactly once when the response slot is filled: on the worker
   /// thread for computed/batched requests, on the submitting thread for
   /// admission rejects. Lets a caller that must not block — the epoll

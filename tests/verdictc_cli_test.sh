@@ -144,6 +144,14 @@ if [ -n "$REPORT" ]; then
   expect_exit 1 "$rc" "verdict-report --check on malformed JSON"
 fi
 
+# --no-abs: the symmetry-reduction escape hatch must not change verdicts,
+# and the stats document must record that the pass was off.
+run rc "$TMP/noabs.txt" "$VERDICTC" "$MODELS/rollout.vml" --prop quorum_kept \
+  --engine bmc --depth 8 --no-abs --stats-json "$TMP/noabs.json"
+expect_exit 1 "$rc" "--no-abs run" "$TMP/noabs.txt"
+grep -q '"abstract":false' "$TMP/noabs.json" || \
+  fail "--no-abs must be recorded in the stats document"
+
 # An already-expired budget leaves the property undecided: exit 3.
 run rc "$TMP/timeout.txt" "$VERDICTC" "$MODELS/rollout.vml" --prop quorum_kept \
   --engine bmc --timeout 0.000001

@@ -163,6 +163,19 @@ JsonValue validate_stats_document(const std::string& text) {
       for (const char* k : kSvcCounters) known = known || name == k;
       require(known, "counters." + name + " is not a known svc.* counter");
     }
+    // The abstraction counters are closed too (docs/abstraction.md): symmetry
+    // detection, quotient collapse, and the CEGAR loop's refinement /
+    // fallback outcomes.
+    if (name.rfind("abs.", 0) == 0) {
+      static const char* kAbsCounters[] = {
+          "abs.orbits_found",      "abs.vars_collapsed",
+          "abs.cegar_refinements", "abs.spurious_traces",
+          "abs.fallback_concrete",
+      };
+      bool known = false;
+      for (const char* k : kAbsCounters) known = known || name == k;
+      require(known, "counters." + name + " is not a known abs.* counter");
+    }
   }
   require(doc["exit_code"].is_number(), "exit_code must be a number");
   return doc;
@@ -271,6 +284,16 @@ void print_stats_report(const JsonValue& doc) {
       std::printf("incremental: %ld verdict(s) reused, %ld proof(s) revalidated, "
                   "%ld revalidation(s) failed\n",
                   reused, revalidated, failed);
+    const long orbits = counter("abs.orbits_found");
+    const long collapsed = counter("abs.vars_collapsed");
+    const long refinements = counter("abs.cegar_refinements");
+    const long spurious = counter("abs.spurious_traces");
+    const long fallback = counter("abs.fallback_concrete");
+    if (orbits + collapsed + refinements + spurious + fallback > 0)
+      std::printf("abstraction: %ld orbit(s), %ld var(s) collapsed, "
+                  "%ld refinement(s), %ld spurious trace(s), "
+                  "%ld concrete fallback(s)\n",
+                  orbits, collapsed, refinements, spurious, fallback);
   }
 }
 

@@ -25,6 +25,9 @@
 //                          folding, constant propagation, cone-of-influence
 //                          slicing; docs/optimizer.md) — verdicts must be
 //                          identical either way, only speed differs
+//   --no-abs               skip the abs/ symmetry-reduction pass
+//                          (docs/abstraction.md) — same contract as --no-opt:
+//                          identical verdicts, different cost profile
 //   --stats-json FILE      write the whole run as one JSON document
 //                          (schema "verdict-stats-v1", docs/observability.md)
 //   --trace-out FILE       stream structured engine events to FILE as NDJSON
@@ -107,6 +110,7 @@ struct Options {
   bool explain = false;
   bool quiet = false;
   bool optimize = true;  // --no-opt clears this
+  bool abstract = true;  // --no-abs clears this
   std::string smv_out;     // when set, export the model to this .smv path
   std::string stats_json;  // when set, write the verdict-stats-v1 document here
   std::string trace_out;   // when set, stream NDJSON engine events here
@@ -130,6 +134,7 @@ struct Options {
                "  --depth N          unroll depth / induction bound / frame limit (50)\n"
                "  --timeout SECONDS  wall-clock budget for the whole run\n"
                "  --no-opt           skip the optimization pipeline (docs/optimizer.md)\n"
+               "  --no-abs           skip the symmetry-reduction pass (docs/abstraction.md)\n"
                "  --smv FILE         also export the model as NuXMV input\n"
                "  --trace            print counterexample traces (full states)\n"
                "  --explain          print counterexample traces as state diffs\n"
@@ -213,6 +218,8 @@ Options parse_args(int argc, char** argv) {
       options.timeout = std::atof(value().c_str());
     } else if (arg == "--no-opt") {
       options.optimize = false;
+    } else if (arg == "--no-abs") {
+      options.abstract = false;
     } else if (arg == "--smv") {
       options.smv_out = value();
     } else if (arg == "--trace") {
@@ -452,7 +459,7 @@ int main(int argc, char** argv) {
         svc::Client client(options.connect, client_options);
         const std::vector<svc::ClientVerdict> verdicts = client.check(
             model_text.str(), ltl_selected, options.engine, options.depth,
-            options.timeout, options.optimize);
+            options.timeout, options.optimize, options.abstract);
         for (const svc::ClientVerdict& v : verdicts) {
           result.properties.push_back(
               {v.prop, model.ltl_properties.at(v.prop), v.outcome});
@@ -471,6 +478,7 @@ int main(int argc, char** argv) {
         check.max_depth = options.depth;
         check.jobs = options.jobs;
         check.optimize = options.optimize;
+        check.abstract = options.abstract;
         check.deadline = deadline;
         result = session.check_all(check);
       } catch (const std::exception& error) {
@@ -563,6 +571,7 @@ int main(int argc, char** argv) {
     w.kv("jobs", options.jobs);
     w.kv("timeout", options.timeout);
     w.kv("optimize", options.optimize);
+    w.kv("abstract", options.abstract);
     w.end_object();
     w.key("properties");
     w.begin_array();
