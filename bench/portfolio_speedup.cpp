@@ -17,9 +17,14 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/bmc.h"
 #include "core/checker.h"
+#include "core/pdr.h"
 #include "core/synth.h"
+#include "obs/trace.h"
+#include "portfolio/lemma_bus.h"
 #include "portfolio/par_synth.h"
+#include "portfolio/portfolio.h"
 #include "scenarios/rollout_partition.h"
 
 namespace {
@@ -165,10 +170,145 @@ int main() {
     w.kv("verdicts_match", synth_match);
   });
 
+  // --- Cross-lane lemma sharing ablation (share_lemmas on vs off) ----------
+  //
+  // The PDR lane exports proven reachability-invariant clauses on the
+  // LemmaBus; BMC and k-induction assert them mid-run (sound — see
+  // portfolio/lemma_bus.h). Exit gate: identical verdicts on every instance
+  // and a nonzero export count (the machinery must actually engage); the
+  // speedup column quantifies the win, where k-induction can close at a
+  // smaller k once the strengthening clauses arrive.
+  std::printf("\nlemma sharing (portfolio jobs=4, share_lemmas on vs off):\n");
+  struct ShareCase {
+    std::string name;
+    ts::TransitionSystem system;
+    ltl::Formula property;
+  };
+  // Deterministic-export case: an even counter (x += 2, capped) with the
+  // in-range but unreachable odd state as the bad state. Every blocked cube
+  // is 1-inductive relative to the ones below it (the bottom one outright,
+  // via the range invariant), so the chain exports bottom-up and
+  // k-induction can close at k = 1 instead of walking the simple-path
+  // bound. Reused below for the solo engagement runs.
+  const std::int64_t cap = 60;
+  ts::TransitionSystem even;
+  const expr::Expr even_x = expr::int_var("pfb_lemma_x", 0, cap);
+  even.add_var(even_x);
+  even.add_init(expr::mk_eq(even_x, expr::int_const(0)));
+  even.add_trans(
+      expr::mk_eq(expr::next(even_x),
+                  expr::ite(expr::mk_le(even_x, expr::int_const(cap - 2)),
+                            even_x + expr::int_const(2), even_x)));
+  const expr::Expr even_safe =
+      expr::mk_not(expr::mk_eq(even_x, expr::int_const(cap - 1)));
+
+  std::vector<ShareCase> share_cases;
+  share_cases.push_back({"even_counter", even, ltl::G(ltl::atom(even_safe))});
+  {
+    // The holds-side rollout instance: k = 1 is below the front-end cut, so
+    // the proof lanes race (BMC cannot conclude) and shared lemmas matter.
+    scenarios::RolloutPartitionOptions so;
+    so.prefix = "pfb_lemma_test";
+    const auto sc = scenarios::make_test_scenario(so);
+    share_cases.push_back({"test_holds",
+                           bench::pinned(sc.system, {{sc.p, 1}, {sc.k, 1}, {sc.m, 1}}),
+                           sc.property});
+  }
+  if (!bench::smoke()) {
+    scenarios::RolloutPartitionOptions so;
+    so.prefix = "pfb_lemma_ft4";
+    const auto sc = scenarios::make_fat_tree_scenario(4, so);
+    share_cases.push_back({"fattree4_holds",
+                           bench::pinned(sc.system, {{sc.p, 1}, {sc.k, 1}, {sc.m, 1}}),
+                           sc.property});
+  }
+
+  bool lemma_parity = true;
+  double best_share_speedup = 0.0;
+  for (const ShareCase& sc : share_cases) {
+    auto timed = [&](bool share) {
+      portfolio::PortfolioOptions options;
+      options.jobs = kJobs;
+      options.max_depth = 80;
+      options.share_lemmas = share;
+      options.deadline = util::Deadline::after_seconds(budget);
+      const double start = now_seconds();
+      Timed timed;
+      timed.outcome = portfolio::check_portfolio(sc.system, sc.property, options);
+      timed.wall = now_seconds() - start;
+      return timed;
+    };
+    const Timed off = timed(false);
+    const Timed on = timed(true);
+    const bool match = on.outcome.verdict == off.outcome.verdict;
+    lemma_parity = lemma_parity && match;
+    const double share_speedup = on.wall > 0 ? off.wall / on.wall : 0.0;
+    if (match) best_share_speedup = std::max(best_share_speedup, share_speedup);
+    std::printf("  %-14s | off %-9s %7.2fs | on %-9s %7.2fs | %5.2fx%s\n",
+                sc.name.c_str(), core::verdict_name(off.outcome.verdict), off.wall,
+                core::verdict_name(on.outcome.verdict), on.wall, share_speedup,
+                match ? "" : "  VERDICT MISMATCH");
+    rows.row([&](obs::JsonWriter& w) {
+      w.kv("sweep", "lemma_sharing");
+      w.kv("case", sc.name);
+      w.kv("off_seconds", off.wall);
+      w.kv("on_seconds", on.wall);
+      w.kv("speedup", share_speedup);
+      w.kv("verdict", core::verdict_name(on.outcome.verdict));
+      w.kv("verdicts_match", match);
+    });
+  }
+  // Engagement is gated outside the race: on a small box the winning lane
+  // can cancel PDR before its export cascade starts, so the deterministic
+  // solo pair below proves both directions of the bus machinery. One PDR run
+  // fills a bus to convergence (the bottom-up 1-inductive cascade), then one
+  // incremental BMC run consumes every clause; the crosscheck suite
+  // separately asserts bus-fed verdicts are bit-identical to isolated runs.
+  const std::uint64_t exported_before =
+      obs::counter("portfolio.lemmas_exported").load();
+  const std::uint64_t consumed_before =
+      obs::counter("portfolio.lemmas_consumed").load();
+  {
+    portfolio::LemmaBus bus;
+    core::PdrOptions pdr_options;
+    pdr_options.lemma_bus = &bus;
+    pdr_options.deadline = util::Deadline::after_seconds(budget * 5);
+    const core::CheckOutcome pdr_out =
+        core::check_invariant_pdr(even, even_safe, pdr_options);
+    core::BmcOptions bmc_options;
+    bmc_options.lemma_bus = &bus;
+    bmc_options.max_depth = 40;
+    bmc_options.deadline = util::Deadline::after_seconds(budget * 5);
+    const core::CheckOutcome bmc_out =
+        core::check_invariant_bmc(even, even_safe, bmc_options);
+    std::printf("  solo engagement: pdr %s, bmc-with-bus %s\n",
+                core::verdict_name(pdr_out.verdict),
+                core::verdict_name(bmc_out.verdict));
+  }
+  const std::uint64_t exported =
+      obs::counter("portfolio.lemmas_exported").load() - exported_before;
+  const std::uint64_t consumed =
+      obs::counter("portfolio.lemmas_consumed").load() - consumed_before;
+  const bool lemma_gate = lemma_parity && exported > 0 && consumed > 0;
+  verdicts_match = verdicts_match && lemma_parity;
+  std::printf("  exported lemmas: %llu, consumed: %llu, best sharing speedup: "
+              "%.2fx, gate (parity + bus engaged both ways): %s\n",
+              static_cast<unsigned long long>(exported),
+              static_cast<unsigned long long>(consumed), best_share_speedup,
+              lemma_gate ? "PASS" : "FAIL");
+  rows.row([&](obs::JsonWriter& w) {
+    w.kv("sweep", "lemma_sharing_summary");
+    w.kv("exported", exported);
+    w.kv("consumed", consumed);
+    w.kv("best_speedup", best_share_speedup);
+    w.kv("gate_pass", lemma_gate);
+  });
+
   std::printf("\nbest check speedup: %.2fx (target >= 1.5x), synth speedup: %.2fx "
               "(target >= 2x), verdicts %s\n",
               best_check_speedup, synth_speedup,
               verdicts_match ? "identical" : "DIFFER");
+  if (!lemma_gate) return 1;
   std::printf("(check speedup is algorithmic — the race reaches the winning engine\n"
               " without paying for the losers first — so it survives few-core hosts;\n"
               " the synthesis sweep parallelises identical per-candidate work and is\n"

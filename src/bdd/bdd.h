@@ -6,22 +6,34 @@
 // CTL properties by preimage fixpoints (bdd/ctl_checker.h).
 //
 // Nodes are hash-consed into an arena owned by a Manager; a Bdd handle is a
-// 4-byte index. Variables are identified by their level (the order is the
-// creation order — the encoder chooses interleaved current/next levels so
-// relational products stay small). Complement edges are not used; the unique
-// table plus an ite computed-cache give canonical forms.
+// 4-byte index. A variable is a stable *index* (assigned at creation and never
+// changing, so encoder layouts and rename permutations keep meaning the same
+// thing), while its *position* in the order is mutable: dynamic reordering by
+// sifting moves variables via an in-place `swap_adjacent` that preserves both
+// canonicity and the function denoted by every live node id — outstanding Bdd
+// handles and cache entries stay valid across reorders. The unique table is a
+// per-variable open-addressed subtable (which also gives sifting its node
+// counts per level for free) and the ite computed-cache is a lossy
+// direct-mapped array. Complement edges are not used.
 #pragma once
 
-#include <array>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace verdict::bdd {
 
 class Manager;
+class ReachIndex;
+
+/// Thrown by Manager operations when the installed abort hook fires (see
+/// Manager::set_abort_check). Callers that install a hook catch this at their
+/// operation boundary and map it to a timeout verdict.
+struct AbortRequested {};
 
 /// Handle to a node in a specific Manager. The terminal constants are
 /// Bdd::zero / Bdd::one in every manager.
@@ -49,13 +61,14 @@ class Manager {
  public:
   Manager();
 
-  /// Creates a fresh variable at the next level; returns its level index.
+  /// Creates a fresh variable; returns its index. The initial position in the
+  /// order equals the index (creation order); reordering may move it later.
   std::uint32_t new_var();
   [[nodiscard]] std::uint32_t num_vars() const { return num_vars_; }
 
-  /// The BDD "level == value" for a single variable.
-  [[nodiscard]] Bdd var(std::uint32_t level);
-  [[nodiscard]] Bdd nvar(std::uint32_t level);
+  /// The BDD "variable == value" for a single variable index.
+  [[nodiscard]] Bdd var(std::uint32_t v);
+  [[nodiscard]] Bdd nvar(std::uint32_t v);
 
   [[nodiscard]] Bdd ite(Bdd f, Bdd g, Bdd h);
   [[nodiscard]] Bdd apply_and(Bdd a, Bdd b) { return ite(a, b, Bdd::zero()); }
@@ -65,21 +78,32 @@ class Manager {
   [[nodiscard]] Bdd implies(Bdd a, Bdd b) { return ite(a, b, Bdd::one()); }
   [[nodiscard]] Bdd iff(Bdd a, Bdd b) { return ite(a, b, apply_not(b)); }
 
-  /// Existential / universal quantification over a set of levels.
-  [[nodiscard]] Bdd exists(Bdd f, std::span<const std::uint32_t> levels);
-  [[nodiscard]] Bdd forall(Bdd f, std::span<const std::uint32_t> levels);
+  /// a AND NOT b without materializing NOT b (the classic frontier-minus-
+  /// visited step of reachability: `next \ reached`). With an index bound to a
+  /// monotonically growing `b` (see ReachIndex), zero-difference subresults
+  /// are remembered across calls and short-circuit future recursions.
+  [[nodiscard]] Bdd apply_diff(Bdd a, Bdd b, ReachIndex* index = nullptr);
 
-  /// Relational product: exists(levels, f & g) computed in one pass — the
+  /// True iff a implies b (a subseteq b as state sets). Creates no nodes —
+  /// a pure recursive containment check for fixpoint-termination tests.
+  [[nodiscard]] bool subset(Bdd a, Bdd b);
+
+  /// Existential / universal quantification over a set of variable indices.
+  [[nodiscard]] Bdd exists(Bdd f, std::span<const std::uint32_t> vars);
+  [[nodiscard]] Bdd forall(Bdd f, std::span<const std::uint32_t> vars);
+
+  /// Relational product: exists(vars, f & g) computed in one pass — the
   /// workhorse of image computation.
-  [[nodiscard]] Bdd and_exists(Bdd f, Bdd g, std::span<const std::uint32_t> levels);
+  [[nodiscard]] Bdd and_exists(Bdd f, Bdd g, std::span<const std::uint32_t> vars);
 
-  /// Renames variables: level l -> perm[l] (perm must be a permutation and
-  /// monotone on the support for correctness of this simple implementation;
-  /// the encoder's cur<->next shift by one level satisfies that).
+  /// Renames variables: index v -> perm[v] (perm must be a permutation and
+  /// monotone w.r.t. the current *positions* on the support for correctness
+  /// of this simple implementation; the encoder's cur<->next shift within an
+  /// interleaved pair satisfies that, and pair-block sifting preserves it).
   [[nodiscard]] Bdd rename(Bdd f, std::span<const std::uint32_t> perm);
 
-  /// One satisfying assignment (level -> bool) of a non-zero BDD; levels not
-  /// in the support are set to false.
+  /// One satisfying assignment (variable index -> bool) of a non-zero BDD;
+  /// variables not in the support are set to false.
   [[nodiscard]] std::vector<bool> any_sat(Bdd f);
 
   /// Number of satisfying assignments over all num_vars() variables.
@@ -91,38 +115,166 @@ class Manager {
   /// Total allocated nodes (diagnostics).
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
 
-  /// Evaluates under a full assignment.
+  /// Evaluates under a full assignment (indexed by variable index).
   [[nodiscard]] bool eval(Bdd f, const std::vector<bool>& assignment) const;
 
-  // Node structure access (for traversals by the checker).
-  [[nodiscard]] std::uint32_t level_of(Bdd f) const { return nodes_[f.id()].level; }
+  /// Installs a cooperative abort hook, polled every few thousand node
+  /// creations (so deadlines bind even when a single apply blows up — the
+  /// fixpoint loop's own polls never run if encode_predicate diverges first).
+  /// When the hook returns true the in-flight operation throws AbortRequested;
+  /// the manager stays structurally valid, leaving at most unreferenced nodes
+  /// behind (the same garbage class as sifting exploration). Never fires
+  /// mid-sift: reordering must complete atomically. Pass nullptr to clear.
+  void set_abort_check(std::function<bool()> check) { abort_check_ = std::move(check); }
+
+  // Node structure access (for traversals by the checker). level_of returns
+  // the *variable index* of the node (stable across reorders).
+  [[nodiscard]] std::uint32_t level_of(Bdd f) const { return nodes_[f.id()].var; }
   [[nodiscard]] Bdd low_of(Bdd f) const { return Bdd(nodes_[f.id()].low); }
   [[nodiscard]] Bdd high_of(Bdd f) const { return Bdd(nodes_[f.id()].high); }
 
+  // --- Dynamic variable reordering (sifting) ---------------------------------
+
+  /// Enables/disables automatic reordering. `block_size` groups consecutive
+  /// variable indices [k*block, (k+1)*block) into rigid blocks that move as a
+  /// unit — the encoder uses blocks of 2 so interleaved cur/next bit pairs
+  /// stay adjacent (which keeps its rename permutations position-monotone).
+  /// Reordering runs only between top-level operations, never mid-recursion.
+  void set_auto_reorder(bool enabled, std::uint32_t block_size = 1);
+  [[nodiscard]] bool auto_reorder() const { return auto_reorder_; }
+
+  /// Node-count threshold that arms the next automatic sift (doubles after
+  /// each run so reordering cost stays amortized).
+  void set_reorder_threshold(std::size_t nodes) { reorder_threshold_ = nodes; }
+
+  /// Runs one sifting pass immediately (regardless of thresholds).
+  void reorder_now();
+
+  /// Number of completed sifting passes (diagnostics / tests).
+  [[nodiscard]] std::size_t reorder_runs() const { return reorder_runs_; }
+
+  /// Swaps the variables at order positions `pos` and `pos+1`. Canonicity and
+  /// every outstanding handle's meaning are preserved; exposed for tests.
+  void swap_adjacent(std::uint32_t pos);
+
+  /// Current order: variable index at each position (diagnostics / tests).
+  [[nodiscard]] const std::vector<std::uint32_t>& order() const { return var_at_pos_; }
+
+  /// Live unique-table entries (excludes terminals; includes nodes no longer
+  /// referenced by any client handle — the package has no GC).
+  [[nodiscard]] std::size_t table_nodes() const { return table_nodes_; }
+
  private:
   struct Node {
-    std::uint32_t level;  // kTerminalLevel for terminals
+    std::uint32_t var;  // kTerminalVar for terminals (and for removed holes)
     std::uint32_t low;
     std::uint32_t high;
+    // Number of *internal* parent edges (client handles are not counted, so
+    // ref == 0 does not mean dead in general). During sifting it does: nodes
+    // created mid-walk can have no client handles, so ref == 0 && id >=
+    // sift_gc_floor_ identifies exploration garbage the moment it is
+    // orphaned. Culling it keeps table_nodes_ — the sifting quality metric —
+    // honest; without this, a walk's own garbage outweighs any real
+    // improvement and every block "best" degenerates to its origin.
+    std::uint32_t ref = 0;
   };
-  static constexpr std::uint32_t kTerminalLevel = 0xffffffffu;
+  static constexpr std::uint32_t kTerminalVar = 0xffffffffu;
+  static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+  static constexpr std::uint32_t kNoPos = 0xffffffffu;
 
-  Bdd make(std::uint32_t level, Bdd low, Bdd high);
-
-  struct TripleHash {
-    std::size_t operator()(const std::array<std::uint32_t, 3>& k) const noexcept {
-      std::size_t h = k[0];
-      h = h * 0x9e3779b1u + k[1];
-      h = h * 0x9e3779b1u + k[2];
-      return h;
-    }
+  // Per-variable unique subtable: open-addressed, linear probing, no
+  // tombstones (deletion happens only via whole-table rebuild in
+  // swap_adjacent). Slots hold node ids; the key is (low, high).
+  struct SubTable {
+    std::vector<std::uint32_t> slots;
+    std::size_t count = 0;
   };
+
+  // Direct-mapped lossy computed-cache entry (ite and diff).
+  struct CacheEntry {
+    std::uint32_t a = kEmptySlot;
+    std::uint32_t b = 0;
+    std::uint32_t c = 0;
+    std::uint32_t r = 0;
+  };
+
+  Bdd make(std::uint32_t var, Bdd low, Bdd high);
+  Bdd ite_rec(Bdd f, Bdd g, Bdd h);
+  Bdd diff_rec(Bdd a, Bdd b, ReachIndex* index);
+  bool subset_rec(Bdd a, Bdd b, std::unordered_set<std::uint64_t>& proven) const;
+
+  [[nodiscard]] std::uint32_t pos_of_node(std::uint32_t id) const {
+    const std::uint32_t v = nodes_[id].var;
+    return v == kTerminalVar ? kNoPos : pos_of_var_[v];
+  }
+
+  void table_grow(std::uint32_t var);
+  void table_insert(std::uint32_t var, std::uint32_t id);  // raw, assumes absent
+  void ref_inc(std::uint32_t id) {
+    if (id > 1) ++nodes_[id].ref;
+  }
+  void ref_dec(std::uint32_t id) {
+    if (id > 1) --nodes_[id].ref;
+  }
+  // Mid-sift reachability counting (see counted_): number of *counted*
+  // parents, seeded with +1 for each sift-start root. A node is counted —
+  // contributes to the sifting metric and propagates to its children — iff
+  // its cref is positive. Sized lazily during sift; empty otherwise.
+  void cref_inc(std::uint32_t id);
+  void cref_dec(std::uint32_t id);
+  [[nodiscard]] bool is_counted(std::uint32_t id) const {
+    return id < cref_.size() && cref_[id] > 0;
+  }
+  static std::size_t pair_hash(std::uint32_t low, std::uint32_t high);
+
+  void maybe_reorder();
+  void maybe_grow_caches();
+  void sift();
+  // Collects nodes created at or after id `start` that ended up unreachable
+  // from every pre-`start` node (sifting exploration garbage): removes them
+  // from the unique tables and purges cache entries mentioning them. Node
+  // structs stay as inert holes so every id keeps meaning what it meant.
+  void sweep_created_since(std::uint32_t start);
+  // Moves the block at block-position p past the one at p+1.
+  void swap_blocks(std::uint32_t block_pos);
+  [[nodiscard]] std::uint32_t block_pos_of(std::uint32_t block) const;
+
+  struct OpGuard;
 
   std::vector<Node> nodes_;
-  std::unordered_map<std::array<std::uint32_t, 3>, std::uint32_t, TripleHash> unique_;
-  // Global cache for the hot ite path; quantification/rename memoize per call.
-  std::unordered_map<std::array<std::uint32_t, 3>, std::uint32_t, TripleHash> ite_cache_;
+  std::vector<SubTable> tables_;        // one per variable
+  std::vector<std::uint32_t> pos_of_var_;
+  std::vector<std::uint32_t> var_at_pos_;
+  std::vector<CacheEntry> ite_cache_;   // power-of-two, direct mapped
+  std::vector<CacheEntry> diff_cache_;  // ditto, keyed (a, b)
+  std::size_t table_nodes_ = 0;
   std::uint32_t num_vars_ = 0;
+
+  static constexpr std::uint32_t kAbortPollInterval = 16384;
+  std::function<bool()> abort_check_;
+  std::uint32_t abort_countdown_ = kAbortPollInterval;
+  bool auto_reorder_ = false;
+  std::uint32_t block_size_ = 1;
+  bool reordering_ = false;
+  bool reorder_pending_ = false;
+  // Ids at or above this are mid-sift creations with no client handles, so
+  // ref == 0 makes them garbage; swap_adjacent drops them during its rebuild.
+  // 0xffffffff (no valid id reaches it) disables culling outside sifting.
+  std::uint32_t sift_gc_floor_ = 0xffffffffu;
+  // Sifting cannot use table_nodes_ as its quality metric: the table keeps
+  // every pre-sift node (any might be a client handle), so when a better
+  // position makes part of the live structure fall dead the count never
+  // drops, and every block walk degenerates to "best = origin". Instead
+  // sift() snapshots the conservative root set (in-table nodes with no
+  // parents) and maintains the size of everything reachable from it —
+  // counted_ — incrementally through every swap via cref_. That reachable
+  // size is the true live size up to a position-independent constant, so
+  // minimizing it finds the genuinely best position.
+  std::vector<std::uint32_t> cref_;
+  std::size_t counted_ = 0;
+  std::size_t reorder_threshold_ = 4096;
+  std::size_t reorder_runs_ = 0;
+  int op_depth_ = 0;
 };
 
 }  // namespace verdict::bdd

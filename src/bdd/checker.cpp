@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "bdd/reach_index.h"
 #include "core/checker.h"
 #include "expr/walk.h"
 #include "obs/trace.h"
@@ -66,16 +67,19 @@ CheckOutcome check_invariant_bdd(const ts::TransitionSystem& ts, Expr invariant,
   CheckOutcome outcome;
   outcome.stats.engine = "bdd-reach";
 
-  SymbolicSystem system(ts, options.order);
+  SymbolicSystem system(ts, options.order, options.reorder);
   Manager& m = system.manager();
-  const Bdd bad = m.apply_and(system.state_space(),
-                              m.apply_not(system.encode_predicate(invariant)));
+  // Bound even a single diverging apply: encode_predicate below can blow up
+  // long before the loop's per-iteration deadline polls run.
+  m.set_abort_check([&options] { return options.deadline.expired(); });
 
   // Forward BFS keeping onion rings for counterexample reconstruction.
   std::vector<Bdd> rings;
   Bdd reached = system.init();
   rings.push_back(system.init());
   int depth = 0;
+  ReachIndex index;  // sound: `reached` only ever grows (see reach_index.h)
+  index.advance(reached);
 
   const auto finish = [&](Verdict v, const std::string& message = "") {
     outcome.verdict = v;
@@ -84,6 +88,10 @@ CheckOutcome check_invariant_bdd(const ts::TransitionSystem& ts, Expr invariant,
     outcome.stats.seconds = watch.elapsed_seconds();
     return outcome;
   };
+
+  try {
+  const Bdd bad = m.apply_and(system.state_space(),
+                              m.apply_not(system.encode_predicate(invariant)));
 
   while (true) {
     if (options.deadline.expired())
@@ -110,9 +118,12 @@ CheckOutcome check_invariant_bdd(const ts::TransitionSystem& ts, Expr invariant,
     }
 
     const Bdd next = system.image(rings.back());
-    const Bdd fresh = m.apply_and(next, m.apply_not(reached));
+    const Bdd fresh = options.reach_index
+                          ? m.apply_diff(next, reached, &index)
+                          : m.apply_and(next, m.apply_not(reached));
     if (fresh.is_zero()) return finish(Verdict::kHolds, "reachability fixpoint");
     reached = m.apply_or(reached, fresh);
+    index.advance(reached);
     rings.push_back(fresh);
     ++depth;
     if (obs::TraceSink* s = obs::sink())
@@ -120,6 +131,11 @@ CheckOutcome check_invariant_bdd(const ts::TransitionSystem& ts, Expr invariant,
           .attr("depth", depth)
           .attr("nodes", m.num_nodes())
           .emit();
+  }
+  } catch (const AbortRequested&) {
+    // A single apply outgrew the deadline (typically encode_predicate on an
+    // order-hostile invariant). The manager is still valid; report timeout.
+    return finish(Verdict::kTimeout, "deadline during symbolic encoding");
   }
 }
 
@@ -174,7 +190,7 @@ CheckOutcome check_ctl_bdd(const ts::TransitionSystem& ts, const ltl::CtlFormula
   CheckOutcome outcome;
   outcome.stats.engine = "bdd-ctl";
 
-  SymbolicSystem system(ts, options.order);
+  SymbolicSystem system(ts, options.order, options.reorder);
   Manager& m = system.manager();
   const Bdd sat = ctl_sat_set(system, formula);
   const Bdd failing = m.apply_and(system.init(), m.apply_not(sat));
@@ -192,14 +208,16 @@ CheckOutcome check_ctl_bdd(const ts::TransitionSystem& ts, const ltl::CtlFormula
 
 namespace {
 
-// Reachable-state set of one symbolic system (fixpoint of image).
+// Reachable-state set of one symbolic system (fixpoint of image). The
+// termination test is the allocation-free subset predicate: converged iff the
+// image adds nothing, without building the union first.
 Bdd reachable_set(SymbolicSystem& system, const util::Deadline& deadline) {
   Manager& m = system.manager();
   Bdd reached = system.init();
   while (!deadline.expired()) {
-    const Bdd next = m.apply_or(reached, system.image(reached));
-    if (next == reached) return reached;
-    reached = next;
+    const Bdd img = system.image(reached);
+    if (m.subset(img, reached)) return reached;
+    reached = m.apply_or(reached, img);
   }
   throw std::runtime_error("blast_radius: deadline during reachability");
 }
@@ -225,12 +243,12 @@ BlastRadius blast_radius(const ts::TransitionSystem& ts, expr::Expr event,
   // World A: the event never occurs (G !event as an invariant constraint).
   ts::TransitionSystem quiet = ts;
   quiet.add_invar(expr::mk_not(event));
-  SymbolicSystem quiet_system(quiet, options.order);
+  SymbolicSystem quiet_system(quiet, options.order, options.reorder);
   const Bdd quiet_reach = reachable_set(quiet_system, options.deadline);
   out.states_without_event = count_states(quiet_system, quiet_reach);
 
   // World B: the event may occur.
-  SymbolicSystem full_system(ts, options.order);
+  SymbolicSystem full_system(ts, options.order, options.reorder);
   const Bdd full_reach = reachable_set(full_system, options.deadline);
   out.states_total = count_states(full_system, full_reach);
 
@@ -255,14 +273,14 @@ BlastRadius blast_radius(const ts::TransitionSystem& ts, expr::Expr event,
 }
 
 double count_reachable_states(const ts::TransitionSystem& ts, const BddOptions& options) {
-  SymbolicSystem system(ts, options.order);
+  SymbolicSystem system(ts, options.order, options.reorder);
   Manager& m = system.manager();
   Bdd reached = system.init();
   while (true) {
     if (options.deadline.expired()) break;
-    const Bdd next = m.apply_or(reached, system.image(reached));
-    if (next == reached) break;
-    reached = next;
+    const Bdd img = system.image(reached);
+    if (m.subset(img, reached)) break;
+    reached = m.apply_or(reached, img);
   }
   // Quantify away next-state levels (they are unconstrained in `reached`):
   // sat_count counts over all manager variables, so divide out the

@@ -24,6 +24,13 @@ struct BddOptions {
   /// unoptimized run. Applies to check_invariant_bdd (CTL checking always
   /// encodes the full system).
   bool optimize = true;
+  /// Dynamic variable reordering by sifting (kInterleaved only; see
+  /// bdd/encoder.h). Escape hatch: set false to pin the creation order.
+  bool reorder = true;
+  /// Accelerate the frontier-minus-visited step with Manager::apply_diff and
+  /// a ReachIndex over the growing reached set. Off = the classic
+  /// materialize-the-complement path (ablation knob, see bench/micro_engines).
+  bool reach_index = true;
 };
 
 /// Checks G(invariant) by forward reachability.

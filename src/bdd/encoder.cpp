@@ -24,7 +24,8 @@ int bits_for_range(std::int64_t lo, std::int64_t hi) {
 
 }  // namespace
 
-SymbolicSystem::SymbolicSystem(const ts::TransitionSystem& ts, VarOrder order) : ts_(ts) {
+SymbolicSystem::SymbolicSystem(const ts::TransitionSystem& ts, VarOrder order, bool reorder)
+    : ts_(ts) {
   ts.validate();
   if (!ts.is_finite_domain())
     unsupported("system is not finite-domain (bool / bounded int variables only)");
@@ -64,8 +65,13 @@ SymbolicSystem::SymbolicSystem(const ts::TransitionSystem& ts, VarOrder order) :
     layout_.push_back(std::move(vb));
   }
 
-  // Allocate manager variables (levels 0 .. 2*total_bits-1).
+  // Allocate manager variables (indices 0 .. 2*total_bits-1).
   for (std::size_t i = 0; i < 2 * total_bits; ++i) manager_.new_var();
+  // Sifting moves interleaved cur/next pairs as rigid blocks of two, which
+  // keeps cur_to_next_/next_to_cur_ monotone w.r.t. positions (the rename
+  // contract). The split kSequential layout cannot make that guarantee.
+  if (reorder && order == VarOrder::kInterleaved)
+    manager_.set_auto_reorder(true, /*block_size=*/2);
 
   cur_to_next_.resize(2 * total_bits);
   next_to_cur_.resize(2 * total_bits);

@@ -12,6 +12,11 @@
 // next-state copy adjacent to its current-state copy (good for relational
 // products); kSequential puts all current bits before all next bits (the
 // classic bad ordering — kept as an ablation knob, see bench/micro_engines).
+// Under kInterleaved the manager's dynamic sifting is enabled (unless the
+// caller opts out) with cur/next pairs grouped into rigid blocks of two, so
+// the cur<->next rename permutations stay monotone w.r.t. positions no matter
+// where sifting moves a pair. kSequential never reorders: an arbitrary
+// permutation of the split layout would break that monotonicity.
 #pragma once
 
 #include <optional>
@@ -29,7 +34,10 @@ enum class VarOrder : std::uint8_t { kInterleaved, kSequential };
 
 class SymbolicSystem {
  public:
-  SymbolicSystem(const ts::TransitionSystem& ts, VarOrder order = VarOrder::kInterleaved);
+  /// `reorder` enables dynamic variable reordering (effective only for
+  /// kInterleaved; see the header comment).
+  SymbolicSystem(const ts::TransitionSystem& ts, VarOrder order = VarOrder::kInterleaved,
+                 bool reorder = true);
 
   [[nodiscard]] Manager& manager() { return manager_; }
 

@@ -1,0 +1,30 @@
+#include "bdd/reach_index.h"
+
+#include <stdexcept>
+
+#include "obs/trace.h"
+
+namespace verdict::bdd {
+
+void ReachIndex::mark(std::uint32_t id) {
+  const std::size_t block = id >> kBlockShift;
+  if (block >= blocks_.size()) blocks_.resize(block + 1);
+  if (blocks_[block] == nullptr) {
+    blocks_[block] = std::make_unique<Block>();
+    blocks_[block]->fill(0);
+    ++allocated_;
+    obs::count("bdd.index.blocks");
+  }
+  const std::uint32_t offset = id & kBlockMask;
+  (*blocks_[block])[offset >> 6] |= std::uint64_t{1} << (offset & 63);
+}
+
+void ReachIndex::bind(const Manager& m) {
+  if (bound_ == nullptr) {
+    bound_ = &m;
+  } else if (bound_ != &m) {
+    throw std::logic_error("ReachIndex: bound to a different Manager");
+  }
+}
+
+}  // namespace verdict::bdd

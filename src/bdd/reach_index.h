@@ -1,0 +1,68 @@
+// Compressed reachable-set index for the BDD fixpoint engines.
+//
+// A ReachIndex accompanies one *monotonically growing* BDD (the `reached` set
+// of a forward-reachability loop, or the shrinking-complement analogue): a
+// sparse, block-compressed bitmap over node ids records every node a for
+// which `a AND NOT root == zero` has already been established, i.e. a is a
+// subset of the indexed set. Because the caller only ever advances the root
+// to a superset (reached grows ring by ring), a mark made against an earlier
+// root stays valid against every later one — Manager::apply_diff consults the
+// bitmap to short-circuit whole sub-recursions of the frontier-minus-visited
+// step to an immediate zero, and records fresh zero-difference results back
+// into it.
+//
+// The bitmap is two-level: node-id space is cut into 4096-bit blocks and a
+// block is allocated only when a bit in it is first set, so the index stays
+// tiny even though node ids of long-running managers reach the millions
+// (marked ids cluster: they are the subgraphs of frontier BDDs).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bdd/bdd.h"
+
+namespace verdict::bdd {
+
+class ReachIndex {
+ public:
+  ReachIndex() = default;
+
+  /// Rebinds the index to `root`, which MUST be a superset of every root this
+  /// index was previously advanced to (the caller's monotonicity contract —
+  /// the checker's `reached` only ever grows). Marks persist across advances.
+  void advance(Bdd root) { root_ = root; }
+
+  [[nodiscard]] Bdd root() const { return root_; }
+
+  [[nodiscard]] bool contains(std::uint32_t id) const {
+    const std::size_t block = id >> kBlockShift;
+    if (block >= blocks_.size() || blocks_[block] == nullptr) return false;
+    const std::uint32_t offset = id & kBlockMask;
+    return ((*blocks_[block])[offset >> 6] >> (offset & 63)) & 1;
+  }
+
+  void mark(std::uint32_t id);
+
+  /// Allocated 4096-bit blocks (diagnostics; the compression metric).
+  [[nodiscard]] std::size_t allocated_blocks() const { return allocated_; }
+
+ private:
+  friend class Manager;
+  // Guards against accidentally sharing an index across managers (node ids
+  // are manager-local). Called by Manager::apply_diff.
+  void bind(const Manager& m);
+
+  static constexpr std::uint32_t kBlockShift = 12;  // 4096 bits per block
+  static constexpr std::uint32_t kBlockMask = (1u << kBlockShift) - 1;
+  using Block = std::array<std::uint64_t, 1u << (kBlockShift - 6)>;
+
+  Bdd root_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::size_t allocated_ = 0;
+  const Manager* bound_ = nullptr;
+};
+
+}  // namespace verdict::bdd

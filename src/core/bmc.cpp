@@ -2,6 +2,7 @@
 
 #include "core/engine_util.h"
 #include "enc/unroller.h"
+#include "portfolio/lemma_bus.h"
 #include "smt/solver.h"
 #include "util/log.h"
 
@@ -27,12 +28,14 @@ CheckOutcome run_incremental(const ts::TransitionSystem& ts, Expr invariant,
   enc::Unroller unroller(solver, ts);
   run.track(solver);
   const Expr bad = expr::mk_not(invariant);
+  portfolio::LemmaFeed lemmas(options.lemma_bus);
 
   for (int k = 0; k <= options.max_depth; ++k) {
     if (options.deadline.expired_or_cancelled())
       return run.finish(Verdict::kTimeout,
                         "deadline expired before depth " + std::to_string(k));
     unroller.ensure_frames(k);
+    lemmas.sync(solver, k);
     const double solve_before = solver.check_seconds();
     const std::vector<z3::expr> assumptions{unroller.literal(bad, k)};
     const smt::CheckResult r = solver.check_assuming(assumptions, options.deadline);

@@ -14,6 +14,10 @@
 #include "ts/transition_system.h"
 #include "util/stopwatch.h"
 
+namespace verdict::portfolio {
+class LemmaBus;
+}
+
 namespace verdict::core {
 
 struct BmcOptions {
@@ -22,6 +26,11 @@ struct BmcOptions {
   /// When false, a fresh solver is built per depth instead of reusing one
   /// incrementally (exists to quantify the benefit; see bench/micro_engines).
   bool incremental = true;
+  /// When set, reachability-invariant clauses published by other portfolio
+  /// lanes are asserted at every unrolled frame as they arrive. Sound: the
+  /// verdict and depth are bit-identical to an isolated run (see
+  /// portfolio/lemma_bus.h). Incremental mode only.
+  portfolio::LemmaBus* lemma_bus = nullptr;
 };
 
 /// Checks G(invariant): returns kViolated + trace, kBoundReached, or kTimeout.

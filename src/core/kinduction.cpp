@@ -2,6 +2,7 @@
 
 #include "core/engine_util.h"
 #include "enc/unroller.h"
+#include "portfolio/lemma_bus.h"
 #include "smt/solver.h"
 #include "util/log.h"
 
@@ -42,6 +43,14 @@ CheckOutcome check_invariant_kinduction(const ts::TransitionSystem& ts, Expr inv
   enc::Unroller step(step_solver, ts, {.assert_init = false});
   run.track(step_solver);
 
+  // Shared-lemma feeds. Base: models are real executions, so asserting
+  // reachability invariants changes no verdict. Step: a shortest (or
+  // simple-path-compressed) counterexample suffix consists of reachable
+  // states, which satisfy every bus lemma — asserting them keeps kViolated
+  // and kHolds intact and can only make the step case UNSAT at a smaller k.
+  portfolio::LemmaFeed base_lemmas(options.lemma_bus);
+  portfolio::LemmaFeed step_lemmas(options.lemma_bus);
+
   for (int k = 0; k <= options.max_k; ++k) {
     run.note_depth(k);
     if (options.deadline.expired_or_cancelled())
@@ -50,6 +59,7 @@ CheckOutcome check_invariant_kinduction(const ts::TransitionSystem& ts, Expr inv
 
     // --- Base: init-reachable violation within k steps?
     base.ensure_frames(k);
+    base_lemmas.sync(base_solver, k);
     const std::vector<z3::expr> base_assumptions{base.literal(bad, k)};
     const smt::CheckResult base_result =
         base_solver.check_assuming(base_assumptions, options.deadline);
@@ -66,6 +76,7 @@ CheckOutcome check_invariant_kinduction(const ts::TransitionSystem& ts, Expr inv
 
     // --- Step: P holds along frames 0..k, can frame k+1 violate it?
     step.ensure_frames(k + 1);
+    step_lemmas.sync(step_solver, k + 1);
     step_solver.add(invariant, k);
     if (options.simple_path) {
       for (int j = 0; j < k + 1; ++j)

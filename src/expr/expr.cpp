@@ -162,6 +162,20 @@ class Arena {
 
   std::size_t size() const { return size_.load(std::memory_order_acquire) - 1; }
 
+  void reserve(std::size_t nodes, std::size_t vars) {
+    std::lock_guard<std::mutex> lock(mu_);
+    table_.reserve(table_.size() + nodes);
+    var_names_.reserve(var_names_.size() + vars);
+    // A reservation is deliberate growth, not a mid-build rehash: rebase the
+    // bucket count the rehash detector compares against.
+    last_bucket_count_ = table_.bucket_count();
+  }
+
+  std::size_t rehashes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rehashes_;
+  }
+
  private:
   Expr intern_locked(Key key, Node node) {
     const auto it = table_.find(key);
@@ -169,6 +183,11 @@ class Arena {
     const std::uint32_t id = size_.load(std::memory_order_relaxed);
     node_slot(id) = std::move(node);
     table_.emplace(std::move(key), id);
+    const std::size_t buckets = table_.bucket_count();
+    if (buckets != last_bucket_count_) {
+      if (last_bucket_count_ != 0) ++rehashes_;
+      last_bucket_count_ = buckets;
+    }
     size_.store(id + 1, std::memory_order_release);
     return detail_make_expr(id);
   }
@@ -203,6 +222,8 @@ class Arena {
   mutable std::mutex mu_;  // guards table_, var_names_, and slot growth
   std::unordered_map<Key, std::uint32_t, KeyHash> table_;
   std::unordered_map<std::string, VarId> var_names_;
+  std::size_t last_bucket_count_ = 0;
+  std::size_t rehashes_ = 0;
 };
 
 Arena& arena() {
@@ -768,5 +789,9 @@ std::string Expr::str() const {
 }
 
 std::size_t arena_size() { return arena().size(); }
+
+void reserve_arena(std::size_t nodes, std::size_t vars) { arena().reserve(nodes, vars); }
+
+std::size_t arena_rehashes() { return arena().rehashes(); }
 
 }  // namespace verdict::expr

@@ -240,4 +240,16 @@ Expr operator>=(Expr a, std::int64_t b);
 /// Total number of interned nodes (diagnostics / benchmarks).
 [[nodiscard]] std::size_t arena_size();
 
+/// Pre-sizes the global intern tables for `nodes` additional expression
+/// nodes and `vars` additional variables. A model builder that knows its
+/// size up front (e.g. a scenario over a topology with L links) calls this
+/// once so construction never rehashes mid-build — rehashing the node table
+/// is the single biggest allocation spike of a large model build, and under
+/// the portfolio it happens while other threads contend for the arena lock.
+void reserve_arena(std::size_t nodes, std::size_t vars);
+
+/// Number of node-intern-table rehashes since process start. A correctly
+/// pre-sized build leaves this unchanged (asserted for fattree8 in tests).
+[[nodiscard]] std::size_t arena_rehashes();
+
 }  // namespace verdict::expr

@@ -1,0 +1,54 @@
+#include "portfolio/lemma_bus.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+#include "smt/solver.h"
+
+namespace verdict::portfolio {
+
+void LemmaBus::publish(const ts::State& cube) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lemmas_.push_back(cube);
+    size_.store(lemmas_.size(), std::memory_order_release);
+  }
+  obs::count("portfolio.lemmas_exported");
+}
+
+void LemmaBus::fetch_new(std::size_t& cursor, std::vector<ts::State>* out) {
+  if (size_.load(std::memory_order_acquire) <= cursor) return;
+  std::size_t added = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (; cursor < lemmas_.size(); ++cursor, ++added) out->push_back(lemmas_[cursor]);
+  }
+  if (added > 0) obs::count("portfolio.lemmas_consumed", added);
+}
+
+expr::Expr lemma_clause(const ts::State& cube) {
+  std::vector<expr::Expr> lits;
+  lits.reserve(cube.values().size());
+  for (const auto& [id, v] : cube.values()) {
+    const expr::Expr var = expr::var_by_name(expr::var_name(id));
+    lits.push_back(expr::mk_not(expr::mk_eq(var, expr::constant_of(v, var.type()))));
+  }
+  return expr::mk_or(lits);
+}
+
+void LemmaFeed::sync(smt::Solver& solver, int max_frame) {
+  if (bus_ == nullptr) return;
+  if (bus_->generation() > cursor_) {
+    std::vector<ts::State> fresh;
+    bus_->fetch_new(cursor_, &fresh);
+    for (const ts::State& cube : fresh) clauses_.push_back(lemma_clause(cube));
+    // Backfill the new clauses over the frames already asserted.
+    for (std::size_t i = clauses_.size() - fresh.size(); i < clauses_.size(); ++i)
+      for (int f = 0; f <= frames_done_; ++f) solver.add(clauses_[i], f);
+  }
+  for (int f = frames_done_ + 1; f <= max_frame; ++f)
+    for (const expr::Expr& clause : clauses_) solver.add(clause, f);
+  frames_done_ = std::max(frames_done_, max_frame);
+}
+
+}  // namespace verdict::portfolio

@@ -1,0 +1,96 @@
+// Cross-lane lemma sharing for the portfolio racer.
+//
+// PDR spends its run discovering clauses that over-approximate the reachable
+// states; BMC and k-induction spend theirs re-deriving the same pruning from
+// scratch. The LemmaBus closes that loop: the PDR lane exports a clause once
+// it has proved the clause holds in EVERY reachable state (not merely up to
+// the current frame — see the export rule below), and the bounded lanes
+// assert it permanently at every unrolled frame, shrinking their search
+// space mid-run without changing any verdict.
+//
+// Soundness contract. A published lemma is the negation of a cube c (a
+// conjunction of variable/value equalities) such that the clause !c is a
+// *reachability invariant*: it holds in every state reachable from init under
+// the system's transition relation (for every legal parameter choice). The
+// exporter guarantees this by only publishing clauses that are 1-inductive
+// relative to the already-published set G:
+//
+//     init => !c                    (PDR's init-intersection guard)
+//     invar /\ G /\ !c /\ T => !c'  (a dedicated UNSAT query per export)
+//
+// By mutual induction on trace length, every published clause then holds
+// along every legal execution. Consumers therefore cannot lose a
+// counterexample (a violating trace consists of reachable states, all of
+// which satisfy every published clause) and cannot gain one (asserting extra
+// constraints never creates models): BMC's verdict and depth are bit-
+// identical to an isolated run, and k-induction's verdict is preserved (its
+// proof may land at a smaller k — that is the speedup).
+//
+// Threading. One bus is shared by all lanes of one property; publish and
+// fetch_new take a mutex, and `generation` is a lock-free epoch so consumers
+// can poll from their hot loops for the cost of one atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "expr/expr.h"
+#include "ts/transition_system.h"
+
+namespace verdict::smt {
+class Solver;
+}
+
+namespace verdict::portfolio {
+
+class LemmaBus {
+ public:
+  /// Publishes a blocked cube whose negation is a proven reachability
+  /// invariant (see the header contract). Called by the exporting lane only
+  /// after its inductiveness query returns UNSAT.
+  void publish(const ts::State& cube);
+
+  /// Lock-free epoch: total lemmas published so far. Consumers compare this
+  /// against their cursor before paying for the mutex in fetch_new.
+  [[nodiscard]] std::uint64_t generation() const {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  /// Appends every lemma past `cursor` to `out` and advances the cursor.
+  /// Cheap no-op (single atomic load) when nothing is new.
+  void fetch_new(std::size_t& cursor, std::vector<ts::State>* out);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ts::State> lemmas_;
+  std::atomic<std::uint64_t> size_{0};
+};
+
+/// The clause !cube as an expression over current-state variables: the form
+/// consumers assert at each unrolled frame.
+[[nodiscard]] expr::Expr lemma_clause(const ts::State& cube);
+
+/// Consumes bus lemmas into one incremental solver. Every lemma clause is a
+/// reachability invariant, so it is asserted PERMANENTLY at every unrolled
+/// frame: newly fetched lemmas backfill frames 0..max asserted so far, newly
+/// unrolled frames pick up every clause consumed so far. Call sync from the
+/// consumer's per-depth loop; with a null bus every call is a no-op, and
+/// with no news it costs one atomic load.
+class LemmaFeed {
+ public:
+  explicit LemmaFeed(LemmaBus* bus) : bus_(bus) {}
+
+  /// Ensures all consumed clauses are asserted at frames 0..max_frame of
+  /// `solver` and fetches whatever is new on the bus.
+  void sync(smt::Solver& solver, int max_frame);
+
+ private:
+  LemmaBus* bus_;
+  std::size_t cursor_ = 0;
+  std::vector<expr::Expr> clauses_;
+  int frames_done_ = -1;
+};
+
+}  // namespace verdict::portfolio

@@ -1,6 +1,7 @@
 #include "portfolio/portfolio.h"
 
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "core/liveness.h"
 #include "core/pdr.h"
 #include "obs/trace.h"
+#include "portfolio/lemma_bus.h"
 #include "portfolio/pool.h"
 #include "util/log.h"
 
@@ -45,26 +47,29 @@ int indefinite_rank(Verdict v) {
 }
 
 std::vector<Lane> build_lanes(const ts::TransitionSystem& ts, const ltl::Formula& property,
-                              const PortfolioOptions& options) {
+                              const PortfolioOptions& options, LemmaBus* bus) {
   std::vector<Lane> lanes;
   if (ltl::is_invariant_property(property)) {
     const expr::Expr invariant = ltl::invariant_atom(property);
-    lanes.push_back({"bmc", [&ts, invariant, &options](const util::Deadline& d) {
+    lanes.push_back({"bmc", [&ts, invariant, &options, bus](const util::Deadline& d) {
                        core::BmcOptions o;
                        o.max_depth = options.max_depth;
                        o.deadline = d;
+                       o.lemma_bus = bus;
                        return core::check_invariant_bmc(ts, invariant, o);
                      }});
-    lanes.push_back({"kinduction", [&ts, invariant, &options](const util::Deadline& d) {
+    lanes.push_back({"kinduction", [&ts, invariant, &options, bus](const util::Deadline& d) {
                        core::KInductionOptions o;
                        o.max_k = options.max_depth;
                        o.deadline = d;
+                       o.lemma_bus = bus;
                        return core::check_invariant_kinduction(ts, invariant, o);
                      }});
-    lanes.push_back({"pdr", [&ts, invariant, &options](const util::Deadline& d) {
+    lanes.push_back({"pdr", [&ts, invariant, &options, bus](const util::Deadline& d) {
                        core::PdrOptions o;
                        o.max_frames = options.max_depth;
                        o.deadline = d;
+                       o.lemma_bus = bus;
                        return core::check_invariant_pdr(ts, invariant, o);
                      }});
     return lanes;
@@ -109,10 +114,17 @@ std::vector<CheckOutcome> check_portfolio_batch(const ts::TransitionSystem& ts,
   ts.validate();
   util::Stopwatch watch;
   const std::size_t n = properties.size();
+  // One lemma bus per property (declared before the pool scope so every lane
+  // outlives nothing it dereferences). Lemmas are invariants of the system's
+  // reachable states, but the exporting PDR run is property-directed, so the
+  // bus is scoped to the property whose lanes produced and consume it.
+  std::vector<std::unique_ptr<LemmaBus>> buses(n);
   std::vector<std::vector<Lane>> lanes(n);
   std::size_t total_lanes = 0;
   for (std::size_t p = 0; p < n; ++p) {
-    lanes[p] = build_lanes(ts, properties[p], options);
+    if (options.share_lemmas && ltl::is_invariant_property(properties[p]))
+      buses[p] = std::make_unique<LemmaBus>();
+    lanes[p] = build_lanes(ts, properties[p], options, buses[p].get());
     total_lanes += lanes[p].size();
   }
 

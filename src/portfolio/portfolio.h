@@ -37,6 +37,12 @@ struct PortfolioOptions {
   util::Deadline deadline = util::Deadline::never();
   /// Worker threads; 0 = one per hardware thread (default_jobs()).
   std::size_t jobs = 0;
+  /// Cross-lane lemma sharing (invariant properties): the PDR lane exports
+  /// proven reachability-invariant clauses on a per-property LemmaBus and
+  /// the BMC / k-induction lanes assert them mid-run. Sound — verdicts are
+  /// unchanged (see portfolio/lemma_bus.h); off = isolated lanes, the
+  /// ablation baseline of bench/portfolio_speedup.
+  bool share_lemmas = true;
 };
 
 /// Races the applicable engines and returns the first definitive verdict

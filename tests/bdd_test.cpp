@@ -4,6 +4,8 @@
 
 #include "bdd/bdd.h"
 #include "bdd/checker.h"
+#include "bdd/encoder.h"
+#include "bdd/reach_index.h"
 #include "core/explicit.h"
 #include "ltl/parser.h"
 
@@ -176,6 +178,197 @@ TEST(BddManager, AnySatIsSatisfying) {
   EXPECT_TRUE(assignment[b]);
 }
 
+// --- Reordering, diff, subset, reach index ---------------------------------
+
+// A deterministic pile of random formulas over `nvars` variables, with the
+// truth of each remembered so we can re-check handles after reordering.
+struct FormulaPile {
+  std::vector<Bdd> formulas;
+  std::vector<std::vector<bool>> truth;  // [formula][assignment bits]
+};
+
+FormulaPile random_pile(Manager& m, int nvars, int count, std::uint64_t seed) {
+  std::vector<std::uint32_t> vars;
+  for (int i = 0; i < nvars; ++i) vars.push_back(m.new_var());
+  const auto rnd = [&seed]() {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>(seed >> 33);
+  };
+  FormulaPile pile;
+  for (int n = 0; n < count; ++n) {
+    std::function<Bdd(int)> build = [&](int depth) -> Bdd {
+      if (depth == 0)
+        return rnd() % 2 ? m.var(vars[rnd() % nvars]) : m.nvar(vars[rnd() % nvars]);
+      const Bdd l = build(depth - 1);
+      const Bdd r = build(depth - 1);
+      switch (rnd() % 3) {
+        case 0:
+          return m.apply_and(l, r);
+        case 1:
+          return m.apply_or(l, r);
+        default:
+          return m.apply_xor(l, r);
+      }
+    };
+    pile.formulas.push_back(build(4));
+  }
+  for (const Bdd f : pile.formulas) {
+    std::vector<bool> rows;
+    for (int bits = 0; bits < (1 << nvars); ++bits) {
+      std::vector<bool> env;
+      for (int i = 0; i < nvars; ++i) env.push_back((bits >> i) & 1);
+      rows.push_back(m.eval(f, env));
+    }
+    pile.truth.push_back(std::move(rows));
+  }
+  return pile;
+}
+
+void expect_pile_intact(Manager& m, const FormulaPile& pile, int nvars) {
+  for (std::size_t n = 0; n < pile.formulas.size(); ++n) {
+    for (int bits = 0; bits < (1 << nvars); ++bits) {
+      std::vector<bool> env;
+      for (int i = 0; i < nvars; ++i) env.push_back((bits >> i) & 1);
+      ASSERT_EQ(m.eval(pile.formulas[n], env), pile.truth[n][bits])
+          << "formula " << n << " assignment " << bits;
+    }
+  }
+}
+
+TEST(BddReorder, SwapAdjacentPreservesHandlesAndCanonicity) {
+  Manager m;
+  constexpr int kVars = 8;
+  const FormulaPile pile = random_pile(m, kVars, 20, 42);
+  std::uint64_t seed = 7;
+  for (int step = 0; step < 200; ++step) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    m.swap_adjacent(static_cast<std::uint32_t>(seed >> 33) % (kVars - 1));
+    if (step % 50 != 0) continue;
+    expect_pile_intact(m, pile, kVars);
+  }
+  expect_pile_intact(m, pile, kVars);
+  // Canonicity: recombining old handles must find the very same nodes.
+  const Bdd a = pile.formulas[0];
+  const Bdd b = pile.formulas[1];
+  const Bdd ab = m.apply_and(a, b);
+  EXPECT_EQ(m.apply_and(b, a), ab);
+  EXPECT_TRUE(m.apply_xor(ab, m.apply_and(a, b)).is_zero());
+}
+
+// Nodes reachable from the pile's handles: the size sifting actually
+// minimizes. (table_nodes() also retains dead intermediates from the pile's
+// construction, which rewrites can legitimately grow.)
+std::size_t pile_size(const Manager& m, const FormulaPile& pile) {
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<Bdd> stack(pile.formulas.begin(), pile.formulas.end());
+  while (!stack.empty()) {
+    const Bdd f = stack.back();
+    stack.pop_back();
+    if (f.is_terminal() || !seen.insert(f.id()).second) continue;
+    stack.push_back(m.low_of(f));
+    stack.push_back(m.high_of(f));
+  }
+  return seen.size();
+}
+
+TEST(BddReorder, SiftingPreservesFunctions) {
+  Manager m;
+  constexpr int kVars = 10;
+  const FormulaPile pile = random_pile(m, kVars, 30, 1234);
+  const std::size_t before = pile_size(m, pile);
+  m.reorder_now();
+  EXPECT_EQ(m.reorder_runs(), 1u);
+  EXPECT_LE(pile_size(m, pile), before);  // sifting never settles on a worse order
+  expect_pile_intact(m, pile, kVars);
+  // The order is still a permutation of all variables.
+  std::vector<std::uint32_t> order = m.order();
+  std::sort(order.begin(), order.end());
+  for (std::uint32_t i = 0; i < m.num_vars(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(BddReorder, AutoReorderTriggersAndImageStaysCorrect) {
+  // A system big enough to cross a (lowered) reorder threshold mid-run:
+  // reachability must agree step by step with a reorder-disabled twin.
+  ts::TransitionSystem ts;
+  std::vector<Expr> xs;
+  for (int i = 0; i < 6; ++i) {
+    const Expr x = expr::int_var("bddro_x" + std::to_string(i), 0, 7);
+    xs.push_back(x);
+    ts.add_var(x);
+    ts.add_init(expr::mk_eq(x, expr::int_const(i % 3)));
+  }
+  std::vector<Expr> steps;
+  for (int i = 0; i < 6; ++i) {
+    steps.push_back(expr::mk_eq(
+        expr::next(xs[i]),
+        expr::ite(expr::mk_lt(xs[i], xs[(i + 1) % 6]), xs[i] + 1,
+                  expr::mk_max(xs[i] - 1, expr::int_const(0)))));
+  }
+  ts.add_trans(expr::mk_and(steps));
+
+  bdd::SymbolicSystem fast(ts, bdd::VarOrder::kInterleaved, /*reorder=*/true);
+  fast.manager().set_reorder_threshold(512);
+  bdd::SymbolicSystem slow(ts, bdd::VarOrder::kInterleaved, /*reorder=*/false);
+
+  Bdd fast_reached = fast.init();
+  Bdd slow_reached = slow.init();
+  for (int step = 0; step < 12; ++step) {
+    fast_reached = fast.manager().apply_or(fast_reached, fast.image(fast_reached));
+    slow_reached = slow.manager().apply_or(slow_reached, slow.image(slow_reached));
+    EXPECT_DOUBLE_EQ(fast.manager().sat_count(fast_reached),
+                     slow.manager().sat_count(slow_reached))
+        << "diverged at step " << step;
+  }
+  EXPECT_GE(fast.manager().reorder_runs(), 1u) << "workload never triggered sifting";
+  EXPECT_EQ(slow.manager().reorder_runs(), 0u);
+}
+
+TEST(BddManager, ApplyDiffMatchesAndNot) {
+  Manager m;
+  constexpr int kVars = 8;
+  const FormulaPile pile = random_pile(m, kVars, 24, 555);
+  for (std::size_t i = 0; i + 1 < pile.formulas.size(); i += 2) {
+    const Bdd a = pile.formulas[i];
+    const Bdd b = pile.formulas[i + 1];
+    EXPECT_EQ(m.apply_diff(a, b), m.apply_and(a, m.apply_not(b)));
+  }
+}
+
+TEST(BddManager, ApplyDiffWithIndexOverGrowingSet) {
+  Manager m;
+  constexpr int kVars = 8;
+  const FormulaPile pile = random_pile(m, kVars, 30, 9090);
+  // Simulate the checker's loop: `reached` only grows; the index rides along.
+  bdd::ReachIndex index;
+  Bdd reached = pile.formulas[0];
+  index.advance(reached);
+  for (std::size_t i = 1; i < pile.formulas.size(); ++i) {
+    const Bdd frontier = pile.formulas[i];
+    const Bdd expected = m.apply_and(frontier, m.apply_not(reached));
+    EXPECT_EQ(m.apply_diff(frontier, reached, &index), expected);
+    // Re-querying the same frontier must hit marks/caches, same answer.
+    EXPECT_EQ(m.apply_diff(frontier, reached, &index), expected);
+    reached = m.apply_or(reached, frontier);
+    index.advance(reached);
+  }
+}
+
+TEST(BddManager, SubsetMatchesImplicationAndAllocatesNothing) {
+  Manager m;
+  constexpr int kVars = 8;
+  const FormulaPile pile = random_pile(m, kVars, 24, 321);
+  for (std::size_t i = 0; i + 1 < pile.formulas.size(); i += 2) {
+    const Bdd a = pile.formulas[i];
+    const Bdd b = pile.formulas[i + 1];
+    const bool expected = m.implies(a, b).is_one();
+    const std::size_t nodes = m.num_nodes();
+    EXPECT_EQ(m.subset(a, b), expected);
+    EXPECT_EQ(m.num_nodes(), nodes) << "subset must not create nodes";
+    EXPECT_TRUE(m.subset(m.apply_and(a, b), a));
+    EXPECT_TRUE(m.subset(a, m.apply_or(a, b)));
+  }
+}
+
 // --- Symbolic system checks (cross-checked against the explicit engine) ----
 
 ts::TransitionSystem bounded_counter(const std::string& prefix, std::int64_t limit) {
@@ -231,6 +424,47 @@ TEST(BddChecker, ParametricReachabilityFindsBadParams) {
   EXPECT_GE(std::get<std::int64_t>(*chosen), 5);
   std::string error;
   EXPECT_TRUE(ts.trace_conforms(*outcome.counterexample, &error)) << error;
+}
+
+TEST(BddChecker, ReorderAndIndexParityOnWorkloads) {
+  // The satellite parity gate: reorder+index on vs off must agree verdict-for-
+  // verdict (and trace-length for trace-length) on the checker workloads.
+  struct Case {
+    ts::TransitionSystem ts;
+    Expr invariant;
+  };
+  std::vector<Case> cases;
+  cases.push_back({bounded_counter("bddrp1", 8),
+                   expr::mk_lt(expr::var_by_name("bddrp1_x"), expr::int_const(5))});
+  cases.push_back({bounded_counter("bddrp2", 4),
+                   expr::mk_lt(expr::var_by_name("bddrp2_x"), expr::int_const(5))});
+  {
+    ts::TransitionSystem ts;
+    const Expr x = expr::int_var("bddrp3_x", 0, 10);
+    const Expr limit = expr::int_var("bddrp3_limit", 0, 10);
+    ts.add_var(x);
+    ts.add_param(limit);
+    ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+    ts.add_trans(expr::mk_eq(expr::next(x), expr::ite(expr::mk_lt(x, limit), x + 1, x)));
+    cases.push_back({std::move(ts), expr::mk_lt(x, expr::int_const(5))});
+  }
+  for (const Case& c : cases) {
+    bdd::BddOptions on;
+    on.reorder = true;
+    on.reach_index = true;
+    bdd::BddOptions off;
+    off.reorder = false;
+    off.reach_index = false;
+    const auto fast = bdd::check_invariant_bdd(c.ts, c.invariant, on);
+    const auto slow = bdd::check_invariant_bdd(c.ts, c.invariant, off);
+    EXPECT_EQ(fast.verdict, slow.verdict);
+    ASSERT_EQ(fast.counterexample.has_value(), slow.counterexample.has_value());
+    if (fast.counterexample) {
+      EXPECT_EQ(fast.counterexample->states.size(), slow.counterexample->states.size());
+      std::string error;
+      EXPECT_TRUE(c.ts.trace_conforms(*fast.counterexample, &error)) << error;
+    }
+  }
 }
 
 TEST(BddChecker, ReachableStateCount) {

@@ -16,6 +16,7 @@
 #include "core/session.h"
 #include "core/synth.h"
 #include "ltl/trace_eval.h"
+#include "portfolio/lemma_bus.h"
 #include "portfolio/par_synth.h"
 #include "portfolio/portfolio.h"
 #include "scenarios/k8s_loops.h"
@@ -274,6 +275,102 @@ TEST_P(RandomSystemCrossCheck, PortfolioAgreesWithOracleAndSequentialBmc) {
     if (pf.violated()) {
       std::string error;
       EXPECT_TRUE(core::confirm_counterexample(sys.ts, property, pf, &error)) << error;
+    }
+  }
+}
+
+// Cross-lane lemma sharing must be verdict-invisible. A PDR run fills a bus
+// with exported clauses; BMC and k-induction then consume the full bus from
+// their first depth — the worst case for interference — and must agree with
+// their isolated runs on both verdict directions. BMC must also match on
+// depth exactly: every exported clause holds on all reachable states, so no
+// real violating trace is ever excluded and no spurious one can appear.
+TEST_P(RandomSystemCrossCheck, LemmaSharingPreservesVerdicts) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 90001 + 29);
+  const RandomSystem sys = make_random_system(9000 + GetParam(), rng);
+
+  const std::vector<Expr> invariants = {
+      expr::mk_le(sys.x + sys.y, expr::int_const(6)),  // holds (range)
+      expr::mk_lt(sys.x, expr::int_const(3)),
+      expr::mk_or({sys.b, expr::mk_le(sys.y, expr::int_const(2))}),
+      expr::mk_not(expr::mk_and({expr::mk_eq(sys.x, expr::int_const(3)),
+                                 expr::mk_eq(sys.y, expr::int_const(3))})),
+  };
+
+  for (const Expr& invariant : invariants) {
+    portfolio::LemmaBus bus;
+    core::PdrOptions pdr_options;
+    pdr_options.lemma_bus = &bus;
+    const auto pdr = core::check_invariant_pdr(sys.ts, invariant, pdr_options);
+    ASSERT_TRUE(pdr.verdict == Verdict::kHolds || pdr.verdict == Verdict::kViolated);
+
+    // BMC: bit-identical verdict and depth with the bus fully pre-filled.
+    const auto bmc_off = core::check_invariant_bmc(sys.ts, invariant, {.max_depth = 40});
+    core::BmcOptions bmc_options;
+    bmc_options.max_depth = 40;
+    bmc_options.lemma_bus = &bus;
+    const auto bmc_on = core::check_invariant_bmc(sys.ts, invariant, bmc_options);
+    EXPECT_EQ(bmc_on.verdict, bmc_off.verdict)
+        << "lemma sharing changed the BMC verdict on " << invariant.str();
+    EXPECT_EQ(bmc_on.stats.depth_reached, bmc_off.stats.depth_reached)
+        << "lemma sharing changed the BMC depth on " << invariant.str();
+    if (bmc_on.counterexample) {
+      std::string error;
+      EXPECT_TRUE(sys.ts.trace_conforms(*bmc_on.counterexample, &error)) << error;
+    }
+
+    // k-induction: verdict preserved; a proof may only land at the same or a
+    // smaller k, a violation at the identical depth.
+    const auto kind_off =
+        core::check_invariant_kinduction(sys.ts, invariant, {.max_k = 40});
+    core::KInductionOptions kind_options;
+    kind_options.max_k = 40;
+    kind_options.lemma_bus = &bus;
+    const auto kind_on = core::check_invariant_kinduction(sys.ts, invariant, kind_options);
+    EXPECT_EQ(kind_on.verdict, kind_off.verdict)
+        << "lemma sharing changed the k-induction verdict on " << invariant.str();
+    if (kind_on.verdict == Verdict::kViolated) {
+      EXPECT_EQ(kind_on.stats.depth_reached, kind_off.stats.depth_reached);
+      ASSERT_TRUE(kind_on.counterexample.has_value());
+      std::string error;
+      EXPECT_TRUE(sys.ts.trace_conforms(*kind_on.counterexample, &error)) << error;
+    } else {
+      EXPECT_LE(kind_on.stats.depth_reached, kind_off.stats.depth_reached);
+    }
+
+    // All three engines agree with each other.
+    EXPECT_EQ(bmc_on.verdict == Verdict::kViolated, pdr.verdict == Verdict::kViolated);
+    EXPECT_EQ(kind_on.verdict, pdr.verdict);
+  }
+}
+
+// The racing portfolio with live (mid-run, cross-thread) lemma sharing gives
+// the same verdicts as with sharing disabled, on every seed and both verdict
+// directions.
+TEST_P(RandomSystemCrossCheck, PortfolioLemmaSharingOnOffParity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104917 + 41);
+  const RandomSystem sys = make_random_system(9500 + GetParam(), rng);
+
+  const std::vector<Expr> invariants = {
+      expr::mk_lt(sys.x, expr::int_const(3)),
+      expr::mk_or({sys.b, expr::mk_le(sys.y, expr::int_const(2))}),
+  };
+  for (const Expr& invariant : invariants) {
+    const ltl::Formula property = ltl::G(ltl::atom(invariant));
+    portfolio::PortfolioOptions on;
+    on.max_depth = 40;
+    on.jobs = 4;
+    on.share_lemmas = true;
+    portfolio::PortfolioOptions off = on;
+    off.share_lemmas = false;
+    const auto with_sharing = portfolio::check_portfolio(sys.ts, property, on);
+    const auto without_sharing = portfolio::check_portfolio(sys.ts, property, off);
+    EXPECT_EQ(with_sharing.verdict, without_sharing.verdict)
+        << "share_lemmas flipped the portfolio verdict on " << invariant.str();
+    if (with_sharing.violated()) {
+      std::string error;
+      EXPECT_TRUE(core::confirm_counterexample(sys.ts, property, with_sharing, &error))
+          << error;
     }
   }
 }

@@ -12,10 +12,15 @@
 #include <mutex>
 #include <thread>
 
+#include "core/bmc.h"
 #include "core/checker.h"
 #include "core/explicit.h"
+#include "core/kinduction.h"
+#include "core/pdr.h"
 #include "core/synth.h"
 #include "ltl/ltl.h"
+#include "obs/trace.h"
+#include "portfolio/lemma_bus.h"
 #include "portfolio/par_synth.h"
 #include "portfolio/pool.h"
 #include "portfolio/portfolio.h"
@@ -223,6 +228,77 @@ TEST(Portfolio, MoreLanesThanWorkersStillCompletes) {
   const auto outcome = portfolio::check_portfolio(
       ts, ltl::G(ltl::atom(expr::mk_lt(x, expr::int_const(5)))), options);
   EXPECT_EQ(outcome.verdict, Verdict::kViolated) << core::describe(outcome);
+}
+
+TEST(LemmaBus, PublishFetchGenerationSemantics) {
+  portfolio::LemmaBus bus;
+  EXPECT_EQ(bus.generation(), 0u);
+
+  const Expr v = expr::int_var("lb_sem_v", 0, 7);
+  ts::State cube1, cube2;
+  cube1.set(v, std::int64_t{3});
+  cube2.set(v, std::int64_t{5});
+  bus.publish(cube1);
+  EXPECT_EQ(bus.generation(), 1u);
+
+  std::size_t cursor = 0;
+  std::vector<ts::State> got;
+  bus.fetch_new(cursor, &got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(cursor, 1u);
+  EXPECT_TRUE(got[0] == cube1);
+
+  // Cursor past the end: cheap no-op, nothing re-delivered.
+  bus.fetch_new(cursor, &got);
+  EXPECT_EQ(got.size(), 1u);
+
+  bus.publish(cube2);
+  bus.fetch_new(cursor, &got);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_TRUE(got[1] == cube2);
+  EXPECT_EQ(bus.generation(), 2u);
+
+  // The clause of a cube is the negation of its equalities.
+  const Expr clause = portfolio::lemma_clause(cube1);
+  EXPECT_TRUE(clause.type().is_bool());
+}
+
+// Deterministic end-to-end export/consume: x climbs by 2 from 0, so the odd
+// values are in-range but unreachable. Proving G(x != 11) forces PDR to block
+// the odd predecessor chain 1, 3, ..., 9 — clauses that become 1-inductive
+// relative to each other in exactly that order, so the run must export. A
+// pre-filled BMC run must then consume them all and keep its verdict.
+TEST(LemmaBus, PdrExportsProvenInvariantsAndBmcConsumesThem) {
+  ts::TransitionSystem ts;
+  const Expr x = expr::int_var("lb_e2e_x", 0, 12);
+  ts.add_var(x);
+  ts.add_init(expr::mk_eq(x, expr::int_const(0)));
+  ts.add_trans(expr::mk_eq(expr::next(x),
+                           expr::mk_min(x + 2, expr::int_const(12))));
+  const Expr invariant = expr::mk_not(expr::mk_eq(x, expr::int_const(11)));
+
+  portfolio::LemmaBus bus;
+  core::PdrOptions pdr_options;
+  pdr_options.lemma_bus = &bus;
+  const auto pdr = core::check_invariant_pdr(ts, invariant, pdr_options);
+  EXPECT_EQ(pdr.verdict, Verdict::kHolds) << core::describe(pdr);
+  EXPECT_GT(bus.generation(), 0u) << "PDR proved the property without exporting";
+
+  const std::uint64_t consumed_before =
+      obs::counters_snapshot()["portfolio.lemmas_consumed"];
+  core::BmcOptions bmc_options;
+  bmc_options.max_depth = 10;
+  bmc_options.lemma_bus = &bus;
+  const auto bmc = core::check_invariant_bmc(ts, invariant, bmc_options);
+  EXPECT_EQ(bmc.verdict, Verdict::kBoundReached) << core::describe(bmc);
+  EXPECT_EQ(obs::counters_snapshot()["portfolio.lemmas_consumed"] - consumed_before,
+            bus.generation());
+
+  core::KInductionOptions kind_options;
+  kind_options.max_k = 20;
+  kind_options.lemma_bus = &bus;
+  const auto kind = core::check_invariant_kinduction(ts, invariant, kind_options);
+  EXPECT_EQ(kind.verdict, Verdict::kHolds) << core::describe(kind);
 }
 
 TEST(Portfolio, LivenessViolationViaLassoLane) {

@@ -231,5 +231,16 @@ TEST(K8sLoops, CorrectHpaKeepsReplicasBounded) {
   EXPECT_EQ(outcome.verdict, Verdict::kHolds) << outcome.message;
 }
 
+
+// The builder pre-sizes the expr intern tables from the topology statistics
+// (expr::reserve_arena); a fattree8 build must then complete without a single
+// mid-build rehash of the node intern table.
+TEST(RolloutPartition, FatTree8BuildDoesNotRehashArena) {
+  const std::size_t before = expr::arena_rehashes();
+  const auto scenario = scenarios::make_fat_tree_scenario(8);
+  EXPECT_GT(scenario.system.vars().size(), 200u);  // sanity: a real build ran
+  EXPECT_EQ(expr::arena_rehashes(), before)
+      << "arena rehashed during a pre-sized fattree8 build";
+}
 }  // namespace
 }  // namespace verdict

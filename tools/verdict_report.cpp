@@ -176,6 +176,42 @@ JsonValue validate_stats_document(const std::string& text) {
       for (const char* k : kAbsCounters) known = known || name == k;
       require(known, "counters." + name + " is not a known abs.* counter");
     }
+    // The BDD engine counters are closed (docs/engines.md): the dynamic-
+    // reordering sifter and the compressed reachable-set index.
+    if (name.rfind("bdd.", 0) == 0) {
+      static const char* kBddCounters[] = {
+          "bdd.reorder.runs",  "bdd.reorder.swaps", "bdd.reorder.nodes_saved",
+          "bdd.index.hits",    "bdd.index.marks",   "bdd.index.blocks",
+      };
+      bool known = false;
+      for (const char* k : kBddCounters) known = known || name == k;
+      require(known, "counters." + name + " is not a known bdd.* counter");
+    }
+    // The portfolio counters are closed (docs/engines.md): race wins plus the
+    // cross-lane lemma bus traffic.
+    if (name.rfind("portfolio.", 0) == 0) {
+      static const char* kPortfolioCounters[] = {
+          "portfolio.wins",
+          "portfolio.lemmas_exported",
+          "portfolio.lemmas_consumed",
+      };
+      bool known = false;
+      for (const char* k : kPortfolioCounters) known = known || name == k;
+      require(known, "counters." + name + " is not a known portfolio.* counter");
+    }
+    // The SMT-layer counters are closed (docs/engines.md): solver lifecycle
+    // plus the cross-frame translation memo.
+    if (name.rfind("smt.", 0) == 0) {
+      static const char* kSmtCounters[] = {
+          "smt.checks",
+          "smt.solvers_created",
+          "smt.translate_memo.hit",
+          "smt.translate_memo.miss",
+      };
+      bool known = false;
+      for (const char* k : kSmtCounters) known = known || name == k;
+      require(known, "counters." + name + " is not a known smt.* counter");
+    }
   }
   require(doc["exit_code"].is_number(), "exit_code must be a number");
   return doc;
